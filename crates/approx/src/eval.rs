@@ -1,0 +1,118 @@
+//! Evaluation harness for approximation quality (feeds the A3 ablation):
+//! soundness (every emitted axiom entailed by the source ontology) and
+//! recall of each method against the complete global approximation.
+
+use obda_owl::{axiom_to_owl, Ontology};
+use obda_reasoners::{Budget, Tableau, TableauKb, Timeout};
+
+use crate::semantic::{global_semantic_approximation, semantic_approximation};
+use crate::syntactic::syntactic_approximation;
+
+/// Quality metrics of the three approximation methods on one ontology.
+#[derive(Debug, Clone)]
+pub struct ApproxReport {
+    /// Axioms in the syntactic approximation.
+    pub syntactic_axioms: usize,
+    /// Axioms in the per-axiom semantic approximation.
+    pub semantic_axioms: usize,
+    /// Axioms in the global (reference) approximation.
+    pub global_axioms: usize,
+    /// Fraction of global axioms captured syntactically.
+    pub syntactic_recall: f64,
+    /// Fraction of global axioms captured by the per-axiom method.
+    pub semantic_recall: f64,
+    /// Entailment tests burned by the per-axiom method.
+    pub semantic_tests: usize,
+    /// Entailment tests burned by the global method.
+    pub global_tests: usize,
+}
+
+/// Computes the report. Recall is measured **modulo DL-Lite
+/// entailment**: a global axiom counts as captured when the approximated
+/// TBox *entails* it (decided by the graph-based implication service) —
+/// membership would unfairly penalize methods that emit a smaller,
+/// equivalent axiom set.
+pub fn evaluate(onto: &Ontology, budget: Budget) -> Result<ApproxReport, Timeout> {
+    let syn = syntactic_approximation(onto);
+    let sem = semantic_approximation(onto, budget)?;
+    let global = global_semantic_approximation(onto, budget)?;
+    let captured = |t: &obda_dllite::Tbox| -> usize {
+        let cls = quonto::Classification::classify(t);
+        let imp = quonto::Implication::new(&cls);
+        global
+            .tbox
+            .axioms()
+            .iter()
+            .filter(|a| imp.entails(a))
+            .count()
+    };
+    let denom = global.tbox.len().max(1) as f64;
+    Ok(ApproxReport {
+        syntactic_axioms: syn.tbox.len(),
+        semantic_axioms: sem.tbox.len(),
+        global_axioms: global.tbox.len(),
+        syntactic_recall: captured(&syn.tbox) as f64 / denom,
+        semantic_recall: captured(&sem.tbox) as f64 / denom,
+        semantic_tests: sem.entailment_tests,
+        global_tests: global.entailment_tests,
+    })
+}
+
+/// Soundness check: every axiom of the approximated TBox must be entailed
+/// by the source ontology. Returns offending axioms (empty = sound).
+pub fn unsound_axioms(
+    onto: &Ontology,
+    approx: &obda_dllite::Tbox,
+    budget: Budget,
+) -> Result<Vec<obda_dllite::Axiom>, Timeout> {
+    let kb = TableauKb::new(onto);
+    let mut tab = Tableau::new(&kb);
+    let mut out = Vec::new();
+    for ax in approx.axioms() {
+        if !tab.entails(&axiom_to_owl(ax), budget)? {
+            out.push(*ax);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_owl::parse_owl;
+
+    #[test]
+    fn semantic_beats_syntactic_on_unions() {
+        let src = "EquivalentClasses(A ObjectUnionOf(B C))\nSubClassOf(B D)\nSubClassOf(C D)";
+        let o = parse_owl(src).unwrap();
+        let report = evaluate(&o, Budget::default()).unwrap();
+        assert!(report.semantic_recall > report.syntactic_recall);
+        assert!(report.semantic_recall < 1.0, "A ⊑ D needs cross-axiom reasoning");
+        assert!(report.semantic_tests < report.global_tests);
+    }
+
+    #[test]
+    fn both_methods_are_sound() {
+        let src = "EquivalentClasses(A ObjectUnionOf(B C))\n\
+                   SubClassOf(A ObjectSomeValuesFrom(p ObjectIntersectionOf(B C)))\n\
+                   DisjointClasses(B C)";
+        let o = parse_owl(src).unwrap();
+        let sem = crate::semantic::semantic_approximation(&o, Budget::default()).unwrap();
+        assert!(unsound_axioms(&o, &sem.tbox, Budget::default())
+            .unwrap()
+            .is_empty());
+        let syn = crate::syntactic::syntactic_approximation(&o);
+        assert!(unsound_axioms(&o, &syn.tbox, Budget::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn pure_ql_ontology_has_full_recall_everywhere() {
+        let src = "SubClassOf(A B)\nObjectPropertyDomain(p A)\nSubObjectPropertyOf(p r)";
+        let o = parse_owl(src).unwrap();
+        let report = evaluate(&o, Budget::default()).unwrap();
+        assert_eq!(report.semantic_recall, 1.0);
+        assert_eq!(report.syntactic_recall, 1.0);
+    }
+}

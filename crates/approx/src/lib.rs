@@ -1,0 +1,21 @@
+//! # obda-approx
+//!
+//! Ontology approximation into DL-Lite (Section 7 of the paper):
+//! fulfilling "the OBDA requirement of efficiently accessing large data
+//! bases" by approximating expressive (ALCHI/OWL) ontologies into the
+//! OWL 2 QL fragment.
+//!
+//! * [`syntactic`]: keep-the-QL-axioms baseline — fast, lossy;
+//! * [`semantic`]: the paper's per-axiom semantic approximation driven by
+//!   the ALCHI tableau oracle, plus the complete (expensive) global
+//!   reference;
+//! * [`eval`]: soundness checking and recall measurement (the A3
+//!   ablation).
+
+pub mod eval;
+pub mod semantic;
+pub mod syntactic;
+
+pub use eval::{evaluate, unsound_axioms, ApproxReport};
+pub use semantic::{global_semantic_approximation, semantic_approximation, SemanticResult};
+pub use syntactic::{syntactic_approximation, SyntacticResult};

@@ -1,0 +1,59 @@
+//! **Syntactic approximation**: keep the axioms that already lie in
+//! OWL 2 QL, drop the rest.
+//!
+//! As the paper notes, this is fast and simple but "does not, in general,
+//! guarantee soundness … or completeness" as a *semantic* approximation —
+//! concretely, it silently loses every consequence of the dropped axioms,
+//! including their QL-expressible ones. The `eval` module measures that
+//! loss against the semantic method.
+
+use obda_dllite::Tbox;
+use obda_owl::{split_ql, Ontology};
+
+/// Result of a syntactic approximation.
+#[derive(Debug, Clone)]
+pub struct SyntacticResult {
+    /// The approximated TBox (converted QL axioms).
+    pub tbox: Tbox,
+    /// Indices (into the source ontology's axiom list) of dropped,
+    /// non-QL axioms.
+    pub dropped: Vec<usize>,
+}
+
+/// Approximates `onto` by keeping its QL axioms.
+pub fn syntactic_approximation(onto: &Ontology) -> SyntacticResult {
+    let (tbox, dropped) = split_ql(onto);
+    SyntacticResult { tbox, dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_owl::parse_owl;
+
+    #[test]
+    fn keeps_ql_drops_rest() {
+        let o = parse_owl(
+            "SubClassOf(A B)\n\
+             SubClassOf(ObjectUnionOf(A B) C)\n\
+             SubClassOf(A ObjectAllValuesFrom(p B))\n\
+             ObjectPropertyDomain(p A)",
+        )
+        .unwrap();
+        let r = syntactic_approximation(&o);
+        assert_eq!(r.dropped, vec![1, 2]);
+        assert_eq!(r.tbox.len(), 2);
+    }
+
+    #[test]
+    fn loses_ql_consequences_of_dropped_axioms() {
+        // A ⊑ B ⊓ C is QL-expressible *in consequence* (A ⊑ B, A ⊑ C)
+        // but our grammar keeps it as intersection — it is QL and kept.
+        // A genuinely lossy case: A ≡ B ⊔ C entails B ⊑ A (QL!), but the
+        // whole axiom is dropped syntactically.
+        let o = parse_owl("EquivalentClasses(A ObjectUnionOf(B C))").unwrap();
+        let r = syntactic_approximation(&o);
+        assert_eq!(r.dropped, vec![0]);
+        assert!(r.tbox.is_empty(), "the B ⊑ A consequence was lost");
+    }
+}

@@ -1,0 +1,32 @@
+//! A3: syntactic vs per-axiom semantic approximation time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obda_approx::{semantic_approximation, syntactic_approximation};
+use obda_genont::random_owl;
+use obda_reasoners::Budget;
+
+fn approximation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approximation");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for seed in [1u64, 2, 3] {
+        let onto = random_owl(seed, 6, 3, 12, 3);
+        group.bench_with_input(
+            BenchmarkId::new("syntactic", seed),
+            &onto,
+            |b, onto| b.iter(|| syntactic_approximation(onto)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("semantic_per_axiom", seed),
+            &onto,
+            |b, onto| {
+                b.iter(|| semantic_approximation(onto, Budget::seconds(120)).expect("in budget"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, approximation);
+criterion_main!(benches);

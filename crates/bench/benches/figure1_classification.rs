@@ -1,0 +1,64 @@
+//! Criterion bench behind the Figure 1 reproduction.
+//!
+//! The full-scale table (including tableau timeouts) is produced by the
+//! `figure1` binary; Criterion needs repeatable sub-second runs, so here
+//! the graph-based and consequence-based classifiers run on 10%-scale
+//! analogs of every ontology, and the tableau profiles run at full scale
+//! on the two suites whose structure they handle comfortably
+//! (Transportation, AEO — as in the paper, where every reasoner finishes
+//! the small ontologies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obda_reasoners::{classify_consequence, classify_tableau, Budget, TableauProfile};
+use quonto::Classification;
+
+fn figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_classification");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for preset in obda_genont::figure1_presets() {
+        let spec = preset.scaled(0.1);
+        let tbox = spec.generate();
+        group.bench_with_input(
+            BenchmarkId::new("quonto", &spec.name),
+            &tbox,
+            |b, tbox| b.iter(|| Classification::classify(tbox)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("consequence", &spec.name),
+            &tbox,
+            |b, tbox| b.iter(|| classify_consequence(tbox)),
+        );
+    }
+    for preset in [
+        obda_genont::presets::transportation(),
+        obda_genont::presets::aeo(),
+    ] {
+        let tbox = preset.generate();
+        let onto = obda_owl::tbox_to_owl(&tbox);
+        for profile in [
+            TableauProfile::Enhanced,
+            TableauProfile::Told,
+            TableauProfile::Naive,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{}_full", profile.name().replace('-', "_")),
+                    &preset.name,
+                ),
+                &onto,
+                |b, onto| {
+                    b.iter(|| {
+                        classify_tableau(onto, profile, Budget::seconds(120))
+                            .expect("within budget")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure1);
+criterion_main!(benches);

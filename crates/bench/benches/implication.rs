@@ -1,0 +1,44 @@
+//! A5: logical implication — graph-based vs saturation-based, build and
+//! probe phases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obda_bench::smoke_spec;
+use obda_dllite::{Axiom, BasicConcept, ConceptId, GeneralConcept};
+use obda_reasoners::Saturation;
+use quonto::{Classification, Implication};
+
+fn implication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implication");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for concepts in [50usize, 100] {
+        let tbox = smoke_spec(concepts, 7).generate();
+        group.bench_with_input(
+            BenchmarkId::new("graph_build", concepts),
+            &tbox,
+            |b, tbox| b.iter(|| Classification::classify(tbox)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("saturation_build", concepts),
+            &tbox,
+            |b, tbox| b.iter(|| Saturation::saturate(tbox)),
+        );
+        // Probe phase over prebuilt artifacts.
+        let cls = Classification::classify(&tbox);
+        let imp = Implication::new(&cls);
+        let probe = Axiom::ConceptIncl(
+            BasicConcept::Atomic(ConceptId(1)),
+            GeneralConcept::Basic(BasicConcept::Atomic(ConceptId(0))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("graph_probe", concepts),
+            &probe,
+            |b, ax| b.iter(|| imp.entails(ax)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, implication);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! A4: end-to-end OBDA answering, virtual vs materialized, Presto vs
+//! PerfectRef, on the university scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mastro::{DataMode, RewritingMode};
+use obda_genont::university_scenario;
+
+fn obda_e2e(c: &mut Criterion) {
+    let scenario = university_scenario(4, 42);
+    let mut group = c.benchmark_group("obda_e2e");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    let modes = [
+        ("presto_virtual", RewritingMode::Presto, DataMode::Virtual),
+        (
+            "perfectref_virtual",
+            RewritingMode::PerfectRef,
+            DataMode::Virtual,
+        ),
+        (
+            "presto_materialized",
+            RewritingMode::Presto,
+            DataMode::Materialized,
+        ),
+    ];
+    for (label, rw, dm) in modes {
+        let mut sys = mastro::demo::build_system(&scenario)
+            .expect("builds")
+            .with_rewriting(rw)
+            .with_data_mode(dm);
+        if dm == DataMode::Materialized {
+            let _ = sys.materialized_abox().expect("materializes");
+        }
+        for qs in &scenario.queries {
+            group.bench_with_input(
+                BenchmarkId::new(label, &qs.name),
+                &qs.text,
+                |b, text| b.iter(|| sys.answer(text).expect("answers")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, obda_e2e);
+criterion_main!(benches);

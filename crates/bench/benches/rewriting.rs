@@ -1,0 +1,28 @@
+//! A2: PerfectRef vs Presto rewriting time on the university query mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mastro::{parse_cq, perfect_ref, presto_rewrite};
+use obda_genont::university_scenario;
+use quonto::Classification;
+
+fn rewriting(c: &mut Criterion) {
+    let scenario = university_scenario(1, 42);
+    let cls = Classification::classify(&scenario.tbox);
+    let mut group = c.benchmark_group("rewriting");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for qs in &scenario.queries {
+        let q = parse_cq(&qs.text, &scenario.tbox.sig).expect("parses");
+        group.bench_with_input(BenchmarkId::new("perfectref", &qs.name), &q, |b, q| {
+            b.iter(|| perfect_ref(q, &scenario.tbox))
+        });
+        group.bench_with_input(BenchmarkId::new("presto", &qs.name), &q, |b, q| {
+            b.iter(|| presto_rewrite(q, &cls))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rewriting);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Workspace-level cross-reasoner validation: the graph-based classifier
+//! against the ALCHI tableau (a *semantically* independent decision
+//! procedure — completion graphs vs reachability), through the OWL
+//! conversion layer.
+
+use obda_bench::quonto_named;
+use obda_dllite::{Axiom, BasicConcept, BasicRole, GeneralConcept, Tbox};
+use obda_genont::random_tbox;
+use obda_owl::{axiom_to_owl, tbox_to_owl};
+use obda_reasoners::{classify_tableau, Budget, Tableau, TableauKb, TableauProfile};
+use quonto::{Classification, Implication};
+
+/// Random TBoxes without attributes (the tableau does not decide
+/// data-property axioms).
+fn random_object_tbox(seed: u64) -> Tbox {
+    random_tbox(seed, 4, 2, 0, 14)
+}
+
+#[test]
+fn classification_matches_tableau_on_random_tboxes() {
+    for seed in 0u64..25 {
+        let tbox = random_object_tbox(seed);
+        let onto = tbox_to_owl(&tbox);
+        let graph = quonto_named(&Classification::classify(&tbox));
+        let tableau = classify_tableau(&onto, TableauProfile::Enhanced, Budget::seconds(120))
+            .expect("small KB within budget");
+        assert_eq!(
+            graph.concept_pairs, tableau.concept_pairs,
+            "seed {seed}: concept pairs"
+        );
+        assert_eq!(
+            graph.unsat_concepts, tableau.unsat_concepts,
+            "seed {seed}: unsat concepts"
+        );
+        assert_eq!(
+            graph.unsat_roles, tableau.unsat_roles,
+            "seed {seed}: unsat roles"
+        );
+    }
+}
+
+#[test]
+fn classification_matches_tableau_on_preset_analogs() {
+    for preset in [
+        obda_genont::presets::mouse(),
+        obda_genont::presets::dolce(),
+        obda_genont::presets::aeo(),
+    ] {
+        let spec = preset.scaled(0.02);
+        let tbox = spec.generate();
+        let onto = tbox_to_owl(&tbox);
+        let graph = quonto_named(&Classification::classify(&tbox));
+        let tableau = classify_tableau(&onto, TableauProfile::Enhanced, Budget::seconds(300))
+            .expect("within budget");
+        assert!(
+            graph.concepts_agree(&tableau),
+            "{}: {} vs {} pairs, unsat {} vs {}",
+            spec.name,
+            graph.concept_pairs.len(),
+            tableau.concept_pairs.len(),
+            graph.unsat_concepts.len(),
+            tableau.unsat_concepts.len()
+        );
+    }
+}
+
+#[test]
+fn implication_matches_tableau_entailment() {
+    for seed in 0u64..20 {
+        let tbox = random_object_tbox(seed.wrapping_add(900));
+        let onto = tbox_to_owl(&tbox);
+        let cls = Classification::classify(&tbox);
+        let imp = Implication::new(&cls);
+        let kb = TableauKb::new(&onto);
+        let mut tab = Tableau::new(&kb);
+        // Probe every axiom shape over the signature.
+        let basics: Vec<BasicConcept> = {
+            let mut out: Vec<BasicConcept> =
+                tbox.sig.concepts().map(BasicConcept::Atomic).collect();
+            for p in tbox.sig.roles() {
+                out.push(BasicConcept::exists(p));
+                out.push(BasicConcept::exists_inv(p));
+            }
+            out
+        };
+        let roles: Vec<BasicRole> = tbox
+            .sig
+            .roles()
+            .flat_map(|p| [BasicRole::Direct(p), BasicRole::Inverse(p)])
+            .collect();
+        let mut probes: Vec<Axiom> = Vec::new();
+        for &b1 in &basics {
+            for &b2 in &basics {
+                probes.push(Axiom::ConceptIncl(b1, GeneralConcept::Basic(b2)));
+                probes.push(Axiom::ConceptIncl(b1, GeneralConcept::Neg(b2)));
+            }
+            for &q in &roles {
+                for a in tbox.sig.concepts() {
+                    probes.push(Axiom::ConceptIncl(b1, GeneralConcept::QualExists(q, a)));
+                }
+            }
+        }
+        for &q1 in &roles {
+            for &q2 in &roles {
+                probes.push(Axiom::role(q1, q2));
+                probes.push(Axiom::role_neg(q1, q2));
+            }
+        }
+        for ax in &probes {
+            let graph_says = imp.entails(ax);
+            let tableau_says = tab
+                .entails(&axiom_to_owl(ax), Budget::seconds(60))
+                .expect("within budget");
+            assert_eq!(
+                graph_says, tableau_says,
+                "seed {seed}: disagreement on {ax:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! The finite deductive closure of a DL-Lite_R/A TBox — "all inclusions
+//! that are inferred by the TBox", the extension the paper describes as
+//! work in progress at the end of Section 5.
+//!
+//! The closure of a DL-Lite TBox is finite because the axiom language is
+//! closed: only finitely many inclusions are expressible over a fixed
+//! signature. We materialize it in three groups:
+//!
+//! * **basic positive inclusions** — exactly `Φ_T` plus, optionally, the
+//!   subsumptions contributed by unsatisfiable predicates (`Ω_T`);
+//! * **qualified existential inclusions** `B ⊑ ∃Q.A` — derived from the
+//!   same two witness rules used by [`crate::implication`], enumerated
+//!   constructively instead of tested per-candidate;
+//! * **negative inclusions** — the pairwise products of the reflexive
+//!   predecessor sets of each asserted negative inclusion's endpoints,
+//!   both orientations.
+//!
+//! Materializing `Ω_T`-induced inclusions is quadratic in the number of
+//! unsatisfiable predicates times the signature size, so it is opt-in via
+//! [`ClosureOptions::include_unsat_subsumptions`].
+
+use std::collections::HashSet;
+
+use obda_dllite::{Axiom, GeneralConcept, GeneralRole};
+
+use crate::classify::Classification;
+use crate::closure::predecessors_reflexive;
+use crate::graph::{NodeId, NodeKind, NodeSort};
+use crate::phi::compute_phi;
+
+/// Options controlling how much of the deductive closure is materialized.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClosureOptions {
+    /// Also emit the subsumptions `S ⊑ S'` and disjointness `S ⊑ ¬S'`
+    /// that hold solely because `S` is unsatisfiable. Off by default —
+    /// these are trivial and quadratic in volume.
+    pub include_unsat_subsumptions: bool,
+}
+
+/// Computes the deductive closure of the TBox behind `cls`, deduplicated,
+/// in deterministic order.
+pub fn deductive_closure(cls: &Classification, opts: ClosureOptions) -> Vec<Axiom> {
+    let g = cls.graph();
+    let closure = cls.closure();
+    let unsat = cls.unsat();
+    let mut seen: HashSet<Axiom> = HashSet::new();
+    let mut out: Vec<Axiom> = Vec::new();
+    let push = |ax: Axiom, seen: &mut HashSet<Axiom>, out: &mut Vec<Axiom>| {
+        if seen.insert(ax) {
+            out.push(ax);
+        }
+    };
+
+    // Group 1: Φ_T (skips unsatisfiable left-hand sides when they will be
+    // covered by the unsat group, keeps them otherwise — Φ_T is defined
+    // over the positive part regardless of satisfiability).
+    for ax in compute_phi(g, closure) {
+        push(ax, &mut seen, &mut out);
+    }
+
+    // Group 2: qualified existential inclusions.
+    // Rule 1: for each basic role Q₀, every B₁ ⊑* ∃Q₀, every Q ⊒* Q₀,
+    // every atomic A ⊒* ∃Q₀⁻ yields B₁ ⊑ ∃Q.A.
+    let basic_roles: Vec<obda_dllite::BasicRole> = (0..g.num_roles())
+        .flat_map(|p| {
+            [
+                obda_dllite::BasicRole::Direct(obda_dllite::RoleId(p)),
+                obda_dllite::BasicRole::Inverse(obda_dllite::RoleId(p)),
+            ]
+        })
+        .collect();
+    for &q0 in &basic_roles {
+        let exists_node = g.role_exists_node(q0);
+        let range_node = g.role_exists_node(q0.inverse());
+        let fillers: Vec<obda_dllite::ConceptId> = closure
+            .successors(range_node)
+            .iter()
+            .filter_map(|&v| match g.node_kind(NodeId(v)) {
+                NodeKind::Concept(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        if fillers.is_empty() {
+            continue;
+        }
+        let mut supers: Vec<obda_dllite::BasicRole> = vec![q0];
+        supers.extend(
+            closure
+                .successors(g.role_node(q0))
+                .iter()
+                .filter_map(|&v| match g.node_kind(NodeId(v)) {
+                    NodeKind::Role(p, inv) => Some(if inv {
+                        obda_dllite::BasicRole::Inverse(p)
+                    } else {
+                        obda_dllite::BasicRole::Direct(p)
+                    }),
+                    _ => None,
+                }),
+        );
+        supers.dedup();
+        for lhs_id in predecessors_reflexive(g, exists_node) {
+            let lhs_node = NodeId(lhs_id);
+            if g.node_sort(lhs_node) != NodeSort::Concept {
+                continue;
+            }
+            let lhs = g.node_as_concept(lhs_node);
+            for &q in &supers {
+                for &a in &fillers {
+                    push(
+                        Axiom::ConceptIncl(lhs, GeneralConcept::QualExists(q, a)),
+                        &mut seen,
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+    // Rule 2: weaken each asserted B ⊑ ∃Q₀.A₀ along all three positions.
+    for qa in &g.qual_axioms {
+        let mut supers: Vec<obda_dllite::BasicRole> = vec![qa.role];
+        supers.extend(
+            closure
+                .successors(g.role_node(qa.role))
+                .iter()
+                .filter_map(|&v| match g.node_kind(NodeId(v)) {
+                    NodeKind::Role(p, inv) => Some(if inv {
+                        obda_dllite::BasicRole::Inverse(p)
+                    } else {
+                        obda_dllite::BasicRole::Direct(p)
+                    }),
+                    _ => None,
+                }),
+        );
+        supers.dedup();
+        let mut fillers: Vec<obda_dllite::ConceptId> = vec![qa.filler];
+        fillers.extend(
+            closure
+                .successors(g.atomic_node(qa.filler))
+                .iter()
+                .filter_map(|&v| match g.node_kind(NodeId(v)) {
+                    NodeKind::Concept(a) => Some(a),
+                    _ => None,
+                }),
+        );
+        fillers.dedup();
+        for lhs_id in predecessors_reflexive(g, qa.lhs) {
+            let lhs_node = NodeId(lhs_id);
+            if g.node_sort(lhs_node) != NodeSort::Concept {
+                continue;
+            }
+            let lhs = g.node_as_concept(lhs_node);
+            for &q in &supers {
+                for &a in &fillers {
+                    push(
+                        Axiom::ConceptIncl(lhs, GeneralConcept::QualExists(q, a)),
+                        &mut seen,
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+
+    // Group 3: negative inclusions from asserted NI endpoints.
+    for np in g.neg_pairs_expanded() {
+        let lefts = predecessors_reflexive(g, np.lhs);
+        let rights = predecessors_reflexive(g, np.rhs);
+        for &l in &lefts {
+            for &r in &rights {
+                let (ln, rn) = (NodeId(l), NodeId(r));
+                for (s1, s2) in [(ln, rn), (rn, ln)] {
+                    let ax = match g.node_sort(s1) {
+                        NodeSort::Concept => Axiom::ConceptIncl(
+                            g.node_as_concept(s1),
+                            GeneralConcept::Neg(g.node_as_concept(s2)),
+                        ),
+                        NodeSort::Role => Axiom::RoleIncl(
+                            g.node_as_role(s1),
+                            GeneralRole::Neg(g.node_as_role(s2)),
+                        ),
+                        NodeSort::Attr => match (g.node_kind(s1), g.node_kind(s2)) {
+                            (NodeKind::Attr(u1), NodeKind::Attr(u2)) => {
+                                Axiom::AttrNegIncl(u1, u2)
+                            }
+                            other => unreachable!("attr NI over {other:?}"),
+                        },
+                    };
+                    push(ax, &mut seen, &mut out);
+                }
+            }
+        }
+    }
+
+    // Optional group: subsumptions contributed by unsatisfiable nodes.
+    if opts.include_unsat_subsumptions {
+        for &v in unsat.members() {
+            let n = NodeId(v);
+            for m in g.nodes() {
+                if g.node_sort(m) != g.node_sort(n) {
+                    continue;
+                }
+                let (pos, neg, neg_rev) = match g.node_sort(n) {
+                    NodeSort::Concept => {
+                        let (b1, b2) = (g.node_as_concept(n), g.node_as_concept(m));
+                        (
+                            Axiom::ConceptIncl(b1, GeneralConcept::Basic(b2)),
+                            Axiom::ConceptIncl(b1, GeneralConcept::Neg(b2)),
+                            Axiom::ConceptIncl(b2, GeneralConcept::Neg(b1)),
+                        )
+                    }
+                    NodeSort::Role => {
+                        let (q1, q2) = (g.node_as_role(n), g.node_as_role(m));
+                        (
+                            Axiom::RoleIncl(q1, GeneralRole::Basic(q2)),
+                            Axiom::RoleIncl(q1, GeneralRole::Neg(q2)),
+                            Axiom::RoleIncl(q2, GeneralRole::Neg(q1)),
+                        )
+                    }
+                    NodeSort::Attr => match (g.node_kind(n), g.node_kind(m)) {
+                        (NodeKind::Attr(u1), NodeKind::Attr(u2)) => (
+                            Axiom::AttrIncl(u1, u2),
+                            Axiom::AttrNegIncl(u1, u2),
+                            Axiom::AttrNegIncl(u2, u1),
+                        ),
+                        other => unreachable!("attr pair over {other:?}"),
+                    },
+                };
+                if m != n {
+                    // S ⊑ S is trivially true and never materialized; the
+                    // self *negative* pair S ⊑ ¬S below is the canonical
+                    // witness of unsatisfiability and is kept.
+                    push(pos, &mut seen, &mut out);
+                    // Disjointness with the empty predicate holds in both
+                    // orientations.
+                    push(neg_rev, &mut seen, &mut out);
+                }
+                push(neg, &mut seen, &mut out);
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implication::Implication;
+    use obda_dllite::parse_tbox;
+
+    fn closure_axioms(src: &str, opts: ClosureOptions) -> (obda_dllite::Tbox, Vec<Axiom>) {
+        let t = parse_tbox(src).unwrap();
+        let cls = Classification::classify(&t);
+        let out = deductive_closure(&cls, opts);
+        (t, out)
+    }
+
+    #[test]
+    fn closure_axioms_are_all_entailed() {
+        let src = "concept A B C\nrole p q\nA [= B\nB [= exists p . C\np [= q\nA [= not C";
+        let t = parse_tbox(src).unwrap();
+        let cls = Classification::classify(&t);
+        let imp = Implication::new(&cls);
+        for ax in deductive_closure(&cls, ClosureOptions::default()) {
+            assert!(imp.entails(&ax), "{ax:?} not entailed");
+        }
+    }
+
+    #[test]
+    fn qualified_weakenings_appear() {
+        let src = "concept A B C C2\nrole p q\nA [= B\nB [= exists p . C\nC [= C2\np [= q";
+        let (t, axs) = closure_axioms(src, ClosureOptions::default());
+        let a = t.sig.find_concept("A").unwrap();
+        let c2 = t.sig.find_concept("C2").unwrap();
+        let q = t.sig.find_role("q").unwrap();
+        let want = Axiom::ConceptIncl(
+            a.into(),
+            GeneralConcept::QualExists(obda_dllite::BasicRole::Direct(q), c2),
+        );
+        assert!(axs.contains(&want), "missing A ⊑ ∃q.C2");
+    }
+
+    #[test]
+    fn range_forcing_rule_appears() {
+        let src = "concept A B\nrole p\nA [= exists p\nexists inv(p) [= B";
+        let (t, axs) = closure_axioms(src, ClosureOptions::default());
+        let a = t.sig.find_concept("A").unwrap();
+        let b = t.sig.find_concept("B").unwrap();
+        let p = t.sig.find_role("p").unwrap();
+        let want = Axiom::ConceptIncl(
+            a.into(),
+            GeneralConcept::QualExists(obda_dllite::BasicRole::Direct(p), b),
+        );
+        assert!(axs.contains(&want));
+    }
+
+    #[test]
+    fn negative_closure_is_symmetric() {
+        let src = "concept A B C\nA [= not B\nC [= A";
+        let (t, axs) = closure_axioms(src, ClosureOptions::default());
+        let b = t.sig.find_concept("B").unwrap();
+        let c = t.sig.find_concept("C").unwrap();
+        assert!(axs.contains(&Axiom::concept_neg(c, b)));
+        assert!(axs.contains(&Axiom::concept_neg(b, c)));
+    }
+
+    #[test]
+    fn unsat_subsumptions_are_opt_in() {
+        let src = "concept A B C D\nA [= B\nA [= C\nB [= not C";
+        let (t, default_axs) = closure_axioms(src, ClosureOptions::default());
+        let (_, full_axs) = closure_axioms(
+            src,
+            ClosureOptions {
+                include_unsat_subsumptions: true,
+            },
+        );
+        let a = t.sig.find_concept("A").unwrap();
+        let b = t.sig.find_concept("B").unwrap();
+        let d = t.sig.find_concept("D").unwrap();
+        assert!(default_axs.contains(&Axiom::concept(a, b)));
+        // A ⊑ ¬A *is* in the default closure: it follows from the asserted
+        // disjointness B ⊑ ¬C through A ⊑ B, A ⊑ C.
+        assert!(default_axs.contains(&Axiom::concept_neg(a, a)));
+        // A ⊑ D, however, holds solely because A is unsatisfiable: D is
+        // unreachable from A in the digraph.
+        let only_unsat = Axiom::concept(a, d);
+        assert!(!default_axs.contains(&only_unsat));
+        assert!(full_axs.contains(&only_unsat));
+        assert!(full_axs.len() > default_axs.len());
+    }
+
+    #[test]
+    fn closure_of_empty_tbox_is_empty() {
+        let (_, axs) = closure_axioms("concept A B\nrole p", ClosureOptions::default());
+        assert!(axs.is_empty());
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let src = "concept A B C\nrole p q\nA [= B\nB [= exists p . C\np [= q\nA [= not C";
+        let (_, axs) = closure_axioms(src, ClosureOptions::default());
+        let set: std::collections::HashSet<_> = axs.iter().collect();
+        assert_eq!(set.len(), axs.len());
+    }
+}

@@ -1,0 +1,574 @@
+//! The digraph representation of a DL-Lite_R/A TBox (Definition 1 of the
+//! paper).
+//!
+//! Every *basic* expression of the TBox signature becomes a node:
+//!
+//! * one node per atomic concept `A`;
+//! * four nodes per atomic role `P`: `P`, `P⁻`, `∃P`, `∃P⁻`;
+//! * two nodes per attribute `U`: `U` and its domain `δ(U)` (the DL-Lite_A
+//!   extension of the paper's construction).
+//!
+//! Every *positive inclusion* becomes one or more arcs:
+//!
+//! * `B₁ ⊑ B₂` → arc `(B₁, B₂)`;
+//! * `Q₁ ⊑ Q₂` → arcs `(Q₁, Q₂)`, `(Q₁⁻, Q₂⁻)`, `(∃Q₁, ∃Q₂)`,
+//!   `(∃Q₁⁻, ∃Q₂⁻)`;
+//! * `B ⊑ ∃Q.A` → arc `(B, ∃Q)` (the qualified existential weakens to its
+//!   unqualified form; the qualifier is kept aside in
+//!   [`TboxGraph::qual_axioms`] for `computeUnsat` and the full closure);
+//! * `U₁ ⊑ U₂` → arcs `(U₁, U₂)`, `(δ(U₁), δ(U₂))`.
+//!
+//! Negative inclusions contribute no arcs; they are collected in
+//! [`TboxGraph::neg_pairs`] for `computeUnsat`.
+//!
+//! Arcs never cross sorts: concept-sort nodes (`A`, `∃Q`, `δ(U)`) only
+//! point to concept-sort nodes, role-sort nodes to role-sort nodes and
+//! attribute nodes to attribute nodes. This invariant is what lets
+//! Theorem 1 read subsumptions directly off the reachability relation.
+
+use obda_dllite::{
+    Axiom, BasicConcept, BasicRole, GeneralConcept, GeneralRole, Tbox,
+};
+use obda_dllite::{AttributeId, ConceptId, RoleId};
+
+/// A node of the digraph, identified by a dense index (see
+/// [`TboxGraph::node_id`] for the layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Decoded meaning of a [`NodeId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Atomic concept `A`.
+    Concept(ConceptId),
+    /// Basic role `P` (`inverse == false`) or `P⁻` (`inverse == true`).
+    Role(RoleId, bool),
+    /// Unqualified existential `∃P` / `∃P⁻`.
+    Exists(RoleId, bool),
+    /// Attribute `U`.
+    Attr(AttributeId),
+    /// Attribute domain `δ(U)`.
+    AttrDomain(AttributeId),
+}
+
+/// Sort of a node; arcs never cross sorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeSort {
+    /// Concept-sort: `A`, `∃Q`, `δ(U)`.
+    Concept,
+    /// Role-sort: `Q`.
+    Role,
+    /// Attribute-sort: `U`.
+    Attr,
+}
+
+/// A qualified existential axiom `B ⊑ ∃Q.A`, kept alongside the graph
+/// because its qualifier is invisible to pure reachability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QualAxiom {
+    /// Node of the left-hand side `B`.
+    pub lhs: NodeId,
+    /// The basic role `Q` of the restriction.
+    pub role: BasicRole,
+    /// The atomic qualifier concept `A`.
+    pub filler: ConceptId,
+}
+
+/// A negative inclusion `S₁ ⊑ ¬S₂` as a pair of (same-sort) nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NegPair {
+    /// Node of `S₁`.
+    pub lhs: NodeId,
+    /// Node of `S₂`.
+    pub rhs: NodeId,
+}
+
+/// The digraph representation `G_T` of a TBox (Definition 1).
+#[derive(Debug, Clone)]
+pub struct TboxGraph {
+    num_concepts: u32,
+    num_roles: u32,
+    num_attributes: u32,
+    /// Forward adjacency lists (deduplicated, unsorted).
+    succ: Vec<Vec<u32>>,
+    /// Reverse adjacency lists (deduplicated, unsorted).
+    pred: Vec<Vec<u32>>,
+    /// All `B ⊑ ∃Q.A` axioms.
+    pub qual_axioms: Vec<QualAxiom>,
+    /// All negative inclusions as node pairs. Role disjointness
+    /// `Q₁ ⊑ ¬Q₂` is recorded once; its inverse variant `Q₁⁻ ⊑ ¬Q₂⁻`
+    /// is implicit and handled by consumers through
+    /// [`TboxGraph::neg_pairs_expanded`].
+    pub neg_pairs: Vec<NegPair>,
+    num_edges: usize,
+}
+
+impl TboxGraph {
+    /// Builds the digraph representation of `tbox` per Definition 1.
+    pub fn build(tbox: &Tbox) -> Self {
+        let nc = tbox.sig.num_concepts() as u32;
+        let nr = tbox.sig.num_roles() as u32;
+        let na = tbox.sig.num_attributes() as u32;
+        let n = (nc + 4 * nr + 2 * na) as usize;
+        let mut g = TboxGraph {
+            num_concepts: nc,
+            num_roles: nr,
+            num_attributes: na,
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+            qual_axioms: Vec::new(),
+            neg_pairs: Vec::new(),
+            num_edges: 0,
+        };
+        for ax in tbox.axioms() {
+            match *ax {
+                Axiom::ConceptIncl(lhs, rhs) => {
+                    let l = g.concept_node(lhs);
+                    match rhs {
+                        GeneralConcept::Basic(b) => g.add_edge(l, g.concept_node(b)),
+                        GeneralConcept::Neg(b) => {
+                            let r = g.concept_node(b);
+                            g.neg_pairs.push(NegPair { lhs: l, rhs: r });
+                        }
+                        GeneralConcept::QualExists(q, a) => {
+                            g.add_edge(l, g.role_exists_node(q));
+                            g.qual_axioms.push(QualAxiom {
+                                lhs: l,
+                                role: q,
+                                filler: a,
+                            });
+                        }
+                    }
+                }
+                Axiom::RoleIncl(q1, rhs) => match rhs {
+                    GeneralRole::Basic(q2) => {
+                        g.add_edge(g.role_node(q1), g.role_node(q2));
+                        g.add_edge(g.role_node(q1.inverse()), g.role_node(q2.inverse()));
+                        g.add_edge(g.role_exists_node(q1), g.role_exists_node(q2));
+                        g.add_edge(
+                            g.role_exists_node(q1.inverse()),
+                            g.role_exists_node(q2.inverse()),
+                        );
+                    }
+                    GeneralRole::Neg(q2) => {
+                        g.neg_pairs.push(NegPair {
+                            lhs: g.role_node(q1),
+                            rhs: g.role_node(q2),
+                        });
+                    }
+                },
+                Axiom::AttrIncl(u1, u2) => {
+                    g.add_edge(g.attr_node(u1), g.attr_node(u2));
+                    g.add_edge(g.attr_domain_node(u1), g.attr_domain_node(u2));
+                }
+                Axiom::AttrNegIncl(u1, u2) => {
+                    g.neg_pairs.push(NegPair {
+                        lhs: g.attr_node(u1),
+                        rhs: g.attr_node(u2),
+                    });
+                }
+            }
+        }
+        g.dedup_edges();
+        g
+    }
+
+    /// Inserts a single axiom into an already-built graph, returning the
+    /// (deduplicated) new arcs — the entry point of incremental
+    /// classification. The axiom must range over the existing signature.
+    pub fn insert_axiom(&mut self, ax: &Axiom) -> Vec<(NodeId, NodeId)> {
+        let mut new_edges = Vec::new();
+        let add = |g: &mut Self, from: NodeId, to: NodeId, out: &mut Vec<(NodeId, NodeId)>| {
+            if from == to || g.succ[from.index()].contains(&to.0) {
+                return;
+            }
+            g.succ[from.index()].push(to.0);
+            g.pred[to.index()].push(from.0);
+            g.num_edges += 1;
+            out.push((from, to));
+        };
+        match *ax {
+            Axiom::ConceptIncl(lhs, rhs) => {
+                let l = self.concept_node(lhs);
+                match rhs {
+                    GeneralConcept::Basic(b) => {
+                        let r = self.concept_node(b);
+                        add(self, l, r, &mut new_edges);
+                    }
+                    GeneralConcept::Neg(b) => {
+                        let r = self.concept_node(b);
+                        let np = NegPair { lhs: l, rhs: r };
+                        if !self.neg_pairs.contains(&np) {
+                            self.neg_pairs.push(np);
+                        }
+                    }
+                    GeneralConcept::QualExists(q, a) => {
+                        let r = self.role_exists_node(q);
+                        add(self, l, r, &mut new_edges);
+                        let qa = QualAxiom {
+                            lhs: l,
+                            role: q,
+                            filler: a,
+                        };
+                        if !self.qual_axioms.contains(&qa) {
+                            self.qual_axioms.push(qa);
+                        }
+                    }
+                }
+            }
+            Axiom::RoleIncl(q1, rhs) => match rhs {
+                GeneralRole::Basic(q2) => {
+                    let pairs = [
+                        (self.role_node(q1), self.role_node(q2)),
+                        (self.role_node(q1.inverse()), self.role_node(q2.inverse())),
+                        (self.role_exists_node(q1), self.role_exists_node(q2)),
+                        (
+                            self.role_exists_node(q1.inverse()),
+                            self.role_exists_node(q2.inverse()),
+                        ),
+                    ];
+                    for (f, t) in pairs {
+                        add(self, f, t, &mut new_edges);
+                    }
+                }
+                GeneralRole::Neg(q2) => {
+                    let np = NegPair {
+                        lhs: self.role_node(q1),
+                        rhs: self.role_node(q2),
+                    };
+                    if !self.neg_pairs.contains(&np) {
+                        self.neg_pairs.push(np);
+                    }
+                }
+            },
+            Axiom::AttrIncl(u1, u2) => {
+                let pairs = [
+                    (self.attr_node(u1), self.attr_node(u2)),
+                    (self.attr_domain_node(u1), self.attr_domain_node(u2)),
+                ];
+                for (f, t) in pairs {
+                    add(self, f, t, &mut new_edges);
+                }
+            }
+            Axiom::AttrNegIncl(u1, u2) => {
+                let np = NegPair {
+                    lhs: self.attr_node(u1),
+                    rhs: self.attr_node(u2),
+                };
+                if !self.neg_pairs.contains(&np) {
+                    self.neg_pairs.push(np);
+                }
+            }
+        }
+        new_edges
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        if from == to {
+            // Tautological S ⊑ S arcs carry no information and would make
+            // the closure engines disagree on self-reachability.
+            return;
+        }
+        self.succ[from.index()].push(to.0);
+        self.pred[to.index()].push(from.0);
+        self.num_edges += 1;
+    }
+
+    fn dedup_edges(&mut self) {
+        let mut removed = 0usize;
+        for list in self.succ.iter_mut().chain(self.pred.iter_mut()) {
+            let before = list.len();
+            list.sort_unstable();
+            list.dedup();
+            removed += before - list.len();
+        }
+        // Each duplicate edge was counted once in succ and once in pred.
+        self.num_edges -= removed / 2;
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of distinct arcs.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Direct successors of a node.
+    #[inline]
+    pub fn successors(&self, n: NodeId) -> &[u32] {
+        &self.succ[n.index()]
+    }
+
+    /// Direct predecessors of a node.
+    #[inline]
+    pub fn predecessors(&self, n: NodeId) -> &[u32] {
+        &self.pred[n.index()]
+    }
+
+    /// Node of an atomic concept.
+    #[inline]
+    pub fn atomic_node(&self, a: ConceptId) -> NodeId {
+        NodeId(a.0)
+    }
+
+    /// Node of a basic role.
+    #[inline]
+    pub fn role_node(&self, q: BasicRole) -> NodeId {
+        let base = self.num_concepts + 4 * q.role().0;
+        NodeId(base + q.is_inverse() as u32)
+    }
+
+    /// Node of the unqualified existential `∃Q`.
+    #[inline]
+    pub fn role_exists_node(&self, q: BasicRole) -> NodeId {
+        let base = self.num_concepts + 4 * q.role().0;
+        NodeId(base + 2 + q.is_inverse() as u32)
+    }
+
+    /// Node of an attribute.
+    #[inline]
+    pub fn attr_node(&self, u: AttributeId) -> NodeId {
+        NodeId(self.num_concepts + 4 * self.num_roles + 2 * u.0)
+    }
+
+    /// Node of an attribute domain `δ(U)`.
+    #[inline]
+    pub fn attr_domain_node(&self, u: AttributeId) -> NodeId {
+        NodeId(self.num_concepts + 4 * self.num_roles + 2 * u.0 + 1)
+    }
+
+    /// Node of any basic concept.
+    pub fn concept_node(&self, b: BasicConcept) -> NodeId {
+        match b {
+            BasicConcept::Atomic(a) => self.atomic_node(a),
+            BasicConcept::Exists(q) => self.role_exists_node(q),
+            BasicConcept::AttrDomain(u) => self.attr_domain_node(u),
+        }
+    }
+
+    /// Decodes a node id back to its meaning.
+    pub fn node_kind(&self, n: NodeId) -> NodeKind {
+        let i = n.0;
+        if i < self.num_concepts {
+            NodeKind::Concept(ConceptId(i))
+        } else if i < self.num_concepts + 4 * self.num_roles {
+            let off = i - self.num_concepts;
+            let p = RoleId(off / 4);
+            match off % 4 {
+                0 => NodeKind::Role(p, false),
+                1 => NodeKind::Role(p, true),
+                2 => NodeKind::Exists(p, false),
+                _ => NodeKind::Exists(p, true),
+            }
+        } else {
+            let off = i - self.num_concepts - 4 * self.num_roles;
+            let u = AttributeId(off / 2);
+            if off.is_multiple_of(2) {
+                NodeKind::Attr(u)
+            } else {
+                NodeKind::AttrDomain(u)
+            }
+        }
+    }
+
+    /// Sort of a node.
+    pub fn node_sort(&self, n: NodeId) -> NodeSort {
+        match self.node_kind(n) {
+            NodeKind::Concept(_) | NodeKind::Exists(_, _) | NodeKind::AttrDomain(_) => {
+                NodeSort::Concept
+            }
+            NodeKind::Role(_, _) => NodeSort::Role,
+            NodeKind::Attr(_) => NodeSort::Attr,
+        }
+    }
+
+    /// The basic-role value of a role-sort node.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a role-sort node.
+    pub fn node_as_role(&self, n: NodeId) -> BasicRole {
+        match self.node_kind(n) {
+            NodeKind::Role(p, false) => BasicRole::Direct(p),
+            NodeKind::Role(p, true) => BasicRole::Inverse(p),
+            other => panic!("node {n:?} is not a role node: {other:?}"),
+        }
+    }
+
+    /// The basic-concept value of a concept-sort node.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a concept-sort node.
+    pub fn node_as_concept(&self, n: NodeId) -> BasicConcept {
+        match self.node_kind(n) {
+            NodeKind::Concept(a) => BasicConcept::Atomic(a),
+            NodeKind::Exists(p, false) => BasicConcept::exists(p),
+            NodeKind::Exists(p, true) => BasicConcept::exists_inv(p),
+            NodeKind::AttrDomain(u) => BasicConcept::AttrDomain(u),
+            other => panic!("node {n:?} is not a concept node: {other:?}"),
+        }
+    }
+
+    /// All negative inclusions, with the implicit inverse variant of each
+    /// role disjointness (`Q₁ ⊑ ¬Q₂ ⊨ Q₁⁻ ⊑ ¬Q₂⁻`) made explicit.
+    pub fn neg_pairs_expanded(&self) -> Vec<NegPair> {
+        let mut out = Vec::with_capacity(self.neg_pairs.len() * 2);
+        for &np in &self.neg_pairs {
+            out.push(np);
+            if self.node_sort(np.lhs) == NodeSort::Role {
+                let q1 = self.node_as_role(np.lhs).inverse();
+                let q2 = self.node_as_role(np.rhs).inverse();
+                out.push(NegPair {
+                    lhs: self.role_node(q1),
+                    rhs: self.role_node(q2),
+                });
+            }
+        }
+        out
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Number of atomic concepts in the underlying signature.
+    pub fn num_concepts(&self) -> u32 {
+        self.num_concepts
+    }
+
+    /// Number of atomic roles in the underlying signature.
+    pub fn num_roles(&self) -> u32 {
+        self.num_roles
+    }
+
+    /// Number of attributes in the underlying signature.
+    pub fn num_attributes(&self) -> u32 {
+        self.num_attributes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::parse_tbox;
+
+    #[test]
+    fn node_encoding_roundtrips() {
+        let t = parse_tbox("concept A B\nrole p r\nattribute u\nA [= B").unwrap();
+        let g = TboxGraph::build(&t);
+        for n in g.nodes() {
+            let kind = g.node_kind(n);
+            let back = match kind {
+                NodeKind::Concept(a) => g.atomic_node(a),
+                NodeKind::Role(p, inv) => g.role_node(if inv {
+                    BasicRole::Inverse(p)
+                } else {
+                    BasicRole::Direct(p)
+                }),
+                NodeKind::Exists(p, inv) => g.role_exists_node(if inv {
+                    BasicRole::Inverse(p)
+                } else {
+                    BasicRole::Direct(p)
+                }),
+                NodeKind::Attr(u) => g.attr_node(u),
+                NodeKind::AttrDomain(u) => g.attr_domain_node(u),
+            };
+            assert_eq!(n, back);
+        }
+        // 2 concepts + 4*2 role nodes + 2 attr nodes.
+        assert_eq!(g.num_nodes(), 12);
+    }
+
+    #[test]
+    fn role_inclusion_expands_to_four_arcs() {
+        let t = parse_tbox("role p r\np [= r").unwrap();
+        let g = TboxGraph::build(&t);
+        assert_eq!(g.num_edges(), 4);
+        let p = t.sig.find_role("p").unwrap();
+        let r = t.sig.find_role("r").unwrap();
+        let pd = BasicRole::Direct(p);
+        let rd = BasicRole::Direct(r);
+        assert!(g.successors(g.role_node(pd)).contains(&g.role_node(rd).0));
+        assert!(g
+            .successors(g.role_node(pd.inverse()))
+            .contains(&g.role_node(rd.inverse()).0));
+        assert!(g
+            .successors(g.role_exists_node(pd))
+            .contains(&g.role_exists_node(rd).0));
+        assert!(g
+            .successors(g.role_exists_node(pd.inverse()))
+            .contains(&g.role_exists_node(rd.inverse()).0));
+    }
+
+    #[test]
+    fn qualified_existential_contributes_arc_and_record() {
+        let t = parse_tbox("concept A B\nrole p\nA [= exists p . B").unwrap();
+        let g = TboxGraph::build(&t);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.qual_axioms.len(), 1);
+        let a = t.sig.find_concept("A").unwrap();
+        let p = t.sig.find_role("p").unwrap();
+        let q = g.qual_axioms[0];
+        assert_eq!(q.lhs, g.atomic_node(a));
+        assert_eq!(q.role, BasicRole::Direct(p));
+        assert!(g
+            .successors(g.atomic_node(a))
+            .contains(&g.role_exists_node(BasicRole::Direct(p)).0));
+    }
+
+    #[test]
+    fn negative_inclusions_are_not_arcs() {
+        let t = parse_tbox("concept A B\nA [= not B").unwrap();
+        let g = TboxGraph::build(&t);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neg_pairs.len(), 1);
+    }
+
+    #[test]
+    fn role_disjointness_expands_inverse_variant() {
+        let t = parse_tbox("role p r\np [= not r").unwrap();
+        let g = TboxGraph::build(&t);
+        let expanded = g.neg_pairs_expanded();
+        assert_eq!(expanded.len(), 2);
+        let p = t.sig.find_role("p").unwrap();
+        assert_eq!(
+            g.node_as_role(expanded[1].lhs),
+            BasicRole::Inverse(p)
+        );
+    }
+
+    #[test]
+    fn duplicate_axioms_yield_single_arc() {
+        // Same arc contributed by two different axioms.
+        let t = parse_tbox("concept A B\nrole p\nA [= exists p . B\nA [= exists p").unwrap();
+        let g = TboxGraph::build(&t);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn arcs_stay_within_sort() {
+        let t = parse_tbox(
+            "concept A B\nrole p r\nattribute u w\nA [= B\np [= r\nu [= w\nA [= exists p\ndomain(u) [= A",
+        )
+        .unwrap();
+        let g = TboxGraph::build(&t);
+        for n in g.nodes() {
+            for &s in g.successors(n) {
+                assert_eq!(g.node_sort(n), g.node_sort(NodeId(s)));
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Graph-based logical implication: deciding `T ⊨ α` for a DL-Lite_R/A
+//! axiom `α` directly from the classification artifacts, without
+//! materializing the deductive closure (the second research direction of
+//! Section 5 of the paper).
+//!
+//! The decision rules, given the closure `⊑*` (reflexive reachability),
+//! the unsatisfiable-node set and the recorded qualified axioms:
+//!
+//! * `B₁ ⊑ B₂` — `B₁` unsatisfiable, or `B₁ ⊑* B₂`;
+//! * `Q₁ ⊑ Q₂` — `Q₁` unsatisfiable, or `Q₁ ⊑* Q₂`;
+//! * `B₁ ⊑ ∃Q.A` — `B₁` unsatisfiable, or there is a basic role `Q₀`
+//!   with `Q₀ ⊑* Q` such that either
+//!   1. `B₁ ⊑* ∃Q₀` and `∃Q₀⁻ ⊑* A` (an unqualified witness whose range
+//!      is forced into `A`), or
+//!   2. some asserted `B ⊑ ∃Q₀.A₀` has `B₁ ⊑* B` and `A₀ ⊑* A`;
+//! * `B₁ ⊑ ¬B₂` — either side unsatisfiable, or some negative inclusion
+//!   `S₁ ⊑ ¬S₂` (inverse-expanded) has `{B₁ ⊑* S₁, B₂ ⊑* S₂}` or the
+//!   symmetric match (disjointness is symmetric);
+//! * role and attribute disjointness — as the previous rule over
+//!   role/attribute negative pairs;
+//! * `U₁ ⊑ U₂` — `U₁` unsatisfiable or `U₁ ⊑* U₂`.
+//!
+//! These rules are cross-validated against the independent saturation
+//! reasoner and the ALCHI tableau in the workspace test suites.
+
+use obda_dllite::{Axiom, BasicConcept, ConceptId, GeneralConcept, GeneralRole};
+
+use crate::classify::Classification;
+use crate::graph::NodeId;
+
+/// Logical-implication service over a finished [`Classification`].
+#[derive(Debug, Clone, Copy)]
+pub struct Implication<'a> {
+    cls: &'a Classification,
+}
+
+impl<'a> Implication<'a> {
+    /// Wraps a classification.
+    pub fn new(cls: &'a Classification) -> Self {
+        Implication { cls }
+    }
+
+    /// Decides `T ⊨ α`.
+    pub fn entails(&self, ax: &Axiom) -> bool {
+        let g = self.cls.graph();
+        let closure = self.cls.closure();
+        let unsat = self.cls.unsat();
+        match *ax {
+            Axiom::ConceptIncl(b1, GeneralConcept::Basic(b2)) => {
+                let n1 = g.concept_node(b1);
+                unsat.contains(n1) || closure.reaches(n1, g.concept_node(b2))
+            }
+            Axiom::ConceptIncl(b1, GeneralConcept::Neg(b2)) => {
+                let n1 = g.concept_node(b1);
+                let n2 = g.concept_node(b2);
+                if unsat.contains(n1) || unsat.contains(n2) {
+                    return true;
+                }
+                self.neg_match(n1, n2)
+            }
+            Axiom::ConceptIncl(b1, GeneralConcept::QualExists(q, a)) => {
+                self.entails_qual_exists(b1, q, a)
+            }
+            Axiom::RoleIncl(q1, GeneralRole::Basic(q2)) => {
+                let n1 = g.role_node(q1);
+                unsat.contains(n1) || closure.reaches(n1, g.role_node(q2))
+            }
+            Axiom::RoleIncl(q1, GeneralRole::Neg(q2)) => {
+                let n1 = g.role_node(q1);
+                let n2 = g.role_node(q2);
+                if unsat.contains(n1) || unsat.contains(n2) {
+                    return true;
+                }
+                self.neg_match(n1, n2)
+            }
+            Axiom::AttrIncl(u1, u2) => {
+                let n1 = g.attr_node(u1);
+                unsat.contains(n1) || closure.reaches(n1, g.attr_node(u2))
+            }
+            Axiom::AttrNegIncl(u1, u2) => {
+                let n1 = g.attr_node(u1);
+                let n2 = g.attr_node(u2);
+                if unsat.contains(n1) || unsat.contains(n2) {
+                    return true;
+                }
+                self.neg_match(n1, n2)
+            }
+        }
+    }
+
+    /// Whether some (inverse-expanded) negative inclusion covers the pair
+    /// `(n1, n2)` in either orientation.
+    fn neg_match(&self, n1: NodeId, n2: NodeId) -> bool {
+        let g = self.cls.graph();
+        let closure = self.cls.closure();
+        g.neg_pairs_expanded().iter().any(|np| {
+            (closure.reaches(n1, np.lhs) && closure.reaches(n2, np.rhs))
+                || (closure.reaches(n1, np.rhs) && closure.reaches(n2, np.lhs))
+        })
+    }
+
+    /// Decides `T ⊨ B₁ ⊑ ∃Q.A` via the two witness rules.
+    fn entails_qual_exists(
+        &self,
+        b1: BasicConcept,
+        q: obda_dllite::BasicRole,
+        a: ConceptId,
+    ) -> bool {
+        let g = self.cls.graph();
+        let closure = self.cls.closure();
+        let unsat = self.cls.unsat();
+        let n1 = g.concept_node(b1);
+        if unsat.contains(n1) {
+            return true;
+        }
+        let target_role = g.role_node(q);
+        let target_filler = g.atomic_node(a);
+        // Rule 1: unqualified witness with forced range.
+        for p in 0..g.num_roles() {
+            for q0 in [
+                obda_dllite::BasicRole::Direct(obda_dllite::RoleId(p)),
+                obda_dllite::BasicRole::Inverse(obda_dllite::RoleId(p)),
+            ] {
+                if !closure.reaches(g.role_node(q0), target_role) {
+                    continue;
+                }
+                if closure.reaches(n1, g.role_exists_node(q0))
+                    && closure.reaches(g.role_exists_node(q0.inverse()), target_filler)
+                {
+                    return true;
+                }
+            }
+        }
+        // Rule 2: an asserted qualified existential reached from B₁ whose
+        // role and filler are forced under Q and A.
+        g.qual_axioms.iter().any(|qa| {
+            closure.reaches(n1, qa.lhs)
+                && closure.reaches(g.role_node(qa.role), target_role)
+                && closure.reaches(g.atomic_node(qa.filler), target_filler)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{parse_tbox, Tbox};
+
+    fn check(src: &str, axiom_src: &str) -> bool {
+        let t = parse_tbox(src).unwrap();
+        // Parse the probe axiom in the context of the same declarations by
+        // re-parsing declarations plus the probe line.
+        let decls: String = src
+            .lines()
+            .filter(|l| {
+                let l = l.trim_start();
+                l.starts_with("concept") || l.starts_with("role") || l.starts_with("attribute")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let probe: Tbox = parse_tbox(&format!("{decls}\n{axiom_src}")).unwrap();
+        assert_eq!(probe.sig, t.sig, "probe must not extend the signature");
+        let cls = Classification::classify(&t);
+        Implication::new(&cls).entails(&probe.axioms()[0])
+    }
+
+    #[test]
+    fn basic_inclusion_via_reachability() {
+        let src = "concept A B C\nA [= B\nB [= C";
+        assert!(check(src, "A [= C"));
+        assert!(!check(src, "C [= A"));
+        assert!(check(src, "A [= A"));
+    }
+
+    #[test]
+    fn negative_inclusion_is_symmetric_and_propagates() {
+        let src = "concept A B C D\nA [= not B\nC [= A\nD [= B";
+        assert!(check(src, "C [= not D"));
+        assert!(check(src, "D [= not C"));
+        assert!(check(src, "B [= not A"));
+        assert!(!check(src, "A [= not C"));
+    }
+
+    #[test]
+    fn qualified_existential_from_asserted_axiom() {
+        let src = "concept A B B2\nrole q r\nA [= exists q . B\nB [= B2\nq [= r";
+        // Weakenings of the asserted axiom are entailed.
+        assert!(check(src, "A [= exists q . B"));
+        assert!(check(src, "A [= exists q . B2"));
+        assert!(check(src, "A [= exists r . B"));
+        assert!(check(src, "A [= exists r . B2"));
+        assert!(!check(src, "B [= exists q . A"));
+        assert!(!check(src, "A [= exists inv(q) . B"));
+    }
+
+    #[test]
+    fn qualified_existential_via_range_forcing() {
+        // A ⊑ ∃q and ∃q⁻ ⊑ B force every q-successor of an A into B.
+        let src = "concept A B\nrole q\nA [= exists q\nexists inv(q) [= B";
+        assert!(check(src, "A [= exists q . B"));
+        assert!(!check(src, "B [= exists q . B"));
+    }
+
+    #[test]
+    fn qualified_existential_via_subrole_range() {
+        // A ⊑ ∃q₀, ∃q₀⁻ ⊑ B, q₀ ⊑ q entails A ⊑ ∃q.B.
+        let src = "concept A B\nrole q q0\nA [= exists q0\nexists inv(q0) [= B\nq0 [= q";
+        assert!(check(src, "A [= exists q . B"));
+    }
+
+    #[test]
+    fn unsat_lhs_entails_anything() {
+        let src = "concept A B C\nrole q\nA [= B\nA [= C\nB [= not C";
+        assert!(check(src, "A [= exists q . B"));
+        assert!(check(src, "A [= not A"));
+        assert!(check(src, "A [= exists inv(q)"));
+    }
+
+    #[test]
+    fn role_disjointness_with_inverse_expansion() {
+        let src = "role p r s\np [= not r\ns [= inv(p)";
+        // s ⊑ p⁻ and p ⊑ ¬r entails p⁻ ⊑ ¬r⁻, so s ⊑ ¬r⁻.
+        assert!(check(src, "s [= not inv(r)"));
+        assert!(!check(src, "s [= not r"));
+    }
+
+    #[test]
+    fn attribute_entailments() {
+        let src = "attribute u w z\nu [= w\nw [= not z";
+        assert!(check(src, "u [= w"));
+        assert!(check(src, "u [= not z"));
+        assert!(check(src, "z [= not u"));
+        assert!(!check(src, "w [= u"));
+    }
+}

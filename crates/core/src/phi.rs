@@ -1,0 +1,106 @@
+//! Materialization of `Φ_T`: every subsumption between *basic* concepts,
+//! basic roles or attributes inferred by the positive part of the TBox.
+//!
+//! By Theorem 1 of the paper, `S₁ ⊑ S₂ ∈ Φ_T` iff the transitive closure
+//! of the digraph has an arc `(S₁, S₂)` — so materialization is a single
+//! scan over the closure's successor lists, translating node pairs back
+//! into axioms. Trivial reflexive subsumptions `S ⊑ S` are skipped even
+//! when a node lies on a cycle.
+
+use obda_dllite::{Axiom, GeneralConcept, GeneralRole};
+
+use crate::closure::Closure;
+use crate::graph::{NodeId, NodeKind, TboxGraph};
+
+/// Materializes `Φ_T` from a digraph and its transitive closure.
+///
+/// The output contains one axiom per non-reflexive arc of the closure:
+/// `B₁ ⊑ B₂` for concept-sort arcs, `Q₁ ⊑ Q₂` for role-sort arcs and
+/// `U₁ ⊑ U₂` for attribute arcs, in node order.
+pub fn compute_phi(g: &TboxGraph, closure: &Closure) -> Vec<Axiom> {
+    let mut out = Vec::with_capacity(closure.num_arcs());
+    for n in g.nodes() {
+        for &s in closure.successors(n) {
+            if s == n.0 {
+                continue; // skip trivial S ⊑ S on cycles
+            }
+            let to = NodeId(s);
+            let ax = match g.node_kind(n) {
+                NodeKind::Concept(_) | NodeKind::Exists(_, _) | NodeKind::AttrDomain(_) => {
+                    Axiom::ConceptIncl(
+                        g.node_as_concept(n),
+                        GeneralConcept::Basic(g.node_as_concept(to)),
+                    )
+                }
+                NodeKind::Role(_, _) => Axiom::RoleIncl(
+                    g.node_as_role(n),
+                    GeneralRole::Basic(g.node_as_role(to)),
+                ),
+                NodeKind::Attr(u) => match g.node_kind(to) {
+                    NodeKind::Attr(w) => Axiom::AttrIncl(u, w),
+                    other => unreachable!("attr node points to {other:?}"),
+                },
+            };
+            out.push(ax);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::{ClosureEngine, SccEngine};
+    use obda_dllite::{parse_tbox, printer, Tbox};
+
+    fn phi_strings(src: &str) -> (Tbox, Vec<String>) {
+        let t = parse_tbox(src).unwrap();
+        let g = TboxGraph::build(&t);
+        let c = SccEngine.compute(&g);
+        let mut strings: Vec<String> = compute_phi(&g, &c)
+            .iter()
+            .map(|ax| printer::axiom(ax, &t.sig, printer::Style::Display))
+            .collect();
+        strings.sort();
+        (t, strings)
+    }
+
+    #[test]
+    fn transitive_concept_subsumptions() {
+        let (_, phi) = phi_strings("concept A B C\nA [= B\nB [= C");
+        assert_eq!(phi, vec!["A ⊑ B", "A ⊑ C", "B ⊑ C"]);
+    }
+
+    #[test]
+    fn role_inclusions_expand_existentials() {
+        let (_, phi) = phi_strings("role p r\np [= r");
+        assert_eq!(
+            phi,
+            vec!["p ⊑ r", "p⁻ ⊑ r⁻", "∃p ⊑ ∃r", "∃p⁻ ⊑ ∃r⁻"]
+        );
+    }
+
+    #[test]
+    fn qualified_existential_weakens_to_unqualified() {
+        let (_, phi) = phi_strings("concept A B\nrole q\nA [= exists q . B");
+        assert_eq!(phi, vec!["A ⊑ ∃q"]);
+    }
+
+    #[test]
+    fn cycles_yield_both_directions_but_no_reflexive_axioms() {
+        let (_, phi) = phi_strings("concept A B\nA [= B\nB [= A");
+        assert_eq!(phi, vec!["A ⊑ B", "B ⊑ A"]);
+    }
+
+    #[test]
+    fn negative_inclusions_contribute_nothing() {
+        let (_, phi) = phi_strings("concept A B\nA [= not B");
+        assert!(phi.is_empty());
+    }
+
+    #[test]
+    fn attribute_inclusions_expand_domains() {
+        let (_, phi) = phi_strings("attribute u w\nu [= w");
+        assert_eq!(phi, vec!["u ⊑ w", "δ(u) ⊑ δ(w)"]);
+    }
+}

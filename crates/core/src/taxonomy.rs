@@ -1,0 +1,278 @@
+//! The **taxonomy** view of a classification: equivalence classes of
+//! atomic concepts arranged in a Hasse diagram (direct-subsumption
+//! edges only), the structure ontology navigation and visualization
+//! tools consume (Section 5: classification "can be exploited for various
+//! tasks … ranging from ontology navigation and visualization to query
+//! answering").
+
+use std::collections::{HashMap, HashSet};
+
+use obda_dllite::ConceptId;
+
+use crate::classify::Classification;
+use crate::graph::{NodeId, NodeKind};
+
+/// The concept taxonomy: one node per equivalence class of satisfiable
+/// atomic concepts, with direct (transitively reduced) subsumption edges.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    /// Equivalence classes; each sorted ascending. Index = class id.
+    classes: Vec<Vec<ConceptId>>,
+    /// Class id per concept (unsatisfiable concepts are absent).
+    class_of: HashMap<ConceptId, usize>,
+    /// Direct parent class ids per class (transitive reduction).
+    parents: Vec<Vec<usize>>,
+    /// Direct child class ids per class.
+    children: Vec<Vec<usize>>,
+    /// Classes with no parents.
+    roots: Vec<usize>,
+    /// Unsatisfiable concepts (the ⊥-equivalent bucket).
+    unsat: Vec<ConceptId>,
+}
+
+impl Taxonomy {
+    /// Builds the taxonomy from a finished classification.
+    pub fn build(cls: &Classification) -> Self {
+        let g = cls.graph();
+        let closure = cls.closure();
+        // Group satisfiable concepts into equivalence classes.
+        let mut class_of: HashMap<ConceptId, usize> = HashMap::new();
+        let mut classes: Vec<Vec<ConceptId>> = Vec::new();
+        let mut unsat = Vec::new();
+        for i in 0..g.num_concepts() {
+            let a = ConceptId(i);
+            if cls.concept_unsat(a) {
+                unsat.push(a);
+                continue;
+            }
+            if class_of.contains_key(&a) {
+                continue;
+            }
+            let n = g.atomic_node(a);
+            let mut members = vec![a];
+            for &v in closure.successors(n) {
+                if v == n.0 {
+                    continue;
+                }
+                if let NodeKind::Concept(b) = g.node_kind(NodeId(v)) {
+                    if !cls.concept_unsat(b) && closure.reaches(NodeId(v), n) {
+                        members.push(b);
+                    }
+                }
+            }
+            members.sort_unstable();
+            let id = classes.len();
+            for &m in &members {
+                class_of.insert(m, id);
+            }
+            classes.push(members);
+        }
+        // Ancestor class sets per class (via any representative).
+        let ancestor_sets: Vec<HashSet<usize>> = classes
+            .iter()
+            .map(|members| {
+                let rep = members[0];
+                let n = g.atomic_node(rep);
+                let mut out = HashSet::new();
+                for &v in closure.successors(n) {
+                    if let NodeKind::Concept(b) = g.node_kind(NodeId(v)) {
+                        if let Some(&c) = class_of.get(&b) {
+                            if c != class_of[&rep] {
+                                out.insert(c);
+                            }
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        // Transitive reduction: parent p of c is direct when no other
+        // ancestor of c has p among its ancestors.
+        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); classes.len()];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); classes.len()];
+        for c in 0..classes.len() {
+            for &p in &ancestor_sets[c] {
+                let indirect = ancestor_sets[c]
+                    .iter()
+                    .any(|&q| q != p && ancestor_sets[q].contains(&p));
+                if !indirect {
+                    parents[c].push(p);
+                    children[p].push(c);
+                }
+            }
+            parents[c].sort_unstable();
+        }
+        for ch in &mut children {
+            ch.sort_unstable();
+        }
+        let roots = (0..classes.len())
+            .filter(|&c| parents[c].is_empty())
+            .collect();
+        Taxonomy {
+            classes,
+            class_of,
+            parents,
+            children,
+            roots,
+            unsat,
+        }
+    }
+
+    /// Number of equivalence classes (satisfiable).
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Members of a class.
+    pub fn members(&self, class: usize) -> &[ConceptId] {
+        &self.classes[class]
+    }
+
+    /// The class of a concept (`None` for unsatisfiable concepts).
+    pub fn class_of(&self, a: ConceptId) -> Option<usize> {
+        self.class_of.get(&a).copied()
+    }
+
+    /// Direct parent classes.
+    pub fn parents(&self, class: usize) -> &[usize] {
+        &self.parents[class]
+    }
+
+    /// Direct child classes.
+    pub fn children(&self, class: usize) -> &[usize] {
+        &self.children[class]
+    }
+
+    /// Root classes (no parents).
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// The unsatisfiable concepts (⊥-equivalent).
+    pub fn unsatisfiable(&self) -> &[ConceptId] {
+        &self.unsat
+    }
+
+    /// Depth of a class: longest path to a root (0 for roots).
+    pub fn depth(&self, class: usize) -> usize {
+        // Memo-free DFS; taxonomy DAGs are shallow.
+        self.parents[class]
+            .iter()
+            .map(|&p| 1 + self.depth(p))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders an indented tree (DAG nodes repeat under each parent), for
+    /// CLI inspection — the "tree view" ontology editors show.
+    pub fn render(&self, sig: &obda_dllite::Signature) -> String {
+        fn rec(
+            t: &Taxonomy,
+            sig: &obda_dllite::Signature,
+            class: usize,
+            depth: usize,
+            out: &mut String,
+            seen: &mut Vec<usize>,
+        ) {
+            let names: Vec<&str> = t.classes[class]
+                .iter()
+                .map(|&a| sig.concept_name(a))
+                .collect();
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&names.join(" ≡ "));
+            out.push('\n');
+            if seen.contains(&class) {
+                return; // avoid re-expanding shared sub-DAGs
+            }
+            seen.push(class);
+            for &c in &t.children[class] {
+                rec(t, sig, c, depth + 1, out, seen);
+            }
+        }
+        let mut out = String::new();
+        let mut seen = Vec::new();
+        for &r in &self.roots {
+            rec(self, sig, r, 0, &mut out, &mut seen);
+        }
+        if !self.unsat.is_empty() {
+            out.push_str("⊥ ≡ ");
+            let names: Vec<&str> = self.unsat.iter().map(|&a| sig.concept_name(a)).collect();
+            out.push_str(&names.join(" ≡ "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::parse_tbox;
+
+    fn taxonomy(src: &str) -> (obda_dllite::Tbox, Taxonomy) {
+        let t = parse_tbox(src).unwrap();
+        let cls = Classification::classify(&t);
+        let tax = Taxonomy::build(&cls);
+        (t, tax)
+    }
+
+    #[test]
+    fn diamond_reduces_transitively() {
+        // D ⊑ B ⊑ A, D ⊑ C ⊑ A, and D ⊑ A asserted redundantly.
+        let (t, tax) = taxonomy(
+            "concept A B C D\nB [= A\nC [= A\nD [= B\nD [= C\nD [= A",
+        );
+        let id = |n: &str| tax.class_of(t.sig.find_concept(n).unwrap()).unwrap();
+        assert_eq!(tax.num_classes(), 4);
+        assert_eq!(tax.roots(), &[id("A")]);
+        // D's direct parents are B and C — the asserted D ⊑ A is reduced.
+        let mut dp = tax.parents(id("D")).to_vec();
+        dp.sort_unstable();
+        let mut want = vec![id("B"), id("C")];
+        want.sort_unstable();
+        assert_eq!(dp, want);
+        assert_eq!(tax.depth(id("D")), 2);
+    }
+
+    #[test]
+    fn equivalences_merge_into_one_class() {
+        let (t, tax) = taxonomy("concept A B C\nA [= B\nB [= A\nB [= C");
+        let a = t.sig.find_concept("A").unwrap();
+        let b = t.sig.find_concept("B").unwrap();
+        assert_eq!(tax.class_of(a), tax.class_of(b));
+        assert_eq!(tax.num_classes(), 2);
+        let class = tax.class_of(a).unwrap();
+        assert_eq!(tax.members(class).len(), 2);
+    }
+
+    #[test]
+    fn unsat_concepts_form_the_bottom_bucket() {
+        let (t, tax) = taxonomy("concept A B C\nC [= A\nC [= B\nA [= not B");
+        let c = t.sig.find_concept("C").unwrap();
+        assert_eq!(tax.class_of(c), None);
+        assert_eq!(tax.unsatisfiable(), &[c]);
+        assert_eq!(tax.num_classes(), 2);
+    }
+
+    #[test]
+    fn render_shows_hierarchy() {
+        let (t, tax) = taxonomy("concept Animal Dog Cat\nDog [= Animal\nCat [= Animal");
+        let s = tax.render(&t.sig);
+        assert!(s.starts_with("Animal\n"));
+        assert!(s.contains("  Dog\n"));
+        assert!(s.contains("  Cat\n"));
+    }
+
+    #[test]
+    fn children_mirror_parents() {
+        let (_, tax) = taxonomy("concept A B C D\nB [= A\nC [= B\nD [= B");
+        for c in 0..tax.num_classes() {
+            for &p in tax.parents(c) {
+                assert!(tax.children(p).contains(&c));
+            }
+            for &ch in tax.children(c) {
+                assert!(tax.parents(ch).contains(&c));
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! `computeUnsat`: the set of unsatisfiable predicates of a TBox (the
+//! `Ω_T` step of the paper's classification technique).
+//!
+//! The seed is exactly the paper's rule: for each negative inclusion
+//! `S₁ ⊑ ¬S₂`, every node in `predecessors(S₁, G_T*) ∩
+//! predecessors(S₂, G_T*)` (reflexively) is unsatisfiable — it is subsumed
+//! by two disjoint expressions. On top of the seed, unsatisfiability
+//! propagates until fixpoint through three rules that pure reachability
+//! cannot see:
+//!
+//! 1. **Backward propagation**: if `n` is unsatisfiable, every node with a
+//!    path to `n` is unsatisfiable (`B ⊑ ⊥ʹ` with `⊥ʹ` empty forces `B`
+//!    empty).
+//! 2. **Role-cluster propagation**: `P`, `P⁻`, `∃P` and `∃P⁻` are
+//!    simultaneously satisfiable or unsatisfiable — each being empty
+//!    forces `P` itself to be empty and vice versa. Likewise `U` and
+//!    `δ(U)` for attributes.
+//! 3. **Qualified-existential propagation**: for an axiom `B ⊑ ∃Q.A`, if
+//!    the filler `A` is unsatisfiable then `∃Q.A` is empty and `B` is
+//!    unsatisfiable (the `Q`-unsatisfiable case is already covered by
+//!    rules 1–2 through the arc `B → ∃Q`).
+//!
+//! The fixpoint is computed with a worklist in `O(V + E)` per iteration
+//! round; the cross-validation tests in `obda-reasoners` check it against
+//! an independent saturation oracle.
+
+use crate::closure::predecessors_reflexive;
+use crate::graph::{NodeId, NodeKind, TboxGraph};
+
+/// Unsatisfiable nodes of a TBox digraph, as a dense membership vector
+/// plus the list of unsatisfiable node ids.
+#[derive(Debug, Clone)]
+pub struct UnsatSet {
+    is_unsat: Vec<bool>,
+    members: Vec<u32>,
+}
+
+impl UnsatSet {
+    /// Whether node `n` is unsatisfiable.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.is_unsat[n.index()]
+    }
+
+    /// All unsatisfiable node ids, ascending.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Number of unsatisfiable nodes.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no node is unsatisfiable.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Computes the set of unsatisfiable nodes of `g` (the paper's
+/// `computeUnsat`, extended to a fixpoint as described in the module
+/// docs).
+pub fn compute_unsat(g: &TboxGraph) -> UnsatSet {
+    let n = g.num_nodes();
+    let mut is_unsat = vec![false; n];
+    let mut worklist: Vec<u32> = Vec::new();
+
+    // Seed: intersections of reflexive predecessor sets of NI endpoints.
+    let neg = g.neg_pairs_expanded();
+    if !neg.is_empty() {
+        let mut stamp = vec![false; n];
+        for np in &neg {
+            let preds_lhs = predecessors_reflexive(g, np.lhs);
+            for &p in &preds_lhs {
+                stamp[p as usize] = true;
+            }
+            for p in predecessors_reflexive(g, np.rhs) {
+                if stamp[p as usize] && !is_unsat[p as usize] {
+                    is_unsat[p as usize] = true;
+                    worklist.push(p);
+                }
+            }
+            for &p in &preds_lhs {
+                stamp[p as usize] = false;
+            }
+        }
+    }
+
+    // Seed, part 2 — the *pair rule* for qualified existentials: the
+    // witness of `B ⊑ ∃Q.A` must lie in `A ⊓ ∃Q⁻`, so if some negative
+    // inclusion separates a superclass of `A` from a superclass of `∃Q⁻`,
+    // the restriction is empty and `B` is unsatisfiable. (Found by
+    // cross-validation against the tableau: neither `A` nor `Q` need be
+    // unsatisfiable on their own.)
+    if !neg.is_empty() && !g.qual_axioms.is_empty() {
+        // preds-membership bitsets per NI endpoint, computed once per NI.
+        let mut stamp_l = vec![false; n];
+        let mut stamp_r = vec![false; n];
+        for np in &neg {
+            let preds_lhs = predecessors_reflexive(g, np.lhs);
+            let preds_rhs = predecessors_reflexive(g, np.rhs);
+            for &p in &preds_lhs {
+                stamp_l[p as usize] = true;
+            }
+            for &p in &preds_rhs {
+                stamp_r[p as usize] = true;
+            }
+            for qa in &g.qual_axioms {
+                let a = g.atomic_node(qa.filler).index();
+                let range = g.role_exists_node(qa.role.inverse()).index();
+                let cross =
+                    (stamp_l[a] && stamp_r[range]) || (stamp_l[range] && stamp_r[a]);
+                if cross && !is_unsat[qa.lhs.index()] {
+                    is_unsat[qa.lhs.index()] = true;
+                    worklist.push(qa.lhs.0);
+                }
+            }
+            for &p in &preds_lhs {
+                stamp_l[p as usize] = false;
+            }
+            for &p in &preds_rhs {
+                stamp_r[p as usize] = false;
+            }
+        }
+    }
+
+    if worklist.is_empty() {
+        return UnsatSet {
+            is_unsat,
+            members: Vec::new(),
+        };
+    }
+
+    // Index qualified axioms by filler concept node for rule 3.
+    let mut qual_by_filler: std::collections::HashMap<u32, Vec<u32>> =
+        std::collections::HashMap::new();
+    for qa in &g.qual_axioms {
+        let filler_node = g.atomic_node(qa.filler);
+        qual_by_filler
+            .entry(filler_node.0)
+            .or_default()
+            .push(qa.lhs.0);
+    }
+
+    // Propagate to fixpoint.
+    while let Some(v) = worklist.pop() {
+        let node = NodeId(v);
+        // Rule 1: backward propagation along arcs.
+        for &p in g.predecessors(node) {
+            if !is_unsat[p as usize] {
+                is_unsat[p as usize] = true;
+                worklist.push(p);
+            }
+        }
+        // Rule 2: cluster propagation.
+        let cluster: &[NodeId] = &match g.node_kind(node) {
+            NodeKind::Role(p, _) | NodeKind::Exists(p, _) => {
+                use obda_dllite::BasicRole::*;
+                [
+                    g.role_node(Direct(p)),
+                    g.role_node(Inverse(p)),
+                    g.role_exists_node(Direct(p)),
+                    g.role_exists_node(Inverse(p)),
+                ]
+                .to_vec()
+            }
+            NodeKind::Attr(u) | NodeKind::AttrDomain(u) => {
+                vec![g.attr_node(u), g.attr_domain_node(u)]
+            }
+            NodeKind::Concept(_) => Vec::new(),
+        };
+        for &c in cluster {
+            if !is_unsat[c.index()] {
+                is_unsat[c.index()] = true;
+                worklist.push(c.0);
+            }
+        }
+        // Rule 3: an unsatisfiable filler empties its restriction.
+        if let Some(lhss) = qual_by_filler.get(&v) {
+            for &b in lhss {
+                if !is_unsat[b as usize] {
+                    is_unsat[b as usize] = true;
+                    worklist.push(b);
+                }
+            }
+        }
+    }
+
+    let members: Vec<u32> = (0..n as u32).filter(|&v| is_unsat[v as usize]).collect();
+    UnsatSet { is_unsat, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::parse_tbox;
+
+    fn unsat_names(src: &str) -> Vec<String> {
+        let t = parse_tbox(src).unwrap();
+        let g = TboxGraph::build(&t);
+        let u = compute_unsat(&g);
+        let mut names: Vec<String> = u
+            .members()
+            .iter()
+            .filter_map(|&v| match g.node_kind(NodeId(v)) {
+                NodeKind::Concept(a) => Some(t.sig.concept_name(a).to_owned()),
+                NodeKind::Role(p, false) => Some(t.sig.role_name(p).to_owned()),
+                _ => None,
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn no_negative_inclusions_means_all_satisfiable() {
+        assert!(unsat_names("concept A B\nA [= B").is_empty());
+    }
+
+    #[test]
+    fn self_disjointness_is_unsatisfiable() {
+        assert_eq!(unsat_names("concept A\nA [= not A"), vec!["A"]);
+    }
+
+    #[test]
+    fn subsumee_of_disjoint_pair_is_unsatisfiable() {
+        // C ⊑ A, C ⊑ B, A ⊑ ¬B  ⟹  C unsat (but not A or B).
+        let names = unsat_names("concept A B C\nC [= A\nC [= B\nA [= not B");
+        assert_eq!(names, vec!["C"]);
+    }
+
+    #[test]
+    fn backward_propagation_through_chain() {
+        // D ⊑ C ⊑ A⊓B with A,B disjoint ⟹ C and D unsat.
+        let names =
+            unsat_names("concept A B C D\nC [= A\nC [= B\nA [= not B\nD [= C");
+        assert_eq!(names, vec!["C", "D"]);
+    }
+
+    #[test]
+    fn role_cluster_propagation() {
+        // ∃p ⊑ A, ∃p ⊑ B, A ⊑ ¬B ⟹ ∃p unsat ⟹ p, p⁻, ∃p⁻ unsat.
+        let src = "concept A B\nrole p\nexists p [= A\nexists p [= B\nA [= not B";
+        let t = parse_tbox(src).unwrap();
+        let g = TboxGraph::build(&t);
+        let u = compute_unsat(&g);
+        let p = t.sig.find_role("p").unwrap();
+        use obda_dllite::BasicRole::*;
+        assert!(u.contains(g.role_node(Direct(p))));
+        assert!(u.contains(g.role_node(Inverse(p))));
+        assert!(u.contains(g.role_exists_node(Direct(p))));
+        assert!(u.contains(g.role_exists_node(Inverse(p))));
+    }
+
+    #[test]
+    fn role_disjointness_seeds_roles() {
+        // r ⊑ p, r ⊑ s, p ⊑ ¬s ⟹ r unsat.
+        let names = unsat_names("role p r s\nr [= p\nr [= s\np [= not s");
+        assert_eq!(names, vec!["r"]);
+    }
+
+    #[test]
+    fn role_disjointness_applies_to_inverses() {
+        // r ⊑ p⁻, r ⊑ s⁻, p ⊑ ¬s entails p⁻ ⊑ ¬s⁻, so r unsat.
+        let names = unsat_names("role p r s\nr [= inv(p)\nr [= inv(s)\np [= not s");
+        assert_eq!(names, vec!["r"]);
+    }
+
+    #[test]
+    fn unsat_filler_empties_qualified_existential() {
+        // B ⊑ ∃q.A with A unsat ⟹ B unsat (and p stays satisfiable-free).
+        let src = "concept A B\nrole q\nA [= not A\nB [= exists q . A";
+        let names = unsat_names(src);
+        assert_eq!(names, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn unsat_role_empties_lhs_of_qualified_existential() {
+        // q ⊑ ¬q makes q unsat; B ⊑ ∃q.A then makes B unsat via the
+        // B → ∃q arc and cluster propagation.
+        let src = "concept A B\nrole q\nq [= not q\nB [= exists q . A";
+        let names = unsat_names(src);
+        assert_eq!(names, vec!["B", "q"]);
+    }
+
+    #[test]
+    fn attribute_cluster_propagation() {
+        // δ(u) ⊑ A, δ(u) ⊑ B, A ⊑ ¬B ⟹ δ(u) unsat ⟹ u unsat, and any
+        // concept under δ(u) too.
+        let src = "concept A B C\nattribute u\ndomain(u) [= A\ndomain(u) [= B\nA [= not B\nC [= domain(u)";
+        let t = parse_tbox(src).unwrap();
+        let g = TboxGraph::build(&t);
+        let u = compute_unsat(&g);
+        let attr = t.sig.find_attribute("u").unwrap();
+        let c = t.sig.find_concept("C").unwrap();
+        assert!(u.contains(g.attr_node(attr)));
+        assert!(u.contains(g.attr_domain_node(attr)));
+        assert!(u.contains(g.atomic_node(c)));
+    }
+
+    #[test]
+    fn satisfiable_ontology_with_negative_inclusions() {
+        let names = unsat_names("concept A B C\nA [= not B\nC [= A");
+        assert!(names.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Cross-validation of the graph-based classifier against independent
+//! implementations:
+//!
+//! * the rule-based saturation oracle (`obda-reasoners::saturation`),
+//!   which shares no code with the graph pipeline;
+//! * the consequence-based classifier (`obda-reasoners::consequence`);
+//! * explicit finite models (soundness: every derived axiom must hold in
+//!   every model of the TBox).
+//!
+//! All comparisons run over seeded dense random TBoxes from
+//! `obda-genont::random`, which exercise cycles, unsatisfiability
+//! cascades, inverse roles and qualified existentials.
+
+use obda_dllite::{
+    Axiom, BasicConcept, BasicRole, ConceptId, GeneralConcept, GeneralRole, Tbox,
+};
+use obda_genont::{random_interpretation, random_tbox, repair_into_model};
+use obda_reasoners::{classify_consequence, Saturation};
+use quonto::{deductive_closure, Classification, ClosureOptions, Implication};
+
+/// All basic concepts over a signature (test enumeration helper).
+fn all_basics(t: &Tbox) -> Vec<BasicConcept> {
+    let mut out: Vec<BasicConcept> = t.sig.concepts().map(BasicConcept::Atomic).collect();
+    for p in t.sig.roles() {
+        out.push(BasicConcept::exists(p));
+        out.push(BasicConcept::exists_inv(p));
+    }
+    for u in t.sig.attributes() {
+        out.push(BasicConcept::AttrDomain(u));
+    }
+    out
+}
+
+fn all_roles(t: &Tbox) -> Vec<BasicRole> {
+    t.sig
+        .roles()
+        .flat_map(|p| [BasicRole::Direct(p), BasicRole::Inverse(p)])
+        .collect()
+}
+
+#[test]
+fn positive_subsumptions_match_saturation() {
+    for seed in 0u64..60 {
+        let t = random_tbox(seed, 5, 3, 2, 18);
+        let cls = Classification::classify(&t);
+        let sat = Saturation::saturate(&t);
+        for &b1 in &all_basics(&t) {
+            for &b2 in &all_basics(&t) {
+                let graph = cls.subsumed_concept(b1, b2);
+                let oracle =
+                    sat.entails(&Axiom::ConceptIncl(b1, GeneralConcept::Basic(b2)));
+                assert_eq!(
+                    graph, oracle,
+                    "seed {seed}: {b1:?} ⊑ {b2:?} graph={graph} saturation={oracle}"
+                );
+            }
+        }
+        for &q1 in &all_roles(&t) {
+            for &q2 in &all_roles(&t) {
+                let graph = cls.subsumed_role(q1, q2);
+                let oracle = sat.entails(&Axiom::RoleIncl(q1, GeneralRole::Basic(q2)));
+                assert_eq!(graph, oracle, "seed {seed}: {q1:?} ⊑ {q2:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn unsat_sets_match_saturation() {
+    for seed in 0u64..80 {
+        // Denser negative axioms to hit unsat cascades often.
+        let t = random_tbox(seed.wrapping_mul(31).wrapping_add(7), 4, 2, 1, 22);
+        let cls = Classification::classify(&t);
+        let sat = Saturation::saturate(&t);
+        for &b in &all_basics(&t) {
+            let node = cls.graph().concept_node(b);
+            assert_eq!(
+                cls.unsat().contains(node),
+                sat.unsat_c.contains(&b),
+                "seed {seed}: unsat({b:?})"
+            );
+        }
+        for &q in &all_roles(&t) {
+            let node = cls.graph().role_node(q);
+            assert_eq!(
+                cls.unsat().contains(node),
+                sat.unsat_r.contains(&q),
+                "seed {seed}: unsat({q:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn implication_matches_saturation_on_all_axiom_shapes() {
+    for seed in 0u64..40 {
+        let t = random_tbox(seed.wrapping_add(1000), 4, 2, 2, 16);
+        let cls = Classification::classify(&t);
+        let imp = Implication::new(&cls);
+        let sat = Saturation::saturate(&t);
+        let basics = all_basics(&t);
+        let roles = all_roles(&t);
+        // Basic and negative concept inclusions.
+        for &b1 in &basics {
+            for &b2 in &basics {
+                for ax in [
+                    Axiom::ConceptIncl(b1, GeneralConcept::Basic(b2)),
+                    Axiom::ConceptIncl(b1, GeneralConcept::Neg(b2)),
+                ] {
+                    assert_eq!(
+                        imp.entails(&ax),
+                        sat.entails(&ax),
+                        "seed {seed}: {ax:?}"
+                    );
+                }
+            }
+        }
+        // Qualified existentials.
+        for &b in &basics {
+            for &q in &roles {
+                for a in t.sig.concepts() {
+                    let ax = Axiom::ConceptIncl(b, GeneralConcept::QualExists(q, a));
+                    assert_eq!(
+                        imp.entails(&ax),
+                        sat.entails(&ax),
+                        "seed {seed}: {ax:?}"
+                    );
+                }
+            }
+        }
+        // Role axioms.
+        for &q1 in &roles {
+            for &q2 in &roles {
+                for ax in [Axiom::role(q1, q2), Axiom::role_neg(q1, q2)] {
+                    assert_eq!(imp.entails(&ax), sat.entails(&ax), "seed {seed}: {ax:?}");
+                }
+            }
+        }
+        // Attribute axioms.
+        for u in t.sig.attributes() {
+            for w in t.sig.attributes() {
+                for ax in [Axiom::AttrIncl(u, w), Axiom::AttrNegIncl(u, w)] {
+                    assert_eq!(imp.entails(&ax), sat.entails(&ax), "seed {seed}: {ax:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn concept_classification_matches_consequence_reasoner() {
+    for seed in 0u64..60 {
+        let t = random_tbox(seed.wrapping_add(2000), 6, 3, 0, 20);
+        let cls = Classification::classify(&t);
+        let cb = classify_consequence(&t);
+        // Unsat concepts agree.
+        let quonto_unsat: std::collections::BTreeSet<ConceptId> =
+            cls.unsat_concepts().into_iter().collect();
+        assert_eq!(quonto_unsat, cb.unsat_concepts, "seed {seed}: unsat sets");
+        // Pairs among satisfiable concepts agree.
+        let mut quonto_pairs = std::collections::BTreeSet::new();
+        for a in t.sig.concepts() {
+            if cls.concept_unsat(a) {
+                continue;
+            }
+            for b in cls.concept_subsumers(a) {
+                if !cls.concept_unsat(b) {
+                    quonto_pairs.insert((a, b));
+                }
+            }
+        }
+        assert_eq!(quonto_pairs, cb.concept_pairs, "seed {seed}: pairs");
+    }
+}
+
+#[test]
+fn derived_axioms_hold_in_every_random_model() {
+    let mut models_checked = 0;
+    for seed in 0u64..200 {
+        let t = random_tbox(seed, 4, 2, 1, 10);
+        let interp = random_interpretation(seed, &t, 4, 0.25);
+        let Some(model) = repair_into_model(&t, interp) else {
+            continue;
+        };
+        models_checked += 1;
+        let cls = Classification::classify(&t);
+        for ax in deductive_closure(&cls, ClosureOptions::default()) {
+            assert!(
+                model.satisfies(&ax),
+                "seed {seed}: derived {ax:?} fails in a model of the TBox"
+            );
+        }
+    }
+    assert!(
+        models_checked >= 30,
+        "only {models_checked} repairable models; generator drifted"
+    );
+}
+
+#[test]
+fn closure_engines_agree_on_random_tboxes() {
+    for seed in 0u64..40 {
+        let t = random_tbox(seed.wrapping_add(3000), 8, 4, 2, 30);
+        let g = quonto::TboxGraph::build(&t);
+        let engines = quonto::all_engines();
+        let reference = engines[0].compute(&g);
+        for e in &engines[1..] {
+            let c = e.compute(&g);
+            for n in 0..reference.num_nodes() as u32 {
+                assert_eq!(
+                    reference.successors(quonto::NodeId(n)),
+                    c.successors(quonto::NodeId(n)),
+                    "seed {seed} engine {} node {n}",
+                    e.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deductive_closure_is_exactly_the_entailed_fragment() {
+    // Completeness of the materialized closure: every restricted-shape
+    // axiom entailed per saturation must be present (modulo axioms that
+    // hold only through unsatisfiable LHS, which are opt-in).
+    for seed in 0u64..25 {
+        let t = random_tbox(seed.wrapping_add(4000), 4, 2, 0, 12);
+        let cls = Classification::classify(&t);
+        let sat = Saturation::saturate(&t);
+        let closed: std::collections::HashSet<Axiom> = deductive_closure(
+            &cls,
+            ClosureOptions {
+                include_unsat_subsumptions: true,
+            },
+        )
+        .into_iter()
+        .collect();
+        let basics = all_basics(&t);
+        for &b1 in &basics {
+            for &b2 in &basics {
+                let ax = Axiom::ConceptIncl(b1, GeneralConcept::Basic(b2));
+                if b1 != b2 && sat.entails(&ax) {
+                    assert!(closed.contains(&ax), "seed {seed}: missing {ax:?}");
+                }
+                let nax = Axiom::ConceptIncl(b1, GeneralConcept::Neg(b2));
+                if sat.entails(&nax) {
+                    assert!(closed.contains(&nax), "seed {seed}: missing {nax:?}");
+                }
+            }
+        }
+        for &b in &basics {
+            // Qualified consequences of an unsatisfiable LHS are trivial
+            // and deliberately not materialized (see ClosureOptions docs).
+            if sat.unsat_c.contains(&b) {
+                continue;
+            }
+            for &q in &all_roles(&t) {
+                for a in t.sig.concepts() {
+                    let ax = Axiom::ConceptIncl(b, GeneralConcept::QualExists(q, a));
+                    if sat.entails(&ax) {
+                        assert!(closed.contains(&ax), "seed {seed}: missing {ax:?}");
+                    }
+                }
+            }
+        }
+        // Role and role-disjointness shapes.
+        for &q1 in &all_roles(&t) {
+            for &q2 in &all_roles(&t) {
+                let pos = Axiom::role(q1, q2);
+                if q1 != q2 && sat.entails(&pos) {
+                    assert!(closed.contains(&pos), "seed {seed}: missing {pos:?}");
+                }
+                let neg = Axiom::role_neg(q1, q2);
+                if sat.entails(&neg) {
+                    assert!(closed.contains(&neg), "seed {seed}: missing {neg:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Incremental classification must agree exactly with from-scratch
+//! classification after every axiom addition, on random evolutions.
+
+use obda_dllite::Tbox;
+use obda_genont::random_tbox;
+use quonto::{Classification, NodeId};
+
+fn closures_equal(a: &Classification, b: &Classification) -> Result<(), String> {
+    let n = a.closure().num_nodes();
+    if n != b.closure().num_nodes() {
+        return Err("node counts differ".into());
+    }
+    for v in 0..n as u32 {
+        if a.closure().successors(NodeId(v)) != b.closure().successors(NodeId(v)) {
+            return Err(format!(
+                "node {v}: {:?} vs {:?}",
+                a.closure().successors(NodeId(v)),
+                b.closure().successors(NodeId(v))
+            ));
+        }
+    }
+    if a.unsat().members() != b.unsat().members() {
+        return Err(format!(
+            "unsat sets differ: {:?} vs {:?}",
+            a.unsat().members(),
+            b.unsat().members()
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn incremental_matches_from_scratch_on_random_evolutions() {
+    for seed in 0u64..60 {
+        // The "full" TBox defines the signature and the axiom stream.
+        let full = random_tbox(seed, 5, 3, 2, 24);
+        let axioms: Vec<_> = full.axioms().to_vec();
+        if axioms.len() < 4 {
+            continue;
+        }
+        // Start from a prefix, then add the rest one at a time.
+        let split = axioms.len() / 3;
+        let mut base = Tbox::with_signature(full.sig.clone());
+        for ax in &axioms[..split] {
+            base.add(*ax);
+        }
+        let mut incremental = Classification::classify(&base);
+        for (k, ax) in axioms[split..].iter().enumerate() {
+            incremental.add_axioms(&[*ax]);
+            base.add(*ax);
+            let scratch = Classification::classify(&base);
+            closures_equal(&incremental, &scratch).unwrap_or_else(|e| {
+                panic!("seed {seed}, after adding axiom {k}: {e}");
+            });
+        }
+    }
+}
+
+#[test]
+fn batch_addition_matches_too() {
+    for seed in 0u64..40 {
+        let full = random_tbox(seed.wrapping_add(7777), 6, 2, 1, 20);
+        let axioms: Vec<_> = full.axioms().to_vec();
+        if axioms.len() < 2 {
+            continue;
+        }
+        let split = axioms.len() / 2;
+        let mut base = Tbox::with_signature(full.sig.clone());
+        for ax in &axioms[..split] {
+            base.add(*ax);
+        }
+        let mut incremental = Classification::classify(&base);
+        incremental.add_axioms(&axioms[split..]);
+        let scratch = Classification::classify(&full);
+        closures_equal(&incremental, &scratch)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn incremental_update_after_large_base() {
+    // A larger smoke case: extend a preset analog with a handful of new
+    // subsumptions and check a few spot queries against recompute.
+    let spec = obda_genont::presets::transportation();
+    let tbox = spec.generate();
+    let mut incremental = Classification::classify(&tbox);
+    let a = obda_dllite::ConceptId(3);
+    let b = obda_dllite::ConceptId(400);
+    let ax = obda_dllite::Axiom::concept(b, a);
+    incremental.add_axioms(&[ax]);
+    let mut full = tbox.clone();
+    full.add(ax);
+    let scratch = Classification::classify(&full);
+    closures_equal(&incremental, &scratch).unwrap();
+    assert!(incremental.subsumed_concept(b.into(), a.into()));
+}

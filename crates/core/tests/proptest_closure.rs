@@ -1,0 +1,125 @@
+//! Property-based tests for the closure/classification layer: order
+//! axioms of the reachability relation, monotonicity under axiom
+//! addition, and agreement between Φ_T materialization and the query API.
+
+use obda_dllite::{Axiom, BasicConcept, GeneralConcept, Tbox};
+use proptest::prelude::*;
+use quonto::{compute_phi, Classification, NodeId, TboxGraph};
+
+const N: u32 = 6;
+
+fn tbox_from_edges(edges: &[(u32, u32)]) -> Tbox {
+    let mut t = Tbox::new();
+    let cs: Vec<_> = (0..N).map(|i| t.sig.concept(&format!("C{i}"))).collect();
+    for &(a, b) in edges {
+        if a != b {
+            t.add(Axiom::concept(cs[a as usize], cs[b as usize]));
+        }
+    }
+    t
+}
+
+prop_compose! {
+    fn arb_edges()(edges in proptest::collection::vec((0..N, 0..N), 0..18)) -> Vec<(u32, u32)> {
+        edges
+    }
+}
+
+proptest! {
+    #[test]
+    fn closure_is_a_preorder(edges in arb_edges()) {
+        let t = tbox_from_edges(&edges);
+        let g = TboxGraph::build(&t);
+        let closure = quonto::recommended().compute(&g);
+        // Reflexive by definition of reaches; transitive:
+        for a in 0..N {
+            prop_assert!(closure.reaches(NodeId(a), NodeId(a)));
+            for b in 0..N {
+                for c in 0..N {
+                    if closure.reaches(NodeId(a), NodeId(b))
+                        && closure.reaches(NodeId(b), NodeId(c))
+                    {
+                        prop_assert!(closure.reaches(NodeId(a), NodeId(c)));
+                    }
+                }
+            }
+        }
+        // Contains the base edges.
+        for &(a, b) in &edges {
+            if a != b {
+                prop_assert!(closure.reaches(NodeId(a), NodeId(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn adding_axioms_is_monotone(
+        edges in arb_edges(),
+        extra in (0..N, 0..N),
+    ) {
+        let t1 = tbox_from_edges(&edges);
+        let mut with_extra = edges.clone();
+        with_extra.push(extra);
+        let t2 = tbox_from_edges(&with_extra);
+        let c1 = Classification::classify(&t1);
+        let c2 = Classification::classify(&t2);
+        for a in 0..N {
+            for b in 0..N {
+                let (ca, cb) = (obda_dllite::ConceptId(a), obda_dllite::ConceptId(b));
+                if c1.subsumed_concept(ca.into(), cb.into()) {
+                    prop_assert!(
+                        c2.subsumed_concept(ca.into(), cb.into()),
+                        "adding an axiom lost C{a} ⊑ C{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phi_matches_query_api(edges in arb_edges()) {
+        let t = tbox_from_edges(&edges);
+        let g = TboxGraph::build(&t);
+        let closure = quonto::recommended().compute(&g);
+        let phi: std::collections::HashSet<Axiom> =
+            compute_phi(&g, &closure).into_iter().collect();
+        for a in 0..N {
+            for b in 0..N {
+                if a == b {
+                    continue;
+                }
+                let ax = Axiom::ConceptIncl(
+                    BasicConcept::Atomic(obda_dllite::ConceptId(a)),
+                    GeneralConcept::Basic(BasicConcept::Atomic(obda_dllite::ConceptId(b))),
+                );
+                prop_assert_eq!(
+                    phi.contains(&ax),
+                    closure.reaches(NodeId(a), NodeId(b)),
+                    "Φ_T and reachability disagree on C{} ⊑ C{}", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_classes_partition_cycles(edges in arb_edges()) {
+        let t = tbox_from_edges(&edges);
+        let cls = Classification::classify(&t);
+        let classes = cls.concept_equivalence_classes();
+        // Members of a class subsume each other; distinct classes don't
+        // mutually subsume.
+        for class in &classes {
+            for &x in class {
+                for &y in class {
+                    prop_assert!(cls.subsumed_concept(x.into(), y.into()));
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for class in &classes {
+            for &x in class {
+                prop_assert!(seen.insert(x), "concept in two equivalence classes");
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! ABox assertions: extensional knowledge about individuals.
+//!
+//! In OBDA the ABox is *virtual* — it is induced by the mappings and the
+//! source database (crates `obda-mapping` / `obda-sqlstore`). A concrete
+//! [`Abox`] is still needed as the materialization target, as the input of
+//! ABox-mode query answering, and for tests.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::signature::{AttributeId, ConceptId, RoleId};
+
+/// Identifier of an individual constant within an [`Abox`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndividualId(pub u32);
+
+impl IndividualId {
+    /// The id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A data value (the range of attributes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A string value.
+    Text(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// A membership assertion.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Assertion {
+    /// `A(c)`: the individual `c` is an instance of the atomic concept `A`.
+    Concept(ConceptId, IndividualId),
+    /// `P(c, d)`: the pair `(c, d)` is an instance of the atomic role `P`.
+    Role(RoleId, IndividualId, IndividualId),
+    /// `U(c, v)`: the individual `c` has value `v` for the attribute `U`.
+    Attribute(AttributeId, IndividualId, Value),
+}
+
+/// A set of membership assertions over interned individuals.
+#[derive(Debug, Clone, Default)]
+pub struct Abox {
+    individuals: Vec<String>,
+    individual_ids: HashMap<String, IndividualId>,
+    assertions: Vec<Assertion>,
+    seen: HashSet<Assertion>,
+}
+
+impl Abox {
+    /// Creates an empty ABox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an individual constant by name.
+    pub fn individual(&mut self, name: &str) -> IndividualId {
+        if let Some(&id) = self.individual_ids.get(name) {
+            return id;
+        }
+        let id = IndividualId(self.individuals.len() as u32);
+        self.individuals.push(name.to_owned());
+        self.individual_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an individual by name without interning.
+    pub fn find_individual(&self, name: &str) -> Option<IndividualId> {
+        self.individual_ids.get(name).copied()
+    }
+
+    /// Name of an interned individual.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this ABox.
+    pub fn individual_name(&self, id: IndividualId) -> &str {
+        &self.individuals[id.index()]
+    }
+
+    /// Number of interned individuals.
+    pub fn num_individuals(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// Adds an assertion, ignoring duplicates. Returns `true` if new.
+    pub fn add(&mut self, a: Assertion) -> bool {
+        if self.seen.insert(a.clone()) {
+            self.assertions.push(a);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Convenience: add `A(c)` by names... interning both.
+    pub fn assert_concept(&mut self, a: ConceptId, ind: &str) {
+        let c = self.individual(ind);
+        self.add(Assertion::Concept(a, c));
+    }
+
+    /// Convenience: add `P(c, d)`, interning both individuals.
+    pub fn assert_role(&mut self, p: RoleId, subj: &str, obj: &str) {
+        let c = self.individual(subj);
+        let d = self.individual(obj);
+        self.add(Assertion::Role(p, c, d));
+    }
+
+    /// Convenience: add `U(c, v)`, interning the individual.
+    pub fn assert_attribute(&mut self, u: AttributeId, subj: &str, v: Value) {
+        let c = self.individual(subj);
+        self.add(Assertion::Attribute(u, c, v));
+    }
+
+    /// All assertions, in insertion order.
+    pub fn assertions(&self) -> &[Assertion] {
+        &self.assertions
+    }
+
+    /// Whether the ABox contains exactly this assertion.
+    pub fn contains(&self, a: &Assertion) -> bool {
+        self.seen.contains(a)
+    }
+
+    /// Number of assertions.
+    pub fn len(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// Whether the ABox has no assertions.
+    pub fn is_empty(&self) -> bool {
+        self.assertions.is_empty()
+    }
+
+    /// Iterates over the instances of concept `a`.
+    pub fn concept_instances(&self, a: ConceptId) -> impl Iterator<Item = IndividualId> + '_ {
+        self.assertions.iter().filter_map(move |x| match x {
+            Assertion::Concept(c, i) if *c == a => Some(*i),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the instance pairs of role `p`.
+    pub fn role_instances(
+        &self,
+        p: RoleId,
+    ) -> impl Iterator<Item = (IndividualId, IndividualId)> + '_ {
+        self.assertions.iter().filter_map(move |x| match x {
+            Assertion::Role(r, s, o) if *r == p => Some((*s, *o)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the instance pairs of attribute `u`.
+    pub fn attribute_instances(
+        &self,
+        u: AttributeId,
+    ) -> impl Iterator<Item = (IndividualId, &Value)> + '_ {
+        self.assertions.iter().filter_map(move |x| match x {
+            Assertion::Attribute(a, s, v) if *a == u => Some((*s, v)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_and_duplicates() {
+        let mut ab = Abox::new();
+        let a = ConceptId(0);
+        ab.assert_concept(a, "rome");
+        ab.assert_concept(a, "rome");
+        assert_eq!(ab.len(), 1);
+        assert_eq!(ab.num_individuals(), 1);
+        assert_eq!(ab.individual_name(ab.find_individual("rome").unwrap()), "rome");
+    }
+
+    #[test]
+    fn typed_instance_iterators() {
+        let mut ab = Abox::new();
+        let a = ConceptId(0);
+        let b = ConceptId(1);
+        let p = RoleId(0);
+        let u = AttributeId(0);
+        ab.assert_concept(a, "x");
+        ab.assert_concept(b, "y");
+        ab.assert_role(p, "x", "y");
+        ab.assert_attribute(u, "x", Value::Int(42));
+        assert_eq!(ab.concept_instances(a).count(), 1);
+        assert_eq!(ab.concept_instances(b).count(), 1);
+        let pairs: Vec<_> = ab.role_instances(p).collect();
+        assert_eq!(pairs.len(), 1);
+        assert_ne!(pairs[0].0, pairs[0].1);
+        let attrs: Vec<_> = ab.attribute_instances(u).collect();
+        assert_eq!(attrs[0].1, &Value::Int(42));
+    }
+}

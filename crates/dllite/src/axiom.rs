@@ -1,0 +1,88 @@
+//! TBox axioms of DL-Lite_R/A.
+//!
+//! A DL-Lite_R TBox is a finite set of inclusions `B ⊑ C` and `Q ⊑ R`
+//! (Section 4 of the paper); DL-Lite_A additionally allows inclusions
+//! between attributes. The paper's classification technique partitions
+//! axioms into *positive inclusions* (no negation on the right-hand side)
+//! and *negative inclusions* (disjointness assertions); this module exposes
+//! that partition through [`Axiom::is_positive`].
+
+use crate::expr::{BasicConcept, BasicRole, GeneralConcept, GeneralRole};
+use crate::signature::AttributeId;
+
+/// A TBox axiom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axiom {
+    /// Concept inclusion `B ⊑ C`.
+    ConceptIncl(BasicConcept, GeneralConcept),
+    /// Role inclusion `Q ⊑ R`.
+    RoleIncl(BasicRole, GeneralRole),
+    /// Attribute inclusion `U₁ ⊑ U₂`.
+    AttrIncl(AttributeId, AttributeId),
+    /// Attribute disjointness `U₁ ⊑ ¬U₂`.
+    AttrNegIncl(AttributeId, AttributeId),
+}
+
+impl Axiom {
+    /// Whether the axiom is a *positive inclusion* (its right-hand side has
+    /// no negation). The digraph of Definition 1 is built from exactly the
+    /// positive inclusions; the negative ones drive `computeUnsat`.
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Axiom::ConceptIncl(_, rhs) => rhs.is_positive(),
+            Axiom::RoleIncl(_, rhs) => rhs.is_positive(),
+            Axiom::AttrIncl(_, _) => true,
+            Axiom::AttrNegIncl(_, _) => false,
+        }
+    }
+
+    /// Convenience constructor for an atomic concept inclusion `B ⊑ B'`.
+    pub fn concept(lhs: impl Into<BasicConcept>, rhs: impl Into<BasicConcept>) -> Axiom {
+        Axiom::ConceptIncl(lhs.into(), GeneralConcept::Basic(rhs.into()))
+    }
+
+    /// Convenience constructor for a concept disjointness `B ⊑ ¬B'`.
+    pub fn concept_neg(lhs: impl Into<BasicConcept>, rhs: impl Into<BasicConcept>) -> Axiom {
+        Axiom::ConceptIncl(lhs.into(), GeneralConcept::Neg(rhs.into()))
+    }
+
+    /// Convenience constructor for a qualified existential inclusion
+    /// `B ⊑ ∃Q.A`.
+    pub fn qual_exists(
+        lhs: impl Into<BasicConcept>,
+        q: BasicRole,
+        a: crate::signature::ConceptId,
+    ) -> Axiom {
+        Axiom::ConceptIncl(lhs.into(), GeneralConcept::QualExists(q, a))
+    }
+
+    /// Convenience constructor for a role inclusion `Q ⊑ Q'`.
+    pub fn role(lhs: BasicRole, rhs: BasicRole) -> Axiom {
+        Axiom::RoleIncl(lhs, GeneralRole::Basic(rhs))
+    }
+
+    /// Convenience constructor for a role disjointness `Q ⊑ ¬Q'`.
+    pub fn role_neg(lhs: BasicRole, rhs: BasicRole) -> Axiom {
+        Axiom::RoleIncl(lhs, GeneralRole::Neg(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{ConceptId, RoleId};
+
+    #[test]
+    fn polarity_partition() {
+        let a = ConceptId(0);
+        let b = ConceptId(1);
+        let p = BasicRole::Direct(RoleId(0));
+        assert!(Axiom::concept(a, b).is_positive());
+        assert!(!Axiom::concept_neg(a, b).is_positive());
+        assert!(Axiom::qual_exists(a, p, b).is_positive());
+        assert!(Axiom::role(p, p.inverse()).is_positive());
+        assert!(!Axiom::role_neg(p, p.inverse()).is_positive());
+        assert!(Axiom::AttrIncl(AttributeId(0), AttributeId(1)).is_positive());
+        assert!(!Axiom::AttrNegIncl(AttributeId(0), AttributeId(1)).is_positive());
+    }
+}

@@ -1,0 +1,197 @@
+//! Concept and role expressions of DL-Lite_R (with qualified existentials
+//! and DL-Lite_A attributes).
+//!
+//! The grammar follows Section 4 of the paper:
+//!
+//! ```text
+//! B ::= A | ∃Q | δ(U)          (basic concepts)
+//! Q ::= P | P⁻                 (basic roles)
+//! C ::= B | ¬B | ∃Q.A          (general concepts)
+//! R ::= Q | ¬Q                 (general roles)
+//! ```
+//!
+//! where `A` is an atomic concept, `P` an atomic role and `U` an attribute.
+//! `δ(U)` is the *attribute domain* of DL-Lite_A, i.e. the set of objects
+//! that have some value for `U`.
+
+use crate::signature::{AttributeId, ConceptId, RoleId};
+
+/// A basic role `Q ::= P | P⁻`: an atomic role or the inverse of one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BasicRole {
+    /// The atomic role `P` itself.
+    Direct(RoleId),
+    /// The inverse `P⁻` of the atomic role `P`.
+    Inverse(RoleId),
+}
+
+impl BasicRole {
+    /// The underlying atomic role.
+    #[inline]
+    pub fn role(self) -> RoleId {
+        match self {
+            BasicRole::Direct(p) | BasicRole::Inverse(p) => p,
+        }
+    }
+
+    /// Whether this is the inverse form `P⁻`.
+    #[inline]
+    pub fn is_inverse(self) -> bool {
+        matches!(self, BasicRole::Inverse(_))
+    }
+
+    /// The inverse of this basic role (`P ↦ P⁻`, `P⁻ ↦ P`).
+    #[inline]
+    pub fn inverse(self) -> BasicRole {
+        match self {
+            BasicRole::Direct(p) => BasicRole::Inverse(p),
+            BasicRole::Inverse(p) => BasicRole::Direct(p),
+        }
+    }
+
+    /// The unqualified existential restriction `∃Q` over this role.
+    #[inline]
+    pub fn exists(self) -> BasicConcept {
+        BasicConcept::Exists(self)
+    }
+}
+
+/// A basic concept `B ::= A | ∃Q | δ(U)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BasicConcept {
+    /// An atomic concept `A`.
+    Atomic(ConceptId),
+    /// The unqualified existential restriction `∃Q` (domain of `Q`).
+    Exists(BasicRole),
+    /// The attribute domain `δ(U)`.
+    AttrDomain(AttributeId),
+}
+
+impl BasicConcept {
+    /// Convenience constructor for `∃P`.
+    pub fn exists(p: RoleId) -> Self {
+        BasicConcept::Exists(BasicRole::Direct(p))
+    }
+
+    /// Convenience constructor for `∃P⁻`.
+    pub fn exists_inv(p: RoleId) -> Self {
+        BasicConcept::Exists(BasicRole::Inverse(p))
+    }
+
+    /// Whether this is an atomic concept.
+    pub fn is_atomic(self) -> bool {
+        matches!(self, BasicConcept::Atomic(_))
+    }
+}
+
+impl From<ConceptId> for BasicConcept {
+    fn from(a: ConceptId) -> Self {
+        BasicConcept::Atomic(a)
+    }
+}
+
+impl From<BasicRole> for BasicConcept {
+    fn from(q: BasicRole) -> Self {
+        BasicConcept::Exists(q)
+    }
+}
+
+/// A general concept `C ::= B | ¬B | ∃Q.A`, allowed on the right-hand side
+/// of concept inclusions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GeneralConcept {
+    /// A basic concept.
+    Basic(BasicConcept),
+    /// Negation of a basic concept (`¬B`), making the inclusion a
+    /// *negative inclusion* (disjointness).
+    Neg(BasicConcept),
+    /// A qualified existential restriction `∃Q.A`: the objects related by
+    /// `Q` to some instance of the atomic concept `A`.
+    QualExists(BasicRole, ConceptId),
+}
+
+impl GeneralConcept {
+    /// Whether this right-hand side makes the inclusion positive.
+    pub fn is_positive(self) -> bool {
+        !matches!(self, GeneralConcept::Neg(_))
+    }
+}
+
+impl From<BasicConcept> for GeneralConcept {
+    fn from(b: BasicConcept) -> Self {
+        GeneralConcept::Basic(b)
+    }
+}
+
+impl From<ConceptId> for GeneralConcept {
+    fn from(a: ConceptId) -> Self {
+        GeneralConcept::Basic(BasicConcept::Atomic(a))
+    }
+}
+
+/// A general role `R ::= Q | ¬Q`, allowed on the right-hand side of role
+/// inclusions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GeneralRole {
+    /// A basic role.
+    Basic(BasicRole),
+    /// Negation of a basic role (`¬Q`), making the inclusion a role
+    /// disjointness.
+    Neg(BasicRole),
+}
+
+impl GeneralRole {
+    /// Whether this right-hand side makes the inclusion positive.
+    pub fn is_positive(self) -> bool {
+        matches!(self, GeneralRole::Basic(_))
+    }
+}
+
+impl From<BasicRole> for GeneralRole {
+    fn from(q: BasicRole) -> Self {
+        GeneralRole::Basic(q)
+    }
+}
+
+/// A *named* predicate of the signature: the subjects of ontology
+/// classification (Section 5 of the paper: "computing all subsumption
+/// relationships inferred in an ontology between concept and property
+/// (i.e., role and attribute) names").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NamedPredicate {
+    /// An atomic concept.
+    Concept(ConceptId),
+    /// An atomic role.
+    Role(RoleId),
+    /// An attribute.
+    Attribute(AttributeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_is_involutive() {
+        let q = BasicRole::Direct(RoleId(3));
+        assert_eq!(q.inverse().inverse(), q);
+        assert!(q.inverse().is_inverse());
+        assert_eq!(q.inverse().role(), RoleId(3));
+    }
+
+    #[test]
+    fn general_concept_polarity() {
+        let b = BasicConcept::Atomic(ConceptId(0));
+        assert!(GeneralConcept::Basic(b).is_positive());
+        assert!(!GeneralConcept::Neg(b).is_positive());
+        assert!(GeneralConcept::QualExists(BasicRole::Direct(RoleId(0)), ConceptId(1)).is_positive());
+    }
+
+    #[test]
+    fn conversions_build_expected_shapes() {
+        let a: GeneralConcept = ConceptId(7).into();
+        assert_eq!(a, GeneralConcept::Basic(BasicConcept::Atomic(ConceptId(7))));
+        let e: BasicConcept = BasicRole::Inverse(RoleId(2)).into();
+        assert_eq!(e, BasicConcept::exists_inv(RoleId(2)));
+    }
+}

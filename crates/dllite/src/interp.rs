@@ -1,0 +1,294 @@
+//! Finite interpretations and model checking.
+//!
+//! DL-Lite has the finite-model property for the reasoning tasks we care
+//! about only in restricted senses, so this module is *not* a decision
+//! procedure. Its job is narrower and fully sound: given an explicit finite
+//! interpretation, decide whether it satisfies concepts, axioms, TBoxes and
+//! ABoxes. The reasoning crates use it in property tests: any axiom derived
+//! by a reasoner must hold in every (randomly generated) model of the input
+//! TBox — a soundness oracle that is independent of all reasoner code.
+
+use std::collections::HashSet;
+
+use crate::abox::{Abox, Assertion};
+use crate::axiom::Axiom;
+use crate::expr::{BasicConcept, BasicRole, GeneralConcept, GeneralRole};
+use crate::signature::{AttributeId, ConceptId, RoleId};
+use crate::tbox::Tbox;
+
+/// A finite interpretation over the domain `{0, …, domain_size - 1}`.
+///
+/// Concept extensions are sets of domain elements; role extensions are sets
+/// of ordered pairs; attribute extensions are sets of (element, value-id)
+/// pairs where value ids are opaque `usize`s (the concrete values are
+/// irrelevant to TBox satisfaction).
+#[derive(Debug, Clone)]
+pub struct Interpretation {
+    domain_size: usize,
+    concepts: Vec<HashSet<usize>>,
+    roles: Vec<HashSet<(usize, usize)>>,
+    attributes: Vec<HashSet<(usize, usize)>>,
+}
+
+impl Interpretation {
+    /// Creates an interpretation with all extensions empty.
+    ///
+    /// `num_concepts`, `num_roles` and `num_attributes` must cover the ids
+    /// used later (typically the sizes of the TBox signature).
+    pub fn new(
+        domain_size: usize,
+        num_concepts: usize,
+        num_roles: usize,
+        num_attributes: usize,
+    ) -> Self {
+        Interpretation {
+            domain_size,
+            concepts: vec![HashSet::new(); num_concepts],
+            roles: vec![HashSet::new(); num_roles],
+            attributes: vec![HashSet::new(); num_attributes],
+        }
+    }
+
+    /// Creates an empty interpretation sized for the signature of `t`.
+    pub fn for_tbox(t: &Tbox, domain_size: usize) -> Self {
+        Self::new(
+            domain_size,
+            t.sig.num_concepts(),
+            t.sig.num_roles(),
+            t.sig.num_attributes(),
+        )
+    }
+
+    /// The domain size.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// Adds `e ∈ Aᴵ`.
+    ///
+    /// # Panics
+    /// Panics if `e` is outside the domain.
+    pub fn add_concept(&mut self, a: ConceptId, e: usize) {
+        assert!(e < self.domain_size, "element outside domain");
+        self.concepts[a.index()].insert(e);
+    }
+
+    /// Adds `(s, o) ∈ Pᴵ`.
+    ///
+    /// # Panics
+    /// Panics if `s` or `o` is outside the domain.
+    pub fn add_role(&mut self, p: RoleId, s: usize, o: usize) {
+        assert!(s < self.domain_size && o < self.domain_size, "element outside domain");
+        self.roles[p.index()].insert((s, o));
+    }
+
+    /// Adds `(s, v) ∈ Uᴵ` where `v` is an opaque value id.
+    ///
+    /// # Panics
+    /// Panics if `s` is outside the domain.
+    pub fn add_attribute(&mut self, u: AttributeId, s: usize, v: usize) {
+        assert!(s < self.domain_size, "element outside domain");
+        self.attributes[u.index()].insert((s, v));
+    }
+
+    /// Whether `e ∈ Bᴵ`.
+    pub fn holds_basic(&self, b: BasicConcept, e: usize) -> bool {
+        match b {
+            BasicConcept::Atomic(a) => self.concepts[a.index()].contains(&e),
+            BasicConcept::Exists(q) => self.role_pairs(q).any(|(s, _)| s == e),
+            BasicConcept::AttrDomain(u) => {
+                self.attributes[u.index()].iter().any(|&(s, _)| s == e)
+            }
+        }
+    }
+
+    /// Whether `e ∈ Cᴵ` for a general concept.
+    pub fn holds_general(&self, c: GeneralConcept, e: usize) -> bool {
+        match c {
+            GeneralConcept::Basic(b) => self.holds_basic(b, e),
+            GeneralConcept::Neg(b) => !self.holds_basic(b, e),
+            GeneralConcept::QualExists(q, a) => self
+                .role_pairs(q)
+                .any(|(s, o)| s == e && self.concepts[a.index()].contains(&o)),
+        }
+    }
+
+    /// Iterates over `Qᴵ` (with inversion applied for `P⁻`).
+    pub fn role_pairs(&self, q: BasicRole) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let inv = q.is_inverse();
+        self.roles[q.role().index()]
+            .iter()
+            .map(move |&(s, o)| if inv { (o, s) } else { (s, o) })
+    }
+
+    /// Whether the interpretation satisfies a single TBox axiom.
+    pub fn satisfies(&self, ax: &Axiom) -> bool {
+        match *ax {
+            Axiom::ConceptIncl(lhs, rhs) => (0..self.domain_size)
+                .all(|e| !self.holds_basic(lhs, e) || self.holds_general(rhs, e)),
+            Axiom::RoleIncl(lhs, rhs) => {
+                let rhs_holds = |pair: (usize, usize)| match rhs {
+                    GeneralRole::Basic(q2) => self.role_pairs(q2).any(|p| p == pair),
+                    GeneralRole::Neg(q2) => !self.role_pairs(q2).any(|p| p == pair),
+                };
+                self.role_pairs(lhs).all(rhs_holds)
+            }
+            Axiom::AttrIncl(u1, u2) => self.attributes[u1.index()]
+                .iter()
+                .all(|p| self.attributes[u2.index()].contains(p)),
+            Axiom::AttrNegIncl(u1, u2) => self.attributes[u1.index()]
+                .iter()
+                .all(|p| !self.attributes[u2.index()].contains(p)),
+        }
+    }
+
+    /// Whether the interpretation is a model of the whole TBox.
+    pub fn is_model_of(&self, t: &Tbox) -> bool {
+        t.axioms().iter().all(|ax| self.satisfies(ax))
+    }
+
+    /// Whether the interpretation satisfies an ABox under the mapping
+    /// `ind_map: IndividualId index → domain element` and
+    /// `val_map: assertion index → value id` (values are matched purely by
+    /// identity of the [`crate::Value`], so equal values must map to equal
+    /// ids; the helper [`Interpretation::satisfies_abox_canonical`] handles
+    /// the common case).
+    pub fn satisfies_abox(&self, abox: &Abox, ind_map: &[usize]) -> bool {
+        // Values get ids by first occurrence among the ABox's assertions.
+        // Linear scan is fine: test ABoxes are small.
+        let mut vals: Vec<&crate::Value> = Vec::new();
+        for a in abox.assertions() {
+            let ok = match a {
+                Assertion::Concept(c, i) => {
+                    self.concepts[c.index()].contains(&ind_map[i.index()])
+                }
+                Assertion::Role(p, s, o) => self.roles[p.index()]
+                    .contains(&(ind_map[s.index()], ind_map[o.index()])),
+                Assertion::Attribute(u, s, v) => {
+                    let vid = match vals.iter().position(|w| *w == v) {
+                        Some(i) => i,
+                        None => {
+                            vals.push(v);
+                            vals.len() - 1
+                        }
+                    };
+                    self.attributes[u.index()].contains(&(ind_map[s.index()], vid))
+                }
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Satisfies the ABox under the *canonical* embedding: individual `i`
+    /// maps to domain element `i`. Requires `domain_size >= num_individuals`.
+    pub fn satisfies_abox_canonical(&self, abox: &Abox) -> bool {
+        let ind_map: Vec<usize> = (0..abox.num_individuals()).collect();
+        self.satisfies_abox(abox, &ind_map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::Axiom;
+
+    fn small_tbox() -> (Tbox, ConceptId, ConceptId, RoleId) {
+        let mut t = Tbox::new();
+        let a = t.sig.concept("A");
+        let b = t.sig.concept("B");
+        let p = t.sig.role("p");
+        t.add(Axiom::concept(a, BasicConcept::exists(p)));
+        t.add(Axiom::concept(BasicConcept::exists_inv(p), b));
+        (t, a, b, p)
+    }
+
+    #[test]
+    fn model_checking_positive_chain() {
+        let (t, a, b, p) = small_tbox();
+        let mut i = Interpretation::for_tbox(&t, 2);
+        i.add_concept(a, 0);
+        i.add_role(p, 0, 1);
+        i.add_concept(b, 1);
+        assert!(i.is_model_of(&t));
+        // Remove B(1): ∃p⁻ ⊑ B is now violated.
+        let mut j = Interpretation::for_tbox(&t, 2);
+        j.add_concept(a, 0);
+        j.add_role(p, 0, 1);
+        assert!(!j.is_model_of(&t));
+    }
+
+    #[test]
+    fn qualified_existential_needs_witness_of_right_type() {
+        let mut t = Tbox::new();
+        let a = t.sig.concept("A");
+        let b = t.sig.concept("B");
+        let p = t.sig.role("p");
+        t.add(Axiom::qual_exists(a, BasicRole::Direct(p), b));
+        let mut i = Interpretation::for_tbox(&t, 2);
+        i.add_concept(a, 0);
+        i.add_role(p, 0, 1);
+        // Witness 1 is not in B: axiom violated.
+        assert!(!i.is_model_of(&t));
+        i.add_concept(b, 1);
+        assert!(i.is_model_of(&t));
+    }
+
+    #[test]
+    fn negative_inclusion_checks_disjointness() {
+        let mut t = Tbox::new();
+        let a = t.sig.concept("A");
+        let b = t.sig.concept("B");
+        t.add(Axiom::concept_neg(a, b));
+        let mut i = Interpretation::for_tbox(&t, 1);
+        i.add_concept(a, 0);
+        assert!(i.is_model_of(&t));
+        i.add_concept(b, 0);
+        assert!(!i.is_model_of(&t));
+    }
+
+    #[test]
+    fn role_inclusion_and_inverse_semantics() {
+        let mut t = Tbox::new();
+        let p = t.sig.role("p");
+        let r = t.sig.role("r");
+        t.add(Axiom::role(BasicRole::Direct(p), BasicRole::Inverse(r)));
+        let mut i = Interpretation::for_tbox(&t, 2);
+        i.add_role(p, 0, 1);
+        assert!(!i.is_model_of(&t));
+        i.add_role(r, 1, 0); // (0,1) ∈ r⁻
+        assert!(i.is_model_of(&t));
+    }
+
+    #[test]
+    fn abox_canonical_embedding() {
+        let mut t = Tbox::new();
+        let a = t.sig.concept("A");
+        let mut ab = Abox::new();
+        ab.assert_concept(a, "x");
+        let mut i = Interpretation::for_tbox(&t, 1);
+        assert!(!i.satisfies_abox_canonical(&ab));
+        i.add_concept(a, 0);
+        assert!(i.satisfies_abox_canonical(&ab));
+    }
+
+    #[test]
+    fn attribute_axioms() {
+        let mut t = Tbox::new();
+        let u = t.sig.attribute("u");
+        let w = t.sig.attribute("w");
+        let a = t.sig.concept("A");
+        t.add(Axiom::AttrIncl(u, w));
+        t.add(Axiom::concept(BasicConcept::AttrDomain(w), a));
+        let mut i = Interpretation::for_tbox(&t, 1);
+        i.add_attribute(u, 0, 0);
+        assert!(!i.satisfies(&t.axioms()[0]));
+        i.add_attribute(w, 0, 0);
+        assert!(i.satisfies(&t.axioms()[0]));
+        assert!(!i.satisfies(&t.axioms()[1]));
+        i.add_concept(a, 0);
+        assert!(i.is_model_of(&t));
+    }
+}

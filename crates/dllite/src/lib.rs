@@ -1,0 +1,45 @@
+//! # obda-dllite
+//!
+//! Object model for the *DL-Lite* family of description logics, in the
+//! dialect used by the paper: **DL-Lite_R** extended with qualified
+//! existential restrictions on the right-hand side of concept inclusions,
+//! plus the attribute constructs of DL-Lite_A (attributes and attribute
+//! domains) without functionality.
+//!
+//! The crate provides:
+//!
+//! * an interned [`Signature`] of atomic concepts, atomic roles and
+//!   attributes (`signature`);
+//! * the concept/role expression grammar of the paper (`expr`):
+//!   basic concepts `B ::= A | ∃Q | δ(U)`, basic roles `Q ::= P | P⁻`,
+//!   general concepts `C ::= B | ¬B | ∃Q.A` and general roles
+//!   `R ::= Q | ¬Q`;
+//! * TBox axioms `B ⊑ C`, `Q ⊑ R`, `U₁ ⊑ U₂`, `U₁ ⊑ ¬U₂` and the
+//!   [`Tbox`] container (`axiom`, `tbox`);
+//! * ABox assertions and the [`Abox`] container (`abox`);
+//! * a line-oriented concrete syntax with parser and pretty-printer
+//!   (`parser`, `printer`);
+//! * finite interpretations with a model checker (`interp`), used by the
+//!   property-test suites of the downstream reasoning crates to validate
+//!   soundness of derived axioms.
+//!
+//! Everything downstream (the QuOnto-style classifier in `quonto`, the
+//! baseline reasoners, the OBDA system `mastro`, the graphical language,
+//! approximation, and the generators) builds on these types.
+
+pub mod abox;
+pub mod axiom;
+pub mod expr;
+pub mod interp;
+pub mod parser;
+pub mod printer;
+pub mod signature;
+pub mod tbox;
+
+pub use abox::{Abox, Assertion, IndividualId, Value};
+pub use axiom::Axiom;
+pub use expr::{BasicConcept, BasicRole, GeneralConcept, GeneralRole, NamedPredicate};
+pub use interp::Interpretation;
+pub use parser::{parse_abox, parse_tbox, ParseError};
+pub use signature::{AttributeId, ConceptId, RoleId, Signature};
+pub use tbox::Tbox;

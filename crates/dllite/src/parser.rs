@@ -1,0 +1,514 @@
+//! Line-oriented concrete syntax for DL-Lite_R/A TBoxes and ABoxes.
+//!
+//! The TBox syntax mirrors the abstract grammar of the paper:
+//!
+//! ```text
+//! # declarations (required before use; one kind per line, many names)
+//! concept County State
+//! role    isPartOf
+//! attribute population
+//!
+//! # axioms: `[=` is ⊑, `not` is ¬, `exists` is ∃, `inv(p)` is p⁻,
+//! # `domain(u)` is δ(u), and `exists q . A` is the qualified ∃q.A
+//! County [= exists isPartOf . State
+//! State  [= exists inv(isPartOf) . County
+//! County [= not State
+//! isPartOf [= locatedIn
+//! domain(population) [= County
+//! ```
+//!
+//! The ABox syntax is atom-per-line: `A(x)`, `p(x, y)`, `u(x, 42)`,
+//! `u(x, "text")`.
+//!
+//! Blank lines and `#` comments are ignored everywhere.
+
+use std::fmt;
+
+use crate::abox::{Abox, Value};
+use crate::axiom::Axiom;
+use crate::expr::{BasicConcept, BasicRole, GeneralConcept, GeneralRole};
+use crate::signature::Signature;
+use crate::tbox::Tbox;
+
+/// Error produced by [`parse_tbox`] / [`parse_abox`], with 1-based line
+/// number and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Subsumes, // `[=`
+    Not,
+    Exists,
+    Inv,    // `inv`
+    Domain, // `domain`
+    LParen,
+    RParen,
+    Dot,
+    Comma,
+    Int(i64),
+    Str(String),
+}
+
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '#' => break,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '[' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Subsumes);
+                    i += 2;
+                } else {
+                    return err(lineno, "expected `[=`");
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return err(lineno, "unterminated string literal");
+                }
+                toks.push(Tok::Str(line[start..j].to_owned()));
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &line[start..i];
+                match text.parse::<i64>() {
+                    Ok(n) => toks.push(Tok::Int(n)),
+                    Err(_) => return err(lineno, format!("bad integer literal `{text}`")),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &line[start..i];
+                toks.push(match word {
+                    "not" => Tok::Not,
+                    "exists" => Tok::Exists,
+                    "inv" => Tok::Inv,
+                    "domain" => Tok::Domain,
+                    _ => Tok::Ident(word.to_owned()),
+                });
+            }
+            other => return err(lineno, format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(toks)
+}
+
+/// Cursor over the token list of one line.
+struct Cursor<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            _ => err(self.line, format!("expected {what}")),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s.clone()),
+            _ => err(self.line, format!("expected {what}")),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.toks.len()
+    }
+}
+
+/// One side of an inclusion before sort resolution.
+enum Side {
+    Concept(BasicConcept),
+    Role(BasicRole),
+    Attribute(crate::signature::AttributeId),
+    QualExists(BasicRole, crate::signature::ConceptId),
+}
+
+fn parse_role_expr(cur: &mut Cursor, sig: &Signature) -> Result<BasicRole, ParseError> {
+    match cur.next() {
+        Some(Tok::Inv) => {
+            cur.expect(&Tok::LParen, "`(` after inv")?;
+            let name = cur.ident("role name")?;
+            cur.expect(&Tok::RParen, "`)`")?;
+            match sig.find_role(&name) {
+                Some(p) => Ok(BasicRole::Inverse(p)),
+                None => err(cur.line, format!("undeclared role `{name}`")),
+            }
+        }
+        Some(Tok::Ident(name)) => {
+            let name = name.clone();
+            match sig.find_role(&name) {
+                Some(p) => Ok(BasicRole::Direct(p)),
+                None => err(cur.line, format!("undeclared role `{name}`")),
+            }
+        }
+        _ => err(cur.line, "expected role expression"),
+    }
+}
+
+/// Parses a side of an inclusion: a basic concept, basic role, attribute,
+/// or (on the right-hand side only) a qualified existential.
+fn parse_side(cur: &mut Cursor, sig: &Signature) -> Result<Side, ParseError> {
+    match cur.peek() {
+        Some(Tok::Exists) => {
+            cur.next();
+            let q = parse_role_expr(cur, sig)?;
+            if cur.peek() == Some(&Tok::Dot) {
+                cur.next();
+                let name = cur.ident("atomic concept after `.`")?;
+                match sig.find_concept(&name) {
+                    Some(a) => Ok(Side::QualExists(q, a)),
+                    None => err(cur.line, format!("undeclared concept `{name}`")),
+                }
+            } else {
+                Ok(Side::Concept(BasicConcept::Exists(q)))
+            }
+        }
+        Some(Tok::Domain) => {
+            cur.next();
+            cur.expect(&Tok::LParen, "`(` after domain")?;
+            let name = cur.ident("attribute name")?;
+            cur.expect(&Tok::RParen, "`)`")?;
+            match sig.find_attribute(&name) {
+                Some(u) => Ok(Side::Concept(BasicConcept::AttrDomain(u))),
+                None => err(cur.line, format!("undeclared attribute `{name}`")),
+            }
+        }
+        Some(Tok::Inv) => Ok(Side::Role(parse_role_expr(cur, sig)?)),
+        Some(Tok::Ident(name)) => {
+            let name = name.clone();
+            cur.next();
+            if let Some(a) = sig.find_concept(&name) {
+                Ok(Side::Concept(BasicConcept::Atomic(a)))
+            } else if let Some(p) = sig.find_role(&name) {
+                Ok(Side::Role(BasicRole::Direct(p)))
+            } else if let Some(u) = sig.find_attribute(&name) {
+                Ok(Side::Attribute(u))
+            } else {
+                err(cur.line, format!("undeclared name `{name}`"))
+            }
+        }
+        _ => err(cur.line, "expected concept, role or attribute expression"),
+    }
+}
+
+/// Parses a TBox from the concrete syntax described in the module docs.
+pub fn parse_tbox(src: &str) -> Result<Tbox, ParseError> {
+    let mut tbox = Tbox::new();
+    // First pass: declarations (they may appear anywhere, but must precede
+    // first use; processing declaration lines of the whole file up front
+    // keeps the common "all decls at top" style working and also permits
+    // interleaving).
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let toks = tokenize(raw, lineno)?;
+        if toks.is_empty() {
+            continue;
+        }
+        if let Tok::Ident(kw) = &toks[0] {
+            let kind = kw.as_str();
+            if matches!(kind, "concept" | "role" | "attribute") {
+                if toks.len() < 2 {
+                    return err(lineno, format!("`{kind}` needs at least one name"));
+                }
+                for t in &toks[1..] {
+                    match t {
+                        Tok::Ident(name) => {
+                            match kind {
+                                "concept" => {
+                                    tbox.sig.concept(name);
+                                }
+                                "role" => {
+                                    tbox.sig.role(name);
+                                }
+                                _ => {
+                                    tbox.sig.attribute(name);
+                                }
+                            };
+                        }
+                        _ => return err(lineno, format!("bad name in `{kind}` declaration")),
+                    }
+                }
+            }
+        }
+    }
+    // Second pass: axioms.
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let toks = tokenize(raw, lineno)?;
+        if toks.is_empty() {
+            continue;
+        }
+        if let Tok::Ident(kw) = &toks[0] {
+            if matches!(kw.as_str(), "concept" | "role" | "attribute") {
+                continue;
+            }
+        }
+        let mut cur = Cursor {
+            toks: &toks,
+            pos: 0,
+            line: lineno,
+        };
+        let lhs = parse_side(&mut cur, &tbox.sig)?;
+        cur.expect(&Tok::Subsumes, "`[=`")?;
+        let negated = if cur.peek() == Some(&Tok::Not) {
+            cur.next();
+            true
+        } else {
+            false
+        };
+        let rhs = parse_side(&mut cur, &tbox.sig)?;
+        if !cur.at_end() {
+            return err(lineno, "trailing tokens after axiom");
+        }
+        let ax = match (lhs, rhs, negated) {
+            (Side::Concept(b1), Side::Concept(b2), false) => {
+                Axiom::ConceptIncl(b1, GeneralConcept::Basic(b2))
+            }
+            (Side::Concept(b1), Side::Concept(b2), true) => {
+                Axiom::ConceptIncl(b1, GeneralConcept::Neg(b2))
+            }
+            (Side::Concept(b1), Side::QualExists(q, a), false) => {
+                Axiom::ConceptIncl(b1, GeneralConcept::QualExists(q, a))
+            }
+            (Side::Concept(_), Side::QualExists(_, _), true) => {
+                return err(lineno, "negation of a qualified existential is not in DL-Lite_R")
+            }
+            (Side::Role(q1), Side::Role(q2), false) => {
+                Axiom::RoleIncl(q1, GeneralRole::Basic(q2))
+            }
+            (Side::Role(q1), Side::Role(q2), true) => Axiom::RoleIncl(q1, GeneralRole::Neg(q2)),
+            (Side::Attribute(u1), Side::Attribute(u2), false) => Axiom::AttrIncl(u1, u2),
+            (Side::Attribute(u1), Side::Attribute(u2), true) => Axiom::AttrNegIncl(u1, u2),
+            (Side::QualExists(_, _), _, _) => {
+                return err(lineno, "qualified existential cannot appear on the left-hand side")
+            }
+            _ => return err(lineno, "inclusion sides have different sorts"),
+        };
+        tbox.add(ax);
+    }
+    Ok(tbox)
+}
+
+/// Parses an ABox (atom per line) against an existing signature.
+pub fn parse_abox(src: &str, sig: &Signature) -> Result<Abox, ParseError> {
+    let mut abox = Abox::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let toks = tokenize(raw, lineno)?;
+        if toks.is_empty() {
+            continue;
+        }
+        let mut cur = Cursor {
+            toks: &toks,
+            pos: 0,
+            line: lineno,
+        };
+        let pred = cur.ident("predicate name")?;
+        cur.expect(&Tok::LParen, "`(`")?;
+        let subj = cur.ident("individual name")?;
+        if let Some(a) = sig.find_concept(&pred) {
+            cur.expect(&Tok::RParen, "`)`")?;
+            abox.assert_concept(a, &subj);
+        } else if let Some(p) = sig.find_role(&pred) {
+            cur.expect(&Tok::Comma, "`,`")?;
+            let obj = cur.ident("individual name")?;
+            cur.expect(&Tok::RParen, "`)`")?;
+            abox.assert_role(p, &subj, &obj);
+        } else if let Some(u) = sig.find_attribute(&pred) {
+            cur.expect(&Tok::Comma, "`,`")?;
+            let value = match cur.next() {
+                Some(Tok::Int(n)) => Value::Int(*n),
+                Some(Tok::Str(s)) => Value::Text(s.clone()),
+                _ => return err(lineno, "expected integer or string value"),
+            };
+            cur.expect(&Tok::RParen, "`)`")?;
+            abox.assert_attribute(u, &subj, value);
+        } else {
+            return err(lineno, format!("undeclared predicate `{pred}`"));
+        }
+        if !cur.at_end() {
+            return err(lineno, "trailing tokens after assertion");
+        }
+    }
+    Ok(abox)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE2: &str = r#"
+        # Figure 2 of the paper
+        concept County State
+        role isPartOf
+
+        County [= exists isPartOf . State
+        State  [= exists inv(isPartOf) . County
+    "#;
+
+    #[test]
+    fn parses_figure2() {
+        let t = parse_tbox(FIGURE2).unwrap();
+        assert_eq!(t.len(), 2);
+        let county = t.sig.find_concept("County").unwrap();
+        let state = t.sig.find_concept("State").unwrap();
+        let p = t.sig.find_role("isPartOf").unwrap();
+        assert_eq!(
+            t.axioms()[0],
+            Axiom::qual_exists(county, BasicRole::Direct(p), state)
+        );
+        assert_eq!(
+            t.axioms()[1],
+            Axiom::qual_exists(state, BasicRole::Inverse(p), county)
+        );
+    }
+
+    #[test]
+    fn parses_every_axiom_kind() {
+        let src = r#"
+            concept A B
+            role p r
+            attribute u w
+            A [= B
+            A [= not B
+            A [= exists p
+            exists inv(p) [= A
+            A [= exists p . B
+            p [= r
+            p [= not inv(r)
+            u [= w
+            u [= not w
+            domain(u) [= A
+        "#;
+        let t = parse_tbox(src).unwrap();
+        assert_eq!(t.len(), 10);
+        let s = t.stats();
+        assert_eq!(s.concept_disjointness, 1);
+        assert_eq!(s.role_disjointness, 1);
+        assert_eq!(s.attribute_disjointness, 1);
+        assert_eq!(s.qualified_existentials, 1);
+    }
+
+    #[test]
+    fn rejects_undeclared_names() {
+        let e = parse_tbox("A [= B").unwrap_err();
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_mixed_sorts() {
+        let e = parse_tbox("concept A\nrole p\nA [= p").unwrap_err();
+        assert!(e.message.contains("different sorts"));
+    }
+
+    #[test]
+    fn rejects_qualified_existential_on_lhs() {
+        let e = parse_tbox("concept A B\nrole p\nexists p . A [= B").unwrap_err();
+        assert!(e.message.contains("left-hand side"));
+    }
+
+    #[test]
+    fn rejects_negated_qualified_existential() {
+        let e = parse_tbox("concept A B\nrole p\nA [= not exists p . B").unwrap_err();
+        assert!(e.message.contains("not in DL-Lite_R"));
+    }
+
+    #[test]
+    fn parses_abox_atoms() {
+        let t = parse_tbox("concept A\nrole p\nattribute u").unwrap();
+        let ab = parse_abox(
+            "A(x)\np(x, y)\nu(x, 42)\nu(y, \"hello\")",
+            &t.sig,
+        )
+        .unwrap();
+        assert_eq!(ab.len(), 4);
+        assert_eq!(ab.num_individuals(), 2);
+    }
+
+    #[test]
+    fn abox_rejects_arity_mismatch() {
+        let t = parse_tbox("concept A").unwrap();
+        assert!(parse_abox("A(x, y)", &t.sig).is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let e = parse_tbox("concept A\n\nA [= §").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+}

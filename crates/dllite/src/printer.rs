@@ -1,0 +1,238 @@
+//! Pretty-printing of DL-Lite expressions, axioms, TBoxes and ABoxes.
+//!
+//! Two flavours are provided:
+//!
+//! * the *concrete syntax* of [`crate::parser`] (so `print_tbox ∘
+//!   parse_tbox` round-trips — property-tested in the crate tests), and
+//! * a *display syntax* using DL glyphs (`⊑ ¬ ∃ ⁻ δ`) for reports and
+//!   examples.
+
+use std::fmt::Write as _;
+
+use crate::abox::{Abox, Assertion};
+use crate::axiom::Axiom;
+use crate::expr::{BasicConcept, BasicRole, GeneralConcept, GeneralRole, NamedPredicate};
+use crate::signature::Signature;
+use crate::tbox::Tbox;
+
+/// Which glyph set to print with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Parseable by [`crate::parser::parse_tbox`].
+    Concrete,
+    /// Human-oriented DL glyphs.
+    Display,
+}
+
+/// Renders a basic role.
+pub fn basic_role(q: BasicRole, sig: &Signature, style: Style) -> String {
+    let name = sig.role_name(q.role());
+    match (q.is_inverse(), style) {
+        (false, _) => name.to_owned(),
+        (true, Style::Concrete) => format!("inv({name})"),
+        (true, Style::Display) => format!("{name}⁻"),
+    }
+}
+
+/// Renders a basic concept.
+pub fn basic_concept(b: BasicConcept, sig: &Signature, style: Style) -> String {
+    match b {
+        BasicConcept::Atomic(a) => sig.concept_name(a).to_owned(),
+        BasicConcept::Exists(q) => match style {
+            Style::Concrete => format!("exists {}", basic_role(q, sig, style)),
+            Style::Display => format!("∃{}", basic_role(q, sig, style)),
+        },
+        BasicConcept::AttrDomain(u) => match style {
+            Style::Concrete => format!("domain({})", sig.attribute_name(u)),
+            Style::Display => format!("δ({})", sig.attribute_name(u)),
+        },
+    }
+}
+
+/// Renders a general concept.
+pub fn general_concept(c: GeneralConcept, sig: &Signature, style: Style) -> String {
+    match c {
+        GeneralConcept::Basic(b) => basic_concept(b, sig, style),
+        GeneralConcept::Neg(b) => match style {
+            Style::Concrete => format!("not {}", basic_concept(b, sig, style)),
+            Style::Display => format!("¬{}", basic_concept(b, sig, style)),
+        },
+        GeneralConcept::QualExists(q, a) => match style {
+            Style::Concrete => format!(
+                "exists {} . {}",
+                basic_role(q, sig, style),
+                sig.concept_name(a)
+            ),
+            Style::Display => {
+                format!("∃{}.{}", basic_role(q, sig, style), sig.concept_name(a))
+            }
+        },
+    }
+}
+
+/// Renders an axiom.
+pub fn axiom(ax: &Axiom, sig: &Signature, style: Style) -> String {
+    let sub = match style {
+        Style::Concrete => "[=",
+        Style::Display => "⊑",
+    };
+    let neg = match style {
+        Style::Concrete => "not ",
+        Style::Display => "¬",
+    };
+    match *ax {
+        Axiom::ConceptIncl(lhs, rhs) => format!(
+            "{} {} {}",
+            basic_concept(lhs, sig, style),
+            sub,
+            general_concept(rhs, sig, style)
+        ),
+        Axiom::RoleIncl(lhs, rhs) => {
+            let rhs_s = match rhs {
+                GeneralRole::Basic(q) => basic_role(q, sig, style),
+                GeneralRole::Neg(q) => format!("{neg}{}", basic_role(q, sig, style)),
+            };
+            format!("{} {} {}", basic_role(lhs, sig, style), sub, rhs_s)
+        }
+        Axiom::AttrIncl(u1, u2) => format!(
+            "{} {} {}",
+            sig.attribute_name(u1),
+            sub,
+            sig.attribute_name(u2)
+        ),
+        Axiom::AttrNegIncl(u1, u2) => format!(
+            "{} {} {}{}",
+            sig.attribute_name(u1),
+            sub,
+            neg,
+            sig.attribute_name(u2)
+        ),
+    }
+}
+
+/// Renders a named predicate.
+pub fn named_predicate(p: NamedPredicate, sig: &Signature) -> String {
+    match p {
+        NamedPredicate::Concept(a) => sig.concept_name(a).to_owned(),
+        NamedPredicate::Role(r) => sig.role_name(r).to_owned(),
+        NamedPredicate::Attribute(u) => sig.attribute_name(u).to_owned(),
+    }
+}
+
+/// Renders a whole TBox in the requested style. In [`Style::Concrete`] the
+/// output starts with the declaration lines and parses back to an
+/// equivalent TBox.
+pub fn tbox(t: &Tbox, style: Style) -> String {
+    let mut out = String::new();
+    if style == Style::Concrete {
+        if t.sig.num_concepts() > 0 {
+            out.push_str("concept");
+            for a in t.sig.concepts() {
+                let _ = write!(out, " {}", t.sig.concept_name(a));
+            }
+            out.push('\n');
+        }
+        if t.sig.num_roles() > 0 {
+            out.push_str("role");
+            for r in t.sig.roles() {
+                let _ = write!(out, " {}", t.sig.role_name(r));
+            }
+            out.push('\n');
+        }
+        if t.sig.num_attributes() > 0 {
+            out.push_str("attribute");
+            for u in t.sig.attributes() {
+                let _ = write!(out, " {}", t.sig.attribute_name(u));
+            }
+            out.push('\n');
+        }
+    }
+    for ax in t.axioms() {
+        out.push_str(&axiom(ax, &t.sig, style));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an ABox in the concrete atom-per-line syntax.
+pub fn abox(ab: &Abox, sig: &Signature) -> String {
+    let mut out = String::new();
+    for a in ab.assertions() {
+        match a {
+            Assertion::Concept(c, i) => {
+                let _ = writeln!(
+                    out,
+                    "{}({})",
+                    sig.concept_name(*c),
+                    ab.individual_name(*i)
+                );
+            }
+            Assertion::Role(p, s, o) => {
+                let _ = writeln!(
+                    out,
+                    "{}({}, {})",
+                    sig.role_name(*p),
+                    ab.individual_name(*s),
+                    ab.individual_name(*o)
+                );
+            }
+            Assertion::Attribute(u, s, v) => {
+                let _ = writeln!(
+                    out,
+                    "{}({}, {})",
+                    sig.attribute_name(*u),
+                    ab.individual_name(*s),
+                    v
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_abox, parse_tbox};
+
+    const SRC: &str = r#"
+        concept A B
+        role p r
+        attribute u w
+        A [= B
+        A [= not B
+        A [= exists p
+        exists inv(p) [= A
+        A [= exists inv(p) . B
+        p [= inv(r)
+        p [= not r
+        u [= w
+        u [= not w
+        domain(u) [= A
+    "#;
+
+    #[test]
+    fn concrete_roundtrip() {
+        let t1 = parse_tbox(SRC).unwrap();
+        let printed = tbox(&t1, Style::Concrete);
+        let t2 = parse_tbox(&printed).unwrap();
+        assert_eq!(t1.axioms(), t2.axioms());
+        assert_eq!(t1.sig, t2.sig);
+    }
+
+    #[test]
+    fn display_glyphs() {
+        let t = parse_tbox("concept A B\nrole p\nA [= exists inv(p) . B").unwrap();
+        let s = axiom(&t.axioms()[0], &t.sig, Style::Display);
+        assert_eq!(s, "A ⊑ ∃p⁻.B");
+    }
+
+    #[test]
+    fn abox_roundtrip() {
+        let t = parse_tbox("concept A\nrole p\nattribute u").unwrap();
+        let ab1 = parse_abox("A(x)\np(x, y)\nu(x, 7)\nu(x, \"v\")", &t.sig).unwrap();
+        let printed = abox(&ab1, &t.sig);
+        let ab2 = parse_abox(&printed, &t.sig).unwrap();
+        assert_eq!(ab1.assertions(), ab2.assertions());
+    }
+}

@@ -1,0 +1,304 @@
+//! Interned signatures of atomic predicates.
+//!
+//! A [`Signature`] maps human-readable names to compact integer ids for the
+//! three sorts of atomic predicates of DL-Lite_A: atomic concepts, atomic
+//! roles and attributes. All downstream data structures (axioms, graphs,
+//! mappings) store only the ids, which keeps them small and hashable; names
+//! are resolved through the signature when printing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an atomic concept (an OWL class) within a [`Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptId(pub u32);
+
+/// Identifier of an atomic role (an OWL object property) within a
+/// [`Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RoleId(pub u32);
+
+/// Identifier of an attribute (an OWL data property) within a
+/// [`Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttributeId(pub u32);
+
+impl ConceptId {
+    /// The id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RoleId {
+    /// The id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AttributeId {
+    /// The id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interner for the atomic predicate names of an ontology.
+///
+/// Names are unique *per sort*: a concept and a role may share a name
+/// (although the concrete syntax of [`crate::parser`] disallows that to
+/// avoid ambiguity). Interning the same name twice returns the same id.
+///
+/// ```
+/// use obda_dllite::Signature;
+/// let mut sig = Signature::new();
+/// let county = sig.concept("County");
+/// assert_eq!(sig.concept("County"), county);
+/// assert_eq!(sig.concept_name(county), "County");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Signature {
+    concepts: Vec<String>,
+    roles: Vec<String>,
+    attributes: Vec<String>,
+    concept_ids: HashMap<String, ConceptId>,
+    role_ids: HashMap<String, RoleId>,
+    attribute_ids: HashMap<String, AttributeId>,
+}
+
+impl Signature {
+    /// Creates an empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` as an atomic concept, returning its id.
+    pub fn concept(&mut self, name: &str) -> ConceptId {
+        if let Some(&id) = self.concept_ids.get(name) {
+            return id;
+        }
+        let id = ConceptId(self.concepts.len() as u32);
+        self.concepts.push(name.to_owned());
+        self.concept_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Interns `name` as an atomic role, returning its id.
+    pub fn role(&mut self, name: &str) -> RoleId {
+        if let Some(&id) = self.role_ids.get(name) {
+            return id;
+        }
+        let id = RoleId(self.roles.len() as u32);
+        self.roles.push(name.to_owned());
+        self.role_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Interns `name` as an attribute, returning its id.
+    pub fn attribute(&mut self, name: &str) -> AttributeId {
+        if let Some(&id) = self.attribute_ids.get(name) {
+            return id;
+        }
+        let id = AttributeId(self.attributes.len() as u32);
+        self.attributes.push(name.to_owned());
+        self.attribute_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a concept by name without interning.
+    pub fn find_concept(&self, name: &str) -> Option<ConceptId> {
+        self.concept_ids.get(name).copied()
+    }
+
+    /// Looks up a role by name without interning.
+    pub fn find_role(&self, name: &str) -> Option<RoleId> {
+        self.role_ids.get(name).copied()
+    }
+
+    /// Looks up an attribute by name without interning.
+    pub fn find_attribute(&self, name: &str) -> Option<AttributeId> {
+        self.attribute_ids.get(name).copied()
+    }
+
+    /// Name of an interned concept.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this signature.
+    pub fn concept_name(&self, id: ConceptId) -> &str {
+        &self.concepts[id.index()]
+    }
+
+    /// Name of an interned role.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this signature.
+    pub fn role_name(&self, id: RoleId) -> &str {
+        &self.roles[id.index()]
+    }
+
+    /// Name of an interned attribute.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this signature.
+    pub fn attribute_name(&self, id: AttributeId) -> &str {
+        &self.attributes[id.index()]
+    }
+
+    /// Number of atomic concepts.
+    pub fn num_concepts(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Number of atomic roles.
+    pub fn num_roles(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Number of attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Iterates over all concept ids, in interning order.
+    pub fn concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.concepts.len() as u32).map(ConceptId)
+    }
+
+    /// Iterates over all role ids, in interning order.
+    pub fn roles(&self) -> impl Iterator<Item = RoleId> + '_ {
+        (0..self.roles.len() as u32).map(RoleId)
+    }
+
+    /// Iterates over all attribute ids, in interning order.
+    pub fn attributes(&self) -> impl Iterator<Item = AttributeId> + '_ {
+        (0..self.attributes.len() as u32).map(AttributeId)
+    }
+
+    /// Merges `other` into `self`, returning the remapping of `other`'s ids
+    /// into `self`'s id space (used when combining independently built
+    /// ontology modules).
+    pub fn merge(&mut self, other: &Signature) -> SignatureMapping {
+        let concepts = other
+            .concepts
+            .iter()
+            .map(|n| self.concept(n))
+            .collect();
+        let roles = other.roles.iter().map(|n| self.role(n)).collect();
+        let attributes = other
+            .attributes
+            .iter()
+            .map(|n| self.attribute(n))
+            .collect();
+        SignatureMapping {
+            concepts,
+            roles,
+            attributes,
+        }
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "signature({} concepts, {} roles, {} attributes)",
+            self.num_concepts(),
+            self.num_roles(),
+            self.num_attributes()
+        )
+    }
+}
+
+/// Result of [`Signature::merge`]: maps the ids of the merged-in signature
+/// to ids of the receiving signature.
+#[derive(Debug, Clone)]
+pub struct SignatureMapping {
+    concepts: Vec<ConceptId>,
+    roles: Vec<RoleId>,
+    attributes: Vec<AttributeId>,
+}
+
+impl SignatureMapping {
+    /// Remaps a concept id of the source signature.
+    pub fn concept(&self, id: ConceptId) -> ConceptId {
+        self.concepts[id.index()]
+    }
+
+    /// Remaps a role id of the source signature.
+    pub fn role(&self, id: RoleId) -> RoleId {
+        self.roles[id.index()]
+    }
+
+    /// Remaps an attribute id of the source signature.
+    pub fn attribute(&self, id: AttributeId) -> AttributeId {
+        self.attributes[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut sig = Signature::new();
+        let a = sig.concept("A");
+        let b = sig.concept("B");
+        assert_ne!(a, b);
+        assert_eq!(sig.concept("A"), a);
+        assert_eq!(sig.num_concepts(), 2);
+    }
+
+    #[test]
+    fn sorts_are_independent_namespaces() {
+        let mut sig = Signature::new();
+        let c = sig.concept("part");
+        let r = sig.role("part");
+        let u = sig.attribute("part");
+        assert_eq!(sig.concept_name(c), "part");
+        assert_eq!(sig.role_name(r), "part");
+        assert_eq!(sig.attribute_name(u), "part");
+        assert_eq!(sig.num_concepts(), 1);
+        assert_eq!(sig.num_roles(), 1);
+        assert_eq!(sig.num_attributes(), 1);
+    }
+
+    #[test]
+    fn find_does_not_intern() {
+        let mut sig = Signature::new();
+        assert!(sig.find_concept("A").is_none());
+        let a = sig.concept("A");
+        assert_eq!(sig.find_concept("A"), Some(a));
+        assert_eq!(sig.num_concepts(), 1);
+    }
+
+    #[test]
+    fn merge_remaps_ids() {
+        let mut s1 = Signature::new();
+        s1.concept("A");
+        let mut s2 = Signature::new();
+        let b2 = s2.concept("B");
+        let a2 = s2.concept("A");
+        let map = s1.merge(&s2);
+        assert_eq!(s1.num_concepts(), 2);
+        assert_eq!(s1.concept_name(map.concept(b2)), "B");
+        assert_eq!(s1.concept_name(map.concept(a2)), "A");
+    }
+
+    #[test]
+    fn iterators_cover_all_ids() {
+        let mut sig = Signature::new();
+        sig.concept("A");
+        sig.concept("B");
+        sig.role("p");
+        let cs: Vec<_> = sig.concepts().collect();
+        assert_eq!(cs.len(), 2);
+        let rs: Vec<_> = sig.roles().collect();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(sig.attributes().count(), 0);
+    }
+}

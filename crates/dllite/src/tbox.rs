@@ -1,0 +1,306 @@
+//! The [`Tbox`] container: a signature plus a set of axioms.
+
+use std::collections::HashSet;
+
+use crate::axiom::Axiom;
+use crate::expr::{BasicConcept, BasicRole, GeneralConcept, GeneralRole};
+use crate::signature::{AttributeId, ConceptId, RoleId, Signature};
+
+/// A DL-Lite_R/A TBox: an interned [`Signature`] together with a duplicate-
+/// free, insertion-ordered list of [`Axiom`]s.
+///
+/// ```
+/// use obda_dllite::{Tbox, Axiom, BasicRole};
+/// let mut t = Tbox::new();
+/// let county = t.sig.concept("County");
+/// let state = t.sig.concept("State");
+/// let part_of = t.sig.role("isPartOf");
+/// t.add(Axiom::qual_exists(county, BasicRole::Direct(part_of), state));
+/// t.add(Axiom::qual_exists(state, BasicRole::Inverse(part_of), county));
+/// assert_eq!(t.axioms().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tbox {
+    /// The signature of atomic predicates used by the axioms.
+    pub sig: Signature,
+    axioms: Vec<Axiom>,
+    seen: HashSet<Axiom>,
+}
+
+impl Tbox {
+    /// Creates an empty TBox with an empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty TBox over an existing signature.
+    pub fn with_signature(sig: Signature) -> Self {
+        Tbox {
+            sig,
+            axioms: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Adds an axiom, ignoring exact duplicates. Returns `true` if the
+    /// axiom was new.
+    pub fn add(&mut self, ax: Axiom) -> bool {
+        if self.seen.insert(ax) {
+            self.axioms.push(ax);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the TBox contains exactly this axiom (syntactically).
+    pub fn contains(&self, ax: &Axiom) -> bool {
+        self.seen.contains(ax)
+    }
+
+    /// All axioms, in insertion order.
+    pub fn axioms(&self) -> &[Axiom] {
+        &self.axioms
+    }
+
+    /// The positive inclusions (used to build the digraph of Definition 1).
+    pub fn positive_inclusions(&self) -> impl Iterator<Item = &Axiom> {
+        self.axioms.iter().filter(|a| a.is_positive())
+    }
+
+    /// The negative inclusions (used by `computeUnsat`).
+    pub fn negative_inclusions(&self) -> impl Iterator<Item = &Axiom> {
+        self.axioms.iter().filter(|a| !a.is_positive())
+    }
+
+    /// Number of axioms.
+    pub fn len(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// Whether the TBox has no axioms.
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty()
+    }
+
+    /// Summary statistics, used by generators and benchmark reports.
+    pub fn stats(&self) -> TboxStats {
+        let mut s = TboxStats {
+            concepts: self.sig.num_concepts(),
+            roles: self.sig.num_roles(),
+            attributes: self.sig.num_attributes(),
+            ..TboxStats::default()
+        };
+        for ax in &self.axioms {
+            match ax {
+                Axiom::ConceptIncl(_, GeneralConcept::Basic(_)) => s.concept_inclusions += 1,
+                Axiom::ConceptIncl(_, GeneralConcept::QualExists(_, _)) => {
+                    s.qualified_existentials += 1
+                }
+                Axiom::ConceptIncl(_, GeneralConcept::Neg(_)) => s.concept_disjointness += 1,
+                Axiom::RoleIncl(_, GeneralRole::Basic(_)) => s.role_inclusions += 1,
+                Axiom::RoleIncl(_, GeneralRole::Neg(_)) => s.role_disjointness += 1,
+                Axiom::AttrIncl(_, _) => s.attribute_inclusions += 1,
+                Axiom::AttrNegIncl(_, _) => s.attribute_disjointness += 1,
+            }
+        }
+        s
+    }
+
+    /// Merges another TBox into this one, remapping its signature.
+    pub fn merge(&mut self, other: &Tbox) {
+        let map = self.sig.merge(&other.sig);
+        let remap_role = |q: BasicRole| match q {
+            BasicRole::Direct(p) => BasicRole::Direct(map.role(p)),
+            BasicRole::Inverse(p) => BasicRole::Inverse(map.role(p)),
+        };
+        let remap_basic = |b: BasicConcept| match b {
+            BasicConcept::Atomic(a) => BasicConcept::Atomic(map.concept(a)),
+            BasicConcept::Exists(q) => BasicConcept::Exists(remap_role(q)),
+            BasicConcept::AttrDomain(u) => BasicConcept::AttrDomain(map.attribute(u)),
+        };
+        for ax in other.axioms() {
+            let remapped = match *ax {
+                Axiom::ConceptIncl(lhs, rhs) => {
+                    let rhs = match rhs {
+                        GeneralConcept::Basic(b) => GeneralConcept::Basic(remap_basic(b)),
+                        GeneralConcept::Neg(b) => GeneralConcept::Neg(remap_basic(b)),
+                        GeneralConcept::QualExists(q, a) => {
+                            GeneralConcept::QualExists(remap_role(q), map.concept(a))
+                        }
+                    };
+                    Axiom::ConceptIncl(remap_basic(lhs), rhs)
+                }
+                Axiom::RoleIncl(lhs, rhs) => {
+                    let rhs = match rhs {
+                        GeneralRole::Basic(q) => GeneralRole::Basic(remap_role(q)),
+                        GeneralRole::Neg(q) => GeneralRole::Neg(remap_role(q)),
+                    };
+                    Axiom::RoleIncl(remap_role(lhs), rhs)
+                }
+                Axiom::AttrIncl(u1, u2) => Axiom::AttrIncl(map.attribute(u1), map.attribute(u2)),
+                Axiom::AttrNegIncl(u1, u2) => {
+                    Axiom::AttrNegIncl(map.attribute(u1), map.attribute(u2))
+                }
+            };
+            self.add(remapped);
+        }
+    }
+
+    /// The set of named predicates syntactically occurring in an axiom's
+    /// signature (used by the approximation crate, which works per axiom).
+    pub fn axiom_signature(ax: &Axiom) -> AxiomSignature {
+        let mut s = AxiomSignature::default();
+        let mut basic = |b: &BasicConcept| match *b {
+            BasicConcept::Atomic(a) => s.concepts.push(a),
+            BasicConcept::Exists(q) => s.roles.push(q.role()),
+            BasicConcept::AttrDomain(u) => s.attributes.push(u),
+        };
+        match ax {
+            Axiom::ConceptIncl(lhs, rhs) => {
+                basic(lhs);
+                match rhs {
+                    GeneralConcept::Basic(b) | GeneralConcept::Neg(b) => basic(b),
+                    GeneralConcept::QualExists(q, a) => {
+                        s.roles.push(q.role());
+                        s.concepts.push(*a);
+                    }
+                }
+            }
+            Axiom::RoleIncl(lhs, rhs) => {
+                s.roles.push(lhs.role());
+                match rhs {
+                    GeneralRole::Basic(q) | GeneralRole::Neg(q) => s.roles.push(q.role()),
+                }
+            }
+            Axiom::AttrIncl(u1, u2) | Axiom::AttrNegIncl(u1, u2) => {
+                s.attributes.push(*u1);
+                s.attributes.push(*u2);
+            }
+        }
+        s.concepts.sort_unstable();
+        s.concepts.dedup();
+        s.roles.sort_unstable();
+        s.roles.dedup();
+        s.attributes.sort_unstable();
+        s.attributes.dedup();
+        s
+    }
+}
+
+/// Counts of each axiom kind plus signature sizes; see [`Tbox::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TboxStats {
+    /// Number of atomic concepts in the signature.
+    pub concepts: usize,
+    /// Number of atomic roles in the signature.
+    pub roles: usize,
+    /// Number of attributes in the signature.
+    pub attributes: usize,
+    /// `B ⊑ B'` axioms.
+    pub concept_inclusions: usize,
+    /// `B ⊑ ∃Q.A` axioms.
+    pub qualified_existentials: usize,
+    /// `B ⊑ ¬B'` axioms.
+    pub concept_disjointness: usize,
+    /// `Q ⊑ Q'` axioms.
+    pub role_inclusions: usize,
+    /// `Q ⊑ ¬Q'` axioms.
+    pub role_disjointness: usize,
+    /// `U ⊑ U'` axioms.
+    pub attribute_inclusions: usize,
+    /// `U ⊑ ¬U'` axioms.
+    pub attribute_disjointness: usize,
+}
+
+impl TboxStats {
+    /// Total number of axioms.
+    pub fn total_axioms(&self) -> usize {
+        self.concept_inclusions
+            + self.qualified_existentials
+            + self.concept_disjointness
+            + self.role_inclusions
+            + self.role_disjointness
+            + self.attribute_inclusions
+            + self.attribute_disjointness
+    }
+}
+
+/// Sorted, deduplicated per-sort signature of a single axiom.
+#[derive(Debug, Clone, Default)]
+pub struct AxiomSignature {
+    /// Atomic concepts occurring in the axiom.
+    pub concepts: Vec<ConceptId>,
+    /// Atomic roles occurring in the axiom.
+    pub roles: Vec<RoleId>,
+    /// Attributes occurring in the axiom.
+    pub attributes: Vec<AttributeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tbox {
+        let mut t = Tbox::new();
+        let a = t.sig.concept("A");
+        let b = t.sig.concept("B");
+        let p = t.sig.role("p");
+        t.add(Axiom::concept(a, b));
+        t.add(Axiom::qual_exists(b, BasicRole::Direct(p), a));
+        t.add(Axiom::concept_neg(a, BasicConcept::exists_inv(p)));
+        t.add(Axiom::role(BasicRole::Direct(p), BasicRole::Inverse(p)));
+        t
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut t = sample();
+        let n = t.len();
+        let a = t.sig.concept("A");
+        let b = t.sig.concept("B");
+        assert!(!t.add(Axiom::concept(a, b)));
+        assert_eq!(t.len(), n);
+    }
+
+    #[test]
+    fn polarity_partition_is_complete() {
+        let t = sample();
+        let pos = t.positive_inclusions().count();
+        let neg = t.negative_inclusions().count();
+        assert_eq!(pos + neg, t.len());
+        assert_eq!(neg, 1);
+    }
+
+    #[test]
+    fn stats_count_each_kind() {
+        let t = sample();
+        let s = t.stats();
+        assert_eq!(s.concept_inclusions, 1);
+        assert_eq!(s.qualified_existentials, 1);
+        assert_eq!(s.concept_disjointness, 1);
+        assert_eq!(s.role_inclusions, 1);
+        assert_eq!(s.total_axioms(), t.len());
+    }
+
+    #[test]
+    fn merge_unifies_names() {
+        let mut t1 = sample();
+        let mut t2 = Tbox::new();
+        let b = t2.sig.concept("B");
+        let c = t2.sig.concept("C");
+        t2.add(Axiom::concept(b, c));
+        t1.merge(&t2);
+        // "B" must have been identified with t1's existing "B".
+        assert_eq!(t1.sig.num_concepts(), 3);
+        assert_eq!(t1.len(), 5);
+    }
+
+    #[test]
+    fn axiom_signature_collects_names() {
+        let t = sample();
+        let sig = Tbox::axiom_signature(&t.axioms()[1]);
+        assert_eq!(sig.concepts.len(), 2);
+        assert_eq!(sig.roles.len(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the DL-Lite model: parser/printer round-trip,
+//! merge algebra, and model-checker coherence.
+
+use obda_dllite::{
+    parse_abox, parse_tbox, printer, Abox, Axiom, BasicConcept, BasicRole, GeneralConcept,
+    GeneralRole, Tbox, Value,
+};
+use proptest::prelude::*;
+
+const CONCEPTS: &[&str] = &["A", "B", "C", "D"];
+const ROLES: &[&str] = &["p", "r"];
+const ATTRS: &[&str] = &["u", "w"];
+
+fn base_tbox() -> Tbox {
+    let mut t = Tbox::new();
+    for c in CONCEPTS {
+        t.sig.concept(c);
+    }
+    for r in ROLES {
+        t.sig.role(r);
+    }
+    for u in ATTRS {
+        t.sig.attribute(u);
+    }
+    t
+}
+
+prop_compose! {
+    fn arb_role()(i in 0..ROLES.len(), inv in any::<bool>()) -> BasicRole {
+        let id = obda_dllite::RoleId(i as u32);
+        if inv { BasicRole::Inverse(id) } else { BasicRole::Direct(id) }
+    }
+}
+
+prop_compose! {
+    fn arb_basic()(kind in 0..3, i in 0..4usize, q in arb_role()) -> BasicConcept {
+        match kind {
+            0 => BasicConcept::Atomic(obda_dllite::ConceptId((i % CONCEPTS.len()) as u32)),
+            1 => BasicConcept::Exists(q),
+            _ => BasicConcept::AttrDomain(obda_dllite::AttributeId((i % ATTRS.len()) as u32)),
+        }
+    }
+}
+
+fn arb_axiom() -> impl Strategy<Value = Axiom> {
+    let concept_incl = (arb_basic(), arb_basic(), any::<bool>()).prop_map(|(b1, b2, neg)| {
+        Axiom::ConceptIncl(
+            b1,
+            if neg {
+                GeneralConcept::Neg(b2)
+            } else {
+                GeneralConcept::Basic(b2)
+            },
+        )
+    });
+    let qual = (arb_basic(), arb_role(), 0..CONCEPTS.len()).prop_map(|(b, q, a)| {
+        Axiom::ConceptIncl(
+            b,
+            GeneralConcept::QualExists(q, obda_dllite::ConceptId(a as u32)),
+        )
+    });
+    let role_incl = (arb_role(), arb_role(), any::<bool>()).prop_map(|(q1, q2, neg)| {
+        Axiom::RoleIncl(
+            q1,
+            if neg {
+                GeneralRole::Neg(q2)
+            } else {
+                GeneralRole::Basic(q2)
+            },
+        )
+    });
+    let attr = (0..ATTRS.len(), 0..ATTRS.len(), any::<bool>()).prop_map(|(u, w, neg)| {
+        let (u, w) = (
+            obda_dllite::AttributeId(u as u32),
+            obda_dllite::AttributeId(w as u32),
+        );
+        if neg {
+            Axiom::AttrNegIncl(u, w)
+        } else {
+            Axiom::AttrIncl(u, w)
+        }
+    });
+    prop_oneof![concept_incl, qual, role_incl, attr]
+}
+
+proptest! {
+    #[test]
+    fn tbox_roundtrips_through_concrete_syntax(axioms in proptest::collection::vec(arb_axiom(), 0..20)) {
+        let mut t = base_tbox();
+        for ax in axioms {
+            t.add(ax);
+        }
+        let printed = printer::tbox(&t, printer::Style::Concrete);
+        let reparsed = parse_tbox(&printed).unwrap();
+        prop_assert_eq!(&t.sig, &reparsed.sig);
+        prop_assert_eq!(t.axioms(), reparsed.axioms());
+    }
+
+    #[test]
+    fn add_is_idempotent(axioms in proptest::collection::vec(arb_axiom(), 0..20)) {
+        let mut t = base_tbox();
+        for ax in &axioms {
+            t.add(*ax);
+        }
+        let len = t.len();
+        for ax in &axioms {
+            prop_assert!(!t.add(*ax), "re-adding must report duplicate");
+        }
+        prop_assert_eq!(t.len(), len);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_monotone(
+        axioms1 in proptest::collection::vec(arb_axiom(), 0..12),
+        axioms2 in proptest::collection::vec(arb_axiom(), 0..12),
+    ) {
+        let mut t1 = base_tbox();
+        for ax in axioms1 {
+            t1.add(ax);
+        }
+        let mut t2 = base_tbox();
+        for ax in axioms2 {
+            t2.add(ax);
+        }
+        let mut merged = t1.clone();
+        merged.merge(&t2);
+        prop_assert!(merged.len() >= t1.len());
+        prop_assert!(merged.len() >= t2.len());
+        // Same signature names: every t2 axiom must appear unchanged.
+        for ax in t2.axioms() {
+            prop_assert!(merged.contains(ax));
+        }
+        // Merging again changes nothing.
+        let before = merged.len();
+        merged.merge(&t2);
+        prop_assert_eq!(merged.len(), before);
+    }
+
+    #[test]
+    fn stats_total_matches_len(axioms in proptest::collection::vec(arb_axiom(), 0..25)) {
+        let mut t = base_tbox();
+        for ax in axioms {
+            t.add(ax);
+        }
+        prop_assert_eq!(t.stats().total_axioms(), t.len());
+    }
+
+    #[test]
+    fn abox_roundtrips(
+        concept_asserts in proptest::collection::vec((0..4usize, 0..5usize), 0..10),
+        role_asserts in proptest::collection::vec((0..2usize, 0..5usize, 0..5usize), 0..10),
+        attr_asserts in proptest::collection::vec((0..2usize, 0..5usize, -5i64..5), 0..10),
+    ) {
+        let t = base_tbox();
+        let mut ab = Abox::new();
+        for (c, i) in concept_asserts {
+            ab.assert_concept(obda_dllite::ConceptId(c as u32), &format!("x{i}"));
+        }
+        for (r, s, o) in role_asserts {
+            ab.assert_role(obda_dllite::RoleId(r as u32), &format!("x{s}"), &format!("x{o}"));
+        }
+        for (u, s, v) in attr_asserts {
+            ab.assert_attribute(
+                obda_dllite::AttributeId(u as u32),
+                &format!("x{s}"),
+                Value::Int(v),
+            );
+        }
+        let printed = printer::abox(&ab, &t.sig);
+        let reparsed = parse_abox(&printed, &t.sig).unwrap();
+        prop_assert_eq!(ab.assertions(), reparsed.assertions());
+    }
+}

@@ -1,0 +1,26 @@
+//! # obda-genont
+//!
+//! Seeded synthetic generators for every experiment in the workspace:
+//!
+//! * [`spec`]: parameterized DL-Lite TBox generation
+//!   ([`OntologySpec`]) — the shape knobs that drive classification cost;
+//! * [`presets`]: structural analogs of the eleven Figure 1 benchmark
+//!   ontologies (see DESIGN.md for the substitution rationale);
+//! * [`random`]: small dense random TBoxes/ABoxes/interpretations/OWL
+//!   ontologies for property-based testing;
+//! * [`university`]: the LUBM-flavoured OBDA scenario (ontology, source
+//!   schema + data, mappings, query mix) standing in for the paper's
+//!   proprietary industrial deployments.
+
+pub mod presets;
+pub mod random;
+pub mod spec;
+pub mod university;
+
+pub use presets::figure1_presets;
+pub use random::{random_abox, random_interpretation, random_owl, random_tbox, repair_into_model};
+pub use spec::OntologySpec;
+pub use university::{
+    university_scenario, university_tbox, Cell, HeadAtom, MappingSpec, QuerySpec, TableData,
+    Template, UniversityScenario,
+};

@@ -1,0 +1,307 @@
+//! Structural analogs of the eleven benchmark ontologies of Figure 1.
+//!
+//! The real OWL files (Mouse anatomy, Transportation, DOLCE, AEO, the
+//! Gene Ontology, EL-Galen, Galen, and four FMA variants) are not
+//! available offline, so each preset reproduces the *published scale and
+//! shape* of its namesake after OWL 2 QL approximation: class/property
+//! counts, hierarchy depth, DAG fan-in, role-hierarchy weight, qualified
+//! existential density, disjointness density and (for Galen) cyclic
+//! equivalence knots. Classification cost in all competing algorithms is
+//! a function of exactly these drivers, so the relative performance
+//! picture of Figure 1 is preserved even though the axioms themselves are
+//! synthetic. See DESIGN.md ("Reproduction bands & substitutions").
+
+use crate::spec::OntologySpec;
+
+/// All Figure 1 presets, in the paper's row order.
+pub fn figure1_presets() -> Vec<OntologySpec> {
+    vec![
+        mouse(),
+        transportation(),
+        dolce(),
+        aeo(),
+        gene(),
+        el_galen(),
+        galen(),
+        fma_1_4(),
+        fma_2_0(),
+        fma_3_2_1(),
+        fma_obo(),
+    ]
+}
+
+/// Mouse anatomy: ~2.7k classes, a part-of role, moderate existentials.
+pub fn mouse() -> OntologySpec {
+    OntologySpec {
+        name: "Mouse".into(),
+        concepts: 2744,
+        roles: 3,
+        roots: 4,
+        max_depth: 11,
+        multi_parent: 0.05,
+        cycles: 0.0,
+        role_inclusions: 2,
+        domain_range: 1.0,
+        existentials: 800,
+        qualified_existentials: 1500,
+        disjointness: 0,
+        unsat_seeds: 0,
+        attributes: 0,
+        attribute_axioms: 0,
+        seed: 101,
+    }
+}
+
+/// Transportation: small mid-density ontology with disjointness.
+pub fn transportation() -> OntologySpec {
+    OntologySpec {
+        name: "Transportation".into(),
+        concepts: 445,
+        roles: 89,
+        roots: 6,
+        max_depth: 9,
+        multi_parent: 0.08,
+        cycles: 0.0,
+        role_inclusions: 40,
+        domain_range: 0.6,
+        existentials: 150,
+        qualified_existentials: 100,
+        disjointness: 60,
+        unsat_seeds: 0,
+        attributes: 4,
+        attribute_axioms: 8,
+        seed: 102,
+    }
+}
+
+/// DOLCE: tiny but extremely dense — large role hierarchy relative to its
+/// class count, heavy disjointness, deep multi-parent structure.
+pub fn dolce() -> OntologySpec {
+    OntologySpec {
+        name: "DOLCE".into(),
+        concepts: 209,
+        roles: 317,
+        roots: 3,
+        max_depth: 12,
+        multi_parent: 0.35,
+        cycles: 0.02,
+        role_inclusions: 500,
+        domain_range: 0.9,
+        existentials: 150,
+        qualified_existentials: 80,
+        disjointness: 300,
+        unsat_seeds: 0,
+        attributes: 0,
+        attribute_axioms: 0,
+        seed: 103,
+    }
+}
+
+/// AEO (Athletic Events Ontology): sibling disjointness everywhere.
+pub fn aeo() -> OntologySpec {
+    OntologySpec {
+        name: "AEO".into(),
+        concepts: 760,
+        roles: 47,
+        roots: 8,
+        max_depth: 10,
+        multi_parent: 0.05,
+        cycles: 0.0,
+        role_inclusions: 20,
+        domain_range: 0.7,
+        existentials: 200,
+        qualified_existentials: 150,
+        disjointness: 1200,
+        unsat_seeds: 2,
+        attributes: 6,
+        attribute_axioms: 12,
+        seed: 104,
+    }
+}
+
+/// Gene Ontology: ~26k classes, very few roles, deep DAG with strong
+/// multi-parenthood and massive part-of/regulates existential usage.
+pub fn gene() -> OntologySpec {
+    OntologySpec {
+        name: "Gene".into(),
+        concepts: 26225,
+        roles: 5,
+        roots: 3,
+        max_depth: 15,
+        multi_parent: 0.25,
+        cycles: 0.0,
+        role_inclusions: 3,
+        domain_range: 1.0,
+        existentials: 4000,
+        qualified_existentials: 6000,
+        disjointness: 0,
+        unsat_seeds: 0,
+        attributes: 0,
+        attribute_axioms: 0,
+        seed: 105,
+    }
+}
+
+/// EL-Galen: the EL fragment of Galen — ~23k classes, ~950 roles, heavy
+/// qualified existentials, acyclic.
+pub fn el_galen() -> OntologySpec {
+    OntologySpec {
+        name: "EL-Galen".into(),
+        concepts: 23136,
+        roles: 950,
+        roots: 10,
+        max_depth: 14,
+        multi_parent: 0.2,
+        cycles: 0.0,
+        role_inclusions: 1000,
+        domain_range: 0.5,
+        existentials: 8000,
+        qualified_existentials: 14000,
+        disjointness: 0,
+        unsat_seeds: 0,
+        attributes: 0,
+        attribute_axioms: 0,
+        seed: 106,
+    }
+}
+
+/// Full Galen: EL-Galen plus equivalence knots (subsumption cycles) and a
+/// heavier role box — the shape that breaks tableau classifiers.
+pub fn galen() -> OntologySpec {
+    OntologySpec {
+        name: "Galen".into(),
+        concepts: 23141,
+        roles: 950,
+        roots: 10,
+        max_depth: 14,
+        multi_parent: 0.2,
+        cycles: 0.0005,
+        role_inclusions: 1600,
+        domain_range: 0.6,
+        existentials: 9000,
+        qualified_existentials: 16000,
+        disjointness: 0,
+        unsat_seeds: 0,
+        attributes: 0,
+        attribute_axioms: 0,
+        seed: 107,
+    }
+}
+
+/// FMA 1.4 (lite): ~72k classes, almost no roles, shallow-ish taxonomy.
+pub fn fma_1_4() -> OntologySpec {
+    OntologySpec {
+        name: "FMA 1.4".into(),
+        concepts: 72164,
+        roles: 2,
+        roots: 12,
+        max_depth: 18,
+        multi_parent: 0.03,
+        cycles: 0.0,
+        role_inclusions: 1,
+        domain_range: 1.0,
+        existentials: 5000,
+        qualified_existentials: 3000,
+        disjointness: 0,
+        unsat_seeds: 0,
+        attributes: 0,
+        attribute_axioms: 0,
+        seed: 108,
+    }
+}
+
+/// FMA 2.0: ~41k classes with a real role box and deeper part-whole
+/// modelling.
+pub fn fma_2_0() -> OntologySpec {
+    OntologySpec {
+        name: "FMA 2.0".into(),
+        concepts: 41648,
+        roles: 148,
+        roots: 8,
+        max_depth: 20,
+        multi_parent: 0.12,
+        cycles: 0.0,
+        role_inclusions: 120,
+        domain_range: 0.8,
+        existentials: 12000,
+        qualified_existentials: 10000,
+        disjointness: 0,
+        unsat_seeds: 3,
+        attributes: 0,
+        attribute_axioms: 0,
+        seed: 109,
+    }
+}
+
+/// FMA 3.2.1: the largest variant, ~85k classes.
+pub fn fma_3_2_1() -> OntologySpec {
+    OntologySpec {
+        name: "FMA 3.2.1".into(),
+        concepts: 84454,
+        roles: 100,
+        roots: 10,
+        max_depth: 20,
+        multi_parent: 0.1,
+        cycles: 0.0,
+        role_inclusions: 90,
+        domain_range: 0.8,
+        existentials: 15000,
+        qualified_existentials: 12000,
+        disjointness: 0,
+        unsat_seeds: 0,
+        attributes: 0,
+        attribute_axioms: 0,
+        seed: 110,
+    }
+}
+
+/// FMA-OBO: the OBO export, ~75k classes, is-a plus part-of only.
+pub fn fma_obo() -> OntologySpec {
+    OntologySpec {
+        name: "FMA-OBO".into(),
+        concepts: 75139,
+        roles: 2,
+        roots: 10,
+        max_depth: 19,
+        multi_parent: 0.08,
+        cycles: 0.0,
+        role_inclusions: 1,
+        domain_range: 1.0,
+        existentials: 9000,
+        qualified_existentials: 7000,
+        disjointness: 0,
+        unsat_seeds: 0,
+        attributes: 0,
+        attribute_axioms: 0,
+        seed: 111,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_presets_in_paper_order() {
+        let p = figure1_presets();
+        assert_eq!(p.len(), 11);
+        assert_eq!(p[0].name, "Mouse");
+        assert_eq!(p[6].name, "Galen");
+        assert_eq!(p[10].name, "FMA-OBO");
+    }
+
+    #[test]
+    fn small_presets_generate_quickly() {
+        for preset in [mouse(), transportation(), dolce(), aeo()] {
+            let t = preset.generate();
+            assert_eq!(t.sig.num_concepts(), preset.concepts);
+            assert!(t.len() >= preset.concepts - preset.roots);
+        }
+    }
+
+    #[test]
+    fn galen_has_cycles_el_galen_does_not() {
+        assert!(galen().cycles > 0.0);
+        assert_eq!(el_galen().cycles, 0.0);
+    }
+}

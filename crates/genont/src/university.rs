@@ -1,0 +1,502 @@
+//! The **university OBDA scenario**: a LUBM-flavoured ontology, a
+//! relational schema with a realistic impedance mismatch, a seeded data
+//! generator, GAV mappings and a benchmark query mix.
+//!
+//! This is the stand-in for the paper's industrial OBDA deployments
+//! (Ministry of Economy and Finance, Monte dei Paschi, Telecom Italia —
+//! all proprietary): it exercises the same code paths — mapping
+//! unfolding, virtual-ABox materialization, query rewriting over a
+//! mandatory-participation-rich TBox — at a configurable scale.
+//!
+//! The crate stays dependency-light: tables, mappings and queries are
+//! plain data ([`TableData`], [`MappingSpec`], [`QuerySpec`]); the
+//! `mastro` facade wires them into its engine (`mastro::demo`).
+
+use obda_dllite::{Axiom, BasicConcept, BasicRole, Tbox};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A literal cell of generated source data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// SQL INTEGER.
+    Int(i64),
+    /// SQL TEXT.
+    Text(String),
+}
+
+/// A generated source table: name, column names, rows.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// Table name.
+    pub name: String,
+    /// Column names, in row order.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+/// IRI template `prefix{var}`: the IRI is the prefix concatenated with
+/// the value of the named SQL answer variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    /// Constant prefix, e.g. `person/`.
+    pub prefix: String,
+    /// SQL answer-column name supplying the suffix.
+    pub var: String,
+}
+
+/// The head atom of a mapping assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeadAtom {
+    /// `Concept(template)`.
+    Concept {
+        /// Concept name in the ontology signature.
+        name: String,
+        /// Subject IRI template.
+        subject: Template,
+    },
+    /// `Role(template, template)`.
+    Role {
+        /// Role name in the ontology signature.
+        name: String,
+        /// Subject IRI template.
+        subject: Template,
+        /// Object IRI template.
+        object: Template,
+    },
+    /// `Attribute(template, value)` where the value is taken verbatim
+    /// from an SQL answer column.
+    Attribute {
+        /// Attribute name in the ontology signature.
+        name: String,
+        /// Subject IRI template.
+        subject: Template,
+        /// SQL answer-column name supplying the value.
+        value_var: String,
+    },
+}
+
+/// A GAV mapping assertion: an SQL query over the sources and the
+/// ontology atoms its answers populate.
+#[derive(Debug, Clone)]
+pub struct MappingSpec {
+    /// Source query in the `obda-sqlstore` SQL subset.
+    pub sql: String,
+    /// Head atoms instantiated per answer row.
+    pub head: Vec<HeadAtom>,
+}
+
+/// A named benchmark query in `mastro`'s conjunctive-query syntax.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Short identifier (`q1`…).
+    pub name: String,
+    /// Query text.
+    pub text: String,
+}
+
+/// The full scenario bundle.
+#[derive(Debug, Clone)]
+pub struct UniversityScenario {
+    /// The DL-Lite TBox.
+    pub tbox: Tbox,
+    /// Generated source tables.
+    pub tables: Vec<TableData>,
+    /// Mapping assertions.
+    pub mappings: Vec<MappingSpec>,
+    /// Benchmark queries.
+    pub queries: Vec<QuerySpec>,
+}
+
+/// Builds the university TBox (independent of scale).
+pub fn university_tbox() -> Tbox {
+    let mut t = Tbox::new();
+    let person = t.sig.concept("Person");
+    let student = t.sig.concept("Student");
+    let grad = t.sig.concept("GradStudent");
+    let undergrad = t.sig.concept("UndergradStudent");
+    let prof = t.sig.concept("Professor");
+    let aprof = t.sig.concept("AssistantProfessor");
+    let fprof = t.sig.concept("FullProfessor");
+    let course = t.sig.concept("Course");
+    let gcourse = t.sig.concept("GradCourse");
+    let dept = t.sig.concept("Department");
+    let univ = t.sig.concept("University");
+
+    let teacher_of = t.sig.role("teacherOf");
+    let takes = t.sig.role("takesCourse");
+    let advisor = t.sig.role("advisor"); // student → professor
+    let works_for = t.sig.role("worksFor");
+    let member_of = t.sig.role("memberOf");
+    let sub_org = t.sig.role("subOrganizationOf");
+
+    let name = t.sig.attribute("personName");
+    let title = t.sig.attribute("courseTitle");
+
+    use BasicRole::Direct;
+    // Taxonomy.
+    t.add(Axiom::concept(student, person));
+    t.add(Axiom::concept(grad, student));
+    t.add(Axiom::concept(undergrad, student));
+    t.add(Axiom::concept(prof, person));
+    t.add(Axiom::concept(aprof, prof));
+    t.add(Axiom::concept(fprof, prof));
+    t.add(Axiom::concept(gcourse, course));
+    t.add(Axiom::concept_neg(prof, student));
+    t.add(Axiom::concept_neg(course, person));
+    t.add(Axiom::concept_neg(undergrad, grad));
+    // Role typing (domains and ranges).
+    t.add(Axiom::concept(BasicConcept::exists(teacher_of), prof));
+    t.add(Axiom::concept(BasicConcept::exists_inv(teacher_of), course));
+    t.add(Axiom::concept(BasicConcept::exists(takes), student));
+    t.add(Axiom::concept(BasicConcept::exists_inv(takes), course));
+    t.add(Axiom::concept(BasicConcept::exists(advisor), student));
+    t.add(Axiom::concept(BasicConcept::exists_inv(advisor), prof));
+    t.add(Axiom::concept(BasicConcept::exists(works_for), person));
+    t.add(Axiom::concept(BasicConcept::exists_inv(works_for), dept));
+    t.add(Axiom::concept(BasicConcept::exists(member_of), person));
+    t.add(Axiom::concept(BasicConcept::exists(sub_org), dept));
+    t.add(Axiom::concept(BasicConcept::exists_inv(sub_org), univ));
+    // Role hierarchy.
+    t.add(Axiom::role(Direct(works_for), Direct(member_of)));
+    // Mandatory participation (drives PerfectRef expansion).
+    t.add(Axiom::concept(student, BasicConcept::exists(takes)));
+    t.add(Axiom::qual_exists(grad, Direct(advisor), prof));
+    t.add(Axiom::concept(prof, BasicConcept::exists(works_for)));
+    t.add(Axiom::qual_exists(dept, Direct(sub_org), univ));
+    t.add(Axiom::concept(prof, BasicConcept::exists(teacher_of)));
+    // Attributes.
+    t.add(Axiom::concept(BasicConcept::AttrDomain(name), person));
+    t.add(Axiom::concept(BasicConcept::AttrDomain(title), course));
+    t
+}
+
+/// Generates the scenario at the given scale (`scale = 1` ≈ 40 persons,
+/// 12 courses, 4 departments; everything grows linearly).
+pub fn university_scenario(scale: usize, seed: u64) -> UniversityScenario {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_person = 40 * scale;
+    let n_course = 12 * scale;
+    let n_dept = (4 * scale).max(1);
+
+    // TB_PERSON(id, name, ptype): 1 undergrad, 2 grad, 3 assistant, 4 full.
+    let mut person_rows = Vec::with_capacity(n_person);
+    let mut students = Vec::new();
+    let mut profs = Vec::new();
+    for id in 0..n_person as i64 {
+        let ptype = match rng.gen_range(0..10) {
+            0..=4 => 1, // undergrads are half the population
+            5..=7 => 2,
+            8 => 3,
+            _ => 4,
+        };
+        if ptype <= 2 {
+            students.push(id);
+        } else {
+            profs.push(id);
+        }
+        person_rows.push(vec![
+            Cell::Int(id),
+            Cell::Text(format!("person-{id}")),
+            Cell::Int(ptype),
+        ]);
+    }
+    // TB_COURSE(cid, title, level): 0 undergrad, 1 grad.
+    let course_rows: Vec<Vec<Cell>> = (0..n_course as i64)
+        .map(|cid| {
+            vec![
+                Cell::Int(cid),
+                Cell::Text(format!("course-{cid}")),
+                Cell::Int(if rng.gen_bool(0.4) { 1 } else { 0 }),
+            ]
+        })
+        .collect();
+    // TB_ENROLL(sid, cid): 1–4 courses per student.
+    let mut enroll_rows = Vec::new();
+    for &sid in &students {
+        let k = rng.gen_range(1..=4usize).min(n_course);
+        for _ in 0..k {
+            enroll_rows.push(vec![
+                Cell::Int(sid),
+                Cell::Int(rng.gen_range(0..n_course as i64)),
+            ]);
+        }
+    }
+    // TB_TEACH(pid, cid): each professor teaches 1–3 courses.
+    let mut teach_rows = Vec::new();
+    for &pid in &profs {
+        let k = rng.gen_range(1..=3usize).min(n_course);
+        for _ in 0..k {
+            teach_rows.push(vec![
+                Cell::Int(pid),
+                Cell::Int(rng.gen_range(0..n_course as i64)),
+            ]);
+        }
+    }
+    // TB_ADVISE(sid, pid): grad students get an advisor.
+    let mut advise_rows = Vec::new();
+    if !profs.is_empty() {
+        for row in &person_rows {
+            if let (Cell::Int(id), Cell::Int(2)) = (&row[0], &row[2]) {
+                advise_rows.push(vec![
+                    Cell::Int(*id),
+                    Cell::Int(profs[rng.gen_range(0..profs.len())]),
+                ]);
+            }
+        }
+    }
+    // TB_DEPT(did, dname) and TB_EMPLOY(pid, did).
+    let dept_rows: Vec<Vec<Cell>> = (0..n_dept as i64)
+        .map(|did| vec![Cell::Int(did), Cell::Text(format!("dept-{did}"))])
+        .collect();
+    let employ_rows: Vec<Vec<Cell>> = profs
+        .iter()
+        .map(|&pid| vec![Cell::Int(pid), Cell::Int(rng.gen_range(0..n_dept as i64))])
+        .collect();
+
+    let tables = vec![
+        TableData {
+            name: "TB_PERSON".into(),
+            columns: vec!["id".into(), "name".into(), "ptype".into()],
+            rows: person_rows,
+        },
+        TableData {
+            name: "TB_COURSE".into(),
+            columns: vec!["cid".into(), "title".into(), "level".into()],
+            rows: course_rows,
+        },
+        TableData {
+            name: "TB_ENROLL".into(),
+            columns: vec!["sid".into(), "cid".into()],
+            rows: enroll_rows,
+        },
+        TableData {
+            name: "TB_TEACH".into(),
+            columns: vec!["pid".into(), "cid".into()],
+            rows: teach_rows,
+        },
+        TableData {
+            name: "TB_ADVISE".into(),
+            columns: vec!["sid".into(), "pid".into()],
+            rows: advise_rows,
+        },
+        TableData {
+            name: "TB_DEPT".into(),
+            columns: vec!["did".into(), "dname".into()],
+            rows: dept_rows,
+        },
+        TableData {
+            name: "TB_EMPLOY".into(),
+            columns: vec!["pid".into(), "did".into()],
+            rows: employ_rows,
+        },
+    ];
+
+    let person_t = |var: &str| Template {
+        prefix: "person/".into(),
+        var: var.into(),
+    };
+    let course_t = |var: &str| Template {
+        prefix: "course/".into(),
+        var: var.into(),
+    };
+    let dept_t = |var: &str| Template {
+        prefix: "dept/".into(),
+        var: var.into(),
+    };
+
+    let mappings = vec![
+        MappingSpec {
+            sql: "SELECT id FROM TB_PERSON WHERE ptype = 1".into(),
+            head: vec![HeadAtom::Concept {
+                name: "UndergradStudent".into(),
+                subject: person_t("id"),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT id FROM TB_PERSON WHERE ptype = 2".into(),
+            head: vec![HeadAtom::Concept {
+                name: "GradStudent".into(),
+                subject: person_t("id"),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT id FROM TB_PERSON WHERE ptype = 3".into(),
+            head: vec![HeadAtom::Concept {
+                name: "AssistantProfessor".into(),
+                subject: person_t("id"),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT id FROM TB_PERSON WHERE ptype = 4".into(),
+            head: vec![HeadAtom::Concept {
+                name: "FullProfessor".into(),
+                subject: person_t("id"),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT id, name FROM TB_PERSON".into(),
+            head: vec![HeadAtom::Attribute {
+                name: "personName".into(),
+                subject: person_t("id"),
+                value_var: "name".into(),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT cid FROM TB_COURSE WHERE level = 0".into(),
+            head: vec![HeadAtom::Concept {
+                name: "Course".into(),
+                subject: course_t("cid"),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT cid FROM TB_COURSE WHERE level = 1".into(),
+            head: vec![HeadAtom::Concept {
+                name: "GradCourse".into(),
+                subject: course_t("cid"),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT cid, title FROM TB_COURSE".into(),
+            head: vec![HeadAtom::Attribute {
+                name: "courseTitle".into(),
+                subject: course_t("cid"),
+                value_var: "title".into(),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT sid, cid FROM TB_ENROLL".into(),
+            head: vec![HeadAtom::Role {
+                name: "takesCourse".into(),
+                subject: person_t("sid"),
+                object: course_t("cid"),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT pid, cid FROM TB_TEACH".into(),
+            head: vec![HeadAtom::Role {
+                name: "teacherOf".into(),
+                subject: person_t("pid"),
+                object: course_t("cid"),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT sid, pid FROM TB_ADVISE".into(),
+            head: vec![HeadAtom::Role {
+                name: "advisor".into(),
+                subject: person_t("sid"),
+                object: person_t("pid"),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT did FROM TB_DEPT".into(),
+            head: vec![HeadAtom::Concept {
+                name: "Department".into(),
+                subject: dept_t("did"),
+            }],
+        },
+        MappingSpec {
+            sql: "SELECT pid, did FROM TB_EMPLOY".into(),
+            head: vec![HeadAtom::Role {
+                name: "worksFor".into(),
+                subject: person_t("pid"),
+                object: dept_t("did"),
+            }],
+        },
+    ];
+
+    let queries = vec![
+        QuerySpec {
+            name: "q1".into(),
+            text: "q(x) :- Student(x)".into(),
+        },
+        QuerySpec {
+            name: "q2".into(),
+            text: "q(x, y) :- Professor(x), teacherOf(x, y), GradCourse(y)".into(),
+        },
+        QuerySpec {
+            name: "q3".into(),
+            text: "q(x) :- GradStudent(x), takesCourse(x, y), teacherOf(z, y), FullProfessor(z)"
+                .into(),
+        },
+        QuerySpec {
+            name: "q4".into(),
+            text: "q(x, y) :- advisor(x, y)".into(),
+        },
+        QuerySpec {
+            name: "q5".into(),
+            text: "q(x) :- Person(x), worksFor(x, d), Department(d)".into(),
+        },
+        QuerySpec {
+            name: "q6".into(),
+            text: "q(x, n) :- Student(x), personName(x, n)".into(),
+        },
+    ];
+
+    UniversityScenario {
+        tbox: university_tbox(),
+        tables,
+        mappings,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tbox_declares_expected_signature() {
+        let t = university_tbox();
+        assert_eq!(t.sig.num_concepts(), 11);
+        assert_eq!(t.sig.num_roles(), 6);
+        assert_eq!(t.sig.num_attributes(), 2);
+        assert!(t.len() >= 25);
+    }
+
+    #[test]
+    fn scenario_scales_linearly() {
+        let s1 = university_scenario(1, 42);
+        let s2 = university_scenario(2, 42);
+        let persons = |s: &UniversityScenario| {
+            s.tables
+                .iter()
+                .find(|t| t.name == "TB_PERSON")
+                .unwrap()
+                .rows
+                .len()
+        };
+        assert_eq!(persons(&s1), 40);
+        assert_eq!(persons(&s2), 80);
+        assert_eq!(s1.mappings.len(), 13);
+        assert_eq!(s1.queries.len(), 6);
+    }
+
+    #[test]
+    fn mapping_heads_reference_declared_predicates() {
+        let s = university_scenario(1, 1);
+        for m in &s.mappings {
+            for h in &m.head {
+                match h {
+                    HeadAtom::Concept { name, .. } => {
+                        assert!(s.tbox.sig.find_concept(name).is_some(), "{name}")
+                    }
+                    HeadAtom::Role { name, .. } => {
+                        assert!(s.tbox.sig.find_role(name).is_some(), "{name}")
+                    }
+                    HeadAtom::Attribute { name, .. } => {
+                        assert!(s.tbox.sig.find_attribute(name).is_some(), "{name}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = university_scenario(1, 7);
+        let b = university_scenario(1, 7);
+        assert_eq!(a.tables[2].rows, b.tables[2].rows);
+    }
+}

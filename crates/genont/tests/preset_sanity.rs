@@ -1,0 +1,93 @@
+//! Sanity of the Figure 1 preset analogs: deliberate unsatisfiability
+//! only where the spec seeds it, published-scale signatures, and stable
+//! generation.
+
+use obda_genont::{figure1_presets, presets};
+use quonto::Classification;
+
+#[test]
+fn unsatisfiability_appears_only_where_seeded() {
+    for preset in figure1_presets() {
+        // Scale down for test speed, keeping the unsat seeds untouched.
+        let spec = preset.scaled(0.02);
+        let tbox = spec.generate();
+        let cls = Classification::classify(&tbox);
+        let unsat = cls.unsat_concepts().len();
+        if spec.unsat_seeds == 0 && spec.disjointness == 0 {
+            assert_eq!(unsat, 0, "{}: clean ontology got {unsat} unsat", spec.name);
+        }
+        if spec.unsat_seeds > 0 {
+            assert!(
+                unsat > 0,
+                "{}: {} unsat seeds produced no unsatisfiable concept",
+                spec.name,
+                spec.unsat_seeds
+            );
+        }
+    }
+}
+
+#[test]
+fn signature_scales_match_published_sizes() {
+    // Published class counts of the originals (±0 — the analogs match
+    // exactly by construction).
+    let expected = [
+        ("Mouse", 2744),
+        ("Transportation", 445),
+        ("DOLCE", 209),
+        ("AEO", 760),
+        ("Gene", 26225),
+        ("EL-Galen", 23136),
+        ("Galen", 23141),
+        ("FMA 1.4", 72164),
+        ("FMA 2.0", 41648),
+        ("FMA 3.2.1", 84454),
+        ("FMA-OBO", 75139),
+    ];
+    for (preset, (name, classes)) in figure1_presets().iter().zip(expected) {
+        assert_eq!(preset.name, name);
+        assert_eq!(preset.concepts, classes, "{name}");
+    }
+}
+
+#[test]
+fn galen_analog_has_equivalence_knots_el_galen_does_not() {
+    let galen = presets::galen().scaled(0.2).generate();
+    let el = presets::el_galen().scaled(0.2).generate();
+    let g_classes = Classification::classify(&galen).concept_equivalence_classes();
+    let e_classes = Classification::classify(&el).concept_equivalence_classes();
+    assert!(
+        !g_classes.is_empty(),
+        "Galen analog lost its cyclic structure"
+    );
+    // EL-Galen may pick up *incidental* small cycles (domain/range axioms
+    // meeting existentials), but Galen's seeded equivalence knots must
+    // dominate: strictly more equivalent concepts overall.
+    let knot_size = |classes: &[Vec<obda_dllite::ConceptId>]| -> usize {
+        classes.iter().map(Vec::len).sum()
+    };
+    assert!(
+        knot_size(&g_classes) > knot_size(&e_classes),
+        "galen {} vs el-galen {}",
+        knot_size(&g_classes),
+        knot_size(&e_classes)
+    );
+}
+
+#[test]
+fn taxonomy_of_the_university_ontology() {
+    let tbox = obda_genont::university_tbox();
+    let cls = Classification::classify(&tbox);
+    let tax = quonto::Taxonomy::build(&cls);
+    let sig = &tbox.sig;
+    let class = |n: &str| tax.class_of(sig.find_concept(n).unwrap()).unwrap();
+    // Person is a root; Student sits under it; GradStudent under Student.
+    assert!(tax.roots().contains(&class("Person")));
+    assert!(tax.parents(class("Student")).contains(&class("Person")));
+    assert!(tax.parents(class("GradStudent")).contains(&class("Student")));
+    assert_eq!(tax.depth(class("GradStudent")), 2);
+    assert!(tax.unsatisfiable().is_empty());
+    let rendered = tax.render(sig);
+    assert!(rendered.contains("Person"));
+    assert!(rendered.contains("  Student"));
+}

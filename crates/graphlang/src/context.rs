@@ -1,0 +1,165 @@
+//! Relevant-context extraction (Section 6, "Visualization"): identifying
+//! "the relevant context of a concept or of a portion of the domain",
+//! so a viewer can highlight the focused neighbourhood and push the rest
+//! of a large ontology into the background.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use obda_dllite::{NamedPredicate, Tbox};
+
+/// The context of a focus set: predicates ranked by co-occurrence
+/// distance, and the induced sub-TBox.
+#[derive(Debug, Clone)]
+pub struct Context {
+    /// Predicates within the radius, with their distance from the focus
+    /// (0 = the focus itself).
+    pub distances: HashMap<NamedPredicate, usize>,
+    /// Axioms all of whose predicates lie within the radius.
+    pub tbox: Tbox,
+}
+
+impl Context {
+    /// Predicates at a given distance, sorted by name.
+    pub fn ring(&self, t: &Tbox, distance: usize) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .distances
+            .iter()
+            .filter(|(_, &d)| d == distance)
+            .map(|(p, _)| obda_dllite::printer::named_predicate(*p, &t.sig))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+fn axiom_preds(ax: &obda_dllite::Axiom) -> Vec<NamedPredicate> {
+    let sig = Tbox::axiom_signature(ax);
+    let mut out: Vec<NamedPredicate> = sig
+        .concepts
+        .iter()
+        .map(|&c| NamedPredicate::Concept(c))
+        .collect();
+    out.extend(sig.roles.iter().map(|&r| NamedPredicate::Role(r)));
+    out.extend(sig.attributes.iter().map(|&u| NamedPredicate::Attribute(u)));
+    out
+}
+
+/// Extracts the relevant context around `focus` (predicate names of any
+/// sort) up to the given co-occurrence radius.
+///
+/// Distance is BFS depth in the bipartite predicate–axiom graph projected
+/// to predicates: predicates sharing an axiom are at distance 1 from each
+/// other. The context TBox keeps every axiom whose full signature lies
+/// inside the radius.
+pub fn relevant_context(t: &Tbox, focus: &[&str], radius: usize) -> Context {
+    // Resolve focus names across sorts.
+    let mut frontier: VecDeque<(NamedPredicate, usize)> = VecDeque::new();
+    let mut distances: HashMap<NamedPredicate, usize> = HashMap::new();
+    for name in focus {
+        let mut hit = false;
+        if let Some(a) = t.sig.find_concept(name) {
+            frontier.push_back((NamedPredicate::Concept(a), 0));
+            hit = true;
+        }
+        if let Some(r) = t.sig.find_role(name) {
+            frontier.push_back((NamedPredicate::Role(r), 0));
+            hit = true;
+        }
+        if let Some(u) = t.sig.find_attribute(name) {
+            frontier.push_back((NamedPredicate::Attribute(u), 0));
+            hit = true;
+        }
+        if !hit {
+            // Unknown focus names simply contribute nothing.
+        }
+    }
+    // Pre-index: predicate → axioms mentioning it.
+    let mut by_pred: HashMap<NamedPredicate, Vec<usize>> = HashMap::new();
+    for (i, ax) in t.axioms().iter().enumerate() {
+        for p in axiom_preds(ax) {
+            by_pred.entry(p).or_default().push(i);
+        }
+    }
+    while let Some((p, d)) = frontier.pop_front() {
+        match distances.entry(p) {
+            std::collections::hash_map::Entry::Occupied(_) => continue,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(d);
+            }
+        }
+        if d == radius {
+            continue;
+        }
+        for &ai in by_pred.get(&p).into_iter().flatten() {
+            for q in axiom_preds(&t.axioms()[ai]) {
+                if !distances.contains_key(&q) {
+                    frontier.push_back((q, d + 1));
+                }
+            }
+        }
+    }
+    // Induced axioms.
+    let selected: HashSet<NamedPredicate> = distances.keys().copied().collect();
+    let mut carrier = Tbox::with_signature(t.sig.clone());
+    for ax in t.axioms() {
+        if axiom_preds(ax).iter().all(|p| selected.contains(p)) {
+            carrier.add(*ax);
+        }
+    }
+    let mut tbox = Tbox::new();
+    tbox.merge(&carrier);
+    Context { distances, tbox }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::parse_tbox;
+
+    const SRC: &str = "concept A B C D E\nrole p\n\
+        A [= B\nB [= C\nC [= D\nD [= E\nA [= exists p";
+
+    #[test]
+    fn radius_bounds_the_context() {
+        let t = parse_tbox(SRC).unwrap();
+        let ctx = relevant_context(&t, &["A"], 1);
+        assert_eq!(ctx.ring(&t, 0), vec!["A"]);
+        let ring1 = ctx.ring(&t, 1);
+        assert!(ring1.contains(&"B".to_owned()));
+        assert!(ring1.contains(&"p".to_owned()));
+        assert!(!ctx.distances.keys().any(|p| matches!(p, NamedPredicate::Concept(c) if t.sig.concept_name(*c) == "D")));
+        // Axioms fully inside: A ⊑ B and A ⊑ ∃p.
+        assert_eq!(ctx.tbox.len(), 2);
+    }
+
+    #[test]
+    fn radius_two_reaches_further() {
+        let t = parse_tbox(SRC).unwrap();
+        let ctx = relevant_context(&t, &["A"], 2);
+        assert_eq!(ctx.ring(&t, 2), vec!["C"]);
+        assert_eq!(ctx.tbox.len(), 3);
+    }
+
+    #[test]
+    fn focus_may_be_a_role() {
+        let t = parse_tbox(SRC).unwrap();
+        let ctx = relevant_context(&t, &["p"], 1);
+        assert_eq!(ctx.ring(&t, 0), vec!["p"]);
+        assert_eq!(ctx.ring(&t, 1), vec!["A"]);
+    }
+
+    #[test]
+    fn unknown_focus_is_empty() {
+        let t = parse_tbox(SRC).unwrap();
+        let ctx = relevant_context(&t, &["Nope"], 3);
+        assert!(ctx.distances.is_empty());
+        assert!(ctx.tbox.is_empty());
+    }
+
+    #[test]
+    fn whole_ontology_at_large_radius() {
+        let t = parse_tbox(SRC).unwrap();
+        let ctx = relevant_context(&t, &["A"], 10);
+        assert_eq!(ctx.tbox.len(), t.len());
+    }
+}

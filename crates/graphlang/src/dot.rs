@@ -1,0 +1,101 @@
+//! Graphviz (DOT) export of diagrams, for rendering with `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use crate::model::{Diagram, Edge, Shape};
+
+/// Renders the diagram as a Graphviz `digraph`.
+///
+/// Shape mapping: rectangles → `box`, diamonds → `diamond`, circles →
+/// `ellipse`, white squares → small unfilled `square`, black squares →
+/// small filled `square`, half squares → gray `square`. Inclusion edges
+/// are solid arrows, disjointness edges are red arrows labelled `¬`,
+/// role/scope links are dotted undirected (rendered with `dir=none`).
+pub fn to_dot(d: &Diagram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", d.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    for n in d.nodes() {
+        let (shape, extra) = match n.shape {
+            Shape::Rectangle => ("box", String::new()),
+            Shape::Diamond => ("diamond", String::new()),
+            Shape::Circle => ("ellipse", String::new()),
+            Shape::WhiteSquare => (
+                "square",
+                ", width=0.25, fixedsize=true, label=\"\"".to_owned(),
+            ),
+            Shape::BlackSquare => (
+                "square",
+                ", width=0.25, fixedsize=true, style=filled, fillcolor=black, label=\"\""
+                    .to_owned(),
+            ),
+            Shape::HalfSquare => (
+                "square",
+                ", width=0.25, fixedsize=true, style=filled, fillcolor=gray, label=\"\""
+                    .to_owned(),
+            ),
+        };
+        let label = match &n.label {
+            Some(l) => format!(", label=\"{l}\""),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "  n{} [shape={shape}{label}{extra}];", n.id.0);
+    }
+    for e in d.edges() {
+        match e {
+            Edge::Inclusion { from, to } => {
+                let _ = writeln!(out, "  n{} -> n{};", from.0, to.0);
+            }
+            Edge::InverseInclusion { from, to } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [label=\"⁻\", color=blue];",
+                    from.0, to.0
+                );
+            }
+            Edge::Disjointness { from, to } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [label=\"¬\", color=red];",
+                    from.0, to.0
+                );
+            }
+            Edge::RoleLink { square, role } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [style=dotted, dir=none];",
+                    square.0, role.0
+                );
+            }
+            Edge::ScopeLink { square, scope } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [style=dotted, dir=none, color=gray];",
+                    square.0, scope.0
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::figure2;
+
+    #[test]
+    fn figure2_dot_mentions_all_elements() {
+        let dot = to_dot(&figure2());
+        assert!(dot.contains("digraph \"figure2\""));
+        assert!(dot.contains("label=\"County\""));
+        assert!(dot.contains("label=\"isPartOf\""));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("fillcolor=black"));
+        assert!(dot.contains("style=dotted"));
+        // 5 nodes, 6 edges.
+        assert_eq!(dot.matches("shape=").count(), 5);
+        assert_eq!(dot.matches(" -> ").count(), 6);
+    }
+}

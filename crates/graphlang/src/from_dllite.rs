@@ -1,0 +1,234 @@
+//! The inverse translation: generating a diagram from a TBox, used to
+//! visualize existing ontologies and to round-trip-test the language.
+//!
+//! Squares are shared: every distinct existential expression (role,
+//! polarity, optional scope) gets exactly one square, so `A ⊑ ∃p.C` and
+//! `B ⊑ ∃p.C` point at the same square, keeping diagrams compact.
+
+use std::collections::HashMap;
+
+use obda_dllite::{Axiom, BasicConcept, GeneralConcept, GeneralRole, Tbox};
+
+use crate::model::{Diagram, Edge, ElementId, Shape};
+
+/// Generates a diagram from a TBox. Total for the DL-Lite_R/A dialect of
+/// this workspace, with one exception: role disjointness whose right side
+/// is an inverse (`Q ⊑ ¬R⁻`) has no drawn form and is returned in the
+/// second component.
+pub fn tbox_to_diagram(t: &Tbox, name: &str) -> (Diagram, Vec<Axiom>) {
+    let mut d = Diagram::new(name);
+    let mut unsupported = Vec::new();
+    // Declare every terminal up front so lone predicates still show up.
+    for a in t.sig.concepts() {
+        d.terminal(Shape::Rectangle, t.sig.concept_name(a));
+    }
+    for p in t.sig.roles() {
+        d.terminal(Shape::Diamond, t.sig.role_name(p));
+    }
+    for u in t.sig.attributes() {
+        d.terminal(Shape::Circle, t.sig.attribute_name(u));
+    }
+    // Shared squares per (role, inverse, scope) / attribute.
+    let mut squares: HashMap<(u32, bool, Option<u32>), ElementId> = HashMap::new();
+    let mut half_squares: HashMap<u32, ElementId> = HashMap::new();
+
+    let concept_el = |b: BasicConcept,
+                          scope: Option<obda_dllite::ConceptId>,
+                          d: &mut Diagram,
+                          squares: &mut HashMap<(u32, bool, Option<u32>), ElementId>,
+                          half_squares: &mut HashMap<u32, ElementId>|
+     -> ElementId {
+        match b {
+            BasicConcept::Atomic(a) => d
+                .find(Shape::Rectangle, t.sig.concept_name(a))
+                .expect("declared"),
+            BasicConcept::Exists(q) => {
+                let key = (q.role().0, q.is_inverse(), scope.map(|c| c.0));
+                if let Some(&sq) = squares.get(&key) {
+                    return sq;
+                }
+                let role_el = d
+                    .find(Shape::Diamond, t.sig.role_name(q.role()))
+                    .expect("declared");
+                let scope_el = scope.map(|c| {
+                    d.find(Shape::Rectangle, t.sig.concept_name(c))
+                        .expect("declared")
+                });
+                let sq = d.existential(q.is_inverse(), role_el, scope_el);
+                squares.insert(key, sq);
+                sq
+            }
+            BasicConcept::AttrDomain(u) => {
+                if let Some(&sq) = half_squares.get(&u.0) {
+                    return sq;
+                }
+                let attr_el = d
+                    .find(Shape::Circle, t.sig.attribute_name(u))
+                    .expect("declared");
+                let sq = d.attr_domain(attr_el);
+                half_squares.insert(u.0, sq);
+                sq
+            }
+        }
+    };
+
+    for ax in t.axioms() {
+        match *ax {
+            Axiom::ConceptIncl(lhs, rhs) => {
+                let from = concept_el(lhs, None, &mut d, &mut squares, &mut half_squares);
+                match rhs {
+                    GeneralConcept::Basic(b) => {
+                        let to = concept_el(b, None, &mut d, &mut squares, &mut half_squares);
+                        d.add_edge(Edge::Inclusion { from, to });
+                    }
+                    GeneralConcept::Neg(b) => {
+                        let to = concept_el(b, None, &mut d, &mut squares, &mut half_squares);
+                        d.add_edge(Edge::Disjointness { from, to });
+                    }
+                    GeneralConcept::QualExists(q, a) => {
+                        let to = concept_el(
+                            BasicConcept::Exists(q),
+                            Some(a),
+                            &mut d,
+                            &mut squares,
+                            &mut half_squares,
+                        );
+                        d.add_edge(Edge::Inclusion { from, to });
+                    }
+                }
+            }
+            Axiom::RoleIncl(q1, rhs) => {
+                // A diagrammed role inclusion reads its LHS as the direct
+                // role; Q₁⁻ ⊑ Q₂ is equivalent to Q₁ ⊑ Q₂-with-flipped
+                // polarity, so normalize the LHS to direct.
+                let (lhs_role, flip) = (q1.role(), q1.is_inverse());
+                let from = d
+                    .find(Shape::Diamond, t.sig.role_name(lhs_role))
+                    .expect("declared");
+                match rhs {
+                    GeneralRole::Basic(q2) => {
+                        let q2 = if flip { q2.inverse() } else { q2 };
+                        let to = d
+                            .find(Shape::Diamond, t.sig.role_name(q2.role()))
+                            .expect("declared");
+                        if q2.is_inverse() {
+                            d.add_edge(Edge::InverseInclusion { from, to });
+                        } else {
+                            d.add_edge(Edge::Inclusion { from, to });
+                        }
+                    }
+                    GeneralRole::Neg(q2) => {
+                        let q2 = if flip { q2.inverse() } else { q2 };
+                        if q2.is_inverse() {
+                            unsupported.push(*ax);
+                        } else {
+                            let to = d
+                                .find(Shape::Diamond, t.sig.role_name(q2.role()))
+                                .expect("declared");
+                            d.add_edge(Edge::Disjointness { from, to });
+                        }
+                    }
+                }
+            }
+            Axiom::AttrIncl(u1, u2) => {
+                let from = d
+                    .find(Shape::Circle, t.sig.attribute_name(u1))
+                    .expect("declared");
+                let to = d
+                    .find(Shape::Circle, t.sig.attribute_name(u2))
+                    .expect("declared");
+                d.add_edge(Edge::Inclusion { from, to });
+            }
+            Axiom::AttrNegIncl(u1, u2) => {
+                let from = d
+                    .find(Shape::Circle, t.sig.attribute_name(u1))
+                    .expect("declared");
+                let to = d
+                    .find(Shape::Circle, t.sig.attribute_name(u2))
+                    .expect("declared");
+                d.add_edge(Edge::Disjointness { from, to });
+            }
+        }
+    }
+    (d, unsupported)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_dllite::diagram_to_tbox;
+    use obda_dllite::parse_tbox;
+
+    fn roundtrip(src: &str) {
+        let t1 = parse_tbox(src).unwrap();
+        let (d, unsupported) = tbox_to_diagram(&t1, "rt");
+        assert!(unsupported.is_empty(), "{unsupported:?}");
+        let t2 = diagram_to_tbox(&d).unwrap();
+        let mut a1: Vec<String> = t1
+            .axioms()
+            .iter()
+            .map(|ax| obda_dllite::printer::axiom(ax, &t1.sig, obda_dllite::printer::Style::Display))
+            .collect();
+        let mut a2: Vec<String> = t2
+            .axioms()
+            .iter()
+            .map(|ax| obda_dllite::printer::axiom(ax, &t2.sig, obda_dllite::printer::Style::Display))
+            .collect();
+        a1.sort();
+        a2.sort();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn roundtrip_figure2() {
+        roundtrip(
+            "concept County State\nrole isPartOf\n\
+             County [= exists isPartOf . State\nState [= exists inv(isPartOf) . County",
+        );
+    }
+
+    #[test]
+    fn roundtrip_all_axiom_kinds() {
+        roundtrip(
+            "concept A B\nrole p r\nattribute u w\n\
+             A [= B\nA [= not B\nA [= exists p\nexists inv(p) [= A\n\
+             A [= exists inv(p) . B\np [= r\np [= inv(r)\np [= not r\n\
+             u [= w\nu [= not w\ndomain(u) [= A",
+        );
+    }
+
+    #[test]
+    fn inverse_lhs_normalizes() {
+        // inv(p) ⊑ r becomes p ⊑ r⁻ in the diagram and survives the
+        // roundtrip up to that equivalence.
+        let t1 = parse_tbox("role p r\ninv(p) [= r").unwrap();
+        let (d, unsupported) = tbox_to_diagram(&t1, "rt");
+        assert!(unsupported.is_empty());
+        let t2 = diagram_to_tbox(&d).unwrap();
+        let rendered =
+            obda_dllite::printer::axiom(&t2.axioms()[0], &t2.sig, obda_dllite::printer::Style::Display);
+        assert_eq!(rendered, "p ⊑ r⁻");
+    }
+
+    #[test]
+    fn inverse_role_disjointness_is_reported_unsupported() {
+        let t1 = parse_tbox("role p r\np [= not inv(r)").unwrap();
+        let (_, unsupported) = tbox_to_diagram(&t1, "rt");
+        assert_eq!(unsupported.len(), 1);
+    }
+
+    #[test]
+    fn squares_are_shared() {
+        let t1 = parse_tbox(
+            "concept A B C\nrole p\nA [= exists p . C\nB [= exists p . C",
+        )
+        .unwrap();
+        let (d, _) = tbox_to_diagram(&t1, "rt");
+        let squares = d
+            .nodes()
+            .iter()
+            .filter(|n| n.shape == Shape::WhiteSquare)
+            .count();
+        assert_eq!(squares, 1);
+    }
+}

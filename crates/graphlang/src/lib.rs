@@ -1,0 +1,34 @@
+//! # obda-graphlang
+//!
+//! The paper's **graphical language for DL-Lite ontologies** (Section 6):
+//! a diagram vocabulary of rectangles (concepts), diamonds (roles),
+//! circles (attributes) and white/black squares (existential restrictions
+//! on a role and its inverse, optionally *qualified* by a dotted scope
+//! edge — Figure 2), with directed edges for inclusion assertions.
+//!
+//! * [`model`]: the diagram data model and the exact [`model::figure2`]
+//!   diagram from the paper;
+//! * [`validate`]: structural well-formedness;
+//! * [`to_dllite`] / [`from_dllite`]: total translations diagram ⇄ TBox
+//!   (property-tested to round-trip);
+//! * [`dot`]: Graphviz export;
+//! * [`modular`]: the two-dimensional modularization of Section 6
+//!   (horizontal domain split, vertical detail levels);
+//! * [`context`]: relevant-context extraction for large-ontology
+//!   visualization.
+
+pub mod context;
+pub mod dot;
+pub mod from_dllite;
+pub mod model;
+pub mod modular;
+pub mod to_dllite;
+pub mod validate;
+
+pub use context::{relevant_context, Context};
+pub use dot::to_dot;
+pub use from_dllite::tbox_to_diagram;
+pub use model::{figure2, Diagram, Edge, ElementId, Node, Shape};
+pub use modular::{horizontal_modules, vertical_view, DetailLevel, Module};
+pub use to_dllite::diagram_to_tbox;
+pub use validate::{validate, ValidationError};

@@ -1,0 +1,310 @@
+//! The diagram model of the paper's graphical language (Section 6).
+//!
+//! "Each graphical element in the diagram represents a specific term,
+//! expression, or assertion":
+//!
+//! * terminal symbols — **rectangles** for atomic concepts, **diamonds**
+//!   for atomic roles, **circles** for attributes;
+//! * non-terminal symbols — a **white square** for the existential
+//!   restriction on a role (`∃R`, or `∃R.C` when the square carries a
+//!   dotted *scope* edge to a rectangle) and a **black square** for the
+//!   restriction on the inverse (`∃R⁻` / `∃R⁻.C`); each square is linked
+//!   to its role diamond by a non-directed dotted edge (Figure 2); a
+//!   **half-filled square** plays the same roles for attribute domains
+//!   (`δ(U)`), linked to a circle — our DL-Lite_A extension;
+//! * assertions — a **directed solid edge** for an inclusion and a
+//!   **directed struck edge** for a negative inclusion (disjointness, an
+//!   extension the paper's modularization work needs).
+
+use std::collections::HashMap;
+
+/// Identifier of a diagram element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId(pub u32);
+
+/// Shape (and therefore meaning) of a diagram node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// Atomic concept.
+    Rectangle,
+    /// Atomic role.
+    Diamond,
+    /// Attribute.
+    Circle,
+    /// Existential restriction on the direct role (`∃R[.C]`).
+    WhiteSquare,
+    /// Existential restriction on the inverse role (`∃R⁻[.C]`).
+    BlackSquare,
+    /// Attribute domain (`δ(U)`).
+    HalfSquare,
+}
+
+impl Shape {
+    /// Whether the shape denotes a concept-sorted expression.
+    pub fn is_concept_sort(self) -> bool {
+        matches!(
+            self,
+            Shape::Rectangle | Shape::WhiteSquare | Shape::BlackSquare | Shape::HalfSquare
+        )
+    }
+
+    /// Whether the shape is a terminal (named) symbol.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Shape::Rectangle | Shape::Diamond | Shape::Circle)
+    }
+}
+
+/// A node of the diagram. Terminal nodes carry a label; squares don't.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Identifier.
+    pub id: ElementId,
+    /// Shape.
+    pub shape: Shape,
+    /// Label (required for terminals, forbidden for squares).
+    pub label: Option<String>,
+}
+
+/// An edge of the diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Directed solid edge: inclusion assertion `source ⊑ target`.
+    Inclusion {
+        /// Subsumee.
+        from: ElementId,
+        /// Subsumer.
+        to: ElementId,
+    },
+    /// Directed struck edge: negative inclusion `source ⊑ ¬target`.
+    Disjointness {
+        /// Left side.
+        from: ElementId,
+        /// Negated right side.
+        to: ElementId,
+    },
+    /// Directed solid edge with an inversion mark on its head: role
+    /// inclusion `source ⊑ target⁻` (between diamonds only). This is the
+    /// one DL-Lite_R role assertion Figure 2's vocabulary cannot draw
+    /// otherwise.
+    InverseInclusion {
+        /// Subsumee diamond.
+        from: ElementId,
+        /// Subsumer diamond, read as its inverse.
+        to: ElementId,
+    },
+    /// Non-directed dotted edge from a square to its role diamond or
+    /// attribute circle.
+    RoleLink {
+        /// The square.
+        square: ElementId,
+        /// The diamond (white/black squares) or circle (half squares).
+        role: ElementId,
+    },
+    /// Non-directed dotted edge from a square to the rectangle in the
+    /// scope of the qualified restriction.
+    ScopeLink {
+        /// The square.
+        square: ElementId,
+        /// The filler rectangle.
+        scope: ElementId,
+    },
+}
+
+/// A diagram: named, with nodes and edges.
+#[derive(Debug, Clone, Default)]
+pub struct Diagram {
+    /// Diagram name (used by modularization).
+    pub name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    by_label: HashMap<(Shape, String), ElementId>,
+}
+
+impl Diagram {
+    /// Creates an empty diagram.
+    pub fn new(name: &str) -> Self {
+        Diagram {
+            name: name.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a labelled terminal node (idempotent per `(shape, label)`).
+    pub fn terminal(&mut self, shape: Shape, label: &str) -> ElementId {
+        assert!(shape.is_terminal(), "terminal() needs a terminal shape");
+        if let Some(&id) = self.by_label.get(&(shape, label.to_owned())) {
+            return id;
+        }
+        let id = ElementId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            shape,
+            label: Some(label.to_owned()),
+        });
+        self.by_label.insert((shape, label.to_owned()), id);
+        id
+    }
+
+    /// Adds an unlabelled square node.
+    pub fn square(&mut self, shape: Shape) -> ElementId {
+        assert!(!shape.is_terminal(), "square() needs a square shape");
+        let id = ElementId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            shape,
+            label: None,
+        });
+        id
+    }
+
+    /// Adds an edge.
+    pub fn add_edge(&mut self, e: Edge) {
+        if !self.edges.contains(&e) {
+            self.edges.push(e);
+        }
+    }
+
+    /// Convenience: a white/black square linked to a role diamond and
+    /// optionally a scope rectangle.
+    pub fn existential(
+        &mut self,
+        inverse: bool,
+        role: ElementId,
+        scope: Option<ElementId>,
+    ) -> ElementId {
+        let sq = self.square(if inverse {
+            Shape::BlackSquare
+        } else {
+            Shape::WhiteSquare
+        });
+        self.add_edge(Edge::RoleLink { square: sq, role });
+        if let Some(scope) = scope {
+            self.add_edge(Edge::ScopeLink { square: sq, scope });
+        }
+        sq
+    }
+
+    /// Convenience: a half square linked to an attribute circle.
+    pub fn attr_domain(&mut self, attribute: ElementId) -> ElementId {
+        let sq = self.square(Shape::HalfSquare);
+        self.add_edge(Edge::RoleLink {
+            square: sq,
+            role: attribute,
+        });
+        sq
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: ElementId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Looks up a terminal by shape and label.
+    pub fn find(&self, shape: Shape, label: &str) -> Option<ElementId> {
+        self.by_label.get(&(shape, label.to_owned())).copied()
+    }
+
+    /// The role diamond (or attribute circle) a square is linked to.
+    pub fn square_role(&self, sq: ElementId) -> Option<ElementId> {
+        self.edges.iter().find_map(|e| match e {
+            Edge::RoleLink { square, role } if *square == sq => Some(*role),
+            _ => None,
+        })
+    }
+
+    /// The scope rectangle of a square, if qualified.
+    pub fn square_scope(&self, sq: ElementId) -> Option<ElementId> {
+        self.edges.iter().find_map(|e| match e {
+            Edge::ScopeLink { square, scope } if *square == sq => Some(*scope),
+            _ => None,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the diagram has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Builds the exact diagram of **Figure 2** of the paper: `County ⊑
+/// ∃isPartOf.State`, `State ⊑ ∃isPartOf⁻.County`.
+pub fn figure2() -> Diagram {
+    let mut d = Diagram::new("figure2");
+    let county = d.terminal(Shape::Rectangle, "County");
+    let state = d.terminal(Shape::Rectangle, "State");
+    let is_part_of = d.terminal(Shape::Diamond, "isPartOf");
+    let white = d.existential(false, is_part_of, Some(state));
+    let black = d.existential(true, is_part_of, Some(county));
+    d.add_edge(Edge::Inclusion {
+        from: county,
+        to: white,
+    });
+    d.add_edge(Edge::Inclusion {
+        from: state,
+        to: black,
+    });
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape_census() {
+        let d = figure2();
+        let count = |s: Shape| d.nodes().iter().filter(|n| n.shape == s).count();
+        assert_eq!(count(Shape::Rectangle), 2);
+        assert_eq!(count(Shape::Diamond), 1);
+        assert_eq!(count(Shape::WhiteSquare), 1);
+        assert_eq!(count(Shape::BlackSquare), 1);
+        // 2 role links + 2 scope links + 2 inclusions.
+        assert_eq!(d.edges().len(), 6);
+    }
+
+    #[test]
+    fn terminals_are_idempotent() {
+        let mut d = Diagram::new("t");
+        let a = d.terminal(Shape::Rectangle, "A");
+        assert_eq!(d.terminal(Shape::Rectangle, "A"), a);
+        // Same label, different shape: different node.
+        let p = d.terminal(Shape::Diamond, "A");
+        assert_ne!(a, p);
+    }
+
+    #[test]
+    fn square_links_resolve() {
+        let d = figure2();
+        let white = d
+            .nodes()
+            .iter()
+            .find(|n| n.shape == Shape::WhiteSquare)
+            .unwrap()
+            .id;
+        let role = d.square_role(white).unwrap();
+        assert_eq!(d.node(role).label.as_deref(), Some("isPartOf"));
+        let scope = d.square_scope(white).unwrap();
+        assert_eq!(d.node(scope).label.as_deref(), Some("State"));
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal() needs a terminal shape")]
+    fn terminal_rejects_squares() {
+        Diagram::new("x").terminal(Shape::WhiteSquare, "bad");
+    }
+}

@@ -1,0 +1,258 @@
+//! Two-dimensional modularization (Section 6, "Scalability and
+//! modularization"): **horizontal** — dividing the ontology into separate
+//! domains — and **vertical** — views of growing detail over the same
+//! domain.
+
+use std::collections::{HashMap, HashSet};
+
+use obda_dllite::{Axiom, GeneralConcept, NamedPredicate, Tbox};
+
+/// One horizontal module: a name and the sub-TBox of its domain.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// Module name (derived from its lexicographically first predicate).
+    pub name: String,
+    /// Axioms of the module (signature restricted to its predicates).
+    pub tbox: Tbox,
+}
+
+/// Dense index for named predicates (union-find keys).
+fn pred_index(t: &Tbox, p: NamedPredicate) -> usize {
+    match p {
+        NamedPredicate::Concept(a) => a.0 as usize,
+        NamedPredicate::Role(r) => t.sig.num_concepts() + r.0 as usize,
+        NamedPredicate::Attribute(u) => {
+            t.sig.num_concepts() + t.sig.num_roles() + u.0 as usize
+        }
+    }
+}
+
+fn axiom_preds(_t: &Tbox, ax: &Axiom) -> Vec<NamedPredicate> {
+    let sig = Tbox::axiom_signature(ax);
+    let mut out: Vec<NamedPredicate> = sig
+        .concepts
+        .iter()
+        .map(|&c| NamedPredicate::Concept(c))
+        .collect();
+    out.extend(sig.roles.iter().map(|&r| NamedPredicate::Role(r)));
+    out.extend(sig.attributes.iter().map(|&u| NamedPredicate::Attribute(u)));
+    out
+}
+
+/// Splits the TBox into its **horizontal modules**: the connected
+/// components of the predicate co-occurrence graph (two predicates are
+/// connected when they share an axiom). Predicates mentioned in no axiom
+/// form singleton modules.
+pub fn horizontal_modules(t: &Tbox) -> Vec<Module> {
+    let n = t.sig.num_concepts() + t.sig.num_roles() + t.sig.num_attributes();
+    // Union-find.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for ax in t.axioms() {
+        let preds = axiom_preds(t, ax);
+        for w in preds.windows(2) {
+            let a = find(&mut parent, pred_index(t, w[0]));
+            let b = find(&mut parent, pred_index(t, w[1]));
+            parent[a] = b;
+        }
+    }
+    // Group axioms per component.
+    let mut groups: HashMap<usize, Vec<&Axiom>> = HashMap::new();
+    for ax in t.axioms() {
+        let rep = find(
+            &mut parent,
+            pred_index(t, axiom_preds(t, ax)[0]),
+        );
+        groups.entry(rep).or_default().push(ax);
+    }
+    let mut modules = Vec::new();
+    for (_, axioms) in groups {
+        let module = restrict(t, &axioms);
+        let name = module_name(&module);
+        modules.push(Module {
+            name,
+            tbox: module,
+        });
+    }
+    modules.sort_by(|a, b| a.name.cmp(&b.name));
+    modules
+}
+
+/// Rebuilds the given axioms of `t` over a minimal signature containing
+/// only the predicates they mention, remapping ids by name.
+fn restrict(t: &Tbox, axioms: &[&Axiom]) -> Tbox {
+    use obda_dllite::{BasicConcept, BasicRole, GeneralRole};
+    let mut used_c = HashSet::new();
+    let mut used_r = HashSet::new();
+    let mut used_u = HashSet::new();
+    for ax in axioms {
+        let sig = Tbox::axiom_signature(ax);
+        used_c.extend(sig.concepts);
+        used_r.extend(sig.roles);
+        used_u.extend(sig.attributes);
+    }
+    let mut out = Tbox::new();
+    // Intern in original order for stable ids, then remap by name.
+    let mut cmap: HashMap<u32, obda_dllite::ConceptId> = HashMap::new();
+    let mut rmap: HashMap<u32, obda_dllite::RoleId> = HashMap::new();
+    let mut umap: HashMap<u32, obda_dllite::AttributeId> = HashMap::new();
+    for a in t.sig.concepts() {
+        if used_c.contains(&a) {
+            cmap.insert(a.0, out.sig.concept(t.sig.concept_name(a)));
+        }
+    }
+    for r in t.sig.roles() {
+        if used_r.contains(&r) {
+            rmap.insert(r.0, out.sig.role(t.sig.role_name(r)));
+        }
+    }
+    for u in t.sig.attributes() {
+        if used_u.contains(&u) {
+            umap.insert(u.0, out.sig.attribute(t.sig.attribute_name(u)));
+        }
+    }
+    let role = |q: BasicRole| match q {
+        BasicRole::Direct(p) => BasicRole::Direct(rmap[&p.0]),
+        BasicRole::Inverse(p) => BasicRole::Inverse(rmap[&p.0]),
+    };
+    let basic = |b: BasicConcept| match b {
+        BasicConcept::Atomic(a) => BasicConcept::Atomic(cmap[&a.0]),
+        BasicConcept::Exists(q) => BasicConcept::Exists(role(q)),
+        BasicConcept::AttrDomain(u) => BasicConcept::AttrDomain(umap[&u.0]),
+    };
+    for ax in axioms {
+        let remapped = match **ax {
+            Axiom::ConceptIncl(lhs, rhs) => Axiom::ConceptIncl(
+                basic(lhs),
+                match rhs {
+                    GeneralConcept::Basic(b) => GeneralConcept::Basic(basic(b)),
+                    GeneralConcept::Neg(b) => GeneralConcept::Neg(basic(b)),
+                    GeneralConcept::QualExists(q, a) => {
+                        GeneralConcept::QualExists(role(q), cmap[&a.0])
+                    }
+                },
+            ),
+            Axiom::RoleIncl(lhs, rhs) => Axiom::RoleIncl(
+                role(lhs),
+                match rhs {
+                    GeneralRole::Basic(q) => GeneralRole::Basic(role(q)),
+                    GeneralRole::Neg(q) => GeneralRole::Neg(role(q)),
+                },
+            ),
+            Axiom::AttrIncl(u, w) => Axiom::AttrIncl(umap[&u.0], umap[&w.0]),
+            Axiom::AttrNegIncl(u, w) => Axiom::AttrNegIncl(umap[&u.0], umap[&w.0]),
+        };
+        out.add(remapped);
+    }
+    out
+}
+
+fn module_name(t: &Tbox) -> String {
+    let mut names: Vec<&str> = t.sig.concepts().map(|a| t.sig.concept_name(a)).collect();
+    names.extend(t.sig.roles().map(|r| t.sig.role_name(r)));
+    names.extend(t.sig.attributes().map(|u| t.sig.attribute_name(u)));
+    names.sort_unstable();
+    names
+        .first()
+        .map(|n| format!("module-{n}"))
+        .unwrap_or_else(|| "module-empty".into())
+}
+
+/// Vertical detail levels of Section 6: "various representations, each of
+/// growing detail".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DetailLevel {
+    /// Only the concept taxonomy (`A ⊑ B` between atomic concepts).
+    Taxonomy,
+    /// Taxonomy plus role/attribute hierarchies and typing
+    /// (domain/range/attribute-domain axioms).
+    Typing,
+    /// Everything, including disjointness and qualified existentials.
+    Full,
+}
+
+/// Extracts the vertical view of the TBox at the given detail level (the
+/// signature is kept whole so views stay comparable).
+pub fn vertical_view(t: &Tbox, level: DetailLevel) -> Tbox {
+    let mut out = Tbox::with_signature(t.sig.clone());
+    for ax in t.axioms() {
+        let include = match level {
+            DetailLevel::Full => true,
+            DetailLevel::Taxonomy => matches!(
+                ax,
+                Axiom::ConceptIncl(
+                    obda_dllite::BasicConcept::Atomic(_),
+                    GeneralConcept::Basic(obda_dllite::BasicConcept::Atomic(_)),
+                )
+            ),
+            DetailLevel::Typing => matches!(
+                ax,
+                Axiom::ConceptIncl(_, GeneralConcept::Basic(_))
+                    | Axiom::RoleIncl(_, obda_dllite::GeneralRole::Basic(_))
+                    | Axiom::AttrIncl(_, _)
+            ),
+        };
+        if include {
+            out.add(*ax);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::parse_tbox;
+
+    const TWO_DOMAINS: &str = "concept A B X Y\nrole p q\n\
+         A [= B\nA [= exists p\nexists inv(p) [= B\n\
+         X [= Y\nX [= exists q";
+
+    #[test]
+    fn horizontal_split_finds_components() {
+        let t = parse_tbox(TWO_DOMAINS).unwrap();
+        let modules = horizontal_modules(&t);
+        assert_eq!(modules.len(), 2);
+        assert_eq!(modules[0].name, "module-A");
+        assert_eq!(modules[1].name, "module-X");
+        assert_eq!(modules[0].tbox.len(), 3);
+        assert_eq!(modules[1].tbox.len(), 2);
+        // The A-module's signature excludes X, Y, q.
+        assert!(modules[0].tbox.sig.find_concept("X").is_none());
+        assert!(modules[0].tbox.sig.find_role("q").is_none());
+    }
+
+    #[test]
+    fn modules_union_covers_all_axioms() {
+        let t = parse_tbox(TWO_DOMAINS).unwrap();
+        let total: usize = horizontal_modules(&t).iter().map(|m| m.tbox.len()).sum();
+        assert_eq!(total, t.len());
+    }
+
+    #[test]
+    fn vertical_views_grow() {
+        let src = "concept A B C\nrole p r\nattribute u\n\
+                   A [= B\nB [= not C\nA [= exists p . C\n\
+                   exists p [= A\np [= r\ndomain(u) [= A";
+        let t = parse_tbox(src).unwrap();
+        let taxo = vertical_view(&t, DetailLevel::Taxonomy);
+        let typing = vertical_view(&t, DetailLevel::Typing);
+        let full = vertical_view(&t, DetailLevel::Full);
+        assert_eq!(taxo.len(), 1); // A ⊑ B
+        assert_eq!(typing.len(), 4); // + ∃p ⊑ A, p ⊑ r, δ(u) ⊑ A
+        assert_eq!(full.len(), t.len());
+        assert!(taxo.len() < typing.len() && typing.len() < full.len());
+    }
+}

@@ -1,0 +1,222 @@
+//! Translation of a validated diagram into DL-Lite axioms — step (ii) of
+//! the paper's workflow: "translation of this graphical formalization of
+//! the ontology into a set of processable logical axioms, through an
+//! automated tool".
+
+use obda_dllite::{Axiom, BasicConcept, BasicRole, GeneralConcept, GeneralRole, Tbox};
+
+use crate::model::{Diagram, Edge, ElementId, Shape};
+use crate::validate::{validate, ValidationError};
+
+/// Translates a diagram into a TBox. Fails with the diagram's validation
+/// errors if it is not well-formed.
+pub fn diagram_to_tbox(d: &Diagram) -> Result<Tbox, Vec<ValidationError>> {
+    let errors = validate(d);
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    let mut t = Tbox::new();
+    // Declare terminals (in node order, for stable ids).
+    for n in d.nodes() {
+        if let Some(label) = &n.label {
+            match n.shape {
+                Shape::Rectangle => {
+                    t.sig.concept(label);
+                }
+                Shape::Diamond => {
+                    t.sig.role(label);
+                }
+                Shape::Circle => {
+                    t.sig.attribute(label);
+                }
+                _ => unreachable!("validated: squares are unlabelled"),
+            }
+        }
+    }
+    // Element → basic concept (for concept-sorted elements).
+    let basic = |id: ElementId, t: &Tbox| -> BasicConcept {
+        let n = d.node(id);
+        match n.shape {
+            Shape::Rectangle => BasicConcept::Atomic(
+                t.sig
+                    .find_concept(n.label.as_deref().expect("validated"))
+                    .expect("declared"),
+            ),
+            Shape::WhiteSquare | Shape::BlackSquare => {
+                let role_el = d.square_role(id).expect("validated");
+                let p = t
+                    .sig
+                    .find_role(d.node(role_el).label.as_deref().expect("validated"))
+                    .expect("declared");
+                BasicConcept::Exists(if n.shape == Shape::BlackSquare {
+                    BasicRole::Inverse(p)
+                } else {
+                    BasicRole::Direct(p)
+                })
+            }
+            Shape::HalfSquare => {
+                let attr_el = d.square_role(id).expect("validated");
+                let u = t
+                    .sig
+                    .find_attribute(d.node(attr_el).label.as_deref().expect("validated"))
+                    .expect("declared");
+                BasicConcept::AttrDomain(u)
+            }
+            other => unreachable!("not concept-sorted: {other:?}"),
+        }
+    };
+    // Element → general concept for the right-hand side (qualification).
+    let general = |id: ElementId, t: &Tbox| -> GeneralConcept {
+        let n = d.node(id);
+        if matches!(n.shape, Shape::WhiteSquare | Shape::BlackSquare) {
+            if let Some(scope) = d.square_scope(id) {
+                let role_el = d.square_role(id).expect("validated");
+                let p = t
+                    .sig
+                    .find_role(d.node(role_el).label.as_deref().expect("validated"))
+                    .expect("declared");
+                let a = t
+                    .sig
+                    .find_concept(d.node(scope).label.as_deref().expect("validated"))
+                    .expect("declared");
+                let q = if n.shape == Shape::BlackSquare {
+                    BasicRole::Inverse(p)
+                } else {
+                    BasicRole::Direct(p)
+                };
+                return GeneralConcept::QualExists(q, a);
+            }
+        }
+        GeneralConcept::Basic(basic(id, t))
+    };
+    let role_of = |id: ElementId, t: &Tbox| -> obda_dllite::RoleId {
+        t.sig
+            .find_role(d.node(id).label.as_deref().expect("validated"))
+            .expect("declared")
+    };
+    let attr_of = |id: ElementId, t: &Tbox| -> obda_dllite::AttributeId {
+        t.sig
+            .find_attribute(d.node(id).label.as_deref().expect("validated"))
+            .expect("declared")
+    };
+
+    let mut axioms = Vec::new();
+    for e in d.edges() {
+        match e {
+            Edge::Inclusion { from, to } => {
+                let (sf, st) = (d.node(*from).shape, d.node(*to).shape);
+                if sf.is_concept_sort() {
+                    axioms.push(Axiom::ConceptIncl(basic(*from, &t), general(*to, &t)));
+                } else if sf == Shape::Diamond && st == Shape::Diamond {
+                    axioms.push(Axiom::RoleIncl(
+                        BasicRole::Direct(role_of(*from, &t)),
+                        GeneralRole::Basic(BasicRole::Direct(role_of(*to, &t))),
+                    ));
+                } else {
+                    axioms.push(Axiom::AttrIncl(attr_of(*from, &t), attr_of(*to, &t)));
+                }
+            }
+            Edge::InverseInclusion { from, to } => {
+                axioms.push(Axiom::RoleIncl(
+                    BasicRole::Direct(role_of(*from, &t)),
+                    GeneralRole::Basic(BasicRole::Inverse(role_of(*to, &t))),
+                ));
+            }
+            Edge::Disjointness { from, to } => {
+                let (sf, st) = (d.node(*from).shape, d.node(*to).shape);
+                if sf.is_concept_sort() {
+                    axioms.push(Axiom::ConceptIncl(
+                        basic(*from, &t),
+                        GeneralConcept::Neg(basic(*to, &t)),
+                    ));
+                } else if sf == Shape::Diamond && st == Shape::Diamond {
+                    axioms.push(Axiom::RoleIncl(
+                        BasicRole::Direct(role_of(*from, &t)),
+                        GeneralRole::Neg(BasicRole::Direct(role_of(*to, &t))),
+                    ));
+                } else {
+                    axioms.push(Axiom::AttrNegIncl(attr_of(*from, &t), attr_of(*to, &t)));
+                }
+            }
+            Edge::RoleLink { .. } | Edge::ScopeLink { .. } => {}
+        }
+    }
+    for ax in axioms {
+        t.add(ax);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::figure2;
+    use obda_dllite::printer::{self, Style};
+
+    #[test]
+    fn figure2_translates_to_the_papers_axioms() {
+        let t = diagram_to_tbox(&figure2()).unwrap();
+        let rendered: Vec<String> = t
+            .axioms()
+            .iter()
+            .map(|ax| printer::axiom(ax, &t.sig, Style::Display))
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "County ⊑ ∃isPartOf.State",
+                "State ⊑ ∃isPartOf⁻.County"
+            ]
+        );
+    }
+
+    #[test]
+    fn role_attribute_and_disjointness_edges() {
+        let mut d = Diagram::new("t");
+        let p = d.terminal(Shape::Diamond, "p");
+        let r = d.terminal(Shape::Diamond, "r");
+        let s = d.terminal(Shape::Diamond, "s");
+        let u = d.terminal(Shape::Circle, "u");
+        let w = d.terminal(Shape::Circle, "w");
+        let a = d.terminal(Shape::Rectangle, "A");
+        let b = d.terminal(Shape::Rectangle, "B");
+        d.add_edge(Edge::Inclusion { from: p, to: r });
+        d.add_edge(Edge::InverseInclusion { from: p, to: s });
+        d.add_edge(Edge::Inclusion { from: u, to: w });
+        d.add_edge(Edge::Disjointness { from: a, to: b });
+        d.add_edge(Edge::Disjointness { from: p, to: s });
+        d.add_edge(Edge::Disjointness { from: u, to: w });
+        // Domain typing: ∃p ⊑ A via an unqualified white square.
+        let sq = d.existential(false, p, None);
+        d.add_edge(Edge::Inclusion { from: sq, to: a });
+        // δ(u) ⊑ B.
+        let half = d.attr_domain(u);
+        d.add_edge(Edge::Inclusion { from: half, to: b });
+        let t = diagram_to_tbox(&d).unwrap();
+        let rendered: Vec<String> = t
+            .axioms()
+            .iter()
+            .map(|ax| printer::axiom(ax, &t.sig, Style::Display))
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "p ⊑ r",
+                "p ⊑ s⁻",
+                "u ⊑ w",
+                "A ⊑ ¬B",
+                "p ⊑ ¬s",
+                "u ⊑ ¬w",
+                "∃p ⊑ A",
+                "δ(u) ⊑ B",
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_diagram_reports_errors() {
+        let mut d = Diagram::new("bad");
+        d.square(Shape::WhiteSquare);
+        assert!(diagram_to_tbox(&d).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Structural validation of diagrams: the well-formedness conditions that
+//! make the translation to DL-Lite total.
+
+use crate::model::{Diagram, Edge, ElementId, Shape};
+
+/// A validation problem, with the offending element where applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Offending element, if tied to one.
+    pub element: Option<ElementId>,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.element {
+            Some(e) => write!(f, "element {}: {}", e.0, self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+/// Validates a diagram, returning every problem found.
+///
+/// Conditions:
+/// 1. terminals carry labels, squares don't;
+/// 2. every square has exactly one role link — white/black squares to a
+///    diamond, half squares to a circle;
+/// 3. scope links go from white/black squares to rectangles only;
+/// 4. inclusion/disjointness edges connect same-sort elements
+///    (concept-sort with concept-sort, diamonds with diamonds, circles
+///    with circles);
+/// 5. squares never appear on the left of an inclusion arrow *as
+///    qualified restrictions* — `∃R.C` is only a right-hand side in
+///    DL-Lite (unqualified squares may be subsumees).
+pub fn validate(d: &Diagram) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let mut err = |element: Option<ElementId>, message: String| {
+        errors.push(ValidationError { element, message });
+    };
+
+    for n in d.nodes() {
+        match (n.shape.is_terminal(), &n.label) {
+            (true, None) => err(Some(n.id), "terminal node without label".into()),
+            (false, Some(_)) => err(Some(n.id), "square node must not carry a label".into()),
+            _ => {}
+        }
+        if !n.shape.is_terminal() {
+            let links: Vec<ElementId> = d
+                .edges()
+                .iter()
+                .filter_map(|e| match e {
+                    Edge::RoleLink { square, role } if *square == n.id => Some(*role),
+                    _ => None,
+                })
+                .collect();
+            match links.as_slice() {
+                [] => err(Some(n.id), "square without role link".into()),
+                [role] => {
+                    let want = if n.shape == Shape::HalfSquare {
+                        Shape::Circle
+                    } else {
+                        Shape::Diamond
+                    };
+                    if d.node(*role).shape != want {
+                        err(
+                            Some(n.id),
+                            format!("square linked to {:?}, expected {want:?}", d.node(*role).shape),
+                        );
+                    }
+                }
+                _ => err(Some(n.id), "square with multiple role links".into()),
+            }
+            let scopes = d
+                .edges()
+                .iter()
+                .filter(|e| matches!(e, Edge::ScopeLink { square, .. } if *square == n.id))
+                .count();
+            if scopes > 1 {
+                err(Some(n.id), "square with multiple scope links".into());
+            }
+            if scopes == 1 && n.shape == Shape::HalfSquare {
+                err(Some(n.id), "attribute-domain squares cannot be qualified".into());
+            }
+        }
+    }
+
+    for e in d.edges() {
+        match e {
+            Edge::Inclusion { from, to } | Edge::Disjointness { from, to } => {
+                let (sf, st) = (d.node(*from).shape, d.node(*to).shape);
+                let same_sort = (sf.is_concept_sort() && st.is_concept_sort())
+                    || (sf == Shape::Diamond && st == Shape::Diamond)
+                    || (sf == Shape::Circle && st == Shape::Circle);
+                if !same_sort {
+                    err(
+                        Some(*from),
+                        format!("inclusion between different sorts: {sf:?} vs {st:?}"),
+                    );
+                }
+                // Qualified squares only on the right of inclusions.
+                if matches!(sf, Shape::WhiteSquare | Shape::BlackSquare)
+                    && d.square_scope(*from).is_some()
+                {
+                    err(
+                        Some(*from),
+                        "qualified existential cannot be a subsumee in DL-Lite".into(),
+                    );
+                }
+                // Negated qualified squares are not expressible either.
+                if matches!(e, Edge::Disjointness { .. })
+                    && matches!(st, Shape::WhiteSquare | Shape::BlackSquare)
+                    && d.square_scope(*to).is_some()
+                {
+                    err(
+                        Some(*to),
+                        "negated qualified existential is not in DL-Lite_R".into(),
+                    );
+                }
+            }
+            Edge::InverseInclusion { from, to } => {
+                if d.node(*from).shape != Shape::Diamond || d.node(*to).shape != Shape::Diamond {
+                    err(
+                        Some(*from),
+                        "inverse inclusion must connect two diamonds".into(),
+                    );
+                }
+            }
+            Edge::RoleLink { square, role } => {
+                if d.node(*square).shape.is_terminal() {
+                    err(Some(*square), "role link source must be a square".into());
+                }
+                if !d.node(*role).shape.is_terminal() {
+                    err(Some(*role), "role link target must be a terminal".into());
+                }
+            }
+            Edge::ScopeLink { square, scope } => {
+                if !matches!(
+                    d.node(*square).shape,
+                    Shape::WhiteSquare | Shape::BlackSquare
+                ) {
+                    err(Some(*square), "scope link source must be a white/black square".into());
+                }
+                if d.node(*scope).shape != Shape::Rectangle {
+                    err(Some(*scope), "scope link target must be a rectangle".into());
+                }
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::figure2;
+
+    #[test]
+    fn figure2_is_valid() {
+        assert!(validate(&figure2()).is_empty());
+    }
+
+    #[test]
+    fn detects_unlinked_square() {
+        let mut d = Diagram::new("bad");
+        d.square(Shape::WhiteSquare);
+        let errs = validate(&d);
+        assert!(errs.iter().any(|e| e.message.contains("without role link")));
+    }
+
+    #[test]
+    fn detects_cross_sort_inclusion() {
+        let mut d = Diagram::new("bad");
+        let a = d.terminal(Shape::Rectangle, "A");
+        let p = d.terminal(Shape::Diamond, "p");
+        d.add_edge(Edge::Inclusion { from: a, to: p });
+        let errs = validate(&d);
+        assert!(errs.iter().any(|e| e.message.contains("different sorts")));
+    }
+
+    #[test]
+    fn detects_qualified_square_on_lhs() {
+        let mut d = Diagram::new("bad");
+        let a = d.terminal(Shape::Rectangle, "A");
+        let b = d.terminal(Shape::Rectangle, "B");
+        let p = d.terminal(Shape::Diamond, "p");
+        let sq = d.existential(false, p, Some(b));
+        d.add_edge(Edge::Inclusion { from: sq, to: a });
+        let errs = validate(&d);
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("cannot be a subsumee")));
+    }
+
+    #[test]
+    fn half_square_must_link_circle() {
+        let mut d = Diagram::new("bad");
+        let p = d.terminal(Shape::Diamond, "p");
+        let sq = d.square(Shape::HalfSquare);
+        d.add_edge(Edge::RoleLink {
+            square: sq,
+            role: p,
+        });
+        let errs = validate(&d);
+        assert!(errs.iter().any(|e| e.message.contains("expected Circle")));
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based round-trip: TBox → diagram → TBox preserves the axiom
+//! set (up to the one documented unsupported shape), and generated
+//! diagrams always validate.
+
+use obda_dllite::{Axiom, BasicRole, GeneralRole, Tbox};
+use obda_graphlang::{diagram_to_tbox, tbox_to_diagram, validate};
+use obda_genont::random_tbox;
+use proptest::prelude::*;
+
+/// Drops the one undrawable shape (`Q ⊑ ¬R⁻` after LHS normalization).
+fn drawable(t: &Tbox) -> Tbox {
+    let mut out = Tbox::with_signature(t.sig.clone());
+    for ax in t.axioms() {
+        let undrawable = matches!(
+            ax,
+            Axiom::RoleIncl(q1, GeneralRole::Neg(q2))
+                if matches!(
+                    (q1.is_inverse(), q2),
+                    (false, BasicRole::Inverse(_)) | (true, BasicRole::Direct(_))
+                )
+        );
+        if !undrawable {
+            out.add(*ax);
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn tbox_diagram_roundtrip(seed in 0u64..400) {
+        let t = drawable(&random_tbox(seed, 4, 2, 2, 16));
+        let (d, unsupported) = tbox_to_diagram(&t, "prop");
+        prop_assert!(unsupported.is_empty(), "{unsupported:?}");
+        prop_assert!(validate(&d).is_empty(), "{:?}", validate(&d));
+        let back = diagram_to_tbox(&d).unwrap();
+        // Compare rendered axiom strings modulo the inverse-LHS
+        // normalization the diagram applies (Q⁻ ⊑ R ≡ Q ⊑ R⁻).
+        let norm = |t: &Tbox| -> std::collections::BTreeSet<String> {
+            t.axioms()
+                .iter()
+                .map(|ax| {
+                    let normalized = match *ax {
+                        Axiom::RoleIncl(q1, GeneralRole::Basic(q2)) if q1.is_inverse() => {
+                            Axiom::RoleIncl(q1.inverse(), GeneralRole::Basic(q2.inverse()))
+                        }
+                        Axiom::RoleIncl(q1, GeneralRole::Neg(q2)) if q1.is_inverse() => {
+                            Axiom::RoleIncl(q1.inverse(), GeneralRole::Neg(q2.inverse()))
+                        }
+                        other => other,
+                    };
+                    obda_dllite::printer::axiom(
+                        &normalized,
+                        &t.sig,
+                        obda_dllite::printer::Style::Display,
+                    )
+                })
+                .collect()
+        };
+        prop_assert_eq!(norm(&t), norm(&back));
+    }
+}

@@ -1,0 +1,20 @@
+//! # obda-mapping
+//!
+//! The OBDA mapping layer — "the semantic correspondence between the
+//! unified view of the domain and the data stored at the sources"
+//! (Section 1 of the paper):
+//!
+//! * [`assertion`]: GAV mapping assertions (SQL body → ontology-atom
+//!   heads with IRI templates), validation against source schemas, and a
+//!   design-time lint for unmapped predicates;
+//! * [`materialize`]: virtual-ABox materialization ("ABox mode").
+//!
+//! Query *unfolding* (the "virtual mode" that never materializes) lives
+//! in `mastro::rewrite::unfold`, which combines per-atom sources from
+//! [`assertion::MappingSet`] into flat SQL joins.
+
+pub mod assertion;
+pub mod materialize;
+
+pub use assertion::{IriTemplate, MappingAssertion, MappingHead, MappingSet};
+pub use materialize::materialize;

@@ -1,0 +1,163 @@
+//! Virtual-ABox materialization: evaluating every mapping against the
+//! sources and collecting the produced membership assertions.
+//!
+//! This is "ABox mode" OBDA: useful for moderate data sizes, for tests,
+//! and as the baseline against unfolding in the A4 ablation.
+
+use obda_dllite::{Abox, Value};
+use obda_sqlstore::{Database, SqlError, SqlValue};
+
+use crate::assertion::{MappingHead, MappingSet};
+
+/// Evaluates all mappings over `db`, producing the virtual ABox.
+pub fn materialize(mappings: &MappingSet, db: &Database) -> Result<Abox, SqlError> {
+    let mut abox = Abox::new();
+    for m in mappings.assertions() {
+        let rs = db.query(&m.sql)?;
+        let col = |name: &str| -> Result<usize, SqlError> {
+            rs.columns
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| SqlError::new(format!("missing answer column `{name}`")))
+        };
+        for h in &m.heads {
+            match h {
+                MappingHead::Concept { concept, subject } => {
+                    let s = col(&subject.column)?;
+                    for row in &rs.rows {
+                        if row[s].is_null() {
+                            continue;
+                        }
+                        abox.assert_concept(*concept, &subject.render(&row[s]));
+                    }
+                }
+                MappingHead::Role {
+                    role,
+                    subject,
+                    object,
+                } => {
+                    let s = col(&subject.column)?;
+                    let o = col(&object.column)?;
+                    for row in &rs.rows {
+                        if row[s].is_null() || row[o].is_null() {
+                            continue;
+                        }
+                        abox.assert_role(
+                            *role,
+                            &subject.render(&row[s]),
+                            &object.render(&row[o]),
+                        );
+                    }
+                }
+                MappingHead::Attribute {
+                    attribute,
+                    subject,
+                    value_column,
+                } => {
+                    let s = col(&subject.column)?;
+                    let v = col(value_column)?;
+                    for row in &rs.rows {
+                        if row[s].is_null() || row[v].is_null() {
+                            continue;
+                        }
+                        let value = match &row[v] {
+                            SqlValue::Int(i) => Value::Int(*i),
+                            SqlValue::Text(t) => Value::Text(t.clone()),
+                            SqlValue::Null => unreachable!("filtered above"),
+                        };
+                        abox.assert_attribute(*attribute, &subject.render(&row[s]), value);
+                    }
+                }
+            }
+        }
+    }
+    Ok(abox)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::{IriTemplate, MappingAssertion};
+    use obda_dllite::Signature;
+
+    #[test]
+    fn materializes_concepts_roles_attributes() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE T (id INT, boss INT, name TEXT)").unwrap();
+        db.execute("INSERT INTO T VALUES (1, 2, 'ada'), (2, NULL, 'bob')")
+            .unwrap();
+        let mut sig = Signature::new();
+        let person = sig.concept("Person");
+        let reports = sig.role("reportsTo");
+        let name = sig.attribute("name");
+        let tpl = |col: &str| IriTemplate {
+            prefix: "p/".into(),
+            column: col.into(),
+        };
+        let mut ms = MappingSet::new();
+        ms.add(MappingAssertion {
+            sql: "SELECT id, boss, name FROM T".into(),
+            heads: vec![
+                MappingHead::Concept {
+                    concept: person,
+                    subject: tpl("id"),
+                },
+                MappingHead::Role {
+                    role: reports,
+                    subject: tpl("id"),
+                    object: tpl("boss"),
+                },
+                MappingHead::Attribute {
+                    attribute: name,
+                    subject: tpl("id"),
+                    value_column: "name".into(),
+                },
+            ],
+        });
+        let abox = materialize(&ms, &db).unwrap();
+        assert_eq!(abox.concept_instances(person).count(), 2);
+        // NULL boss row contributes no role assertion.
+        assert_eq!(abox.role_instances(reports).count(), 1);
+        assert_eq!(abox.attribute_instances(name).count(), 2);
+        assert!(abox.find_individual("p/1").is_some());
+        assert!(abox.find_individual("p/2").is_some());
+    }
+
+    #[test]
+    fn shared_templates_unify_individuals() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE A (x INT)").unwrap();
+        db.execute("CREATE TABLE B (y INT)").unwrap();
+        db.execute("INSERT INTO A VALUES (7)").unwrap();
+        db.execute("INSERT INTO B VALUES (7)").unwrap();
+        let mut sig = Signature::new();
+        let c1 = sig.concept("C1");
+        let c2 = sig.concept("C2");
+        let mut ms = MappingSet::new();
+        ms.add(MappingAssertion {
+            sql: "SELECT x FROM A".into(),
+            heads: vec![MappingHead::Concept {
+                concept: c1,
+                subject: IriTemplate {
+                    prefix: "p/".into(),
+                    column: "x".into(),
+                },
+            }],
+        });
+        ms.add(MappingAssertion {
+            sql: "SELECT y FROM B".into(),
+            heads: vec![MappingHead::Concept {
+                concept: c2,
+                subject: IriTemplate {
+                    prefix: "p/".into(),
+                    column: "y".into(),
+                },
+            }],
+        });
+        let abox = materialize(&ms, &db).unwrap();
+        // Same prefix + same value → one individual in both concepts.
+        assert_eq!(abox.num_individuals(), 1);
+        assert_eq!(abox.concept_instances(c1).count(), 1);
+        assert_eq!(abox.concept_instances(c2).count(), 1);
+    }
+}

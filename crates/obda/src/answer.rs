@@ -1,0 +1,318 @@
+//! CQ/UCQ evaluation over a concrete [`Abox`] ("ABox mode").
+//!
+//! A straightforward backtracking join, atom by atom, with bindings over
+//! individuals and values. This is both the execution engine for
+//! materialized OBDA and the reference evaluator the rewriting tests
+//! compare against.
+
+use std::collections::{BTreeSet, HashMap};
+
+use obda_dllite::{Abox, Assertion, IndividualId, Value};
+
+use crate::query::{Atom, ConjunctiveQuery, Term, Ucq, ValueTerm};
+
+/// One answer component: an individual (by name) or a data value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AnswerTerm {
+    /// Individual IRI.
+    Iri(String),
+    /// Data value.
+    Value(Value),
+}
+
+impl std::fmt::Display for AnswerTerm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnswerTerm::Iri(s) => f.write_str(s),
+            AnswerTerm::Value(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A set of answer tuples (sorted, deduplicated).
+pub type Answers = BTreeSet<Vec<AnswerTerm>>;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Binding {
+    Ind(IndividualId),
+    Val(Value),
+}
+
+/// Per-predicate fact index, built once per query evaluation so each
+/// atom scans only its own predicate's facts (the naive all-assertions
+/// scan made materialized-mode answering quadratic at data scale).
+struct AboxIndex {
+    concepts: HashMap<u32, Vec<IndividualId>>,
+    roles: HashMap<u32, Vec<(IndividualId, IndividualId)>>,
+    attributes: HashMap<u32, Vec<(IndividualId, Value)>>,
+}
+
+impl AboxIndex {
+    fn build(abox: &Abox) -> Self {
+        let mut ix = AboxIndex {
+            concepts: HashMap::new(),
+            roles: HashMap::new(),
+            attributes: HashMap::new(),
+        };
+        for a in abox.assertions() {
+            match a {
+                Assertion::Concept(c, i) => ix.concepts.entry(c.0).or_default().push(*i),
+                Assertion::Role(p, s, o) => {
+                    ix.roles.entry(p.0).or_default().push((*s, *o))
+                }
+                Assertion::Attribute(u, s, v) => ix
+                    .attributes
+                    .entry(u.0)
+                    .or_default()
+                    .push((*s, v.clone())),
+            }
+        }
+        ix
+    }
+}
+
+/// Evaluates a CQ over an ABox.
+pub fn evaluate_cq(q: &ConjunctiveQuery, abox: &Abox) -> Answers {
+    let mut answers = Answers::new();
+    let mut bindings: HashMap<String, Binding> = HashMap::new();
+    let index = AboxIndex::build(abox);
+    eval_rec(q, abox, &index, 0, &mut bindings, &mut answers);
+    answers
+}
+
+/// Evaluates a UCQ (union of the disjuncts' answers).
+pub fn evaluate_ucq(u: &Ucq, abox: &Abox) -> Answers {
+    let mut out = Answers::new();
+    let index = AboxIndex::build(abox);
+    for q in &u.disjuncts {
+        let mut bindings: HashMap<String, Binding> = HashMap::new();
+        eval_rec(q, abox, &index, 0, &mut bindings, &mut out);
+    }
+    out
+}
+
+fn eval_rec(
+    q: &ConjunctiveQuery,
+    abox: &Abox,
+    index: &AboxIndex,
+    atom_idx: usize,
+    bindings: &mut HashMap<String, Binding>,
+    answers: &mut Answers,
+) {
+    if atom_idx == q.atoms.len() {
+        let mut tuple = Vec::with_capacity(q.head.len());
+        for h in &q.head {
+            match bindings.get(h) {
+                Some(Binding::Ind(i)) => {
+                    tuple.push(AnswerTerm::Iri(abox.individual_name(*i).to_owned()))
+                }
+                Some(Binding::Val(v)) => tuple.push(AnswerTerm::Value(v.clone())),
+                None => return, // unsafe query guard; parser prevents this
+            }
+        }
+        answers.insert(tuple);
+        return;
+    }
+    let atom = &q.atoms[atom_idx];
+    // Resolve a term against current bindings: Some(required) or None
+    // (free — the variable binds per candidate fact).
+    let resolve = |t: &Term, bindings: &HashMap<String, Binding>| -> Result<Option<IndividualId>, ()> {
+        match t {
+            Term::Const(name) => match abox.find_individual(name) {
+                Some(i) => Ok(Some(i)),
+                None => Err(()), // constant absent from the ABox: no match
+            },
+            Term::Var(v) => match bindings.get(v) {
+                Some(Binding::Ind(i)) => Ok(Some(*i)),
+                Some(Binding::Val(_)) => Err(()), // sort clash
+                None => Ok(None),
+            },
+        }
+    };
+    match atom {
+        Atom::Concept(c, t) => {
+            let want = match resolve(t, bindings) {
+                Ok(w) => w,
+                Err(()) => return,
+            };
+            for &ai in index.concepts.get(&c.0).map(Vec::as_slice).unwrap_or(&[]) {
+                if want.is_none_or(|w| w == ai) {
+                    with_binding(t, Binding::Ind(ai), bindings, |b| {
+                        eval_rec(q, abox, index, atom_idx + 1, b, answers)
+                    });
+                }
+            }
+        }
+        Atom::Role(p, s, o) => {
+            let want_s = match resolve(s, bindings) {
+                Ok(w) => w,
+                Err(()) => return,
+            };
+            let want_o = match resolve(o, bindings) {
+                Ok(w) => w,
+                Err(()) => return,
+            };
+            for &(asub, aobj) in index.roles.get(&p.0).map(Vec::as_slice).unwrap_or(&[]) {
+                {
+                    let (asub, aobj) = (&asub, &aobj);
+                    if want_s.is_none_or(|w| w == *asub)
+                        && want_o.is_none_or(|w| w == *aobj)
+                    {
+                        // Bind subject, then object (same variable in both
+                        // positions must match).
+                        with_binding(s, Binding::Ind(*asub), bindings, |b| {
+                            let consistent = match o {
+                                Term::Var(v) => match b.get(v) {
+                                    Some(Binding::Ind(i)) => i == aobj,
+                                    Some(Binding::Val(_)) => false,
+                                    None => true,
+                                },
+                                Term::Const(_) => true, // checked via want_o
+                            };
+                            if consistent {
+                                with_binding(o, Binding::Ind(*aobj), b, |b2| {
+                                    eval_rec(q, abox, index, atom_idx + 1, b2, answers)
+                                });
+                            }
+                        });
+                    }
+                }
+            }
+        }
+        Atom::Attribute(u, s, v) => {
+            let want_s = match resolve(s, bindings) {
+                Ok(w) => w,
+                Err(()) => return,
+            };
+            for (asub, aval) in index.attributes.get(&u.0).map(Vec::as_slice).unwrap_or(&[]) {
+                {
+                    if want_s.is_some_and(|w| w != *asub) {
+                        continue;
+                    }
+                    let value_ok = match v {
+                        ValueTerm::Lit(l) => l == aval,
+                        ValueTerm::Var(x) => match bindings.get(x) {
+                            Some(Binding::Val(bound)) => bound == aval,
+                            Some(Binding::Ind(_)) => false,
+                            None => true,
+                        },
+                    };
+                    if !value_ok {
+                        continue;
+                    }
+                    with_binding(s, Binding::Ind(*asub), bindings, |b| match v {
+                        ValueTerm::Var(x) if !b.contains_key(x) => {
+                            b.insert(x.clone(), Binding::Val(aval.clone()));
+                            eval_rec(q, abox, index, atom_idx + 1, b, answers);
+                            b.remove(x);
+                        }
+                        _ => eval_rec(q, abox, index, atom_idx + 1, b, answers),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Runs `f` with `t` bound (if it is an unbound variable), restoring the
+/// binding map afterwards.
+fn with_binding(
+    t: &Term,
+    b: Binding,
+    bindings: &mut HashMap<String, Binding>,
+    mut f: impl FnMut(&mut HashMap<String, Binding>),
+) {
+    match t {
+        Term::Var(v) if !bindings.contains_key(v) => {
+            // Only proceed if consistent (caller pre-checked want).
+            bindings.insert(v.clone(), b);
+            f(bindings);
+            bindings.remove(v);
+        }
+        _ => f(bindings),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_cq;
+    use obda_dllite::{parse_abox, parse_tbox};
+
+    fn setup() -> (obda_dllite::Signature, Abox) {
+        let t = parse_tbox("concept A B\nrole p\nattribute u").unwrap();
+        let ab = parse_abox(
+            "A(x1)\nA(x2)\nB(x2)\np(x1, x2)\np(x2, x2)\nu(x1, 5)\nu(x2, \"hi\")",
+            &t.sig,
+        )
+        .unwrap();
+        (t.sig, ab)
+    }
+
+    fn names(ans: &Answers) -> Vec<String> {
+        ans.iter()
+            .map(|t| {
+                t.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_concept_atom() {
+        let (sig, ab) = setup();
+        let q = parse_cq("q(x) :- A(x)", &sig).unwrap();
+        assert_eq!(names(&evaluate_cq(&q, &ab)), vec!["x1", "x2"]);
+    }
+
+    #[test]
+    fn join_across_atoms() {
+        let (sig, ab) = setup();
+        let q = parse_cq("q(x) :- A(x), p(x, y), B(y)", &sig).unwrap();
+        assert_eq!(names(&evaluate_cq(&q, &ab)), vec!["x1", "x2"]);
+        let q2 = parse_cq("q(x) :- B(x), p(x, x)", &sig).unwrap();
+        assert_eq!(names(&evaluate_cq(&q2, &ab)), vec!["x2"]);
+    }
+
+    #[test]
+    fn constants_restrict() {
+        let (sig, ab) = setup();
+        let q = parse_cq("q(y) :- p(\"x1\", y)", &sig).unwrap();
+        assert_eq!(names(&evaluate_cq(&q, &ab)), vec!["x2"]);
+        let q2 = parse_cq("q(y) :- p(\"ghost\", y)", &sig).unwrap();
+        assert!(evaluate_cq(&q2, &ab).is_empty());
+    }
+
+    #[test]
+    fn attribute_values_and_literals() {
+        let (sig, ab) = setup();
+        let q = parse_cq("q(x, n) :- u(x, n)", &sig).unwrap();
+        assert_eq!(evaluate_cq(&q, &ab).len(), 2);
+        let q2 = parse_cq("q(x) :- u(x, 5)", &sig).unwrap();
+        assert_eq!(names(&evaluate_cq(&q2, &ab)), vec!["x1"]);
+        let q3 = parse_cq("q(x) :- u(x, \"hi\")", &sig).unwrap();
+        assert_eq!(names(&evaluate_cq(&q3, &ab)), vec!["x2"]);
+    }
+
+    #[test]
+    fn repeated_variable_in_role_atom() {
+        let (sig, ab) = setup();
+        let q = parse_cq("q(x) :- p(x, x)", &sig).unwrap();
+        assert_eq!(names(&evaluate_cq(&q, &ab)), vec!["x2"]);
+    }
+
+    #[test]
+    fn shared_value_variable_joins() {
+        let (sig, mut_ab) = setup();
+        let mut ab = mut_ab;
+        // Give x2 the same value 5 so a value join has a witness.
+        let u = sig.find_attribute("u").unwrap();
+        ab.assert_attribute(u, "x2", Value::Int(5));
+        let q = parse_cq("q(x, y) :- u(x, n), u(y, n)", &sig).unwrap();
+        let ans = evaluate_cq(&q, &ab);
+        // (x1,x1), (x1,x2), (x2,x1), (x2,x2 via 5 and via "hi").
+        assert_eq!(ans.len(), 4);
+    }
+}

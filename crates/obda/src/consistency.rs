@@ -1,0 +1,163 @@
+//! OBDA consistency checking.
+//!
+//! A DL-Lite knowledge base is inconsistent exactly when some negative
+//! inclusion is violated by the (virtual) data or some unsatisfiable
+//! predicate is non-empty. Both reduce to boolean query answering:
+//!
+//! * for each (inverse-expanded) negative inclusion `S₁ ⊑ ¬S₂`, the
+//!   boolean view query `∃x. V[S₁](x) ∧ V[S₂](x)` (or its role/attribute
+//!   analog) must be empty — the views already close the positive
+//!   hierarchy, mirroring how Mastro evaluates NI-violation queries over
+//!   the rewriting;
+//! * for each unsatisfiable predicate, its view must be empty.
+
+use obda_dllite::{BasicRole, Tbox};
+use obda_mapping::MappingSet;
+use obda_sqlstore::{Database, SqlError};
+use quonto::{Classification, NodeKind, NodeSort};
+
+use crate::query::Term;
+use crate::rewrite::presto::{ViewAtom, ViewQuery};
+use crate::rewrite::unfold;
+
+/// A consistency violation, described for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A negative inclusion has a joint witness.
+    NegativeInclusion {
+        /// Rendered `S₁ ⊑ ¬S₂`.
+        axiom: String,
+    },
+    /// An unsatisfiable predicate has at least one instance.
+    UnsatisfiableNonEmpty {
+        /// Predicate name.
+        predicate: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::NegativeInclusion { axiom } => {
+                write!(f, "negative inclusion violated: {axiom}")
+            }
+            Violation::UnsatisfiableNonEmpty { predicate } => {
+                write!(f, "unsatisfiable predicate `{predicate}` is non-empty")
+            }
+        }
+    }
+}
+
+/// Checks consistency of the virtual knowledge base, returning all
+/// violations (empty ⟺ consistent).
+pub fn check_consistency(
+    tbox: &Tbox,
+    cls: &Classification,
+    mappings: &MappingSet,
+    db: &Database,
+) -> Result<Vec<Violation>, SqlError> {
+    let g = cls.graph();
+    let mut out = Vec::new();
+    let boolean = |atoms: Vec<ViewAtom>| ViewQuery {
+        head: Vec::new(),
+        atoms,
+    };
+    let x = || Term::Var("x".into());
+    let y = || Term::Var("y".into());
+
+    // Negative inclusions.
+    for np in g.neg_pairs_expanded() {
+        let vq = match g.node_sort(np.lhs) {
+            NodeSort::Concept => boolean(vec![
+                ViewAtom::ConceptView(g.node_as_concept(np.lhs), x()),
+                ViewAtom::ConceptView(g.node_as_concept(np.rhs), x()),
+            ]),
+            NodeSort::Role => boolean(vec![
+                ViewAtom::RoleView(g.node_as_role(np.lhs), x(), y()),
+                ViewAtom::RoleView(g.node_as_role(np.rhs), x(), y()),
+            ]),
+            NodeSort::Attr => {
+                let (u1, u2) = match (g.node_kind(np.lhs), g.node_kind(np.rhs)) {
+                    (NodeKind::Attr(u1), NodeKind::Attr(u2)) => (u1, u2),
+                    other => unreachable!("attr NI over {other:?}"),
+                };
+                boolean(vec![
+                    ViewAtom::AttrView(u1, x(), crate::query::ValueTerm::Var("v".into())),
+                    ViewAtom::AttrView(u2, x(), crate::query::ValueTerm::Var("v".into())),
+                ])
+            }
+        };
+        let rw = crate::rewrite::presto::PrestoRewriting {
+            queries: vec![vq],
+        };
+        let answers = unfold::answer_presto_virtual(&rw, cls, mappings, db)?;
+        if !answers.is_empty() {
+            let axiom = render_pair(tbox, cls, np.lhs, np.rhs);
+            out.push(Violation::NegativeInclusion { axiom });
+        }
+    }
+
+    // Unsatisfiable predicates must be empty.
+    for &v in cls.unsat().members() {
+        let node = quonto::NodeId(v);
+        let vq = match g.node_kind(node) {
+            NodeKind::Concept(a) => boolean(vec![ViewAtom::ConceptView(
+                obda_dllite::BasicConcept::Atomic(a),
+                x(),
+            )]),
+            NodeKind::Role(p, false) => {
+                boolean(vec![ViewAtom::RoleView(BasicRole::Direct(p), x(), y())])
+            }
+            NodeKind::Attr(u) => boolean(vec![ViewAtom::AttrView(
+                u,
+                x(),
+                crate::query::ValueTerm::Var("v".into()),
+            )]),
+            // ∃P / P⁻ / δ(U) nodes are covered by their named cluster.
+            _ => continue,
+        };
+        let rw = crate::rewrite::presto::PrestoRewriting {
+            queries: vec![vq],
+        };
+        let answers = unfold::answer_presto_virtual(&rw, cls, mappings, db)?;
+        if !answers.is_empty() {
+            out.push(Violation::UnsatisfiableNonEmpty {
+                predicate: render_node(tbox, cls, node),
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn render_node(tbox: &Tbox, cls: &Classification, n: quonto::NodeId) -> String {
+    let g = cls.graph();
+    match g.node_sort(n) {
+        NodeSort::Concept => obda_dllite::printer::basic_concept(
+            g.node_as_concept(n),
+            &tbox.sig,
+            obda_dllite::printer::Style::Display,
+        ),
+        NodeSort::Role => obda_dllite::printer::basic_role(
+            g.node_as_role(n),
+            &tbox.sig,
+            obda_dllite::printer::Style::Display,
+        ),
+        NodeSort::Attr => match g.node_kind(n) {
+            NodeKind::Attr(u) => tbox.sig.attribute_name(u).to_owned(),
+            other => unreachable!("{other:?}"),
+        },
+    }
+}
+
+fn render_pair(
+    tbox: &Tbox,
+    cls: &Classification,
+    lhs: quonto::NodeId,
+    rhs: quonto::NodeId,
+) -> String {
+    format!(
+        "{} ⊑ ¬{}",
+        render_node(tbox, cls, lhs),
+        render_node(tbox, cls, rhs)
+    )
+}

@@ -1,0 +1,255 @@
+//! Wiring for the generated university scenario (`obda-genont`): loads
+//! tables into `obda-sqlstore`, converts mapping specs, and assembles an
+//! [`ObdaSystem`]. Used by the examples and the OBDA benchmarks.
+
+use obda_genont::{Cell, HeadAtom, UniversityScenario};
+use obda_mapping::{IriTemplate, MappingAssertion, MappingHead, MappingSet};
+use obda_sqlstore::{ColumnType, Database, SqlValue};
+
+use crate::system::{ObdaError, ObdaSystem};
+
+/// Loads the scenario's tables into a fresh database (with hash indexes
+/// on every first column, as a deployment would).
+pub fn load_database(scenario: &UniversityScenario) -> Result<Database, ObdaError> {
+    let mut db = Database::new();
+    for t in &scenario.tables {
+        let columns = t
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                // Column types inferred from the first row (default Int).
+                let ty = t
+                    .rows
+                    .first()
+                    .map(|r| match &r[i] {
+                        Cell::Int(_) => ColumnType::Int,
+                        Cell::Text(_) => ColumnType::Text,
+                    })
+                    .unwrap_or(ColumnType::Int);
+                (name.clone(), ty)
+            })
+            .collect();
+        db.create_table(&t.name, columns)?;
+        for row in &t.rows {
+            let values = row
+                .iter()
+                .map(|c| match c {
+                    Cell::Int(i) => SqlValue::Int(*i),
+                    Cell::Text(s) => SqlValue::Text(s.clone()),
+                })
+                .collect();
+            db.insert(&t.name, values)?;
+        }
+        let first_col = t.columns[0].clone();
+        db.create_index(&t.name, &first_col)?;
+    }
+    Ok(db)
+}
+
+/// Converts the scenario's mapping specs into a validated [`MappingSet`].
+pub fn build_mappings(scenario: &UniversityScenario) -> MappingSet {
+    let sig = &scenario.tbox.sig;
+    let mut ms = MappingSet::new();
+    for spec in &scenario.mappings {
+        let heads = spec
+            .head
+            .iter()
+            .map(|h| match h {
+                HeadAtom::Concept { name, subject } => MappingHead::Concept {
+                    concept: sig.find_concept(name).expect("declared concept"),
+                    subject: IriTemplate {
+                        prefix: subject.prefix.clone(),
+                        column: subject.var.clone(),
+                    },
+                },
+                HeadAtom::Role {
+                    name,
+                    subject,
+                    object,
+                } => MappingHead::Role {
+                    role: sig.find_role(name).expect("declared role"),
+                    subject: IriTemplate {
+                        prefix: subject.prefix.clone(),
+                        column: subject.var.clone(),
+                    },
+                    object: IriTemplate {
+                        prefix: object.prefix.clone(),
+                        column: object.var.clone(),
+                    },
+                },
+                HeadAtom::Attribute {
+                    name,
+                    subject,
+                    value_var,
+                } => MappingHead::Attribute {
+                    attribute: sig.find_attribute(name).expect("declared attribute"),
+                    subject: IriTemplate {
+                        prefix: subject.prefix.clone(),
+                        column: subject.var.clone(),
+                    },
+                    value_column: value_var.clone(),
+                },
+            })
+            .collect();
+        ms.add(MappingAssertion {
+            sql: spec.sql.clone(),
+            heads,
+        });
+    }
+    ms
+}
+
+/// Assembles the full OBDA system for a scenario.
+pub fn build_system(scenario: &UniversityScenario) -> Result<ObdaSystem, ObdaError> {
+    let db = load_database(scenario)?;
+    let mappings = build_mappings(scenario);
+    ObdaSystem::new(scenario.tbox.clone(), mappings, db)
+}
+
+/// Loads an explicit ABox into a triple-store-shaped database (one table
+/// per predicate sort) with one mapping per predicate — turning any
+/// (TBox, ABox) pair into a *virtual* OBDA system. Used by tests to
+/// validate the whole rewrite-unfold-execute pipeline against direct ABox
+/// evaluation, and handy for quickly serving an existing ABox through the
+/// SQL engine.
+pub fn system_from_abox(
+    tbox: obda_dllite::Tbox,
+    abox: &obda_dllite::Abox,
+) -> Result<ObdaSystem, ObdaError> {
+    use obda_dllite::{Assertion, Value};
+
+    let mut db = Database::new();
+    db.create_table(
+        "concept_assert",
+        vec![("cid".into(), ColumnType::Int), ("ind".into(), ColumnType::Text)],
+    )?;
+    db.create_table(
+        "role_assert",
+        vec![
+            ("rid".into(), ColumnType::Int),
+            ("s".into(), ColumnType::Text),
+            ("o".into(), ColumnType::Text),
+        ],
+    )?;
+    db.create_table(
+        "attr_int",
+        vec![
+            ("aid".into(), ColumnType::Int),
+            ("s".into(), ColumnType::Text),
+            ("v".into(), ColumnType::Int),
+        ],
+    )?;
+    db.create_table(
+        "attr_text",
+        vec![
+            ("aid".into(), ColumnType::Int),
+            ("s".into(), ColumnType::Text),
+            ("v".into(), ColumnType::Text),
+        ],
+    )?;
+    for a in abox.assertions() {
+        match a {
+            Assertion::Concept(c, i) => db.insert(
+                "concept_assert",
+                vec![
+                    SqlValue::Int(c.0 as i64),
+                    SqlValue::Text(abox.individual_name(*i).to_owned()),
+                ],
+            )?,
+            Assertion::Role(p, s, o) => db.insert(
+                "role_assert",
+                vec![
+                    SqlValue::Int(p.0 as i64),
+                    SqlValue::Text(abox.individual_name(*s).to_owned()),
+                    SqlValue::Text(abox.individual_name(*o).to_owned()),
+                ],
+            )?,
+            Assertion::Attribute(u, s, v) => {
+                let (table, value) = match v {
+                    Value::Int(i) => ("attr_int", SqlValue::Int(*i)),
+                    Value::Text(t) => ("attr_text", SqlValue::Text(t.clone())),
+                };
+                db.insert(
+                    table,
+                    vec![
+                        SqlValue::Int(u.0 as i64),
+                        SqlValue::Text(abox.individual_name(*s).to_owned()),
+                        value,
+                    ],
+                )?;
+            }
+        }
+    }
+    db.create_index("concept_assert", "cid")?;
+    db.create_index("role_assert", "rid")?;
+
+    let ind = |col: &str| IriTemplate {
+        prefix: String::new(),
+        column: col.into(),
+    };
+    let mut ms = MappingSet::new();
+    for c in tbox.sig.concepts() {
+        ms.add(MappingAssertion {
+            sql: format!("SELECT ind FROM concept_assert WHERE cid = {}", c.0),
+            heads: vec![MappingHead::Concept {
+                concept: c,
+                subject: ind("ind"),
+            }],
+        });
+    }
+    for p in tbox.sig.roles() {
+        ms.add(MappingAssertion {
+            sql: format!("SELECT s, o FROM role_assert WHERE rid = {}", p.0),
+            heads: vec![MappingHead::Role {
+                role: p,
+                subject: ind("s"),
+                object: ind("o"),
+            }],
+        });
+    }
+    for u in tbox.sig.attributes() {
+        for table in ["attr_int", "attr_text"] {
+            ms.add(MappingAssertion {
+                sql: format!("SELECT s, v FROM {table} WHERE aid = {}", u.0),
+                heads: vec![MappingHead::Attribute {
+                    attribute: u,
+                    subject: ind("s"),
+                    value_column: "v".into(),
+                }],
+            });
+        }
+    }
+    ObdaSystem::new(tbox, ms, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_genont::university_scenario;
+
+    #[test]
+    fn university_system_builds_and_is_consistent() {
+        let scenario = university_scenario(1, 42);
+        let mut sys = build_system(&scenario).unwrap();
+        let violations = sys.check_consistency().unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        // Every student (grad + undergrad) is an answer to q1.
+        let answers = sys.answer("q(x) :- Student(x)").unwrap();
+        assert!(!answers.is_empty());
+    }
+
+    #[test]
+    fn mapping_specs_validate() {
+        let scenario = university_scenario(1, 7);
+        let db = load_database(&scenario).unwrap();
+        let ms = build_mappings(&scenario);
+        ms.validate(&db).unwrap();
+        // Abstract predicates (Person, Student, Professor, University,
+        // memberOf, subOrganizationOf) are intentionally populated only
+        // through the ontology, not through direct mappings.
+        let unmapped = ms.unmapped_predicates(&scenario.tbox.sig);
+        assert_eq!(unmapped.len(), 6, "{unmapped:?}");
+        assert!(unmapped.contains(&"Person".to_owned()));
+    }
+}

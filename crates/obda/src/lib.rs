@@ -1,0 +1,38 @@
+//! # mastro
+//!
+//! The OBDA system facade, in the style of the Mastro system the paper's
+//! work plugs into: an ontology (TBox) used as "a conceptual view over
+//! the underlying data sources", linked to a relational database through
+//! GAV mappings, answering conjunctive queries via query rewriting.
+//!
+//! * [`query`]: CQs/UCQs with a datalog-style concrete syntax;
+//! * [`rewrite::perfectref`]: the classic PerfectRef UCQ rewriting,
+//!   extended with the qualified-existential pair rule;
+//! * [`rewrite::presto`]: Presto-style classification-aware rewriting
+//!   into a small view program (this is where the paper's graph-based
+//!   classification pays off at query time);
+//! * [`rewrite::unfold`]: unfolding into flat SQL joins over the mappings
+//!   with template-prefix pruning and typed suffix pushdown;
+//! * [`answer`]: reference CQ evaluation over a concrete ABox;
+//! * [`consistency`]: NI-violation and unsat-emptiness checking;
+//! * [`sparql`]: a SPARQL front-end for the conjunctive fragment (the
+//!   endpoint syntax Quest-style systems expose);
+//! * [`system`]: the [`ObdaSystem`] facade (rewriting × data-access
+//!   modes) and the simpler [`AboxSystem`];
+//! * [`demo`]: wiring for the generated university scenario.
+
+pub mod answer;
+pub mod consistency;
+pub mod demo;
+pub mod query;
+pub mod rewrite;
+pub mod sparql;
+pub mod system;
+
+pub use answer::{evaluate_cq, evaluate_ucq, Answers, AnswerTerm};
+pub use consistency::{check_consistency, Violation};
+pub use query::{parse_cq, print_cq, Atom, ConjunctiveQuery, Term, Ucq, ValueTerm};
+pub use rewrite::perfectref::perfect_ref;
+pub use rewrite::presto::{presto_rewrite, PrestoRewriting};
+pub use sparql::{parse_sparql, SparqlQuery};
+pub use system::{AboxSystem, DataMode, ObdaError, ObdaSystem, RewritingMode};

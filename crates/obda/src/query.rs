@@ -1,0 +1,521 @@
+//! Conjunctive queries (CQs) and unions thereof (UCQs) over a DL-Lite
+//! signature, with a datalog-style concrete syntax:
+//!
+//! ```text
+//! q(x, y) :- Professor(x), teacherOf(x, y), personName(x, "ada"), age(x, 42)
+//! ```
+//!
+//! Variables are bare identifiers; IRI constants are double-quoted
+//! strings in concept/role positions; attribute value positions accept a
+//! variable, a quoted string or an integer literal.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use obda_dllite::{AttributeId, ConceptId, RoleId, Signature, Value};
+
+/// A term in an individual (IRI) position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(String),
+    /// An IRI constant.
+    Const(String),
+}
+
+impl Term {
+    /// The variable name, if a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// A term in an attribute value position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueTerm {
+    /// A variable.
+    Var(String),
+    /// A literal value.
+    Lit(Value),
+}
+
+impl ValueTerm {
+    /// The variable name, if a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            ValueTerm::Var(v) => Some(v),
+            ValueTerm::Lit(_) => None,
+        }
+    }
+}
+
+/// A query atom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Atom {
+    /// `A(t)`.
+    Concept(ConceptId, Term),
+    /// `p(t, t')`.
+    Role(RoleId, Term, Term),
+    /// `u(t, v)`.
+    Attribute(AttributeId, Term, ValueTerm),
+}
+
+impl Atom {
+    /// Variables occurring in the atom, in position order.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        match self {
+            Atom::Concept(_, t) => {
+                if let Some(v) = t.as_var() {
+                    out.push(v);
+                }
+            }
+            Atom::Role(_, s, o) => {
+                for t in [s, o] {
+                    if let Some(v) = t.as_var() {
+                        out.push(v);
+                    }
+                }
+            }
+            Atom::Attribute(_, s, v) => {
+                if let Some(x) = s.as_var() {
+                    out.push(x);
+                }
+                if let Some(x) = v.as_var() {
+                    out.push(x);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A conjunctive query: head variables and body atoms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConjunctiveQuery {
+    /// Distinguished (answer) variables, in head order.
+    pub head: Vec<String>,
+    /// Body atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// All variables of the body (deduplicated, body order).
+    pub fn body_vars(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            for v in a.vars() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// How many times each variable occurs across body atom positions
+    /// (head occurrences count once more, pinning them as bound).
+    pub fn var_occurrences(&self) -> HashMap<&str, usize> {
+        let mut occ: HashMap<&str, usize> = HashMap::new();
+        for a in &self.atoms {
+            for v in a.vars() {
+                *occ.entry(v).or_insert(0) += 1;
+            }
+        }
+        for v in &self.head {
+            *occ.entry(v.as_str()).or_insert(0) += 1;
+        }
+        occ
+    }
+
+    /// Whether a variable is *unbound* in the PerfectRef sense: exactly
+    /// one body occurrence and not a head variable.
+    pub fn is_unbound(&self, var: &str) -> bool {
+        self.var_occurrences().get(var).copied().unwrap_or(0) == 1
+            && !self.head.iter().any(|h| h == var)
+    }
+
+    /// Safety check: every head variable occurs in the body.
+    pub fn is_safe(&self) -> bool {
+        let body: std::collections::HashSet<&str> = self.body_vars().into_iter().collect();
+        self.head.iter().all(|h| body.contains(h.as_str()))
+    }
+
+    /// Canonical form for duplicate detection during rewriting: variables
+    /// renamed to `v0, v1, …` in first-occurrence order, atoms sorted.
+    pub fn canonical(&self) -> ConjunctiveQuery {
+        // Two passes: establish renaming from sorted atoms is unstable, so
+        // rename in head-then-body order first, then sort atoms, then
+        // rename again until fixpoint (two rounds suffice in practice; we
+        // iterate to a small cap for safety).
+        let mut cur = self.clone();
+        for _ in 0..4 {
+            let mut names: HashMap<String, String> = HashMap::new();
+            let mut fresh = 0usize;
+            let mut rename = |v: &str, names: &mut HashMap<String, String>| -> String {
+                names
+                    .entry(v.to_owned())
+                    .or_insert_with(|| {
+                        let n = format!("v{fresh}");
+                        fresh += 1;
+                        n
+                    })
+                    .clone()
+            };
+            let mut head = Vec::new();
+            for h in &cur.head {
+                head.push(rename(h, &mut names));
+            }
+            let mut atoms: Vec<Atom> = cur
+                .atoms
+                .iter()
+                .map(|a| rename_atom(a, &mut |v| rename(v, &mut names)))
+                .collect();
+            atoms.sort();
+            atoms.dedup();
+            let next = ConjunctiveQuery { head, atoms };
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// Applies a variable substitution (IRI positions only).
+    pub fn substitute(&self, subst: &HashMap<String, Term>) -> ConjunctiveQuery {
+        self.substitute_full(subst, &HashMap::new())
+    }
+
+    /// Applies a substitution over IRI-position variables (`subst`) and
+    /// value-position variables (`value_subst`) simultaneously.
+    pub fn substitute_full(
+        &self,
+        subst: &HashMap<String, Term>,
+        value_subst: &HashMap<String, Value>,
+    ) -> ConjunctiveQuery {
+        let term = |t: &Term| -> Term {
+            match t {
+                Term::Var(v) => subst.get(v).cloned().unwrap_or_else(|| t.clone()),
+                Term::Const(_) => t.clone(),
+            }
+        };
+        let vterm = |t: &ValueTerm| -> ValueTerm {
+            match t {
+                ValueTerm::Var(v) => {
+                    if let Some(l) = value_subst.get(v) {
+                        return ValueTerm::Lit(l.clone());
+                    }
+                    match subst.get(v) {
+                        Some(Term::Var(w)) => ValueTerm::Var(w.clone()),
+                        // IRI constants never flow into value positions;
+                        // unification keeps the sorts apart.
+                        _ => t.clone(),
+                    }
+                }
+                ValueTerm::Lit(_) => t.clone(),
+            }
+        };
+        ConjunctiveQuery {
+            head: self
+                .head
+                .iter()
+                .map(|h| match subst.get(h) {
+                    Some(Term::Var(w)) => w.clone(),
+                    _ => h.clone(),
+                })
+                .collect(),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| match a {
+                    Atom::Concept(c, t) => Atom::Concept(*c, term(t)),
+                    Atom::Role(p, s, o) => Atom::Role(*p, term(s), term(o)),
+                    Atom::Attribute(u, s, v) => Atom::Attribute(*u, term(s), vterm(v)),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn rename_atom(a: &Atom, rename: &mut impl FnMut(&str) -> String) -> Atom {
+    let term = |t: &Term, rename: &mut dyn FnMut(&str) -> String| match t {
+        Term::Var(v) => Term::Var(rename(v)),
+        Term::Const(_) => t.clone(),
+    };
+    match a {
+        Atom::Concept(c, t) => Atom::Concept(*c, term(t, rename)),
+        Atom::Role(p, s, o) => Atom::Role(*p, term(s, rename), term(o, rename)),
+        Atom::Attribute(u, s, v) => {
+            let s = term(s, rename);
+            let v = match v {
+                ValueTerm::Var(x) => ValueTerm::Var(rename(x)),
+                ValueTerm::Lit(_) => v.clone(),
+            };
+            Atom::Attribute(*u, s, v)
+        }
+    }
+}
+
+/// A union of conjunctive queries (all disjuncts share the head arity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ucq {
+    /// Disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl Ucq {
+    /// Head arity.
+    pub fn arity(&self) -> usize {
+        self.disjuncts.first().map(|q| q.head.len()).unwrap_or(0)
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Whether there are no disjuncts.
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+}
+
+/// Query parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+fn qerr<T>(m: impl Into<String>) -> Result<T, QueryParseError> {
+    Err(QueryParseError { message: m.into() })
+}
+
+/// Parses `q(x, y) :- A(x), p(x, y), u(x, "lit")` against a signature.
+pub fn parse_cq(src: &str, sig: &Signature) -> Result<ConjunctiveQuery, QueryParseError> {
+    let (head_src, body_src) = match src.split_once(":-") {
+        Some(parts) => parts,
+        None => return qerr("missing `:-`"),
+    };
+    // Head: name(vars).
+    let head_src = head_src.trim();
+    let open = head_src
+        .find('(')
+        .ok_or(QueryParseError {
+            message: "missing `(` in head".into(),
+        })?;
+    if !head_src.ends_with(')') {
+        return qerr("head must end with `)`");
+    }
+    let head: Vec<String> = head_src[open + 1..head_src.len() - 1]
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+
+    // Body: split atoms at top-level commas (commas inside parens belong
+    // to the atom).
+    let mut atoms_src: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    let mut in_str = false;
+    for ch in body_src.chars() {
+        match ch {
+            '"' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            '(' if !in_str => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' if !in_str => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 && !in_str => {
+                atoms_src.push(cur.trim().to_owned());
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        atoms_src.push(cur.trim().to_owned());
+    }
+    if atoms_src.is_empty() {
+        return qerr("empty body");
+    }
+
+    let parse_term = |s: &str| -> Result<Term, QueryParseError> {
+        let s = s.trim();
+        if let Some(stripped) = s.strip_prefix('"') {
+            match stripped.strip_suffix('"') {
+                Some(inner) => Ok(Term::Const(inner.to_owned())),
+                None => qerr(format!("unterminated constant `{s}`")),
+            }
+        } else if s.is_empty() {
+            qerr("empty term")
+        } else {
+            Ok(Term::Var(s.to_owned()))
+        }
+    };
+
+    let mut atoms = Vec::new();
+    for atom_src in &atoms_src {
+        let open = atom_src.find('(').ok_or(QueryParseError {
+            message: format!("atom `{atom_src}` missing `(`"),
+        })?;
+        if !atom_src.ends_with(')') {
+            return qerr(format!("atom `{atom_src}` must end with `)`"));
+        }
+        let pred = atom_src[..open].trim();
+        let args: Vec<&str> = atom_src[open + 1..atom_src.len() - 1]
+            .split(',')
+            .map(str::trim)
+            .collect();
+        if let Some(c) = sig.find_concept(pred) {
+            if args.len() != 1 {
+                return qerr(format!("concept `{pred}` takes one argument"));
+            }
+            atoms.push(Atom::Concept(c, parse_term(args[0])?));
+        } else if let Some(p) = sig.find_role(pred) {
+            if args.len() != 2 {
+                return qerr(format!("role `{pred}` takes two arguments"));
+            }
+            atoms.push(Atom::Role(p, parse_term(args[0])?, parse_term(args[1])?));
+        } else if let Some(u) = sig.find_attribute(pred) {
+            if args.len() != 2 {
+                return qerr(format!("attribute `{pred}` takes two arguments"));
+            }
+            let subject = parse_term(args[0])?;
+            let value = {
+                let s = args[1].trim();
+                if let Some(stripped) = s.strip_prefix('"') {
+                    match stripped.strip_suffix('"') {
+                        Some(inner) => ValueTerm::Lit(Value::Text(inner.to_owned())),
+                        None => return qerr(format!("unterminated literal `{s}`")),
+                    }
+                } else if let Ok(n) = s.parse::<i64>() {
+                    ValueTerm::Lit(Value::Int(n))
+                } else {
+                    ValueTerm::Var(s.to_owned())
+                }
+            };
+            atoms.push(Atom::Attribute(u, subject, value));
+        } else {
+            return qerr(format!("unknown predicate `{pred}`"));
+        }
+    }
+    let q = ConjunctiveQuery { head, atoms };
+    if !q.is_safe() {
+        return qerr("unsafe query: head variable missing from body");
+    }
+    Ok(q)
+}
+
+/// Pretty-prints a CQ in the concrete syntax.
+pub fn print_cq(q: &ConjunctiveQuery, sig: &Signature) -> String {
+    let term = |t: &Term| match t {
+        Term::Var(v) => v.clone(),
+        Term::Const(c) => format!("{c:?}"),
+    };
+    let atoms: Vec<String> = q
+        .atoms
+        .iter()
+        .map(|a| match a {
+            Atom::Concept(c, t) => format!("{}({})", sig.concept_name(*c), term(t)),
+            Atom::Role(p, s, o) => {
+                format!("{}({}, {})", sig.role_name(*p), term(s), term(o))
+            }
+            Atom::Attribute(u, s, v) => {
+                let v = match v {
+                    ValueTerm::Var(x) => x.clone(),
+                    ValueTerm::Lit(l) => l.to_string(),
+                };
+                format!("{}({}, {})", sig.attribute_name(*u), term(s), v)
+            }
+        })
+        .collect();
+    format!("q({}) :- {}", q.head.join(", "), atoms.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::parse_tbox;
+
+    fn sig() -> Signature {
+        parse_tbox("concept A B\nrole p\nattribute u").unwrap().sig
+    }
+
+    #[test]
+    fn parses_mixed_atoms() {
+        let q = parse_cq("q(x, n) :- A(x), p(x, y), u(x, n), u(y, 42), B(\"iri/7\")", &sig())
+            .unwrap();
+        assert_eq!(q.head, vec!["x", "n"]);
+        assert_eq!(q.atoms.len(), 5);
+        assert!(matches!(&q.atoms[4], Atom::Concept(_, Term::Const(c)) if c == "iri/7"));
+        assert!(matches!(
+            &q.atoms[3],
+            Atom::Attribute(_, _, ValueTerm::Lit(Value::Int(42)))
+        ));
+    }
+
+    #[test]
+    fn rejects_unsafe_and_unknown() {
+        assert!(parse_cq("q(z) :- A(x)", &sig()).is_err());
+        assert!(parse_cq("q(x) :- Nope(x)", &sig()).is_err());
+        assert!(parse_cq("q(x) :- p(x)", &sig()).is_err());
+    }
+
+    #[test]
+    fn unbound_detection() {
+        let q = parse_cq("q(x) :- p(x, y), A(x)", &sig()).unwrap();
+        assert!(q.is_unbound("y"));
+        assert!(!q.is_unbound("x"));
+        let q2 = parse_cq("q(x) :- p(x, y), p(y, z)", &sig()).unwrap();
+        assert!(!q2.is_unbound("y"));
+        assert!(q2.is_unbound("z"));
+    }
+
+    #[test]
+    fn canonical_is_stable_under_renaming() {
+        let s = sig();
+        let q1 = parse_cq("q(x) :- A(x), p(x, y)", &s).unwrap();
+        let q2 = parse_cq("q(foo) :- p(foo, bar), A(foo)", &s).unwrap();
+        assert_eq!(q1.canonical(), q2.canonical());
+    }
+
+    #[test]
+    fn substitution_renames_and_constants() {
+        let s = sig();
+        let q = parse_cq("q(x) :- p(x, y)", &s).unwrap();
+        let mut subst = HashMap::new();
+        subst.insert("y".to_owned(), Term::Const("iri/1".into()));
+        let q2 = q.substitute(&subst);
+        assert!(matches!(&q2.atoms[0], Atom::Role(_, _, Term::Const(c)) if c == "iri/1"));
+    }
+
+    #[test]
+    fn roundtrip_print() {
+        let s = sig();
+        let q = parse_cq("q(x) :- A(x), p(x, y), u(x, n)", &s).unwrap();
+        let printed = print_cq(&q, &s);
+        let q2 = parse_cq(&printed, &s).unwrap();
+        assert_eq!(q.canonical(), q2.canonical());
+    }
+}

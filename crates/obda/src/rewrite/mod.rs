@@ -1,0 +1,5 @@
+//! Query rewriting: PerfectRef, Presto-style views, and SQL unfolding.
+
+pub mod perfectref;
+pub mod presto;
+pub mod unfold;

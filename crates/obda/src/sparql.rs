@@ -1,0 +1,391 @@
+//! A SPARQL front-end for the conjunctive fragment — the query syntax
+//! OBDA endpoints actually expose (the paper contrasts Mastro with Quest,
+//! which "provides SPARQL query answering under the OWL 2 QL … entailment
+//! regimes"). Supported grammar:
+//!
+//! ```text
+//! SELECT ?x ?n WHERE {
+//!   ?x rdf:type :Student .
+//!   ?x :takesCourse ?y .
+//!   ?x :personName ?n .
+//!   ?y rdf:type <course/7> .
+//! }
+//! SELECT * WHERE { … }
+//! ASK WHERE { … }
+//! ```
+//!
+//! Triple patterns map onto the CQ model: `?s rdf:type C` → concept atom,
+//! `?s :role ?o` → role atom, `?s :attr ?v` → attribute atom (value
+//! position: variable, quoted string, or integer). IRIs may be written
+//! `:name`, `<iri>` or bare; variables start with `?`.
+
+use obda_dllite::{Signature, Value};
+
+use crate::query::{Atom, ConjunctiveQuery, QueryParseError, Term, ValueTerm};
+
+/// A parsed SPARQL query: the CQ plus whether it was an ASK (boolean).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparqlQuery {
+    /// The underlying conjunctive query (`ASK` has an empty head).
+    pub cq: ConjunctiveQuery,
+    /// Whether the query was `ASK` (answers are ∅ or {()}).
+    pub ask: bool,
+}
+
+fn qerr<T>(m: impl Into<String>) -> Result<T, QueryParseError> {
+    Err(QueryParseError { message: m.into() })
+}
+
+/// One token of the triple-pattern language.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Var(String),
+    Iri(String),
+    Str(String),
+    Int(i64),
+    Dot,
+    LBrace,
+    RBrace,
+    Star,
+    Word(String), // SELECT / ASK / WHERE / rdf:type
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, QueryParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Tok::RBrace);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '?' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                if j == start {
+                    return qerr("empty variable name after `?`");
+                }
+                out.push(Tok::Var(src[start..j].to_owned()));
+                i = j;
+            }
+            '<' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'>' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return qerr("unterminated IRI");
+                }
+                out.push(Tok::Iri(src[start..j].to_owned()));
+                i = j + 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return qerr("unterminated string literal");
+                }
+                out.push(Tok::Str(src[start..j].to_owned()));
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                match src[start..i].parse() {
+                    Ok(n) => out.push(Tok::Int(n)),
+                    Err(_) => return qerr(format!("bad integer `{}`", &src[start..i])),
+                }
+            }
+            ':' => {
+                // Prefixed name with empty prefix.
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric()
+                        || bytes[j] == b'_'
+                        || bytes[j] == b'/')
+                {
+                    j += 1;
+                }
+                out.push(Tok::Iri(src[start..j].to_owned()));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b':'
+                        || bytes[i] == b'/')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                if word.eq_ignore_ascii_case("select")
+                    || word.eq_ignore_ascii_case("ask")
+                    || word.eq_ignore_ascii_case("where")
+                    || word == "rdf:type"
+                    || word == "a"
+                {
+                    out.push(Tok::Word(word.to_owned()));
+                } else {
+                    out.push(Tok::Iri(word.to_owned()));
+                }
+            }
+            other => return qerr(format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a SPARQL query against a DL-Lite signature.
+pub fn parse_sparql(src: &str, sig: &Signature) -> Result<SparqlQuery, QueryParseError> {
+    let toks = tokenize(src)?;
+    let mut pos = 0usize;
+    let ask = match toks.first() {
+        Some(Tok::Word(w)) if w.eq_ignore_ascii_case("select") => false,
+        Some(Tok::Word(w)) if w.eq_ignore_ascii_case("ask") => true,
+        _ => return qerr("query must start with SELECT or ASK"),
+    };
+    pos += 1;
+    // Projection.
+    let mut head: Vec<String> = Vec::new();
+    let mut star = false;
+    if !ask {
+        loop {
+            match toks.get(pos) {
+                Some(Tok::Var(v)) => {
+                    head.push(v.clone());
+                    pos += 1;
+                }
+                Some(Tok::Star) => {
+                    star = true;
+                    pos += 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if head.is_empty() && !star {
+            return qerr("SELECT needs at least one variable or `*`");
+        }
+    }
+    match toks.get(pos) {
+        Some(Tok::Word(w)) if w.eq_ignore_ascii_case("where") => pos += 1,
+        _ => return qerr("expected WHERE"),
+    }
+    if toks.get(pos) != Some(&Tok::LBrace) {
+        return qerr("expected `{`");
+    }
+    pos += 1;
+
+    // Triple patterns.
+    let mut atoms: Vec<Atom> = Vec::new();
+    loop {
+        match toks.get(pos) {
+            Some(Tok::RBrace) => {
+                pos += 1;
+                break;
+            }
+            None => return qerr("unterminated `{`"),
+            _ => {}
+        }
+        // Subject.
+        let subject = match toks.get(pos) {
+            Some(Tok::Var(v)) => Term::Var(v.clone()),
+            Some(Tok::Iri(iri)) => Term::Const(iri.clone()),
+            other => return qerr(format!("expected subject, found {other:?}")),
+        };
+        pos += 1;
+        // Predicate.
+        let predicate = match toks.get(pos) {
+            Some(Tok::Word(w)) if w == "rdf:type" || w == "a" => None,
+            Some(Tok::Iri(p)) => Some(p.clone()),
+            other => return qerr(format!("expected predicate, found {other:?}")),
+        };
+        pos += 1;
+        // Object and atom construction.
+        match predicate {
+            None => {
+                // rdf:type — object must be a concept name.
+                let class = match toks.get(pos) {
+                    Some(Tok::Iri(c)) => c.clone(),
+                    other => return qerr(format!("expected class IRI, found {other:?}")),
+                };
+                pos += 1;
+                let c = sig
+                    .find_concept(&class)
+                    .ok_or_else(|| QueryParseError {
+                        message: format!("unknown concept `{class}`"),
+                    })?;
+                atoms.push(Atom::Concept(c, subject));
+            }
+            Some(pred) => {
+                if let Some(p) = sig.find_role(&pred) {
+                    let object = match toks.get(pos) {
+                        Some(Tok::Var(v)) => Term::Var(v.clone()),
+                        Some(Tok::Iri(iri)) => Term::Const(iri.clone()),
+                        other => return qerr(format!("expected object, found {other:?}")),
+                    };
+                    pos += 1;
+                    atoms.push(Atom::Role(p, subject, object));
+                } else if let Some(u) = sig.find_attribute(&pred) {
+                    let value = match toks.get(pos) {
+                        Some(Tok::Var(v)) => ValueTerm::Var(v.clone()),
+                        Some(Tok::Str(s)) => ValueTerm::Lit(Value::Text(s.clone())),
+                        Some(Tok::Int(n)) => ValueTerm::Lit(Value::Int(*n)),
+                        other => return qerr(format!("expected value, found {other:?}")),
+                    };
+                    pos += 1;
+                    atoms.push(Atom::Attribute(u, subject, value));
+                } else {
+                    return qerr(format!("unknown predicate `{pred}`"));
+                }
+            }
+        }
+        // Optional trailing dot.
+        if toks.get(pos) == Some(&Tok::Dot) {
+            pos += 1;
+        }
+    }
+    if pos != toks.len() {
+        return qerr("trailing tokens after `}`");
+    }
+    if atoms.is_empty() {
+        return qerr("empty basic graph pattern");
+    }
+
+    let cq_probe = ConjunctiveQuery {
+        head: vec![],
+        atoms: atoms.clone(),
+    };
+    let head = if ask {
+        Vec::new()
+    } else if star {
+        cq_probe.body_vars().into_iter().map(str::to_owned).collect()
+    } else {
+        head
+    };
+    let cq = ConjunctiveQuery { head, atoms };
+    if !cq.is_safe() {
+        return qerr("projected variable missing from the pattern");
+    }
+    Ok(SparqlQuery { cq, ask })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::parse_tbox;
+
+    fn sig() -> Signature {
+        parse_tbox("concept Student Course\nrole takesCourse\nattribute personName")
+            .unwrap()
+            .sig
+    }
+
+    #[test]
+    fn select_with_type_role_and_attribute() {
+        let q = parse_sparql(
+            "SELECT ?x ?n WHERE {\n  ?x rdf:type :Student .\n  ?x :takesCourse ?y .\n  ?x :personName ?n .\n}",
+            &sig(),
+        )
+        .unwrap();
+        assert!(!q.ask);
+        assert_eq!(q.cq.head, vec!["x", "n"]);
+        assert_eq!(q.cq.atoms.len(), 3);
+    }
+
+    #[test]
+    fn a_is_rdf_type_shorthand() {
+        let q = parse_sparql("SELECT ?x WHERE { ?x a Student }", &sig()).unwrap();
+        assert!(matches!(q.cq.atoms[0], Atom::Concept(_, _)));
+    }
+
+    #[test]
+    fn select_star_projects_all_variables() {
+        let q = parse_sparql(
+            "SELECT * WHERE { ?x :takesCourse ?y . ?x :personName ?n }",
+            &sig(),
+        )
+        .unwrap();
+        assert_eq!(q.cq.head, vec!["x", "y", "n"]);
+    }
+
+    #[test]
+    fn ask_queries_are_boolean() {
+        let q = parse_sparql("ASK WHERE { ?x rdf:type Student }", &sig()).unwrap();
+        assert!(q.ask);
+        assert!(q.cq.head.is_empty());
+    }
+
+    #[test]
+    fn iri_constants_and_literals() {
+        let q = parse_sparql(
+            "SELECT ?x WHERE { ?x :takesCourse <course/7> . ?x :personName \"ada\" }",
+            &sig(),
+        )
+        .unwrap();
+        assert!(matches!(
+            &q.cq.atoms[0],
+            Atom::Role(_, _, Term::Const(c)) if c == "course/7"
+        ));
+        assert!(matches!(
+            &q.cq.atoms[1],
+            Atom::Attribute(_, _, ValueTerm::Lit(Value::Text(s))) if s == "ada"
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_queries() {
+        let s = sig();
+        assert!(parse_sparql("SELECT ?x WHERE { ?x rdf:type Nope }", &s).is_err());
+        assert!(parse_sparql("SELECT ?z WHERE { ?x a Student }", &s).is_err());
+        assert!(parse_sparql("SELECT WHERE { ?x a Student }", &s).is_err());
+        assert!(parse_sparql("FETCH ?x WHERE { ?x a Student }", &s).is_err());
+        assert!(parse_sparql("SELECT ?x WHERE { ?x a Student", &s).is_err());
+    }
+
+    #[test]
+    fn integer_values() {
+        let t = parse_tbox("concept C\nattribute age").unwrap();
+        let q = parse_sparql("SELECT ?x WHERE { ?x :age 42 }", &t.sig).unwrap();
+        assert!(matches!(
+            &q.cq.atoms[0],
+            Atom::Attribute(_, _, ValueTerm::Lit(Value::Int(42)))
+        ));
+    }
+}

@@ -1,0 +1,328 @@
+//! The [`ObdaSystem`] facade: ontology + mappings + sources, with query
+//! answering in four modes (rewriting × data access).
+
+use obda_dllite::{Abox, Tbox};
+use obda_mapping::{materialize, MappingSet};
+use obda_sqlstore::{Database, SqlError};
+use quonto::Classification;
+
+use crate::answer::Answers;
+use crate::consistency::{check_consistency, Violation};
+use crate::query::{parse_cq, ConjunctiveQuery, QueryParseError};
+use crate::rewrite::perfectref::perfect_ref;
+use crate::rewrite::presto::{evaluate_view_query, presto_rewrite};
+use crate::rewrite::unfold::{answer_presto_virtual, answer_ucq_virtual};
+
+/// Which rewriting algorithm drives answering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewritingMode {
+    /// Classic PerfectRef UCQ rewriting.
+    PerfectRef,
+    /// Classification-aware Presto-style view rewriting.
+    Presto,
+}
+
+/// How the data is accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// Unfold into SQL over the sources (virtual ABox).
+    Virtual,
+    /// Evaluate over the materialized ABox.
+    Materialized,
+}
+
+/// Errors surfaced by the system facade.
+#[derive(Debug)]
+pub enum ObdaError {
+    /// Query text failed to parse.
+    Query(QueryParseError),
+    /// SQL-level failure (planning, execution, mapping validation).
+    Sql(SqlError),
+}
+
+impl std::fmt::Display for ObdaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObdaError::Query(e) => write!(f, "query error: {e}"),
+            ObdaError::Sql(e) => write!(f, "sql error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ObdaError {}
+
+impl From<QueryParseError> for ObdaError {
+    fn from(e: QueryParseError) -> Self {
+        ObdaError::Query(e)
+    }
+}
+
+impl From<SqlError> for ObdaError {
+    fn from(e: SqlError) -> Self {
+        ObdaError::Sql(e)
+    }
+}
+
+/// A complete OBDA system: TBox + classification + mappings + sources.
+#[derive(Debug, Clone)]
+pub struct ObdaSystem {
+    /// The ontology TBox.
+    pub tbox: Tbox,
+    /// The (pre-computed) classification of the TBox.
+    pub classification: Classification,
+    /// Mapping assertions.
+    pub mappings: MappingSet,
+    /// The source database.
+    pub db: Database,
+    /// Rewriting algorithm (default: Presto).
+    pub rewriting: RewritingMode,
+    /// Data access mode (default: virtual).
+    pub data: DataMode,
+    /// Cached materialized ABox (built on first use in materialized
+    /// mode).
+    materialized: Option<Abox>,
+}
+
+impl ObdaSystem {
+    /// Assembles a system, classifying the TBox and validating the
+    /// mappings against the source schema.
+    pub fn new(tbox: Tbox, mappings: MappingSet, db: Database) -> Result<Self, ObdaError> {
+        mappings.validate(&db)?;
+        let classification = Classification::classify(&tbox);
+        Ok(ObdaSystem {
+            tbox,
+            classification,
+            mappings,
+            db,
+            rewriting: RewritingMode::Presto,
+            data: DataMode::Virtual,
+            materialized: None,
+        })
+    }
+
+    /// Switches the rewriting mode.
+    pub fn with_rewriting(mut self, mode: RewritingMode) -> Self {
+        self.rewriting = mode;
+        self
+    }
+
+    /// Switches the data-access mode.
+    pub fn with_data_mode(mut self, mode: DataMode) -> Self {
+        self.data = mode;
+        self
+    }
+
+    /// The materialized ABox (computing and caching it on first use).
+    pub fn materialized_abox(&mut self) -> Result<&Abox, ObdaError> {
+        if self.materialized.is_none() {
+            self.materialized = Some(materialize(&self.mappings, &self.db)?);
+        }
+        Ok(self.materialized.as_ref().expect("just set"))
+    }
+
+    /// Parses a query in the concrete CQ syntax against the TBox
+    /// signature.
+    pub fn parse_query(&self, text: &str) -> Result<ConjunctiveQuery, ObdaError> {
+        Ok(parse_cq(text, &self.tbox.sig)?)
+    }
+
+    /// Answers a query given as text.
+    pub fn answer(&mut self, text: &str) -> Result<Answers, ObdaError> {
+        let q = self.parse_query(text)?;
+        self.answer_cq(&q)
+    }
+
+    /// Answers a SPARQL query (SELECT returns tuples in projection
+    /// order; ASK returns ∅ or the empty tuple).
+    pub fn answer_sparql(&mut self, text: &str) -> Result<Answers, ObdaError> {
+        let q = crate::sparql::parse_sparql(text, &self.tbox.sig)?;
+        self.answer_cq(&q.cq)
+    }
+
+    /// Answers a parsed CQ under the configured modes.
+    pub fn answer_cq(&mut self, q: &ConjunctiveQuery) -> Result<Answers, ObdaError> {
+        match (self.rewriting, self.data) {
+            (RewritingMode::PerfectRef, DataMode::Virtual) => {
+                let ucq = perfect_ref(q, &self.tbox);
+                Ok(answer_ucq_virtual(&ucq, &self.mappings, &self.db)?)
+            }
+            (RewritingMode::Presto, DataMode::Virtual) => {
+                let rw = presto_rewrite(q, &self.classification);
+                Ok(answer_presto_virtual(
+                    &rw,
+                    &self.classification,
+                    &self.mappings,
+                    &self.db,
+                )?)
+            }
+            (RewritingMode::PerfectRef, DataMode::Materialized) => {
+                let ucq = perfect_ref(q, &self.tbox);
+                let abox = self.materialized_abox()?.clone();
+                Ok(crate::answer::evaluate_ucq(&ucq, &abox))
+            }
+            (RewritingMode::Presto, DataMode::Materialized) => {
+                let rw = presto_rewrite(q, &self.classification);
+                let abox = self.materialized_abox()?.clone();
+                let mut answers = Answers::new();
+                for vq in &rw.queries {
+                    answers.extend(evaluate_view_query(vq, &self.classification, &abox));
+                }
+                Ok(answers)
+            }
+        }
+    }
+
+    /// Explains how a query would be answered under the current modes:
+    /// the parsed query, the rewriting (disjuncts or view skeletons), and
+    /// the flat SQL the unfolding produces (virtual mode only).
+    pub fn explain(&self, text: &str) -> Result<String, ObdaError> {
+        use std::fmt::Write as _;
+        let q = self.parse_query(text)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "query: {}", crate::query::print_cq(&q, &self.tbox.sig));
+        match self.rewriting {
+            RewritingMode::PerfectRef => {
+                let ucq = perfect_ref(&q, &self.tbox);
+                let _ = writeln!(out, "rewriting: PerfectRef, {} CQ disjunct(s)", ucq.len());
+                for (i, d) in ucq.disjuncts.iter().enumerate().take(8) {
+                    let _ = writeln!(
+                        out,
+                        "  [{i}] {}",
+                        crate::query::print_cq(d, &self.tbox.sig)
+                    );
+                }
+                if ucq.len() > 8 {
+                    let _ = writeln!(out, "  … {} more", ucq.len() - 8);
+                }
+                if self.data == DataMode::Virtual {
+                    let mut shown = 0usize;
+                    let mut total = 0usize;
+                    let mut sql_lines = String::new();
+                    for d in &ucq.disjuncts {
+                        let combos = crate::rewrite::unfold::unfold_cq(
+                            d,
+                            &self.mappings,
+                            &self.db,
+                        )?;
+                        total += combos.len();
+                        for combo in combos {
+                            if shown < 6 {
+                                let _ = writeln!(
+                                    sql_lines,
+                                    "  {}",
+                                    obda_sqlstore::print_select_core(&combo.core)
+                                );
+                                shown += 1;
+                            }
+                        }
+                    }
+                    let _ = writeln!(out, "unfolding: {total} flat SQL quer(ies)");
+                    out.push_str(&sql_lines);
+                    if total > shown {
+                        let _ = writeln!(out, "  … {} more", total - shown);
+                    }
+                }
+            }
+            RewritingMode::Presto => {
+                let rw = presto_rewrite(&q, &self.classification);
+                let _ = writeln!(out, "rewriting: Presto, {} view skeleton(s)", rw.len());
+                if self.data == DataMode::Virtual {
+                    let mut shown = 0usize;
+                    let mut total = 0usize;
+                    let mut sql_lines = String::new();
+                    for vq in &rw.queries {
+                        let combos = crate::rewrite::unfold::unfold_view_query(
+                            vq,
+                            &self.classification,
+                            &self.mappings,
+                            &self.db,
+                        )?;
+                        total += combos.len();
+                        for combo in combos {
+                            if shown < 6 {
+                                let _ = writeln!(
+                                    sql_lines,
+                                    "  {}",
+                                    obda_sqlstore::print_select_core(&combo.core)
+                                );
+                                shown += 1;
+                            }
+                        }
+                    }
+                    let _ = writeln!(out, "unfolding: {total} flat SQL quer(ies)");
+                    out.push_str(&sql_lines);
+                    if total > shown {
+                        let _ = writeln!(out, "  … {} more", total - shown);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Instance checking (Section 5 lists it among the extensional
+    /// reasoning services): whether `individual` is a certain instance of
+    /// the named concept, through the full rewriting pipeline.
+    pub fn is_instance_of(
+        &mut self,
+        individual: &str,
+        concept: &str,
+    ) -> Result<bool, ObdaError> {
+        let c = self
+            .tbox
+            .sig
+            .find_concept(concept)
+            .ok_or_else(|| QueryParseError {
+                message: format!("unknown concept `{concept}`"),
+            })?;
+        let q = ConjunctiveQuery {
+            head: vec![],
+            atoms: vec![crate::query::Atom::Concept(
+                c,
+                crate::query::Term::Const(individual.to_owned()),
+            )],
+        };
+        Ok(!self.answer_cq(&q)?.is_empty())
+    }
+
+    /// Runs the consistency check over the virtual knowledge base.
+    pub fn check_consistency(&self) -> Result<Vec<Violation>, ObdaError> {
+        Ok(check_consistency(
+            &self.tbox,
+            &self.classification,
+            &self.mappings,
+            &self.db,
+        )?)
+    }
+}
+
+/// An ABox-backed system (no mappings/SQL): the simple entry point used
+/// by the quickstart example and by tests.
+#[derive(Debug, Clone)]
+pub struct AboxSystem {
+    /// The ontology TBox.
+    pub tbox: Tbox,
+    /// The classification.
+    pub classification: Classification,
+    /// The explicit ABox.
+    pub abox: Abox,
+}
+
+impl AboxSystem {
+    /// Classifies the TBox and wraps the ABox.
+    pub fn new(tbox: Tbox, abox: Abox) -> Self {
+        let classification = Classification::classify(&tbox);
+        AboxSystem {
+            tbox,
+            classification,
+            abox,
+        }
+    }
+
+    /// Answers a query (text) with PerfectRef over the ABox.
+    pub fn answer(&self, text: &str) -> Result<Answers, ObdaError> {
+        let q = parse_cq(text, &self.tbox.sig)?;
+        let ucq = perfect_ref(&q, &self.tbox);
+        Ok(crate::answer::evaluate_ucq(&ucq, &self.abox))
+    }
+}

@@ -1,0 +1,62 @@
+//! Tests for the EXPLAIN facility and mode switching on the university
+//! scenario.
+
+use mastro::{DataMode, RewritingMode};
+use obda_genont::university_scenario;
+
+#[test]
+fn explain_shows_rewriting_and_sql() {
+    let scenario = university_scenario(1, 42);
+    let sys = mastro::demo::build_system(&scenario).unwrap();
+    let explain = sys.explain("q(x) :- Student(x)").unwrap();
+    assert!(explain.contains("query: q(x) :- Student(x)"));
+    assert!(explain.contains("rewriting: Presto"));
+    assert!(explain.contains("flat SQL"));
+    assert!(explain.contains("SELECT"), "{explain}");
+    assert!(explain.contains("TB_PERSON"), "{explain}");
+}
+
+#[test]
+fn explain_perfectref_lists_disjuncts() {
+    let scenario = university_scenario(1, 42);
+    let sys = mastro::demo::build_system(&scenario)
+        .unwrap()
+        .with_rewriting(RewritingMode::PerfectRef);
+    let explain = sys.explain("q(x) :- Person(x)").unwrap();
+    assert!(explain.contains("rewriting: PerfectRef"));
+    // Person expands into many disjuncts (students, professors, domains…).
+    let n: usize = explain
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("rewriting: PerfectRef, ")
+                .and_then(|r| r.split(' ').next())
+                .and_then(|n| n.parse().ok())
+        })
+        .expect("disjunct count in explain output");
+    assert!(n >= 5, "{explain}");
+}
+
+#[test]
+fn explain_materialized_mode_skips_sql() {
+    let scenario = university_scenario(1, 42);
+    let sys = mastro::demo::build_system(&scenario)
+        .unwrap()
+        .with_data_mode(DataMode::Materialized);
+    let explain = sys.explain("q(x) :- Student(x)").unwrap();
+    assert!(!explain.contains("SELECT"));
+}
+
+#[test]
+fn explained_sql_reparses() {
+    let scenario = university_scenario(1, 42);
+    let sys = mastro::demo::build_system(&scenario).unwrap();
+    let explain = sys
+        .explain("q(x, y) :- teacherOf(x, y), GradCourse(y)")
+        .unwrap();
+    for line in explain.lines() {
+        let line = line.trim();
+        if line.starts_with("SELECT") {
+            obda_sqlstore::parse_query(line).expect("explained SQL must reparse");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Instance checking through the OBDA pipeline.
+
+use obda_genont::university_scenario;
+
+#[test]
+fn instance_checking_goes_through_the_hierarchy() {
+    let scenario = university_scenario(1, 42);
+    let mut sys = mastro::demo::build_system(&scenario).unwrap();
+    // Find one grad student from the data.
+    let grads = sys.answer("q(x) :- GradStudent(x)").unwrap();
+    let grad_iri = match grads.iter().next().unwrap()[0] {
+        mastro::AnswerTerm::Iri(ref s) => s.clone(),
+        _ => unreachable!(),
+    };
+    assert!(sys.is_instance_of(&grad_iri, "GradStudent").unwrap());
+    assert!(sys.is_instance_of(&grad_iri, "Student").unwrap());
+    assert!(sys.is_instance_of(&grad_iri, "Person").unwrap());
+    assert!(!sys.is_instance_of(&grad_iri, "Course").unwrap());
+    assert!(!sys.is_instance_of("person/99999", "Person").unwrap());
+    assert!(sys.is_instance_of("nonsense", "Person").is_ok());
+    assert!(sys.is_instance_of(&grad_iri, "NoSuchConcept").is_err());
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the query layer: parser/printer round-trip,
+//! evaluation invariances, and rewriting soundness properties.
+
+use mastro::{evaluate_cq, parse_cq, perfect_ref, print_cq, ConjunctiveQuery};
+use obda_dllite::{parse_tbox, Tbox};
+use obda_genont::{random_abox, random_tbox};
+use proptest::prelude::*;
+
+fn sig_tbox() -> Tbox {
+    parse_tbox("concept A B C\nrole p r\nattribute u").unwrap()
+}
+
+prop_compose! {
+    fn arb_atom_text()(kind in 0..4, v1 in 0..3usize, v2 in 0..3usize) -> String {
+        let vars = ["x", "y", "z"];
+        match kind {
+            0 => format!("A({})", vars[v1]),
+            1 => format!("B({})", vars[v1]),
+            2 => format!("p({}, {})", vars[v1], vars[v2]),
+            _ => format!("u({}, n{})", vars[v1], v2),
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_query()(atoms in proptest::collection::vec(arb_atom_text(), 1..5)) -> String {
+        // Head: the first variable occurring in the body (always safe).
+        let body = atoms.join(", ");
+        let head_var = body
+            .chars()
+            .skip_while(|c| *c != '(')
+            .skip(1)
+            .take_while(|c| *c != ',' && *c != ')')
+            .collect::<String>();
+        format!("q({head_var}) :- {body}")
+    }
+}
+
+proptest! {
+    #[test]
+    fn parse_print_roundtrip(q_text in arb_query()) {
+        let t = sig_tbox();
+        let q = parse_cq(&q_text, &t.sig).unwrap();
+        let printed = print_cq(&q, &t.sig);
+        let q2 = parse_cq(&printed, &t.sig).unwrap();
+        prop_assert_eq!(q.canonical(), q2.canonical());
+    }
+
+    #[test]
+    fn atom_order_does_not_change_answers(
+        q_text in arb_query(),
+        seed in 0u64..500,
+    ) {
+        let t = sig_tbox();
+        let q = parse_cq(&q_text, &t.sig).unwrap();
+        let ab = random_abox(seed, &t, 4, 12);
+        let base = evaluate_cq(&q, &ab);
+        let mut reversed_atoms = q.atoms.clone();
+        reversed_atoms.reverse();
+        let reversed = ConjunctiveQuery {
+            head: q.head.clone(),
+            atoms: reversed_atoms,
+        };
+        prop_assert_eq!(base, evaluate_cq(&reversed, &ab));
+    }
+
+    #[test]
+    fn rewriting_is_sound_and_reflexive(
+        q_text in arb_query(),
+        seed in 0u64..500,
+    ) {
+        // PerfectRef over a random positive TBox: the rewriting always
+        // contains the original query (so its answers are a superset of
+        // plain evaluation), and every disjunct keeps the head arity.
+        let full = random_tbox(seed, 3, 2, 1, 10);
+        let mut tbox = Tbox::with_signature(sig_tbox().sig.clone());
+        for ax in full.positive_inclusions() {
+            tbox.add(*ax);
+        }
+        let q = parse_cq(&q_text, &tbox.sig).unwrap();
+        let ucq = perfect_ref(&q, &tbox);
+        prop_assert!(ucq.disjuncts.contains(&q.canonical()));
+        for d in &ucq.disjuncts {
+            prop_assert_eq!(d.head.len(), q.head.len());
+            prop_assert!(d.is_safe(), "unsafe disjunct {:?}", d);
+        }
+        let ab = random_abox(seed ^ 0xA5, &tbox, 4, 10);
+        let plain = evaluate_cq(&q, &ab);
+        let rewritten = mastro::evaluate_ucq(&ucq, &ab);
+        prop_assert!(plain.is_subset(&rewritten));
+    }
+
+    #[test]
+    fn canonicalization_is_stable(q_text in arb_query()) {
+        let t = sig_tbox();
+        let q = parse_cq(&q_text, &t.sig).unwrap();
+        let c1 = q.canonical();
+        let c2 = c1.canonical();
+        prop_assert_eq!(c1, c2);
+    }
+}

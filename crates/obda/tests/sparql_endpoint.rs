@@ -1,0 +1,55 @@
+//! SPARQL answering through the full OBDA pipeline.
+
+use obda_genont::university_scenario;
+
+#[test]
+fn sparql_select_equals_cq_answers() {
+    let scenario = university_scenario(1, 42);
+    let mut sys = mastro::demo::build_system(&scenario).unwrap();
+    let cq = sys.answer("q(x) :- Student(x)").unwrap();
+    let sparql = sys
+        .answer_sparql("SELECT ?x WHERE { ?x rdf:type :Student }")
+        .unwrap();
+    assert_eq!(cq, sparql);
+    let joined = sys
+        .answer_sparql(
+            "SELECT ?x ?n WHERE { ?x a :GradStudent . ?x :personName ?n . }",
+        )
+        .unwrap();
+    let cq_joined = sys
+        .answer("q(x, n) :- GradStudent(x), personName(x, n)")
+        .unwrap();
+    assert_eq!(joined, cq_joined);
+}
+
+#[test]
+fn sparql_ask_is_boolean() {
+    let scenario = university_scenario(1, 7);
+    let mut sys = mastro::demo::build_system(&scenario).unwrap();
+    let yes = sys
+        .answer_sparql("ASK WHERE { ?x a :Professor . ?x :teacherOf ?y }")
+        .unwrap();
+    assert_eq!(yes.len(), 1);
+    // An unsatisfied pattern: a course that takes a course.
+    let no = sys
+        .answer_sparql("ASK WHERE { ?x a :Course . ?x :takesCourse ?y }")
+        .unwrap();
+    assert!(no.is_empty());
+}
+
+#[test]
+fn sparql_with_iri_constant() {
+    let scenario = university_scenario(1, 42);
+    let mut sys = mastro::demo::build_system(&scenario).unwrap();
+    let grads = sys.answer("q(x) :- GradStudent(x)").unwrap();
+    let grad = grads.iter().next().unwrap()[0].to_string();
+    let courses = sys
+        .answer_sparql(&format!(
+            "SELECT ?y WHERE {{ <{grad}> :takesCourse ?y }}"
+        ))
+        .unwrap();
+    let reference = sys
+        .answer(&format!("q(y) :- takesCourse(\"{grad}\", y)"))
+        .unwrap();
+    assert_eq!(courses, reference);
+}

@@ -1,0 +1,257 @@
+//! OWL axioms and the [`Ontology`] container.
+
+use obda_dllite::{AttributeId, ConceptId, RoleId, Signature};
+
+use crate::expr::{ClassExpr, ObjectProperty};
+
+/// An OWL axiom of the ALCHI fragment (plus minimal data-property
+/// support, mirroring DL-Lite_A attributes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OwlAxiom {
+    /// `SubClassOf(C D)`.
+    SubClassOf(ClassExpr, ClassExpr),
+    /// `EquivalentClasses(C₁ … Cₙ)`, n ≥ 2.
+    EquivalentClasses(Vec<ClassExpr>),
+    /// `DisjointClasses(C₁ … Cₙ)`, n ≥ 2 (pairwise disjointness).
+    DisjointClasses(Vec<ClassExpr>),
+    /// `SubObjectPropertyOf(R S)`.
+    SubObjectPropertyOf(ObjectProperty, ObjectProperty),
+    /// `EquivalentObjectProperties(R S)`.
+    EquivalentObjectProperties(ObjectProperty, ObjectProperty),
+    /// `InverseObjectProperties(P Q)`: `P ≡ Q⁻`.
+    InverseObjectProperties(RoleId, RoleId),
+    /// `DisjointObjectProperties(R S)`.
+    DisjointObjectProperties(ObjectProperty, ObjectProperty),
+    /// `ObjectPropertyDomain(R C)`: `∃R.⊤ ⊑ C`.
+    ObjectPropertyDomain(ObjectProperty, ClassExpr),
+    /// `ObjectPropertyRange(R C)`: `∃R⁻.⊤ ⊑ C`.
+    ObjectPropertyRange(ObjectProperty, ClassExpr),
+    /// `SubDataPropertyOf(U W)`.
+    SubDataPropertyOf(AttributeId, AttributeId),
+    /// `DisjointDataProperties(U W)`.
+    DisjointDataProperties(AttributeId, AttributeId),
+    /// `DataPropertyDomain(U C)`: `δ(U) ⊑ C`.
+    DataPropertyDomain(AttributeId, ClassExpr),
+}
+
+impl OwlAxiom {
+    /// Rewrites the axiom into an equivalent list of `SubClassOf` /
+    /// `SubObjectPropertyOf` / data-property axioms (the normal form the
+    /// tableau reasoner and the approximation pipeline consume).
+    ///
+    /// * `EquivalentClasses(C₁ … Cₙ)` → pairwise bidirectional
+    ///   `SubClassOf`;
+    /// * `DisjointClasses(…)` → pairwise `SubClassOf(Cᵢ, ¬Cⱼ)`;
+    /// * `InverseObjectProperties(P, Q)` → `P ⊑ Q⁻`, `Q⁻ ⊑ P`;
+    /// * `Disjoint/Domain/Range` → their standard `SubClassOf` forms with
+    ///   `DisjointObjectProperties(R, S)` expressed as
+    ///   `∃R.⊤ ⊓ ∃S.⊤`-free form `SubClassOf` over a fresh-free encoding:
+    ///   it stays a property axiom (returned unchanged) since ALCHI class
+    ///   expressions cannot express role disjointness.
+    pub fn normalize(&self) -> Vec<OwlAxiom> {
+        match self {
+            OwlAxiom::EquivalentClasses(cs) => {
+                let mut out = Vec::new();
+                for i in 0..cs.len() {
+                    for j in 0..cs.len() {
+                        if i != j {
+                            out.push(OwlAxiom::SubClassOf(cs[i].clone(), cs[j].clone()));
+                        }
+                    }
+                }
+                out
+            }
+            OwlAxiom::DisjointClasses(cs) => {
+                let mut out = Vec::new();
+                for i in 0..cs.len() {
+                    for j in (i + 1)..cs.len() {
+                        out.push(OwlAxiom::SubClassOf(
+                            cs[i].clone(),
+                            ClassExpr::not(cs[j].clone()),
+                        ));
+                    }
+                }
+                out
+            }
+            OwlAxiom::EquivalentObjectProperties(r, s) => vec![
+                OwlAxiom::SubObjectPropertyOf(*r, *s),
+                OwlAxiom::SubObjectPropertyOf(*s, *r),
+            ],
+            OwlAxiom::InverseObjectProperties(p, q) => vec![
+                OwlAxiom::SubObjectPropertyOf(
+                    ObjectProperty::Direct(*p),
+                    ObjectProperty::Inverse(*q),
+                ),
+                OwlAxiom::SubObjectPropertyOf(
+                    ObjectProperty::Inverse(*q),
+                    ObjectProperty::Direct(*p),
+                ),
+            ],
+            OwlAxiom::ObjectPropertyDomain(r, c) => vec![OwlAxiom::SubClassOf(
+                ClassExpr::some_thing(*r),
+                c.clone(),
+            )],
+            OwlAxiom::ObjectPropertyRange(r, c) => vec![OwlAxiom::SubClassOf(
+                ClassExpr::some_thing(r.inverse()),
+                c.clone(),
+            )],
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Collects the named signature of the axiom.
+    pub fn collect_signature(
+        &self,
+        classes: &mut Vec<ConceptId>,
+        props: &mut Vec<RoleId>,
+        attrs: &mut Vec<AttributeId>,
+    ) {
+        match self {
+            OwlAxiom::SubClassOf(c, d) => {
+                c.collect_signature(classes, props);
+                d.collect_signature(classes, props);
+            }
+            OwlAxiom::EquivalentClasses(cs) | OwlAxiom::DisjointClasses(cs) => {
+                for c in cs {
+                    c.collect_signature(classes, props);
+                }
+            }
+            OwlAxiom::SubObjectPropertyOf(r, s)
+            | OwlAxiom::EquivalentObjectProperties(r, s)
+            | OwlAxiom::DisjointObjectProperties(r, s) => {
+                props.push(r.role());
+                props.push(s.role());
+            }
+            OwlAxiom::InverseObjectProperties(p, q) => {
+                props.push(*p);
+                props.push(*q);
+            }
+            OwlAxiom::ObjectPropertyDomain(r, c) | OwlAxiom::ObjectPropertyRange(r, c) => {
+                props.push(r.role());
+                c.collect_signature(classes, props);
+            }
+            OwlAxiom::SubDataPropertyOf(u, w) | OwlAxiom::DisjointDataProperties(u, w) => {
+                attrs.push(*u);
+                attrs.push(*w);
+            }
+            OwlAxiom::DataPropertyDomain(u, c) => {
+                attrs.push(*u);
+                c.collect_signature(classes, props);
+            }
+        }
+    }
+}
+
+/// An OWL ontology: a shared signature plus axioms, duplicate-free.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    /// Interned names (classes ↔ concepts, object properties ↔ roles,
+    /// data properties ↔ attributes).
+    pub sig: Signature,
+    axioms: Vec<OwlAxiom>,
+    seen: std::collections::HashSet<OwlAxiom>,
+}
+
+impl Ontology {
+    /// Creates an empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty ontology over an existing signature.
+    pub fn with_signature(sig: Signature) -> Self {
+        Ontology {
+            sig,
+            ..Self::default()
+        }
+    }
+
+    /// Adds an axiom, ignoring exact duplicates; returns `true` if new.
+    pub fn add(&mut self, ax: OwlAxiom) -> bool {
+        if self.seen.insert(ax.clone()) {
+            self.axioms.push(ax);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All axioms in insertion order.
+    pub fn axioms(&self) -> &[OwlAxiom] {
+        &self.axioms
+    }
+
+    /// Number of axioms.
+    pub fn len(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// Whether there are no axioms.
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty()
+    }
+
+    /// All axioms rewritten to the `SubClassOf`/`SubObjectPropertyOf`
+    /// normal form (see [`OwlAxiom::normalize`]).
+    pub fn normalized_axioms(&self) -> Vec<OwlAxiom> {
+        self.axioms.iter().flat_map(OwlAxiom::normalize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_classes_normalize_to_both_directions() {
+        let a = ClassExpr::Class(ConceptId(0));
+        let b = ClassExpr::Class(ConceptId(1));
+        let norm = OwlAxiom::EquivalentClasses(vec![a.clone(), b.clone()]).normalize();
+        assert_eq!(norm.len(), 2);
+        assert!(norm.contains(&OwlAxiom::SubClassOf(a.clone(), b.clone())));
+        assert!(norm.contains(&OwlAxiom::SubClassOf(b, a)));
+    }
+
+    #[test]
+    fn disjoint_classes_normalize_pairwise() {
+        let cs: Vec<ClassExpr> = (0..3).map(|i| ClassExpr::Class(ConceptId(i))).collect();
+        let norm = OwlAxiom::DisjointClasses(cs).normalize();
+        assert_eq!(norm.len(), 3); // C(3,2) pairs
+    }
+
+    #[test]
+    fn domain_and_range_become_subclassof() {
+        let r = ObjectProperty::Direct(RoleId(0));
+        let c = ClassExpr::Class(ConceptId(0));
+        let dom = OwlAxiom::ObjectPropertyDomain(r, c.clone()).normalize();
+        assert_eq!(
+            dom,
+            vec![OwlAxiom::SubClassOf(ClassExpr::some_thing(r), c.clone())]
+        );
+        let rng = OwlAxiom::ObjectPropertyRange(r, c.clone()).normalize();
+        assert_eq!(
+            rng,
+            vec![OwlAxiom::SubClassOf(
+                ClassExpr::some_thing(r.inverse()),
+                c
+            )]
+        );
+    }
+
+    #[test]
+    fn inverse_properties_normalize_to_two_inclusions() {
+        let norm = OwlAxiom::InverseObjectProperties(RoleId(0), RoleId(1)).normalize();
+        assert_eq!(norm.len(), 2);
+    }
+
+    #[test]
+    fn ontology_deduplicates() {
+        let mut o = Ontology::new();
+        let a = o.sig.concept("A");
+        let b = o.sig.concept("B");
+        let ax = OwlAxiom::SubClassOf(ClassExpr::Class(a), ClassExpr::Class(b));
+        assert!(o.add(ax.clone()));
+        assert!(!o.add(ax));
+        assert_eq!(o.len(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! DL-Lite → OWL conversion (the inverse direction of
+//! [`crate::profile`]).
+//!
+//! Every DL-Lite_R/A axiom is expressible in this crate's OWL fragment, so
+//! the conversion is total. It is used by the approximation pipeline (to
+//! feed DL-Lite candidates to the tableau oracle) and by tests that
+//! cross-check the graph-based reasoner against the tableau.
+
+use obda_dllite::{Axiom, BasicConcept, GeneralConcept, GeneralRole, Tbox};
+
+use crate::axiom::{Ontology, OwlAxiom};
+use crate::expr::ClassExpr;
+
+/// Converts a basic concept to its OWL class expression.
+///
+/// `δ(U)` has no class-expression form in this OWL fragment; axioms
+/// involving it are mapped at the axiom level (see [`axiom_to_owl`]), and
+/// this function maps it to `owl:Thing`-free placeholder by panicking —
+/// callers must handle attribute domains first.
+fn basic_to_class(b: BasicConcept) -> ClassExpr {
+    match b {
+        BasicConcept::Atomic(a) => ClassExpr::Class(a),
+        BasicConcept::Exists(q) => ClassExpr::some_thing(q),
+        BasicConcept::AttrDomain(_) => {
+            unreachable!("attribute domains are handled at the axiom level")
+        }
+    }
+}
+
+/// Converts a single DL-Lite axiom into an OWL axiom.
+pub fn axiom_to_owl(ax: &Axiom) -> OwlAxiom {
+    match *ax {
+        Axiom::ConceptIncl(BasicConcept::AttrDomain(u), rhs) => {
+            // δ(U) ⊑ C → DataPropertyDomain(U, C); negative and qualified
+            // right-hand sides embed as class expressions.
+            let c = general_to_class(rhs);
+            OwlAxiom::DataPropertyDomain(u, c)
+        }
+        Axiom::ConceptIncl(lhs, rhs) => {
+            OwlAxiom::SubClassOf(basic_to_class(lhs), general_to_class(rhs))
+        }
+        Axiom::RoleIncl(q1, GeneralRole::Basic(q2)) => OwlAxiom::SubObjectPropertyOf(q1, q2),
+        Axiom::RoleIncl(q1, GeneralRole::Neg(q2)) => OwlAxiom::DisjointObjectProperties(q1, q2),
+        Axiom::AttrIncl(u, w) => OwlAxiom::SubDataPropertyOf(u, w),
+        Axiom::AttrNegIncl(u, w) => OwlAxiom::DisjointDataProperties(u, w),
+    }
+}
+
+fn general_to_class(g: GeneralConcept) -> ClassExpr {
+    match g {
+        GeneralConcept::Basic(BasicConcept::AttrDomain(_))
+        | GeneralConcept::Neg(BasicConcept::AttrDomain(_)) => {
+            // δ(U) on the right-hand side cannot be expressed as a class
+            // expression in this fragment; the tableau oracle never needs
+            // it (attribute reasoning is structural), so reject loudly.
+            unimplemented!("attribute domain on the right-hand side has no OWL class form here")
+        }
+        GeneralConcept::Basic(b) => basic_to_class(b),
+        GeneralConcept::Neg(b) => ClassExpr::not(basic_to_class(b)),
+        GeneralConcept::QualExists(q, a) => ClassExpr::some(q, ClassExpr::Class(a)),
+    }
+}
+
+/// Whether a DL-Lite axiom is convertible by [`axiom_to_owl`] (everything
+/// except `δ(U)` on a right-hand side).
+pub fn axiom_is_convertible(ax: &Axiom) -> bool {
+    !matches!(
+        ax,
+        Axiom::ConceptIncl(
+            _,
+            GeneralConcept::Basic(BasicConcept::AttrDomain(_))
+                | GeneralConcept::Neg(BasicConcept::AttrDomain(_)),
+        )
+    )
+}
+
+/// Converts a whole TBox into an OWL ontology over the same signature.
+///
+/// # Panics
+/// Panics if some axiom has `δ(U)` on its right-hand side (check with
+/// [`axiom_is_convertible`] first when that shape can occur).
+pub fn tbox_to_owl(t: &Tbox) -> Ontology {
+    let mut o = Ontology::with_signature(t.sig.clone());
+    for ax in t.axioms() {
+        o.add(axiom_to_owl(ax));
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ontology_to_dllite;
+    use obda_dllite::parse_tbox;
+
+    #[test]
+    fn roundtrip_dllite_owl_dllite() {
+        let src = "concept A B C\nrole p r\nattribute u w\n\
+                   A [= B\nA [= not B\nA [= exists p\nexists inv(p) [= A\n\
+                   A [= exists p . B\np [= r\np [= not inv(r)\nu [= w\nu [= not w\n\
+                   domain(u) [= A";
+        let t1 = parse_tbox(src).unwrap();
+        let o = tbox_to_owl(&t1);
+        let t2 = ontology_to_dllite(&o).unwrap();
+        // Same signature and same axiom set (order may differ).
+        assert_eq!(t1.sig, t2.sig);
+        let mut a1 = t1.axioms().to_vec();
+        let mut a2 = t2.axioms().to_vec();
+        a1.sort();
+        a2.sort();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn convertibility_detects_attr_domain_rhs() {
+        let t = parse_tbox("concept A\nattribute u\nA [= domain(u)").unwrap();
+        assert!(!axiom_is_convertible(&t.axioms()[0]));
+        let t2 = parse_tbox("concept A\nattribute u\ndomain(u) [= A").unwrap();
+        assert!(axiom_is_convertible(&t2.axioms()[0]));
+    }
+}

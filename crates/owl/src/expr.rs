@@ -1,0 +1,132 @@
+//! OWL class and property expressions (ALCHI scale).
+//!
+//! The expression language covers what the paper's Section 7 needs from
+//! "expressive languages (i.e. OWL)": boolean class constructors,
+//! qualified existential and universal restrictions, and inverse
+//! properties — i.e. the DL **ALCHI**, which strictly contains DL-Lite_R.
+//! Names are interned in an [`obda_dllite::Signature`] (classes ↔ atomic
+//! concepts, object properties ↔ atomic roles, data properties ↔
+//! attributes) so OWL↔DL-Lite conversions never re-intern.
+
+use obda_dllite::{BasicRole, ConceptId, RoleId};
+
+/// An object-property expression: a named property or its inverse.
+///
+/// Structurally identical to [`obda_dllite::BasicRole`]; kept as an alias
+/// so OWL code reads naturally.
+pub type ObjectProperty = BasicRole;
+
+/// An OWL class expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ClassExpr {
+    /// `owl:Thing` (⊤).
+    Thing,
+    /// `owl:Nothing` (⊥).
+    Nothing,
+    /// A named class.
+    Class(ConceptId),
+    /// `ObjectComplementOf` (¬C).
+    Not(Box<ClassExpr>),
+    /// `ObjectIntersectionOf` (C₁ ⊓ … ⊓ Cₙ), n ≥ 2.
+    And(Vec<ClassExpr>),
+    /// `ObjectUnionOf` (C₁ ⊔ … ⊔ Cₙ), n ≥ 2.
+    Or(Vec<ClassExpr>),
+    /// `ObjectSomeValuesFrom` (∃R.C).
+    Some(ObjectProperty, Box<ClassExpr>),
+    /// `ObjectAllValuesFrom` (∀R.C).
+    All(ObjectProperty, Box<ClassExpr>),
+}
+
+impl ClassExpr {
+    /// `∃R.⊤`, the OWL spelling of the DL-Lite unqualified existential.
+    pub fn some_thing(r: ObjectProperty) -> ClassExpr {
+        ClassExpr::Some(r, Box::new(ClassExpr::Thing))
+    }
+
+    /// Convenience constructor for `∃R.C`.
+    pub fn some(r: ObjectProperty, c: ClassExpr) -> ClassExpr {
+        ClassExpr::Some(r, Box::new(c))
+    }
+
+    /// Convenience constructor for `∀R.C`.
+    pub fn all(r: ObjectProperty, c: ClassExpr) -> ClassExpr {
+        ClassExpr::All(r, Box::new(c))
+    }
+
+    /// Convenience constructor for `¬C`.
+    #[allow(clippy::should_implement_trait)] // builder-style constructor, not ops::Not
+    pub fn not(c: ClassExpr) -> ClassExpr {
+        ClassExpr::Not(Box::new(c))
+    }
+
+    /// Convenience constructor for a binary intersection.
+    pub fn and(a: ClassExpr, b: ClassExpr) -> ClassExpr {
+        ClassExpr::And(vec![a, b])
+    }
+
+    /// Convenience constructor for a binary union.
+    pub fn or(a: ClassExpr, b: ClassExpr) -> ClassExpr {
+        ClassExpr::Or(vec![a, b])
+    }
+
+    /// Structural size (number of constructors and names), used by
+    /// generators and benchmark reports.
+    pub fn size(&self) -> usize {
+        match self {
+            ClassExpr::Thing | ClassExpr::Nothing | ClassExpr::Class(_) => 1,
+            ClassExpr::Not(c) => 1 + c.size(),
+            ClassExpr::And(cs) | ClassExpr::Or(cs) => {
+                1 + cs.iter().map(ClassExpr::size).sum::<usize>()
+            }
+            ClassExpr::Some(_, c) | ClassExpr::All(_, c) => 1 + c.size(),
+        }
+    }
+
+    /// Collects the named classes and properties occurring in the
+    /// expression into the provided sinks (deduplication is the caller's
+    /// concern).
+    pub fn collect_signature(&self, classes: &mut Vec<ConceptId>, props: &mut Vec<RoleId>) {
+        match self {
+            ClassExpr::Thing | ClassExpr::Nothing => {}
+            ClassExpr::Class(a) => classes.push(*a),
+            ClassExpr::Not(c) => c.collect_signature(classes, props),
+            ClassExpr::And(cs) | ClassExpr::Or(cs) => {
+                for c in cs {
+                    c.collect_signature(classes, props);
+                }
+            }
+            ClassExpr::Some(r, c) | ClassExpr::All(r, c) => {
+                props.push(r.role());
+                c.collect_signature(classes, props);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_counts_constructors() {
+        let c = ClassExpr::and(
+            ClassExpr::Class(ConceptId(0)),
+            ClassExpr::some(BasicRole::Direct(RoleId(0)), ClassExpr::Thing),
+        );
+        // And + Class + Some + Thing = 4.
+        assert_eq!(c.size(), 4);
+    }
+
+    #[test]
+    fn collect_signature_visits_everything() {
+        let c = ClassExpr::or(
+            ClassExpr::not(ClassExpr::Class(ConceptId(1))),
+            ClassExpr::all(BasicRole::Inverse(RoleId(2)), ClassExpr::Class(ConceptId(3))),
+        );
+        let mut classes = Vec::new();
+        let mut props = Vec::new();
+        c.collect_signature(&mut classes, &mut props);
+        assert_eq!(classes, vec![ConceptId(1), ConceptId(3)]);
+        assert_eq!(props, vec![RoleId(2)]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # obda-owl
+//!
+//! An OWL 2 object model at **ALCHI** scale — the "expressive language"
+//! side of the paper's Section 7 (ontology approximation) and the input
+//! language of the tableau baselines in `obda-reasoners`.
+//!
+//! Contents:
+//!
+//! * [`expr`]: class expressions (`⊤ ⊥ ¬ ⊓ ⊔ ∃ ∀`, inverse properties);
+//! * [`axiom`]: OWL axioms, normalization to `SubClassOf` form, and the
+//!   [`Ontology`] container;
+//! * [`parser`] / [`printer`]: a functional-style-syntax subset;
+//! * [`nnf`]: negation normal form (for the tableau);
+//! * [`profile`]: the OWL 2 QL profile checker and strict OWL → DL-Lite
+//!   conversion;
+//! * [`convert`]: total DL-Lite → OWL conversion.
+//!
+//! Names are interned in an [`obda_dllite::Signature`], so conversions
+//! between the two worlds preserve ids.
+
+pub mod axiom;
+pub mod convert;
+pub mod expr;
+pub mod nnf;
+pub mod parser;
+pub mod printer;
+pub mod profile;
+
+pub use axiom::{Ontology, OwlAxiom};
+pub use convert::{axiom_is_convertible, axiom_to_owl, tbox_to_owl};
+pub use expr::{ClassExpr, ObjectProperty};
+pub use nnf::{is_nnf, nnf};
+pub use parser::{parse_owl, OwlParseError};
+pub use profile::{axiom_is_ql, axiom_to_dllite, ontology_to_dllite, split_ql, QlViolation};

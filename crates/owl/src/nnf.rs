@@ -1,0 +1,100 @@
+//! Negation normal form (NNF) for class expressions.
+//!
+//! The tableau reasoner in `obda-reasoners` operates on NNF: negation is
+//! pushed inward until it applies only to named classes, using the De
+//! Morgan dualities and `¬∃R.C ≡ ∀R.¬C`, `¬∀R.C ≡ ∃R.¬C`.
+
+use crate::expr::ClassExpr;
+
+/// Converts a class expression to negation normal form.
+pub fn nnf(c: &ClassExpr) -> ClassExpr {
+    match c {
+        ClassExpr::Thing | ClassExpr::Nothing | ClassExpr::Class(_) => c.clone(),
+        ClassExpr::And(cs) => ClassExpr::And(cs.iter().map(nnf).collect()),
+        ClassExpr::Or(cs) => ClassExpr::Or(cs.iter().map(nnf).collect()),
+        ClassExpr::Some(r, inner) => ClassExpr::Some(*r, Box::new(nnf(inner))),
+        ClassExpr::All(r, inner) => ClassExpr::All(*r, Box::new(nnf(inner))),
+        ClassExpr::Not(inner) => nnf_neg(inner),
+    }
+}
+
+/// NNF of `¬c`.
+fn nnf_neg(c: &ClassExpr) -> ClassExpr {
+    match c {
+        ClassExpr::Thing => ClassExpr::Nothing,
+        ClassExpr::Nothing => ClassExpr::Thing,
+        ClassExpr::Class(_) => ClassExpr::Not(Box::new(c.clone())),
+        ClassExpr::Not(inner) => nnf(inner),
+        ClassExpr::And(cs) => ClassExpr::Or(cs.iter().map(nnf_neg).collect()),
+        ClassExpr::Or(cs) => ClassExpr::And(cs.iter().map(nnf_neg).collect()),
+        ClassExpr::Some(r, inner) => ClassExpr::All(*r, Box::new(nnf_neg(inner))),
+        ClassExpr::All(r, inner) => ClassExpr::Some(*r, Box::new(nnf_neg(inner))),
+    }
+}
+
+/// Whether an expression is already in NNF (negation only on named
+/// classes).
+pub fn is_nnf(c: &ClassExpr) -> bool {
+    match c {
+        ClassExpr::Thing | ClassExpr::Nothing | ClassExpr::Class(_) => true,
+        ClassExpr::Not(inner) => matches!(inner.as_ref(), ClassExpr::Class(_)),
+        ClassExpr::And(cs) | ClassExpr::Or(cs) => cs.iter().all(is_nnf),
+        ClassExpr::Some(_, inner) | ClassExpr::All(_, inner) => is_nnf(inner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{BasicRole, ConceptId, RoleId};
+
+    fn a() -> ClassExpr {
+        ClassExpr::Class(ConceptId(0))
+    }
+    fn b() -> ClassExpr {
+        ClassExpr::Class(ConceptId(1))
+    }
+    fn p() -> BasicRole {
+        BasicRole::Direct(RoleId(0))
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let c = ClassExpr::not(ClassExpr::not(a()));
+        assert_eq!(nnf(&c), a());
+    }
+
+    #[test]
+    fn de_morgan() {
+        let c = ClassExpr::not(ClassExpr::and(a(), b()));
+        assert_eq!(nnf(&c), ClassExpr::or(ClassExpr::not(a()), ClassExpr::not(b())));
+        let d = ClassExpr::not(ClassExpr::or(a(), b()));
+        assert_eq!(nnf(&d), ClassExpr::and(ClassExpr::not(a()), ClassExpr::not(b())));
+    }
+
+    #[test]
+    fn quantifier_duality() {
+        let c = ClassExpr::not(ClassExpr::some(p(), a()));
+        assert_eq!(nnf(&c), ClassExpr::all(p(), ClassExpr::not(a())));
+        let d = ClassExpr::not(ClassExpr::all(p(), a()));
+        assert_eq!(nnf(&d), ClassExpr::some(p(), ClassExpr::not(a())));
+    }
+
+    #[test]
+    fn constants_flip() {
+        assert_eq!(nnf(&ClassExpr::not(ClassExpr::Thing)), ClassExpr::Nothing);
+        assert_eq!(nnf(&ClassExpr::not(ClassExpr::Nothing)), ClassExpr::Thing);
+    }
+
+    #[test]
+    fn nnf_is_idempotent_and_detected() {
+        let c = ClassExpr::not(ClassExpr::and(
+            a(),
+            ClassExpr::some(p(), ClassExpr::not(ClassExpr::or(a(), b()))),
+        ));
+        let n = nnf(&c);
+        assert!(is_nnf(&n));
+        assert!(!is_nnf(&c));
+        assert_eq!(nnf(&n), n);
+    }
+}

@@ -1,0 +1,512 @@
+//! Parser for a subset of the OWL 2 functional-style syntax.
+//!
+//! Supported structure (whitespace-insensitive, `#`-to-end-of-line
+//! comments, optional `Ontology( … )` wrapper, `Prefix(…)` lines ignored):
+//!
+//! ```text
+//! Ontology(<http://example.org/geo>
+//!   Declaration(Class(:County))
+//!   Declaration(ObjectProperty(:isPartOf))
+//!   Declaration(DataProperty(:population))
+//!   SubClassOf(:County ObjectSomeValuesFrom(:isPartOf :State))
+//!   SubClassOf(ObjectUnionOf(:A :B) :C)
+//!   EquivalentClasses(:A :B)
+//!   DisjointClasses(:A :B :C)
+//!   SubObjectPropertyOf(:p :r)
+//!   SubObjectPropertyOf(ObjectInverseOf(:p) :r)
+//!   InverseObjectProperties(:p :q)
+//!   DisjointObjectProperties(:p :q)
+//!   ObjectPropertyDomain(:p :A)
+//!   ObjectPropertyRange(:p :B)
+//!   SubDataPropertyOf(:u :w)
+//!   DataPropertyDomain(:u :A)
+//! )
+//! ```
+//!
+//! Class expressions: named classes, `owl:Thing`, `owl:Nothing`,
+//! `ObjectComplementOf`, `ObjectIntersectionOf`, `ObjectUnionOf`,
+//! `ObjectSomeValuesFrom`, `ObjectAllValuesFrom`, `ObjectInverseOf` in
+//! property position. Undeclared names are interned on first use (OWL
+//! files in the wild often omit declarations).
+
+use std::fmt;
+
+use obda_dllite::BasicRole;
+
+use crate::axiom::{Ontology, OwlAxiom};
+use crate::expr::{ClassExpr, ObjectProperty};
+
+/// Parse error with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwlParseError {
+    /// Byte offset into the source where the problem was detected.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for OwlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for OwlParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    LParen,
+    RParen,
+    /// Bare or `:`-prefixed identifier; `owl:Thing`/`owl:Nothing` keep the
+    /// prefix.
+    Word(String),
+    /// `<…>` IRI (only allowed right after `Ontology(`, otherwise ignored
+    /// content).
+    Iri(String),
+    /// `=`, only valid inside `Prefix(:=<…>)` headers.
+    Eq,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, OwlParseError> {
+    let mut toks = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            '=' => {
+                toks.push((i, Tok::Eq));
+                i += 1;
+            }
+            '<' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'>' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(OwlParseError {
+                        offset: i,
+                        message: "unterminated IRI".into(),
+                    });
+                }
+                toks.push((i, Tok::Iri(src[start..j].to_owned())));
+                i = j + 1;
+            }
+            ':' | '_' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '-' || b == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = src[start..i].trim_start_matches(':').to_owned();
+                toks.push((start, Tok::Word(word)));
+            }
+            c if c.is_ascii_alphabetic() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '-' || b == '.' || b == ':' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((start, Tok::Word(src[start..i].to_owned())));
+            }
+            other => {
+                return Err(OwlParseError {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct P<'a> {
+    toks: &'a [(usize, Tok)],
+    pos: usize,
+    onto: Ontology,
+}
+
+impl<'a> P<'a> {
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|t| t.0).unwrap_or(usize::MAX)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, OwlParseError> {
+        Err(OwlParseError {
+            offset: self.offset(),
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.1)
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos).map(|t| &t.1);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_lparen(&mut self) -> Result<(), OwlParseError> {
+        match self.next() {
+            Some(Tok::LParen) => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err("expected `(`")
+            }
+        }
+    }
+
+    fn expect_rparen(&mut self) -> Result<(), OwlParseError> {
+        match self.next() {
+            Some(Tok::RParen) => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err("expected `)`")
+            }
+        }
+    }
+
+    fn word(&mut self, what: &str) -> Result<String, OwlParseError> {
+        match self.next() {
+            Some(Tok::Word(w)) => Ok(w.clone()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected {what}"))
+            }
+        }
+    }
+
+    fn parse_property(&mut self) -> Result<ObjectProperty, OwlParseError> {
+        match self.peek() {
+            Some(Tok::Word(w)) if w == "ObjectInverseOf" => {
+                self.next();
+                self.expect_lparen()?;
+                let name = self.word("property name")?;
+                self.expect_rparen()?;
+                Ok(BasicRole::Inverse(self.onto.sig.role(&name)))
+            }
+            Some(Tok::Word(_)) => {
+                let name = self.word("property name")?;
+                Ok(BasicRole::Direct(self.onto.sig.role(&name)))
+            }
+            _ => self.err("expected object property expression"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<ClassExpr, OwlParseError> {
+        let word = self.word("class expression")?;
+        match word.as_str() {
+            "owl:Thing" => Ok(ClassExpr::Thing),
+            "owl:Nothing" => Ok(ClassExpr::Nothing),
+            "ObjectComplementOf" => {
+                self.expect_lparen()?;
+                let c = self.parse_class()?;
+                self.expect_rparen()?;
+                Ok(ClassExpr::Not(Box::new(c)))
+            }
+            "ObjectIntersectionOf" | "ObjectUnionOf" => {
+                self.expect_lparen()?;
+                let mut cs = Vec::new();
+                while self.peek() != Some(&Tok::RParen) {
+                    cs.push(self.parse_class()?);
+                }
+                self.expect_rparen()?;
+                if cs.len() < 2 {
+                    return self.err(format!("{word} needs at least two operands"));
+                }
+                Ok(if word == "ObjectIntersectionOf" {
+                    ClassExpr::And(cs)
+                } else {
+                    ClassExpr::Or(cs)
+                })
+            }
+            "ObjectSomeValuesFrom" | "ObjectAllValuesFrom" => {
+                self.expect_lparen()?;
+                let r = self.parse_property()?;
+                let c = self.parse_class()?;
+                self.expect_rparen()?;
+                Ok(if word == "ObjectSomeValuesFrom" {
+                    ClassExpr::Some(r, Box::new(c))
+                } else {
+                    ClassExpr::All(r, Box::new(c))
+                })
+            }
+            name => Ok(ClassExpr::Class(self.onto.sig.concept(name))),
+        }
+    }
+
+    fn parse_axiom(&mut self, head: &str) -> Result<(), OwlParseError> {
+        self.expect_lparen()?;
+        match head {
+            "Declaration" => {
+                let kind = self.word("declaration kind")?;
+                self.expect_lparen()?;
+                let name = self.word("declared name")?;
+                self.expect_rparen()?;
+                match kind.as_str() {
+                    "Class" => {
+                        self.onto.sig.concept(&name);
+                    }
+                    "ObjectProperty" => {
+                        self.onto.sig.role(&name);
+                    }
+                    "DataProperty" => {
+                        self.onto.sig.attribute(&name);
+                    }
+                    other => return self.err(format!("unsupported declaration `{other}`")),
+                }
+            }
+            "SubClassOf" => {
+                let c = self.parse_class()?;
+                let d = self.parse_class()?;
+                self.onto.add(OwlAxiom::SubClassOf(c, d));
+            }
+            "EquivalentClasses" | "DisjointClasses" => {
+                let mut cs = Vec::new();
+                while self.peek() != Some(&Tok::RParen) {
+                    cs.push(self.parse_class()?);
+                }
+                if cs.len() < 2 {
+                    return self.err(format!("{head} needs at least two operands"));
+                }
+                self.onto.add(if head == "EquivalentClasses" {
+                    OwlAxiom::EquivalentClasses(cs)
+                } else {
+                    OwlAxiom::DisjointClasses(cs)
+                });
+            }
+            "SubObjectPropertyOf" => {
+                let r = self.parse_property()?;
+                let s = self.parse_property()?;
+                self.onto.add(OwlAxiom::SubObjectPropertyOf(r, s));
+            }
+            "EquivalentObjectProperties" => {
+                let r = self.parse_property()?;
+                let s = self.parse_property()?;
+                self.onto.add(OwlAxiom::EquivalentObjectProperties(r, s));
+            }
+            "InverseObjectProperties" => {
+                let p = self.word("property name")?;
+                let q = self.word("property name")?;
+                let p = self.onto.sig.role(&p);
+                let q = self.onto.sig.role(&q);
+                self.onto.add(OwlAxiom::InverseObjectProperties(p, q));
+            }
+            "DisjointObjectProperties" => {
+                let r = self.parse_property()?;
+                let s = self.parse_property()?;
+                self.onto.add(OwlAxiom::DisjointObjectProperties(r, s));
+            }
+            "ObjectPropertyDomain" => {
+                let r = self.parse_property()?;
+                let c = self.parse_class()?;
+                self.onto.add(OwlAxiom::ObjectPropertyDomain(r, c));
+            }
+            "ObjectPropertyRange" => {
+                let r = self.parse_property()?;
+                let c = self.parse_class()?;
+                self.onto.add(OwlAxiom::ObjectPropertyRange(r, c));
+            }
+            "SubDataPropertyOf" | "DisjointDataProperties" => {
+                let u = self.word("data property name")?;
+                let w = self.word("data property name")?;
+                let u = self.onto.sig.attribute(&u);
+                let w = self.onto.sig.attribute(&w);
+                self.onto.add(if head == "SubDataPropertyOf" {
+                    OwlAxiom::SubDataPropertyOf(u, w)
+                } else {
+                    OwlAxiom::DisjointDataProperties(u, w)
+                });
+            }
+            "DataPropertyDomain" => {
+                let u = self.word("data property name")?;
+                let u = self.onto.sig.attribute(&u);
+                let c = self.parse_class()?;
+                self.onto.add(OwlAxiom::DataPropertyDomain(u, c));
+            }
+            other => return self.err(format!("unsupported axiom `{other}`")),
+        }
+        self.expect_rparen()
+    }
+}
+
+/// Parses an ontology in the functional-style subset described in the
+/// module docs.
+pub fn parse_owl(src: &str) -> Result<Ontology, OwlParseError> {
+    let toks = tokenize(src)?;
+    let mut p = P {
+        toks: &toks,
+        pos: 0,
+        onto: Ontology::new(),
+    };
+    let mut wrapped = false;
+    // Skip Prefix(...) headers.
+    loop {
+        match p.peek() {
+            Some(Tok::Word(w)) if w == "Prefix" => {
+                p.next();
+                p.expect_lparen()?;
+                let mut depth = 1;
+                while depth > 0 {
+                    match p.next() {
+                        Some(Tok::LParen) => depth += 1,
+                        Some(Tok::RParen) => depth -= 1,
+                        Some(_) => {}
+                        None => return p.err("unterminated Prefix"),
+                    }
+                }
+            }
+            Some(Tok::Word(w)) if w == "Ontology" => {
+                p.next();
+                p.expect_lparen()?;
+                wrapped = true;
+                if let Some(Tok::Iri(_)) = p.peek() {
+                    p.next();
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    loop {
+        match p.peek() {
+            None => break,
+            Some(Tok::RParen) if wrapped => {
+                p.next();
+                wrapped = false;
+            }
+            Some(Tok::Word(_)) => {
+                let head = p.word("axiom head")?;
+                p.parse_axiom(&head)?;
+            }
+            _ => return p.err("expected axiom"),
+        }
+    }
+    if wrapped {
+        return p.err("missing `)` closing Ontology(");
+    }
+    Ok(p.onto)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::ConceptId;
+
+    #[test]
+    fn parses_wrapped_ontology() {
+        let src = r#"
+            Prefix(:=<http://example.org/>)
+            Ontology(<http://example.org/geo>
+              Declaration(Class(:County))
+              Declaration(Class(:State))
+              Declaration(ObjectProperty(:isPartOf))
+              SubClassOf(:County ObjectSomeValuesFrom(:isPartOf :State))
+            )
+        "#;
+        let o = parse_owl(src).unwrap();
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.sig.num_concepts(), 2);
+        assert_eq!(o.sig.num_roles(), 1);
+    }
+
+    #[test]
+    fn parses_bare_axiom_list_with_all_constructors() {
+        let src = r#"
+            SubClassOf(A ObjectIntersectionOf(B ObjectComplementOf(C)))
+            SubClassOf(ObjectUnionOf(A B) owl:Thing)
+            SubClassOf(owl:Nothing A)
+            SubClassOf(A ObjectAllValuesFrom(ObjectInverseOf(p) B))
+            EquivalentClasses(A B)
+            DisjointClasses(A B C)
+            SubObjectPropertyOf(p r)
+            EquivalentObjectProperties(p r)
+            InverseObjectProperties(p r)
+            DisjointObjectProperties(p ObjectInverseOf(r))
+            ObjectPropertyDomain(p A)
+            ObjectPropertyRange(p B)
+            SubDataPropertyOf(u w)
+            DataPropertyDomain(u A)
+        "#;
+        let o = parse_owl(src).unwrap();
+        assert_eq!(o.len(), 14);
+        assert_eq!(o.sig.num_attributes(), 2);
+    }
+
+    #[test]
+    fn undeclared_names_are_interned() {
+        let o = parse_owl("SubClassOf(X Y)").unwrap();
+        assert!(o.sig.find_concept("X").is_some());
+        assert!(o.sig.find_concept("Y").is_some());
+    }
+
+    #[test]
+    fn thing_and_nothing_are_not_interned_as_classes() {
+        let o = parse_owl("SubClassOf(owl:Nothing owl:Thing)").unwrap();
+        assert_eq!(o.sig.num_concepts(), 0);
+        assert_eq!(
+            o.axioms()[0],
+            OwlAxiom::SubClassOf(ClassExpr::Nothing, ClassExpr::Thing)
+        );
+    }
+
+    #[test]
+    fn nested_expression_shapes() {
+        let o = parse_owl(
+            "SubClassOf(A ObjectSomeValuesFrom(p ObjectUnionOf(B ObjectSomeValuesFrom(r C))))",
+        )
+        .unwrap();
+        match &o.axioms()[0] {
+            OwlAxiom::SubClassOf(ClassExpr::Class(ConceptId(0)), ClassExpr::Some(_, inner)) => {
+                match inner.as_ref() {
+                    ClassExpr::Or(cs) => assert_eq!(cs.len(), 2),
+                    other => panic!("unexpected inner {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse_owl("SubClassOf(A").unwrap_err();
+        assert!(e.message.contains("expected"));
+        let e2 = parse_owl("FancyAxiom(A B)").unwrap_err();
+        assert!(e2.message.contains("unsupported axiom"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let o = parse_owl("# header\nSubClassOf(A B) # trailing\n").unwrap();
+        assert_eq!(o.len(), 1);
+    }
+}

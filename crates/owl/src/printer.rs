@@ -1,0 +1,173 @@
+//! Functional-style-syntax printer (inverse of [`crate::parser`]).
+
+use std::fmt::Write as _;
+
+use obda_dllite::Signature;
+
+use crate::axiom::{Ontology, OwlAxiom};
+use crate::expr::{ClassExpr, ObjectProperty};
+
+/// Renders an object-property expression.
+pub fn property(r: ObjectProperty, sig: &Signature) -> String {
+    let name = sig.role_name(r.role());
+    if r.is_inverse() {
+        format!("ObjectInverseOf(:{name})")
+    } else {
+        format!(":{name}")
+    }
+}
+
+/// Renders a class expression.
+pub fn class_expr(c: &ClassExpr, sig: &Signature) -> String {
+    match c {
+        ClassExpr::Thing => "owl:Thing".to_owned(),
+        ClassExpr::Nothing => "owl:Nothing".to_owned(),
+        ClassExpr::Class(a) => format!(":{}", sig.concept_name(*a)),
+        ClassExpr::Not(inner) => format!("ObjectComplementOf({})", class_expr(inner, sig)),
+        ClassExpr::And(cs) => format!(
+            "ObjectIntersectionOf({})",
+            cs.iter()
+                .map(|c| class_expr(c, sig))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
+        ClassExpr::Or(cs) => format!(
+            "ObjectUnionOf({})",
+            cs.iter()
+                .map(|c| class_expr(c, sig))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
+        ClassExpr::Some(r, inner) => format!(
+            "ObjectSomeValuesFrom({} {})",
+            property(*r, sig),
+            class_expr(inner, sig)
+        ),
+        ClassExpr::All(r, inner) => format!(
+            "ObjectAllValuesFrom({} {})",
+            property(*r, sig),
+            class_expr(inner, sig)
+        ),
+    }
+}
+
+/// Renders a single axiom.
+pub fn axiom(ax: &OwlAxiom, sig: &Signature) -> String {
+    match ax {
+        OwlAxiom::SubClassOf(c, d) => {
+            format!("SubClassOf({} {})", class_expr(c, sig), class_expr(d, sig))
+        }
+        OwlAxiom::EquivalentClasses(cs) => format!(
+            "EquivalentClasses({})",
+            cs.iter()
+                .map(|c| class_expr(c, sig))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
+        OwlAxiom::DisjointClasses(cs) => format!(
+            "DisjointClasses({})",
+            cs.iter()
+                .map(|c| class_expr(c, sig))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
+        OwlAxiom::SubObjectPropertyOf(r, s) => format!(
+            "SubObjectPropertyOf({} {})",
+            property(*r, sig),
+            property(*s, sig)
+        ),
+        OwlAxiom::EquivalentObjectProperties(r, s) => format!(
+            "EquivalentObjectProperties({} {})",
+            property(*r, sig),
+            property(*s, sig)
+        ),
+        OwlAxiom::InverseObjectProperties(p, q) => format!(
+            "InverseObjectProperties(:{} :{})",
+            sig.role_name(*p),
+            sig.role_name(*q)
+        ),
+        OwlAxiom::DisjointObjectProperties(r, s) => format!(
+            "DisjointObjectProperties({} {})",
+            property(*r, sig),
+            property(*s, sig)
+        ),
+        OwlAxiom::ObjectPropertyDomain(r, c) => format!(
+            "ObjectPropertyDomain({} {})",
+            property(*r, sig),
+            class_expr(c, sig)
+        ),
+        OwlAxiom::ObjectPropertyRange(r, c) => format!(
+            "ObjectPropertyRange({} {})",
+            property(*r, sig),
+            class_expr(c, sig)
+        ),
+        OwlAxiom::SubDataPropertyOf(u, w) => format!(
+            "SubDataPropertyOf(:{} :{})",
+            sig.attribute_name(*u),
+            sig.attribute_name(*w)
+        ),
+        OwlAxiom::DisjointDataProperties(u, w) => format!(
+            "DisjointDataProperties(:{} :{})",
+            sig.attribute_name(*u),
+            sig.attribute_name(*w)
+        ),
+        OwlAxiom::DataPropertyDomain(u, c) => format!(
+            "DataPropertyDomain(:{} {})",
+            sig.attribute_name(*u),
+            class_expr(c, sig)
+        ),
+    }
+}
+
+/// Renders a whole ontology wrapped in `Ontology( … )`, with declarations
+/// for every interned name (so the output parses back to an identical
+/// signature).
+pub fn ontology(o: &Ontology) -> String {
+    let mut out = String::from("Ontology(<http://obda-rs.example/generated>\n");
+    for a in o.sig.concepts() {
+        let _ = writeln!(out, "  Declaration(Class(:{}))", o.sig.concept_name(a));
+    }
+    for r in o.sig.roles() {
+        let _ = writeln!(
+            out,
+            "  Declaration(ObjectProperty(:{}))",
+            o.sig.role_name(r)
+        );
+    }
+    for u in o.sig.attributes() {
+        let _ = writeln!(
+            out,
+            "  Declaration(DataProperty(:{}))",
+            o.sig.attribute_name(u)
+        );
+    }
+    for ax in o.axioms() {
+        let _ = writeln!(out, "  {}", axiom(ax, &o.sig));
+    }
+    out.push_str(")\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_owl;
+
+    #[test]
+    fn roundtrip_through_printer() {
+        let src = r#"
+            SubClassOf(A ObjectIntersectionOf(B ObjectComplementOf(ObjectSomeValuesFrom(p owl:Thing))))
+            SubClassOf(ObjectUnionOf(A B) ObjectAllValuesFrom(ObjectInverseOf(p) C))
+            DisjointClasses(A B)
+            InverseObjectProperties(p r)
+            ObjectPropertyDomain(p A)
+            SubDataPropertyOf(u w)
+            DataPropertyDomain(u A)
+        "#;
+        let o1 = parse_owl(src).unwrap();
+        let printed = ontology(&o1);
+        let o2 = parse_owl(&printed).unwrap();
+        assert_eq!(o1.axioms(), o2.axioms());
+        assert_eq!(o1.sig, o2.sig);
+    }
+}

@@ -1,0 +1,350 @@
+//! OWL 2 QL profile checking and the strict OWL → DL-Lite_R/A conversion.
+//!
+//! The QL profile (restricted to this crate's constructs) allows:
+//!
+//! * **subclass position** (left of `⊑`): a named class, `∃R.⊤`, or
+//!   `owl:Nothing`;
+//! * **superclass position**: a named class, `owl:Thing`, `owl:Nothing`,
+//!   `∃R.⊤`, `∃R.A` with `A` named, the complement of a subclass
+//!   expression, or an intersection of superclass expressions;
+//! * property axioms: `SubObjectPropertyOf`, `EquivalentObjectProperties`,
+//!   `InverseObjectProperties`, `DisjointObjectProperties`,
+//!   `ObjectPropertyDomain/Range` (with a superclass expression), and all
+//!   data-property axioms of this crate.
+//!
+//! [`ontology_to_dllite`] converts a QL ontology into an
+//! [`obda_dllite::Tbox`] over the *same* signature ids (both sides intern
+//! through [`obda_dllite::Signature`]); non-QL axioms are reported, not
+//! silently dropped — dropping is the job of the *syntactic approximation*
+//! in `obda-approx`.
+
+use obda_dllite::{Axiom, BasicConcept, GeneralConcept, GeneralRole, Tbox};
+
+use crate::axiom::{Ontology, OwlAxiom};
+use crate::expr::ClassExpr;
+
+/// Why an axiom falls outside OWL 2 QL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QlViolation {
+    /// Index of the axiom in the source ontology (when known).
+    pub axiom_index: Option<usize>,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for QlViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.axiom_index {
+            Some(i) => write!(f, "axiom {}: {}", i, self.reason),
+            None => f.write_str(&self.reason),
+        }
+    }
+}
+
+fn violation<T>(reason: impl Into<String>) -> Result<T, QlViolation> {
+    Err(QlViolation {
+        axiom_index: None,
+        reason: reason.into(),
+    })
+}
+
+/// Converts a QL *subclass* expression to a basic concept.
+/// `owl:Nothing` has no basic-concept form and is handled by the axiom
+/// converters directly.
+pub fn subclass_to_basic(c: &ClassExpr) -> Result<BasicConcept, QlViolation> {
+    match c {
+        ClassExpr::Class(a) => Ok(BasicConcept::Atomic(*a)),
+        ClassExpr::Some(r, inner) if **inner == ClassExpr::Thing => {
+            Ok(BasicConcept::Exists(*r))
+        }
+        ClassExpr::Thing => violation("owl:Thing is not a QL subclass expression"),
+        ClassExpr::Nothing => {
+            violation("owl:Nothing needs axiom-level handling, not a basic concept")
+        }
+        other => violation(format!(
+            "not a QL subclass expression: {}",
+            kind_name(other)
+        )),
+    }
+}
+
+/// Converts a QL *superclass* expression into the conjunct list of general
+/// concepts it denotes (an intersection flattens; `owl:Thing` contributes
+/// nothing; `owl:Nothing` is returned as `None` in the conjunct slot via
+/// the dedicated variant below).
+enum SuperConjunct {
+    General(GeneralConcept),
+    /// `owl:Nothing`: the axiom's left side is unsatisfiable.
+    Nothing,
+}
+
+fn superclass_to_conjuncts(
+    c: &ClassExpr,
+    out: &mut Vec<SuperConjunct>,
+) -> Result<(), QlViolation> {
+    match c {
+        ClassExpr::Thing => Ok(()),
+        ClassExpr::Nothing => {
+            out.push(SuperConjunct::Nothing);
+            Ok(())
+        }
+        ClassExpr::Class(a) => {
+            out.push(SuperConjunct::General(GeneralConcept::Basic(
+                BasicConcept::Atomic(*a),
+            )));
+            Ok(())
+        }
+        ClassExpr::Some(r, inner) => match inner.as_ref() {
+            ClassExpr::Thing => {
+                out.push(SuperConjunct::General(GeneralConcept::Basic(
+                    BasicConcept::Exists(*r),
+                )));
+                Ok(())
+            }
+            ClassExpr::Class(a) => {
+                out.push(SuperConjunct::General(GeneralConcept::QualExists(*r, *a)));
+                Ok(())
+            }
+            other => violation(format!(
+                "QL existential fillers must be named classes or owl:Thing, found {}",
+                kind_name(other)
+            )),
+        },
+        ClassExpr::Not(inner) => {
+            let b = subclass_to_basic(inner)?;
+            out.push(SuperConjunct::General(GeneralConcept::Neg(b)));
+            Ok(())
+        }
+        ClassExpr::And(cs) => {
+            for c in cs {
+                superclass_to_conjuncts(c, out)?;
+            }
+            Ok(())
+        }
+        other => violation(format!(
+            "not a QL superclass expression: {}",
+            kind_name(other)
+        )),
+    }
+}
+
+fn kind_name(c: &ClassExpr) -> &'static str {
+    match c {
+        ClassExpr::Thing => "owl:Thing",
+        ClassExpr::Nothing => "owl:Nothing",
+        ClassExpr::Class(_) => "a named class",
+        ClassExpr::Not(_) => "ObjectComplementOf",
+        ClassExpr::And(_) => "ObjectIntersectionOf",
+        ClassExpr::Or(_) => "ObjectUnionOf",
+        ClassExpr::Some(_, _) => "ObjectSomeValuesFrom",
+        ClassExpr::All(_, _) => "ObjectAllValuesFrom",
+    }
+}
+
+/// Converts a single OWL axiom into the DL-Lite axioms it denotes, or
+/// reports why it is not in QL. `SubClassOf(X, owl:Nothing)` becomes the
+/// DL-Lite-expressible self-disjointness `X ⊑ ¬X`;
+/// `SubClassOf(owl:Nothing, …)` is a tautology and converts to nothing.
+pub fn axiom_to_dllite(ax: &OwlAxiom) -> Result<Vec<Axiom>, QlViolation> {
+    let mut out = Vec::new();
+    match ax {
+        OwlAxiom::SubClassOf(sub, sup) => {
+            if *sub == ClassExpr::Nothing {
+                return Ok(out);
+            }
+            let lhs = subclass_to_basic(sub)?;
+            let mut conjuncts = Vec::new();
+            superclass_to_conjuncts(sup, &mut conjuncts)?;
+            for conj in conjuncts {
+                match conj {
+                    SuperConjunct::General(g) => out.push(Axiom::ConceptIncl(lhs, g)),
+                    SuperConjunct::Nothing => {
+                        out.push(Axiom::ConceptIncl(lhs, GeneralConcept::Neg(lhs)))
+                    }
+                }
+            }
+            Ok(out)
+        }
+        OwlAxiom::EquivalentClasses(_)
+        | OwlAxiom::DisjointClasses(_)
+        | OwlAxiom::EquivalentObjectProperties(_, _)
+        | OwlAxiom::InverseObjectProperties(_, _)
+        | OwlAxiom::ObjectPropertyDomain(_, _)
+        | OwlAxiom::ObjectPropertyRange(_, _) => {
+            for n in ax.normalize() {
+                out.extend(axiom_to_dllite(&n)?);
+            }
+            Ok(out)
+        }
+        OwlAxiom::SubObjectPropertyOf(r, s) => {
+            out.push(Axiom::RoleIncl(*r, GeneralRole::Basic(*s)));
+            Ok(out)
+        }
+        OwlAxiom::DisjointObjectProperties(r, s) => {
+            out.push(Axiom::RoleIncl(*r, GeneralRole::Neg(*s)));
+            Ok(out)
+        }
+        OwlAxiom::SubDataPropertyOf(u, w) => {
+            out.push(Axiom::AttrIncl(*u, *w));
+            Ok(out)
+        }
+        OwlAxiom::DisjointDataProperties(u, w) => {
+            out.push(Axiom::AttrNegIncl(*u, *w));
+            Ok(out)
+        }
+        OwlAxiom::DataPropertyDomain(u, c) => {
+            let lhs = BasicConcept::AttrDomain(*u);
+            let mut conjuncts = Vec::new();
+            superclass_to_conjuncts(c, &mut conjuncts)?;
+            for conj in conjuncts {
+                match conj {
+                    SuperConjunct::General(g) => out.push(Axiom::ConceptIncl(lhs, g)),
+                    SuperConjunct::Nothing => {
+                        out.push(Axiom::ConceptIncl(lhs, GeneralConcept::Neg(lhs)))
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Whether a single axiom lies in the QL profile.
+pub fn axiom_is_ql(ax: &OwlAxiom) -> bool {
+    axiom_to_dllite(ax).is_ok()
+}
+
+/// Converts a whole QL ontology into a DL-Lite TBox over the same
+/// signature. The first non-QL axiom aborts the conversion with its index.
+pub fn ontology_to_dllite(onto: &Ontology) -> Result<Tbox, QlViolation> {
+    let mut tbox = Tbox::with_signature(onto.sig.clone());
+    for (i, ax) in onto.axioms().iter().enumerate() {
+        let converted = axiom_to_dllite(ax).map_err(|mut v| {
+            v.axiom_index = Some(i);
+            v
+        })?;
+        for a in converted {
+            tbox.add(a);
+        }
+    }
+    Ok(tbox)
+}
+
+/// Splits an ontology into its QL part (converted to a TBox) and the list
+/// of non-QL axiom indices — the primitive used by syntactic
+/// approximation.
+pub fn split_ql(onto: &Ontology) -> (Tbox, Vec<usize>) {
+    let mut tbox = Tbox::with_signature(onto.sig.clone());
+    let mut rejected = Vec::new();
+    for (i, ax) in onto.axioms().iter().enumerate() {
+        match axiom_to_dllite(ax) {
+            Ok(axs) => {
+                for a in axs {
+                    tbox.add(a);
+                }
+            }
+            Err(_) => rejected.push(i),
+        }
+    }
+    (tbox, rejected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_owl;
+    use obda_dllite::printer::{self, Style};
+
+    fn convert(src: &str) -> Result<Vec<String>, QlViolation> {
+        let o = parse_owl(src).unwrap();
+        let t = ontology_to_dllite(&o)?;
+        Ok(t
+            .axioms()
+            .iter()
+            .map(|ax| printer::axiom(ax, &t.sig, Style::Display))
+            .collect())
+    }
+
+    #[test]
+    fn figure2_converts() {
+        let axs = convert(
+            "SubClassOf(County ObjectSomeValuesFrom(isPartOf State))\n\
+             SubClassOf(State ObjectSomeValuesFrom(ObjectInverseOf(isPartOf) County))",
+        )
+        .unwrap();
+        assert_eq!(axs, vec!["County ⊑ ∃isPartOf.State", "State ⊑ ∃isPartOf⁻.County"]);
+    }
+
+    #[test]
+    fn intersection_superclass_splits() {
+        let axs = convert("SubClassOf(A ObjectIntersectionOf(B ObjectComplementOf(C)))").unwrap();
+        assert_eq!(axs, vec!["A ⊑ B", "A ⊑ ¬C"]);
+    }
+
+    #[test]
+    fn domain_range_disjointness_convert() {
+        let axs = convert(
+            "ObjectPropertyDomain(p A)\nObjectPropertyRange(p B)\nDisjointObjectProperties(p r)\nDisjointClasses(A B)",
+        )
+        .unwrap();
+        assert_eq!(
+            axs,
+            vec!["∃p ⊑ A", "∃p⁻ ⊑ B", "p ⊑ ¬r", "A ⊑ ¬B"]
+        );
+    }
+
+    #[test]
+    fn nothing_superclass_becomes_self_disjointness() {
+        let axs = convert("SubClassOf(A owl:Nothing)").unwrap();
+        assert_eq!(axs, vec!["A ⊑ ¬A"]);
+    }
+
+    #[test]
+    fn nothing_subclass_is_tautology() {
+        let axs = convert("SubClassOf(owl:Nothing A)").unwrap();
+        assert!(axs.is_empty());
+    }
+
+    #[test]
+    fn union_on_lhs_is_rejected() {
+        let err = convert("SubClassOf(ObjectUnionOf(A B) C)").unwrap_err();
+        assert!(err.reason.contains("ObjectUnionOf"));
+        assert_eq!(err.axiom_index, Some(0));
+    }
+
+    #[test]
+    fn universal_restriction_is_rejected() {
+        assert!(convert("SubClassOf(A ObjectAllValuesFrom(p B))").is_err());
+    }
+
+    #[test]
+    fn qualified_lhs_is_rejected() {
+        assert!(convert("SubClassOf(ObjectSomeValuesFrom(p B) C)").is_err());
+    }
+
+    #[test]
+    fn data_property_axioms_convert() {
+        let axs = convert(
+            "SubDataPropertyOf(u w)\nDisjointDataProperties(u w)\nDataPropertyDomain(u A)",
+        )
+        .unwrap();
+        assert_eq!(axs, vec!["u ⊑ w", "u ⊑ ¬w", "δ(u) ⊑ A"]);
+    }
+
+    #[test]
+    fn split_ql_partitions() {
+        let o = parse_owl(
+            "SubClassOf(A B)\nSubClassOf(ObjectUnionOf(A B) C)\nSubClassOf(B ObjectAllValuesFrom(p A))",
+        )
+        .unwrap();
+        let (tbox, rejected) = split_ql(&o);
+        assert_eq!(tbox.len(), 1);
+        assert_eq!(rejected, vec![1, 2]);
+    }
+
+    #[test]
+    fn equivalent_classes_of_basics_convert() {
+        let axs = convert("EquivalentClasses(A ObjectSomeValuesFrom(p owl:Thing))").unwrap();
+        assert_eq!(axs, vec!["A ⊑ ∃p", "∃p ⊑ A"]);
+    }
+}

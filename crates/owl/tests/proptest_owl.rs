@@ -1,0 +1,155 @@
+//! Property-based tests for the OWL layer: NNF laws, printer/parser
+//! round-trip, and the QL conversion's semantic faithfulness checked in
+//! finite interpretations.
+
+use obda_dllite::Interpretation;
+use obda_owl::{is_nnf, nnf, parse_owl, printer, ClassExpr, Ontology, OwlAxiom};
+use proptest::prelude::*;
+
+const N_CLASSES: u32 = 4;
+const N_PROPS: u32 = 2;
+
+fn arb_class_expr() -> impl Strategy<Value = ClassExpr> {
+    let leaf = prop_oneof![
+        (0..N_CLASSES).prop_map(|i| ClassExpr::Class(obda_dllite::ConceptId(i))),
+        Just(ClassExpr::Thing),
+        Just(ClassExpr::Nothing),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(ClassExpr::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ClassExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ClassExpr::or(a, b)),
+            (0..N_PROPS, any::<bool>(), inner.clone()).prop_map(|(p, inv, c)| {
+                let r = if inv {
+                    obda_dllite::BasicRole::Inverse(obda_dllite::RoleId(p))
+                } else {
+                    obda_dllite::BasicRole::Direct(obda_dllite::RoleId(p))
+                };
+                ClassExpr::some(r, c)
+            }),
+            (0..N_PROPS, any::<bool>(), inner).prop_map(|(p, inv, c)| {
+                let r = if inv {
+                    obda_dllite::BasicRole::Inverse(obda_dllite::RoleId(p))
+                } else {
+                    obda_dllite::BasicRole::Direct(obda_dllite::RoleId(p))
+                };
+                ClassExpr::all(r, c)
+            }),
+        ]
+    })
+}
+
+/// Evaluates a class expression in a finite interpretation.
+fn holds(i: &Interpretation, c: &ClassExpr, e: usize) -> bool {
+    match c {
+        ClassExpr::Thing => true,
+        ClassExpr::Nothing => false,
+        ClassExpr::Class(a) => i.holds_basic(obda_dllite::BasicConcept::Atomic(*a), e),
+        ClassExpr::Not(inner) => !holds(i, inner, e),
+        ClassExpr::And(cs) => cs.iter().all(|c| holds(i, c, e)),
+        ClassExpr::Or(cs) => cs.iter().any(|c| holds(i, c, e)),
+        ClassExpr::Some(r, inner) => i
+            .role_pairs(*r)
+            .any(|(s, o)| s == e && holds(i, inner, o)),
+        ClassExpr::All(r, inner) => i
+            .role_pairs(*r)
+            .all(|(s, o)| s != e || holds(i, inner, o)),
+    }
+}
+
+fn random_interp(seed: u64) -> Interpretation {
+    // A small deterministic interpretation derived from the seed bits.
+    let mut i = Interpretation::new(3, N_CLASSES as usize, N_PROPS as usize, 0);
+    let mut bits = seed;
+    for a in 0..N_CLASSES {
+        for e in 0..3 {
+            if bits & 1 == 1 {
+                i.add_concept(obda_dllite::ConceptId(a), e);
+            }
+            bits >>= 1;
+        }
+    }
+    for p in 0..N_PROPS {
+        for s in 0..3 {
+            for o in 0..3 {
+                if bits & 1 == 1 {
+                    i.add_role(obda_dllite::RoleId(p), s, o);
+                }
+                bits = bits.rotate_right(1) ^ 0x9E3779B97F4A7C15;
+            }
+        }
+    }
+    i
+}
+
+fn sig_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    for i in 0..N_CLASSES {
+        o.sig.concept(&format!("C{i}"));
+    }
+    for i in 0..N_PROPS {
+        o.sig.role(&format!("p{i}"));
+    }
+    o
+}
+
+proptest! {
+    #[test]
+    fn nnf_output_is_nnf_and_idempotent(c in arb_class_expr()) {
+        let n = nnf(&c);
+        prop_assert!(is_nnf(&n));
+        prop_assert_eq!(nnf(&n), n);
+    }
+
+    #[test]
+    fn nnf_preserves_semantics(c in arb_class_expr(), seed in any::<u64>()) {
+        let i = random_interp(seed);
+        let n = nnf(&c);
+        for e in 0..3 {
+            prop_assert_eq!(holds(&i, &c, e), holds(&i, &n, e));
+        }
+    }
+
+    #[test]
+    fn double_negation_nnf_is_involutive_semantically(c in arb_class_expr(), seed in any::<u64>()) {
+        let i = random_interp(seed);
+        let nn = nnf(&ClassExpr::not(ClassExpr::not(c.clone())));
+        for e in 0..3 {
+            prop_assert_eq!(holds(&i, &c, e), holds(&i, &nn, e));
+        }
+    }
+
+    #[test]
+    fn printer_parser_roundtrip(exprs in proptest::collection::vec((arb_class_expr(), arb_class_expr()), 1..6)) {
+        let mut o = sig_ontology();
+        for (c, d) in exprs {
+            o.add(OwlAxiom::SubClassOf(c, d));
+        }
+        let printed = printer::ontology(&o);
+        let reparsed = parse_owl(&printed).unwrap();
+        prop_assert_eq!(o.axioms(), reparsed.axioms());
+        prop_assert_eq!(&o.sig, &reparsed.sig);
+    }
+
+    #[test]
+    fn normalize_preserves_semantics_per_interpretation(
+        c in arb_class_expr(),
+        d in arb_class_expr(),
+        seed in any::<u64>(),
+    ) {
+        // EquivalentClasses / DisjointClasses normalization must hold in a
+        // finite interpretation exactly when the original does.
+        let i = random_interp(seed);
+        let holds_subclass = |x: &ClassExpr, y: &ClassExpr| -> bool {
+            (0..3).all(|e| !holds(&i, x, e) || holds(&i, y, e))
+        };
+        let equiv = OwlAxiom::EquivalentClasses(vec![c.clone(), d.clone()]);
+        let direct = holds_subclass(&c, &d) && holds_subclass(&d, &c);
+        let via_norm = equiv.normalize().iter().all(|ax| match ax {
+            OwlAxiom::SubClassOf(x, y) => holds_subclass(x, y),
+            _ => unreachable!(),
+        });
+        prop_assert_eq!(direct, via_norm);
+    }
+}

@@ -1,0 +1,370 @@
+//! Bounded restricted chase for DL-Lite_R/A.
+//!
+//! The chase expands an ABox with the positive inclusions of a TBox,
+//! inventing labelled nulls as witnesses of existential axioms. For
+//! DL-Lite the full chase (the canonical model) can be infinite, but
+//! certain answers of a conjunctive query `q` only depend on the part of
+//! the canonical model within distance `|q|` of the original constants —
+//! so a depth-bounded chase is a sound and complete certain-answer oracle
+//! for queries up to that size. `mastro`'s property tests use it to
+//! validate the PerfectRef rewriting.
+//!
+//! Nulls are named `_:n<k>` and flagged by [`ChasedAbox::is_null`]; answer
+//! tuples must range over original constants only.
+
+use std::collections::HashSet;
+
+use obda_dllite::{
+    Abox, Assertion, Axiom, BasicConcept, BasicRole, GeneralConcept, GeneralRole, IndividualId,
+    Tbox,
+};
+
+/// Result of chasing an ABox: the expanded ABox plus null bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ChasedAbox {
+    /// The expanded ABox (shares individual ids with the input for the
+    /// original constants).
+    pub abox: Abox,
+    /// Number of original (non-null) individuals; ids below this bound are
+    /// constants, ids at or above are nulls.
+    pub num_constants: u32,
+}
+
+impl ChasedAbox {
+    /// Whether an individual is an invented null.
+    pub fn is_null(&self, i: IndividualId) -> bool {
+        i.0 >= self.num_constants
+    }
+}
+
+/// Membership tests used by the chase applicability checks.
+struct Facts {
+    concept: HashSet<(u32, u32)>,       // (concept, individual)
+    role: HashSet<(u32, u32, u32)>,     // (role, subject, object)
+    attr_subject: HashSet<(u32, u32)>,  // (attribute, individual)
+}
+
+impl Facts {
+    fn from_abox(ab: &Abox) -> Self {
+        let mut f = Facts {
+            concept: HashSet::new(),
+            role: HashSet::new(),
+            attr_subject: HashSet::new(),
+        };
+        for a in ab.assertions() {
+            match a {
+                Assertion::Concept(c, i) => {
+                    f.concept.insert((c.0, i.0));
+                }
+                Assertion::Role(p, s, o) => {
+                    f.role.insert((p.0, s.0, o.0));
+                }
+                Assertion::Attribute(u, s, _) => {
+                    f.attr_subject.insert((u.0, s.0));
+                }
+            }
+        }
+        f
+    }
+
+    fn holds_basic(&self, b: BasicConcept, i: u32) -> bool {
+        match b {
+            BasicConcept::Atomic(a) => self.concept.contains(&(a.0, i)),
+            BasicConcept::Exists(BasicRole::Direct(p)) => {
+                self.role.iter().any(|&(r, s, _)| r == p.0 && s == i)
+            }
+            BasicConcept::Exists(BasicRole::Inverse(p)) => {
+                self.role.iter().any(|&(r, _, o)| r == p.0 && o == i)
+            }
+            BasicConcept::AttrDomain(u) => self.attr_subject.contains(&(u.0, i)),
+        }
+    }
+
+    fn role_pairs(&self, q: BasicRole) -> Vec<(u32, u32)> {
+        let p = q.role().0;
+        self.role
+            .iter()
+            .filter(|&&(r, _, _)| r == p)
+            .map(|&(_, s, o)| if q.is_inverse() { (o, s) } else { (s, o) })
+            .collect()
+    }
+}
+
+/// Chases `abox` with the positive inclusions of `tbox`, bounding null
+/// generation at `max_depth` hops from the original constants.
+///
+/// The implementation is the *restricted* chase: an existential axiom
+/// fires on an individual only if no witness already exists.
+pub fn chase(tbox: &Tbox, abox: &Abox, max_depth: usize) -> ChasedAbox {
+    let mut out = abox.clone();
+    let num_constants = abox.num_individuals() as u32;
+    // depth[i] = distance of individual i from the original constants.
+    let mut depth: Vec<usize> = vec![0; abox.num_individuals()];
+    let mut next_null = 0usize;
+
+    loop {
+        let facts = Facts::from_abox(&out);
+        let mut additions: Vec<Assertion> = Vec::new();
+        let mut new_nulls: Vec<(usize, Assertion, Assertion)> = Vec::new(); // (depth, role fact, filler fact placeholder)
+
+        let n = out.num_individuals() as u32;
+        for ax in tbox.positive_inclusions() {
+            match *ax {
+                Axiom::ConceptIncl(lhs, GeneralConcept::Basic(rhs)) => {
+                    for i in 0..n {
+                        if facts.holds_basic(lhs, i) && !facts.holds_basic(rhs, i) {
+                            match rhs {
+                                BasicConcept::Atomic(a) => {
+                                    additions.push(Assertion::Concept(a, IndividualId(i)));
+                                }
+                                BasicConcept::Exists(q) => {
+                                    if depth[i as usize] < max_depth {
+                                        new_nulls.push((
+                                            depth[i as usize] + 1,
+                                            role_fact(q, IndividualId(i), IndividualId(u32::MAX)),
+                                            Assertion::Concept(
+                                                obda_dllite::ConceptId(u32::MAX),
+                                                IndividualId(u32::MAX),
+                                            ),
+                                        ));
+                                        // The filler placeholder is unused for
+                                        // unqualified existentials; marked by
+                                        // the MAX concept id.
+                                    }
+                                }
+                                BasicConcept::AttrDomain(u) => {
+                                    additions.push(Assertion::Attribute(
+                                        u,
+                                        IndividualId(i),
+                                        obda_dllite::Value::Text(format!("_:v{next_null}")),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                Axiom::ConceptIncl(lhs, GeneralConcept::QualExists(q, a)) => {
+                    for i in 0..n {
+                        if facts.holds_basic(lhs, i) {
+                            // Witness must be both a q-successor and in a.
+                            let has_witness = facts
+                                .role_pairs(q)
+                                .iter()
+                                .any(|&(s, o)| s == i && facts.concept.contains(&(a.0, o)));
+                            if !has_witness && depth[i as usize] < max_depth {
+                                new_nulls.push((
+                                    depth[i as usize] + 1,
+                                    role_fact(q, IndividualId(i), IndividualId(u32::MAX)),
+                                    Assertion::Concept(a, IndividualId(u32::MAX)),
+                                ));
+                            }
+                        }
+                    }
+                }
+                Axiom::RoleIncl(q1, GeneralRole::Basic(q2)) => {
+                    for (s, o) in facts.role_pairs(q1) {
+                        let (p2, s2, o2) = match q2 {
+                            BasicRole::Direct(p) => (p, s, o),
+                            BasicRole::Inverse(p) => (p, o, s),
+                        };
+                        if !facts.role.contains(&(p2.0, s2, o2)) {
+                            additions.push(Assertion::Role(
+                                p2,
+                                IndividualId(s2),
+                                IndividualId(o2),
+                            ));
+                        }
+                    }
+                }
+                Axiom::AttrIncl(u1, u2) => {
+                    let pairs: Vec<_> = out
+                        .attribute_instances(u1)
+                        .map(|(s, v)| (s, v.clone()))
+                        .collect();
+                    for (s, v) in pairs {
+                        let a = Assertion::Attribute(u2, s, v);
+                        if !out.contains(&a) {
+                            additions.push(a);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if additions.is_empty() && new_nulls.is_empty() {
+            break;
+        }
+        for a in additions {
+            out.add(a);
+        }
+        for (d, role_fact, filler_fact) in new_nulls {
+            let null_name = format!("_:n{next_null}");
+            next_null += 1;
+            let null = out.individual(&null_name);
+            if null.index() >= depth.len() {
+                depth.push(d);
+            }
+            match role_fact {
+                Assertion::Role(p, s, o) => {
+                    let (s, o) = (
+                        if s.0 == u32::MAX { null } else { s },
+                        if o.0 == u32::MAX { null } else { o },
+                    );
+                    out.add(Assertion::Role(p, s, o));
+                }
+                _ => unreachable!(),
+            }
+            if let Assertion::Concept(a, _) = filler_fact {
+                if a.0 != u32::MAX {
+                    out.add(Assertion::Concept(a, null));
+                }
+            }
+        }
+    }
+
+    ChasedAbox {
+        abox: out,
+        num_constants,
+    }
+}
+
+fn role_fact(q: BasicRole, subj: IndividualId, null: IndividualId) -> Assertion {
+    match q {
+        BasicRole::Direct(p) => Assertion::Role(p, subj, null),
+        BasicRole::Inverse(p) => Assertion::Role(p, null, subj),
+    }
+}
+
+/// Checks ABox consistency w.r.t. the TBox by chasing to depth
+/// `max_depth` and testing every negative inclusion and unsatisfiable
+/// membership on the result. For DL-Lite a depth-1 chase is sufficient
+/// for consistency (negative inclusions only inspect single individuals
+/// and their immediate role memberships), but callers may pass more.
+pub fn is_consistent(tbox: &Tbox, abox: &Abox, max_depth: usize) -> bool {
+    let chased = chase(tbox, abox, max_depth);
+    let facts = Facts::from_abox(&chased.abox);
+    let n = chased.abox.num_individuals() as u32;
+    for ax in tbox.negative_inclusions() {
+        match *ax {
+            Axiom::ConceptIncl(b1, GeneralConcept::Neg(b2)) => {
+                for i in 0..n {
+                    if facts.holds_basic(b1, i) && facts.holds_basic(b2, i) {
+                        return false;
+                    }
+                }
+            }
+            Axiom::RoleIncl(q1, GeneralRole::Neg(q2)) => {
+                let pairs2: HashSet<(u32, u32)> = facts.role_pairs(q2).into_iter().collect();
+                if facts.role_pairs(q1).iter().any(|p| pairs2.contains(p)) {
+                    return false;
+                }
+            }
+            Axiom::AttrNegIncl(u1, u2) => {
+                // Disjoint attributes clash when an individual shares the
+                // same value in both.
+                for (s, v) in chased.abox.attribute_instances(u1) {
+                    if chased
+                        .abox
+                        .attribute_instances(u2)
+                        .any(|(s2, v2)| s2 == s && v2 == v)
+                    {
+                        return false;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{parse_abox, parse_tbox};
+
+    #[test]
+    fn atomic_inclusions_propagate() {
+        let t = parse_tbox("concept A B\nA [= B").unwrap();
+        let ab = parse_abox("A(x)", &t.sig).unwrap();
+        let chased = chase(&t, &ab, 3);
+        let b = t.sig.find_concept("B").unwrap();
+        let x = chased.abox.find_individual("x").unwrap();
+        assert!(chased.abox.contains(&Assertion::Concept(b, x)));
+    }
+
+    #[test]
+    fn existentials_invent_nulls_up_to_depth() {
+        let t = parse_tbox("concept A\nrole p\nA [= exists p").unwrap();
+        let ab = parse_abox("A(x)", &t.sig).unwrap();
+        let chased = chase(&t, &ab, 2);
+        // One null created for x's witness; witness has no A so no chain.
+        assert_eq!(chased.abox.num_individuals(), 2);
+        assert!(chased.is_null(IndividualId(1)));
+    }
+
+    #[test]
+    fn qualified_existentials_type_their_witness_and_chain() {
+        let t = parse_tbox("concept A\nrole p\nA [= exists p . A").unwrap();
+        let ab = parse_abox("A(x)", &t.sig).unwrap();
+        let chased = chase(&t, &ab, 3);
+        // x -> n1 -> n2 -> n3, each in A; nulls stop at depth 3.
+        assert_eq!(chased.abox.num_individuals(), 4);
+        let a = t.sig.find_concept("A").unwrap();
+        assert_eq!(chased.abox.concept_instances(a).count(), 4);
+    }
+
+    #[test]
+    fn restricted_chase_reuses_existing_witnesses() {
+        let t = parse_tbox("concept A B\nrole p\nA [= exists p . B").unwrap();
+        let ab = parse_abox("A(x)\np(x, y)\nB(y)", &t.sig).unwrap();
+        let chased = chase(&t, &ab, 3);
+        // y already witnesses the axiom: no null needed.
+        assert_eq!(chased.abox.num_individuals(), 2);
+    }
+
+    #[test]
+    fn role_inclusions_copy_pairs() {
+        let t = parse_tbox("role p r\np [= inv(r)").unwrap();
+        let ab = parse_abox("p(x, y)", &t.sig).unwrap();
+        let chased = chase(&t, &ab, 1);
+        let r = t.sig.find_role("r").unwrap();
+        let x = chased.abox.find_individual("x").unwrap();
+        let y = chased.abox.find_individual("y").unwrap();
+        assert!(chased.abox.contains(&Assertion::Role(r, y, x)));
+    }
+
+    #[test]
+    fn consistency_detects_concept_clash() {
+        let t = parse_tbox("concept A B C\nA [= B\nB [= not C").unwrap();
+        let ab = parse_abox("A(x)\nC(x)", &t.sig).unwrap();
+        assert!(!is_consistent(&t, &ab, 1));
+        let ab2 = parse_abox("A(x)\nC(y)", &t.sig).unwrap();
+        assert!(is_consistent(&t, &ab2, 1));
+    }
+
+    #[test]
+    fn consistency_detects_existential_clash() {
+        // p(x,y) puts x in ∃p which is disjoint from A.
+        let t = parse_tbox("concept A\nrole p\nexists p [= not A").unwrap();
+        let ab = parse_abox("p(x, y)\nA(x)", &t.sig).unwrap();
+        assert!(!is_consistent(&t, &ab, 1));
+    }
+
+    #[test]
+    fn consistency_detects_role_clash() {
+        let t = parse_tbox("role p r s\np [= r\np [= s\nr [= not s").unwrap();
+        let ab = parse_abox("p(x, y)", &t.sig).unwrap();
+        assert!(!is_consistent(&t, &ab, 1));
+    }
+
+    #[test]
+    fn attribute_domain_invents_value() {
+        let t = parse_tbox("concept A\nattribute u\nA [= domain(u)").unwrap();
+        let ab = parse_abox("A(x)", &t.sig).unwrap();
+        let chased = chase(&t, &ab, 2);
+        let u = t.sig.find_attribute("u").unwrap();
+        assert_eq!(chased.abox.attribute_instances(u).count(), 1);
+    }
+}

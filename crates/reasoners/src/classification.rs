@@ -1,0 +1,109 @@
+//! A reasoner-independent classification result, used to compare the
+//! output of the graph-based classifier (`quonto`), the tableau profiles
+//! and the consequence-based classifier in the Figure 1 benchmark and in
+//! cross-validation tests.
+
+use std::collections::{BTreeSet, HashSet};
+
+use obda_dllite::{ConceptId, RoleId};
+
+/// Classification restricted to *named* predicates: non-reflexive
+/// subsumption pairs between satisfiable atomic concepts (and optionally
+/// atomic roles), plus the unsatisfiable sets.
+///
+/// `role_pairs == None` means the reasoner does not compute the property
+/// hierarchy at all — the completeness gap the paper points out for the
+/// CB reasoner ("it does not compute property hierarchy").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NamedClassification {
+    /// `a ⊑ b` pairs between distinct satisfiable atomic concepts.
+    pub concept_pairs: BTreeSet<(ConceptId, ConceptId)>,
+    /// `p ⊑ r` pairs between distinct satisfiable atomic roles (direct
+    /// polarity only), or `None` if the reasoner skips the property
+    /// hierarchy.
+    pub role_pairs: Option<BTreeSet<(RoleId, RoleId)>>,
+    /// Unsatisfiable atomic concepts.
+    pub unsat_concepts: BTreeSet<ConceptId>,
+    /// Unsatisfiable atomic roles (empty when the property hierarchy is
+    /// skipped).
+    pub unsat_roles: BTreeSet<RoleId>,
+}
+
+impl NamedClassification {
+    /// Number of concept pairs (the usual headline count).
+    pub fn num_concept_pairs(&self) -> usize {
+        self.concept_pairs.len()
+    }
+
+    /// Compares the concept-level parts (pairs + unsat) of two results.
+    pub fn concepts_agree(&self, other: &NamedClassification) -> bool {
+        self.concept_pairs == other.concept_pairs && self.unsat_concepts == other.unsat_concepts
+    }
+}
+
+/// Deduplicates and sorts raw pair lists into the canonical form.
+pub fn canonical_pairs(pairs: impl IntoIterator<Item = (ConceptId, ConceptId)>) -> BTreeSet<(ConceptId, ConceptId)> {
+    pairs.into_iter().filter(|(a, b)| a != b).collect()
+}
+
+/// Utility: transitive closure of a told-subsumer adjacency (small graphs;
+/// used by the tableau profiles and tests).
+pub fn reachability_closure(n: usize, edges: &HashSet<(u32, u32)>) -> Vec<Vec<u32>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a as usize].push(b);
+    }
+    let mut out = vec![Vec::new(); n];
+    let mut mark = vec![u32::MAX; n];
+    for src in 0..n as u32 {
+        let mut stack: Vec<u32> = adj[src as usize].clone();
+        let mut reach = Vec::new();
+        while let Some(v) = stack.pop() {
+            if mark[v as usize] == src {
+                continue;
+            }
+            mark[v as usize] = src;
+            reach.push(v);
+            stack.extend_from_slice(&adj[v as usize]);
+        }
+        reach.sort_unstable();
+        out[src as usize] = reach;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_pairs_drop_reflexive() {
+        let pairs = canonical_pairs(vec![
+            (ConceptId(0), ConceptId(1)),
+            (ConceptId(1), ConceptId(1)),
+            (ConceptId(0), ConceptId(1)),
+        ]);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn reachability_closure_small() {
+        let mut edges = HashSet::new();
+        edges.insert((0u32, 1u32));
+        edges.insert((1, 2));
+        let out = reachability_closure(3, &edges);
+        assert_eq!(out[0], vec![1, 2]);
+        assert_eq!(out[2], Vec::<u32>::new());
+    }
+
+    #[test]
+    fn concepts_agree_ignores_role_side() {
+        let mut a = NamedClassification::default();
+        let mut b = NamedClassification::default();
+        a.concept_pairs.insert((ConceptId(0), ConceptId(1)));
+        b.concept_pairs.insert((ConceptId(0), ConceptId(1)));
+        a.role_pairs = Some(BTreeSet::new());
+        b.role_pairs = None;
+        assert!(a.concepts_agree(&b));
+    }
+}

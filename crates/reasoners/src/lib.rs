@@ -1,0 +1,32 @@
+//! # obda-reasoners
+//!
+//! Baseline and oracle reasoners surrounding the graph-based classifier:
+//!
+//! * [`saturation`]: an independent rule-based DL-Lite_R/A closure — the
+//!   workspace's correctness oracle and the slow side of the implication
+//!   ablation (A5);
+//! * [`chase`]: a depth-bounded restricted chase — the certain-answer
+//!   oracle behind the query-rewriting property tests;
+//! * [`tableau`] / [`tableau_classify`]: an ALCHI tableau reasoner with
+//!   three classification profiles, standing in for FaCT++, HermiT and
+//!   Pellet in the Figure 1 reproduction, and serving as the entailment
+//!   oracle of semantic approximation (Section 7);
+//! * [`consequence`]: a consequence-based Horn classifier standing in for
+//!   the CB reasoner — fast, but (faithfully to the paper's remark) it
+//!   does not compute the property hierarchy;
+//! * [`classification`]: the reasoner-independent classification result
+//!   the Figure 1 benchmark compares.
+
+pub mod chase;
+pub mod classification;
+pub mod consequence;
+pub mod saturation;
+pub mod tableau;
+pub mod tableau_classify;
+
+pub use chase::{chase, is_consistent, ChasedAbox};
+pub use classification::NamedClassification;
+pub use consequence::{classify_consequence, consequence_stats};
+pub use saturation::Saturation;
+pub use tableau::{Budget, Tableau, TableauKb, Timeout};
+pub use tableau_classify::{classify_tableau, TableauProfile};

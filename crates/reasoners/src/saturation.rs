@@ -1,0 +1,482 @@
+//! An independent, rule-based **saturation reasoner** for DL-Lite_R/A.
+//!
+//! This is the workspace's primary correctness oracle: it derives the
+//! deductive closure of a TBox by exhaustively applying inference rules to
+//! a fixpoint, sharing *no code or data structures* with the graph-based
+//! `quonto` reasoner. Cross-checks between the two (see the integration
+//! tests) validate both.
+//!
+//! Derived relations (over basic concepts `B`, basic roles `Q`,
+//! attributes `U`, atomic concepts `A`):
+//!
+//! * `Pos(B₁, B₂)`, `RolePos(Q₁, Q₂)`, `AttrPos(U₁, U₂)` — positive
+//!   subsumptions (reflexive);
+//! * `Qual(B, Q, A)` — derived `B ⊑ ∃Q.A`;
+//! * `Neg(B₁, B₂)`, `RoleNeg(Q₁, Q₂)`, `AttrNeg(U₁, U₂)` — disjointness;
+//! * `UnsatC(B)`, `UnsatR(Q)`, `UnsatA(U)` — unsatisfiability.
+//!
+//! The rule set is listed next to its implementation in
+//! [`Saturation::saturate`]. The loop is a naive
+//! apply-until-nothing-changes fixpoint — quadratic and proud of it; this
+//! reasoner is an oracle for tests and the "saturation" side of the
+//! implication ablation (A5), not a production classifier.
+
+use std::collections::HashSet;
+
+use obda_dllite::{
+    AttributeId, Axiom, BasicConcept, BasicRole, ConceptId, GeneralConcept, GeneralRole, Tbox,
+};
+
+/// The saturated closure of a TBox. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Saturation {
+    /// `Pos(B₁, B₂)`: `B₁ ⊑ B₂` among basic concepts (reflexive).
+    pub pos: HashSet<(BasicConcept, BasicConcept)>,
+    /// `Qual(B, Q, A)`: `B ⊑ ∃Q.A`.
+    pub qual: HashSet<(BasicConcept, BasicRole, ConceptId)>,
+    /// `Neg(B₁, B₂)`: `B₁ ⊑ ¬B₂` (kept symmetric).
+    pub neg: HashSet<(BasicConcept, BasicConcept)>,
+    /// `RolePos(Q₁, Q₂)` (reflexive).
+    pub role_pos: HashSet<(BasicRole, BasicRole)>,
+    /// `RoleNeg(Q₁, Q₂)` (kept symmetric and inverse-closed).
+    pub role_neg: HashSet<(BasicRole, BasicRole)>,
+    /// `AttrPos(U₁, U₂)` (reflexive).
+    pub attr_pos: HashSet<(AttributeId, AttributeId)>,
+    /// `AttrNeg(U₁, U₂)` (kept symmetric).
+    pub attr_neg: HashSet<(AttributeId, AttributeId)>,
+    /// Unsatisfiable basic concepts.
+    pub unsat_c: HashSet<BasicConcept>,
+    /// Unsatisfiable basic roles.
+    pub unsat_r: HashSet<BasicRole>,
+    /// Unsatisfiable attributes.
+    pub unsat_a: HashSet<AttributeId>,
+}
+
+/// All basic concepts over a signature: atomic concepts, `∃Q` for every
+/// basic role, `δ(U)` for every attribute.
+fn basic_universe(t: &Tbox) -> Vec<BasicConcept> {
+    let mut out = Vec::new();
+    for a in t.sig.concepts() {
+        out.push(BasicConcept::Atomic(a));
+    }
+    for p in t.sig.roles() {
+        out.push(BasicConcept::exists(p));
+        out.push(BasicConcept::exists_inv(p));
+    }
+    for u in t.sig.attributes() {
+        out.push(BasicConcept::AttrDomain(u));
+    }
+    out
+}
+
+fn basic_roles(t: &Tbox) -> Vec<BasicRole> {
+    let mut out = Vec::new();
+    for p in t.sig.roles() {
+        out.push(BasicRole::Direct(p));
+        out.push(BasicRole::Inverse(p));
+    }
+    out
+}
+
+impl Saturation {
+    /// Saturates `t` to fixpoint.
+    pub fn saturate(t: &Tbox) -> Self {
+        let mut s = Saturation::default();
+        let universe = basic_universe(t);
+        let roles = basic_roles(t);
+
+        // Reflexive seeds.
+        for &b in &universe {
+            s.pos.insert((b, b));
+        }
+        for &q in &roles {
+            s.role_pos.insert((q, q));
+        }
+        for u in t.sig.attributes() {
+            s.attr_pos.insert((u, u));
+        }
+        // Axiom seeds.
+        for ax in t.axioms() {
+            match *ax {
+                Axiom::ConceptIncl(b, GeneralConcept::Basic(b2)) => {
+                    s.pos.insert((b, b2));
+                }
+                Axiom::ConceptIncl(b, GeneralConcept::Neg(b2)) => {
+                    s.neg.insert((b, b2));
+                    s.neg.insert((b2, b));
+                }
+                Axiom::ConceptIncl(b, GeneralConcept::QualExists(q, a)) => {
+                    s.qual.insert((b, q, a));
+                }
+                Axiom::RoleIncl(q, GeneralRole::Basic(q2)) => {
+                    s.role_pos.insert((q, q2));
+                }
+                Axiom::RoleIncl(q, GeneralRole::Neg(q2)) => {
+                    s.role_neg.insert((q, q2));
+                    s.role_neg.insert((q2, q));
+                    s.role_neg.insert((q.inverse(), q2.inverse()));
+                    s.role_neg.insert((q2.inverse(), q.inverse()));
+                }
+                Axiom::AttrIncl(u, w) => {
+                    s.attr_pos.insert((u, w));
+                }
+                Axiom::AttrNegIncl(u, w) => {
+                    s.attr_neg.insert((u, w));
+                    s.attr_neg.insert((w, u));
+                }
+            }
+        }
+
+        // Naive fixpoint: apply every rule, collect additions, repeat.
+        loop {
+            let mut new_pos: Vec<(BasicConcept, BasicConcept)> = Vec::new();
+            let mut new_qual: Vec<(BasicConcept, BasicRole, ConceptId)> = Vec::new();
+            let mut new_neg: Vec<(BasicConcept, BasicConcept)> = Vec::new();
+            let mut new_role_pos: Vec<(BasicRole, BasicRole)> = Vec::new();
+            let mut new_role_neg: Vec<(BasicRole, BasicRole)> = Vec::new();
+            let mut new_attr_pos: Vec<(AttributeId, AttributeId)> = Vec::new();
+            let mut new_attr_neg: Vec<(AttributeId, AttributeId)> = Vec::new();
+            let mut new_unsat_c: Vec<BasicConcept> = Vec::new();
+            let mut new_unsat_r: Vec<BasicRole> = Vec::new();
+            let mut new_unsat_a: Vec<AttributeId> = Vec::new();
+
+            // (T1) transitivity of Pos / RolePos / AttrPos.
+            for &(b1, b2) in &s.pos {
+                for &(c2, c3) in &s.pos {
+                    if b2 == c2 && !s.pos.contains(&(b1, c3)) {
+                        new_pos.push((b1, c3));
+                    }
+                }
+            }
+            for &(q1, q2) in &s.role_pos {
+                for &(r2, r3) in &s.role_pos {
+                    if q2 == r2 && !s.role_pos.contains(&(q1, r3)) {
+                        new_role_pos.push((q1, r3));
+                    }
+                }
+            }
+            for &(u1, u2) in &s.attr_pos {
+                for &(w2, w3) in &s.attr_pos {
+                    if u2 == w2 && !s.attr_pos.contains(&(u1, w3)) {
+                        new_attr_pos.push((u1, w3));
+                    }
+                }
+            }
+            // (T2) role inclusion consequences: inverses and existentials.
+            for &(q1, q2) in &s.role_pos {
+                let inv = (q1.inverse(), q2.inverse());
+                if !s.role_pos.contains(&inv) {
+                    new_role_pos.push(inv);
+                }
+                let e = (BasicConcept::Exists(q1), BasicConcept::Exists(q2));
+                if !s.pos.contains(&e) {
+                    new_pos.push(e);
+                }
+            }
+            // (T3) attribute inclusion propagates to domains.
+            for &(u1, u2) in &s.attr_pos {
+                let d = (BasicConcept::AttrDomain(u1), BasicConcept::AttrDomain(u2));
+                if !s.pos.contains(&d) {
+                    new_pos.push(d);
+                }
+            }
+            // (Q1) Qual weakens to the unqualified existential.
+            for &(b, q, _) in &s.qual {
+                let e = (b, BasicConcept::Exists(q));
+                if !s.pos.contains(&e) {
+                    new_pos.push(e);
+                }
+            }
+            // (Q2) Pos(B', B), Qual(B, Q, A) → Qual(B', Q, A).
+            for &(b1, b2) in &s.pos {
+                for &(qb, q, a) in &s.qual {
+                    if b2 == qb && !s.qual.contains(&(b1, q, a)) {
+                        new_qual.push((b1, q, a));
+                    }
+                }
+            }
+            // (Q3) Qual(B, Q, A), RolePos(Q, Q') → Qual(B, Q', A).
+            for &(b, q, a) in &s.qual {
+                for &(r1, r2) in &s.role_pos {
+                    if q == r1 && !s.qual.contains(&(b, r2, a)) {
+                        new_qual.push((b, r2, a));
+                    }
+                }
+            }
+            // (Q4) Qual(B, Q, A), Pos(A, A') with A' atomic → Qual(B, Q, A').
+            for &(b, q, a) in &s.qual {
+                for &(c1, c2) in &s.pos {
+                    if c1 == BasicConcept::Atomic(a) {
+                        if let BasicConcept::Atomic(a2) = c2 {
+                            if !s.qual.contains(&(b, q, a2)) {
+                                new_qual.push((b, q, a2));
+                            }
+                        }
+                    }
+                }
+            }
+            // (Q5) range forcing: Pos(B, ∃Q), Pos(∃Q⁻, A) atomic →
+            // Qual(B, Q, A).
+            for &(b, e) in &s.pos {
+                if let BasicConcept::Exists(q) = e {
+                    for &(r, a) in &s.pos {
+                        if r == BasicConcept::Exists(q.inverse()) {
+                            if let BasicConcept::Atomic(a) = a {
+                                if !s.qual.contains(&(b, q, a)) {
+                                    new_qual.push((b, q, a));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // (N1) Pos(B₁, B₂), Neg(B₂, B₃) → Neg(B₁, B₃) (+ symmetric
+            // closure below).
+            for &(b1, b2) in &s.pos {
+                for &(c2, c3) in &s.neg {
+                    if b2 == c2 && !s.neg.contains(&(b1, c3)) {
+                        new_neg.push((b1, c3));
+                        new_neg.push((c3, b1));
+                    }
+                }
+            }
+            for &(q1, q2) in &s.role_pos {
+                for &(r2, r3) in &s.role_neg {
+                    if q2 == r2 && !s.role_neg.contains(&(q1, r3)) {
+                        new_role_neg.push((q1, r3));
+                        new_role_neg.push((r3, q1));
+                    }
+                }
+            }
+            for &(u1, u2) in &s.attr_pos {
+                for &(w2, w3) in &s.attr_neg {
+                    if u2 == w2 && !s.attr_neg.contains(&(u1, w3)) {
+                        new_attr_neg.push((u1, w3));
+                        new_attr_neg.push((w3, u1));
+                    }
+                }
+            }
+            // (U1) self-disjointness is unsatisfiability.
+            for &(b1, b2) in &s.neg {
+                if b1 == b2 && !s.unsat_c.contains(&b1) {
+                    new_unsat_c.push(b1);
+                }
+            }
+            for &(q1, q2) in &s.role_neg {
+                if q1 == q2 && !s.unsat_r.contains(&q1) {
+                    new_unsat_r.push(q1);
+                }
+            }
+            for &(u1, u2) in &s.attr_neg {
+                if u1 == u2 && !s.unsat_a.contains(&u1) {
+                    new_unsat_a.push(u1);
+                }
+            }
+            // (U2) cluster propagation between roles/attributes and their
+            // existentials/domains.
+            for &q in &roles {
+                let role_unsat = s.unsat_r.contains(&q);
+                let exists_unsat = s.unsat_c.contains(&BasicConcept::Exists(q));
+                if role_unsat || exists_unsat || s.unsat_r.contains(&q.inverse()) {
+                    if !role_unsat {
+                        new_unsat_r.push(q);
+                    }
+                    if !exists_unsat {
+                        new_unsat_c.push(BasicConcept::Exists(q));
+                    }
+                }
+            }
+            for u in t.sig.attributes() {
+                let au = s.unsat_a.contains(&u);
+                let du = s.unsat_c.contains(&BasicConcept::AttrDomain(u));
+                if au != du {
+                    if !au {
+                        new_unsat_a.push(u);
+                    }
+                    if !du {
+                        new_unsat_c.push(BasicConcept::AttrDomain(u));
+                    }
+                }
+            }
+            // (U3) backward propagation.
+            for &(b1, b2) in &s.pos {
+                if s.unsat_c.contains(&b2) && !s.unsat_c.contains(&b1) {
+                    new_unsat_c.push(b1);
+                }
+            }
+            for &(q1, q2) in &s.role_pos {
+                if s.unsat_r.contains(&q2) && !s.unsat_r.contains(&q1) {
+                    new_unsat_r.push(q1);
+                }
+            }
+            for &(u1, u2) in &s.attr_pos {
+                if s.unsat_a.contains(&u2) && !s.unsat_a.contains(&u1) {
+                    new_unsat_a.push(u1);
+                }
+            }
+            // (U4) unsat filler or role empties the qualified existential.
+            for &(b, q, a) in &s.qual {
+                if (s.unsat_c.contains(&BasicConcept::Atomic(a)) || s.unsat_r.contains(&q))
+                    && !s.unsat_c.contains(&b)
+                {
+                    new_unsat_c.push(b);
+                }
+            }
+            // (U5) pair rule: the witness of B ⊑ ∃Q.A lies in A ⊓ ∃Q⁻,
+            // so derived disjointness between them empties B. `neg` is
+            // closed under Pos-composition and symmetry, so a single
+            // membership test covers every cross combination.
+            for &(b, q, a) in &s.qual {
+                let witness_pair = (
+                    BasicConcept::Atomic(a),
+                    BasicConcept::Exists(q.inverse()),
+                );
+                if s.neg.contains(&witness_pair) && !s.unsat_c.contains(&b) {
+                    new_unsat_c.push(b);
+                }
+            }
+
+            let mut changed = false;
+            for x in new_pos {
+                changed |= s.pos.insert(x);
+            }
+            for x in new_qual {
+                changed |= s.qual.insert(x);
+            }
+            for x in new_neg {
+                changed |= s.neg.insert(x);
+            }
+            for x in new_role_pos {
+                changed |= s.role_pos.insert(x);
+            }
+            for x in new_role_neg {
+                changed |= s.role_neg.insert(x);
+            }
+            for x in new_attr_pos {
+                changed |= s.attr_pos.insert(x);
+            }
+            for x in new_attr_neg {
+                changed |= s.attr_neg.insert(x);
+            }
+            for x in new_unsat_c {
+                changed |= s.unsat_c.insert(x);
+            }
+            for x in new_unsat_r {
+                changed |= s.unsat_r.insert(x);
+            }
+            for x in new_unsat_a {
+                changed |= s.unsat_a.insert(x);
+            }
+            if !changed {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Decides `T ⊨ α` from the saturated relations (same semantics as
+    /// `quonto::Implication`).
+    pub fn entails(&self, ax: &Axiom) -> bool {
+        match *ax {
+            Axiom::ConceptIncl(b1, GeneralConcept::Basic(b2)) => {
+                self.unsat_c.contains(&b1) || self.pos.contains(&(b1, b2))
+            }
+            Axiom::ConceptIncl(b1, GeneralConcept::Neg(b2)) => {
+                self.unsat_c.contains(&b1)
+                    || self.unsat_c.contains(&b2)
+                    || self.neg.contains(&(b1, b2))
+            }
+            Axiom::ConceptIncl(b1, GeneralConcept::QualExists(q, a)) => {
+                self.unsat_c.contains(&b1) || self.qual.contains(&(b1, q, a))
+            }
+            Axiom::RoleIncl(q1, GeneralRole::Basic(q2)) => {
+                self.unsat_r.contains(&q1) || self.role_pos.contains(&(q1, q2))
+            }
+            Axiom::RoleIncl(q1, GeneralRole::Neg(q2)) => {
+                self.unsat_r.contains(&q1)
+                    || self.unsat_r.contains(&q2)
+                    || self.role_neg.contains(&(q1, q2))
+            }
+            Axiom::AttrIncl(u, w) => {
+                self.unsat_a.contains(&u) || self.attr_pos.contains(&(u, w))
+            }
+            Axiom::AttrNegIncl(u, w) => {
+                self.unsat_a.contains(&u)
+                    || self.unsat_a.contains(&w)
+                    || self.attr_neg.contains(&(u, w))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::parse_tbox;
+
+    fn entails(src: &str, probe: &str) -> bool {
+        let t = parse_tbox(src).unwrap();
+        let decls: String = src
+            .lines()
+            .filter(|l| {
+                let l = l.trim_start();
+                l.starts_with("concept") || l.starts_with("role") || l.starts_with("attribute")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let probe_t = parse_tbox(&format!("{decls}\n{probe}")).unwrap();
+        Saturation::saturate(&t).entails(&probe_t.axioms()[0])
+    }
+
+    #[test]
+    fn transitivity() {
+        let src = "concept A B C\nA [= B\nB [= C";
+        assert!(entails(src, "A [= C"));
+        assert!(!entails(src, "C [= A"));
+        assert!(entails(src, "B [= B"));
+    }
+
+    #[test]
+    fn role_hierarchy_expands() {
+        let src = "concept A\nrole p r\np [= r\nA [= exists p";
+        assert!(entails(src, "A [= exists r"));
+        assert!(entails(src, "inv(p) [= inv(r)"));
+        assert!(entails(src, "exists inv(p) [= exists inv(r)"));
+    }
+
+    #[test]
+    fn qualified_rules() {
+        let src = "concept A B B2\nrole q r\nA [= exists q . B\nB [= B2\nq [= r";
+        assert!(entails(src, "A [= exists r . B2"));
+        assert!(!entails(src, "A [= exists inv(r) . B2"));
+    }
+
+    #[test]
+    fn range_forcing() {
+        let src = "concept A B\nrole q\nA [= exists q\nexists inv(q) [= B";
+        assert!(entails(src, "A [= exists q . B"));
+    }
+
+    #[test]
+    fn unsat_propagation() {
+        let src = "concept A B C D\nA [= B\nA [= C\nB [= not C\nD [= exists q . A\nrole q";
+        assert!(entails(src, "A [= not A"));
+        assert!(entails(src, "D [= not D")); // D ⊑ ∃q.A with A unsat
+        assert!(entails(src, "A [= D")); // unsat LHS entails anything
+    }
+
+    #[test]
+    fn role_disjointness() {
+        let src = "role p r s\ns [= p\ns [= r\np [= not r";
+        assert!(entails(src, "s [= not s"));
+        assert!(entails(src, "exists s [= not exists s"));
+        assert!(entails(src, "inv(s) [= not inv(s)"));
+    }
+
+    #[test]
+    fn attribute_rules() {
+        let src = "concept A\nattribute u w\nu [= w\ndomain(w) [= A";
+        assert!(entails(src, "domain(u) [= domain(w)"));
+        assert!(entails(src, "domain(u) [= A"));
+    }
+}

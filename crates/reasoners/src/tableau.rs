@@ -1,0 +1,772 @@
+//! An **ALCHI tableau reasoner** — the workspace's stand-in for the
+//! tableau systems of Figure 1 (FaCT++, HermiT, Pellet) and the oracle
+//! behind semantic approximation (Section 7).
+//!
+//! Supported logic: ALC class constructors (`¬ ⊓ ⊔ ∃ ∀`, `⊤ ⊥`) plus role
+//! hierarchies (H), inverse roles (I) and role disjointness. The decision
+//! procedure is the standard completion-graph tableau:
+//!
+//! * class expressions are interned in NNF;
+//! * axioms `A ⊑ D` with named left side are **absorbed** into a lazy
+//!   unfolding table; all remaining GCIs `C ⊑ D` are internalized as
+//!   `¬C ⊔ D` and added to every node;
+//! * the role hierarchy is pre-closed (reflexive-transitive,
+//!   inverse-closed);
+//! * `⊓` and `∀` fire deterministically, `⊔` branches (the search clones
+//!   the completion graph per disjunct), `∃` generates fresh children;
+//! * termination under inverse roles uses **ancestor pairwise (double)
+//!   blocking**: a node is blocked by an ancestor with an identical label
+//!   whose predecessor label and incoming role also match.
+//!
+//! Satisfiability is checked w.r.t. the ontology's class and
+//! object-property axioms; data-property axioms do not interact with the
+//! ALCHI part and are ignored here (the approximation pipeline treats
+//! them structurally).
+
+use std::collections::{HashMap, HashSet};
+
+use obda_dllite::{BasicRole, ConceptId};
+use obda_owl::{nnf, ClassExpr, Ontology, OwlAxiom};
+
+/// Interned, preprocessed knowledge base for the tableau.
+#[derive(Debug, Clone)]
+pub struct TableauKb {
+    exprs: Vec<ClassExpr>,
+    ids: HashMap<ClassExpr, u32>,
+    /// Lazy unfolding: per atomic concept, expression ids to add when the
+    /// concept enters a node label.
+    unfold: HashMap<ConceptId, Vec<u32>>,
+    /// Internalized GCIs added to every node.
+    gcis: Vec<u32>,
+    /// Role absorption: `∃R.⊤ ⊑ C` fires `C` at the source of every edge
+    /// whose role is subsumed by `R` (and at the target when the edge's
+    /// inverse is). This keeps QL-shaped ontologies GCI-free — without it
+    /// every domain/range axiom becomes a disjunction on every node and
+    /// the search degenerates (the same reason FaCT++-class reasoners
+    /// absorb these axioms).
+    domain_absorb: Vec<(BasicRole, u32)>,
+    /// Reflexive-transitive, inverse-closed role hierarchy.
+    role_supers: HashMap<BasicRole, Vec<BasicRole>>,
+    /// Asserted disjoint role pairs (inverse-expanded).
+    disjoint_roles: Vec<(BasicRole, BasicRole)>,
+    num_roles: u32,
+}
+
+impl TableauKb {
+    /// Preprocesses an ontology: normalization, absorption,
+    /// internalization and role-hierarchy closure.
+    pub fn new(onto: &Ontology) -> Self {
+        let mut kb = TableauKb {
+            exprs: Vec::new(),
+            ids: HashMap::new(),
+            unfold: HashMap::new(),
+            gcis: Vec::new(),
+            domain_absorb: Vec::new(),
+            role_supers: HashMap::new(),
+            disjoint_roles: Vec::new(),
+            num_roles: onto.sig.num_roles() as u32,
+        };
+        let mut role_edges: HashMap<BasicRole, Vec<BasicRole>> = HashMap::new();
+        for ax in onto.normalized_axioms() {
+            match ax {
+                OwlAxiom::SubClassOf(c, d) => match c {
+                    ClassExpr::Class(a) => {
+                        let id = kb.intern(nnf(&d));
+                        kb.unfold.entry(a).or_default().push(id);
+                    }
+                    ClassExpr::Thing => {
+                        let id = kb.intern(nnf(&d));
+                        kb.gcis.push(id);
+                    }
+                    ClassExpr::Nothing => {}
+                    // Role absorption: ∃R.⊤ ⊑ D.
+                    ClassExpr::Some(r, filler) if *filler == ClassExpr::Thing => {
+                        let id = kb.intern(nnf(&d));
+                        kb.domain_absorb.push((r, id));
+                    }
+                    other => {
+                        let gci = ClassExpr::or(ClassExpr::not(other), d);
+                        let id = kb.intern(nnf(&gci));
+                        kb.gcis.push(id);
+                    }
+                },
+                OwlAxiom::SubObjectPropertyOf(r, s) => {
+                    role_edges.entry(r).or_default().push(s);
+                    role_edges.entry(r.inverse()).or_default().push(s.inverse());
+                }
+                OwlAxiom::DisjointObjectProperties(r, s) => {
+                    kb.disjoint_roles.push((r, s));
+                    kb.disjoint_roles.push((r.inverse(), s.inverse()));
+                }
+                // Data-property axioms are outside ALCHI.
+                OwlAxiom::SubDataPropertyOf(_, _)
+                | OwlAxiom::DisjointDataProperties(_, _)
+                | OwlAxiom::DataPropertyDomain(_, _) => {}
+                other => unreachable!("normalize() left {other:?}"),
+            }
+        }
+        // Reflexive-transitive closure of the role hierarchy, per role.
+        let all_roles: Vec<BasicRole> = (0..kb.num_roles)
+            .flat_map(|p| {
+                [
+                    BasicRole::Direct(obda_dllite::RoleId(p)),
+                    BasicRole::Inverse(obda_dllite::RoleId(p)),
+                ]
+            })
+            .collect();
+        for &r in &all_roles {
+            let mut seen: HashSet<BasicRole> = HashSet::new();
+            let mut stack = vec![r];
+            while let Some(q) = stack.pop() {
+                if !seen.insert(q) {
+                    continue;
+                }
+                if let Some(next) = role_edges.get(&q) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+            let mut supers: Vec<BasicRole> = seen.into_iter().collect();
+            supers.sort_unstable();
+            kb.role_supers.insert(r, supers);
+        }
+        kb
+    }
+
+    fn intern(&mut self, c: ClassExpr) -> u32 {
+        if let Some(&id) = self.ids.get(&c) {
+            return id;
+        }
+        let id = self.exprs.len() as u32;
+        self.exprs.push(c.clone());
+        self.ids.insert(c, id);
+        id
+    }
+
+    /// Whether `sub ⊑* sup` in the closed role hierarchy.
+    pub fn role_subsumed(&self, sub: BasicRole, sup: BasicRole) -> bool {
+        sub == sup
+            || self
+                .role_supers
+                .get(&sub)
+                .is_some_and(|s| s.binary_search(&sup).is_ok())
+    }
+
+    /// All super-roles of `r` (reflexive).
+    pub fn role_supers(&self, r: BasicRole) -> &[BasicRole] {
+        self.role_supers
+            .get(&r)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether creating an edge labelled `q` clashes with role
+    /// disjointness.
+    fn edge_clashes(&self, q: BasicRole) -> bool {
+        self.disjoint_roles
+            .iter()
+            .any(|&(r, s)| self.role_subsumed(q, r) && self.role_subsumed(q, s))
+    }
+}
+
+/// One node of the completion graph.
+#[derive(Debug, Clone)]
+struct Node {
+    label: HashSet<u32>,
+    parent: Option<(u32, BasicRole)>,
+    children: Vec<(u32, BasicRole)>,
+    /// ∃-expression ids already expanded at this node.
+    expanded: HashSet<u32>,
+}
+
+/// The (cloneable) completion graph, with worklists so rules fire
+/// incrementally instead of rescanning every node per step.
+#[derive(Debug, Clone)]
+struct Graph {
+    nodes: Vec<Node>,
+    clash: bool,
+    /// Pending disjunctions `(node, Or-expression id)`.
+    todo_or: std::collections::VecDeque<(u32, u32)>,
+    /// Pending existential expansions `(node, Some-expression id)`.
+    todo_some: std::collections::VecDeque<(u32, u32)>,
+    /// Existential expansions deferred because their node was blocked;
+    /// retried when the graph quiesces (labels may have changed the
+    /// blocking relation by then).
+    parked: Vec<(u32, u32)>,
+}
+
+/// Deadline-based work budget shared across a classification run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Absolute deadline; `None` means unlimited.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl Budget {
+    /// Budget that expires `secs` seconds from now.
+    pub fn seconds(secs: u64) -> Self {
+        Budget {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(secs)),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn exhausted(&self) -> bool {
+        self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+    }
+}
+
+/// Error signalling that the [`Budget`] ran out mid-reasoning (the
+/// "timeout" rows of Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeout;
+
+impl std::fmt::Display for Timeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("reasoning budget exhausted")
+    }
+}
+
+impl std::error::Error for Timeout {}
+
+/// The tableau reasoner: satisfiability and subsumption over a
+/// preprocessed [`TableauKb`].
+#[derive(Debug, Clone)]
+pub struct Tableau<'kb> {
+    kb: &'kb TableauKb,
+    /// Scratch interner extension for query concepts (subsumption tests
+    /// intern `¬B` shapes not present in the ontology).
+    extra: HashMap<ClassExpr, u32>,
+    extra_exprs: Vec<ClassExpr>,
+}
+
+impl<'kb> Tableau<'kb> {
+    /// Creates a reasoner over a preprocessed KB.
+    pub fn new(kb: &'kb TableauKb) -> Self {
+        Tableau {
+            kb,
+            extra: HashMap::new(),
+            extra_exprs: Vec::new(),
+        }
+    }
+
+    fn expr(&self, id: u32) -> &ClassExpr {
+        let n = self.kb.exprs.len() as u32;
+        if id < n {
+            &self.kb.exprs[id as usize]
+        } else {
+            &self.extra_exprs[(id - n) as usize]
+        }
+    }
+
+    fn intern(&mut self, c: ClassExpr) -> u32 {
+        if let Some(&id) = self.kb.ids.get(&c) {
+            return id;
+        }
+        if let Some(&id) = self.extra.get(&c) {
+            return id;
+        }
+        let id = self.kb.exprs.len() as u32 + self.extra_exprs.len() as u32;
+        self.extra_exprs.push(c.clone());
+        self.extra.insert(c, id);
+        id
+    }
+
+    /// Whether the conjunction of `roots` is satisfiable w.r.t. the KB.
+    pub fn satisfiable(
+        &mut self,
+        roots: &[ClassExpr],
+        budget: Budget,
+    ) -> Result<bool, Timeout> {
+        let root_ids: Vec<u32> = roots.iter().map(|c| self.intern(nnf(c))).collect();
+        let mut g = Graph {
+            nodes: Vec::new(),
+            clash: false,
+            todo_or: std::collections::VecDeque::new(),
+            todo_some: std::collections::VecDeque::new(),
+            parked: Vec::new(),
+        };
+        let root = self.new_node(&mut g, None);
+        for id in root_ids {
+            self.add_concept(&mut g, root, id);
+        }
+        self.expand(&mut g, budget)
+    }
+
+    /// Whether `T ⊨ sub ⊑ sup` (tested as unsatisfiability of
+    /// `sub ⊓ ¬sup`).
+    pub fn subsumed(
+        &mut self,
+        sub: &ClassExpr,
+        sup: &ClassExpr,
+        budget: Budget,
+    ) -> Result<bool, Timeout> {
+        let probe = [sub.clone(), ClassExpr::not(sup.clone())];
+        Ok(!self.satisfiable(&probe, budget)?)
+    }
+
+    /// Whether the ontology entails the OWL axiom (class and
+    /// object-property axioms only).
+    pub fn entails(&mut self, ax: &OwlAxiom, budget: Budget) -> Result<bool, Timeout> {
+        for n in ax.normalize() {
+            let holds = match n {
+                OwlAxiom::SubClassOf(c, d) => self.subsumed(&c, &d, budget)?,
+                OwlAxiom::SubObjectPropertyOf(r, s) => {
+                    // ALCHI cannot derive new role inclusions beyond the
+                    // declared hierarchy (no role composition), except
+                    // vacuously when the subrole is globally empty, which
+                    // we detect by testing satisfiability of ∃r.⊤.
+                    self.kb.role_subsumed(r, s)
+                        || !self.satisfiable(&[ClassExpr::some_thing(r)], budget)?
+                }
+                OwlAxiom::DisjointObjectProperties(r, s) => {
+                    self.kb
+                        .disjoint_roles
+                        .iter()
+                        .any(|&(x, y)| {
+                            (self.kb.role_subsumed(r, x) && self.kb.role_subsumed(s, y))
+                                || (self.kb.role_subsumed(r, y) && self.kb.role_subsumed(s, x))
+                        })
+                        || !self.satisfiable(&[ClassExpr::some_thing(r)], budget)?
+                        || !self.satisfiable(&[ClassExpr::some_thing(s)], budget)?
+                }
+                // Data-property axioms are not decided by the tableau.
+                OwlAxiom::SubDataPropertyOf(_, _)
+                | OwlAxiom::DisjointDataProperties(_, _)
+                | OwlAxiom::DataPropertyDomain(_, _) => false,
+                other => unreachable!("normalize() left {other:?}"),
+            };
+            if !holds {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn new_node(&mut self, g: &mut Graph, parent: Option<(u32, BasicRole)>) -> u32 {
+        let id = g.nodes.len() as u32;
+        g.nodes.push(Node {
+            label: HashSet::new(),
+            parent,
+            children: Vec::new(),
+            expanded: HashSet::new(),
+        });
+        let gcis = self.kb.gcis.clone();
+        for gci in gcis {
+            self.add_concept(g, id, gci);
+        }
+        id
+    }
+
+    /// Adds a concept id to a node label, firing the incremental rules:
+    /// clash detection, lazy unfolding, eager domain absorption, `⊓`
+    /// decomposition, `∀` propagation to current neighbours, and queueing
+    /// of `⊔`/`∃` todos. Iterative (explicit worklist) to survive deep
+    /// unfold chains.
+    fn add_concept(&mut self, g: &mut Graph, node: u32, id: u32) {
+        let mut work: Vec<(u32, u32)> = vec![(node, id)];
+        while let Some((n, id)) = work.pop() {
+            if !g.nodes[n as usize].label.insert(id) {
+                continue;
+            }
+            // Cheap arms match by reference; And/All clone their payload
+            // because interning may grow the expression arena.
+            enum Payload {
+                None,
+                Unfold(ConceptId),
+                Absorb(BasicRole),
+                And(Vec<ClassExpr>),
+                All(BasicRole, ClassExpr),
+            }
+            let mut payload = Payload::None;
+            match self.expr(id) {
+                ClassExpr::Nothing => g.clash = true,
+                ClassExpr::Thing => {}
+                ClassExpr::Class(a) => {
+                    let a = *a;
+                    let neg = ClassExpr::not(ClassExpr::Class(a));
+                    if let Some(nid) = self.lookup(&neg) {
+                        if g.nodes[n as usize].label.contains(&nid) {
+                            g.clash = true;
+                        }
+                    }
+                    payload = Payload::Unfold(a);
+                }
+                ClassExpr::Not(inner) => {
+                    if let ClassExpr::Class(_) = inner.as_ref() {
+                        if let Some(pid) = self.lookup(inner) {
+                            if g.nodes[n as usize].label.contains(&pid) {
+                                g.clash = true;
+                            }
+                        }
+                    }
+                }
+                // Eager domain absorption: a node carrying ∃q.C will have
+                // a q-successor in every completion, so absorbed domain
+                // axioms ∃R.⊤ ⊑ D with q ⊑* R fire immediately. Firing
+                // here (not at edge creation) keeps the label stable
+                // before the node's first expansion — otherwise pairwise
+                // blocking never matches and chains descend forever.
+                ClassExpr::Some(q, _) => {
+                    g.todo_some.push_back((n, id));
+                    payload = Payload::Absorb(*q);
+                }
+                ClassExpr::Or(_) => {
+                    g.todo_or.push_back((n, id));
+                }
+                ClassExpr::And(cs) => payload = Payload::And(cs.clone()),
+                ClassExpr::All(r, inner) => payload = Payload::All(*r, (**inner).clone()),
+            }
+            match payload {
+                Payload::None => {}
+                Payload::Unfold(a) => {
+                    if let Some(unfold) = self.kb.unfold.get(&a) {
+                        work.extend(unfold.iter().map(|&u| (n, u)));
+                    }
+                }
+                Payload::Absorb(q) => {
+                    for &(abs_role, did) in &self.kb.domain_absorb {
+                        if self.kb.role_subsumed(q, abs_role) {
+                            work.push((n, did));
+                        }
+                    }
+                }
+                Payload::And(cs) => {
+                    for c in cs {
+                        let cid = self.intern(c);
+                        work.push((n, cid));
+                    }
+                }
+                Payload::All(r, inner) => {
+                    let cid = self.intern(inner);
+                    for nb in self.neighbours(g, n, r) {
+                        work.push((nb, cid));
+                    }
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, c: &ClassExpr) -> Option<u32> {
+        self.kb.ids.get(c).copied().or_else(|| self.extra.get(c).copied())
+    }
+
+    /// Neighbours of `node` reachable through a role subsumed by `r`:
+    /// children via `q ⊑* r` and the parent via `q⁻ ⊑* r`.
+    fn neighbours(&self, g: &Graph, node: u32, r: BasicRole) -> Vec<u32> {
+        let mut out = Vec::new();
+        let n = &g.nodes[node as usize];
+        for &(child, q) in &n.children {
+            if self.kb.role_subsumed(q, r) {
+                out.push(child);
+            }
+        }
+        if let Some((parent, q)) = n.parent {
+            if self.kb.role_subsumed(q.inverse(), r) {
+                out.push(parent);
+            }
+        }
+        out
+    }
+
+    /// Whether `node` is blocked: it or some ancestor is directly blocked.
+    fn is_blocked(&self, g: &Graph, node: u32) -> bool {
+        let mut cur = node;
+        loop {
+            if self.directly_blocked(g, cur) {
+                return true;
+            }
+            match g.nodes[cur as usize].parent {
+                Some((parent, _)) => cur = parent,
+                None => return false,
+            }
+        }
+    }
+
+    fn directly_blocked(&self, g: &Graph, y: u32) -> bool {
+        let Some((yp, yrole)) = g.nodes[y as usize].parent else {
+            return false;
+        };
+        // Anywhere pairwise blocking: any *older* node x (with a parent)
+        // whose label, parent label and incoming role all match blocks y.
+        // Equality blocking is transitive, so a blocked blocker is
+        // harmless: unraveling eventually lands on an unblocked witness
+        // with the same label.
+        for x in 0..y {
+            let Some((xp, xrole)) = g.nodes[x as usize].parent else {
+                continue;
+            };
+            if xrole == yrole
+                && g.nodes[x as usize].label == g.nodes[y as usize].label
+                && g.nodes[xp as usize].label == g.nodes[yp as usize].label
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Expands an existential `(node, ∃r.C id)` by creating the child
+    /// node, registering the edge first so `∀`-propagation sees it.
+    fn expand_some(&mut self, g: &mut Graph, node: u32, id: u32) {
+        let ClassExpr::Some(r, inner) = self.expr(id).clone() else {
+            unreachable!("todo_some held a non-existential");
+        };
+        g.nodes[node as usize].expanded.insert(id);
+        if self.kb.edge_clashes(r) {
+            g.clash = true;
+            return;
+        }
+        let child = g.nodes.len() as u32;
+        g.nodes.push(Node {
+            label: HashSet::new(),
+            parent: Some((node, r)),
+            children: Vec::new(),
+            expanded: HashSet::new(),
+        });
+        g.nodes[node as usize].children.push((child, r));
+        // Seed the child: GCIs, the filler, absorbed range axioms, and
+        // the parent's applicable universals.
+        let gcis = self.kb.gcis.clone();
+        for gci in gcis {
+            self.add_concept(g, child, gci);
+        }
+        let cid = self.intern((*inner).clone());
+        self.add_concept(g, child, cid);
+        for &(abs_role, did) in &self.kb.domain_absorb {
+            if self.kb.role_subsumed(r.inverse(), abs_role) {
+                self.add_concept(g, child, did);
+            }
+        }
+        let plabel: Vec<u32> = g.nodes[node as usize].label.iter().copied().collect();
+        for pid in plabel {
+            if let ClassExpr::All(r2, inner2) = self.expr(pid).clone() {
+                if self.kb.role_subsumed(r, r2) {
+                    let iid = self.intern((*inner2).clone());
+                    self.add_concept(g, child, iid);
+                }
+            }
+        }
+    }
+
+    /// Expands the graph to completion. Returns `Ok(true)` iff a clash-free
+    /// complete graph exists (satisfiable).
+    fn expand(&mut self, g: &mut Graph, budget: Budget) -> Result<bool, Timeout> {
+        loop {
+            if g.clash {
+                return Ok(false);
+            }
+            if budget.exhausted() {
+                return Err(Timeout);
+            }
+            // Disjunctions first (they branch; resolving them early keeps
+            // trials small).
+            if let Some((n, id)) = g.todo_or.pop_front() {
+                let ClassExpr::Or(cs) = self.expr(id).clone() else {
+                    unreachable!("todo_or held a non-disjunction");
+                };
+                let satisfied = cs.iter().any(|c| {
+                    self.lookup(c)
+                        .is_some_and(|cid| g.nodes[n as usize].label.contains(&cid))
+                });
+                if satisfied {
+                    continue;
+                }
+                for c in cs {
+                    let mut trial = g.clone();
+                    let cid = self.intern(c);
+                    self.add_concept(&mut trial, n, cid);
+                    if self.expand(&mut trial, budget)? {
+                        *g = trial;
+                        return Ok(true);
+                    }
+                }
+                return Ok(false);
+            }
+            // Existential expansions.
+            if let Some((n, id)) = g.todo_some.pop_front() {
+                if g.nodes[n as usize].expanded.contains(&id) {
+                    continue;
+                }
+                if self.is_blocked(g, n) {
+                    g.parked.push((n, id));
+                    continue;
+                }
+                self.expand_some(g, n, id);
+                continue;
+            }
+            // Quiescent: retry parked expansions whose blocks dissolved.
+            if !g.parked.is_empty() {
+                let parked = std::mem::take(&mut g.parked);
+                let mut moved = false;
+                for (n, id) in parked {
+                    if g.nodes[n as usize].expanded.contains(&id) {
+                        continue;
+                    }
+                    if self.is_blocked(g, n) {
+                        g.parked.push((n, id));
+                    } else {
+                        g.todo_some.push_back((n, id));
+                        moved = true;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+            }
+            return Ok(!g.clash);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_owl::parse_owl;
+
+    fn kb(src: &str) -> (Ontology, TableauKb) {
+        let o = parse_owl(src).unwrap();
+        let kb = TableauKb::new(&o);
+        (o, kb)
+    }
+
+    fn sub(src: &str, a: &str, b: &str) -> bool {
+        let (o, kb) = kb(src);
+        let mut t = Tableau::new(&kb);
+        let ca = ClassExpr::Class(o.sig.find_concept(a).unwrap());
+        let cb = ClassExpr::Class(o.sig.find_concept(b).unwrap());
+        t.subsumed(&ca, &cb, Budget::default()).unwrap()
+    }
+
+    fn sat(src: &str, c: &str) -> bool {
+        let (o, kb) = kb(src);
+        let mut t = Tableau::new(&kb);
+        let ca = ClassExpr::Class(o.sig.find_concept(c).unwrap());
+        t.satisfiable(&[ca], Budget::default()).unwrap()
+    }
+
+    #[test]
+    fn told_subsumption_chain() {
+        let src = "SubClassOf(A B)\nSubClassOf(B C)";
+        assert!(sub(src, "A", "C"));
+        assert!(!sub(src, "C", "A"));
+    }
+
+    #[test]
+    fn disjunction_reasoning() {
+        // A ⊑ B ⊔ C, B ⊑ D, C ⊑ D ⟹ A ⊑ D.
+        let src = "SubClassOf(A ObjectUnionOf(B C))\nSubClassOf(B D)\nSubClassOf(C D)";
+        assert!(sub(src, "A", "D"));
+        assert!(!sub(src, "A", "B"));
+    }
+
+    #[test]
+    fn unsatisfiable_concept() {
+        let src = "SubClassOf(A B)\nSubClassOf(A ObjectComplementOf(B))";
+        assert!(!sat(src, "A"));
+        assert!(sub(src, "A", "B")); // ⊥ subsumed by everything
+    }
+
+    #[test]
+    fn existential_universal_interplay() {
+        // A ⊑ ∃p.B, ∃p range forced: A ⊑ ∀p.C ⟹ A ⊑ ∃p.(B ⊓ C).
+        let src = "SubClassOf(A ObjectSomeValuesFrom(p B))\nSubClassOf(A ObjectAllValuesFrom(p C))\nSubClassOf(B ObjectComplementOf(C))";
+        assert!(!sat(src, "A"));
+    }
+
+    #[test]
+    fn inverse_role_propagation() {
+        // A ⊑ ∃p.B, B... child's ∀p⁻.C pushes C back to the parent.
+        let src = "SubClassOf(A ObjectSomeValuesFrom(p B))\n\
+                   SubClassOf(B ObjectAllValuesFrom(ObjectInverseOf(p) C))\n\
+                   SubClassOf(A ObjectComplementOf(C))";
+        assert!(!sat(src, "A"));
+    }
+
+    #[test]
+    fn role_hierarchy_universal() {
+        // p ⊑ r; A ⊑ ∃p.B ⊓ ∀r.¬B is inconsistent.
+        let src = "SubObjectPropertyOf(p r)\n\
+                   SubClassOf(A ObjectSomeValuesFrom(p B))\n\
+                   SubClassOf(A ObjectAllValuesFrom(r ObjectComplementOf(B)))";
+        assert!(!sat(src, "A"));
+    }
+
+    #[test]
+    fn cyclic_tbox_terminates_via_blocking() {
+        // A ⊑ ∃p.A: infinite canonical model; blocking must terminate.
+        let src = "SubClassOf(A ObjectSomeValuesFrom(p A))";
+        assert!(sat(src, "A"));
+    }
+
+    #[test]
+    fn cyclic_tbox_with_inverses_terminates() {
+        let src = "SubClassOf(A ObjectSomeValuesFrom(p A))\n\
+                   SubClassOf(A ObjectAllValuesFrom(ObjectInverseOf(p) A))";
+        assert!(sat(src, "A"));
+    }
+
+    #[test]
+    fn disjoint_roles_clash() {
+        let src = "DisjointObjectProperties(p r)\nSubObjectPropertyOf(q p)\nSubObjectPropertyOf(q r)\nSubClassOf(A ObjectSomeValuesFrom(q B))";
+        assert!(!sat(src, "A"));
+    }
+
+    #[test]
+    fn gci_with_complex_lhs() {
+        // ∃p.⊤ ⊑ C as a non-absorbable GCI.
+        let src = "SubClassOf(ObjectSomeValuesFrom(p owl:Thing) C)\nSubClassOf(A ObjectSomeValuesFrom(p B))\nSubClassOf(A ObjectComplementOf(C))";
+        assert!(!sat(src, "A"));
+    }
+
+    #[test]
+    fn entails_checks_axioms() {
+        let (o, kbv) = kb("SubClassOf(A B)\nSubObjectPropertyOf(p r)");
+        let mut t = Tableau::new(&kbv);
+        let a = o.sig.find_concept("A").unwrap();
+        let b = o.sig.find_concept("B").unwrap();
+        let p = o.sig.find_role("p").unwrap();
+        let r = o.sig.find_role("r").unwrap();
+        assert!(t
+            .entails(
+                &OwlAxiom::SubClassOf(ClassExpr::Class(a), ClassExpr::Class(b)),
+                Budget::default()
+            )
+            .unwrap());
+        assert!(t
+            .entails(
+                &OwlAxiom::SubObjectPropertyOf(
+                    BasicRole::Direct(p),
+                    BasicRole::Direct(r)
+                ),
+                Budget::default()
+            )
+            .unwrap());
+        assert!(!t
+            .entails(
+                &OwlAxiom::SubClassOf(ClassExpr::Class(b), ClassExpr::Class(a)),
+                Budget::default()
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn equivalence_via_union_split() {
+        // A ≡ B ⊔ C does not entail B ⊑ C, but entails B ⊑ A.
+        let src = "EquivalentClasses(A ObjectUnionOf(B C))";
+        assert!(sub(src, "B", "A"));
+        assert!(!sub(src, "B", "C"));
+        assert!(!sub(src, "A", "B"));
+    }
+
+    #[test]
+    fn budget_timeout_fires() {
+        // An already-expired budget should time out on a non-trivial test.
+        let (o, kbv) = kb("SubClassOf(A ObjectSomeValuesFrom(p A))");
+        let mut t = Tableau::new(&kbv);
+        let a = ClassExpr::Class(o.sig.find_concept("A").unwrap());
+        let expired = Budget {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+        };
+        assert_eq!(t.satisfiable(&[a], expired), Err(Timeout));
+    }
+}

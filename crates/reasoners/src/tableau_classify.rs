@@ -1,0 +1,445 @@
+//! Classification by repeated tableau subsumption tests — the strategy of
+//! the expressive-DL reasoners in Figure 1 — in three optimization
+//! profiles that stand in for the three systems:
+//!
+//! * [`TableauProfile::Naive`] ("Pellet-like" in our benchmark tables):
+//!   a satisfiability test per concept plus a subsumption test for every
+//!   ordered pair — `O(n²)` tableau runs;
+//! * [`TableauProfile::Told`] ("HermiT-like"): told subsumers (syntactic
+//!   reachability over axioms with named left sides) answer positives for
+//!   free; everything else still gets tested — `O(n²)` candidate pairs but
+//!   far fewer hard tests on told-rich ontologies;
+//! * [`TableauProfile::Enhanced`] ("FaCT++-like"): classic enhanced
+//!   traversal — each concept is inserted into the growing hierarchy with
+//!   a top search (find parents) and a bottom search (find children), so
+//!   tree-like hierarchies need `O(n·depth·branching)` tests.
+//!
+//! All three produce identical [`NamedClassification`]s (property-tested
+//! against each other and against `quonto` in the workspace integration
+//! suites); they differ only in how many tableau calls they burn, which is
+//! exactly the effect Figure 1 measures.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use obda_dllite::{ConceptId, RoleId};
+use obda_owl::{ClassExpr, Ontology, OwlAxiom};
+
+use crate::classification::NamedClassification;
+use crate::tableau::{Budget, Tableau, TableauKb, Timeout};
+
+/// Optimization profile for tableau classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableauProfile {
+    /// All-pairs subsumption testing.
+    Naive,
+    /// All pairs, told subsumptions answered without tests.
+    Told,
+    /// Enhanced traversal (top + bottom search insertion).
+    Enhanced,
+}
+
+impl TableauProfile {
+    /// Display name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            TableauProfile::Naive => "tableau-naive",
+            TableauProfile::Told => "tableau-told",
+            TableauProfile::Enhanced => "tableau-enhanced",
+        }
+    }
+}
+
+/// Told subsumers: reflexive-transitive closure of the syntactic
+/// `A ⊑ … B …` relation (named LHS, named conjuncts of the RHS).
+fn told_supers(onto: &Ontology) -> HashMap<ConceptId, HashSet<ConceptId>> {
+    let mut direct: HashMap<ConceptId, Vec<ConceptId>> = HashMap::new();
+    let add = |a: ConceptId, d: &ClassExpr, direct: &mut HashMap<ConceptId, Vec<ConceptId>>| {
+        // Named conjuncts of the superclass are told supers.
+        fn conjuncts(c: &ClassExpr, out: &mut Vec<ConceptId>) {
+            match c {
+                ClassExpr::Class(b) => out.push(*b),
+                ClassExpr::And(cs) => {
+                    for c in cs {
+                        conjuncts(c, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        conjuncts(d, &mut out);
+        direct.entry(a).or_default().extend(out);
+    };
+    for ax in onto.normalized_axioms() {
+        if let OwlAxiom::SubClassOf(ClassExpr::Class(a), d) = ax {
+            add(a, &d, &mut direct);
+        }
+    }
+    // Transitive closure per concept (told graphs are small and shallow).
+    let mut out: HashMap<ConceptId, HashSet<ConceptId>> = HashMap::new();
+    for &a in direct.keys() {
+        let mut seen: HashSet<ConceptId> = HashSet::new();
+        let mut stack = direct.get(&a).cloned().unwrap_or_default();
+        while let Some(b) = stack.pop() {
+            if seen.insert(b) {
+                if let Some(next) = direct.get(&b) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        out.insert(a, seen);
+    }
+    out
+}
+
+/// Classifies all named concepts and roles of `onto` with the given
+/// profile and budget. Returns [`Timeout`] if the budget expires — the
+/// "timeout" entries of Figure 1.
+pub fn classify_tableau(
+    onto: &Ontology,
+    profile: TableauProfile,
+    budget: Budget,
+) -> Result<NamedClassification, Timeout> {
+    let kb = TableauKb::new(onto);
+    let mut tab = Tableau::new(&kb);
+    let concepts: Vec<ConceptId> = onto.sig.concepts().collect();
+
+    // Phase 1: concept satisfiability.
+    let mut unsat: BTreeSet<ConceptId> = BTreeSet::new();
+    for &a in &concepts {
+        if budget.exhausted() {
+            return Err(Timeout);
+        }
+        if !tab.satisfiable(&[ClassExpr::Class(a)], budget)? {
+            unsat.insert(a);
+        }
+    }
+    let sat_concepts: Vec<ConceptId> = concepts
+        .iter()
+        .copied()
+        .filter(|a| !unsat.contains(a))
+        .collect();
+
+    // Phase 2: concept subsumption pairs.
+    let mut pairs: BTreeSet<(ConceptId, ConceptId)> = BTreeSet::new();
+    match profile {
+        TableauProfile::Naive => {
+            for &a in &sat_concepts {
+                for &b in &sat_concepts {
+                    if a == b {
+                        continue;
+                    }
+                    if tab.subsumed(&ClassExpr::Class(a), &ClassExpr::Class(b), budget)? {
+                        pairs.insert((a, b));
+                    }
+                }
+            }
+        }
+        TableauProfile::Told => {
+            let told = told_supers(onto);
+            for &a in &sat_concepts {
+                let told_a = told.get(&a);
+                for &b in &sat_concepts {
+                    if a == b {
+                        continue;
+                    }
+                    let told = told_a.is_some_and(|s| s.contains(&b));
+                    if told
+                        || tab.subsumed(&ClassExpr::Class(a), &ClassExpr::Class(b), budget)?
+                    {
+                        pairs.insert((a, b));
+                    }
+                }
+            }
+        }
+        TableauProfile::Enhanced => {
+            pairs = enhanced_traversal(&mut tab, &sat_concepts, budget)?;
+        }
+    }
+
+    // Phase 3: property hierarchy. ALCHI derives no role inclusions
+    // beyond the declared hierarchy (modulo empty roles), so this is the
+    // closed told hierarchy — what the real tableau systems report too.
+    let mut role_pairs: BTreeSet<(RoleId, RoleId)> = BTreeSet::new();
+    let mut unsat_roles: BTreeSet<RoleId> = BTreeSet::new();
+    for p in onto.sig.roles() {
+        if budget.exhausted() {
+            return Err(Timeout);
+        }
+        let dp = obda_dllite::BasicRole::Direct(p);
+        if !tab.satisfiable(&[ClassExpr::some_thing(dp)], budget)? {
+            unsat_roles.insert(p);
+            continue;
+        }
+        for sup in kb.role_supers(dp) {
+            if let obda_dllite::BasicRole::Direct(r) = sup {
+                if *r != p {
+                    role_pairs.insert((p, *r));
+                }
+            }
+        }
+    }
+
+    Ok(NamedClassification {
+        concept_pairs: pairs,
+        role_pairs: Some(role_pairs),
+        unsat_concepts: unsat,
+        unsat_roles,
+    })
+}
+
+/// Enhanced traversal over satisfiable concepts. Maintains the hierarchy
+/// as `parents: concept → direct parents` among already-inserted
+/// concepts, plus equivalence-class merging.
+fn enhanced_traversal(
+    tab: &mut Tableau<'_>,
+    concepts: &[ConceptId],
+    budget: Budget,
+) -> Result<BTreeSet<(ConceptId, ConceptId)>, Timeout> {
+    // canonical[i] = representative of i's equivalence class.
+    let mut canonical: HashMap<ConceptId, ConceptId> = HashMap::new();
+    let mut equivs: HashMap<ConceptId, Vec<ConceptId>> = HashMap::new();
+    // DAG over representatives.
+    let mut parents: HashMap<ConceptId, BTreeSet<ConceptId>> = HashMap::new();
+    let mut children: HashMap<ConceptId, BTreeSet<ConceptId>> = HashMap::new();
+    let mut roots: BTreeSet<ConceptId> = BTreeSet::new(); // reps with no parents
+    let mut leaves: BTreeSet<ConceptId> = BTreeSet::new(); // reps with no children
+    let mut inserted: Vec<ConceptId> = Vec::new();
+
+    let test = |tab: &mut Tableau<'_>, a: ConceptId, b: ConceptId| -> Result<bool, Timeout> {
+        tab.subsumed(&ClassExpr::Class(a), &ClassExpr::Class(b), budget)
+    };
+
+    for &a in concepts {
+        if budget.exhausted() {
+            return Err(Timeout);
+        }
+        // Top search: find the deepest inserted reps that subsume `a`.
+        let mut found_parents: BTreeSet<ConceptId> = BTreeSet::new();
+        {
+            // BFS from roots, descending only into subsumers.
+            let mut frontier: Vec<ConceptId> = Vec::new();
+            let mut positive: HashSet<ConceptId> = HashSet::new();
+            for &r in &roots {
+                if test(tab, a, r)? {
+                    positive.insert(r);
+                    frontier.push(r);
+                }
+            }
+            while let Some(x) = frontier.pop() {
+                let mut deeper = false;
+                if let Some(cs) = children.get(&x) {
+                    for &c in cs.clone().iter() {
+                        if positive.contains(&c) {
+                            deeper = true;
+                            continue;
+                        }
+                        if test(tab, a, c)? {
+                            positive.insert(c);
+                            frontier.push(c);
+                            deeper = true;
+                        }
+                    }
+                }
+                if !deeper {
+                    found_parents.insert(x);
+                }
+            }
+        }
+        // Equivalence check: a parent that is also subsumed by `a` merges.
+        let mut merged: Option<ConceptId> = None;
+        for &p in &found_parents {
+            if test(tab, p, a)? {
+                merged = Some(p);
+                break;
+            }
+        }
+        if let Some(rep) = merged {
+            canonical.insert(a, rep);
+            equivs.entry(rep).or_default().push(a);
+            inserted.push(a);
+            continue;
+        }
+        // Bottom search: among inserted reps, find the shallowest ones
+        // subsumed by `a` (children of `a`). Search upward from leaves.
+        let mut found_children: BTreeSet<ConceptId> = BTreeSet::new();
+        {
+            let mut frontier: Vec<ConceptId> = Vec::new();
+            let mut positive: HashSet<ConceptId> = HashSet::new();
+            for &l in &leaves {
+                if test(tab, l, a)? {
+                    positive.insert(l);
+                    frontier.push(l);
+                }
+            }
+            while let Some(x) = frontier.pop() {
+                let mut higher = false;
+                if let Some(ps) = parents.get(&x) {
+                    for &p in ps.clone().iter() {
+                        if positive.contains(&p) {
+                            higher = true;
+                            continue;
+                        }
+                        if test(tab, p, a)? {
+                            positive.insert(p);
+                            frontier.push(p);
+                            higher = true;
+                        }
+                    }
+                }
+                if !higher {
+                    found_children.insert(x);
+                }
+            }
+        }
+        // Link `a` into the DAG.
+        canonical.insert(a, a);
+        parents.insert(a, found_parents.clone());
+        children.insert(a, found_children.clone());
+        for &p in &found_parents {
+            children.entry(p).or_default().insert(a);
+            leaves.remove(&p);
+        }
+        for &c in &found_children {
+            parents.entry(c).or_default().insert(a);
+            roots.remove(&c);
+        }
+        if found_parents.is_empty() {
+            roots.insert(a);
+        }
+        if found_children.is_empty() {
+            leaves.insert(a);
+        }
+        inserted.push(a);
+    }
+
+    // Materialize pairs: reachability over the DAG, expanded through
+    // equivalence classes.
+    let mut pairs: BTreeSet<(ConceptId, ConceptId)> = BTreeSet::new();
+    let members = |rep: ConceptId| -> Vec<ConceptId> {
+        let mut m = vec![rep];
+        if let Some(eq) = equivs.get(&rep) {
+            m.extend(eq.iter().copied());
+        }
+        m
+    };
+    let reps: Vec<ConceptId> = inserted
+        .iter()
+        .copied()
+        .filter(|c| canonical.get(c) == Some(c))
+        .collect();
+    for &rep in &reps {
+        // Ancestors of rep by DFS over parents.
+        let mut ancestors: HashSet<ConceptId> = HashSet::new();
+        let mut stack: Vec<ConceptId> = parents
+            .get(&rep)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        while let Some(p) = stack.pop() {
+            if ancestors.insert(p) {
+                if let Some(ps) = parents.get(&p) {
+                    stack.extend(ps.iter().copied());
+                }
+            }
+        }
+        let subs = members(rep);
+        // Equivalence members subsume each other.
+        for &x in &subs {
+            for &y in &subs {
+                if x != y {
+                    pairs.insert((x, y));
+                }
+            }
+        }
+        for &anc in &ancestors {
+            for &x in &subs {
+                for &y in members(anc).iter() {
+                    pairs.insert((x, y));
+                }
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_owl::parse_owl;
+
+    fn classify(src: &str, profile: TableauProfile) -> (Ontology, NamedClassification) {
+        let o = parse_owl(src).unwrap();
+        let c = classify_tableau(&o, profile, Budget::default()).unwrap();
+        (o, c)
+    }
+
+    const SRC: &str = "SubClassOf(A B)\nSubClassOf(B C)\nSubClassOf(D ObjectUnionOf(A B))\nEquivalentClasses(E C)\nSubClassOf(F A)\nSubClassOf(F ObjectComplementOf(A))\nSubObjectPropertyOf(p r)";
+
+    #[test]
+    fn all_profiles_agree() {
+        let (_, naive) = classify(SRC, TableauProfile::Naive);
+        let (_, told) = classify(SRC, TableauProfile::Told);
+        let (_, enhanced) = classify(SRC, TableauProfile::Enhanced);
+        assert_eq!(naive, told);
+        assert_eq!(naive, enhanced);
+    }
+
+    #[test]
+    fn expected_subsumptions_present() {
+        let (o, c) = classify(SRC, TableauProfile::Naive);
+        let id = |n: &str| o.sig.find_concept(n).unwrap();
+        assert!(c.concept_pairs.contains(&(id("A"), id("C"))));
+        assert!(c.concept_pairs.contains(&(id("D"), id("B")))); // D ⊑ A⊔B ⊑ B
+        assert!(c.concept_pairs.contains(&(id("E"), id("C"))));
+        assert!(c.concept_pairs.contains(&(id("C"), id("E"))));
+        assert!(c.unsat_concepts.contains(&id("F")));
+        // Unsat concepts are excluded from pairs.
+        assert!(!c.concept_pairs.iter().any(|&(x, _)| x == id("F")));
+        let roles = c.role_pairs.as_ref().unwrap();
+        let p = o.sig.find_role("p").unwrap();
+        let r = o.sig.find_role("r").unwrap();
+        assert!(roles.contains(&(p, r)));
+    }
+
+    #[test]
+    fn union_subsumption_needs_real_reasoning() {
+        // D ⊑ A ⊔ B does not give D ⊑ A; but with A ⊑ B it gives D ⊑ B.
+        let (o, c) = classify(
+            "SubClassOf(D ObjectUnionOf(A B))\nSubClassOf(A B)",
+            TableauProfile::Enhanced,
+        );
+        let id = |n: &str| o.sig.find_concept(n).unwrap();
+        assert!(c.concept_pairs.contains(&(id("D"), id("B"))));
+        assert!(!c.concept_pairs.contains(&(id("D"), id("A"))));
+    }
+
+    #[test]
+    fn enhanced_handles_equivalence_cycles() {
+        let (o, c) = classify(
+            "EquivalentClasses(A B)\nEquivalentClasses(B C)\nSubClassOf(C D)",
+            TableauProfile::Enhanced,
+        );
+        let id = |n: &str| o.sig.find_concept(n).unwrap();
+        for x in ["A", "B", "C"] {
+            for y in ["A", "B", "C", "D"] {
+                if x != y {
+                    assert!(
+                        c.concept_pairs.contains(&(id(x), id(y))),
+                        "{x} ⊑ {y} missing"
+                    );
+                }
+            }
+        }
+        assert!(!c.concept_pairs.contains(&(id("D"), id("A"))));
+    }
+
+    #[test]
+    fn disjointness_makes_roles_unsat() {
+        let (o, c) = classify(
+            "DisjointObjectProperties(p p)\nSubObjectPropertyOf(p r)",
+            TableauProfile::Naive,
+        );
+        let p = o.sig.find_role("p").unwrap();
+        assert!(c.unsat_roles.contains(&p));
+    }
+}

@@ -1,0 +1,229 @@
+//! The [`Database`]: catalog plus the statement entry points.
+
+use std::collections::HashMap;
+
+use crate::error::SqlError;
+use crate::exec::{execute, ResultSet};
+use crate::plan::plan_query;
+use crate::sql::ast::Statement;
+use crate::sql::parser::parse_statement;
+use crate::table::{Column, Table};
+use crate::value::{ColumnType, Row};
+
+/// An in-memory database: named tables plus SQL entry points.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, SqlError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| SqlError::new(format!("no such table `{name}`")))
+    }
+
+    /// Creates a table programmatically.
+    pub fn create_table(&mut self, name: &str, columns: Vec<(String, ColumnType)>) -> Result<(), SqlError> {
+        if self.tables.contains_key(name) {
+            return Err(SqlError::new(format!("table `{name}` already exists")));
+        }
+        let cols = columns
+            .into_iter()
+            .map(|(name, ty)| Column { name, ty })
+            .collect();
+        self.tables.insert(name.to_owned(), Table::new(name, cols));
+        Ok(())
+    }
+
+    /// Inserts a row programmatically.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<(), SqlError> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| SqlError::new(format!("no such table `{table}`")))?
+            .insert(row)
+    }
+
+    /// Builds a hash index on `table.column`.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), SqlError> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| SqlError::new(format!("no such table `{table}`")))?
+            .create_index(column)
+    }
+
+    /// Executes any statement. DDL/DML return an empty result set.
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
+        match parse_statement(sql)? {
+            Statement::CreateTable { name, columns } => {
+                self.create_table(&name, columns)?;
+                Ok(ResultSet {
+                    columns: vec![],
+                    rows: vec![],
+                })
+            }
+            Statement::Insert { table, rows } => {
+                for row in rows {
+                    self.insert(&table, row)?;
+                }
+                Ok(ResultSet {
+                    columns: vec![],
+                    rows: vec![],
+                })
+            }
+            Statement::Select(q) => {
+                let planned = plan_query(self, &q)?;
+                execute(self, &planned)
+            }
+        }
+    }
+
+    /// Executes a read-only SELECT.
+    pub fn query(&self, sql: &str) -> Result<ResultSet, SqlError> {
+        match parse_statement(sql)? {
+            Statement::Select(q) => {
+                let planned = plan_query(self, &q)?;
+                execute(self, &planned)
+            }
+            other => Err(SqlError::new(format!("expected SELECT, got {other:?}"))),
+        }
+    }
+
+    /// Names of all tables (sorted).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SqlValue;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE person (id INT, name TEXT, dept INT)")
+            .unwrap();
+        db.execute("CREATE TABLE dept (did INT, dname TEXT)").unwrap();
+        db.execute(
+            "INSERT INTO person VALUES (1, 'ada', 10), (2, 'bob', 10), (3, 'eve', 20), (4, NULL, NULL)",
+        )
+        .unwrap();
+        db.execute("INSERT INTO dept VALUES (10, 'cs'), (20, 'math'), (30, 'empty')")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let db = db();
+        let r = db.query("SELECT name FROM person WHERE id >= 2").unwrap();
+        assert_eq!(r.columns, vec!["name"]);
+        // id 4 has NULL name but matches the filter.
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn join_matches_pairs() {
+        let db = db();
+        let r = db
+            .query("SELECT p.name, d.dname FROM person p JOIN dept d ON p.dept = d.did ORDER BY name")
+            .unwrap();
+        // NULL dept never joins.
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], SqlValue::Text("ada".into()));
+        assert_eq!(r.rows[0][1], SqlValue::Text("cs".into()));
+    }
+
+    #[test]
+    fn union_dedups_union_all_keeps() {
+        let db = db();
+        let r = db
+            .query("SELECT dept FROM person WHERE dept = 10 UNION SELECT dept FROM person WHERE dept = 10")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let r2 = db
+            .query("SELECT dept FROM person WHERE dept = 10 UNION ALL SELECT dept FROM person WHERE dept = 10")
+            .unwrap();
+        assert_eq!(r2.rows.len(), 4);
+    }
+
+    #[test]
+    fn distinct_order_limit() {
+        let db = db();
+        let r = db
+            .query("SELECT DISTINCT dept FROM person WHERE dept >= 0 ORDER BY dept DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![SqlValue::Int(20)]]);
+    }
+
+    #[test]
+    fn index_path_agrees_with_scan() {
+        let mut db = db();
+        let plain = db.query("SELECT name FROM person WHERE id = 2").unwrap();
+        db.create_index("person", "id").unwrap();
+        let indexed = db.query("SELECT name FROM person WHERE id = 2").unwrap();
+        assert_eq!(plain, indexed);
+        assert_eq!(indexed.rows.len(), 1);
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let db = db();
+        let r = db
+            .query("SELECT a.name, b.name FROM person a JOIN person b ON a.dept = b.dept WHERE a.id <> b.id")
+            .unwrap();
+        // ada-bob and bob-ada share dept 10.
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let db = db();
+        assert!(db.query("SELECT nope FROM person").is_err());
+        assert!(db.query("SELECT id FROM missing").is_err());
+        assert!(db
+            .query("SELECT id FROM person UNION SELECT id, name FROM person")
+            .is_err());
+        let mut db2 = db.clone();
+        assert!(db2.execute("CREATE TABLE person (id INT)").is_err());
+    }
+
+    #[test]
+    fn three_way_join() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE a (x INT)").unwrap();
+        db.execute("CREATE TABLE b (x INT, y INT)").unwrap();
+        db.execute("CREATE TABLE c (y INT)").unwrap();
+        db.execute("INSERT INTO a VALUES (1), (2)").unwrap();
+        db.execute("INSERT INTO b VALUES (1, 7), (2, 8), (1, 8)").unwrap();
+        db.execute("INSERT INTO c VALUES (8)").unwrap();
+        let r = db
+            .query("SELECT a.x, c.y FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y ORDER BY x")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![SqlValue::Int(1), SqlValue::Int(8)],
+                vec![SqlValue::Int(2), SqlValue::Int(8)],
+            ]
+        );
+    }
+
+    #[test]
+    fn to_table_renders() {
+        let db = db();
+        let r = db.query("SELECT id FROM person WHERE id = 1").unwrap();
+        let s = r.to_table();
+        assert!(s.contains("id"));
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,143 @@
+//! Minimal CSV ingestion (RFC-4180-ish: quoted fields with `""` escapes,
+//! comma separator, first line = header). Real deployments load source
+//! extracts from files; this keeps the engine self-contained without an
+//! external CSV crate.
+
+use crate::catalog::Database;
+use crate::error::SqlError;
+use crate::value::{ColumnType, SqlValue};
+
+/// Parses one CSV line into fields.
+fn split_line(line: &str) -> Result<Vec<String>, SqlError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            '"' => return Err(SqlError::new("stray quote inside unquoted field")),
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(SqlError::new("unterminated quoted field"));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Loads CSV text into a (new) table. Column types are inferred from the
+/// first data row: fields that parse as `i64` become INT, everything else
+/// TEXT; empty fields load as NULL.
+pub fn load_csv(db: &mut Database, table: &str, csv: &str) -> Result<usize, SqlError> {
+    let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| SqlError::new("empty CSV: missing header"))?;
+    let columns = split_line(header)?;
+    let rows: Vec<Vec<String>> = lines.map(split_line).collect::<Result<_, _>>()?;
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != columns.len() {
+            return Err(SqlError::new(format!(
+                "row {}: {} fields, header has {}",
+                i + 2,
+                r.len(),
+                columns.len()
+            )));
+        }
+    }
+    // Infer types from the first data row (INT only if *every* non-empty
+    // value in the column parses, so mixed columns degrade to TEXT).
+    let types: Vec<ColumnType> = (0..columns.len())
+        .map(|c| {
+            let all_int = rows
+                .iter()
+                .filter(|r| !r[c].is_empty())
+                .all(|r| r[c].parse::<i64>().is_ok());
+            let any_value = rows.iter().any(|r| !r[c].is_empty());
+            if all_int && any_value {
+                ColumnType::Int
+            } else {
+                ColumnType::Text
+            }
+        })
+        .collect();
+    db.create_table(
+        table,
+        columns
+            .iter()
+            .cloned()
+            .zip(types.iter().copied())
+            .collect(),
+    )?;
+    for row in &rows {
+        let values = row
+            .iter()
+            .zip(&types)
+            .map(|(field, ty)| {
+                if field.is_empty() {
+                    SqlValue::Null
+                } else {
+                    match ty {
+                        ColumnType::Int => SqlValue::Int(field.parse().expect("inferred INT")),
+                        ColumnType::Text => SqlValue::Text(field.clone()),
+                    }
+                }
+            })
+            .collect();
+        db.insert(table, values)?;
+    }
+    Ok(rows.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_typed_columns_and_nulls() {
+        let mut db = Database::new();
+        let n = load_csv(
+            &mut db,
+            "people",
+            "id,name,age\n1,ada,36\n2,\"bob, the builder\",\n3,\"say \"\"hi\"\"\",41\n",
+        )
+        .unwrap();
+        assert_eq!(n, 3);
+        let r = db.query("SELECT name FROM people WHERE id = 2").unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Text("bob, the builder".into()));
+        let r2 = db.query("SELECT name FROM people WHERE age = 41").unwrap();
+        assert_eq!(r2.rows[0][0], SqlValue::Text("say \"hi\"".into()));
+        // Empty age is NULL: never matches comparisons.
+        let r3 = db.query("SELECT id FROM people WHERE age >= 0").unwrap();
+        assert_eq!(r3.rows.len(), 2);
+    }
+
+    #[test]
+    fn mixed_columns_degrade_to_text() {
+        let mut db = Database::new();
+        load_csv(&mut db, "t", "k\n1\nx\n").unwrap();
+        let r = db.query("SELECT k FROM t WHERE k = 'x'").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn rejects_ragged_rows_and_bad_quotes() {
+        let mut db = Database::new();
+        assert!(load_csv(&mut db, "a", "x,y\n1\n").is_err());
+        assert!(load_csv(&mut db, "b", "x\n\"unterminated\n").is_err());
+        assert!(load_csv(&mut db, "c", "").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Error type shared by the SQL engine.
+
+use std::fmt;
+
+/// Any parse/plan/execution error, with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    message: String,
+}
+
+impl SqlError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        SqlError {
+            message: message.into(),
+        }
+    }
+
+    /// The message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,187 @@
+//! Plan execution.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::catalog::Database;
+use crate::error::SqlError;
+use crate::plan::{Plan, PlannedQuery};
+use crate::value::{Row, SqlValue};
+
+/// Rows plus output column names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Renders a compact ASCII table (for examples and reports).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &rendered {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Executes a planned query.
+pub fn execute(db: &Database, pq: &PlannedQuery) -> Result<ResultSet, SqlError> {
+    Ok(ResultSet {
+        columns: pq.columns.clone(),
+        rows: run(db, &pq.plan)?,
+    })
+}
+
+fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>, SqlError> {
+    match plan {
+        Plan::Scan {
+            table,
+            pushed,
+            index_eq,
+            arity: _,
+        } => {
+            let t = db.table(table)?;
+            let rows: Box<dyn Iterator<Item = &Row>> = match index_eq {
+                Some((col, value)) => match t.index_lookup(*col, value) {
+                    Some(ids) => Box::new(ids.iter().map(move |&id| t.row(id))),
+                    None => Box::new(t.rows().iter()),
+                },
+                None => Box::new(t.rows().iter()),
+            };
+            Ok(rows
+                .filter(|r| pushed.iter().all(|p| p.eval(r)))
+                .cloned()
+                .collect())
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let left_rows = run(db, left)?;
+            let right_rows = run(db, right)?;
+            let mut out = Vec::new();
+            if left_keys.is_empty() {
+                // Cross join (rare; only from joins without equi-keys).
+                for l in &left_rows {
+                    for r in &right_rows {
+                        let mut row = l.clone();
+                        row.extend(r.iter().cloned());
+                        if residual.iter().all(|p| p.eval(&row)) {
+                            out.push(row);
+                        }
+                    }
+                }
+                return Ok(out);
+            }
+            // Build on the right side.
+            let mut table: HashMap<Vec<SqlValue>, Vec<&Row>> =
+                HashMap::with_capacity(right_rows.len());
+            'build: for r in &right_rows {
+                let mut key = Vec::with_capacity(right_keys.len());
+                for &k in right_keys {
+                    if r[k].is_null() {
+                        continue 'build; // NULL never joins
+                    }
+                    key.push(r[k].clone());
+                }
+                table.entry(key).or_default().push(r);
+            }
+            'probe: for l in &left_rows {
+                let mut key = Vec::with_capacity(left_keys.len());
+                for &k in left_keys {
+                    if l[k].is_null() {
+                        continue 'probe;
+                    }
+                    key.push(l[k].clone());
+                }
+                if let Some(matches) = table.get(&key) {
+                    for r in matches {
+                        let mut row = l.clone();
+                        row.extend(r.iter().cloned());
+                        if residual.iter().all(|p| p.eval(&row)) {
+                            out.push(row);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Plan::Filter { input, predicates } => {
+            let mut rows = run(db, input)?;
+            rows.retain(|r| predicates.iter().all(|p| p.eval(r)));
+            Ok(rows)
+        }
+        Plan::Project { input, cols } => {
+            let rows = run(db, input)?;
+            Ok(rows
+                .into_iter()
+                .map(|r| cols.iter().map(|&i| r[i].clone()).collect())
+                .collect())
+        }
+        Plan::Distinct { input } => {
+            let rows = run(db, input)?;
+            let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
+            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+        }
+        Plan::Union { inputs, all } => {
+            let mut out = Vec::new();
+            for p in inputs {
+                out.extend(run(db, p)?);
+            }
+            if !all {
+                let mut seen: HashSet<Row> = HashSet::with_capacity(out.len());
+                out.retain(|r| seen.insert(r.clone()));
+            }
+            Ok(out)
+        }
+        Plan::Sort { input, keys } => {
+            let mut rows = run(db, input)?;
+            rows.sort_by(|a, b| {
+                for &(pos, asc) in keys {
+                    let ord = a[pos].cmp(&b[pos]);
+                    let ord = if asc { ord } else { ord.reverse() };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+        Plan::Limit { input, n } => {
+            let mut rows = run(db, input)?;
+            rows.truncate(*n);
+            Ok(rows)
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # obda-sqlstore
+//!
+//! A small in-memory relational engine — the data-source substrate under
+//! the OBDA stack. OBDA reduces ontology queries to SQL over the sources
+//! (Section 7 of the paper: "directly translatable into SQL"); this crate
+//! is the engine those translations run on.
+//!
+//! Features: typed tables with hash indexes, a SQL subset (CREATE TABLE /
+//! INSERT / SELECT with joins, WHERE conjunctions, UNION [ALL], DISTINCT,
+//! ORDER BY, LIMIT), a planner with filter pushdown, index access paths
+//! and hash equi-joins, and a row executor.
+//!
+//! ```
+//! use obda_sqlstore::Database;
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE t (id INT, name TEXT)").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+//! let r = db.query("SELECT name FROM t WHERE id = 2").unwrap();
+//! assert_eq!(r.rows.len(), 1);
+//! ```
+
+pub mod catalog;
+pub mod csv;
+pub mod error;
+pub mod exec;
+pub mod plan;
+pub mod sql;
+pub mod table;
+pub mod value;
+
+pub use catalog::Database;
+pub use csv::load_csv;
+pub use error::SqlError;
+pub use exec::ResultSet;
+pub use plan::{plan_query, Plan, PlannedQuery};
+pub use sql::ast::{SelectQuery, Statement};
+pub use sql::parser::{parse_query, parse_statement};
+pub use sql::printer::{select_core as print_select_core, select_query as print_select_query};
+pub use table::{Column, Table};
+pub use value::{ColumnType, Row, SqlValue};

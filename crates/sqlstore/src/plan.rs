@@ -1,0 +1,429 @@
+//! Logical planning: name resolution, predicate compilation, filter
+//! pushdown and join-key extraction.
+//!
+//! The planner turns a parsed [`SelectQuery`] into a [`Plan`] tree of
+//! physical-ish operators:
+//!
+//! * single-table WHERE conjuncts are pushed into the [`Plan::Scan`] that
+//!   owns them; an equality against a literal on an indexed column is
+//!   marked for index lookup;
+//! * join conditions are split into equi-join key pairs (driving the hash
+//!   join) and residual predicates;
+//! * `DISTINCT`, `UNION [ALL]`, `ORDER BY` and `LIMIT` become dedicated
+//!   nodes.
+
+use crate::catalog::Database;
+use crate::error::SqlError;
+use crate::sql::ast::*;
+use crate::value::SqlValue;
+
+/// A compiled operand: a column position in the operator's input row, or
+/// a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// Input row position.
+    Col(usize),
+    /// Constant.
+    Lit(SqlValue),
+}
+
+/// A compiled comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledCmp {
+    /// Left operand.
+    pub lhs: Source,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Source,
+}
+
+impl CompiledCmp {
+    /// Evaluates against a row (NULL-involving comparisons are false).
+    pub fn eval(&self, row: &[SqlValue]) -> bool {
+        let get = |s: &Source| -> SqlValue {
+            match s {
+                Source::Col(i) => row[*i].clone(),
+                Source::Lit(v) => v.clone(),
+            }
+        };
+        let (a, b) = (get(&self.lhs), get(&self.rhs));
+        match a.sql_cmp(&b) {
+            None => false,
+            Some(ord) => match self.op {
+                CmpOp::Eq => ord.is_eq(),
+                CmpOp::Ne => !ord.is_eq(),
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+            },
+        }
+    }
+}
+
+/// A plan node. Every node produces rows with a fixed arity; output
+/// column names live only at the root (in [`PlannedQuery`]).
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Table scan with pushed-down predicates (positions are relative to
+    /// the table row) and an optional index-equality access path.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Pushed single-table predicates.
+        pushed: Vec<CompiledCmp>,
+        /// `(column position, literal)` equality served by a hash index.
+        index_eq: Option<(usize, SqlValue)>,
+        /// Table arity (for schema bookkeeping).
+        arity: usize,
+    },
+    /// Hash equi-join; output = left row ++ right row.
+    HashJoin {
+        /// Left (probe) input.
+        left: Box<Plan>,
+        /// Right (build) input.
+        right: Box<Plan>,
+        /// Key positions in the left output.
+        left_keys: Vec<usize>,
+        /// Key positions in the right output.
+        right_keys: Vec<usize>,
+        /// Residual predicates over the concatenated row.
+        residual: Vec<CompiledCmp>,
+    },
+    /// Residual filter.
+    Filter {
+        /// Input.
+        input: Box<Plan>,
+        /// Conjunctive predicates.
+        predicates: Vec<CompiledCmp>,
+    },
+    /// Projection to the given input positions.
+    Project {
+        /// Input.
+        input: Box<Plan>,
+        /// Input positions to keep, in output order.
+        cols: Vec<usize>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input.
+        input: Box<Plan>,
+    },
+    /// Set union of equal-arity inputs (`all` keeps duplicates).
+    Union {
+        /// Inputs.
+        inputs: Vec<Plan>,
+        /// UNION ALL?
+        all: bool,
+    },
+    /// Sort by `(position, ascending)` keys.
+    Sort {
+        /// Input.
+        input: Box<Plan>,
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input.
+        input: Box<Plan>,
+        /// Maximum number of rows.
+        n: usize,
+    },
+}
+
+/// A planned query: the plan tree plus output column names.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// Root plan node.
+    pub plan: Plan,
+    /// Output column names.
+    pub columns: Vec<String>,
+}
+
+/// Schema tracker during planning: (alias, column name) per position.
+struct Scope {
+    cols: Vec<(String, String)>,
+}
+
+impl Scope {
+    fn resolve(&self, c: &ColRef) -> Result<usize, SqlError> {
+        let matches: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (alias, name))| {
+                name == &c.column && c.qualifier.as_ref().is_none_or(|q| q == alias)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [i] => Ok(*i),
+            [] => Err(SqlError::new(format!("unknown column `{c}`"))),
+            _ => Err(SqlError::new(format!("ambiguous column `{c}`"))),
+        }
+    }
+}
+
+fn compile_cmp(scope: &Scope, cmp: &Comparison) -> Result<CompiledCmp, SqlError> {
+    let side = |o: &Operand| -> Result<Source, SqlError> {
+        Ok(match o {
+            Operand::Col(c) => Source::Col(scope.resolve(c)?),
+            Operand::Lit(v) => Source::Lit(v.clone()),
+        })
+    };
+    Ok(CompiledCmp {
+        lhs: side(&cmp.lhs)?,
+        op: cmp.op,
+        rhs: side(&cmp.rhs)?,
+    })
+}
+
+/// Which single alias a comparison touches, if exactly one.
+fn single_alias(cmp: &Comparison, alias_of: impl Fn(&ColRef) -> Option<String>) -> Option<String> {
+    let mut found: Option<String> = None;
+    for op in [&cmp.lhs, &cmp.rhs] {
+        if let Operand::Col(c) = op {
+            let a = alias_of(c)?;
+            match &found {
+                None => found = Some(a),
+                Some(prev) if *prev == a => {}
+                Some(_) => return None,
+            }
+        }
+    }
+    found
+}
+
+fn plan_core(db: &Database, core: &SelectCore) -> Result<(Plan, Scope), SqlError> {
+    // Collect the table refs in join order.
+    let mut refs = vec![core.from.clone()];
+    refs.extend(core.joins.iter().map(|j| j.table.clone()));
+    // Duplicate alias check.
+    for i in 0..refs.len() {
+        for j in (i + 1)..refs.len() {
+            if refs[i].alias == refs[j].alias {
+                return Err(SqlError::new(format!(
+                    "duplicate alias `{}`",
+                    refs[i].alias
+                )));
+            }
+        }
+    }
+    // Partition WHERE conjuncts per alias for pushdown.
+    let full_scope = {
+        let mut cols = Vec::new();
+        for r in &refs {
+            let table = db.table(&r.table)?;
+            for c in table.columns() {
+                cols.push((r.alias.clone(), c.name.clone()));
+            }
+        }
+        Scope { cols }
+    };
+    let alias_of = |c: &ColRef| -> Option<String> {
+        if let Some(q) = &c.qualifier {
+            return Some(q.clone());
+        }
+        // Unqualified: find the unique owning alias.
+        let owners: Vec<&(String, String)> = full_scope
+            .cols
+            .iter()
+            .filter(|(_, name)| name == &c.column)
+            .collect();
+        match owners.as_slice() {
+            [one] => Some(one.0.clone()),
+            _ => None,
+        }
+    };
+    let mut pushed: std::collections::HashMap<String, Vec<Comparison>> =
+        std::collections::HashMap::new();
+    let mut residual_where: Vec<Comparison> = Vec::new();
+    for cmp in &core.filter {
+        match single_alias(cmp, alias_of) {
+            Some(alias) => pushed.entry(alias).or_default().push(cmp.clone()),
+            None => residual_where.push(cmp.clone()),
+        }
+    }
+
+    // Build scans.
+    type ScanEntry = (String, Plan, Vec<(String, String)>);
+    let mut plans: Vec<ScanEntry> = Vec::new();
+    for r in &refs {
+        let table = db.table(&r.table)?;
+        let local_scope = Scope {
+            cols: table
+                .columns()
+                .iter()
+                .map(|c| (r.alias.clone(), c.name.clone()))
+                .collect(),
+        };
+        let mut compiled: Vec<CompiledCmp> = Vec::new();
+        for cmp in pushed.get(&r.alias).into_iter().flatten() {
+            compiled.push(compile_cmp(&local_scope, cmp)?);
+        }
+        // Index access path: first `col = literal` on an indexed column.
+        let mut index_eq = None;
+        compiled.retain(|c| {
+            if index_eq.is_some() {
+                return true;
+            }
+            if c.op == CmpOp::Eq {
+                if let (Source::Col(i), Source::Lit(v)) | (Source::Lit(v), Source::Col(i)) =
+                    (&c.lhs, &c.rhs)
+                {
+                    if table.has_index(*i) {
+                        index_eq = Some((*i, v.clone()));
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        plans.push((
+            r.alias.clone(),
+            Plan::Scan {
+                table: r.table.clone(),
+                pushed: compiled,
+                index_eq,
+                arity: table.columns().len(),
+            },
+            local_scope.cols,
+        ));
+    }
+
+    // Left-deep join tree following the written order.
+    let mut iter = plans.into_iter();
+    let (_, mut plan, mut scope_cols) = iter.next().expect("at least FROM");
+    for (join, (_, right_plan, right_cols)) in core.joins.iter().zip(iter) {
+        let left_len = scope_cols.len();
+        let mut combined = scope_cols.clone();
+        combined.extend(right_cols.clone());
+        let combined_scope = Scope { cols: combined };
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut residual = Vec::new();
+        for cmp in &join.on {
+            let compiled = compile_cmp(&combined_scope, cmp)?;
+            match (&compiled.lhs, compiled.op, &compiled.rhs) {
+                (Source::Col(a), CmpOp::Eq, Source::Col(b))
+                    if (*a < left_len) != (*b < left_len) =>
+                {
+                    let (l, r) = if *a < left_len { (*a, *b) } else { (*b, *a) };
+                    left_keys.push(l);
+                    right_keys.push(r - left_len);
+                }
+                _ => residual.push(compiled),
+            }
+        }
+        plan = Plan::HashJoin {
+            left: Box::new(plan),
+            right: Box::new(right_plan),
+            left_keys,
+            right_keys,
+            residual,
+        };
+        scope_cols = {
+            let mut c = scope_cols;
+            c.extend(right_cols);
+            c
+        };
+    }
+    let scope = Scope { cols: scope_cols };
+
+    // Residual WHERE.
+    if !residual_where.is_empty() {
+        let predicates = residual_where
+            .iter()
+            .map(|c| compile_cmp(&scope, c))
+            .collect::<Result<Vec<_>, _>>()?;
+        plan = Plan::Filter {
+            input: Box::new(plan),
+            predicates,
+        };
+    }
+
+    // Projection.
+    let (cols, names): (Vec<usize>, Vec<String>) = if core.items.is_empty() {
+        (
+            (0..scope.cols.len()).collect(),
+            scope.cols.iter().map(|(_, n)| n.clone()).collect(),
+        )
+    } else {
+        let mut cols = Vec::new();
+        let mut names = Vec::new();
+        for item in &core.items {
+            cols.push(scope.resolve(&item.col)?);
+            names.push(
+                item.alias
+                    .clone()
+                    .unwrap_or_else(|| item.col.column.clone()),
+            );
+        }
+        (cols, names)
+    };
+    plan = Plan::Project {
+        input: Box::new(plan),
+        cols,
+    };
+    if core.distinct {
+        plan = Plan::Distinct {
+            input: Box::new(plan),
+        };
+    }
+    Ok((
+        plan,
+        Scope {
+            cols: names.into_iter().map(|n| (String::new(), n)).collect(),
+        },
+    ))
+}
+
+/// Plans a full SELECT query against the database catalog.
+pub fn plan_query(db: &Database, q: &SelectQuery) -> Result<PlannedQuery, SqlError> {
+    let (first_plan, out_scope) = plan_core(db, &q.first)?;
+    let columns: Vec<String> = out_scope.cols.iter().map(|(_, n)| n.clone()).collect();
+    let mut plan = first_plan;
+    if !q.rest.is_empty() {
+        let mut inputs = vec![plan];
+        let mut dedup = false;
+        for (all, core) in &q.rest {
+            let (p, s) = plan_core(db, core)?;
+            if s.cols.len() != columns.len() {
+                return Err(SqlError::new(format!(
+                    "UNION arity mismatch: {} vs {}",
+                    columns.len(),
+                    s.cols.len()
+                )));
+            }
+            dedup |= !all;
+            inputs.push(p);
+        }
+        plan = Plan::Union {
+            inputs,
+            all: !dedup,
+        };
+    }
+    if !q.order_by.is_empty() {
+        let mut keys = Vec::new();
+        for k in &q.order_by {
+            let pos = columns
+                .iter()
+                .position(|c| c == &k.column)
+                .ok_or_else(|| SqlError::new(format!("ORDER BY unknown column `{}`", k.column)))?;
+            keys.push((pos, k.asc));
+        }
+        plan = Plan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
+    }
+    if let Some(n) = q.limit {
+        plan = Plan::Limit {
+            input: Box::new(plan),
+            n,
+        };
+    }
+    Ok(PlannedQuery { plan, columns })
+}

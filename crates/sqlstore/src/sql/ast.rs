@@ -1,0 +1,157 @@
+//! Abstract syntax of the supported SQL subset.
+//!
+//! ```text
+//! CREATE TABLE t (c INT, d TEXT)
+//! INSERT INTO t VALUES (1, 'a'), (2, 'b')
+//! SELECT [DISTINCT] items FROM t [alias]
+//!     [JOIN u [alias] ON x.c = y.d]*
+//!     [WHERE comparison [AND comparison]*]
+//! [UNION [ALL] SELECT …]*
+//! [ORDER BY col [ASC|DESC], …] [LIMIT n]
+//! ```
+//!
+//! Disjunction is expressed with `UNION` (matching what OBDA unfolding
+//! produces); conjunction with `AND`/joins.
+
+use crate::value::{ColumnType, SqlValue};
+
+/// A (possibly qualified) column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    /// Table name or alias qualifier, if written.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl std::fmt::Display for ColRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// A comparison operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Column reference.
+    Col(ColRef),
+    /// Literal value.
+    Lit(SqlValue),
+}
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One conjunct of a WHERE clause or join condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Left operand.
+    pub lhs: Operand,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Operand,
+}
+
+/// A projected item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// Source column.
+    pub col: ColRef,
+    /// Output name override (`AS`).
+    pub alias: Option<String>,
+}
+
+/// A table reference in FROM/JOIN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Base table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// A join clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined table.
+    pub table: TableRef,
+    /// Equality join conditions (conjunctive).
+    pub on: Vec<Comparison>,
+}
+
+/// One SELECT block (no set operations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectCore {
+    /// Whether `DISTINCT` was written.
+    pub distinct: bool,
+    /// Projected items; empty means `*`.
+    pub items: Vec<SelectItem>,
+    /// Leading FROM table.
+    pub from: TableRef,
+    /// JOIN clauses, in order.
+    pub joins: Vec<Join>,
+    /// WHERE conjuncts.
+    pub filter: Vec<Comparison>,
+}
+
+/// ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Output column name to sort by.
+    pub column: String,
+    /// Ascending?
+    pub asc: bool,
+}
+
+/// A full query: one or more cores combined with UNION (dedup) or
+/// UNION ALL, plus ordering/limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// First SELECT block.
+    pub first: SelectCore,
+    /// Remaining blocks, each flagged `all` for UNION ALL.
+    pub rest: Vec<(bool, SelectCore)>,
+    /// ORDER BY keys over the output columns.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// Any supported statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, ColumnType)>,
+    },
+    /// `INSERT INTO … VALUES …`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Tuples to insert.
+        rows: Vec<Vec<SqlValue>>,
+    },
+    /// A SELECT query.
+    Select(SelectQuery),
+}

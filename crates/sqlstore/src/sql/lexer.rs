@@ -1,0 +1,187 @@
+//! SQL tokenizer.
+
+use crate::error::SqlError;
+
+/// A SQL token. Keywords are uppercased identifiers matched by the
+/// parser; the lexer only distinguishes shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Token {
+    /// Whether the token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes a SQL string.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                toks.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(SqlError::new("stray `!`"));
+                }
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        toks.push(Token::Le);
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        toks.push(Token::Ne);
+                        i += 2;
+                    }
+                    _ => {
+                        toks.push(Token::Lt);
+                        i += 1;
+                    }
+                };
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Token::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut out = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => return Err(SqlError::new("unterminated string literal")),
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
+                            out.push('\'');
+                            j += 2;
+                        }
+                        Some(b'\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            out.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                toks.push(Token::Str(out));
+                i = j;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n = text
+                    .parse::<i64>()
+                    .map_err(|_| SqlError::new(format!("bad integer `{text}`")))?;
+                toks.push(Token::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Token::Ident(src[start..i].to_owned()));
+            }
+            other => return Err(SqlError::new(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_operators_and_literals() {
+        let toks = tokenize("SELECT a.b, 'o''hara' FROM t WHERE x <= -5 AND y <> 'z'").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Int(-5)));
+        assert!(toks.contains(&Token::Str("o'hara".into())));
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = tokenize("select").unwrap();
+        assert!(toks[0].is_kw("SELECT"));
+        assert!(!toks[0].is_kw("FROM"));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("'abc").is_err());
+    }
+}

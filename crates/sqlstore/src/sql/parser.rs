@@ -1,0 +1,378 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::error::SqlError;
+use crate::value::{ColumnType, SqlValue};
+
+use super::ast::*;
+use super::lexer::{tokenize, Token};
+
+struct P {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::new(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<(), SqlError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(SqlError::new(format!("expected {tok:?}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::new(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.toks.len()
+    }
+
+    fn colref(&mut self) -> Result<ColRef, SqlError> {
+        let first = self.ident()?;
+        if self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let column = self.ident()?;
+            Ok(ColRef {
+                qualifier: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, SqlError> {
+        match self.peek() {
+            Some(Token::Int(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(Operand::Lit(SqlValue::Int(n)))
+            }
+            Some(Token::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Operand::Lit(SqlValue::Text(s)))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("NULL") => {
+                self.pos += 1;
+                Ok(Operand::Lit(SqlValue::Null))
+            }
+            _ => Ok(Operand::Col(self.colref()?)),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Comparison, SqlError> {
+        let lhs = self.operand()?;
+        let op = match self.next() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            other => return Err(SqlError::new(format!("expected comparison operator, found {other:?}"))),
+        };
+        let rhs = self.operand()?;
+        Ok(Comparison { lhs, op, rhs })
+    }
+
+    fn conjunction(&mut self) -> Result<Vec<Comparison>, SqlError> {
+        let mut out = vec![self.comparison()?];
+        while self.eat_kw("AND") {
+            out.push(self.comparison()?);
+        }
+        Ok(out)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let table = self.ident()?;
+        // Optional alias: bare identifier that is not a clause keyword.
+        let alias = match self.peek() {
+            Some(Token::Ident(s))
+                if !["JOIN", "ON", "WHERE", "UNION", "ORDER", "LIMIT", "AS", "AND"]
+                    .iter()
+                    .any(|k| s.eq_ignore_ascii_case(k)) =>
+            {
+                let a = s.clone();
+                self.pos += 1;
+                a
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("AS") => {
+                self.pos += 1;
+                self.ident()?
+            }
+            _ => table.clone(),
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn select_core(&mut self) -> Result<SelectCore, SqlError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+        } else {
+            loop {
+                let col = self.colref()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem { col, alias });
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        while self.eat_kw("JOIN") {
+            let table = self.table_ref()?;
+            self.expect_kw("ON")?;
+            let on = self.conjunction()?;
+            joins.push(Join { table, on });
+        }
+        let filter = if self.eat_kw("WHERE") {
+            self.conjunction()?
+        } else {
+            Vec::new()
+        };
+        Ok(SelectCore {
+            distinct,
+            items,
+            from,
+            joins,
+            filter,
+        })
+    }
+
+    fn select_query(&mut self) -> Result<SelectQuery, SqlError> {
+        let first = self.select_core()?;
+        let mut rest = Vec::new();
+        while self.eat_kw("UNION") {
+            let all = self.eat_kw("ALL");
+            rest.push((all, self.select_core()?));
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let column = self.ident()?;
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push(OrderKey { column, asc });
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(SqlError::new(format!("expected LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectQuery {
+            first,
+            rest,
+            order_by,
+            limit,
+        })
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.eat_kw("CREATE") {
+            self.expect_kw("TABLE")?;
+            let name = self.ident()?;
+            self.expect(Token::LParen)?;
+            let mut columns = Vec::new();
+            loop {
+                let col = self.ident()?;
+                let ty_name = self.ident()?;
+                let ty = match ty_name.to_ascii_uppercase().as_str() {
+                    "INT" | "INTEGER" | "BIGINT" => ColumnType::Int,
+                    "TEXT" | "VARCHAR" | "STRING" => ColumnType::Text,
+                    other => return Err(SqlError::new(format!("unknown type `{other}`"))),
+                };
+                columns.push((col, ty));
+                match self.next() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    other => {
+                        return Err(SqlError::new(format!("expected `,` or `)`, found {other:?}")))
+                    }
+                }
+            }
+            Ok(Statement::CreateTable { name, columns })
+        } else if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            let table = self.ident()?;
+            self.expect_kw("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect(Token::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    match self.operand()? {
+                        Operand::Lit(v) => row.push(v),
+                        Operand::Col(c) => {
+                            return Err(SqlError::new(format!("expected literal, found {c}")))
+                        }
+                    }
+                    match self.next() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::RParen) => break,
+                        other => {
+                            return Err(SqlError::new(format!(
+                                "expected `,` or `)`, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                rows.push(row);
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            Ok(Statement::Insert { table, rows })
+        } else {
+            Ok(Statement::Select(self.select_query()?))
+        }
+    }
+}
+
+/// Parses a single SQL statement.
+pub fn parse_statement(src: &str) -> Result<Statement, SqlError> {
+    let mut p = P {
+        toks: tokenize(src)?,
+        pos: 0,
+    };
+    let stmt = p.statement()?;
+    if !p.at_end() {
+        return Err(SqlError::new(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+/// Parses a SELECT query (convenience for the OBDA layer).
+pub fn parse_query(src: &str) -> Result<SelectQuery, SqlError> {
+    match parse_statement(src)? {
+        Statement::Select(q) => Ok(q),
+        other => Err(SqlError::new(format!("expected SELECT, parsed {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_and_insert() {
+        let c = parse_statement("CREATE TABLE t (id INT, name TEXT)").unwrap();
+        assert!(matches!(c, Statement::CreateTable { ref columns, .. } if columns.len() == 2));
+        let i = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, NULL)").unwrap();
+        match i {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][1], SqlValue::Null);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_join_query_with_aliases() {
+        let q =
+            parse_query("SELECT a.id, b.name AS n FROM t a JOIN u b ON a.id = b.tid WHERE a.x = 3")
+                .unwrap();
+        assert_eq!(q.first.items.len(), 2);
+        assert_eq!(q.first.items[1].alias.as_deref(), Some("n"));
+        assert_eq!(q.first.joins.len(), 1);
+        assert_eq!(q.first.joins[0].table.alias, "b");
+        assert_eq!(q.first.filter.len(), 1);
+    }
+
+    #[test]
+    fn parses_union_order_limit() {
+        let q = parse_query(
+            "SELECT id FROM t WHERE x = 1 UNION SELECT id FROM t WHERE x = 2 UNION ALL SELECT id FROM u ORDER BY id DESC LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(q.rest.len(), 2);
+        assert!(!q.rest[0].0);
+        assert!(q.rest[1].0);
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].asc);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_star_and_distinct() {
+        let q = parse_query("SELECT DISTINCT * FROM t").unwrap();
+        assert!(q.first.distinct);
+        assert!(q.first.items.is_empty());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_statement("SELECT id FROM t extra garbage(").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_query("select id from t where id >= 0").is_ok());
+    }
+}

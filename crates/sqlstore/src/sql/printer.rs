@@ -1,0 +1,123 @@
+//! Rendering the SQL AST back to text (used by `EXPLAIN`-style tooling
+//! and logs; output re-parses with [`crate::sql::parser`]).
+
+use crate::sql::ast::*;
+
+fn operand(o: &Operand) -> String {
+    match o {
+        Operand::Col(c) => c.to_string(),
+        Operand::Lit(v) => v.literal(),
+    }
+}
+
+fn cmp_op(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "<>",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn comparison(c: &Comparison) -> String {
+    format!("{} {} {}", operand(&c.lhs), cmp_op(c.op), operand(&c.rhs))
+}
+
+fn table_ref(t: &TableRef) -> String {
+    if t.alias == t.table {
+        t.table.clone()
+    } else {
+        format!("{} {}", t.table, t.alias)
+    }
+}
+
+/// Renders one SELECT core.
+pub fn select_core(core: &SelectCore) -> String {
+    let mut out = String::from("SELECT ");
+    if core.distinct {
+        out.push_str("DISTINCT ");
+    }
+    if core.items.is_empty() {
+        out.push('*');
+    } else {
+        let items: Vec<String> = core
+            .items
+            .iter()
+            .map(|i| match &i.alias {
+                Some(a) => format!("{} AS {a}", i.col),
+                None => i.col.to_string(),
+            })
+            .collect();
+        out.push_str(&items.join(", "));
+    }
+    out.push_str(" FROM ");
+    out.push_str(&table_ref(&core.from));
+    for j in &core.joins {
+        out.push_str(" JOIN ");
+        out.push_str(&table_ref(&j.table));
+        if !j.on.is_empty() {
+            out.push_str(" ON ");
+            let conds: Vec<String> = j.on.iter().map(comparison).collect();
+            out.push_str(&conds.join(" AND "));
+        } else {
+            // Parser-compatible spelling of a cross join.
+            out.push_str(" ON 1 = 1");
+        }
+    }
+    if !core.filter.is_empty() {
+        out.push_str(" WHERE ");
+        let conds: Vec<String> = core.filter.iter().map(comparison).collect();
+        out.push_str(&conds.join(" AND "));
+    }
+    out
+}
+
+/// Renders a full query (UNIONs, ORDER BY, LIMIT).
+pub fn select_query(q: &SelectQuery) -> String {
+    let mut out = select_core(&q.first);
+    for (all, core) in &q.rest {
+        out.push_str(if *all { " UNION ALL " } else { " UNION " });
+        out.push_str(&select_core(core));
+    }
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        let keys: Vec<String> = q
+            .order_by
+            .iter()
+            .map(|k| {
+                if k.asc {
+                    k.column.clone()
+                } else {
+                    format!("{} DESC", k.column)
+                }
+            })
+            .collect();
+        out.push_str(&keys.join(", "));
+    }
+    if let Some(n) = q.limit {
+        out.push_str(&format!(" LIMIT {n}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse_query;
+
+    #[test]
+    fn printed_sql_reparses_identically() {
+        for src in [
+            "SELECT a FROM t",
+            "SELECT DISTINCT t.a AS x, u.b FROM t JOIN u ON t.a = u.a WHERE t.b >= 3 AND u.c <> 'z'",
+            "SELECT a FROM t WHERE a = 1 UNION SELECT a FROM t WHERE a = 2 UNION ALL SELECT b FROM u ORDER BY a DESC LIMIT 7",
+        ] {
+            let q1 = parse_query(src).unwrap();
+            let printed = select_query(&q1);
+            let q2 = parse_query(&printed).unwrap();
+            assert_eq!(q1, q2, "roundtrip failed for `{src}` → `{printed}`");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Tables, schemas and hash indexes.
+
+use std::collections::HashMap;
+
+use crate::error::SqlError;
+use crate::value::{ColumnType, Row, SqlValue};
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (case-sensitive).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+/// A heap table: schema, rows, and optional hash indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    columns: Vec<Column>,
+    rows: Vec<Row>,
+    /// column index → (value → row ids)
+    indexes: HashMap<usize, HashMap<SqlValue, Vec<u32>>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, columns: Vec<Column>) -> Self {
+        Table {
+            name: name.to_owned(),
+            columns,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Column definitions.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row after arity/type validation.
+    pub fn insert(&mut self, row: Row) -> Result<(), SqlError> {
+        if row.len() != self.columns.len() {
+            return Err(SqlError::new(format!(
+                "table {}: expected {} values, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (c, v) in self.columns.iter().zip(&row) {
+            if !c.ty.admits(v) {
+                return Err(SqlError::new(format!(
+                    "table {}: value {v} does not fit column {} ({:?})",
+                    self.name, c.name, c.ty
+                )));
+            }
+        }
+        let id = self.rows.len() as u32;
+        for (&col, index) in self.indexes.iter_mut() {
+            index.entry(row[col].clone()).or_default().push(id);
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Builds (or rebuilds) a hash index on a column.
+    pub fn create_index(&mut self, column: &str) -> Result<(), SqlError> {
+        let col = self
+            .column_index(column)
+            .ok_or_else(|| SqlError::new(format!("no column {column} in {}", self.name)))?;
+        let mut index: HashMap<SqlValue, Vec<u32>> = HashMap::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            index.entry(row[col].clone()).or_default().push(i as u32);
+        }
+        self.indexes.insert(col, index);
+        Ok(())
+    }
+
+    /// Row ids matching `column = value` via an index, if one exists.
+    pub fn index_lookup(&self, col: usize, value: &SqlValue) -> Option<&[u32]> {
+        self.indexes
+            .get(&col)
+            .map(|ix| ix.get(value).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Whether the column has a hash index.
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes.contains_key(&col)
+    }
+
+    /// A row by id.
+    pub fn row(&self, id: u32) -> &Row {
+        &self.rows[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let mut t = Table::new(
+            "people",
+            vec![
+                Column {
+                    name: "id".into(),
+                    ty: ColumnType::Int,
+                },
+                Column {
+                    name: "name".into(),
+                    ty: ColumnType::Text,
+                },
+            ],
+        );
+        t.insert(vec![SqlValue::Int(1), SqlValue::Text("ada".into())])
+            .unwrap();
+        t.insert(vec![SqlValue::Int(2), SqlValue::Text("bob".into())])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_validates_arity_and_types() {
+        let mut t = people();
+        assert!(t.insert(vec![SqlValue::Int(3)]).is_err());
+        assert!(t
+            .insert(vec![SqlValue::Text("x".into()), SqlValue::Text("y".into())])
+            .is_err());
+        assert!(t.insert(vec![SqlValue::Int(3), SqlValue::Null]).is_ok());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn index_lookup_finds_rows() {
+        let mut t = people();
+        t.create_index("id").unwrap();
+        let col = t.column_index("id").unwrap();
+        assert_eq!(t.index_lookup(col, &SqlValue::Int(2)), Some(&[1u32][..]));
+        assert_eq!(t.index_lookup(col, &SqlValue::Int(9)), Some(&[][..]));
+        assert!(t.index_lookup(1, &SqlValue::Null).is_none());
+    }
+
+    #[test]
+    fn index_maintained_on_insert() {
+        let mut t = people();
+        t.create_index("name").unwrap();
+        t.insert(vec![SqlValue::Int(3), SqlValue::Text("ada".into())])
+            .unwrap();
+        let col = t.column_index("name").unwrap();
+        assert_eq!(
+            t.index_lookup(col, &SqlValue::Text("ada".into())),
+            Some(&[0u32, 2][..])
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! SQL values and comparison semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A SQL value. `Null` follows a simplified three-valued logic: any
+/// comparison involving `Null` is false (enough for the OBDA workload,
+//  which never generates `IS NULL` predicates).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SqlValue {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl SqlValue {
+    /// SQL comparison: `None` when either side is `Null` or the types
+    /// differ (incomparable), otherwise the ordering.
+    pub fn sql_cmp(&self, other: &SqlValue) -> Option<Ordering> {
+        match (self, other) {
+            (SqlValue::Int(a), SqlValue::Int(b)) => Some(a.cmp(b)),
+            (SqlValue::Text(a), SqlValue::Text(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, SqlValue::Null)
+    }
+
+    /// Renders like a SQL literal (`NULL`, `42`, `'text'`).
+    pub fn literal(&self) -> String {
+        match self {
+            SqlValue::Null => "NULL".into(),
+            SqlValue::Int(i) => i.to_string(),
+            SqlValue::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Null => f.write_str("NULL"),
+            SqlValue::Int(i) => write!(f, "{i}"),
+            SqlValue::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integers.
+    Int,
+    /// UTF-8 text.
+    Text,
+}
+
+impl ColumnType {
+    /// Whether a value inhabits the type (NULL inhabits every type).
+    pub fn admits(&self, v: &SqlValue) -> bool {
+        matches!(
+            (self, v),
+            (_, SqlValue::Null) | (ColumnType::Int, SqlValue::Int(_)) | (ColumnType::Text, SqlValue::Text(_))
+        )
+    }
+}
+
+/// A row of values.
+pub type Row = Vec<SqlValue>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_none() {
+        assert_eq!(SqlValue::Null.sql_cmp(&SqlValue::Int(1)), None);
+        assert_eq!(SqlValue::Int(1).sql_cmp(&SqlValue::Null), None);
+        assert_eq!(
+            SqlValue::Int(1).sql_cmp(&SqlValue::Text("1".into())),
+            None
+        );
+    }
+
+    #[test]
+    fn typed_comparisons() {
+        assert_eq!(
+            SqlValue::Int(1).sql_cmp(&SqlValue::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            SqlValue::Text("b".into()).sql_cmp(&SqlValue::Text("a".into())),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn literal_escaping() {
+        assert_eq!(SqlValue::Text("o'hara".into()).literal(), "'o''hara'");
+        assert_eq!(SqlValue::Int(-3).literal(), "-3");
+        assert_eq!(SqlValue::Null.literal(), "NULL");
+    }
+
+    #[test]
+    fn column_types_admit() {
+        assert!(ColumnType::Int.admits(&SqlValue::Int(1)));
+        assert!(ColumnType::Int.admits(&SqlValue::Null));
+        assert!(!ColumnType::Int.admits(&SqlValue::Text("x".into())));
+    }
+}

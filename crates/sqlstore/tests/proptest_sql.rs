@@ -1,0 +1,172 @@
+//! Property-based tests of the SQL engine: planner transformations
+//! (filter pushdown, index access paths) must never change results, and
+//! the algebra must obey its laws against a naive reference evaluation.
+
+use obda_sqlstore::{Database, Row, SqlValue};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_row()(a in -5i64..5, b in -5i64..5, s in 0..4usize) -> (i64, i64, String) {
+        (a, b, format!("s{s}"))
+    }
+}
+
+fn db_with(rows: &[(i64, i64, String)], rows2: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (a INT, b INT, s TEXT)").unwrap();
+    db.execute("CREATE TABLE u (a INT, c INT)").unwrap();
+    for (a, b, s) in rows {
+        db.insert(
+            "t",
+            vec![SqlValue::Int(*a), SqlValue::Int(*b), SqlValue::Text(s.clone())],
+        )
+        .unwrap();
+    }
+    for (a, c) in rows2 {
+        db.insert("u", vec![SqlValue::Int(*a), SqlValue::Int(*c)])
+            .unwrap();
+    }
+    db
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #[test]
+    fn where_filter_equals_manual_filter(
+        rows in proptest::collection::vec(arb_row(), 0..30),
+        threshold in -5i64..5,
+    ) {
+        let db = db_with(&rows, &[]);
+        let filtered = db
+            .query(&format!("SELECT a, b FROM t WHERE a >= {threshold}"))
+            .unwrap();
+        let all = db.query("SELECT a, b FROM t").unwrap();
+        let manual: Vec<Row> = all
+            .rows
+            .into_iter()
+            .filter(|r| matches!(r[0], SqlValue::Int(v) if v >= threshold))
+            .collect();
+        prop_assert_eq!(sorted(filtered.rows), sorted(manual));
+    }
+
+    #[test]
+    fn index_never_changes_results(
+        rows in proptest::collection::vec(arb_row(), 0..30),
+        key in -5i64..5,
+    ) {
+        let mut db = db_with(&rows, &[]);
+        let q = format!("SELECT b, s FROM t WHERE a = {key}");
+        let plain = db.query(&q).unwrap();
+        db.create_index("t", "a").unwrap();
+        let indexed = db.query(&q).unwrap();
+        prop_assert_eq!(sorted(plain.rows), sorted(indexed.rows));
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_reference(
+        rows in proptest::collection::vec(arb_row(), 0..20),
+        rows2 in proptest::collection::vec((-5i64..5, -5i64..5), 0..20),
+    ) {
+        let db = db_with(&rows, &rows2);
+        let joined = db
+            .query("SELECT t.b, u.c FROM t JOIN u ON t.a = u.a")
+            .unwrap();
+        // Naive reference.
+        let mut reference: Vec<Row> = Vec::new();
+        for (a, b, _) in &rows {
+            for (a2, c) in &rows2 {
+                if a == a2 {
+                    reference.push(vec![SqlValue::Int(*b), SqlValue::Int(*c)]);
+                }
+            }
+        }
+        prop_assert_eq!(sorted(joined.rows), sorted(reference));
+    }
+
+    #[test]
+    fn union_is_commutative_and_dedups(
+        rows in proptest::collection::vec(arb_row(), 0..25),
+        k1 in -5i64..5,
+        k2 in -5i64..5,
+    ) {
+        let db = db_with(&rows, &[]);
+        let ab = db
+            .query(&format!(
+                "SELECT a FROM t WHERE b = {k1} UNION SELECT a FROM t WHERE b = {k2}"
+            ))
+            .unwrap();
+        let ba = db
+            .query(&format!(
+                "SELECT a FROM t WHERE b = {k2} UNION SELECT a FROM t WHERE b = {k1}"
+            ))
+            .unwrap();
+        prop_assert_eq!(sorted(ab.rows.clone()), sorted(ba.rows));
+        // UNION result is duplicate-free.
+        let mut dedup = ab.rows.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(sorted(ab.rows), dedup);
+    }
+
+    #[test]
+    fn union_all_counts_add_up(
+        rows in proptest::collection::vec(arb_row(), 0..25),
+        k in -5i64..5,
+    ) {
+        let db = db_with(&rows, &[]);
+        let half = db
+            .query(&format!("SELECT a FROM t WHERE b = {k}"))
+            .unwrap()
+            .rows
+            .len();
+        let both = db
+            .query(&format!(
+                "SELECT a FROM t WHERE b = {k} UNION ALL SELECT a FROM t WHERE b = {k}"
+            ))
+            .unwrap()
+            .rows
+            .len();
+        prop_assert_eq!(both, 2 * half);
+    }
+
+    #[test]
+    fn order_by_sorts_and_limit_prefixes(
+        rows in proptest::collection::vec(arb_row(), 0..25),
+        limit in 0usize..10,
+    ) {
+        let db = db_with(&rows, &[]);
+        let all = db.query("SELECT a FROM t ORDER BY a").unwrap();
+        for w in all.rows.windows(2) {
+            prop_assert!(w[0][0] <= w[1][0]);
+        }
+        let limited = db
+            .query(&format!("SELECT a FROM t ORDER BY a LIMIT {limit}"))
+            .unwrap();
+        prop_assert_eq!(&limited.rows[..], &all.rows[..limit.min(all.rows.len())]);
+    }
+
+    #[test]
+    fn distinct_removes_exactly_duplicates(
+        rows in proptest::collection::vec(arb_row(), 0..25),
+    ) {
+        let db = db_with(&rows, &[]);
+        let distinct = db.query("SELECT DISTINCT a FROM t").unwrap();
+        let mut expected: Vec<i64> = rows.iter().map(|(a, _, _)| *a).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let mut got: Vec<i64> = distinct
+            .rows
+            .iter()
+            .map(|r| match r[0] {
+                SqlValue::Int(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,83 @@
+//! The graphical language end to end (Section 6): build a diagram
+//! programmatically (including the paper's Figure 2), validate it,
+//! translate to DL-Lite, export DOT, and slice a large ontology with the
+//! modularization and relevant-context tools.
+//!
+//! ```text
+//! cargo run -p mastro --example diagram_to_dllite
+//! ```
+
+use obda_dllite::printer::{self, Style};
+use obda_graphlang::{
+    diagram_to_tbox, figure2, horizontal_modules, relevant_context, tbox_to_diagram, to_dot,
+    validate, vertical_view, DetailLevel, Diagram, Edge, Shape,
+};
+
+fn main() {
+    // 1. The paper's Figure 2, verbatim.
+    let fig2 = figure2();
+    assert!(validate(&fig2).is_empty());
+    let tbox = diagram_to_tbox(&fig2).expect("well-formed");
+    println!("Figure 2 translates to:");
+    for ax in tbox.axioms() {
+        println!("  {}", printer::axiom(ax, &tbox.sig, Style::Display));
+    }
+
+    // 2. A richer hand-built diagram with every element kind.
+    let mut d = Diagram::new("library");
+    let book = d.terminal(Shape::Rectangle, "Book");
+    let person = d.terminal(Shape::Rectangle, "Person");
+    let author = d.terminal(Shape::Rectangle, "Author");
+    let wrote = d.terminal(Shape::Diamond, "wrote");
+    let title = d.terminal(Shape::Circle, "title");
+    // Author ⊑ Person; Author ⊑ ∃wrote.Book; ∃wrote⁻ ⊑ Book;
+    // δ(title) ⊑ Book; Book ⊑ ¬Person.
+    d.add_edge(Edge::Inclusion { from: author, to: person });
+    let wrote_some_book = d.existential(false, wrote, Some(book));
+    d.add_edge(Edge::Inclusion { from: author, to: wrote_some_book });
+    let wrote_inv = d.existential(true, wrote, None);
+    d.add_edge(Edge::Inclusion { from: wrote_inv, to: book });
+    let has_title = d.attr_domain(title);
+    d.add_edge(Edge::Inclusion { from: has_title, to: book });
+    d.add_edge(Edge::Disjointness { from: book, to: person });
+    let library = diagram_to_tbox(&d).expect("well-formed");
+    println!("\nlibrary diagram ({} nodes) translates to:", d.len());
+    for ax in library.axioms() {
+        println!("  {}", printer::axiom(ax, &library.sig, Style::Display));
+    }
+    println!("\nDOT export:\n{}", to_dot(&d));
+
+    // 3. Round trip: a textual ontology becomes a diagram.
+    let (round, unsupported) = tbox_to_diagram(&library, "roundtrip");
+    assert!(unsupported.is_empty());
+    let back = diagram_to_tbox(&round).expect("well-formed");
+    assert_eq!(back.len(), library.len());
+    println!("roundtrip: {} axioms preserved ✓", back.len());
+
+    // 4. Modularization (Section 6): horizontal domains + vertical views.
+    let big = obda_dllite::parse_tbox(
+        "concept Book Person Author Invoice Payment\nrole wrote pays\n\
+         Author [= Person\nAuthor [= exists wrote . Book\n\
+         Invoice [= exists pays\nexists inv(pays) [= Payment",
+    )
+    .unwrap();
+    let modules = horizontal_modules(&big);
+    println!("\nhorizontal modules of the mixed ontology:");
+    for m in &modules {
+        println!("  {} — {} axioms, {}", m.name, m.tbox.len(), m.tbox.sig);
+    }
+    for level in [DetailLevel::Taxonomy, DetailLevel::Typing, DetailLevel::Full] {
+        println!(
+            "vertical view {level:?}: {} axioms",
+            vertical_view(&big, level).len()
+        );
+    }
+
+    // 5. Relevant context for focused visualization.
+    let ctx = relevant_context(&big, &["Author"], 1);
+    println!(
+        "\nrelevant context of Author (radius 1): ring1 = {:?}, {} axioms",
+        ctx.ring(&big, 1),
+        ctx.tbox.len()
+    );
+}

@@ -1,0 +1,107 @@
+//! Quickstart: parse a small DL-Lite ontology, classify it with the
+//! graph-based classifier, check a few entailments, and answer a
+//! conjunctive query over an ABox.
+//!
+//! ```text
+//! cargo run -p mastro --example quickstart
+//! ```
+
+use mastro::AboxSystem;
+use obda_dllite::{parse_abox, parse_tbox, printer};
+use quonto::{deductive_closure, Classification, ClosureOptions, Implication};
+
+fn main() {
+    // 1. An ontology in the concrete DL-Lite syntax.
+    let tbox = parse_tbox(
+        "# A fragment of the paper's geographic example, plus a taxonomy.
+         concept County State Region Municipality
+         role isPartOf
+         attribute population
+
+         County [= exists isPartOf . State
+         State  [= exists inv(isPartOf) . County
+         Municipality [= exists isPartOf . County
+         County [= Region
+         State  [= Region
+         Municipality [= Region
+         County [= not State
+         domain(population) [= Region",
+    )
+    .expect("tbox parses");
+    println!("ontology: {} axioms over {}", tbox.len(), tbox.sig);
+
+    // 2. Classify (Definition 1 digraph → transitive closure → unsat).
+    let cls = Classification::classify(&tbox);
+    let county = tbox.sig.find_concept("County").unwrap();
+    let region = tbox.sig.find_concept("Region").unwrap();
+    println!("\nnamed subsumers of County:");
+    for b in cls.concept_subsumers(county) {
+        println!("  County ⊑ {}", tbox.sig.concept_name(b));
+    }
+    assert!(cls.subsumed_concept(county.into(), region.into()));
+    assert!(cls.unsat_concepts().is_empty());
+
+    // 3. Logical implication without materializing the closure.
+    let imp = Implication::new(&cls);
+    let probe = parse_tbox(
+        "concept County State Region Municipality\nrole isPartOf\nattribute population\n\
+         Municipality [= exists isPartOf",
+    )
+    .unwrap();
+    println!(
+        "\nT ⊨ Municipality ⊑ ∃isPartOf?  {}",
+        imp.entails(&probe.axioms()[0])
+    );
+
+    // 4. The finite deductive closure (Section 5's extension).
+    let closure = deductive_closure(&cls, ClosureOptions::default());
+    println!("deductive closure: {} axioms, e.g.:", closure.len());
+    for ax in closure.iter().take(5) {
+        println!("  {}", printer::axiom(ax, &tbox.sig, printer::Style::Display));
+    }
+
+    // 5. Incremental evolution: a new axiom updates the closure without
+    // reclassifying from scratch.
+    let mut evolving = cls.clone();
+    let patch = parse_tbox(
+        "concept County State Region Municipality\nrole isPartOf\nattribute population\n\
+         Region [= exists isPartOf",
+    )
+    .unwrap();
+    evolving.add_axioms(patch.axioms());
+    let is_part_of_dom = obda_dllite::BasicConcept::exists(
+        tbox.sig.find_role("isPartOf").unwrap(),
+    );
+    println!(
+        "\nafter incremental update: Municipality ⊑ ∃isPartOf? {}",
+        evolving.subsumed_concept(
+            tbox.sig.find_concept("Municipality").unwrap().into(),
+            is_part_of_dom,
+        )
+    );
+
+    // 6. The taxonomy (Hasse) view designers navigate.
+    let tax = quonto::Taxonomy::build(&cls);
+    println!("\ntaxonomy:\n{}", tax.render(&tbox.sig));
+
+    // 7. Certain-answer query answering over an ABox (PerfectRef).
+    let abox = parse_abox(
+        "Municipality(trastevere_is_not_one_but_ok)\n\
+         County(rome)\nisPartOf(rome, lazio)\nState(lazio)\npopulation(rome, 2761632)",
+        &tbox.sig,
+    )
+    .expect("abox parses");
+    let system = AboxSystem::new(tbox, abox);
+    for q in [
+        "q(x) :- Region(x)",
+        "q(x) :- isPartOf(x, y), State(y)",
+        "q(x, n) :- Region(x), population(x, n)",
+    ] {
+        let answers = system.answer(q).expect("query answers");
+        println!("\n{q}");
+        for tuple in &answers {
+            let rendered: Vec<String> = tuple.iter().map(ToString::to_string).collect();
+            println!("  ({})", rendered.join(", "));
+        }
+    }
+}
