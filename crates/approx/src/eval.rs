@@ -87,7 +87,10 @@ mod tests {
         let o = parse_owl(src).unwrap();
         let report = evaluate(&o, Budget::default()).unwrap();
         assert!(report.semantic_recall > report.syntactic_recall);
-        assert!(report.semantic_recall < 1.0, "A ⊑ D needs cross-axiom reasoning");
+        assert!(
+            report.semantic_recall < 1.0,
+            "A ⊑ D needs cross-axiom reasoning"
+        );
         assert!(report.semantic_tests < report.global_tests);
     }
 

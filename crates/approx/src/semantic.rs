@@ -19,8 +19,8 @@
 //!   per-axiom method's recall.
 
 use obda_dllite::{Axiom, BasicConcept, BasicRole, ConceptId, GeneralConcept, RoleId, Tbox};
-use obda_owl::{axiom_to_owl, OwlAxiom};
 use obda_owl::Ontology;
+use obda_owl::{axiom_to_owl, OwlAxiom};
 use obda_reasoners::{Budget, Tableau, TableauKb, Timeout};
 
 /// Outcome of a semantic approximation.
@@ -33,14 +33,8 @@ pub struct SemanticResult {
 }
 
 /// Candidate DL-Lite axioms over a restricted signature slice.
-fn candidates(
-    concepts: &[ConceptId],
-    roles: &[RoleId],
-) -> Vec<Axiom> {
-    let mut basics: Vec<BasicConcept> = concepts
-        .iter()
-        .map(|&a| BasicConcept::Atomic(a))
-        .collect();
+fn candidates(concepts: &[ConceptId], roles: &[RoleId]) -> Vec<Axiom> {
+    let mut basics: Vec<BasicConcept> = concepts.iter().map(|&a| BasicConcept::Atomic(a)).collect();
     let mut basic_roles: Vec<BasicRole> = Vec::new();
     for &p in roles {
         basic_roles.push(BasicRole::Direct(p));
@@ -78,10 +72,7 @@ fn candidates(
 /// Data-property axioms and already-QL axioms take the fast structural
 /// path (converted directly); everything else goes through candidate
 /// enumeration over its own signature against the single-axiom tableau.
-pub fn semantic_approximation(
-    onto: &Ontology,
-    budget: Budget,
-) -> Result<SemanticResult, Timeout> {
+pub fn semantic_approximation(onto: &Ontology, budget: Budget) -> Result<SemanticResult, Timeout> {
     let mut tbox = Tbox::with_signature(onto.sig.clone());
     let mut tests = 0usize;
     for ax in onto.axioms() {

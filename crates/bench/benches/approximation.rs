@@ -12,11 +12,9 @@ fn approximation(c: &mut Criterion) {
     group.sample_size(10);
     for seed in [1u64, 2, 3] {
         let onto = random_owl(seed, 6, 3, 12, 3);
-        group.bench_with_input(
-            BenchmarkId::new("syntactic", seed),
-            &onto,
-            |b, onto| b.iter(|| syntactic_approximation(onto)),
-        );
+        group.bench_with_input(BenchmarkId::new("syntactic", seed), &onto, |b, onto| {
+            b.iter(|| syntactic_approximation(onto))
+        });
         group.bench_with_input(
             BenchmarkId::new("semantic_per_axiom", seed),
             &onto,

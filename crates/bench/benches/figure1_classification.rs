@@ -20,11 +20,9 @@ fn figure1(c: &mut Criterion) {
     for preset in obda_genont::figure1_presets() {
         let spec = preset.scaled(0.1);
         let tbox = spec.generate();
-        group.bench_with_input(
-            BenchmarkId::new("quonto", &spec.name),
-            &tbox,
-            |b, tbox| b.iter(|| Classification::classify(tbox)),
-        );
+        group.bench_with_input(BenchmarkId::new("quonto", &spec.name), &tbox, |b, tbox| {
+            b.iter(|| Classification::classify(tbox))
+        });
         group.bench_with_input(
             BenchmarkId::new("consequence", &spec.name),
             &tbox,

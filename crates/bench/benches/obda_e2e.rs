@@ -33,11 +33,9 @@ fn obda_e2e(c: &mut Criterion) {
             let _ = sys.materialized_abox().expect("materializes");
         }
         for qs in &scenario.queries {
-            group.bench_with_input(
-                BenchmarkId::new(label, &qs.name),
-                &qs.text,
-                |b, text| b.iter(|| sys.answer(text).expect("answers")),
-            );
+            group.bench_with_input(BenchmarkId::new(label, &qs.name), &qs.text, |b, text| {
+                b.iter(|| sys.answer(text).expect("answers"))
+            });
         }
     }
     group.finish();

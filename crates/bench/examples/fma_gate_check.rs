@@ -1,0 +1,29 @@
+fn main() {
+    let spec = obda_genont::presets::fma_2_0();
+    let tbox = spec.generate();
+    println!("FMA 2.0 preset: {} concepts", tbox.stats().concepts);
+    let g = quonto::TboxGraph::build(&tbox);
+    println!("graph nodes: {}", g.num_nodes());
+    use quonto::ClosureEngine;
+    // The dense engine refuses graphs this size:
+    assert!(g.num_nodes() > quonto::BitsetEngine::MAX_NODES);
+    let start = std::time::Instant::now();
+    let engine = quonto::ChunkedBitsetEngine::with_threads(2);
+    let c = engine.compute(&g);
+    println!(
+        "chunked-bitset(threads=2): {} closure arcs in {:.2?}",
+        c.num_arcs(),
+        start.elapsed()
+    );
+    let start = std::time::Instant::now();
+    let c2 = quonto::SccEngine.compute(&g);
+    println!("scc reference: {} arcs in {:.2?}", c2.num_arcs(), start.elapsed());
+    for v in 0..g.num_nodes() {
+        assert_eq!(
+            c.successors(quonto::NodeId(v as u32)),
+            c2.successors(quonto::NodeId(v as u32)),
+            "divergence at node {v}"
+        );
+    }
+    println!("closures identical: OK");
+}

@@ -2,42 +2,62 @@
 //! benchmark-ontology analogs for the five reasoners.
 //!
 //! ```text
-//! cargo run -p obda-bench --release --bin figure1 -- [--scale F] [--budget SECS] [--only NAME]
+//! cargo run -p obda-bench --release --bin figure1 -- \
+//!     [--scale F] [--budget SECS] [--only NAME] [--threads N] [--verbose]
 //! ```
 //!
-//! Defaults: `--scale 0.05 --budget 30`. At scale 1.0 the presets match
-//! the published ontology sizes; the tableau columns then time out on
-//! everything beyond the small ontologies (as the originals did at one
-//! hour in the paper) — use a larger `--budget` if you want them to
-//! finish. The graph-based and consequence-based columns run at full
-//! scale in seconds.
+//! Defaults: `--scale 0.05 --budget 30 --threads 1`. At scale 1.0 the
+//! presets match the published ontology sizes; the tableau columns then
+//! time out on everything beyond the small ontologies (as the originals
+//! did at one hour in the paper) — use a larger `--budget` if you want
+//! them to finish. The graph-based and consequence-based columns run at
+//! full scale in seconds.
+//!
+//! `--threads N` shards the closure computation and the tableau
+//! subsumption tests across N worker threads (`0` = all cores); results
+//! are identical at every thread count. `--verbose` additionally prints
+//! quonto's per-phase timing breakdown (sets `QUONTO_TIMINGS=1`).
 
-use obda_bench::{format_figure1, run_figure1};
+use obda_bench::{format_figure1, run_figure1_threaded};
 
 fn main() {
     let mut scale = 0.05f64;
     let mut budget = 30u64;
+    let mut threads = 1usize;
     let mut only: Option<String> = None;
+    let mut verbose = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
             "--budget" => budget = args.next().and_then(|v| v.parse().ok()).unwrap_or(budget),
+            "--threads" => threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(threads),
             "--only" => only = args.next(),
+            "--verbose" => verbose = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
             }
         }
     }
+    if verbose {
+        // `Classification::classify_with` prints its phase breakdown
+        // (engine name, thread count, graph/closure/unsat ms) when set.
+        std::env::set_var("QUONTO_TIMINGS", "1");
+    }
+    let effective_threads = if threads == 0 {
+        quonto::default_threads()
+    } else {
+        threads
+    };
     println!(
-        "Figure 1 reproduction — classification wall-times (seconds), scale={scale}, timeout={budget}s"
+        "Figure 1 reproduction — classification wall-times (seconds), scale={scale}, timeout={budget}s, threads={effective_threads}"
     );
     println!(
         "(column stand-ins: QuOnto=graph-based [this paper], FaCT++=tableau/enhanced, HermiT=tableau/told, Pellet=tableau/naive, CB=consequence-based)"
     );
     println!();
-    let rows = run_figure1(scale, budget, only.as_deref());
+    let rows = run_figure1_threaded(scale, budget, only.as_deref(), threads);
     println!("{}", format_figure1(&rows));
     // Shape summary mirroring the paper's claims.
     let mut quonto_wins = 0usize;

@@ -38,9 +38,8 @@ fn main() {
         let pr_rewrite = t0.elapsed();
         let pr_sql = count_ucq_combos(&ucq, &sys.mappings, &sys.db).expect("unfolds");
         let t1 = Instant::now();
-        let pr_answers =
-            mastro::rewrite::unfold::answer_ucq_virtual(&ucq, &sys.mappings, &sys.db)
-                .expect("executes");
+        let pr_answers = mastro::rewrite::unfold::answer_ucq_virtual(&ucq, &sys.mappings, &sys.db)
+            .expect("executes");
         let pr_answer = t1.elapsed();
 
         let t2 = Instant::now();

@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use obda_dllite::Tbox;
 use obda_genont::OntologySpec;
 use obda_owl::tbox_to_owl;
-use obda_reasoners::{classify_tableau, Budget, NamedClassification, TableauProfile};
+use obda_reasoners::{classify_tableau_threaded, Budget, NamedClassification, TableauProfile};
 use quonto::{Classification, NodeKind};
 
 /// Converts a finished graph-based classification into the shared
@@ -126,12 +126,28 @@ impl Reasoner {
 /// Runs one classifier on one TBox under a wall-clock budget and returns
 /// timing plus result shape. The OWL view is built outside the timed
 /// section for the tableau profiles (parsing/loading is not what Figure 1
-/// measures).
+/// measures). Single-threaded; see [`run_classifier_threaded`].
 pub fn run_classifier(reasoner: Reasoner, tbox: &Tbox, budget_secs: u64) -> RunResult {
+    run_classifier_threaded(reasoner, tbox, budget_secs, 1)
+}
+
+/// [`run_classifier`] with a worker-thread knob (`0` = all cores): the
+/// graph-based classifier picks its closure engine via
+/// [`quonto::recommended_with_threads`], and the tableau profiles shard
+/// their subsumption tests across workers. `threads == 1` reproduces
+/// `run_classifier` exactly; every reasoner reports identical results at
+/// every thread count (only wall-time changes).
+pub fn run_classifier_threaded(
+    reasoner: Reasoner,
+    tbox: &Tbox,
+    budget_secs: u64,
+    threads: usize,
+) -> RunResult {
     match reasoner {
         Reasoner::Quonto => {
+            let engine = quonto::recommended_with_threads(threads);
             let start = Instant::now();
-            let cls = Classification::classify(tbox);
+            let cls = Classification::classify_with(tbox, engine.as_ref());
             let time = start.elapsed();
             let named = quonto_named(&cls);
             RunResult::Done {
@@ -158,7 +174,7 @@ pub fn run_classifier(reasoner: Reasoner, tbox: &Tbox, budget_secs: u64) -> RunR
             };
             let onto = tbox_to_owl(tbox);
             let start = Instant::now();
-            match classify_tableau(&onto, profile, Budget::seconds(budget_secs)) {
+            match classify_tableau_threaded(&onto, profile, Budget::seconds(budget_secs), threads) {
                 Ok(named) => RunResult::Done {
                     time: start.elapsed(),
                     concept_pairs: named.concept_pairs.len(),
@@ -184,8 +200,19 @@ pub struct Figure1Row {
 /// Runs the Figure 1 suite. `scale` multiplies every preset's sizes
 /// (1.0 = the published scales); `budget_secs` is the per-run timeout
 /// (the paper used 3600s); `filter` restricts to ontologies whose name
-/// contains the string.
+/// contains the string. Single-threaded; see [`run_figure1_threaded`].
 pub fn run_figure1(scale: f64, budget_secs: u64, filter: Option<&str>) -> Vec<Figure1Row> {
+    run_figure1_threaded(scale, budget_secs, filter, 1)
+}
+
+/// [`run_figure1`] with a worker-thread knob (`0` = all cores), threaded
+/// through to every classifier via [`run_classifier_threaded`].
+pub fn run_figure1_threaded(
+    scale: f64,
+    budget_secs: u64,
+    filter: Option<&str>,
+    threads: usize,
+) -> Vec<Figure1Row> {
     let mut rows = Vec::new();
     for preset in obda_genont::figure1_presets() {
         if let Some(f) = filter {
@@ -202,7 +229,7 @@ pub fn run_figure1(scale: f64, budget_secs: u64, filter: Option<&str>) -> Vec<Fi
         let stats = tbox.stats();
         let mut results = Vec::new();
         for r in Reasoner::figure1_columns() {
-            let outcome = run_classifier(r, &tbox, budget_secs);
+            let outcome = run_classifier_threaded(r, &tbox, budget_secs, threads);
             // Stream progress so long runs are observable.
             eprintln!("  {} / {}: {}", spec.name, r.header(), outcome.cell());
             results.push((r, outcome));

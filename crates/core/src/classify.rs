@@ -10,9 +10,7 @@
 //! empty predicate is subsumed by everything of its sort) or `S₂` is
 //! reachable from `S₁` in the closure.
 
-use obda_dllite::{
-    AttributeId, BasicConcept, BasicRole, ConceptId, NamedPredicate, RoleId, Tbox,
-};
+use obda_dllite::{AttributeId, BasicConcept, BasicRole, ConceptId, NamedPredicate, RoleId, Tbox};
 
 use crate::closure::{recommended, Closure, ClosureEngine};
 use crate::graph::{NodeId, NodeKind, TboxGraph};
@@ -35,10 +33,34 @@ impl Classification {
 
     /// Classifies `tbox` with an explicit closure engine (used by the
     /// ablation benchmarks).
+    ///
+    /// With `QUONTO_TIMINGS=1` in the environment, prints a one-line
+    /// phase breakdown (graph build / closure / unsat, engine name and
+    /// thread count) to stderr — consumed by `figure1 --verbose`.
     pub fn classify_with(tbox: &Tbox, engine: &dyn ClosureEngine) -> Self {
+        let timings = std::env::var_os("QUONTO_TIMINGS").is_some_and(|v| v == "1");
+        let t0 = std::time::Instant::now();
         let graph = TboxGraph::build(tbox);
+        // Resolve meta-engines (AutoEngine) so the timing line names the
+        // engine that actually ran.
+        let resolved = engine.select_for(&graph);
+        let engine: &dyn ClosureEngine = resolved.as_deref().unwrap_or(engine);
+        let t1 = std::time::Instant::now();
         let closure = engine.compute(&graph);
+        let t2 = std::time::Instant::now();
         let unsat = compute_unsat(&graph);
+        if timings {
+            let t3 = std::time::Instant::now();
+            eprintln!(
+                "quonto-timings engine={} threads={} nodes={} graph_ms={:.2} closure_ms={:.2} unsat_ms={:.2}",
+                engine.name(),
+                engine.threads(),
+                graph.num_nodes(),
+                (t1 - t0).as_secs_f64() * 1e3,
+                (t2 - t1).as_secs_f64() * 1e3,
+                (t3 - t2).as_secs_f64() * 1e3,
+            );
+        }
         Classification {
             graph,
             closure,
@@ -114,7 +136,8 @@ impl Classification {
 
     /// Whether an atomic role is unsatisfiable.
     pub fn role_unsat(&self, p: RoleId) -> bool {
-        self.unsat.contains(self.graph.role_node(BasicRole::Direct(p)))
+        self.unsat
+            .contains(self.graph.role_node(BasicRole::Direct(p)))
     }
 
     /// Whether an attribute is unsatisfiable.
@@ -331,10 +354,7 @@ mod tests {
 
     #[test]
     fn named_subsumptions_exclude_unsat_and_existentials() {
-        let t = parse_tbox(
-            "concept A B C\nrole p\nA [= B\nC [= not C\nA [= exists p",
-        )
-        .unwrap();
+        let t = parse_tbox("concept A B C\nrole p\nA [= B\nC [= not C\nA [= exists p").unwrap();
         let c = Classification::classify(&t);
         let subs = c.named_subsumptions();
         // Only A ⊑ B is a named–named pair between satisfiable predicates:

@@ -30,6 +30,12 @@ pub struct Closure {
 }
 
 impl Closure {
+    /// Builds a closure from per-node sorted successor lists (used by the
+    /// parallel engines in [`crate::closure_par`]).
+    pub(crate) fn from_successor_lists(succ: Vec<Vec<u32>>) -> Self {
+        Closure { succ }
+    }
+
     /// Non-trivial successors of `n` (nodes reachable through at least one
     /// arc), sorted ascending.
     #[inline]
@@ -62,10 +68,15 @@ impl Closure {
         if let Err(pos) = targets.binary_search(&to.0) {
             targets.insert(pos, to.0);
         }
+        // One scratch buffer reused across predecessors: after each merge
+        // it swaps with the predecessor's old list, so the loop allocates
+        // at most once per call instead of once per predecessor.
+        let mut merged: Vec<u32> = Vec::new();
         for p in predecessors_reflexive(g, from) {
             let existing = &self.succ[p as usize];
             // Sorted merge, skipping already-present targets.
-            let mut merged = Vec::with_capacity(existing.len() + targets.len());
+            merged.clear();
+            merged.reserve(existing.len() + targets.len());
             let (mut i, mut j) = (0usize, 0usize);
             while i < existing.len() || j < targets.len() {
                 match (existing.get(i), targets.get(j)) {
@@ -97,7 +108,7 @@ impl Closure {
             // `merged` from `targets` only when the new arc closes a
             // cycle through `p`, and from `existing` only if it was
             // already on one.
-            self.succ[p as usize] = merged;
+            std::mem::swap(&mut self.succ[p as usize], &mut merged);
         }
     }
 
@@ -119,13 +130,126 @@ pub trait ClosureEngine {
 
     /// Computes the transitive closure.
     fn compute(&self, g: &TboxGraph) -> Closure;
+
+    /// Number of worker threads the engine uses (1 for the sequential
+    /// engines; reported in the `QUONTO_TIMINGS` breakdown).
+    fn threads(&self) -> usize {
+        1
+    }
+
+    /// For meta-engines ([`AutoEngine`]): the concrete engine chosen for
+    /// this graph, so callers can attribute timings to it. Concrete
+    /// engines return `None`.
+    fn select_for(&self, _g: &TboxGraph) -> Option<Box<dyn ClosureEngine>> {
+        None
+    }
 }
 
-/// Returns the engine used by default throughout the crate: the SCC
-/// condensation engine, which is never asymptotically worse than plain
-/// per-source search and strictly better on cyclic hierarchies.
+/// Returns the engine used by default throughout the crate:
+/// [`AutoEngine`], which picks a concrete engine from the graph size and
+/// the machine's available parallelism at `compute` time, honouring the
+/// `QUONTO_CLOSURE` environment override (see [`AutoEngine`] for the
+/// selection rule and the accepted override values).
 pub fn recommended() -> Box<dyn ClosureEngine> {
-    Box::new(SccEngine)
+    Box::new(AutoEngine::default())
+}
+
+/// Like [`recommended`], with an explicit worker-thread knob (`0` = all
+/// available cores) — used by the benchmark harness's `--threads` flag.
+pub fn recommended_with_threads(threads: usize) -> Box<dyn ClosureEngine> {
+    Box::new(AutoEngine::with_threads(threads))
+}
+
+/// Engine that defers selection to `compute` time, when both the graph
+/// size and the machine's parallelism are known.
+///
+/// Selection rule (see DESIGN.md "Engine selection & parallel scaling"):
+///
+/// 1. If `QUONTO_CLOSURE` is set to `dfs`, `bfs`, `scc`, `bitset`, `par`
+///    (par-scc) or `chunked` (chunked-bitset), that engine is used
+///    unconditionally (`auto` restores the heuristic).
+/// 2. Graphs under [`AutoEngine::SMALL_GRAPH`] nodes use [`SccEngine`]:
+///    thread spawn/join overhead dominates below that size.
+/// 3. With one usable core, dense graphs up to
+///    [`BitsetEngine::MAX_NODES`] use [`BitsetEngine`], larger ones
+///    [`SccEngine`].
+/// 4. With multiple cores, everything else uses the block-parallel
+///    [`ChunkedBitsetEngine`](crate::closure_par::ChunkedBitsetEngine),
+///    whose `O(V)`-per-block memory never trips a size gate.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoEngine {
+    threads: usize,
+}
+
+impl AutoEngine {
+    /// Below this node count the sequential SCC engine always wins.
+    pub const SMALL_GRAPH: usize = 2048;
+
+    /// Auto-selection with an explicit thread knob (`0` = all cores).
+    pub fn with_threads(threads: usize) -> Self {
+        AutoEngine {
+            threads: if threads == 0 {
+                crate::closure_par::default_threads()
+            } else {
+                threads
+            },
+        }
+    }
+
+    /// Resolves the concrete engine for a given graph (public so the
+    /// timing breakdown can name the selected engine).
+    pub fn select(&self, g: &TboxGraph) -> Box<dyn ClosureEngine> {
+        use crate::closure_par::{ChunkedBitsetEngine, ParSccEngine};
+        if let Ok(name) = std::env::var("QUONTO_CLOSURE") {
+            match name.as_str() {
+                "dfs" => return Box::new(DfsEngine),
+                "bfs" => return Box::new(BfsEngine),
+                "scc" => return Box::new(SccEngine),
+                "bitset" => return Box::new(BitsetEngine),
+                "par" | "par-scc" => return Box::new(ParSccEngine::with_threads(self.threads)),
+                "chunked" | "chunked-bitset" => {
+                    return Box::new(ChunkedBitsetEngine::with_threads(self.threads))
+                }
+                _ => {} // "auto" and unknown values fall through
+            }
+        }
+        let n = g.num_nodes();
+        if n < Self::SMALL_GRAPH {
+            Box::new(SccEngine)
+        } else if self.threads <= 1 {
+            if n <= BitsetEngine::MAX_NODES {
+                Box::new(BitsetEngine)
+            } else {
+                Box::new(SccEngine)
+            }
+        } else {
+            Box::new(ChunkedBitsetEngine::with_threads(self.threads))
+        }
+    }
+}
+
+impl Default for AutoEngine {
+    fn default() -> Self {
+        Self::with_threads(0)
+    }
+}
+
+impl ClosureEngine for AutoEngine {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn compute(&self, g: &TboxGraph) -> Closure {
+        self.select(g).compute(g)
+    }
+
+    fn select_for(&self, g: &TboxGraph) -> Option<Box<dyn ClosureEngine>> {
+        Some(self.select(g))
+    }
 }
 
 /// Per-source iterative DFS.
@@ -348,8 +472,13 @@ impl ClosureEngine for SccEngine {
         for v in 0..n as u32 {
             let c = cond.comp_of[v as usize] as usize;
             let own = &cond.members[c];
-            let mut out: Vec<u32> =
-                Vec::with_capacity(own.len() - 1 + reach[c].iter().map(|&d| cond.members[d as usize].len()).sum::<usize>());
+            let mut out: Vec<u32> = Vec::with_capacity(
+                own.len() - 1
+                    + reach[c]
+                        .iter()
+                        .map(|&d| cond.members[d as usize].len())
+                        .sum::<usize>(),
+            );
             if own.len() > 1 {
                 // Cycle: every other member, and v itself, is a successor.
                 out.extend(own.iter().copied());
@@ -431,13 +560,17 @@ impl ClosureEngine for BitsetEngine {
     }
 }
 
-/// All engines, for ablation benchmarks and cross-checking tests.
+/// All engines, for ablation benchmarks and cross-checking tests. The
+/// parallel engines are included with their default (all-cores) thread
+/// counts.
 pub fn all_engines() -> Vec<Box<dyn ClosureEngine>> {
     vec![
         Box::new(DfsEngine),
         Box::new(BfsEngine),
         Box::new(SccEngine),
         Box::new(BitsetEngine),
+        Box::new(crate::closure_par::ParSccEngine::default()),
+        Box::new(crate::closure_par::ChunkedBitsetEngine::default()),
     ]
 }
 
@@ -547,6 +680,61 @@ mod tests {
         for e in all_engines() {
             let (_, c) = closure_of(CHAIN, e.as_ref());
             assert_eq!(c.num_arcs(), 3 + 2 + 1, "engine {}", e.name());
+        }
+    }
+
+    /// Reference one-edge update that allocates a fresh union per
+    /// predecessor — the pre-optimization behavior `insert_edge`'s
+    /// scratch-buffer merge must reproduce exactly.
+    fn insert_edge_allocating(c: &mut Closure, g: &TboxGraph, from: NodeId, to: NodeId) {
+        if c.reaches(from, to) {
+            return;
+        }
+        let mut targets: Vec<u32> = c.succ[to.index()].clone();
+        if let Err(pos) = targets.binary_search(&to.0) {
+            targets.insert(pos, to.0);
+        }
+        for p in predecessors_reflexive(g, from) {
+            let mut merged: Vec<u32> = c.succ[p as usize]
+                .iter()
+                .chain(targets.iter())
+                .copied()
+                .collect();
+            merged.sort_unstable();
+            merged.dedup();
+            c.succ[p as usize] = merged;
+        }
+    }
+
+    #[test]
+    fn insert_edge_matches_allocating_path_and_recompute() {
+        // Start from the partial ontology, then add axioms one at a time;
+        // after every step the scratch-buffer update must agree with both
+        // the allocating reference and a full recompute.
+        let base = "concept A B C D E\nrole p\nA [= B\nD [= E";
+        let extra = ["B [= C", "C [= A", "C [= exists p", "exists inv(p) [= D"];
+        let t = parse_tbox(base).unwrap();
+        let mut g1 = TboxGraph::build(&t);
+        let mut g2 = TboxGraph::build(&t);
+        let mut fast = SccEngine.compute(&g1);
+        let mut reference = fast.clone();
+        let mut full = parse_tbox(base).unwrap();
+        for src in extra {
+            let grown = parse_tbox(&format!("{base}\n{src}")).unwrap();
+            let ax = *grown.axioms().last().unwrap();
+            full.add(ax);
+            for (from, to) in g1.insert_axiom(&ax) {
+                fast.insert_edge(&g1, from, to);
+            }
+            for (from, to) in g2.insert_axiom(&ax) {
+                insert_edge_allocating(&mut reference, &g2, from, to);
+            }
+            let recomputed = SccEngine.compute(&TboxGraph::build(&full));
+            for v in 0..fast.num_nodes() {
+                let n = NodeId(v as u32);
+                assert_eq!(fast.successors(n), reference.successors(n), "after {src}");
+                assert_eq!(fast.successors(n), recomputed.successors(n), "after {src}");
+            }
         }
     }
 }

@@ -84,19 +84,16 @@ pub fn deductive_closure(cls: &Classification, opts: ClosureOptions) -> Vec<Axio
             continue;
         }
         let mut supers: Vec<obda_dllite::BasicRole> = vec![q0];
-        supers.extend(
-            closure
-                .successors(g.role_node(q0))
-                .iter()
-                .filter_map(|&v| match g.node_kind(NodeId(v)) {
-                    NodeKind::Role(p, inv) => Some(if inv {
-                        obda_dllite::BasicRole::Inverse(p)
-                    } else {
-                        obda_dllite::BasicRole::Direct(p)
-                    }),
-                    _ => None,
+        supers.extend(closure.successors(g.role_node(q0)).iter().filter_map(|&v| {
+            match g.node_kind(NodeId(v)) {
+                NodeKind::Role(p, inv) => Some(if inv {
+                    obda_dllite::BasicRole::Inverse(p)
+                } else {
+                    obda_dllite::BasicRole::Direct(p)
                 }),
-        );
+                _ => None,
+            }
+        }));
         supers.dedup();
         for lhs_id in predecessors_reflexive(g, exists_node) {
             let lhs_node = NodeId(lhs_id);
@@ -179,9 +176,7 @@ pub fn deductive_closure(cls: &Classification, opts: ClosureOptions) -> Vec<Axio
                             GeneralRole::Neg(g.node_as_role(s2)),
                         ),
                         NodeSort::Attr => match (g.node_kind(s1), g.node_kind(s2)) {
-                            (NodeKind::Attr(u1), NodeKind::Attr(u2)) => {
-                                Axiom::AttrNegIncl(u1, u2)
-                            }
+                            (NodeKind::Attr(u1), NodeKind::Attr(u2)) => Axiom::AttrNegIncl(u1, u2),
                             other => unreachable!("attr NI over {other:?}"),
                         },
                     };

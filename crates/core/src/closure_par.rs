@@ -1,0 +1,474 @@
+//! Multi-threaded transitive-closure engines (std-only: scoped threads,
+//! no external crates).
+//!
+//! Both engines start from the same Tarjan condensation as
+//! [`SccEngine`](crate::closure::SccEngine) and parallelize the two
+//! expensive phases — reachable-set propagation over the condensation and
+//! expansion back to per-node successor lists:
+//!
+//! * [`ParSccEngine`] — layers the reverse-topological component order
+//!   into *levels* (a component's level is one more than the maximum
+//!   level of its successors). All components in a level depend only on
+//!   lower levels, so each level's reachable-set merges fan out across
+//!   worker threads with a join barrier per level.
+//! * [`ChunkedBitsetEngine`] — processes source components in 64-wide
+//!   *blocks*: one `u64` word per component records which of the block's
+//!   64 sources reach it, and a single forward-topological sweep
+//!   propagates the words along condensation arcs. Memory is `O(V)` per
+//!   in-flight block (unlike the dense engine's `O(V²/8)` matrix, so
+//!   there is no size gate), and blocks are independent, so they spread
+//!   across worker threads with no synchronization at all.
+//!
+//! Both produce [`Closure`]s bit-identical to the sequential engines
+//! (property-tested in `tests/proptest_closure_par.rs`): per-component
+//! work is deterministic and workers write disjoint slots.
+
+use std::num::NonZeroUsize;
+
+use crate::closure::{Closure, ClosureEngine, Condensation};
+use crate::graph::TboxGraph;
+
+/// Number of worker threads the machine comfortably supports.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a thread knob: `0` means "use all available cores".
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+}
+
+/// Splits `items` into at most `parts` contiguous chunks of near-equal
+/// size (returns ranges; never yields empty chunks).
+fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Expands component-level reachability (`comp_reach[c]` = sorted comp
+/// ids reachable from `c`, excluding `c`) to per-node sorted successor
+/// lists, in parallel over contiguous node ranges.
+fn expand_nodes_parallel(
+    g: &TboxGraph,
+    cond: &Condensation,
+    comp_reach: &[Vec<u32>],
+    threads: usize,
+) -> Vec<Vec<u32>> {
+    let n = g.num_nodes();
+    let mut succ: Vec<Vec<u32>> = Vec::with_capacity(n);
+    if threads <= 1 || n < 4096 {
+        for v in 0..n {
+            succ.push(node_successors(cond, comp_reach, v));
+        }
+        return succ;
+    }
+    let ranges = chunk_ranges(n, threads);
+    let mut parts: Vec<Vec<Vec<u32>>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                s.spawn(move || {
+                    r.map(|v| node_successors(cond, comp_reach, v))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("closure expansion worker panicked"));
+        }
+    });
+    for part in parts {
+        succ.extend(part);
+    }
+    succ
+}
+
+/// Sorted successor list of one node given component-level reachability.
+fn node_successors(cond: &Condensation, comp_reach: &[Vec<u32>], v: usize) -> Vec<u32> {
+    let c = cond.comp_of[v] as usize;
+    let own = &cond.members[c];
+    let reach = &comp_reach[c];
+    let mut out: Vec<u32> = Vec::with_capacity(
+        if own.len() > 1 { own.len() } else { 0 }
+            + reach
+                .iter()
+                .map(|&d| cond.members[d as usize].len())
+                .sum::<usize>(),
+    );
+    if own.len() > 1 {
+        // Cycle: every member (including v itself) is a successor.
+        out.extend(own.iter().copied());
+    }
+    for &d in reach {
+        out.extend(cond.members[d as usize].iter().copied());
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Level-scheduled parallel SCC-condensation engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ParSccEngine {
+    threads: usize,
+}
+
+impl ParSccEngine {
+    /// Engine with an explicit worker count (`0` = all cores).
+    pub fn with_threads(threads: usize) -> Self {
+        ParSccEngine {
+            threads: resolve_threads(threads),
+        }
+    }
+
+    /// Worker count this engine will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ParSccEngine {
+    fn default() -> Self {
+        Self::with_threads(0)
+    }
+}
+
+/// Below this many components in a level, spawning threads costs more
+/// than the merges themselves; such levels run inline.
+const LEVEL_PAR_CUTOFF: usize = 128;
+
+impl ClosureEngine for ParSccEngine {
+    fn name(&self) -> &'static str {
+        "par-scc"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn compute(&self, g: &TboxGraph) -> Closure {
+        let cond = Condensation::build(g);
+        let nc = cond.num_comps();
+        // Layer components: level(c) = 1 + max level(successor). Tarjan's
+        // emission order is reverse topological (successors first), so one
+        // ascending pass suffices.
+        let mut level = vec![0u32; nc];
+        let mut max_level = 0u32;
+        for c in 0..nc {
+            let l = cond.comp_succ[c]
+                .iter()
+                .map(|&d| level[d as usize] + 1)
+                .max()
+                .unwrap_or(0);
+            level[c] = l;
+            max_level = max_level.max(l);
+        }
+        let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_level as usize + 1];
+        for c in 0..nc {
+            levels[level[c] as usize].push(c as u32);
+        }
+
+        // reach[c]: sorted component ids reachable from c (excluding c).
+        let mut reach: Vec<Vec<u32>> = vec![Vec::new(); nc];
+        // Per-worker epoch-stamped mark buffers, reused across levels
+        // (stamps are component ids, which are globally unique).
+        let workers = self.threads.max(1);
+        let mut marks: Vec<Vec<u32>> = vec![vec![u32::MAX; nc]; workers];
+
+        for comps in &levels {
+            if workers <= 1 || comps.len() < LEVEL_PAR_CUTOFF {
+                let mark = &mut marks[0];
+                for &c in comps {
+                    let out = merge_reach(&cond, &reach, mark, c);
+                    reach[c as usize] = out;
+                }
+                continue;
+            }
+            let ranges = chunk_ranges(comps.len(), workers);
+            let mut results: Vec<Vec<(u32, Vec<u32>)>> = Vec::with_capacity(ranges.len());
+            std::thread::scope(|s| {
+                let reach_ref = &reach;
+                let cond_ref = &cond;
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .zip(marks.iter_mut())
+                    .map(|(r, mark)| {
+                        let slice = &comps[r.clone()];
+                        s.spawn(move || {
+                            slice
+                                .iter()
+                                .map(|&c| (c, merge_reach(cond_ref, reach_ref, mark, c)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("closure level worker panicked"));
+                }
+            });
+            for part in results {
+                for (c, out) in part {
+                    reach[c as usize] = out;
+                }
+            }
+        }
+
+        let succ = expand_nodes_parallel(g, &cond, &reach, self.threads);
+        Closure::from_successor_lists(succ)
+    }
+}
+
+/// Merges the reachable sets of `c`'s successors (all already computed)
+/// into a sorted, duplicate-free list, using an epoch-stamped mark
+/// buffer.
+fn merge_reach(cond: &Condensation, reach: &[Vec<u32>], mark: &mut [u32], c: u32) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    for &d in &cond.comp_succ[c as usize] {
+        if mark[d as usize] != c {
+            mark[d as usize] = c;
+            out.push(d);
+        }
+        for &e in &reach[d as usize] {
+            if mark[e as usize] != c {
+                mark[e as usize] = c;
+                out.push(e);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Block-parallel bit-slab engine: `O(V)` memory per in-flight block, no
+/// node-count gate.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkedBitsetEngine {
+    threads: usize,
+}
+
+impl ChunkedBitsetEngine {
+    /// Engine with an explicit worker count (`0` = all cores).
+    pub fn with_threads(threads: usize) -> Self {
+        ChunkedBitsetEngine {
+            threads: resolve_threads(threads),
+        }
+    }
+
+    /// Worker count this engine will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ChunkedBitsetEngine {
+    fn default() -> Self {
+        Self::with_threads(0)
+    }
+}
+
+impl ClosureEngine for ChunkedBitsetEngine {
+    fn name(&self) -> &'static str {
+        "chunked-bitset"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn compute(&self, g: &TboxGraph) -> Closure {
+        let cond = Condensation::build(g);
+        let nc = cond.num_comps();
+        if nc == 0 {
+            return Closure::from_successor_lists(Vec::new());
+        }
+        let num_blocks = nc.div_ceil(64);
+
+        // comp_reach[c]: sorted comp ids reachable from c (excluding c).
+        let mut comp_reach: Vec<Vec<u32>> = vec![Vec::new(); nc];
+        let compute_block_range = |blocks: std::ops::Range<usize>| -> Vec<(usize, Vec<Vec<u32>>)> {
+            // One u64 per component: bit i set ⟺ the block's i-th source
+            // reaches this component. Reused (re-zeroed) across blocks.
+            let mut w = vec![0u64; nc];
+            let mut out = Vec::with_capacity(blocks.len());
+            for b in blocks {
+                let lo = b * 64;
+                let hi = ((b + 1) * 64).min(nc);
+                w[..hi].fill(0);
+                for (i, s) in (lo..hi).enumerate() {
+                    w[s] |= 1u64 << i;
+                }
+                // Condensation arcs run from higher to lower component id
+                // (Tarjan emits successors first), so one descending sweep
+                // is a forward-topological propagation. Components above
+                // `hi` can never carry block bits — skip them.
+                for c in (0..hi).rev() {
+                    let wc = w[c];
+                    if wc == 0 {
+                        continue;
+                    }
+                    for &d in &cond.comp_succ[c] {
+                        w[d as usize] |= wc;
+                    }
+                }
+                // Ascending scan yields each source's reach list already
+                // sorted. Clear the source's own bit first so the list
+                // excludes `c` itself (cycles are reintroduced during node
+                // expansion from `members`).
+                let mut lists: Vec<Vec<u32>> = vec![Vec::new(); hi - lo];
+                for (i, s) in (lo..hi).enumerate() {
+                    w[s] &= !(1u64 << i);
+                }
+                for (c, &wc) in w[..hi].iter().enumerate() {
+                    let mut bits = wc;
+                    while bits != 0 {
+                        let i = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        lists[i].push(c as u32);
+                    }
+                }
+                out.push((b, lists));
+            }
+            out
+        };
+
+        if self.threads <= 1 || num_blocks == 1 {
+            for (b, lists) in compute_block_range(0..num_blocks) {
+                for (i, list) in lists.into_iter().enumerate() {
+                    comp_reach[b * 64 + i] = list;
+                }
+            }
+        } else {
+            let ranges = chunk_ranges(num_blocks, self.threads);
+            let mut results: Vec<Vec<(usize, Vec<Vec<u32>>)>> = Vec::with_capacity(ranges.len());
+            std::thread::scope(|s| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|r| {
+                        let r = r.clone();
+                        let f = &compute_block_range;
+                        s.spawn(move || f(r))
+                    })
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("bitset block worker panicked"));
+                }
+            });
+            for part in results {
+                for (b, lists) in part {
+                    for (i, list) in lists.into_iter().enumerate() {
+                        comp_reach[b * 64 + i] = list;
+                    }
+                }
+            }
+        }
+
+        let succ = expand_nodes_parallel(g, &cond, &comp_reach, self.threads);
+        Closure::from_successor_lists(succ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::SccEngine;
+    use obda_dllite::parse_tbox;
+
+    fn engines_under_test(threads: usize) -> Vec<Box<dyn ClosureEngine>> {
+        vec![
+            Box::new(ParSccEngine::with_threads(threads)),
+            Box::new(ChunkedBitsetEngine::with_threads(threads)),
+        ]
+    }
+
+    fn assert_matches_scc(src: &str) {
+        let t = parse_tbox(src).unwrap();
+        let g = TboxGraph::build(&t);
+        let reference = SccEngine.compute(&g);
+        for threads in [1, 2, 4] {
+            for e in engines_under_test(threads) {
+                let c = e.compute(&g);
+                for v in 0..g.num_nodes() {
+                    assert_eq!(
+                        c.successors(crate::graph::NodeId(v as u32)),
+                        reference.successors(crate::graph::NodeId(v as u32)),
+                        "engine {} threads {} node {}",
+                        e.name(),
+                        threads,
+                        v
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_matches_scc() {
+        assert_matches_scc("concept A B C D\nA [= B\nB [= C\nC [= D");
+    }
+
+    #[test]
+    fn cycles_match_scc() {
+        assert_matches_scc("concept A B C\nA [= B\nB [= A\nB [= C");
+    }
+
+    #[test]
+    fn roles_and_existentials_match_scc() {
+        assert_matches_scc("concept A\nrole p r s\np [= r\nr [= s\nA [= exists p");
+    }
+
+    #[test]
+    fn diamond_with_cycle_matches_scc() {
+        assert_matches_scc("concept A B C D E\nA [= B\nA [= C\nB [= D\nC [= D\nD [= E\nE [= D");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let t = parse_tbox("concept A").unwrap();
+        let g = TboxGraph::build(&t);
+        for e in engines_under_test(2) {
+            let c = e.compute(&g);
+            assert_eq!(c.num_arcs(), 0, "engine {}", e.name());
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (len, parts) in [(10, 3), (3, 10), (64, 64), (65, 4), (1, 1), (0, 4)] {
+            let ranges = chunk_ranges(len, parts);
+            let mut covered = 0;
+            let mut expected_start = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expected_start);
+                assert!(!r.is_empty());
+                covered += r.len();
+                expected_start = r.end;
+            }
+            assert_eq!(covered, len, "len={len} parts={parts}");
+        }
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert!(ParSccEngine::with_threads(0).threads() >= 1);
+        assert_eq!(ChunkedBitsetEngine::with_threads(3).threads(), 3);
+    }
+}

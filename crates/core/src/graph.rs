@@ -26,10 +26,8 @@
 //! attribute nodes to attribute nodes. This invariant is what lets
 //! Theorem 1 read subsumptions directly off the reachability relation.
 
-use obda_dllite::{
-    Axiom, BasicConcept, BasicRole, GeneralConcept, GeneralRole, Tbox,
-};
 use obda_dllite::{AttributeId, ConceptId, RoleId};
+use obda_dllite::{Axiom, BasicConcept, BasicRole, GeneralConcept, GeneralRole, Tbox};
 
 /// A node of the digraph, identified by a dense index (see
 /// [`TboxGraph::node_id`] for the layout).
@@ -544,10 +542,7 @@ mod tests {
         let expanded = g.neg_pairs_expanded();
         assert_eq!(expanded.len(), 2);
         let p = t.sig.find_role("p").unwrap();
-        assert_eq!(
-            g.node_as_role(expanded[1].lhs),
-            BasicRole::Inverse(p)
-        );
+        assert_eq!(g.node_as_role(expanded[1].lhs), BasicRole::Inverse(p));
     }
 
     #[test]

@@ -46,6 +46,7 @@
 pub mod classify;
 pub mod closure;
 pub mod closure_full;
+pub mod closure_par;
 pub mod graph;
 pub mod implication;
 pub mod phi;
@@ -54,10 +55,11 @@ pub mod unsat;
 
 pub use classify::Classification;
 pub use closure::{
-    all_engines, recommended, BfsEngine, BitsetEngine, Closure, ClosureEngine, DfsEngine,
-    SccEngine,
+    all_engines, recommended, recommended_with_threads, AutoEngine, BfsEngine, BitsetEngine,
+    Closure, ClosureEngine, DfsEngine, SccEngine,
 };
 pub use closure_full::{deductive_closure, ClosureOptions};
+pub use closure_par::{default_threads, ChunkedBitsetEngine, ParSccEngine};
 pub use graph::{NodeId, NodeKind, NodeSort, TboxGraph};
 pub use implication::Implication;
 pub use phi::compute_phi;

@@ -32,10 +32,9 @@ pub fn compute_phi(g: &TboxGraph, closure: &Closure) -> Vec<Axiom> {
                         GeneralConcept::Basic(g.node_as_concept(to)),
                     )
                 }
-                NodeKind::Role(_, _) => Axiom::RoleIncl(
-                    g.node_as_role(n),
-                    GeneralRole::Basic(g.node_as_role(to)),
-                ),
+                NodeKind::Role(_, _) => {
+                    Axiom::RoleIncl(g.node_as_role(n), GeneralRole::Basic(g.node_as_role(to)))
+                }
                 NodeKind::Attr(u) => match g.node_kind(to) {
                     NodeKind::Attr(w) => Axiom::AttrIncl(u, w),
                     other => unreachable!("attr node points to {other:?}"),
@@ -74,10 +73,7 @@ mod tests {
     #[test]
     fn role_inclusions_expand_existentials() {
         let (_, phi) = phi_strings("role p r\np [= r");
-        assert_eq!(
-            phi,
-            vec!["p ⊑ r", "p⁻ ⊑ r⁻", "∃p ⊑ ∃r", "∃p⁻ ⊑ ∃r⁻"]
-        );
+        assert_eq!(phi, vec!["p ⊑ r", "p⁻ ⊑ r⁻", "∃p ⊑ ∃r", "∃p⁻ ⊑ ∃r⁻"]);
     }
 
     #[test]

@@ -219,9 +219,7 @@ mod tests {
     #[test]
     fn diamond_reduces_transitively() {
         // D ⊑ B ⊑ A, D ⊑ C ⊑ A, and D ⊑ A asserted redundantly.
-        let (t, tax) = taxonomy(
-            "concept A B C D\nB [= A\nC [= A\nD [= B\nD [= C\nD [= A",
-        );
+        let (t, tax) = taxonomy("concept A B C D\nB [= A\nC [= A\nD [= B\nD [= C\nD [= A");
         let id = |n: &str| tax.class_of(t.sig.find_concept(n).unwrap()).unwrap();
         assert_eq!(tax.num_classes(), 4);
         assert_eq!(tax.roots(), &[id("A")]);

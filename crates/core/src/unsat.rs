@@ -109,8 +109,7 @@ pub fn compute_unsat(g: &TboxGraph) -> UnsatSet {
             for qa in &g.qual_axioms {
                 let a = g.atomic_node(qa.filler).index();
                 let range = g.role_exists_node(qa.role.inverse()).index();
-                let cross =
-                    (stamp_l[a] && stamp_r[range]) || (stamp_l[range] && stamp_r[a]);
+                let cross = (stamp_l[a] && stamp_r[range]) || (stamp_l[range] && stamp_r[a]);
                 if cross && !is_unsat[qa.lhs.index()] {
                     is_unsat[qa.lhs.index()] = true;
                     worklist.push(qa.lhs.0);
@@ -233,8 +232,7 @@ mod tests {
     #[test]
     fn backward_propagation_through_chain() {
         // D ⊑ C ⊑ A⊓B with A,B disjoint ⟹ C and D unsat.
-        let names =
-            unsat_names("concept A B C D\nC [= A\nC [= B\nA [= not B\nD [= C");
+        let names = unsat_names("concept A B C D\nC [= A\nC [= B\nA [= not B\nD [= C");
         assert_eq!(names, vec!["C", "D"]);
     }
 

@@ -11,9 +11,7 @@
 //! `obda-genont::random`, which exercise cycles, unsatisfiability
 //! cascades, inverse roles and qualified existentials.
 
-use obda_dllite::{
-    Axiom, BasicConcept, BasicRole, ConceptId, GeneralConcept, GeneralRole, Tbox,
-};
+use obda_dllite::{Axiom, BasicConcept, BasicRole, ConceptId, GeneralConcept, GeneralRole, Tbox};
 use obda_genont::{random_interpretation, random_tbox, repair_into_model};
 use obda_reasoners::{classify_consequence, Saturation};
 use quonto::{deductive_closure, Classification, ClosureOptions, Implication};
@@ -47,8 +45,7 @@ fn positive_subsumptions_match_saturation() {
         for &b1 in &all_basics(&t) {
             for &b2 in &all_basics(&t) {
                 let graph = cls.subsumed_concept(b1, b2);
-                let oracle =
-                    sat.entails(&Axiom::ConceptIncl(b1, GeneralConcept::Basic(b2)));
+                let oracle = sat.entails(&Axiom::ConceptIncl(b1, GeneralConcept::Basic(b2)));
                 assert_eq!(
                     graph, oracle,
                     "seed {seed}: {b1:?} ⊑ {b2:?} graph={graph} saturation={oracle}"
@@ -107,11 +104,7 @@ fn implication_matches_saturation_on_all_axiom_shapes() {
                     Axiom::ConceptIncl(b1, GeneralConcept::Basic(b2)),
                     Axiom::ConceptIncl(b1, GeneralConcept::Neg(b2)),
                 ] {
-                    assert_eq!(
-                        imp.entails(&ax),
-                        sat.entails(&ax),
-                        "seed {seed}: {ax:?}"
-                    );
+                    assert_eq!(imp.entails(&ax), sat.entails(&ax), "seed {seed}: {ax:?}");
                 }
             }
         }
@@ -120,11 +113,7 @@ fn implication_matches_saturation_on_all_axiom_shapes() {
             for &q in &roles {
                 for a in t.sig.concepts() {
                     let ax = Axiom::ConceptIncl(b, GeneralConcept::QualExists(q, a));
-                    assert_eq!(
-                        imp.entails(&ax),
-                        sat.entails(&ax),
-                        "seed {seed}: {ax:?}"
-                    );
+                    assert_eq!(imp.entails(&ax), sat.entails(&ax), "seed {seed}: {ax:?}");
                 }
             }
         }

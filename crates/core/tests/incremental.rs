@@ -72,8 +72,7 @@ fn batch_addition_matches_too() {
         let mut incremental = Classification::classify(&base);
         incremental.add_axioms(&axioms[split..]);
         let scratch = Classification::classify(&full);
-        closures_equal(&incremental, &scratch)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        closures_equal(&incremental, &scratch).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 

@@ -1,0 +1,59 @@
+//! Property-based equivalence of the parallel closure engines: on random
+//! generated ontologies, [`ParSccEngine`] and [`ChunkedBitsetEngine`] at
+//! every thread count must produce successor lists identical to the
+//! sequential [`SccEngine`] reference.
+
+use obda_genont::OntologySpec;
+use proptest::prelude::*;
+use quonto::{ChunkedBitsetEngine, ClosureEngine, NodeId, ParSccEngine, SccEngine, TboxGraph};
+
+prop_compose! {
+    fn arb_spec()(
+        concepts in 1usize..120,
+        roles in 0usize..12,
+        roots in 1usize..4,
+        existentials in 0usize..40,
+        qualified in 0usize..20,
+        disjointness in 0usize..10,
+        seed in 0u64..u64::MAX,
+    ) -> OntologySpec {
+        OntologySpec {
+            name: "par-prop".into(),
+            concepts,
+            roles,
+            roots,
+            existentials,
+            qualified_existentials: qualified,
+            disjointness,
+            seed,
+            ..OntologySpec::default()
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn parallel_engines_match_scc(spec in arb_spec(), threads in 1usize..5) {
+        let tbox = spec.generate();
+        let g = TboxGraph::build(&tbox);
+        let reference = SccEngine.compute(&g);
+        let engines: [Box<dyn ClosureEngine>; 2] = [
+            Box::new(ParSccEngine::with_threads(threads)),
+            Box::new(ChunkedBitsetEngine::with_threads(threads)),
+        ];
+        for engine in engines {
+            let closure = engine.compute(&g);
+            prop_assert_eq!(closure.num_nodes(), reference.num_nodes());
+            for v in 0..g.num_nodes() {
+                prop_assert_eq!(
+                    closure.successors(NodeId(v as u32)),
+                    reference.successors(NodeId(v as u32)),
+                    "engine {} with {} threads diverges at node {}",
+                    engine.name(),
+                    threads,
+                    v
+                );
+            }
+        }
+    }
+}

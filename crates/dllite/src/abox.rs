@@ -187,7 +187,10 @@ mod tests {
         ab.assert_concept(a, "rome");
         assert_eq!(ab.len(), 1);
         assert_eq!(ab.num_individuals(), 1);
-        assert_eq!(ab.individual_name(ab.find_individual("rome").unwrap()), "rome");
+        assert_eq!(
+            ab.individual_name(ab.find_individual("rome").unwrap()),
+            "rome"
+        );
     }
 
     #[test]

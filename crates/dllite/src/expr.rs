@@ -184,7 +184,9 @@ mod tests {
         let b = BasicConcept::Atomic(ConceptId(0));
         assert!(GeneralConcept::Basic(b).is_positive());
         assert!(!GeneralConcept::Neg(b).is_positive());
-        assert!(GeneralConcept::QualExists(BasicRole::Direct(RoleId(0)), ConceptId(1)).is_positive());
+        assert!(
+            GeneralConcept::QualExists(BasicRole::Direct(RoleId(0)), ConceptId(1)).is_positive()
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl Interpretation {
     /// # Panics
     /// Panics if `s` or `o` is outside the domain.
     pub fn add_role(&mut self, p: RoleId, s: usize, o: usize) {
-        assert!(s < self.domain_size && o < self.domain_size, "element outside domain");
+        assert!(
+            s < self.domain_size && o < self.domain_size,
+            "element outside domain"
+        );
         self.roles[p.index()].insert((s, o));
     }
 
@@ -96,9 +99,7 @@ impl Interpretation {
         match b {
             BasicConcept::Atomic(a) => self.concepts[a.index()].contains(&e),
             BasicConcept::Exists(q) => self.role_pairs(q).any(|(s, _)| s == e),
-            BasicConcept::AttrDomain(u) => {
-                self.attributes[u.index()].iter().any(|&(s, _)| s == e)
-            }
+            BasicConcept::AttrDomain(u) => self.attributes[u.index()].iter().any(|&(s, _)| s == e),
         }
     }
 
@@ -159,11 +160,10 @@ impl Interpretation {
         let mut vals: Vec<&crate::Value> = Vec::new();
         for a in abox.assertions() {
             let ok = match a {
-                Assertion::Concept(c, i) => {
-                    self.concepts[c.index()].contains(&ind_map[i.index()])
+                Assertion::Concept(c, i) => self.concepts[c.index()].contains(&ind_map[i.index()]),
+                Assertion::Role(p, s, o) => {
+                    self.roles[p.index()].contains(&(ind_map[s.index()], ind_map[o.index()]))
                 }
-                Assertion::Role(p, s, o) => self.roles[p.index()]
-                    .contains(&(ind_map[s.index()], ind_map[o.index()])),
                 Assertion::Attribute(u, s, v) => {
                     let vid = match vals.iter().position(|w| *w == v) {
                         Some(i) => i,

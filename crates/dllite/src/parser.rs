@@ -346,16 +346,20 @@ pub fn parse_tbox(src: &str) -> Result<Tbox, ParseError> {
                 Axiom::ConceptIncl(b1, GeneralConcept::QualExists(q, a))
             }
             (Side::Concept(_), Side::QualExists(_, _), true) => {
-                return err(lineno, "negation of a qualified existential is not in DL-Lite_R")
+                return err(
+                    lineno,
+                    "negation of a qualified existential is not in DL-Lite_R",
+                )
             }
-            (Side::Role(q1), Side::Role(q2), false) => {
-                Axiom::RoleIncl(q1, GeneralRole::Basic(q2))
-            }
+            (Side::Role(q1), Side::Role(q2), false) => Axiom::RoleIncl(q1, GeneralRole::Basic(q2)),
             (Side::Role(q1), Side::Role(q2), true) => Axiom::RoleIncl(q1, GeneralRole::Neg(q2)),
             (Side::Attribute(u1), Side::Attribute(u2), false) => Axiom::AttrIncl(u1, u2),
             (Side::Attribute(u1), Side::Attribute(u2), true) => Axiom::AttrNegIncl(u1, u2),
             (Side::QualExists(_, _), _, _) => {
-                return err(lineno, "qualified existential cannot appear on the left-hand side")
+                return err(
+                    lineno,
+                    "qualified existential cannot appear on the left-hand side",
+                )
             }
             _ => return err(lineno, "inclusion sides have different sorts"),
         };
@@ -491,11 +495,7 @@ mod tests {
     #[test]
     fn parses_abox_atoms() {
         let t = parse_tbox("concept A\nrole p\nattribute u").unwrap();
-        let ab = parse_abox(
-            "A(x)\np(x, y)\nu(x, 42)\nu(y, \"hello\")",
-            &t.sig,
-        )
-        .unwrap();
+        let ab = parse_abox("A(x)\np(x, y)\nu(x, 42)\nu(y, \"hello\")", &t.sig).unwrap();
         assert_eq!(ab.len(), 4);
         assert_eq!(ab.num_individuals(), 2);
     }

@@ -160,12 +160,7 @@ pub fn abox(ab: &Abox, sig: &Signature) -> String {
     for a in ab.assertions() {
         match a {
             Assertion::Concept(c, i) => {
-                let _ = writeln!(
-                    out,
-                    "{}({})",
-                    sig.concept_name(*c),
-                    ab.individual_name(*i)
-                );
+                let _ = writeln!(out, "{}({})", sig.concept_name(*c), ab.individual_name(*i));
             }
             Assertion::Role(p, s, o) => {
                 let _ = writeln!(

@@ -182,17 +182,9 @@ impl Signature {
     /// into `self`'s id space (used when combining independently built
     /// ontology modules).
     pub fn merge(&mut self, other: &Signature) -> SignatureMapping {
-        let concepts = other
-            .concepts
-            .iter()
-            .map(|n| self.concept(n))
-            .collect();
+        let concepts = other.concepts.iter().map(|n| self.concept(n)).collect();
         let roles = other.roles.iter().map(|n| self.role(n)).collect();
-        let attributes = other
-            .attributes
-            .iter()
-            .map(|n| self.attribute(n))
-            .collect();
+        let attributes = other.attributes.iter().map(|n| self.attribute(n)).collect();
         SignatureMapping {
             concepts,
             roles,

@@ -15,10 +15,18 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Generates a dense random DL-Lite_R/A TBox.
-pub fn random_tbox(seed: u64, concepts: usize, roles: usize, attributes: usize, axioms: usize) -> Tbox {
+pub fn random_tbox(
+    seed: u64,
+    concepts: usize,
+    roles: usize,
+    attributes: usize,
+    axioms: usize,
+) -> Tbox {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut t = Tbox::new();
-    let cs: Vec<_> = (0..concepts).map(|i| t.sig.concept(&format!("C{i}"))).collect();
+    let cs: Vec<_> = (0..concepts)
+        .map(|i| t.sig.concept(&format!("C{i}")))
+        .collect();
     let ps: Vec<_> = (0..roles).map(|i| t.sig.role(&format!("p{i}"))).collect();
     let us: Vec<_> = (0..attributes)
         .map(|i| t.sig.attribute(&format!("u{i}")))
@@ -50,10 +58,7 @@ pub fn random_tbox(seed: u64, concepts: usize, roles: usize, attributes: usize, 
 
     for _ in 0..axioms {
         let ax = match rng.gen_range(0..10) {
-            0..=3 => Axiom::ConceptIncl(
-                basic(&mut rng),
-                GeneralConcept::Basic(basic(&mut rng)),
-            ),
+            0..=3 => Axiom::ConceptIncl(basic(&mut rng), GeneralConcept::Basic(basic(&mut rng))),
             4 => Axiom::ConceptIncl(basic(&mut rng), GeneralConcept::Neg(basic(&mut rng))),
             5 | 6 if !ps.is_empty() && !cs.is_empty() => Axiom::ConceptIncl(
                 basic(&mut rng),
@@ -70,10 +75,7 @@ pub fn random_tbox(seed: u64, concepts: usize, roles: usize, attributes: usize, 
                     Axiom::AttrNegIncl(u, w)
                 }
             }
-            _ => Axiom::ConceptIncl(
-                basic(&mut rng),
-                GeneralConcept::Basic(basic(&mut rng)),
-            ),
+            _ => Axiom::ConceptIncl(basic(&mut rng), GeneralConcept::Basic(basic(&mut rng))),
         };
         t.add(ax);
     }
@@ -101,8 +103,7 @@ pub fn random_abox(seed: u64, t: &Tbox, individuals: usize, assertions: usize) -
                 ab.assert_role(p, subj, obj);
             }
             2 if t.sig.num_attributes() > 0 => {
-                let u =
-                    obda_dllite::AttributeId(rng.gen_range(0..t.sig.num_attributes() as u32));
+                let u = obda_dllite::AttributeId(rng.gen_range(0..t.sig.num_attributes() as u32));
                 ab.assert_attribute(u, subj, Value::Int(rng.gen_range(0..5)));
             }
             _ => {}
@@ -220,10 +221,18 @@ fn add_basic(i: &mut Interpretation, b: BasicConcept, e: usize) {
 
 /// Generates a random ALCHI ontology (for approximation and tableau
 /// tests).
-pub fn random_owl(seed: u64, classes: usize, props: usize, axioms: usize, max_depth: usize) -> Ontology {
+pub fn random_owl(
+    seed: u64,
+    classes: usize,
+    props: usize,
+    axioms: usize,
+    max_depth: usize,
+) -> Ontology {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut o = Ontology::new();
-    let cs: Vec<_> = (0..classes).map(|i| o.sig.concept(&format!("C{i}"))).collect();
+    let cs: Vec<_> = (0..classes)
+        .map(|i| o.sig.concept(&format!("C{i}")))
+        .collect();
     let ps: Vec<_> = (0..props).map(|i| o.sig.role(&format!("p{i}"))).collect();
 
     fn expr(

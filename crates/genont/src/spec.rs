@@ -95,8 +95,7 @@ impl OntologySpec {
             roots: scale(self.roots),
             role_inclusions: (self.role_inclusions as f64 * factor).round() as usize,
             existentials: (self.existentials as f64 * factor).round() as usize,
-            qualified_existentials: (self.qualified_existentials as f64 * factor).round()
-                as usize,
+            qualified_existentials: (self.qualified_existentials as f64 * factor).round() as usize,
             disjointness: (self.disjointness as f64 * factor).round() as usize,
             unsat_seeds: self.unsat_seeds,
             attribute_axioms: (self.attribute_axioms as f64 * factor).round() as usize,

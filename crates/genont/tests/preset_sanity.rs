@@ -63,9 +63,8 @@ fn galen_analog_has_equivalence_knots_el_galen_does_not() {
     // EL-Galen may pick up *incidental* small cycles (domain/range axioms
     // meeting existentials), but Galen's seeded equivalence knots must
     // dominate: strictly more equivalent concepts overall.
-    let knot_size = |classes: &[Vec<obda_dllite::ConceptId>]| -> usize {
-        classes.iter().map(Vec::len).sum()
-    };
+    let knot_size =
+        |classes: &[Vec<obda_dllite::ConceptId>]| -> usize { classes.iter().map(Vec::len).sum() };
     assert!(
         knot_size(&g_classes) > knot_size(&e_classes),
         "galen {} vs el-galen {}",
@@ -84,7 +83,9 @@ fn taxonomy_of_the_university_ontology() {
     // Person is a root; Student sits under it; GradStudent under Student.
     assert!(tax.roots().contains(&class("Person")));
     assert!(tax.parents(class("Student")).contains(&class("Person")));
-    assert!(tax.parents(class("GradStudent")).contains(&class("Student")));
+    assert!(tax
+        .parents(class("GradStudent"))
+        .contains(&class("Student")));
     assert_eq!(tax.depth(class("GradStudent")), 2);
     assert!(tax.unsatisfiable().is_empty());
     let rendered = tax.render(sig);

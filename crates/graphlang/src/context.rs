@@ -127,7 +127,10 @@ mod tests {
         let ring1 = ctx.ring(&t, 1);
         assert!(ring1.contains(&"B".to_owned()));
         assert!(ring1.contains(&"p".to_owned()));
-        assert!(!ctx.distances.keys().any(|p| matches!(p, NamedPredicate::Concept(c) if t.sig.concept_name(*c) == "D")));
+        assert!(!ctx
+            .distances
+            .keys()
+            .any(|p| matches!(p, NamedPredicate::Concept(c) if t.sig.concept_name(*c) == "D")));
         // Axioms fully inside: A ⊑ B and A ⊑ ∃p.
         assert_eq!(ctx.tbox.len(), 2);
     }

@@ -31,8 +31,7 @@ pub fn to_dot(d: &Diagram) -> String {
             ),
             Shape::HalfSquare => (
                 "square",
-                ", width=0.25, fixedsize=true, style=filled, fillcolor=gray, label=\"\""
-                    .to_owned(),
+                ", width=0.25, fixedsize=true, style=filled, fillcolor=gray, label=\"\"".to_owned(),
             ),
         };
         let label = match &n.label {
@@ -47,18 +46,10 @@ pub fn to_dot(d: &Diagram) -> String {
                 let _ = writeln!(out, "  n{} -> n{};", from.0, to.0);
             }
             Edge::InverseInclusion { from, to } => {
-                let _ = writeln!(
-                    out,
-                    "  n{} -> n{} [label=\"⁻\", color=blue];",
-                    from.0, to.0
-                );
+                let _ = writeln!(out, "  n{} -> n{} [label=\"⁻\", color=blue];", from.0, to.0);
             }
             Edge::Disjointness { from, to } => {
-                let _ = writeln!(
-                    out,
-                    "  n{} -> n{} [label=\"¬\", color=red];",
-                    from.0, to.0
-                );
+                let _ = writeln!(out, "  n{} -> n{} [label=\"¬\", color=red];", from.0, to.0);
             }
             Edge::RoleLink { square, role } => {
                 let _ = writeln!(

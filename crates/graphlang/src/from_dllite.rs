@@ -33,10 +33,10 @@ pub fn tbox_to_diagram(t: &Tbox, name: &str) -> (Diagram, Vec<Axiom>) {
     let mut half_squares: HashMap<u32, ElementId> = HashMap::new();
 
     let concept_el = |b: BasicConcept,
-                          scope: Option<obda_dllite::ConceptId>,
-                          d: &mut Diagram,
-                          squares: &mut HashMap<(u32, bool, Option<u32>), ElementId>,
-                          half_squares: &mut HashMap<u32, ElementId>|
+                      scope: Option<obda_dllite::ConceptId>,
+                      d: &mut Diagram,
+                      squares: &mut HashMap<(u32, bool, Option<u32>), ElementId>,
+                      half_squares: &mut HashMap<u32, ElementId>|
      -> ElementId {
         match b {
             BasicConcept::Atomic(a) => d
@@ -167,12 +167,16 @@ mod tests {
         let mut a1: Vec<String> = t1
             .axioms()
             .iter()
-            .map(|ax| obda_dllite::printer::axiom(ax, &t1.sig, obda_dllite::printer::Style::Display))
+            .map(|ax| {
+                obda_dllite::printer::axiom(ax, &t1.sig, obda_dllite::printer::Style::Display)
+            })
             .collect();
         let mut a2: Vec<String> = t2
             .axioms()
             .iter()
-            .map(|ax| obda_dllite::printer::axiom(ax, &t2.sig, obda_dllite::printer::Style::Display))
+            .map(|ax| {
+                obda_dllite::printer::axiom(ax, &t2.sig, obda_dllite::printer::Style::Display)
+            })
             .collect();
         a1.sort();
         a2.sort();
@@ -205,8 +209,11 @@ mod tests {
         let (d, unsupported) = tbox_to_diagram(&t1, "rt");
         assert!(unsupported.is_empty());
         let t2 = diagram_to_tbox(&d).unwrap();
-        let rendered =
-            obda_dllite::printer::axiom(&t2.axioms()[0], &t2.sig, obda_dllite::printer::Style::Display);
+        let rendered = obda_dllite::printer::axiom(
+            &t2.axioms()[0],
+            &t2.sig,
+            obda_dllite::printer::Style::Display,
+        );
         assert_eq!(rendered, "p ⊑ r⁻");
     }
 
@@ -219,10 +226,7 @@ mod tests {
 
     #[test]
     fn squares_are_shared() {
-        let t1 = parse_tbox(
-            "concept A B C\nrole p\nA [= exists p . C\nB [= exists p . C",
-        )
-        .unwrap();
+        let t1 = parse_tbox("concept A B C\nrole p\nA [= exists p . C\nB [= exists p . C").unwrap();
         let (d, _) = tbox_to_diagram(&t1, "rt");
         let squares = d
             .nodes()

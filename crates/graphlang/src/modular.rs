@@ -21,9 +21,7 @@ fn pred_index(t: &Tbox, p: NamedPredicate) -> usize {
     match p {
         NamedPredicate::Concept(a) => a.0 as usize,
         NamedPredicate::Role(r) => t.sig.num_concepts() + r.0 as usize,
-        NamedPredicate::Attribute(u) => {
-            t.sig.num_concepts() + t.sig.num_roles() + u.0 as usize
-        }
+        NamedPredicate::Attribute(u) => t.sig.num_concepts() + t.sig.num_roles() + u.0 as usize,
     }
 }
 
@@ -71,20 +69,14 @@ pub fn horizontal_modules(t: &Tbox) -> Vec<Module> {
     // Group axioms per component.
     let mut groups: HashMap<usize, Vec<&Axiom>> = HashMap::new();
     for ax in t.axioms() {
-        let rep = find(
-            &mut parent,
-            pred_index(t, axiom_preds(t, ax)[0]),
-        );
+        let rep = find(&mut parent, pred_index(t, axiom_preds(t, ax)[0]));
         groups.entry(rep).or_default().push(ax);
     }
     let mut modules = Vec::new();
     for (_, axioms) in groups {
         let module = restrict(t, &axioms);
         let name = module_name(&module);
-        modules.push(Module {
-            name,
-            tbox: module,
-        });
+        modules.push(Module { name, tbox: module });
     }
     modules.sort_by(|a, b| a.name.cmp(&b.name));
     modules

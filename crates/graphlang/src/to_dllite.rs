@@ -163,10 +163,7 @@ mod tests {
             .collect();
         assert_eq!(
             rendered,
-            vec![
-                "County ⊑ ∃isPartOf.State",
-                "State ⊑ ∃isPartOf⁻.County"
-            ]
+            vec!["County ⊑ ∃isPartOf.State", "State ⊑ ∃isPartOf⁻.County"]
         );
     }
 

@@ -66,7 +66,10 @@ pub fn validate(d: &Diagram) -> Vec<ValidationError> {
                     if d.node(*role).shape != want {
                         err(
                             Some(n.id),
-                            format!("square linked to {:?}, expected {want:?}", d.node(*role).shape),
+                            format!(
+                                "square linked to {:?}, expected {want:?}",
+                                d.node(*role).shape
+                            ),
                         );
                     }
                 }
@@ -81,7 +84,10 @@ pub fn validate(d: &Diagram) -> Vec<ValidationError> {
                 err(Some(n.id), "square with multiple scope links".into());
             }
             if scopes == 1 && n.shape == Shape::HalfSquare {
-                err(Some(n.id), "attribute-domain squares cannot be qualified".into());
+                err(
+                    Some(n.id),
+                    "attribute-domain squares cannot be qualified".into(),
+                );
             }
         }
     }
@@ -140,7 +146,10 @@ pub fn validate(d: &Diagram) -> Vec<ValidationError> {
                     d.node(*square).shape,
                     Shape::WhiteSquare | Shape::BlackSquare
                 ) {
-                    err(Some(*square), "scope link source must be a white/black square".into());
+                    err(
+                        Some(*square),
+                        "scope link source must be a white/black square".into(),
+                    );
                 }
                 if d.node(*scope).shape != Shape::Rectangle {
                     err(Some(*scope), "scope link target must be a rectangle".into());

@@ -3,8 +3,8 @@
 //! diagrams always validate.
 
 use obda_dllite::{Axiom, BasicRole, GeneralRole, Tbox};
-use obda_graphlang::{diagram_to_tbox, tbox_to_diagram, validate};
 use obda_genont::random_tbox;
+use obda_graphlang::{diagram_to_tbox, tbox_to_diagram, validate};
 use proptest::prelude::*;
 
 /// Drops the one undrawable shape (`Q ⊑ ¬R⁻` after LHS normalization).

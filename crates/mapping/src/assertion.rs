@@ -147,9 +147,7 @@ impl MappingSet {
     ) -> impl Iterator<Item = (&MappingAssertion, &IriTemplate)> {
         self.assertions.iter().flat_map(move |m| {
             m.heads.iter().filter_map(move |h| match h {
-                MappingHead::Concept { concept, subject } if *concept == a => {
-                    Some((m, subject))
-                }
+                MappingHead::Concept { concept, subject } if *concept == a => Some((m, subject)),
                 _ => None,
             })
         })

@@ -42,11 +42,7 @@ pub fn materialize(mappings: &MappingSet, db: &Database) -> Result<Abox, SqlErro
                         if row[s].is_null() || row[o].is_null() {
                             continue;
                         }
-                        abox.assert_role(
-                            *role,
-                            &subject.render(&row[s]),
-                            &object.render(&row[o]),
-                        );
+                        abox.assert_role(*role, &subject.render(&row[s]), &object.render(&row[o]));
                     }
                 }
                 MappingHead::Attribute {
@@ -83,7 +79,8 @@ mod tests {
     #[test]
     fn materializes_concepts_roles_attributes() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE T (id INT, boss INT, name TEXT)").unwrap();
+        db.execute("CREATE TABLE T (id INT, boss INT, name TEXT)")
+            .unwrap();
         db.execute("INSERT INTO T VALUES (1, 2, 'ada'), (2, NULL, 'bob')")
             .unwrap();
         let mut sig = Signature::new();

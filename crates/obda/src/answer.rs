@@ -57,14 +57,10 @@ impl AboxIndex {
         for a in abox.assertions() {
             match a {
                 Assertion::Concept(c, i) => ix.concepts.entry(c.0).or_default().push(*i),
-                Assertion::Role(p, s, o) => {
-                    ix.roles.entry(p.0).or_default().push((*s, *o))
+                Assertion::Role(p, s, o) => ix.roles.entry(p.0).or_default().push((*s, *o)),
+                Assertion::Attribute(u, s, v) => {
+                    ix.attributes.entry(u.0).or_default().push((*s, v.clone()))
                 }
-                Assertion::Attribute(u, s, v) => ix
-                    .attributes
-                    .entry(u.0)
-                    .or_default()
-                    .push((*s, v.clone())),
             }
         }
         ix
@@ -116,19 +112,20 @@ fn eval_rec(
     let atom = &q.atoms[atom_idx];
     // Resolve a term against current bindings: Some(required) or None
     // (free — the variable binds per candidate fact).
-    let resolve = |t: &Term, bindings: &HashMap<String, Binding>| -> Result<Option<IndividualId>, ()> {
-        match t {
-            Term::Const(name) => match abox.find_individual(name) {
-                Some(i) => Ok(Some(i)),
-                None => Err(()), // constant absent from the ABox: no match
-            },
-            Term::Var(v) => match bindings.get(v) {
-                Some(Binding::Ind(i)) => Ok(Some(*i)),
-                Some(Binding::Val(_)) => Err(()), // sort clash
-                None => Ok(None),
-            },
-        }
-    };
+    let resolve =
+        |t: &Term, bindings: &HashMap<String, Binding>| -> Result<Option<IndividualId>, ()> {
+            match t {
+                Term::Const(name) => match abox.find_individual(name) {
+                    Some(i) => Ok(Some(i)),
+                    None => Err(()), // constant absent from the ABox: no match
+                },
+                Term::Var(v) => match bindings.get(v) {
+                    Some(Binding::Ind(i)) => Ok(Some(*i)),
+                    Some(Binding::Val(_)) => Err(()), // sort clash
+                    None => Ok(None),
+                },
+            }
+        };
     match atom {
         Atom::Concept(c, t) => {
             let want = match resolve(t, bindings) {
@@ -155,9 +152,7 @@ fn eval_rec(
             for &(asub, aobj) in index.roles.get(&p.0).map(Vec::as_slice).unwrap_or(&[]) {
                 {
                     let (asub, aobj) = (&asub, &aobj);
-                    if want_s.is_none_or(|w| w == *asub)
-                        && want_o.is_none_or(|w| w == *aobj)
-                    {
+                    if want_s.is_none_or(|w| w == *asub) && want_o.is_none_or(|w| w == *aobj) {
                         // Bind subject, then object (same variable in both
                         // positions must match).
                         with_binding(s, Binding::Ind(*asub), bindings, |b| {

@@ -87,9 +87,7 @@ pub fn check_consistency(
                 ])
             }
         };
-        let rw = crate::rewrite::presto::PrestoRewriting {
-            queries: vec![vq],
-        };
+        let rw = crate::rewrite::presto::PrestoRewriting { queries: vec![vq] };
         let answers = unfold::answer_presto_virtual(&rw, cls, mappings, db)?;
         if !answers.is_empty() {
             let axiom = render_pair(tbox, cls, np.lhs, np.rhs);
@@ -116,9 +114,7 @@ pub fn check_consistency(
             // ∃P / P⁻ / δ(U) nodes are covered by their named cluster.
             _ => continue,
         };
-        let rw = crate::rewrite::presto::PrestoRewriting {
-            queries: vec![vq],
-        };
+        let rw = crate::rewrite::presto::PrestoRewriting { queries: vec![vq] };
         let answers = unfold::answer_presto_virtual(&rw, cls, mappings, db)?;
         if !answers.is_empty() {
             out.push(Violation::UnsatisfiableNonEmpty {

@@ -122,7 +122,10 @@ pub fn system_from_abox(
     let mut db = Database::new();
     db.create_table(
         "concept_assert",
-        vec![("cid".into(), ColumnType::Int), ("ind".into(), ColumnType::Text)],
+        vec![
+            ("cid".into(), ColumnType::Int),
+            ("ind".into(), ColumnType::Text),
+        ],
     )?;
     db.create_table(
         "role_assert",

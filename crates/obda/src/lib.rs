@@ -29,7 +29,7 @@ pub mod rewrite;
 pub mod sparql;
 pub mod system;
 
-pub use answer::{evaluate_cq, evaluate_ucq, Answers, AnswerTerm};
+pub use answer::{evaluate_cq, evaluate_ucq, AnswerTerm, Answers};
 pub use consistency::{check_consistency, Violation};
 pub use query::{parse_cq, print_cq, Atom, ConjunctiveQuery, Term, Ucq, ValueTerm};
 pub use rewrite::perfectref::perfect_ref;

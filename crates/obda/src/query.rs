@@ -312,11 +312,9 @@ pub fn parse_cq(src: &str, sig: &Signature) -> Result<ConjunctiveQuery, QueryPar
     };
     // Head: name(vars).
     let head_src = head_src.trim();
-    let open = head_src
-        .find('(')
-        .ok_or(QueryParseError {
-            message: "missing `(` in head".into(),
-        })?;
+    let open = head_src.find('(').ok_or(QueryParseError {
+        message: "missing `(` in head".into(),
+    })?;
     if !head_src.ends_with(')') {
         return qerr("head must end with `)`");
     }
@@ -464,8 +462,11 @@ mod tests {
 
     #[test]
     fn parses_mixed_atoms() {
-        let q = parse_cq("q(x, n) :- A(x), p(x, y), u(x, n), u(y, 42), B(\"iri/7\")", &sig())
-            .unwrap();
+        let q = parse_cq(
+            "q(x, n) :- A(x), p(x, y), u(x, n), u(y, 42), B(\"iri/7\")",
+            &sig(),
+        )
+        .unwrap();
         assert_eq!(q.head, vec!["x", "n"]);
         assert_eq!(q.atoms.len(), 5);
         assert!(matches!(&q.atoms[4], Atom::Concept(_, Term::Const(c)) if c == "iri/7"));

@@ -22,9 +22,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use obda_dllite::{
-    Axiom, BasicConcept, BasicRole, GeneralConcept, GeneralRole, Tbox,
-};
+use obda_dllite::{Axiom, BasicConcept, BasicRole, GeneralConcept, GeneralRole, Tbox};
 
 use crate::query::{Atom, ConjunctiveQuery, Term, Ucq, ValueTerm};
 
@@ -89,8 +87,7 @@ pub fn perfect_ref(q: &ConjunctiveQuery, tbox: &Tbox) -> Ucq {
                         continue;
                     }
                     for ax in tbox.positive_inclusions() {
-                        let Axiom::ConceptIncl(b, GeneralConcept::QualExists(q0, a0)) = ax
-                        else {
+                        let Axiom::ConceptIncl(b, GeneralConcept::QualExists(q0, a0)) = ax else {
                             continue;
                         };
                         if *q0 != q_role || a0 != a2 {
@@ -163,12 +160,7 @@ fn atom_of_basic(b: BasicConcept, t: Term, fresh: &mut usize) -> Atom {
 
 /// Applies a positive inclusion backwards to a single atom, returning the
 /// replacement atoms (possibly several orientations).
-fn apply_pi(
-    ax: &Axiom,
-    atom: &Atom,
-    q: &ConjunctiveQuery,
-    fresh: &mut usize,
-) -> Vec<Atom> {
+fn apply_pi(ax: &Axiom, atom: &Atom, q: &ConjunctiveQuery, fresh: &mut usize) -> Vec<Atom> {
     let unbound = |t: &Term| -> bool {
         match t {
             Term::Var(v) => q.is_unbound(v),
@@ -198,6 +190,18 @@ fn apply_pi(
                 }
                 _ => {}
             }
+        }
+        // B ⊑ ∃Q.A applied to A(x) with x unbound: every B instance has a
+        // Q-successor in A, so A is populated whenever B is — the atom
+        // weakens to B on a fresh unbound variable. (This is what the
+        // standard normalization B ⊑ ∃Q', Q' ⊑ Q, ∃Q'⁻ ⊑ A yields after
+        // two applicability steps on the auxiliary role Q'.)
+        (Axiom::ConceptIncl(b, GeneralConcept::QualExists(_, a0)), Atom::Concept(c, t))
+            if a0 == c && unbound(t) =>
+        {
+            *fresh += 1;
+            let witness = Term::Var(format!("_pr{fresh}"));
+            out.push(atom_of_basic(*b, witness, fresh));
         }
         // B ⊑ δ(u) applied to u(x, v) with v unbound.
         (
@@ -258,8 +262,7 @@ fn unify(
             // sort; literals must be equal.
             match (v1, v2) {
                 (ValueTerm::Lit(l1), ValueTerm::Lit(l2)) if l1 != l2 => return None,
-                (ValueTerm::Var(x), ValueTerm::Lit(l))
-                | (ValueTerm::Lit(l), ValueTerm::Var(x)) => {
+                (ValueTerm::Var(x), ValueTerm::Lit(l)) | (ValueTerm::Lit(l), ValueTerm::Var(x)) => {
                     vsubst.insert(x.clone(), l.clone());
                 }
                 _ => {}
@@ -325,8 +328,7 @@ mod tests {
         let t = parse_tbox(tbox_src).unwrap();
         let q = parse_cq(query, &t.sig).unwrap();
         let ucq = perfect_ref(&q, &t);
-        let mut strings: Vec<String> =
-            ucq.disjuncts.iter().map(|d| print_cq(d, &t.sig)).collect();
+        let mut strings: Vec<String> = ucq.disjuncts.iter().map(|d| print_cq(d, &t.sig)).collect();
         strings.sort();
         (t, strings)
     }
@@ -392,6 +394,21 @@ mod tests {
     }
 
     #[test]
+    fn qualified_existential_populates_concept() {
+        // G ⊑ ∃advisor.P entails that P is nonempty whenever G is, so
+        // P(y) with y unbound must rewrite to G on a fresh variable.
+        let (_, rw) = rewrite(
+            "concept G P\nrole advisor\nG [= exists advisor . P",
+            "q(x) :- G(x), P(y)",
+        );
+        assert!(
+            rw.iter()
+                .any(|d| d == "q(v0) :- G(v0)" || d == "q(v0) :- G(v0), G(v1)"),
+            "{rw:?}"
+        );
+    }
+
+    #[test]
     fn reduce_enables_applicability() {
         // Classic: q(x) :- p(x, y), p(z, y). Reduce unifies the atoms,
         // making y unbound, then A ⊑ ∃p applies.
@@ -430,10 +447,7 @@ mod tests {
 
     #[test]
     fn constants_survive_rewriting() {
-        let (_, rw) = rewrite(
-            "concept A B\nB [= A",
-            "q(x) :- A(x), A(\"iri/1\")",
-        );
+        let (_, rw) = rewrite("concept A B\nB [= A", "q(x) :- A(x), A(\"iri/1\")");
         assert!(rw.iter().any(|d| d.contains("\"iri/1\"")));
         // Four combinations (A/B × A/B) plus reduce-merged variants.
         assert!(rw.len() >= 4, "{rw:?}");

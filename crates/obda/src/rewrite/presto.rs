@@ -109,8 +109,12 @@ impl ViewQuery {
                     })
                     .clone()
             };
-            let term = |t: &Term, names: &mut std::collections::HashMap<String, String>,
-                        rename: &mut dyn FnMut(&str, &mut std::collections::HashMap<String, String>) -> String|
+            let term = |t: &Term,
+                        names: &mut std::collections::HashMap<String, String>,
+                        rename: &mut dyn FnMut(
+                &str,
+                &mut std::collections::HashMap<String, String>,
+            ) -> String|
              -> Term {
                 match t {
                     Term::Var(v) => Term::Var(rename(v, names)),
@@ -219,9 +223,9 @@ pub fn presto_rewrite(q: &ConjunctiveQuery, cls: &Classification) -> PrestoRewri
                         None
                     }
                 }
-                ViewAtom::AttrView(u, s, ValueTerm::Var(v)) if cur.is_unbound(v) => {
-                    Some(ViewAtom::ConceptView(BasicConcept::AttrDomain(*u), s.clone()))
-                }
+                ViewAtom::AttrView(u, s, ValueTerm::Var(v)) if cur.is_unbound(v) => Some(
+                    ViewAtom::ConceptView(BasicConcept::AttrDomain(*u), s.clone()),
+                ),
                 _ => None,
             };
             if let Some(r) = replacement {
@@ -240,12 +244,16 @@ pub fn presto_rewrite(q: &ConjunctiveQuery, cls: &Classification) -> PrestoRewri
         }
         // Qualified pair elimination against maximal witnesses.
         for (i, g1) in cur.atoms.iter().enumerate() {
-            let ViewAtom::RoleView(p, s, o) = g1 else { continue };
+            let ViewAtom::RoleView(p, s, o) = g1 else {
+                continue;
+            };
             for (j, g2) in cur.atoms.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                let ViewAtom::ConceptView(target_c, t2) = g2 else { continue };
+                let ViewAtom::ConceptView(target_c, t2) = g2 else {
+                    continue;
+                };
                 for (q_view, x, y) in [(*p, s, o), (p.inverse(), o, s)] {
                     let Term::Var(yv) = y else { continue };
                     if t2 != y || cur.head.iter().any(|h| h == yv) {
@@ -315,10 +323,9 @@ pub fn presto_rewrite(q: &ConjunctiveQuery, cls: &Classification) -> PrestoRewri
 fn maximal_common_nodes(cls: &Classification, n1: NodeId, n2: NodeId) -> Vec<NodeId> {
     let g = cls.graph();
     let closure = cls.closure();
-    let mut set1: std::collections::HashSet<u32> =
-        quonto::closure::predecessors_reflexive(g, n1)
-            .into_iter()
-            .collect();
+    let mut set1: std::collections::HashSet<u32> = quonto::closure::predecessors_reflexive(g, n1)
+        .into_iter()
+        .collect();
     let common: Vec<NodeId> = quonto::closure::predecessors_reflexive(g, n2)
         .into_iter()
         .filter(|v| set1.remove(v))
@@ -438,8 +445,7 @@ fn intersect_pair(q: &ViewQuery, i: usize, j: usize, cls: &Classification) -> Ve
             // Opposite orientation: members of p1 ∩ p2⁻.
             if *p1 != p2.inverse() {
                 if let Some(subst) = unify_terms(&[(s1, o2), (o1, s2)]) {
-                    for m in
-                        maximal_common_nodes(cls, g.role_node(*p1), g.role_node(p2.inverse()))
+                    for m in maximal_common_nodes(cls, g.role_node(*p1), g.role_node(p2.inverse()))
                     {
                         emit(
                             ViewAtom::RoleView(g.node_as_role(m), s1.clone(), o1.clone()),
@@ -499,10 +505,7 @@ fn maximal_qual_witnesses(
     }
     // Range forcing: Q₀ ⊑* Q with ∃Q₀⁻ ⊑* C ⟹ ∃Q₀ ⊑ ∃Q.C.
     for p in 0..g.num_roles() {
-        for q0 in [
-            BasicRole::Direct(RoleId(p)),
-            BasicRole::Inverse(RoleId(p)),
-        ] {
+        for q0 in [BasicRole::Direct(RoleId(p)), BasicRole::Inverse(RoleId(p))] {
             if closure.reaches(g.role_node(q0), target_role)
                 && closure.reaches(g.role_exists_node(q0.inverse()), target_c_node)
             {
@@ -718,9 +721,7 @@ fn basic_membership_atom(b: BasicConcept, t: Term, fresh: usize) -> Atom {
         BasicConcept::Exists(BasicRole::Inverse(p)) => {
             Atom::Role(p, Term::Var(format!("_vw{fresh}")), t)
         }
-        BasicConcept::AttrDomain(u) => {
-            Atom::Attribute(u, t, ValueTerm::Var(format!("_vw{fresh}")))
-        }
+        BasicConcept::AttrDomain(u) => Atom::Attribute(u, t, ValueTerm::Var(format!("_vw{fresh}"))),
     }
 }
 
@@ -764,8 +765,7 @@ mod tests {
         // Skeletons: the role view and the collapsed ∃p view.
         assert_eq!(rw.len(), 2);
         let p = t.sig.find_role("p").unwrap();
-        let members =
-            concept_view_members(&cls, BasicConcept::exists(p));
+        let members = concept_view_members(&cls, BasicConcept::exists(p));
         // ∃p's view includes A.
         let a = t.sig.find_concept("A").unwrap();
         assert!(members.contains(&BasicConcept::Atomic(a)));
@@ -773,19 +773,17 @@ mod tests {
 
     #[test]
     fn qualified_pair_elimination_uses_maximal_witnesses() {
-        let t = parse_tbox(
-            "concept G G2 P\nrole advisor\nG [= exists advisor . P\nG2 [= G",
-        )
-        .unwrap();
+        let t =
+            parse_tbox("concept G G2 P\nrole advisor\nG [= exists advisor . P\nG2 [= G").unwrap();
         let cls = Classification::classify(&t);
         let q = parse_cq("q(x) :- advisor(x, y), P(y)", &t.sig).unwrap();
         let rw = presto_rewrite(&q, &cls);
         let g_id = t.sig.find_concept("G").unwrap();
         // One skeleton must contain the view of G (which covers G2).
         let has_g_view = rw.queries.iter().any(|vq| {
-            vq.atoms
-                .iter()
-                .any(|a| matches!(a, ViewAtom::ConceptView(BasicConcept::Atomic(c), _) if *c == g_id))
+            vq.atoms.iter().any(
+                |a| matches!(a, ViewAtom::ConceptView(BasicConcept::Atomic(c), _) if *c == g_id),
+            )
         });
         assert!(has_g_view, "{rw:?}");
         let members = concept_view_members(&cls, BasicConcept::Atomic(g_id));

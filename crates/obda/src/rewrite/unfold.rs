@@ -75,7 +75,10 @@ fn flatten_core(
     for r in &refs {
         let t = db.table(&r.table)?;
         for c in t.columns() {
-            owners.entry(c.name.clone()).or_default().push(r.alias.clone());
+            owners
+                .entry(c.name.clone())
+                .or_default()
+                .push(r.alias.clone());
         }
     }
     let qualify = |c: &ColRef| -> Result<ColRef, SqlError> {
@@ -199,21 +202,22 @@ fn atom_sources(
     counter: &mut usize,
 ) -> Result<Vec<FlatSource>, SqlError> {
     let mut out = Vec::new();
-    let mut add = |sql: &str, wants: Vec<ColumnWant>, counter: &mut usize| -> Result<(), SqlError> {
-        let q = obda_sqlstore::parse_query(sql)?;
-        let mut cores = vec![&q.first];
-        cores.extend(q.rest.iter().map(|(_, c)| c));
-        if q.limit.is_some() || !q.order_by.is_empty() {
-            return Err(SqlError::new(
-                "mapping bodies must not use ORDER BY / LIMIT",
-            ));
-        }
-        for core in cores {
-            *counter += 1;
-            out.push(flatten_core(db, core, &format!("m{counter}_"), &wants)?);
-        }
-        Ok(())
-    };
+    let mut add =
+        |sql: &str, wants: Vec<ColumnWant>, counter: &mut usize| -> Result<(), SqlError> {
+            let q = obda_sqlstore::parse_query(sql)?;
+            let mut cores = vec![&q.first];
+            cores.extend(q.rest.iter().map(|(_, c)| c));
+            if q.limit.is_some() || !q.order_by.is_empty() {
+                return Err(SqlError::new(
+                    "mapping bodies must not use ORDER BY / LIMIT",
+                ));
+            }
+            for core in cores {
+                *counter += 1;
+                out.push(flatten_core(db, core, &format!("m{counter}_"), &wants)?);
+            }
+            Ok(())
+        };
     match atom {
         Atom::Concept(c, _) => {
             for (m, subject) in mappings.concept_sources(*c) {
@@ -257,7 +261,11 @@ fn view_atom_sources(
 ) -> Result<Vec<FlatSource>, SqlError> {
     use obda_dllite::{BasicConcept, BasicRole};
     let mut out = Vec::new();
-    let add = |sql: &str, wants: Vec<ColumnWant>, counter: &mut usize, out: &mut Vec<FlatSource>| -> Result<(), SqlError> {
+    let add = |sql: &str,
+               wants: Vec<ColumnWant>,
+               counter: &mut usize,
+               out: &mut Vec<FlatSource>|
+     -> Result<(), SqlError> {
         let q = obda_sqlstore::parse_query(sql)?;
         if q.limit.is_some() || !q.order_by.is_empty() {
             return Err(SqlError::new(
@@ -565,9 +573,10 @@ fn build_one(
         let mut pos = 0usize;
         for op in [&cmp.lhs, &cmp.rhs] {
             if let Operand::Col(c) = op {
-                let alias = c.qualifier.as_deref().ok_or_else(|| {
-                    SqlError::new("unfolding produced an unqualified column")
-                })?;
+                let alias = c
+                    .qualifier
+                    .as_deref()
+                    .ok_or_else(|| SqlError::new("unfolding produced an unqualified column"))?;
                 let p = alias_pos
                     .get(alias)
                     .ok_or_else(|| SqlError::new(format!("unknown alias `{alias}`")))?;
@@ -683,9 +692,7 @@ fn run_combos(combos: &[ComboQuery], db: &Database) -> Result<Answers, SqlError>
                             break;
                         }
                         SqlValue::Int(i) => tuple.push(AnswerTerm::Value(Value::Int(*i))),
-                        SqlValue::Text(s) => {
-                            tuple.push(AnswerTerm::Value(Value::Text(s.clone())))
-                        }
+                        SqlValue::Text(s) => tuple.push(AnswerTerm::Value(Value::Text(s.clone()))),
                     },
                 }
             }

@@ -246,11 +246,9 @@ pub fn parse_sparql(src: &str, sig: &Signature) -> Result<SparqlQuery, QueryPars
                     other => return qerr(format!("expected class IRI, found {other:?}")),
                 };
                 pos += 1;
-                let c = sig
-                    .find_concept(&class)
-                    .ok_or_else(|| QueryParseError {
-                        message: format!("unknown concept `{class}`"),
-                    })?;
+                let c = sig.find_concept(&class).ok_or_else(|| QueryParseError {
+                    message: format!("unknown concept `{class}`"),
+                })?;
                 atoms.push(Atom::Concept(c, subject));
             }
             Some(pred) => {
@@ -295,7 +293,11 @@ pub fn parse_sparql(src: &str, sig: &Signature) -> Result<SparqlQuery, QueryPars
     let head = if ask {
         Vec::new()
     } else if star {
-        cq_probe.body_vars().into_iter().map(str::to_owned).collect()
+        cq_probe
+            .body_vars()
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
     } else {
         head
     };

@@ -185,11 +185,7 @@ impl ObdaSystem {
                 let ucq = perfect_ref(&q, &self.tbox);
                 let _ = writeln!(out, "rewriting: PerfectRef, {} CQ disjunct(s)", ucq.len());
                 for (i, d) in ucq.disjuncts.iter().enumerate().take(8) {
-                    let _ = writeln!(
-                        out,
-                        "  [{i}] {}",
-                        crate::query::print_cq(d, &self.tbox.sig)
-                    );
+                    let _ = writeln!(out, "  [{i}] {}", crate::query::print_cq(d, &self.tbox.sig));
                 }
                 if ucq.len() > 8 {
                     let _ = writeln!(out, "  … {} more", ucq.len() - 8);
@@ -199,11 +195,8 @@ impl ObdaSystem {
                     let mut total = 0usize;
                     let mut sql_lines = String::new();
                     for d in &ucq.disjuncts {
-                        let combos = crate::rewrite::unfold::unfold_cq(
-                            d,
-                            &self.mappings,
-                            &self.db,
-                        )?;
+                        let combos =
+                            crate::rewrite::unfold::unfold_cq(d, &self.mappings, &self.db)?;
                         total += combos.len();
                         for combo in combos {
                             if shown < 6 {
@@ -263,11 +256,7 @@ impl ObdaSystem {
     /// Instance checking (Section 5 lists it among the extensional
     /// reasoning services): whether `individual` is a certain instance of
     /// the named concept, through the full rewriting pipeline.
-    pub fn is_instance_of(
-        &mut self,
-        individual: &str,
-        concept: &str,
-    ) -> Result<bool, ObdaError> {
+    pub fn is_instance_of(&mut self, individual: &str, concept: &str) -> Result<bool, ObdaError> {
         let c = self
             .tbox
             .sig

@@ -10,7 +10,7 @@
 //!   benchmark query.
 
 use mastro::{
-    evaluate_ucq, perfect_ref, presto_rewrite, Answers, AnswerTerm, DataMode, RewritingMode,
+    evaluate_ucq, perfect_ref, presto_rewrite, AnswerTerm, Answers, DataMode, RewritingMode,
 };
 use obda_dllite::{Abox, ConceptId, RoleId, Tbox};
 use obda_genont::{random_abox, random_tbox, university_scenario};
@@ -57,11 +57,7 @@ fn random_query(seed: u64, t: &Tbox) -> Option<mastro::ConjunctiveQuery> {
 
 /// Certain answers through the bounded chase: evaluate the *original*
 /// query over the chased ABox and drop tuples mentioning invented nulls.
-fn certain_answers_via_chase(
-    q: &mastro::ConjunctiveQuery,
-    tbox: &Tbox,
-    abox: &Abox,
-) -> Answers {
+fn certain_answers_via_chase(q: &mastro::ConjunctiveQuery, tbox: &Tbox, abox: &Abox) -> Answers {
     let depth = q.atoms.len() + 2;
     let chased = chase(tbox, abox, depth);
     mastro::evaluate_cq(q, &chased.abox)
@@ -101,7 +97,8 @@ fn perfectref_computes_certain_answers() {
         let rewritten = evaluate_ucq(&ucq, &ab);
         let certain = certain_answers_via_chase(&q, &t, &ab);
         assert_eq!(
-            rewritten, certain,
+            rewritten,
+            certain,
             "seed {seed}: query {:?} over {} axioms",
             q,
             t.len()
@@ -212,10 +209,7 @@ fn mandatory_participation_answers_via_existentials() {
     assert_eq!(teachers_open, professors);
     let pairs = sys.answer("q(x, y) :- teacherOf(x, y)").unwrap();
     // Every asserted pair's subject is a professor.
-    let subjects: Answers = pairs
-        .iter()
-        .map(|t| vec![t[0].clone()])
-        .collect();
+    let subjects: Answers = pairs.iter().map(|t| vec![t[0].clone()]).collect();
     assert!(subjects.is_subset(&professors));
 }
 

@@ -12,9 +12,7 @@ fn sparql_select_equals_cq_answers() {
         .unwrap();
     assert_eq!(cq, sparql);
     let joined = sys
-        .answer_sparql(
-            "SELECT ?x ?n WHERE { ?x a :GradStudent . ?x :personName ?n . }",
-        )
+        .answer_sparql("SELECT ?x ?n WHERE { ?x a :GradStudent . ?x :personName ?n . }")
         .unwrap();
     let cq_joined = sys
         .answer("q(x, n) :- GradStudent(x), personName(x, n)")
@@ -44,9 +42,7 @@ fn sparql_with_iri_constant() {
     let grads = sys.answer("q(x) :- GradStudent(x)").unwrap();
     let grad = grads.iter().next().unwrap()[0].to_string();
     let courses = sys
-        .answer_sparql(&format!(
-            "SELECT ?y WHERE {{ <{grad}> :takesCourse ?y }}"
-        ))
+        .answer_sparql(&format!("SELECT ?y WHERE {{ <{grad}> :takesCourse ?y }}"))
         .unwrap();
     let reference = sys
         .answer(&format!("q(y) :- takesCourse(\"{grad}\", y)"))

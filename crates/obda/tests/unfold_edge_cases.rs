@@ -155,12 +155,12 @@ fn mapping_bodies_with_joins_flatten_into_the_unfolding() {
     let mut db = Database::new();
     db.execute("CREATE TABLE A (id INT, flag INT)").unwrap();
     db.execute("CREATE TABLE B (id INT, tier INT)").unwrap();
-    db.execute("INSERT INTO A VALUES (1, 1), (2, 0), (3, 1)").unwrap();
+    db.execute("INSERT INTO A VALUES (1, 1), (2, 0), (3, 1)")
+        .unwrap();
     db.execute("INSERT INTO B VALUES (1, 9), (3, 2)").unwrap();
     let mut ms = MappingSet::new();
     ms.add(MappingAssertion {
-        sql: "SELECT a.id FROM A a JOIN B b ON a.id = b.id WHERE a.flag = 1 AND b.tier >= 5"
-            .into(),
+        sql: "SELECT a.id FROM A a JOIN B b ON a.id = b.id WHERE a.flag = 1 AND b.tier >= 5".into(),
         heads: vec![MappingHead::Concept {
             concept: tbox.sig.find_concept("Customer").unwrap(),
             subject: tpl("cust/", "id"),
@@ -174,10 +174,7 @@ fn mapping_bodies_with_joins_flatten_into_the_unfolding() {
 
 #[test]
 fn unsat_predicate_with_instances_is_a_violation() {
-    let tbox = parse_tbox(
-        "concept Broken A B\nBroken [= A\nBroken [= B\nA [= not B",
-    )
-    .unwrap();
+    let tbox = parse_tbox("concept Broken A B\nBroken [= A\nBroken [= B\nA [= not B").unwrap();
     let mut db = Database::new();
     db.execute("CREATE TABLE T (id INT)").unwrap();
     db.execute("INSERT INTO T VALUES (1)").unwrap();

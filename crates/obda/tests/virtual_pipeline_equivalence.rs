@@ -51,7 +51,10 @@ fn random_query(seed: u64, t: &Tbox) -> Option<mastro::ConjunctiveQuery> {
     };
     let vars: Vec<String> = q.body_vars().into_iter().map(str::to_owned).collect();
     let head = vec![vars[rng.gen_range(0..vars.len())].clone()];
-    Some(mastro::ConjunctiveQuery { head, atoms: q.atoms })
+    Some(mastro::ConjunctiveQuery {
+        head,
+        atoms: q.atoms,
+    })
 }
 
 #[test]

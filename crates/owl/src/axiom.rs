@@ -87,10 +87,9 @@ impl OwlAxiom {
                     ObjectProperty::Direct(*p),
                 ),
             ],
-            OwlAxiom::ObjectPropertyDomain(r, c) => vec![OwlAxiom::SubClassOf(
-                ClassExpr::some_thing(*r),
-                c.clone(),
-            )],
+            OwlAxiom::ObjectPropertyDomain(r, c) => {
+                vec![OwlAxiom::SubClassOf(ClassExpr::some_thing(*r), c.clone())]
+            }
             OwlAxiom::ObjectPropertyRange(r, c) => vec![OwlAxiom::SubClassOf(
                 ClassExpr::some_thing(r.inverse()),
                 c.clone(),
@@ -231,10 +230,7 @@ mod tests {
         let rng = OwlAxiom::ObjectPropertyRange(r, c.clone()).normalize();
         assert_eq!(
             rng,
-            vec![OwlAxiom::SubClassOf(
-                ClassExpr::some_thing(r.inverse()),
-                c
-            )]
+            vec![OwlAxiom::SubClassOf(ClassExpr::some_thing(r.inverse()), c)]
         );
     }
 

@@ -121,7 +121,10 @@ mod tests {
     fn collect_signature_visits_everything() {
         let c = ClassExpr::or(
             ClassExpr::not(ClassExpr::Class(ConceptId(1))),
-            ClassExpr::all(BasicRole::Inverse(RoleId(2)), ClassExpr::Class(ConceptId(3))),
+            ClassExpr::all(
+                BasicRole::Inverse(RoleId(2)),
+                ClassExpr::Class(ConceptId(3)),
+            ),
         );
         let mut classes = Vec::new();
         let mut props = Vec::new();

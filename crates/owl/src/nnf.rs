@@ -67,9 +67,15 @@ mod tests {
     #[test]
     fn de_morgan() {
         let c = ClassExpr::not(ClassExpr::and(a(), b()));
-        assert_eq!(nnf(&c), ClassExpr::or(ClassExpr::not(a()), ClassExpr::not(b())));
+        assert_eq!(
+            nnf(&c),
+            ClassExpr::or(ClassExpr::not(a()), ClassExpr::not(b()))
+        );
         let d = ClassExpr::not(ClassExpr::or(a(), b()));
-        assert_eq!(nnf(&d), ClassExpr::and(ClassExpr::not(a()), ClassExpr::not(b())));
+        assert_eq!(
+            nnf(&d),
+            ClassExpr::and(ClassExpr::not(a()), ClassExpr::not(b()))
+        );
     }
 
     #[test]

@@ -54,9 +54,7 @@ fn violation<T>(reason: impl Into<String>) -> Result<T, QlViolation> {
 pub fn subclass_to_basic(c: &ClassExpr) -> Result<BasicConcept, QlViolation> {
     match c {
         ClassExpr::Class(a) => Ok(BasicConcept::Atomic(*a)),
-        ClassExpr::Some(r, inner) if **inner == ClassExpr::Thing => {
-            Ok(BasicConcept::Exists(*r))
-        }
+        ClassExpr::Some(r, inner) if **inner == ClassExpr::Thing => Ok(BasicConcept::Exists(*r)),
         ClassExpr::Thing => violation("owl:Thing is not a QL subclass expression"),
         ClassExpr::Nothing => {
             violation("owl:Nothing needs axiom-level handling, not a basic concept")
@@ -78,10 +76,7 @@ enum SuperConjunct {
     Nothing,
 }
 
-fn superclass_to_conjuncts(
-    c: &ClassExpr,
-    out: &mut Vec<SuperConjunct>,
-) -> Result<(), QlViolation> {
+fn superclass_to_conjuncts(c: &ClassExpr, out: &mut Vec<SuperConjunct>) -> Result<(), QlViolation> {
     match c {
         ClassExpr::Thing => Ok(()),
         ClassExpr::Nothing => {
@@ -258,8 +253,7 @@ mod tests {
     fn convert(src: &str) -> Result<Vec<String>, QlViolation> {
         let o = parse_owl(src).unwrap();
         let t = ontology_to_dllite(&o)?;
-        Ok(t
-            .axioms()
+        Ok(t.axioms()
             .iter()
             .map(|ax| printer::axiom(ax, &t.sig, Style::Display))
             .collect())
@@ -272,7 +266,10 @@ mod tests {
              SubClassOf(State ObjectSomeValuesFrom(ObjectInverseOf(isPartOf) County))",
         )
         .unwrap();
-        assert_eq!(axs, vec!["County ⊑ ∃isPartOf.State", "State ⊑ ∃isPartOf⁻.County"]);
+        assert_eq!(
+            axs,
+            vec!["County ⊑ ∃isPartOf.State", "State ⊑ ∃isPartOf⁻.County"]
+        );
     }
 
     #[test]
@@ -287,10 +284,7 @@ mod tests {
             "ObjectPropertyDomain(p A)\nObjectPropertyRange(p B)\nDisjointObjectProperties(p r)\nDisjointClasses(A B)",
         )
         .unwrap();
-        assert_eq!(
-            axs,
-            vec!["∃p ⊑ A", "∃p⁻ ⊑ B", "p ⊑ ¬r", "A ⊑ ¬B"]
-        );
+        assert_eq!(axs, vec!["∃p ⊑ A", "∃p⁻ ⊑ B", "p ⊑ ¬r", "A ⊑ ¬B"]);
     }
 
     #[test]
@@ -324,10 +318,9 @@ mod tests {
 
     #[test]
     fn data_property_axioms_convert() {
-        let axs = convert(
-            "SubDataPropertyOf(u w)\nDisjointDataProperties(u w)\nDataPropertyDomain(u A)",
-        )
-        .unwrap();
+        let axs =
+            convert("SubDataPropertyOf(u w)\nDisjointDataProperties(u w)\nDataPropertyDomain(u A)")
+                .unwrap();
         assert_eq!(axs, vec!["u ⊑ w", "u ⊑ ¬w", "δ(u) ⊑ A"]);
     }
 

@@ -49,12 +49,8 @@ fn holds(i: &Interpretation, c: &ClassExpr, e: usize) -> bool {
         ClassExpr::Not(inner) => !holds(i, inner, e),
         ClassExpr::And(cs) => cs.iter().all(|c| holds(i, c, e)),
         ClassExpr::Or(cs) => cs.iter().any(|c| holds(i, c, e)),
-        ClassExpr::Some(r, inner) => i
-            .role_pairs(*r)
-            .any(|(s, o)| s == e && holds(i, inner, o)),
-        ClassExpr::All(r, inner) => i
-            .role_pairs(*r)
-            .all(|(s, o)| s != e || holds(i, inner, o)),
+        ClassExpr::Some(r, inner) => i.role_pairs(*r).any(|(s, o)| s == e && holds(i, inner, o)),
+        ClassExpr::All(r, inner) => i.role_pairs(*r).all(|(s, o)| s != e || holds(i, inner, o)),
     }
 }
 

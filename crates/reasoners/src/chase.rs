@@ -39,9 +39,9 @@ impl ChasedAbox {
 
 /// Membership tests used by the chase applicability checks.
 struct Facts {
-    concept: HashSet<(u32, u32)>,       // (concept, individual)
-    role: HashSet<(u32, u32, u32)>,     // (role, subject, object)
-    attr_subject: HashSet<(u32, u32)>,  // (attribute, individual)
+    concept: HashSet<(u32, u32)>,      // (concept, individual)
+    role: HashSet<(u32, u32, u32)>,    // (role, subject, object)
+    attr_subject: HashSet<(u32, u32)>, // (attribute, individual)
 }
 
 impl Facts {
@@ -168,11 +168,7 @@ pub fn chase(tbox: &Tbox, abox: &Abox, max_depth: usize) -> ChasedAbox {
                             BasicRole::Inverse(p) => (p, o, s),
                         };
                         if !facts.role.contains(&(p2.0, s2, o2)) {
-                            additions.push(Assertion::Role(
-                                p2,
-                                IndividualId(s2),
-                                IndividualId(o2),
-                            ));
+                            additions.push(Assertion::Role(p2, IndividualId(s2), IndividualId(o2)));
                         }
                     }
                 }

@@ -42,7 +42,9 @@ impl NamedClassification {
 }
 
 /// Deduplicates and sorts raw pair lists into the canonical form.
-pub fn canonical_pairs(pairs: impl IntoIterator<Item = (ConceptId, ConceptId)>) -> BTreeSet<(ConceptId, ConceptId)> {
+pub fn canonical_pairs(
+    pairs: impl IntoIterator<Item = (ConceptId, ConceptId)>,
+) -> BTreeSet<(ConceptId, ConceptId)> {
     pairs.into_iter().filter(|(a, b)| a != b).collect()
 }
 

@@ -33,9 +33,7 @@ impl Enc {
     fn encode(self, b: BasicConcept) -> Option<u32> {
         match b {
             BasicConcept::Atomic(a) => Some(a.0),
-            BasicConcept::Exists(q) => {
-                Some(self.nc + 2 * q.role().0 + q.is_inverse() as u32)
-            }
+            BasicConcept::Exists(q) => Some(self.nc + 2 * q.role().0 + q.is_inverse() as u32),
             BasicConcept::AttrDomain(_) => None, // attributes skipped (CB-style)
         }
     }
@@ -160,8 +158,7 @@ fn saturate(t: &Tbox) -> (Vec<SubsumerSet>, Vec<bool>, Enc, u32) {
             Axiom::ConceptIncl(lhs, GeneralConcept::QualExists(q, a)) => {
                 if let Some(l) = enc.encode(lhs) {
                     qual_by_lhs[l as usize].push((q, a));
-                    incl_by_lhs[l as usize]
-                        .push(enc.encode(BasicConcept::Exists(q)).unwrap());
+                    incl_by_lhs[l as usize].push(enc.encode(BasicConcept::Exists(q)).unwrap());
                 }
             }
             Axiom::ConceptIncl(lhs, GeneralConcept::Neg(rhs)) => {
@@ -203,8 +200,7 @@ fn saturate(t: &Tbox) -> (Vec<SubsumerSet>, Vec<bool>, Enc, u32) {
     for &q in &all_roles {
         let supers = &role_supers[role_index(q)];
         let clash = role_neg.iter().any(|&(r, s)| {
-            (supers.contains(&r) && supers.contains(&s))
-                || (r == s && supers.contains(&r))
+            (supers.contains(&r) && supers.contains(&s)) || (r == s && supers.contains(&r))
         });
         if clash {
             role_unsat[role_index(q)] = true;
@@ -251,8 +247,7 @@ fn saturate(t: &Tbox) -> (Vec<SubsumerSet>, Vec<bool>, Enc, u32) {
         }
     }
 
-    let has_negatives =
-        !role_neg.is_empty() || neg_by_lhs.iter().any(|v| !v.is_empty());
+    let has_negatives = !role_neg.is_empty() || neg_by_lhs.iter().any(|v| !v.is_empty());
     while let Some((b, s)) = work.pop() {
         // Rule 1: s ⊑ r axiom ⟹ b ⊑ r.
         for &r in &incl_by_lhs[s as usize] {
@@ -404,7 +399,8 @@ mod tests {
 
     #[test]
     fn inverse_role_reachability() {
-        let (t, c) = classify("concept A B\nrole p r\np [= inv(r)\nA [= exists p\nexists inv(r) [= B");
+        let (t, c) =
+            classify("concept A B\nrole p r\np [= inv(r)\nA [= exists p\nexists inv(r) [= B");
         let id = |n: &str| t.sig.find_concept(n).unwrap();
         assert!(c.concept_pairs.contains(&(id("A"), id("B"))));
     }

@@ -29,4 +29,4 @@ pub use classification::NamedClassification;
 pub use consequence::{classify_consequence, consequence_stats};
 pub use saturation::Saturation;
 pub use tableau::{Budget, Tableau, TableauKb, Timeout};
-pub use tableau_classify::{classify_tableau, TableauProfile};
+pub use tableau_classify::{classify_tableau, classify_tableau_threaded, TableauProfile};

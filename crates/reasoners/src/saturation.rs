@@ -327,10 +327,7 @@ impl Saturation {
             // closed under Pos-composition and symmetry, so a single
             // membership test covers every cross combination.
             for &(b, q, a) in &s.qual {
-                let witness_pair = (
-                    BasicConcept::Atomic(a),
-                    BasicConcept::Exists(q.inverse()),
-                );
+                let witness_pair = (BasicConcept::Atomic(a), BasicConcept::Exists(q.inverse()));
                 if s.neg.contains(&witness_pair) && !s.unsat_c.contains(&b) {
                     new_unsat_c.push(b);
                 }
@@ -397,9 +394,7 @@ impl Saturation {
                     || self.unsat_r.contains(&q2)
                     || self.role_neg.contains(&(q1, q2))
             }
-            Axiom::AttrIncl(u, w) => {
-                self.unsat_a.contains(&u) || self.attr_pos.contains(&(u, w))
-            }
+            Axiom::AttrIncl(u, w) => self.unsat_a.contains(&u) || self.attr_pos.contains(&(u, w)),
             Axiom::AttrNegIncl(u, w) => {
                 self.unsat_a.contains(&u)
                     || self.unsat_a.contains(&w)

@@ -153,10 +153,7 @@ impl TableauKb {
 
     /// All super-roles of `r` (reflexive).
     pub fn role_supers(&self, r: BasicRole) -> &[BasicRole] {
-        self.role_supers
-            .get(&r)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.role_supers.get(&r).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Whether creating an edge labelled `q` clashes with role
@@ -211,7 +208,8 @@ impl Budget {
 
     /// Whether the deadline has passed.
     pub fn exhausted(&self) -> bool {
-        self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 }
 
@@ -272,11 +270,7 @@ impl<'kb> Tableau<'kb> {
     }
 
     /// Whether the conjunction of `roots` is satisfiable w.r.t. the KB.
-    pub fn satisfiable(
-        &mut self,
-        roots: &[ClassExpr],
-        budget: Budget,
-    ) -> Result<bool, Timeout> {
+    pub fn satisfiable(&mut self, roots: &[ClassExpr], budget: Budget) -> Result<bool, Timeout> {
         let root_ids: Vec<u32> = roots.iter().map(|c| self.intern(nnf(c))).collect();
         let mut g = Graph {
             nodes: Vec::new(),
@@ -319,14 +313,10 @@ impl<'kb> Tableau<'kb> {
                         || !self.satisfiable(&[ClassExpr::some_thing(r)], budget)?
                 }
                 OwlAxiom::DisjointObjectProperties(r, s) => {
-                    self.kb
-                        .disjoint_roles
-                        .iter()
-                        .any(|&(x, y)| {
-                            (self.kb.role_subsumed(r, x) && self.kb.role_subsumed(s, y))
-                                || (self.kb.role_subsumed(r, y) && self.kb.role_subsumed(s, x))
-                        })
-                        || !self.satisfiable(&[ClassExpr::some_thing(r)], budget)?
+                    self.kb.disjoint_roles.iter().any(|&(x, y)| {
+                        (self.kb.role_subsumed(r, x) && self.kb.role_subsumed(s, y))
+                            || (self.kb.role_subsumed(r, y) && self.kb.role_subsumed(s, x))
+                    }) || !self.satisfiable(&[ClassExpr::some_thing(r)], budget)?
                         || !self.satisfiable(&[ClassExpr::some_thing(s)], budget)?
                 }
                 // Data-property axioms are not decided by the tableau.
@@ -447,7 +437,11 @@ impl<'kb> Tableau<'kb> {
     }
 
     fn lookup(&self, c: &ClassExpr) -> Option<u32> {
-        self.kb.ids.get(c).copied().or_else(|| self.extra.get(c).copied())
+        self.kb
+            .ids
+            .get(c)
+            .copied()
+            .or_else(|| self.extra.get(c).copied())
     }
 
     /// Neighbours of `node` reachable through a role subsumed by `r`:
@@ -734,10 +728,7 @@ mod tests {
             .unwrap());
         assert!(t
             .entails(
-                &OwlAxiom::SubObjectPropertyOf(
-                    BasicRole::Direct(p),
-                    BasicRole::Direct(r)
-                ),
+                &OwlAxiom::SubObjectPropertyOf(BasicRole::Direct(p), BasicRole::Direct(r)),
                 Budget::default()
             )
             .unwrap());

@@ -100,66 +100,141 @@ pub fn classify_tableau(
     profile: TableauProfile,
     budget: Budget,
 ) -> Result<NamedClassification, Timeout> {
+    classify_tableau_threaded(onto, profile, budget, 1)
+}
+
+/// Splits `len` items into at most `parts` contiguous near-equal chunks.
+fn shard_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Runs `work` over every item, sharded across `threads` scoped workers.
+/// Each worker owns a private [`Tableau`] over the shared KB; per-item
+/// results come back in item order (chunks are contiguous and joined in
+/// spawn order), so the output is identical to a sequential run.
+fn run_sharded<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    kb: &TableauKb,
+    work: impl Fn(&mut Tableau<'_>, &T) -> Result<R, Timeout> + Sync,
+) -> Result<Vec<R>, Timeout> {
+    if threads <= 1 || items.len() < 2 {
+        let mut tab = Tableau::new(kb);
+        return items.iter().map(|it| work(&mut tab, it)).collect();
+    }
+    let ranges = shard_ranges(items.len(), threads);
+    let mut parts: Vec<Result<Vec<R>, Timeout>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let work = &work;
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let slice = &items[r.clone()];
+                s.spawn(move || {
+                    let mut tab = Tableau::new(kb);
+                    slice.iter().map(|it| work(&mut tab, it)).collect()
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("tableau worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for part in parts {
+        out.extend(part?);
+    }
+    Ok(out)
+}
+
+/// [`classify_tableau`] with a worker-thread knob: the per-concept
+/// satisfiability pre-pass and the Naive/Told subsumption pair loops are
+/// sharded across `threads` scoped workers (each with its own tableau
+/// over the shared preprocessed KB). The Enhanced profile's traversal is
+/// inherently sequential (every insertion depends on the hierarchy built
+/// so far), so it parallelizes the pre-pass only.
+///
+/// The result is *identical* to `classify_tableau` for every `threads`
+/// value: workers cover disjoint concept ranges, per-test outcomes do
+/// not depend on scheduling, and merges land in ordered sets (checked by
+/// `tests/parallel_determinism.rs`).
+pub fn classify_tableau_threaded(
+    onto: &Ontology,
+    profile: TableauProfile,
+    budget: Budget,
+    threads: usize,
+) -> Result<NamedClassification, Timeout> {
+    let threads = threads.max(1);
     let kb = TableauKb::new(onto);
-    let mut tab = Tableau::new(&kb);
     let concepts: Vec<ConceptId> = onto.sig.concepts().collect();
 
-    // Phase 1: concept satisfiability.
-    let mut unsat: BTreeSet<ConceptId> = BTreeSet::new();
-    for &a in &concepts {
+    // Phase 1: concept satisfiability, sharded.
+    let sat_flags = run_sharded(&concepts, threads, &kb, |tab, &a| {
         if budget.exhausted() {
             return Err(Timeout);
         }
-        if !tab.satisfiable(&[ClassExpr::Class(a)], budget)? {
-            unsat.insert(a);
-        }
-    }
+        tab.satisfiable(&[ClassExpr::Class(a)], budget)
+    })?;
+    let unsat: BTreeSet<ConceptId> = concepts
+        .iter()
+        .zip(&sat_flags)
+        .filter(|&(_, &sat)| !sat)
+        .map(|(&a, _)| a)
+        .collect();
     let sat_concepts: Vec<ConceptId> = concepts
         .iter()
         .copied()
         .filter(|a| !unsat.contains(a))
         .collect();
 
-    // Phase 2: concept subsumption pairs.
-    let mut pairs: BTreeSet<(ConceptId, ConceptId)> = BTreeSet::new();
-    match profile {
-        TableauProfile::Naive => {
-            for &a in &sat_concepts {
+    // Phase 2: concept subsumption pairs, sharded over the outer concept.
+    let told = match profile {
+        TableauProfile::Told => Some(told_supers(onto)),
+        _ => None,
+    };
+    let pairs: BTreeSet<(ConceptId, ConceptId)> = match profile {
+        TableauProfile::Naive | TableauProfile::Told => {
+            let rows = run_sharded(&sat_concepts, threads, &kb, |tab, &a| {
+                let told_a = told.as_ref().and_then(|t| t.get(&a));
+                let mut row: Vec<(ConceptId, ConceptId)> = Vec::new();
                 for &b in &sat_concepts {
                     if a == b {
                         continue;
                     }
-                    if tab.subsumed(&ClassExpr::Class(a), &ClassExpr::Class(b), budget)? {
-                        pairs.insert((a, b));
-                    }
-                }
-            }
-        }
-        TableauProfile::Told => {
-            let told = told_supers(onto);
-            for &a in &sat_concepts {
-                let told_a = told.get(&a);
-                for &b in &sat_concepts {
-                    if a == b {
-                        continue;
-                    }
-                    let told = told_a.is_some_and(|s| s.contains(&b));
-                    if told
+                    let told_hit = told_a.is_some_and(|s| s.contains(&b));
+                    if told_hit
                         || tab.subsumed(&ClassExpr::Class(a), &ClassExpr::Class(b), budget)?
                     {
-                        pairs.insert((a, b));
+                        row.push((a, b));
                     }
                 }
-            }
+                Ok(row)
+            })?;
+            rows.into_iter().flatten().collect()
         }
         TableauProfile::Enhanced => {
-            pairs = enhanced_traversal(&mut tab, &sat_concepts, budget)?;
+            let mut tab = Tableau::new(&kb);
+            enhanced_traversal(&mut tab, &sat_concepts, budget)?
         }
-    }
+    };
 
     // Phase 3: property hierarchy. ALCHI derives no role inclusions
     // beyond the declared hierarchy (modulo empty roles), so this is the
     // closed told hierarchy — what the real tableau systems report too.
+    let mut tab = Tableau::new(&kb);
     let mut role_pairs: BTreeSet<(RoleId, RoleId)> = BTreeSet::new();
     let mut unsat_roles: BTreeSet<RoleId> = BTreeSet::new();
     for p in onto.sig.roles() {

@@ -1,0 +1,71 @@
+//! Determinism of the sharded tableau classifier: at any thread count
+//! the result must be identical to the sequential run, and repeated
+//! threaded runs must be identical to each other (no scheduling
+//! dependence leaks into the output).
+
+use obda_genont::OntologySpec;
+use obda_owl::tbox_to_owl;
+use obda_reasoners::{classify_tableau, classify_tableau_threaded, Budget, TableauProfile};
+
+fn spec(concepts: usize, seed: u64) -> OntologySpec {
+    OntologySpec {
+        name: format!("det{concepts}"),
+        concepts,
+        roles: 4,
+        roots: 2,
+        existentials: concepts / 4,
+        qualified_existentials: concepts / 8,
+        disjointness: concepts / 10,
+        seed,
+        ..OntologySpec::default()
+    }
+}
+
+#[test]
+fn threaded_runs_are_deterministic_and_match_sequential() {
+    // One generated ontology per profile keeps the all-pairs profiles
+    // affordable in debug builds while still exercising every phase.
+    for (profile, seed, concepts) in [
+        (TableauProfile::Naive, 7u64, 24usize),
+        (TableauProfile::Told, 41, 24),
+        (TableauProfile::Enhanced, 23, 40),
+    ] {
+        let tbox = spec(concepts, seed).generate();
+        let onto = tbox_to_owl(&tbox);
+        let sequential = classify_tableau(&onto, profile, Budget::default()).unwrap();
+        let run1 = classify_tableau_threaded(&onto, profile, Budget::default(), 4).unwrap();
+        let run2 = classify_tableau_threaded(&onto, profile, Budget::default(), 4).unwrap();
+        assert_eq!(
+            run1,
+            run2,
+            "{} seed {seed}: two threads=4 runs differ",
+            profile.name()
+        );
+        assert_eq!(
+            sequential,
+            run1,
+            "{} seed {seed}: threads=4 differs from sequential",
+            profile.name()
+        );
+    }
+}
+
+#[test]
+fn thread_counts_agree_on_handwritten_ontology() {
+    let src = "SubClassOf(A B)\nSubClassOf(B C)\nSubClassOf(D ObjectUnionOf(A B))\n\
+               EquivalentClasses(E C)\nSubClassOf(F A)\nSubClassOf(F ObjectComplementOf(A))\n\
+               SubObjectPropertyOf(p r)";
+    let onto = obda_owl::parse_owl(src).unwrap();
+    for profile in [
+        TableauProfile::Naive,
+        TableauProfile::Told,
+        TableauProfile::Enhanced,
+    ] {
+        let reference = classify_tableau(&onto, profile, Budget::default()).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let got =
+                classify_tableau_threaded(&onto, profile, Budget::default(), threads).unwrap();
+            assert_eq!(got, reference, "{} threads={threads}", profile.name());
+        }
+    }
+}

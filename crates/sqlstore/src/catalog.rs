@@ -30,7 +30,11 @@ impl Database {
     }
 
     /// Creates a table programmatically.
-    pub fn create_table(&mut self, name: &str, columns: Vec<(String, ColumnType)>) -> Result<(), SqlError> {
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        columns: Vec<(String, ColumnType)>,
+    ) -> Result<(), SqlError> {
         if self.tables.contains_key(name) {
             return Err(SqlError::new(format!("table `{name}` already exists")));
         }
@@ -112,7 +116,8 @@ mod tests {
         let mut db = Database::new();
         db.execute("CREATE TABLE person (id INT, name TEXT, dept INT)")
             .unwrap();
-        db.execute("CREATE TABLE dept (did INT, dname TEXT)").unwrap();
+        db.execute("CREATE TABLE dept (did INT, dname TEXT)")
+            .unwrap();
         db.execute(
             "INSERT INTO person VALUES (1, 'ada', 10), (2, 'bob', 10), (3, 'eve', 20), (4, NULL, NULL)",
         )
@@ -135,7 +140,9 @@ mod tests {
     fn join_matches_pairs() {
         let db = db();
         let r = db
-            .query("SELECT p.name, d.dname FROM person p JOIN dept d ON p.dept = d.did ORDER BY name")
+            .query(
+                "SELECT p.name, d.dname FROM person p JOIN dept d ON p.dept = d.did ORDER BY name",
+            )
             .unwrap();
         // NULL dept never joins.
         assert_eq!(r.rows.len(), 3);
@@ -204,7 +211,8 @@ mod tests {
         db.execute("CREATE TABLE b (x INT, y INT)").unwrap();
         db.execute("CREATE TABLE c (y INT)").unwrap();
         db.execute("INSERT INTO a VALUES (1), (2)").unwrap();
-        db.execute("INSERT INTO b VALUES (1, 7), (2, 8), (1, 8)").unwrap();
+        db.execute("INSERT INTO b VALUES (1, 7), (2, 8), (1, 8)")
+            .unwrap();
         db.execute("INSERT INTO c VALUES (8)").unwrap();
         let r = db
             .query("SELECT a.x, c.y FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y ORDER BY x")

@@ -76,11 +76,7 @@ pub fn load_csv(db: &mut Database, table: &str, csv: &str) -> Result<usize, SqlE
         .collect();
     db.create_table(
         table,
-        columns
-            .iter()
-            .cloned()
-            .zip(types.iter().copied())
-            .collect(),
+        columns.iter().cloned().zip(types.iter().copied()).collect(),
     )?;
     for row in &rows {
         let values = row

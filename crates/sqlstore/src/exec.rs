@@ -41,7 +41,9 @@ impl ResultSet {
         };
         out.push_str(&fmt_row(&self.columns, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &rendered {
             out.push_str(&fmt_row(row, &widths));
@@ -151,7 +153,10 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>, SqlError> {
         Plan::Distinct { input } => {
             let rows = run(db, input)?;
             let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
-            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+            Ok(rows
+                .into_iter()
+                .filter(|r| seen.insert(r.clone()))
+                .collect())
         }
         Plan::Union { inputs, all } => {
             let mut out = Vec::new();

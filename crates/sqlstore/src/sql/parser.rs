@@ -37,7 +37,10 @@ impl P {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(SqlError::new(format!("expected {kw}, found {:?}", self.peek())))
+            Err(SqlError::new(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -51,7 +54,9 @@ impl P {
     fn ident(&mut self) -> Result<String, SqlError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(SqlError::new(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::new(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -105,7 +110,11 @@ impl P {
             Some(Token::Le) => CmpOp::Le,
             Some(Token::Gt) => CmpOp::Gt,
             Some(Token::Ge) => CmpOp::Ge,
-            other => return Err(SqlError::new(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(SqlError::new(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
         };
         let rhs = self.operand()?;
         Ok(Comparison { lhs, op, rhs })
@@ -124,9 +133,11 @@ impl P {
         // Optional alias: bare identifier that is not a clause keyword.
         let alias = match self.peek() {
             Some(Token::Ident(s))
-                if !["JOIN", "ON", "WHERE", "UNION", "ORDER", "LIMIT", "AS", "AND"]
-                    .iter()
-                    .any(|k| s.eq_ignore_ascii_case(k)) =>
+                if ![
+                    "JOIN", "ON", "WHERE", "UNION", "ORDER", "LIMIT", "AS", "AND",
+                ]
+                .iter()
+                .any(|k| s.eq_ignore_ascii_case(k)) =>
             {
                 let a = s.clone();
                 self.pos += 1;
@@ -215,7 +226,11 @@ impl P {
         let limit = if self.eat_kw("LIMIT") {
             match self.next() {
                 Some(Token::Int(n)) if n >= 0 => Some(n as usize),
-                other => return Err(SqlError::new(format!("expected LIMIT count, found {other:?}"))),
+                other => {
+                    return Err(SqlError::new(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
             }
         } else {
             None
@@ -247,7 +262,9 @@ impl P {
                     Some(Token::Comma) => continue,
                     Some(Token::RParen) => break,
                     other => {
-                        return Err(SqlError::new(format!("expected `,` or `)`, found {other:?}")))
+                        return Err(SqlError::new(format!(
+                            "expected `,` or `)`, found {other:?}"
+                        )))
                     }
                 }
             }

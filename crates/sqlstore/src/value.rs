@@ -66,7 +66,9 @@ impl ColumnType {
     pub fn admits(&self, v: &SqlValue) -> bool {
         matches!(
             (self, v),
-            (_, SqlValue::Null) | (ColumnType::Int, SqlValue::Int(_)) | (ColumnType::Text, SqlValue::Text(_))
+            (_, SqlValue::Null)
+                | (ColumnType::Int, SqlValue::Int(_))
+                | (ColumnType::Text, SqlValue::Text(_))
         )
     }
 }
@@ -82,10 +84,7 @@ mod tests {
     fn null_comparisons_are_none() {
         assert_eq!(SqlValue::Null.sql_cmp(&SqlValue::Int(1)), None);
         assert_eq!(SqlValue::Int(1).sql_cmp(&SqlValue::Null), None);
-        assert_eq!(
-            SqlValue::Int(1).sql_cmp(&SqlValue::Text("1".into())),
-            None
-        );
+        assert_eq!(SqlValue::Int(1).sql_cmp(&SqlValue::Text("1".into())), None);
     }
 
     #[test]

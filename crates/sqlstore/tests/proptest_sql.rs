@@ -18,7 +18,11 @@ fn db_with(rows: &[(i64, i64, String)], rows2: &[(i64, i64)]) -> Database {
     for (a, b, s) in rows {
         db.insert(
             "t",
-            vec![SqlValue::Int(*a), SqlValue::Int(*b), SqlValue::Text(s.clone())],
+            vec![
+                SqlValue::Int(*a),
+                SqlValue::Int(*b),
+                SqlValue::Text(s.clone()),
+            ],
         )
         .unwrap();
     }

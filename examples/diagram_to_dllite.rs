@@ -32,14 +32,29 @@ fn main() {
     let title = d.terminal(Shape::Circle, "title");
     // Author ⊑ Person; Author ⊑ ∃wrote.Book; ∃wrote⁻ ⊑ Book;
     // δ(title) ⊑ Book; Book ⊑ ¬Person.
-    d.add_edge(Edge::Inclusion { from: author, to: person });
+    d.add_edge(Edge::Inclusion {
+        from: author,
+        to: person,
+    });
     let wrote_some_book = d.existential(false, wrote, Some(book));
-    d.add_edge(Edge::Inclusion { from: author, to: wrote_some_book });
+    d.add_edge(Edge::Inclusion {
+        from: author,
+        to: wrote_some_book,
+    });
     let wrote_inv = d.existential(true, wrote, None);
-    d.add_edge(Edge::Inclusion { from: wrote_inv, to: book });
+    d.add_edge(Edge::Inclusion {
+        from: wrote_inv,
+        to: book,
+    });
     let has_title = d.attr_domain(title);
-    d.add_edge(Edge::Inclusion { from: has_title, to: book });
-    d.add_edge(Edge::Disjointness { from: book, to: person });
+    d.add_edge(Edge::Inclusion {
+        from: has_title,
+        to: book,
+    });
+    d.add_edge(Edge::Disjointness {
+        from: book,
+        to: person,
+    });
     let library = diagram_to_tbox(&d).expect("well-formed");
     println!("\nlibrary diagram ({} nodes) translates to:", d.len());
     for ax in library.axioms() {
@@ -66,7 +81,11 @@ fn main() {
     for m in &modules {
         println!("  {} — {} axioms, {}", m.name, m.tbox.len(), m.tbox.sig);
     }
-    for level in [DetailLevel::Taxonomy, DetailLevel::Typing, DetailLevel::Full] {
+    for level in [
+        DetailLevel::Taxonomy,
+        DetailLevel::Typing,
+        DetailLevel::Full,
+    ] {
         println!(
             "vertical view {level:?}: {} axioms",
             vertical_view(&big, level).len()

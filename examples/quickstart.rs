@@ -57,7 +57,10 @@ fn main() {
     let closure = deductive_closure(&cls, ClosureOptions::default());
     println!("deductive closure: {} axioms, e.g.:", closure.len());
     for ax in closure.iter().take(5) {
-        println!("  {}", printer::axiom(ax, &tbox.sig, printer::Style::Display));
+        println!(
+            "  {}",
+            printer::axiom(ax, &tbox.sig, printer::Style::Display)
+        );
     }
 
     // 5. Incremental evolution: a new axiom updates the closure without
@@ -69,9 +72,7 @@ fn main() {
     )
     .unwrap();
     evolving.add_axioms(patch.axioms());
-    let is_part_of_dom = obda_dllite::BasicConcept::exists(
-        tbox.sig.find_role("isPartOf").unwrap(),
-    );
+    let is_part_of_dom = obda_dllite::BasicConcept::exists(tbox.sig.find_role("isPartOf").unwrap());
     println!(
         "\nafter incremental update: Municipality ⊑ ∃isPartOf? {}",
         evolving.subsumed_concept(

@@ -24,16 +24,34 @@ fn paper_workflow_end_to_end() {
     let book = d.terminal(Shape::Rectangle, "Book");
     let wrote = d.terminal(Shape::Diamond, "wrote");
     let title = d.terminal(Shape::Circle, "title");
-    d.add_edge(Edge::Inclusion { from: author, to: person });
+    d.add_edge(Edge::Inclusion {
+        from: author,
+        to: person,
+    });
     let some_book = d.existential(false, wrote, Some(book));
-    d.add_edge(Edge::Inclusion { from: author, to: some_book });
+    d.add_edge(Edge::Inclusion {
+        from: author,
+        to: some_book,
+    });
     let wrote_dom = d.existential(false, wrote, None);
-    d.add_edge(Edge::Inclusion { from: wrote_dom, to: author });
+    d.add_edge(Edge::Inclusion {
+        from: wrote_dom,
+        to: author,
+    });
     let wrote_rng = d.existential(true, wrote, None);
-    d.add_edge(Edge::Inclusion { from: wrote_rng, to: book });
+    d.add_edge(Edge::Inclusion {
+        from: wrote_rng,
+        to: book,
+    });
     let titled = d.attr_domain(title);
-    d.add_edge(Edge::Inclusion { from: titled, to: book });
-    d.add_edge(Edge::Disjointness { from: book, to: person });
+    d.add_edge(Edge::Inclusion {
+        from: titled,
+        to: book,
+    });
+    d.add_edge(Edge::Disjointness {
+        from: book,
+        to: person,
+    });
     assert!(validate(&d).is_empty());
 
     // (ii) Automated translation into processable logical axioms.
@@ -90,8 +108,10 @@ fn paper_workflow_end_to_end() {
     db.execute("CREATE TABLE TB_BOOK (bid INT, title TEXT, aid INT)")
         .unwrap();
     db.execute("INSERT INTO TB_AUTHOR VALUES (1), (2)").unwrap();
-    db.execute("INSERT INTO TB_BOOK VALUES (10, 'dl-lite in practice', 1), (11, 'obda at scale', 1)")
-        .unwrap();
+    db.execute(
+        "INSERT INTO TB_BOOK VALUES (10, 'dl-lite in practice', 1), (11, 'obda at scale', 1)",
+    )
+    .unwrap();
     let mut ms = obda_mapping::MappingSet::new();
     let tpl = |prefix: &str, col: &str| obda_mapping::IriTemplate {
         prefix: prefix.into(),

@@ -1,0 +1,337 @@
+//! Offline stand-in for the `criterion` benchmark harness, covering the
+//! subset the workspace benches use: `Criterion::benchmark_group`, group
+//! configuration (`warm_up_time` / `measurement_time` / `sample_size`),
+//! `bench_with_input` / `bench_function` with `Bencher::iter`, plus the
+//! `criterion_group!` / `criterion_main!` macros and [`black_box`].
+//!
+//! Measurement model: after a wall-clock warm-up, it takes `sample_size`
+//! samples, each a batch of iterations sized so a sample lasts roughly
+//! `measurement_time / sample_size`, and reports the min / mean / max
+//! per-iteration time in the familiar `time: [low mean high]` shape.
+//! Command-line arguments from `cargo bench` are treated as substring
+//! filters on the benchmark id (flags are ignored).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a function name alone.
+    pub fn from_name(function_name: impl Into<String>) -> Self {
+        BenchmarkId {
+            id: function_name.into(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId::from_name(s)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` (and test harness flags); anything
+        // that does not start with `-` is a name filter.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { filters }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            samples: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        if self.matches(&id.id) {
+            run_bench(
+                &id.id,
+                Duration::from_millis(500),
+                Duration::from_secs(2),
+                10,
+                |b| f(b),
+            );
+        }
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f.as_str()))
+    }
+}
+
+/// A group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            run_bench(&full, self.warm_up, self.measurement, self.samples, |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            run_bench(&full, self.warm_up, self.measurement, self.samples, |b| {
+                f(b)
+            });
+        }
+        self
+    }
+
+    /// Finishes the group (printing is incremental; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Mean per-iteration durations of each sample, filled by `iter`.
+    sample_means: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+enum BencherMode {
+    /// Calibration: run the routine once and record its duration.
+    Calibrate(Option<Duration>),
+    /// Warm-up: repeat until the shared deadline passes.
+    WarmUp(Instant),
+    /// Measurement: take the configured samples.
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine` according to the current
+    /// phase (calibration, warm-up or measurement).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            BencherMode::Calibrate(slot) => {
+                let start = Instant::now();
+                black_box(routine());
+                *slot = Some(start.elapsed());
+            }
+            BencherMode::WarmUp(deadline) => {
+                while Instant::now() < *deadline {
+                    black_box(routine());
+                }
+            }
+            BencherMode::Measure { samples } => {
+                let iters = self.iters_per_sample.max(1);
+                for _ in 0..*samples {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed().as_secs_f64();
+                    self.sample_means.push(elapsed / iters as f64);
+                }
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    full_id: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    mut f: F,
+) {
+    // Calibration pass: how long does one execution take?
+    let mut b = Bencher {
+        mode: BencherMode::Calibrate(None),
+        sample_means: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    let one = match b.mode {
+        BencherMode::Calibrate(Some(d)) => d.max(Duration::from_nanos(1)),
+        _ => Duration::from_nanos(1),
+    };
+    // Warm-up pass.
+    let mut b = Bencher {
+        mode: BencherMode::WarmUp(Instant::now() + warm_up),
+        sample_means: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    // Measurement: size batches so all samples fit in `measurement`.
+    let per_sample = measurement.as_secs_f64() / samples as f64;
+    let iters = (per_sample / one.as_secs_f64()).floor().max(1.0) as u64;
+    let mut b = Bencher {
+        mode: BencherMode::Measure { samples },
+        sample_means: Vec::new(),
+        iters_per_sample: iters,
+    };
+    f(&mut b);
+    let means = &b.sample_means;
+    if means.is_empty() {
+        println!("{full_id:<48} (no samples — closure never called iter)");
+        return;
+    }
+    let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = means.iter().cloned().fold(0.0f64, f64::max);
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    println!(
+        "{full_id:<48} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_time(lo),
+        fmt_time(mean),
+        fmt_time(hi),
+        means.len(),
+        iters,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { filters: vec![] };
+        let mut group = c.benchmark_group("shim");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", "small"), &100u64, |b, n| {
+            b.iter(|| {
+                count += 1;
+                (0..*n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(count > 0, "routine was never executed");
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut c = Criterion {
+            filters: vec!["nomatch".into()],
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+}
