@@ -1,5 +1,6 @@
 //! A4: end-to-end OBDA answering, virtual vs materialized, Presto vs
-//! PerfectRef, on the university scenario.
+//! PerfectRef, on the university scenario — including rewrite-cache
+//! cold vs warm and the 1/2/4-thread materialized evaluator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mastro::{DataMode, RewritingMode};
@@ -34,6 +35,48 @@ fn obda_e2e(c: &mut Criterion) {
         }
         for qs in &scenario.queries {
             group.bench_with_input(BenchmarkId::new(label, &qs.name), &qs.text, |b, text| {
+                b.iter(|| sys.answer(text).expect("answers"))
+            });
+        }
+    }
+
+    // Rewrite cache: cold re-rewrites every iteration, warm hits the
+    // cached (pruned) UCQ.
+    let mut sys = mastro::demo::build_system(&scenario)
+        .expect("builds")
+        .with_rewriting(RewritingMode::PerfectRef)
+        .with_data_mode(DataMode::Materialized);
+    let _ = sys.materialized_abox().expect("materializes");
+    for qs in &scenario.queries {
+        group.bench_with_input(
+            BenchmarkId::new("perfectref_mat_cold", &qs.name),
+            &qs.text,
+            |b, text| {
+                b.iter(|| {
+                    sys.invalidate_rewrites();
+                    sys.answer(text).expect("answers")
+                })
+            },
+        );
+        let _ = sys.answer(&qs.text).expect("warms the cache");
+        group.bench_with_input(
+            BenchmarkId::new("perfectref_mat_warm", &qs.name),
+            &qs.text,
+            |b, text| b.iter(|| sys.answer(text).expect("answers")),
+        );
+    }
+
+    // Thread scaling of the materialized UCQ evaluator.
+    for threads in [1usize, 2, 4] {
+        let mut sys = mastro::demo::build_system(&scenario)
+            .expect("builds")
+            .with_rewriting(RewritingMode::PerfectRef)
+            .with_data_mode(DataMode::Materialized)
+            .with_eval_threads(threads);
+        let _ = sys.materialized_abox().expect("materializes");
+        let label = format!("perfectref_mat_{threads}t");
+        for qs in &scenario.queries {
+            group.bench_with_input(BenchmarkId::new(&label, &qs.name), &qs.text, |b, text| {
                 b.iter(|| sys.answer(text).expect("answers"))
             });
         }

@@ -1,7 +1,9 @@
-//! A2: PerfectRef vs Presto rewriting time on the university query mix.
+//! A2: PerfectRef vs Presto rewriting time on the university query mix,
+//! plus the fast-path ablations: predicate-indexed vs axiom-scanning
+//! PerfectRef, and the cost of subsumption pruning.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mastro::{parse_cq, perfect_ref, presto_rewrite};
+use mastro::{parse_cq, perfect_ref, perfect_ref_scan, presto_rewrite, prune_ucq};
 use obda_genont::university_scenario;
 use quonto::Classification;
 
@@ -17,6 +19,15 @@ fn rewriting(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("perfectref", &qs.name), &q, |b, q| {
             b.iter(|| perfect_ref(q, &scenario.tbox))
         });
+        group.bench_with_input(BenchmarkId::new("perfectref_scan", &qs.name), &q, |b, q| {
+            b.iter(|| perfect_ref_scan(q, &scenario.tbox))
+        });
+        // Rewrite + prune, the full shape the system caches.
+        group.bench_with_input(
+            BenchmarkId::new("perfectref_pruned", &qs.name),
+            &q,
+            |b, q| b.iter(|| prune_ucq(&perfect_ref(q, &scenario.tbox))),
+        );
         group.bench_with_input(BenchmarkId::new("presto", &qs.name), &q, |b, q| {
             b.iter(|| presto_rewrite(q, &cls))
         });

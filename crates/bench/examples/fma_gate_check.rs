@@ -17,7 +17,11 @@ fn main() {
     );
     let start = std::time::Instant::now();
     let c2 = quonto::SccEngine.compute(&g);
-    println!("scc reference: {} arcs in {:.2?}", c2.num_arcs(), start.elapsed());
+    println!(
+        "scc reference: {} arcs in {:.2?}",
+        c2.num_arcs(),
+        start.elapsed()
+    );
     for v in 0..g.num_nodes() {
         assert_eq!(
             c.successors(quonto::NodeId(v as u32)),

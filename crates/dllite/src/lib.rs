@@ -42,4 +42,4 @@ pub use expr::{BasicConcept, BasicRole, GeneralConcept, GeneralRole, NamedPredic
 pub use interp::Interpretation;
 pub use parser::{parse_abox, parse_tbox, ParseError};
 pub use signature::{AttributeId, ConceptId, RoleId, Signature};
-pub use tbox::Tbox;
+pub use tbox::{PiIndex, Tbox};

@@ -1,6 +1,9 @@
-//! The [`Tbox`] container: a signature plus a set of axioms.
+//! The [`Tbox`] container: a signature plus a set of axioms, and the
+//! predicate-indexed view of its positive inclusions ([`PiIndex`]) that
+//! the query rewriters use to find applicable axioms without scanning
+//! the whole TBox per atom.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::axiom::Axiom;
 use crate::expr::{BasicConcept, BasicRole, GeneralConcept, GeneralRole};
@@ -147,6 +150,13 @@ impl Tbox {
         }
     }
 
+    /// Builds the predicate-indexed applicability map over this TBox's
+    /// positive inclusions (see [`PiIndex`]). O(|TBox|); build it once
+    /// per rewriting call rather than scanning the axiom list per atom.
+    pub fn pi_index(&self) -> PiIndex {
+        PiIndex::build(self)
+    }
+
     /// The set of named predicates syntactically occurring in an axiom's
     /// signature (used by the approximation crate, which works per axiom).
     pub fn axiom_signature(ax: &Axiom) -> AxiomSignature {
@@ -226,6 +236,92 @@ impl TboxStats {
     }
 }
 
+/// Predicate-indexed applicability map over a TBox's positive
+/// inclusions: for each predicate that can appear in a query atom, the
+/// axioms whose *right-hand side* mentions that predicate — exactly the
+/// axioms a backward-rewriting step (PerfectRef applicability, the
+/// qualified pair rule) can apply to an atom of that predicate.
+///
+/// * a concept atom `A(t)` can only be rewritten by `B ⊑ A` or
+///   `B ⊑ ∃Q.A` (the filler rule);
+/// * a role atom `P(s, o)` only by `B ⊑ ∃Q`, `B ⊑ ∃Q.A` (with
+///   `Q ∈ {P, P⁻}`) or `Q₁ ⊑ Q₂` with `Q₂ ∈ {P, P⁻}`;
+/// * an attribute atom `U(s, v)` only by `B ⊑ δ(U)` or `U' ⊑ U`.
+///
+/// Axiom order within each bucket follows TBox insertion order, so an
+/// indexed rewriting loop visits applicable axioms in the same order as
+/// the scanning loop (the two are cross-checked property-tested in
+/// `mastro`).
+#[derive(Debug, Clone, Default)]
+pub struct PiIndex {
+    by_concept: HashMap<ConceptId, Vec<Axiom>>,
+    by_role: HashMap<RoleId, Vec<Axiom>>,
+    by_attr: HashMap<AttributeId, Vec<Axiom>>,
+    /// `B ⊑ ∃Q.A` axioms keyed by `Q`'s underlying role (pair rule).
+    qual_by_role: HashMap<RoleId, Vec<Axiom>>,
+}
+
+impl PiIndex {
+    /// Builds the index from a TBox (see [`Tbox::pi_index`]).
+    pub fn build(tbox: &Tbox) -> PiIndex {
+        let mut ix = PiIndex::default();
+        for ax in tbox.positive_inclusions() {
+            match ax {
+                Axiom::ConceptIncl(_, GeneralConcept::Basic(BasicConcept::Atomic(a))) => {
+                    ix.by_concept.entry(*a).or_default().push(*ax);
+                }
+                Axiom::ConceptIncl(_, GeneralConcept::Basic(BasicConcept::Exists(q))) => {
+                    ix.by_role.entry(q.role()).or_default().push(*ax);
+                }
+                Axiom::ConceptIncl(_, GeneralConcept::Basic(BasicConcept::AttrDomain(u))) => {
+                    ix.by_attr.entry(*u).or_default().push(*ax);
+                }
+                Axiom::ConceptIncl(_, GeneralConcept::QualExists(q, a)) => {
+                    // Applicable both to role atoms of Q's role (as an
+                    // unqualified existential) and to concept atoms of
+                    // the filler A.
+                    ix.by_role.entry(q.role()).or_default().push(*ax);
+                    ix.by_concept.entry(*a).or_default().push(*ax);
+                    ix.qual_by_role.entry(q.role()).or_default().push(*ax);
+                }
+                Axiom::RoleIncl(_, GeneralRole::Basic(q2)) => {
+                    ix.by_role.entry(q2.role()).or_default().push(*ax);
+                }
+                Axiom::AttrIncl(_, u2) => {
+                    ix.by_attr.entry(*u2).or_default().push(*ax);
+                }
+                // positive_inclusions() never yields negative axioms.
+                Axiom::ConceptIncl(_, GeneralConcept::Neg(_))
+                | Axiom::RoleIncl(_, GeneralRole::Neg(_))
+                | Axiom::AttrNegIncl(_, _) => {}
+            }
+        }
+        ix
+    }
+
+    /// Positive inclusions applicable to a concept atom of `a`.
+    pub fn for_concept_atom(&self, a: ConceptId) -> &[Axiom] {
+        self.by_concept.get(&a).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Positive inclusions applicable to a role atom of `p` (either
+    /// orientation).
+    pub fn for_role_atom(&self, p: RoleId) -> &[Axiom] {
+        self.by_role.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Positive inclusions applicable to an attribute atom of `u`.
+    pub fn for_attribute_atom(&self, u: AttributeId) -> &[Axiom] {
+        self.by_attr.get(&u).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Qualified existential axioms `B ⊑ ∃Q.A` whose `Q` is over role
+    /// `p`, in either orientation (the pair rule's candidate set).
+    pub fn quals_for_role(&self, p: RoleId) -> &[Axiom] {
+        self.qual_by_role.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
 /// Sorted, deduplicated per-sort signature of a single axiom.
 #[derive(Debug, Clone, Default)]
 pub struct AxiomSignature {
@@ -294,6 +390,33 @@ mod tests {
         // "B" must have been identified with t1's existing "B".
         assert_eq!(t1.sig.num_concepts(), 3);
         assert_eq!(t1.len(), 5);
+    }
+
+    #[test]
+    fn pi_index_buckets_by_rhs_predicate() {
+        let t = sample();
+        let ix = t.pi_index();
+        let a = t.sig.find_concept("A").unwrap();
+        let b = t.sig.find_concept("B").unwrap();
+        let p = t.sig.find_role("p").unwrap();
+        // A ⊑ B lands in B's concept bucket; the qualified axiom
+        // B ⊑ ∃p.A lands in A's concept bucket, p's role bucket, and
+        // p's qual bucket; p ⊑ p⁻ lands in p's role bucket; the negative
+        // inclusion is excluded everywhere.
+        assert_eq!(ix.for_concept_atom(b), &[Axiom::concept(a, b)]);
+        assert_eq!(
+            ix.for_concept_atom(a),
+            &[Axiom::qual_exists(b, BasicRole::Direct(p), a)]
+        );
+        assert_eq!(ix.for_role_atom(p).len(), 2);
+        assert_eq!(
+            ix.quals_for_role(p),
+            &[Axiom::qual_exists(b, BasicRole::Direct(p), a)]
+        );
+        // Every positive inclusion is reachable through some bucket.
+        let total: usize =
+            ix.for_concept_atom(a).len() + ix.for_concept_atom(b).len() + ix.for_role_atom(p).len();
+        assert!(total >= t.positive_inclusions().count());
     }
 
     #[test]

@@ -4,8 +4,22 @@
 //! individuals and values. This is both the execution engine for
 //! materialized OBDA and the reference evaluator the rewriting tests
 //! compare against.
+//!
+//! The engine runs off an [`AboxIndex`]: per-predicate fact lists plus
+//! secondary hash indexes (role facts by subject and by object,
+//! attribute facts by subject, concept membership sets), so a join step
+//! with a bound term probes a hash bucket instead of scanning the
+//! predicate's whole extension. The index is a standalone value —
+//! [`crate::system::ObdaSystem`] builds it once per ABox epoch and
+//! reuses it across queries; the plain [`evaluate_cq`]/[`evaluate_ucq`]
+//! entry points build a throwaway one per call.
+//!
+//! [`evaluate_ucq_parallel`] shards a UCQ's disjuncts across scoped
+//! threads (std-only, like `quonto`'s parallel closure). Answers land in
+//! a [`BTreeSet`] so the merged result is byte-identical to the
+//! sequential evaluation regardless of thread count or scheduling.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use obda_dllite::{Abox, Assertion, IndividualId, Value};
 
@@ -38,52 +52,150 @@ enum Binding {
     Val(Value),
 }
 
-/// Per-predicate fact index, built once per query evaluation so each
-/// atom scans only its own predicate's facts (the naive all-assertions
-/// scan made materialized-mode answering quadratic at data scale).
-struct AboxIndex {
-    concepts: HashMap<u32, Vec<IndividualId>>,
-    roles: HashMap<u32, Vec<(IndividualId, IndividualId)>>,
-    attributes: HashMap<u32, Vec<(IndividualId, Value)>>,
+/// Concept extension: member list (for free-variable iteration) plus a
+/// membership set (for bound-term probes).
+#[derive(Debug, Clone, Default)]
+struct ConceptFacts {
+    members: Vec<IndividualId>,
+    set: HashSet<IndividualId>,
+}
+
+/// Role extension: the pair list plus subject→objects and
+/// object→subjects hash indexes.
+#[derive(Debug, Clone, Default)]
+struct RoleFacts {
+    pairs: Vec<(IndividualId, IndividualId)>,
+    by_subject: HashMap<IndividualId, Vec<IndividualId>>,
+    by_object: HashMap<IndividualId, Vec<IndividualId>>,
+}
+
+/// Attribute extension: the pair list plus a subject→values index.
+#[derive(Debug, Clone, Default)]
+struct AttrFacts {
+    pairs: Vec<(IndividualId, Value)>,
+    by_subject: HashMap<IndividualId, Vec<Value>>,
+}
+
+/// Per-predicate fact index with secondary hash indexes, so each atom
+/// scans only its own predicate's facts and bound join terms probe hash
+/// buckets (the naive all-assertions scan made materialized-mode
+/// answering quadratic at data scale).
+///
+/// Build it once per ABox version and reuse across queries; rebuilding
+/// is only needed after the ABox changes.
+#[derive(Debug, Clone, Default)]
+pub struct AboxIndex {
+    concepts: HashMap<u32, ConceptFacts>,
+    roles: HashMap<u32, RoleFacts>,
+    attributes: HashMap<u32, AttrFacts>,
 }
 
 impl AboxIndex {
-    fn build(abox: &Abox) -> Self {
-        let mut ix = AboxIndex {
-            concepts: HashMap::new(),
-            roles: HashMap::new(),
-            attributes: HashMap::new(),
-        };
+    /// Indexes every assertion of `abox`.
+    pub fn build(abox: &Abox) -> Self {
+        let mut ix = AboxIndex::default();
         for a in abox.assertions() {
             match a {
-                Assertion::Concept(c, i) => ix.concepts.entry(c.0).or_default().push(*i),
-                Assertion::Role(p, s, o) => ix.roles.entry(p.0).or_default().push((*s, *o)),
+                Assertion::Concept(c, i) => {
+                    let f = ix.concepts.entry(c.0).or_default();
+                    f.members.push(*i);
+                    f.set.insert(*i);
+                }
+                Assertion::Role(p, s, o) => {
+                    let f = ix.roles.entry(p.0).or_default();
+                    f.pairs.push((*s, *o));
+                    f.by_subject.entry(*s).or_default().push(*o);
+                    f.by_object.entry(*o).or_default().push(*s);
+                }
                 Assertion::Attribute(u, s, v) => {
-                    ix.attributes.entry(u.0).or_default().push((*s, v.clone()))
+                    let f = ix.attributes.entry(u.0).or_default();
+                    f.pairs.push((*s, v.clone()));
+                    f.by_subject.entry(*s).or_default().push(v.clone());
                 }
             }
         }
         ix
     }
+
+    /// Total number of indexed facts (diagnostics).
+    pub fn num_facts(&self) -> usize {
+        self.concepts
+            .values()
+            .map(|f| f.members.len())
+            .sum::<usize>()
+            + self.roles.values().map(|f| f.pairs.len()).sum::<usize>()
+            + self
+                .attributes
+                .values()
+                .map(|f| f.pairs.len())
+                .sum::<usize>()
+    }
 }
 
-/// Evaluates a CQ over an ABox.
+/// Evaluates a CQ over an ABox (builds a throwaway [`AboxIndex`]).
 pub fn evaluate_cq(q: &ConjunctiveQuery, abox: &Abox) -> Answers {
+    let index = AboxIndex::build(abox);
+    evaluate_cq_indexed(q, abox, &index)
+}
+
+/// Evaluates a UCQ (builds a throwaway [`AboxIndex`]).
+pub fn evaluate_ucq(u: &Ucq, abox: &Abox) -> Answers {
+    let index = AboxIndex::build(abox);
+    evaluate_ucq_indexed(u, abox, &index)
+}
+
+/// Evaluates a CQ against a prebuilt index. The index must have been
+/// built from this `abox`.
+pub fn evaluate_cq_indexed(q: &ConjunctiveQuery, abox: &Abox, index: &AboxIndex) -> Answers {
     let mut answers = Answers::new();
     let mut bindings: HashMap<String, Binding> = HashMap::new();
-    let index = AboxIndex::build(abox);
-    eval_rec(q, abox, &index, 0, &mut bindings, &mut answers);
+    eval_rec(q, abox, index, 0, &mut bindings, &mut answers);
     answers
 }
 
-/// Evaluates a UCQ (union of the disjuncts' answers).
-pub fn evaluate_ucq(u: &Ucq, abox: &Abox) -> Answers {
+/// Evaluates a UCQ against a prebuilt index (union of the disjuncts'
+/// answers).
+pub fn evaluate_ucq_indexed(u: &Ucq, abox: &Abox, index: &AboxIndex) -> Answers {
     let mut out = Answers::new();
-    let index = AboxIndex::build(abox);
     for q in &u.disjuncts {
         let mut bindings: HashMap<String, Binding> = HashMap::new();
-        eval_rec(q, abox, &index, 0, &mut bindings, &mut out);
+        eval_rec(q, abox, index, 0, &mut bindings, &mut out);
     }
+    out
+}
+
+/// Evaluates a UCQ with the disjuncts sharded round-robin over
+/// `threads` scoped threads. Each shard accumulates into its own
+/// [`Answers`] set; the ordered merge makes the result identical to
+/// [`evaluate_ucq_indexed`] for every thread count.
+pub fn evaluate_ucq_parallel(u: &Ucq, abox: &Abox, index: &AboxIndex, threads: usize) -> Answers {
+    let shard_count = threads.clamp(1, u.disjuncts.len().max(1));
+    if shard_count <= 1 {
+        return evaluate_ucq_indexed(u, abox, index);
+    }
+    let mut shards: Vec<Vec<&ConjunctiveQuery>> = vec![Vec::new(); shard_count];
+    for (i, q) in u.disjuncts.iter().enumerate() {
+        shards[i % shard_count].push(q);
+    }
+    let mut out = Answers::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut acc = Answers::new();
+                    for q in shard {
+                        let mut bindings: HashMap<String, Binding> = HashMap::new();
+                        eval_rec(q, abox, index, 0, &mut bindings, &mut acc);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("UCQ evaluation shard panicked"));
+        }
+    });
     out
 }
 
@@ -132,11 +244,22 @@ fn eval_rec(
                 Ok(w) => w,
                 Err(()) => return,
             };
-            for &ai in index.concepts.get(&c.0).map(Vec::as_slice).unwrap_or(&[]) {
-                if want.is_none_or(|w| w == ai) {
-                    with_binding(t, Binding::Ind(ai), bindings, |b| {
-                        eval_rec(q, abox, index, atom_idx + 1, b, answers)
-                    });
+            let Some(facts) = index.concepts.get(&c.0) else {
+                return;
+            };
+            match want {
+                // Bound term: a membership probe instead of a scan.
+                Some(w) => {
+                    if facts.set.contains(&w) {
+                        eval_rec(q, abox, index, atom_idx + 1, bindings, answers);
+                    }
+                }
+                None => {
+                    for &ai in &facts.members {
+                        with_binding(t, Binding::Ind(ai), bindings, |b| {
+                            eval_rec(q, abox, index, atom_idx + 1, b, answers)
+                        });
+                    }
                 }
             }
         }
@@ -149,12 +272,41 @@ fn eval_rec(
                 Ok(w) => w,
                 Err(()) => return,
             };
-            for &(asub, aobj) in index.roles.get(&p.0).map(Vec::as_slice).unwrap_or(&[]) {
-                {
-                    let (asub, aobj) = (&asub, &aobj);
-                    if want_s.is_none_or(|w| w == *asub) && want_o.is_none_or(|w| w == *aobj) {
-                        // Bind subject, then object (same variable in both
-                        // positions must match).
+            let Some(facts) = index.roles.get(&p.0) else {
+                return;
+            };
+            match (want_s, want_o) {
+                // Both ends fixed: a containment probe.
+                (Some(ws), Some(wo)) => {
+                    if facts
+                        .by_subject
+                        .get(&ws)
+                        .is_some_and(|objs| objs.contains(&wo))
+                    {
+                        eval_rec(q, abox, index, atom_idx + 1, bindings, answers);
+                    }
+                }
+                // Subject fixed: walk its adjacency list. `o` is an
+                // unbound variable distinct from any bound one.
+                (Some(ws), None) => {
+                    for &aobj in facts.by_subject.get(&ws).map(Vec::as_slice).unwrap_or(&[]) {
+                        with_binding(o, Binding::Ind(aobj), bindings, |b| {
+                            eval_rec(q, abox, index, atom_idx + 1, b, answers)
+                        });
+                    }
+                }
+                // Object fixed: reverse adjacency.
+                (None, Some(wo)) => {
+                    for &asub in facts.by_object.get(&wo).map(Vec::as_slice).unwrap_or(&[]) {
+                        with_binding(s, Binding::Ind(asub), bindings, |b| {
+                            eval_rec(q, abox, index, atom_idx + 1, b, answers)
+                        });
+                    }
+                }
+                // Both free: scan the pair list. Bind subject, then
+                // object (same variable in both positions must match).
+                (None, None) => {
+                    for (asub, aobj) in &facts.pairs {
                         with_binding(s, Binding::Ind(*asub), bindings, |b| {
                             let consistent = match o {
                                 Term::Var(v) => match b.get(v) {
@@ -162,7 +314,7 @@ fn eval_rec(
                                     Some(Binding::Val(_)) => false,
                                     None => true,
                                 },
-                                Term::Const(_) => true, // checked via want_o
+                                Term::Const(_) => true, // unreachable: want_o would be Some
                             };
                             if consistent {
                                 with_binding(o, Binding::Ind(*aobj), b, |b2| {
@@ -179,30 +331,44 @@ fn eval_rec(
                 Ok(w) => w,
                 Err(()) => return,
             };
-            for (asub, aval) in index.attributes.get(&u.0).map(Vec::as_slice).unwrap_or(&[]) {
-                {
-                    if want_s.is_some_and(|w| w != *asub) {
-                        continue;
+            let Some(facts) = index.attributes.get(&u.0) else {
+                return;
+            };
+            let try_fact = |asub: IndividualId,
+                            aval: &Value,
+                            bindings: &mut HashMap<String, Binding>,
+                            answers: &mut Answers| {
+                let value_ok = match v {
+                    ValueTerm::Lit(l) => l == aval,
+                    ValueTerm::Var(x) => match bindings.get(x) {
+                        Some(Binding::Val(bound)) => bound == aval,
+                        Some(Binding::Ind(_)) => false,
+                        None => true,
+                    },
+                };
+                if !value_ok {
+                    return;
+                }
+                with_binding(s, Binding::Ind(asub), bindings, |b| match v {
+                    ValueTerm::Var(x) if !b.contains_key(x) => {
+                        b.insert(x.clone(), Binding::Val(aval.clone()));
+                        eval_rec(q, abox, index, atom_idx + 1, b, answers);
+                        b.remove(x);
                     }
-                    let value_ok = match v {
-                        ValueTerm::Lit(l) => l == aval,
-                        ValueTerm::Var(x) => match bindings.get(x) {
-                            Some(Binding::Val(bound)) => bound == aval,
-                            Some(Binding::Ind(_)) => false,
-                            None => true,
-                        },
-                    };
-                    if !value_ok {
-                        continue;
+                    _ => eval_rec(q, abox, index, atom_idx + 1, b, answers),
+                });
+            };
+            match want_s {
+                // Bound subject: only its value bucket.
+                Some(ws) => {
+                    for aval in facts.by_subject.get(&ws).map(Vec::as_slice).unwrap_or(&[]) {
+                        try_fact(ws, aval, bindings, answers);
                     }
-                    with_binding(s, Binding::Ind(*asub), bindings, |b| match v {
-                        ValueTerm::Var(x) if !b.contains_key(x) => {
-                            b.insert(x.clone(), Binding::Val(aval.clone()));
-                            eval_rec(q, abox, index, atom_idx + 1, b, answers);
-                            b.remove(x);
-                        }
-                        _ => eval_rec(q, abox, index, atom_idx + 1, b, answers),
-                    });
+                }
+                None => {
+                    for (asub, aval) in &facts.pairs {
+                        try_fact(*asub, aval, bindings, answers);
+                    }
                 }
             }
         }

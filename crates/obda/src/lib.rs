@@ -29,10 +29,14 @@ pub mod rewrite;
 pub mod sparql;
 pub mod system;
 
-pub use answer::{evaluate_cq, evaluate_ucq, AnswerTerm, Answers};
+pub use answer::{
+    evaluate_cq, evaluate_cq_indexed, evaluate_ucq, evaluate_ucq_indexed, evaluate_ucq_parallel,
+    AboxIndex, AnswerTerm, Answers,
+};
 pub use consistency::{check_consistency, Violation};
 pub use query::{parse_cq, print_cq, Atom, ConjunctiveQuery, Term, Ucq, ValueTerm};
-pub use rewrite::perfectref::perfect_ref;
+pub use rewrite::perfectref::{perfect_ref, perfect_ref_scan, perfect_ref_with_index};
 pub use rewrite::presto::{presto_rewrite, PrestoRewriting};
+pub use rewrite::subsume::{prune_ucq, subsumes};
 pub use sparql::{parse_sparql, SparqlQuery};
 pub use system::{AboxSystem, DataMode, ObdaError, ObdaSystem, RewritingMode};

@@ -2,4 +2,5 @@
 
 pub mod perfectref;
 pub mod presto;
+pub mod subsume;
 pub mod unfold;

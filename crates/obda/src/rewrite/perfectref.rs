@@ -22,12 +22,65 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use obda_dllite::{Axiom, BasicConcept, BasicRole, GeneralConcept, GeneralRole, Tbox};
+use obda_dllite::{Axiom, BasicConcept, BasicRole, GeneralConcept, GeneralRole, PiIndex, Tbox};
 
 use crate::query::{Atom, ConjunctiveQuery, Term, Ucq, ValueTerm};
 
-/// Rewrites a CQ into the PerfectRef UCQ.
+/// Where the rewriting loop finds candidate axioms for an atom: either
+/// the original axiom-scanning loop (every positive inclusion, for
+/// every atom — kept as the differential-testing baseline) or the
+/// predicate-indexed applicability map, which only yields axioms whose
+/// right-hand side mentions the atom's predicate.
+enum AxiomSource<'a> {
+    Scan(&'a Tbox),
+    Indexed(&'a PiIndex),
+}
+
+impl<'a> AxiomSource<'a> {
+    /// Candidate axioms for step (a) on `atom`.
+    fn applicable(&self, atom: &Atom) -> Box<dyn Iterator<Item = &'a Axiom> + 'a> {
+        match self {
+            AxiomSource::Scan(t) => Box::new(t.positive_inclusions()),
+            AxiomSource::Indexed(ix) => match atom {
+                Atom::Concept(c, _) => Box::new(ix.for_concept_atom(*c).iter()),
+                Atom::Role(p, _, _) => Box::new(ix.for_role_atom(*p).iter()),
+                Atom::Attribute(u, _, _) => Box::new(ix.for_attribute_atom(*u).iter()),
+            },
+        }
+    }
+
+    /// Candidate qualified axioms for the pair rule on a role atom of
+    /// `p`.
+    fn qual_candidates(&self, p: obda_dllite::RoleId) -> Box<dyn Iterator<Item = &'a Axiom> + 'a> {
+        match self {
+            AxiomSource::Scan(t) => Box::new(t.positive_inclusions()),
+            AxiomSource::Indexed(ix) => Box::new(ix.quals_for_role(p).iter()),
+        }
+    }
+}
+
+/// Rewrites a CQ into the PerfectRef UCQ, using the predicate-indexed
+/// applicability map (the fast path).
 pub fn perfect_ref(q: &ConjunctiveQuery, tbox: &Tbox) -> Ucq {
+    let ix = tbox.pi_index();
+    perfect_ref_with_index(q, &ix)
+}
+
+/// Rewrites against a pre-built [`PiIndex`] (callers that rewrite many
+/// queries over one TBox build the index once).
+pub fn perfect_ref_with_index(q: &ConjunctiveQuery, ix: &PiIndex) -> Ucq {
+    perfect_ref_loop(q, &AxiomSource::Indexed(ix))
+}
+
+/// The original axiom-scanning rewriting loop: every positive inclusion
+/// is tried against every atom of every candidate CQ. Kept public as
+/// the baseline the indexed rewriter is differentially tested (and
+/// benchmarked) against.
+pub fn perfect_ref_scan(q: &ConjunctiveQuery, tbox: &Tbox) -> Ucq {
+    perfect_ref_loop(q, &AxiomSource::Scan(tbox))
+}
+
+fn perfect_ref_loop(q: &ConjunctiveQuery, src: &AxiomSource<'_>) -> Ucq {
     let mut seen: HashSet<ConjunctiveQuery> = HashSet::new();
     let mut out: Vec<ConjunctiveQuery> = Vec::new();
     let mut queue: VecDeque<ConjunctiveQuery> = VecDeque::new();
@@ -40,7 +93,7 @@ pub fn perfect_ref(q: &ConjunctiveQuery, tbox: &Tbox) -> Ucq {
     while let Some(cur) = queue.pop_front() {
         // Step (a): applicability of each positive inclusion to each atom.
         for (i, atom) in cur.atoms.iter().enumerate() {
-            for ax in tbox.positive_inclusions() {
+            for ax in src.applicable(atom) {
                 for replacement in apply_pi(ax, atom, &cur, &mut fresh) {
                     let mut atoms = cur.atoms.clone();
                     atoms[i] = replacement;
@@ -86,7 +139,7 @@ pub fn perfect_ref(q: &ConjunctiveQuery, tbox: &Tbox) -> Ucq {
                     if occurrences != 2 {
                         continue;
                     }
-                    for ax in tbox.positive_inclusions() {
+                    for ax in src.qual_candidates(*p) {
                         let Axiom::ConceptIncl(b, GeneralConcept::QualExists(q0, a0)) = ax else {
                             continue;
                         };
@@ -443,6 +496,39 @@ mod tests {
     fn no_inclusions_means_identity() {
         let (_, rw) = rewrite("concept A\nrole p", "q(x) :- A(x), p(x, y)");
         assert_eq!(rw.len(), 1);
+    }
+
+    #[test]
+    fn indexed_matches_scanning_loop() {
+        let cases = [
+            ("concept A B C\nB [= A\nC [= B", "q(x) :- A(x)"),
+            (
+                "concept G P\nrole advisor p\nG [= exists advisor . P\nP [= exists p",
+                "q(x) :- advisor(x, y), P(y)",
+            ),
+            (
+                "concept Person\nattribute name nick\nPerson [= domain(name)\nnick [= name",
+                "q(x) :- name(x, n)",
+            ),
+            ("role p r\np [= inv(r)", "q(x, y) :- r(x, y)"),
+        ];
+        for (tbox_src, query) in cases {
+            let t = parse_tbox(tbox_src).unwrap();
+            let q = parse_cq(query, &t.sig).unwrap();
+            let mut indexed: Vec<ConjunctiveQuery> = perfect_ref(&q, &t)
+                .disjuncts
+                .into_iter()
+                .map(|d| d.canonical())
+                .collect();
+            let mut scanned: Vec<ConjunctiveQuery> = perfect_ref_scan(&q, &t)
+                .disjuncts
+                .into_iter()
+                .map(|d| d.canonical())
+                .collect();
+            indexed.sort();
+            scanned.sort();
+            assert_eq!(indexed, scanned, "{tbox_src} / {query}");
+        }
     }
 
     #[test]

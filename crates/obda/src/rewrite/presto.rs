@@ -204,6 +204,12 @@ pub fn presto_rewrite(q: &ConjunctiveQuery, cls: &Classification) -> PrestoRewri
     seen.insert(start.clone());
     out.push(start.clone());
     queue.push_back(start);
+    // Witness lookup is a scan over the classification's qualified
+    // axioms plus every role (closure probes each); the same
+    // (role, filler) pattern recurs across skeletons, so memoize per
+    // rewrite call.
+    let mut qual_memo: std::collections::HashMap<(BasicRole, BasicConcept), Vec<BasicConcept>> =
+        std::collections::HashMap::new();
 
     while let Some(cur) = queue.pop_front() {
         // Collapse: role atom with an unbound side → domain view.
@@ -268,7 +274,11 @@ pub fn presto_rewrite(q: &ConjunctiveQuery, cls: &Classification) -> PrestoRewri
                         continue;
                     }
                     // Maximal witnesses for the pattern ∃q_view.target_c.
-                    for w in maximal_qual_witnesses(cls, q_view, *target_c) {
+                    let witnesses = qual_memo
+                        .entry((q_view, *target_c))
+                        .or_insert_with(|| maximal_qual_witnesses(cls, q_view, *target_c))
+                        .clone();
+                    for w in witnesses {
                         let mut atoms: Vec<ViewAtom> = cur
                             .atoms
                             .iter()

@@ -1,20 +1,45 @@
 //! The [`ObdaSystem`] facade: ontology + mappings + sources, with query
 //! answering in four modes (rewriting × data access).
+//!
+//! ## Query-answering fast path
+//!
+//! Answering reuses work across queries through two epoch-guarded
+//! caches:
+//!
+//! * a **rewrite cache** keyed by `(RewritingMode, canonical CQ)` —
+//!   rewriting depends only on the TBox, so the result is valid until
+//!   [`ObdaSystem::invalidate_rewrites`] bumps the TBox epoch;
+//! * a **persistent ABox index** ([`AboxIndex`]) built once per
+//!   materialized ABox and reused by every materialized-mode query
+//!   until [`ObdaSystem::invalidate_abox`].
+//!
+//! PerfectRef rewritings are subsumption-pruned before caching (set
+//! `QUONTO_NO_PRUNE=1` to keep the raw UCQ for cross-checking), and the
+//! materialized evaluation shards disjuncts over scoped threads
+//! (`with_eval_threads`, default from `QUONTO_THREADS`, `0` = all
+//! cores). With `QUONTO_TIMINGS=1` each answered query prints a
+//! one-line phase breakdown (`mastro-timings …`) to stderr, mirroring
+//! `quonto-timings` from the classification layer.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Instant;
 
 use obda_dllite::{Abox, Tbox};
 use obda_mapping::{materialize, MappingSet};
 use obda_sqlstore::{Database, SqlError};
 use quonto::Classification;
 
-use crate::answer::Answers;
+use crate::answer::{evaluate_ucq_parallel, AboxIndex, Answers};
 use crate::consistency::{check_consistency, Violation};
-use crate::query::{parse_cq, ConjunctiveQuery, QueryParseError};
+use crate::query::{parse_cq, ConjunctiveQuery, QueryParseError, Ucq};
 use crate::rewrite::perfectref::perfect_ref;
-use crate::rewrite::presto::{evaluate_view_query, presto_rewrite};
+use crate::rewrite::presto::{evaluate_view_query, presto_rewrite, PrestoRewriting};
+use crate::rewrite::subsume::{prune_ucq, pruning_disabled};
 use crate::rewrite::unfold::{answer_presto_virtual, answer_ucq_virtual};
 
 /// Which rewriting algorithm drives answering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RewritingMode {
     /// Classic PerfectRef UCQ rewriting.
     PerfectRef,
@@ -63,6 +88,96 @@ impl From<SqlError> for ObdaError {
     }
 }
 
+/// Entry cap before the rewrite cache is wholesale cleared (the
+/// workloads the paper targets re-ask a small number of query shapes;
+/// a fancier eviction policy is not worth its bookkeeping here).
+const REWRITE_CACHE_CAP: usize = 1024;
+
+/// A cached rewriting result. PerfectRef entries store the
+/// subsumption-pruned UCQ plus the pre-pruning disjunct count (for the
+/// timings line).
+#[derive(Debug, Clone)]
+enum CachedRewriting {
+    PerfectRef { ucq: Ucq, raw_len: usize },
+    Presto(PrestoRewriting),
+}
+
+/// Hit/miss counters for the rewrite cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the rewriter.
+    pub misses: u64,
+}
+
+/// Rewrite cache: canonical CQ (+ mode) → rewriting, valid for one TBox
+/// epoch.
+#[derive(Debug, Clone, Default)]
+struct RewriteCache {
+    epoch: u64,
+    entries: HashMap<(RewritingMode, ConjunctiveQuery), CachedRewriting>,
+    stats: RewriteCacheStats,
+}
+
+impl RewriteCache {
+    fn get(&mut self, key: &(RewritingMode, ConjunctiveQuery)) -> Option<CachedRewriting> {
+        let hit = self.entries.get(key).cloned();
+        if hit.is_some() {
+            self.stats.hits += 1;
+        }
+        hit
+    }
+
+    fn insert(&mut self, key: (RewritingMode, ConjunctiveQuery), value: CachedRewriting) {
+        self.stats.misses += 1;
+        if self.entries.len() >= REWRITE_CACHE_CAP {
+            self.entries.clear();
+        }
+        self.entries.insert(key, value);
+    }
+
+    fn invalidate(&mut self) {
+        self.epoch += 1;
+        self.entries.clear();
+    }
+}
+
+fn timings_enabled() -> bool {
+    std::env::var_os("QUONTO_TIMINGS").is_some_and(|v| v == "1")
+}
+
+/// Default evaluation-thread knob: `QUONTO_THREADS` if set and numeric,
+/// else 1 (sequential). `0` means "all available cores", matching the
+/// convention of `quonto`'s parallel closure engines.
+fn default_eval_threads() -> usize {
+    std::env::var("QUONTO_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+fn rewrite_perfectref_pruned(q: &ConjunctiveQuery, tbox: &Tbox) -> CachedRewriting {
+    let raw = perfect_ref(q, tbox);
+    let raw_len = raw.len();
+    let ucq = if pruning_disabled() || raw_len > crate::rewrite::subsume::PRUNE_DISJUNCT_CAP {
+        raw
+    } else {
+        prune_ucq(&raw)
+    };
+    CachedRewriting::PerfectRef { ucq, raw_len }
+}
+
 /// A complete OBDA system: TBox + classification + mappings + sources.
 #[derive(Debug, Clone)]
 pub struct ObdaSystem {
@@ -81,6 +196,12 @@ pub struct ObdaSystem {
     /// Cached materialized ABox (built on first use in materialized
     /// mode).
     materialized: Option<Abox>,
+    /// Secondary-index over `materialized`, same lifecycle.
+    abox_index: Option<AboxIndex>,
+    /// Rewrite cache for the current TBox epoch.
+    rewrite_cache: RewriteCache,
+    /// UCQ evaluation threads (0 = all cores).
+    eval_threads: usize,
 }
 
 impl ObdaSystem {
@@ -97,6 +218,9 @@ impl ObdaSystem {
             rewriting: RewritingMode::Presto,
             data: DataMode::Virtual,
             materialized: None,
+            abox_index: None,
+            rewrite_cache: RewriteCache::default(),
+            eval_threads: default_eval_threads(),
         })
     }
 
@@ -112,11 +236,52 @@ impl ObdaSystem {
         self
     }
 
-    /// The materialized ABox (computing and caching it on first use).
-    pub fn materialized_abox(&mut self) -> Result<&Abox, ObdaError> {
+    /// Sets the number of threads for materialized UCQ evaluation
+    /// (`0` = all available cores).
+    pub fn with_eval_threads(mut self, threads: usize) -> Self {
+        self.eval_threads = threads;
+        self
+    }
+
+    /// Drops all cached rewritings and bumps the TBox epoch. Call after
+    /// mutating `tbox`/`classification` directly.
+    pub fn invalidate_rewrites(&mut self) {
+        self.rewrite_cache.invalidate();
+    }
+
+    /// Drops the materialized ABox and its index. Call after the source
+    /// database or the mappings change.
+    pub fn invalidate_abox(&mut self) {
+        self.materialized = None;
+        self.abox_index = None;
+    }
+
+    /// Rewrite-cache hit/miss counters.
+    pub fn rewrite_cache_stats(&self) -> RewriteCacheStats {
+        self.rewrite_cache.stats
+    }
+
+    /// Current TBox epoch (bumped by [`Self::invalidate_rewrites`]).
+    pub fn tbox_epoch(&self) -> u64 {
+        self.rewrite_cache.epoch
+    }
+
+    fn ensure_materialized(&mut self) -> Result<(), ObdaError> {
         if self.materialized.is_none() {
             self.materialized = Some(materialize(&self.mappings, &self.db)?);
+            self.abox_index = None;
         }
+        if self.abox_index.is_none() {
+            self.abox_index = Some(AboxIndex::build(
+                self.materialized.as_ref().expect("just materialized"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The materialized ABox (computing and caching it on first use).
+    pub fn materialized_abox(&mut self) -> Result<&Abox, ObdaError> {
+        self.ensure_materialized()?;
         Ok(self.materialized.as_ref().expect("just set"))
     }
 
@@ -128,48 +293,92 @@ impl ObdaSystem {
 
     /// Answers a query given as text.
     pub fn answer(&mut self, text: &str) -> Result<Answers, ObdaError> {
+        let t0 = Instant::now();
         let q = self.parse_query(text)?;
-        self.answer_cq(&q)
+        let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.answer_cq_timed(&q, parse_ms)
     }
 
     /// Answers a SPARQL query (SELECT returns tuples in projection
     /// order; ASK returns ∅ or the empty tuple).
     pub fn answer_sparql(&mut self, text: &str) -> Result<Answers, ObdaError> {
+        let t0 = Instant::now();
         let q = crate::sparql::parse_sparql(text, &self.tbox.sig)?;
-        self.answer_cq(&q.cq)
+        let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.answer_cq_timed(&q.cq, parse_ms)
     }
 
     /// Answers a parsed CQ under the configured modes.
     pub fn answer_cq(&mut self, q: &ConjunctiveQuery) -> Result<Answers, ObdaError> {
-        match (self.rewriting, self.data) {
-            (RewritingMode::PerfectRef, DataMode::Virtual) => {
-                let ucq = perfect_ref(q, &self.tbox);
-                Ok(answer_ucq_virtual(&ucq, &self.mappings, &self.db)?)
+        self.answer_cq_timed(q, 0.0)
+    }
+
+    /// Looks up (or computes and caches) the rewriting of `q` under the
+    /// current mode. Returns the rewriting and whether it was a hit.
+    fn rewritten(&mut self, q: &ConjunctiveQuery) -> (CachedRewriting, bool) {
+        let key = (self.rewriting, q.canonical());
+        if let Some(hit) = self.rewrite_cache.get(&key) {
+            return (hit, true);
+        }
+        let value = match self.rewriting {
+            RewritingMode::PerfectRef => rewrite_perfectref_pruned(q, &self.tbox),
+            RewritingMode::Presto => {
+                CachedRewriting::Presto(presto_rewrite(q, &self.classification))
             }
-            (RewritingMode::Presto, DataMode::Virtual) => {
-                let rw = presto_rewrite(q, &self.classification);
-                Ok(answer_presto_virtual(
-                    &rw,
-                    &self.classification,
-                    &self.mappings,
-                    &self.db,
-                )?)
+        };
+        self.rewrite_cache.insert(key, value.clone());
+        (value, false)
+    }
+
+    fn answer_cq_timed(
+        &mut self,
+        q: &ConjunctiveQuery,
+        parse_ms: f64,
+    ) -> Result<Answers, ObdaError> {
+        let t0 = Instant::now();
+        let (rw, cache_hit) = self.rewritten(q);
+        let rewrite_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let threads = resolve_threads(self.eval_threads);
+
+        let t1 = Instant::now();
+        let (answers, raw_len, pruned_len) = match (&rw, self.data) {
+            (CachedRewriting::PerfectRef { ucq, raw_len }, DataMode::Virtual) => {
+                let answers = answer_ucq_virtual(ucq, &self.mappings, &self.db)?;
+                (answers, *raw_len, ucq.len())
             }
-            (RewritingMode::PerfectRef, DataMode::Materialized) => {
-                let ucq = perfect_ref(q, &self.tbox);
-                let abox = self.materialized_abox()?.clone();
-                Ok(crate::answer::evaluate_ucq(&ucq, &abox))
+            (CachedRewriting::PerfectRef { ucq, raw_len }, DataMode::Materialized) => {
+                self.ensure_materialized()?;
+                let abox = self.materialized.as_ref().expect("ensured");
+                let index = self.abox_index.as_ref().expect("ensured");
+                let answers = evaluate_ucq_parallel(ucq, abox, index, threads);
+                (answers, *raw_len, ucq.len())
             }
-            (RewritingMode::Presto, DataMode::Materialized) => {
-                let rw = presto_rewrite(q, &self.classification);
-                let abox = self.materialized_abox()?.clone();
+            (CachedRewriting::Presto(rw), DataMode::Virtual) => {
+                let answers =
+                    answer_presto_virtual(rw, &self.classification, &self.mappings, &self.db)?;
+                (answers, rw.len(), rw.len())
+            }
+            (CachedRewriting::Presto(rw), DataMode::Materialized) => {
+                self.ensure_materialized()?;
+                let abox = self.materialized.as_ref().expect("ensured");
                 let mut answers = Answers::new();
                 for vq in &rw.queries {
-                    answers.extend(evaluate_view_query(vq, &self.classification, &abox));
+                    answers.extend(evaluate_view_query(vq, &self.classification, abox));
                 }
-                Ok(answers)
+                (answers, rw.len(), rw.len())
             }
+        };
+        if timings_enabled() {
+            let eval_ms = t1.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "mastro-timings rewriting={:?} data={:?} parse_ms={parse_ms:.2} rewrite_ms={rewrite_ms:.2} cache={} ucq={raw_len} pruned={pruned_len} eval_ms={eval_ms:.2} threads={threads} answers={}",
+                self.rewriting,
+                self.data,
+                if cache_hit { "hit" } else { "miss" },
+                answers.len(),
+            );
         }
+        Ok(answers)
     }
 
     /// Explains how a query would be answered under the current modes:
@@ -182,8 +391,18 @@ impl ObdaSystem {
         let _ = writeln!(out, "query: {}", crate::query::print_cq(&q, &self.tbox.sig));
         match self.rewriting {
             RewritingMode::PerfectRef => {
-                let ucq = perfect_ref(&q, &self.tbox);
-                let _ = writeln!(out, "rewriting: PerfectRef, {} CQ disjunct(s)", ucq.len());
+                let raw = perfect_ref(&q, &self.tbox);
+                let ucq = if pruning_disabled() {
+                    raw.clone()
+                } else {
+                    prune_ucq(&raw)
+                };
+                let _ = writeln!(
+                    out,
+                    "rewriting: PerfectRef, {} CQ disjunct(s) ({} before pruning)",
+                    ucq.len(),
+                    raw.len()
+                );
                 for (i, d) in ucq.disjuncts.iter().enumerate().take(8) {
                     let _ = writeln!(out, "  [{i}] {}", crate::query::print_cq(d, &self.tbox.sig));
                 }
@@ -286,32 +505,96 @@ impl ObdaSystem {
 }
 
 /// An ABox-backed system (no mappings/SQL): the simple entry point used
-/// by the quickstart example and by tests.
+/// by the quickstart example and by tests. Carries the same fast path
+/// as [`ObdaSystem`]: a persistent [`AboxIndex`] built at construction
+/// and a rewrite cache (interior-mutable, so [`Self::answer`] stays
+/// `&self`).
 #[derive(Debug, Clone)]
 pub struct AboxSystem {
     /// The ontology TBox.
     pub tbox: Tbox,
     /// The classification.
     pub classification: Classification,
-    /// The explicit ABox.
+    /// The explicit ABox. Rebuild the index with
+    /// [`Self::refresh_index`] after mutating it.
     pub abox: Abox,
+    index: AboxIndex,
+    rewrite_cache: RefCell<RewriteCache>,
+    eval_threads: usize,
 }
 
 impl AboxSystem {
-    /// Classifies the TBox and wraps the ABox.
+    /// Classifies the TBox, wraps and indexes the ABox.
     pub fn new(tbox: Tbox, abox: Abox) -> Self {
         let classification = Classification::classify(&tbox);
+        let index = AboxIndex::build(&abox);
         AboxSystem {
             tbox,
             classification,
             abox,
+            index,
+            rewrite_cache: RefCell::new(RewriteCache::default()),
+            eval_threads: default_eval_threads(),
         }
+    }
+
+    /// Sets the number of threads for UCQ evaluation (`0` = all cores).
+    pub fn with_eval_threads(mut self, threads: usize) -> Self {
+        self.eval_threads = threads;
+        self
+    }
+
+    /// Rebuilds the ABox index after `abox` was mutated.
+    pub fn refresh_index(&mut self) {
+        self.index = AboxIndex::build(&self.abox);
+    }
+
+    /// Drops cached rewritings (call after mutating `tbox`).
+    pub fn invalidate_rewrites(&mut self) {
+        self.rewrite_cache.borrow_mut().invalidate();
+    }
+
+    /// Rewrite-cache hit/miss counters.
+    pub fn rewrite_cache_stats(&self) -> RewriteCacheStats {
+        self.rewrite_cache.borrow().stats
     }
 
     /// Answers a query (text) with PerfectRef over the ABox.
     pub fn answer(&self, text: &str) -> Result<Answers, ObdaError> {
+        let t0 = Instant::now();
         let q = parse_cq(text, &self.tbox.sig)?;
-        let ucq = perfect_ref(&q, &self.tbox);
-        Ok(crate::answer::evaluate_ucq(&ucq, &self.abox))
+        let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let key = (RewritingMode::PerfectRef, q.canonical());
+        // Bind the lookup so the RefCell borrow ends before the miss
+        // arm re-borrows for insertion.
+        let cached = self.rewrite_cache.borrow_mut().get(&key);
+        let (entry, cache_hit) = match cached {
+            Some(hit) => (hit, true),
+            None => {
+                let value = rewrite_perfectref_pruned(&q, &self.tbox);
+                self.rewrite_cache.borrow_mut().insert(key, value.clone());
+                (value, false)
+            }
+        };
+        let rewrite_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let CachedRewriting::PerfectRef { ucq, raw_len } = entry else {
+            unreachable!("AboxSystem caches only PerfectRef rewritings")
+        };
+
+        let threads = resolve_threads(self.eval_threads);
+        let t2 = Instant::now();
+        let answers = evaluate_ucq_parallel(&ucq, &self.abox, &self.index, threads);
+        if timings_enabled() {
+            let eval_ms = t2.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "mastro-timings rewriting=PerfectRef data=Abox parse_ms={parse_ms:.2} rewrite_ms={rewrite_ms:.2} cache={} ucq={raw_len} pruned={} eval_ms={eval_ms:.2} threads={threads} answers={}",
+                if cache_hit { "hit" } else { "miss" },
+                ucq.len(),
+                answers.len(),
+            );
+        }
+        Ok(answers)
     }
 }
