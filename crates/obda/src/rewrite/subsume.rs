@@ -48,6 +48,45 @@ pub fn prune_ucq(u: &Ucq) -> Ucq {
     Ucq { disjuncts: kept }
 }
 
+/// The sort a variable inhabits, read off its body occurrences: IRI
+/// positions (concept/role arguments, attribute subjects) vs attribute
+/// value positions. Well-sorted queries never mix the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarSort {
+    Iri,
+    Val,
+    Mixed,
+}
+
+fn var_sorts(q: &ConjunctiveQuery) -> HashMap<&str, VarSort> {
+    fn note<'a>(sorts: &mut HashMap<&'a str, VarSort>, v: Option<&'a str>, sort: VarSort) {
+        let Some(v) = v else { return };
+        sorts
+            .entry(v)
+            .and_modify(|s| {
+                if *s != sort {
+                    *s = VarSort::Mixed;
+                }
+            })
+            .or_insert(sort);
+    }
+    let mut sorts: HashMap<&str, VarSort> = HashMap::new();
+    for a in &q.atoms {
+        match a {
+            Atom::Concept(_, t) => note(&mut sorts, t.as_var(), VarSort::Iri),
+            Atom::Role(_, s, o) => {
+                note(&mut sorts, s.as_var(), VarSort::Iri);
+                note(&mut sorts, o.as_var(), VarSort::Iri);
+            }
+            Atom::Attribute(_, s, v) => {
+                note(&mut sorts, s.as_var(), VarSort::Iri);
+                note(&mut sorts, v.as_var(), VarSort::Val);
+            }
+        }
+    }
+    sorts
+}
+
 /// Whether `general` subsumes `specific`: a homomorphism from
 /// `general`'s body into `specific`'s body maps `general`'s head
 /// variables position-wise onto `specific`'s (so
@@ -57,19 +96,36 @@ pub fn subsumes(general: &ConjunctiveQuery, specific: &ConjunctiveQuery) -> bool
     if general.head.len() != specific.head.len() {
         return false;
     }
-    // Seed the mapping with the positional head correspondence; a head
-    // variable repeated in `general` must map consistently.
+    // Seed the mappings with the positional head correspondence, each
+    // head variable in the map matching its body sort (a value-typed
+    // head like `q(n) :- u(x, n)` is matched through `val_map`, the
+    // same map the attribute value positions consult). A head variable
+    // repeated in `general` must map consistently. Sort mismatches,
+    // mixed-sort variables and head variables missing from the body are
+    // conservatively not subsumed.
+    let gen_sorts = var_sorts(general);
+    let spec_sorts = var_sorts(specific);
     let mut iri_map: HashMap<String, Term> = HashMap::new();
+    let mut val_map: HashMap<String, ValueTerm> = HashMap::new();
     for (g, s) in general.head.iter().zip(&specific.head) {
-        match iri_map.get(g) {
-            Some(Term::Var(prev)) if prev == s => {}
-            Some(_) => return false,
-            None => {
-                iri_map.insert(g.clone(), Term::Var(s.clone()));
-            }
+        match (gen_sorts.get(g.as_str()), spec_sorts.get(s.as_str())) {
+            (Some(VarSort::Iri), Some(VarSort::Iri)) => match iri_map.get(g) {
+                Some(Term::Var(prev)) if prev == s => {}
+                Some(_) => return false,
+                None => {
+                    iri_map.insert(g.clone(), Term::Var(s.clone()));
+                }
+            },
+            (Some(VarSort::Val), Some(VarSort::Val)) => match val_map.get(g) {
+                Some(ValueTerm::Var(prev)) if prev == s => {}
+                Some(_) => return false,
+                None => {
+                    val_map.insert(g.clone(), ValueTerm::Var(s.clone()));
+                }
+            },
+            _ => return false,
         }
     }
-    let mut val_map: HashMap<String, ValueTerm> = HashMap::new();
     hom_search(
         &general.atoms,
         0,
@@ -233,6 +289,53 @@ mod tests {
         assert!(!subsumes(&lit5, &lit6));
         assert!(subsumes(&lit_var, &lit5));
         assert!(!subsumes(&lit5, &lit_var));
+    }
+
+    #[test]
+    fn value_typed_head_positions_are_pinned() {
+        let s = sig();
+        // The reviewer's counterexample: over ABox {u(a,7), u(b,5),
+        // B(b)} the second query answers 7 but the first answers 5 —
+        // neither may subsume the other.
+        let g = parse_cq("q(n) :- u(x, n), B(x)", &s).unwrap();
+        let sp = parse_cq("q(m) :- u(y, m), u(z, 5), B(z)", &s).unwrap();
+        assert!(!subsumes(&g, &sp));
+        assert!(!subsumes(&sp, &g));
+        // Genuine value-head subsumption still holds: dropping a body
+        // atom generalizes.
+        let wide = parse_cq("q(n) :- u(x, n)", &s).unwrap();
+        let narrow = parse_cq("q(m) :- u(y, m), B(y)", &s).unwrap();
+        assert!(subsumes(&wide, &narrow));
+        assert!(!subsumes(&narrow, &wide));
+        // A value head must not pin the value to a literal-carrying atom
+        // of a different head variable.
+        let lit_body = parse_cq("q(m) :- u(y, m), u(y, 5)", &s).unwrap();
+        assert!(subsumes(&wide, &lit_body));
+    }
+
+    #[test]
+    fn head_sort_mismatch_is_never_subsumption() {
+        let s = sig();
+        let iri_head = parse_cq("q(x) :- A(x)", &s).unwrap();
+        let val_head = parse_cq("q(n) :- u(y, n)", &s).unwrap();
+        assert!(!subsumes(&iri_head, &val_head));
+        assert!(!subsumes(&val_head, &iri_head));
+        let pruned = prune_ucq(&Ucq {
+            disjuncts: vec![iri_head, val_head],
+        });
+        assert_eq!(pruned.disjuncts.len(), 2);
+    }
+
+    #[test]
+    fn mixed_iri_and_value_head_maps_independently() {
+        let s = sig();
+        // q(x, n) :- u(x, n) — the legal mixed-head shape from the
+        // module docs. Positional pinning keeps subject and value
+        // aligned.
+        let g = parse_cq("q(x, n) :- u(x, n)", &s).unwrap();
+        let sp = parse_cq("q(y, m) :- u(y, m), B(y)", &s).unwrap();
+        assert!(subsumes(&g, &sp));
+        assert!(!subsumes(&sp, &g));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use obda_dllite::{Abox, Tbox};
@@ -112,24 +113,25 @@ pub struct RewriteCacheStats {
 }
 
 /// Rewrite cache: canonical CQ (+ mode) → rewriting, valid for one TBox
-/// epoch.
+/// epoch. Entries are shared via `Arc` so a hit is a pointer clone, not
+/// a deep copy of a possibly-large UCQ.
 #[derive(Debug, Clone, Default)]
 struct RewriteCache {
     epoch: u64,
-    entries: HashMap<(RewritingMode, ConjunctiveQuery), CachedRewriting>,
+    entries: HashMap<(RewritingMode, ConjunctiveQuery), Arc<CachedRewriting>>,
     stats: RewriteCacheStats,
 }
 
 impl RewriteCache {
-    fn get(&mut self, key: &(RewritingMode, ConjunctiveQuery)) -> Option<CachedRewriting> {
-        let hit = self.entries.get(key).cloned();
+    fn get(&mut self, key: &(RewritingMode, ConjunctiveQuery)) -> Option<Arc<CachedRewriting>> {
+        let hit = self.entries.get(key).map(Arc::clone);
         if hit.is_some() {
             self.stats.hits += 1;
         }
         hit
     }
 
-    fn insert(&mut self, key: (RewritingMode, ConjunctiveQuery), value: CachedRewriting) {
+    fn insert(&mut self, key: (RewritingMode, ConjunctiveQuery), value: Arc<CachedRewriting>) {
         self.stats.misses += 1;
         if self.entries.len() >= REWRITE_CACHE_CAP {
             self.entries.clear();
@@ -315,18 +317,18 @@ impl ObdaSystem {
 
     /// Looks up (or computes and caches) the rewriting of `q` under the
     /// current mode. Returns the rewriting and whether it was a hit.
-    fn rewritten(&mut self, q: &ConjunctiveQuery) -> (CachedRewriting, bool) {
+    fn rewritten(&mut self, q: &ConjunctiveQuery) -> (Arc<CachedRewriting>, bool) {
         let key = (self.rewriting, q.canonical());
         if let Some(hit) = self.rewrite_cache.get(&key) {
             return (hit, true);
         }
-        let value = match self.rewriting {
+        let value = Arc::new(match self.rewriting {
             RewritingMode::PerfectRef => rewrite_perfectref_pruned(q, &self.tbox),
             RewritingMode::Presto => {
                 CachedRewriting::Presto(presto_rewrite(q, &self.classification))
             }
-        };
-        self.rewrite_cache.insert(key, value.clone());
+        });
+        self.rewrite_cache.insert(key, Arc::clone(&value));
         (value, false)
     }
 
@@ -341,7 +343,7 @@ impl ObdaSystem {
         let threads = resolve_threads(self.eval_threads);
 
         let t1 = Instant::now();
-        let (answers, raw_len, pruned_len) = match (&rw, self.data) {
+        let (answers, raw_len, pruned_len) = match (&*rw, self.data) {
             (CachedRewriting::PerfectRef { ucq, raw_len }, DataMode::Virtual) => {
                 let answers = answer_ucq_virtual(ucq, &self.mappings, &self.db)?;
                 (answers, *raw_len, ucq.len())
@@ -391,17 +393,19 @@ impl ObdaSystem {
         let _ = writeln!(out, "query: {}", crate::query::print_cq(&q, &self.tbox.sig));
         match self.rewriting {
             RewritingMode::PerfectRef => {
-                let raw = perfect_ref(&q, &self.tbox);
-                let ucq = if pruning_disabled() {
-                    raw.clone()
-                } else {
-                    prune_ucq(&raw)
+                // Same pruning policy as the answer path, including the
+                // PRUNE_DISJUNCT_CAP gate — explaining a query must not
+                // cost quadratically more than answering it.
+                let CachedRewriting::PerfectRef { ucq, raw_len } =
+                    rewrite_perfectref_pruned(&q, &self.tbox)
+                else {
+                    unreachable!("PerfectRef mode rewrites to a UCQ")
                 };
                 let _ = writeln!(
                     out,
                     "rewriting: PerfectRef, {} CQ disjunct(s) ({} before pruning)",
                     ucq.len(),
-                    raw.len()
+                    raw_len
                 );
                 for (i, d) in ucq.disjuncts.iter().enumerate().take(8) {
                     let _ = writeln!(out, "  [{i}] {}", crate::query::print_cq(d, &self.tbox.sig));
@@ -573,19 +577,21 @@ impl AboxSystem {
         let (entry, cache_hit) = match cached {
             Some(hit) => (hit, true),
             None => {
-                let value = rewrite_perfectref_pruned(&q, &self.tbox);
-                self.rewrite_cache.borrow_mut().insert(key, value.clone());
+                let value = Arc::new(rewrite_perfectref_pruned(&q, &self.tbox));
+                self.rewrite_cache
+                    .borrow_mut()
+                    .insert(key, Arc::clone(&value));
                 (value, false)
             }
         };
         let rewrite_ms = t1.elapsed().as_secs_f64() * 1e3;
-        let CachedRewriting::PerfectRef { ucq, raw_len } = entry else {
+        let CachedRewriting::PerfectRef { ucq, raw_len } = &*entry else {
             unreachable!("AboxSystem caches only PerfectRef rewritings")
         };
 
         let threads = resolve_threads(self.eval_threads);
         let t2 = Instant::now();
-        let answers = evaluate_ucq_parallel(&ucq, &self.abox, &self.index, threads);
+        let answers = evaluate_ucq_parallel(ucq, &self.abox, &self.index, threads);
         if timings_enabled() {
             let eval_ms = t2.elapsed().as_secs_f64() * 1e3;
             eprintln!(

@@ -13,27 +13,42 @@ use std::collections::BTreeSet;
 
 use mastro::{
     evaluate_ucq_indexed, evaluate_ucq_parallel, perfect_ref, perfect_ref_scan, prune_ucq,
-    AboxIndex, AnswerTerm, Answers, ConjunctiveQuery, Ucq,
+    AboxIndex, AnswerTerm, Answers, ConjunctiveQuery, Ucq, ValueTerm,
 };
-use obda_dllite::{Abox, ConceptId, RoleId, Tbox};
+use obda_dllite::{Abox, AttributeId, ConceptId, RoleId, Tbox, Value};
 use obda_genont::{random_abox, random_tbox, university_scenario};
 use obda_reasoners::chase;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Random small safe CQ over the TBox signature (same shape as the
-/// rewriting-correctness suite).
+/// rewriting-correctness suite, plus attribute atoms). The head picks
+/// any body variable, so value-typed head variables (`q(n) :- u0(x, n)`)
+/// occur regularly — the shape that exercises the sort-aware head
+/// seeding in subsumption pruning.
 fn random_query(seed: u64, t: &Tbox) -> Option<ConjunctiveQuery> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let n_atoms = rng.gen_range(1..=3);
     let vars = ["x", "y", "z", "w"];
+    // Disjoint pool for attribute value positions: generated queries
+    // stay well-sorted, like everything the parser accepts.
+    let val_vars = ["n", "m"];
     let mut atoms = Vec::new();
     for _ in 0..n_atoms {
         let v1 = mastro::Term::Var(vars[rng.gen_range(0..vars.len())].to_owned());
-        match rng.gen_range(0..2) {
+        match rng.gen_range(0..4) {
             0 if t.sig.num_concepts() > 0 => {
                 let c = ConceptId(rng.gen_range(0..t.sig.num_concepts() as u32));
                 atoms.push(mastro::Atom::Concept(c, v1));
+            }
+            1 if t.sig.num_attributes() > 0 => {
+                let u = AttributeId(rng.gen_range(0..t.sig.num_attributes() as u32));
+                let v = if rng.gen_bool(0.7) {
+                    ValueTerm::Var(val_vars[rng.gen_range(0..val_vars.len())].to_owned())
+                } else {
+                    ValueTerm::Lit(Value::Int(rng.gen_range(0..5)))
+                };
+                atoms.push(mastro::Atom::Attribute(u, v1, v));
             }
             _ if t.sig.num_roles() > 0 => {
                 let p = RoleId(rng.gen_range(0..t.sig.num_roles() as u32));
@@ -58,8 +73,14 @@ fn random_query(seed: u64, t: &Tbox) -> Option<ConjunctiveQuery> {
 }
 
 /// Positive-only projection of a random TBox.
-fn random_positive_tbox(seed: u64, concepts: usize, roles: usize, axioms: usize) -> Tbox {
-    let full = random_tbox(seed, concepts, roles, 0, axioms);
+fn random_positive_tbox(
+    seed: u64,
+    concepts: usize,
+    roles: usize,
+    attrs: usize,
+    axioms: usize,
+) -> Tbox {
+    let full = random_tbox(seed, concepts, roles, attrs, axioms);
     let mut pos = Tbox::with_signature(full.sig.clone());
     for ax in full.positive_inclusions() {
         pos.add(*ax);
@@ -71,7 +92,10 @@ fn canonical_set(u: &Ucq) -> BTreeSet<ConjunctiveQuery> {
     u.disjuncts.iter().map(|q| q.canonical()).collect()
 }
 
-/// Certain answers through the bounded chase (null-filtered).
+/// Certain answers through the bounded chase (null-filtered). Besides
+/// null individuals, the chase invents null *values* (`_:v…` text
+/// literals, from attribute-domain existentials) — neither may appear
+/// in a certain answer.
 fn certain_answers_via_chase(q: &ConjunctiveQuery, tbox: &Tbox, abox: &Abox) -> Answers {
     let depth = q.atoms.len() + 2;
     let chased = chase(tbox, abox, depth);
@@ -83,6 +107,7 @@ fn certain_answers_via_chase(q: &ConjunctiveQuery, tbox: &Tbox, abox: &Abox) -> 
                     .abox
                     .find_individual(name)
                     .is_some_and(|i| !chased.is_null(i)),
+                AnswerTerm::Value(Value::Text(s)) => !s.starts_with("_:"),
                 AnswerTerm::Value(_) => true,
             })
         })
@@ -121,12 +146,18 @@ fn indexed_rewriter_matches_scanning_loop_on_random_tboxes() {
 #[test]
 fn pruned_ucq_answers_match_unpruned_and_chase() {
     let mut pruned_something = 0;
+    let mut value_headed = 0;
     for seed in 0u64..120 {
-        let t = random_positive_tbox(seed.wrapping_add(9_000), 4, 2, 10);
+        let t = random_positive_tbox(seed.wrapping_add(9_000), 4, 2, 2, 10);
         let ab = random_abox(seed ^ 0xCAFE, &t, 4, 8);
         let Some(q) = random_query(seed ^ 0xD1CE, &t) else {
             continue;
         };
+        if q.atoms.iter().any(
+            |a| matches!(a, mastro::Atom::Attribute(_, _, ValueTerm::Var(v)) if Some(v.as_str()) == q.head.first().map(String::as_str)),
+        ) {
+            value_headed += 1;
+        }
         let raw = perfect_ref(&q, &t);
         let pruned = prune_ucq(&raw);
         assert!(pruned.len() <= raw.len());
@@ -153,12 +184,16 @@ fn pruned_ucq_answers_match_unpruned_and_chase() {
         pruned_something >= 10,
         "only {pruned_something} runs pruned anything; generators drifted"
     );
+    assert!(
+        value_headed >= 10,
+        "only {value_headed} runs had a value-typed head variable; generators drifted"
+    );
 }
 
 #[test]
 fn parallel_evaluation_is_identical_across_thread_counts() {
     for seed in 0u64..40 {
-        let t = random_positive_tbox(seed.wrapping_add(31_000), 5, 3, 12);
+        let t = random_positive_tbox(seed.wrapping_add(31_000), 5, 3, 2, 12);
         let ab = random_abox(seed ^ 0xFEED, &t, 6, 16);
         let Some(q) = random_query(seed ^ 0xACE, &t) else {
             continue;
@@ -206,7 +241,7 @@ fn warm_rewrite_cache_answers_match_cold() {
 
 #[test]
 fn abox_system_cache_and_threads_preserve_answers() {
-    let t = random_positive_tbox(77, 5, 3, 14);
+    let t = random_positive_tbox(77, 5, 3, 2, 14);
     let ab = random_abox(0x5CA1E, &t, 8, 24);
     let sys0 = mastro::AboxSystem::new(t.clone(), ab.clone());
     let sys4 = mastro::AboxSystem::new(t.clone(), ab.clone()).with_eval_threads(4);
