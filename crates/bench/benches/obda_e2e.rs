@@ -26,7 +26,7 @@ fn obda_e2e(c: &mut Criterion) {
         ),
     ];
     for (label, rw, dm) in modes {
-        let mut sys = mastro::demo::build_system(&scenario)
+        let sys = mastro::demo::build_system(&scenario)
             .expect("builds")
             .with_rewriting(rw)
             .with_data_mode(dm);
@@ -68,7 +68,7 @@ fn obda_e2e(c: &mut Criterion) {
 
     // Thread scaling of the materialized UCQ evaluator.
     for threads in [1usize, 2, 4] {
-        let mut sys = mastro::demo::build_system(&scenario)
+        let sys = mastro::demo::build_system(&scenario)
             .expect("builds")
             .with_rewriting(RewritingMode::PerfectRef)
             .with_data_mode(DataMode::Materialized)

@@ -1,0 +1,387 @@
+//! Closed-loop load generator for `obda-server`.
+//!
+//! Each of `--connections` client threads keeps exactly one request in
+//! flight (send → wait → record → send), so offered load adapts to what
+//! the server sustains and the measured latency distribution is honest —
+//! no coordinated-omission from open-loop timers.
+//!
+//! By default it spawns the server in-process on an ephemeral port
+//! (zero setup, same binary benchmarks both sides); `--addr` targets an
+//! already-running `quonto-server` instead.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--workers N] [--queue N] [--scale N] [--seed N]
+//!         [--kind university|university-abox] [--connections N] [--requests N]
+//!         [--mix cq|sparql|both] [--warm] [--timeout-ms N] [--label S] [--markdown]
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Instant;
+
+use obda_genont::university_scenario;
+use obda_server::{EndpointConfig, EndpointKind, Json, Server, ServerConfig};
+
+const ENDPOINT: &str = "uni";
+
+struct Opts {
+    addr: Option<String>,
+    workers: usize,
+    queue: usize,
+    scale: usize,
+    seed: u64,
+    kind: EndpointKind,
+    connections: usize,
+    requests: usize,
+    mix: Mix,
+    warm: bool,
+    timeout_ms: u64,
+    /// Injected per-request delay on the spawned endpoint — models an
+    /// I/O-bound backend so worker-pool scaling is visible even when
+    /// the queries themselves are CPU-cheap (or the host is 1-core).
+    delay_ms: u64,
+    label: String,
+    markdown: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    Cq,
+    Sparql,
+    Both,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            addr: None,
+            workers: 4,
+            queue: 128,
+            scale: 2,
+            seed: 42,
+            kind: EndpointKind::UniversityAbox,
+            connections: 8,
+            requests: 50,
+            mix: Mix::Both,
+            warm: false,
+            timeout_ms: 30_000,
+            delay_ms: 0,
+            label: String::new(),
+            markdown: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--workers N] [--queue N] [--scale N] [--seed N]\n\
+         \x20              [--kind university|university-abox] [--connections N] [--requests N]\n\
+         \x20              [--mix cq|sparql|both] [--warm] [--timeout-ms N] [--delay-ms N]\n\
+         \x20              [--label S] [--markdown]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = Some(val("--addr")),
+            "--workers" => opts.workers = val("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => opts.queue = val("--queue").parse().unwrap_or_else(|_| usage()),
+            "--scale" => opts.scale = val("--scale").parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--kind" => {
+                opts.kind = match val("--kind").as_str() {
+                    "university" => EndpointKind::University,
+                    "university-abox" => EndpointKind::UniversityAbox,
+                    _ => usage(),
+                }
+            }
+            "--connections" => {
+                opts.connections = val("--connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--requests" => opts.requests = val("--requests").parse().unwrap_or_else(|_| usage()),
+            "--mix" => {
+                opts.mix = match val("--mix").as_str() {
+                    "cq" => Mix::Cq,
+                    "sparql" => Mix::Sparql,
+                    "both" => Mix::Both,
+                    _ => usage(),
+                }
+            }
+            "--warm" => opts.warm = true,
+            "--timeout-ms" => {
+                opts.timeout_ms = val("--timeout-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--delay-ms" => opts.delay_ms = val("--delay-ms").parse().unwrap_or_else(|_| usage()),
+            "--label" => opts.label = val("--label"),
+            "--markdown" => opts.markdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if opts.connections == 0 || opts.requests == 0 {
+        usage()
+    }
+    opts
+}
+
+/// The request mix: `(lang, query text)` pairs.
+fn build_mix(opts: &Opts) -> Vec<(&'static str, String)> {
+    let mut mix = Vec::new();
+    if opts.mix != Mix::Sparql {
+        for q in university_scenario(opts.scale, opts.seed).queries {
+            mix.push(("cq", q.text));
+        }
+    }
+    if opts.mix != Mix::Cq {
+        mix.push(("sparql", "SELECT ?x WHERE { ?x a :Student }".into()));
+        mix.push((
+            "sparql",
+            "SELECT ?x ?n WHERE { ?x a :GradStudent . ?x :personName ?n . }".into(),
+        ));
+    }
+    mix
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn roundtrip(&mut self, line: &str) -> std::io::Result<Json> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp)?;
+        Json::parse(resp.trim()).map_err(|e| std::io::Error::other(e.to_string()))
+    }
+
+    fn query(&mut self, lang: &str, text: &str, timeout_ms: u64) -> std::io::Result<Json> {
+        let req = Json::obj(vec![
+            ("endpoint", ENDPOINT.into()),
+            ("lang", lang.into()),
+            ("query", text.into()),
+            ("timeout_ms", timeout_ms.into()),
+        ]);
+        self.roundtrip(&req.to_string())
+    }
+}
+
+#[derive(Default)]
+struct ClientTally {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    timeouts: u64,
+    overloaded: u64,
+}
+
+fn run_client(
+    addr: SocketAddr,
+    mix: &[(&'static str, String)],
+    requests: usize,
+    offset: usize,
+    timeout_ms: u64,
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let mut conn = Conn::open(addr).expect("loadgen client connect");
+    for i in 0..requests {
+        let (lang, text) = &mix[(offset + i) % mix.len()];
+        let t = Instant::now();
+        let resp = conn
+            .query(lang, text, timeout_ms)
+            .expect("loadgen roundtrip");
+        tally.latencies_us.push(t.elapsed().as_micros() as u64);
+        match resp.get("status").and_then(Json::as_str) {
+            Some("ok") => tally.ok += 1,
+            Some("timeout") => tally.timeouts += 1,
+            Some("overloaded") => tally.overloaded += 1,
+            _ => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+fn pct(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil().max(1.0) as usize;
+    sorted_us[rank.min(sorted_us.len()) - 1]
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mix = build_mix(&opts);
+
+    // Target: an external server, or one spawned in-process.
+    let (addr, spawned) = match &opts.addr {
+        Some(a) => {
+            let addr = a
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut it| it.next())
+                .unwrap_or_else(|| {
+                    eprintln!("cannot resolve --addr {a}");
+                    std::process::exit(2)
+                });
+            (addr, None)
+        }
+        None => {
+            eprintln!(
+                "loadgen: spawning in-process server (workers={} queue={} scale={} seed={})",
+                opts.workers, opts.queue, opts.scale, opts.seed
+            );
+            let server = Server::start(ServerConfig {
+                workers: opts.workers,
+                queue_capacity: opts.queue,
+                endpoints: vec![EndpointConfig {
+                    name: ENDPOINT.into(),
+                    kind: opts.kind,
+                    scale: opts.scale,
+                    seed: opts.seed,
+                    delay_ms: opts.delay_ms,
+                    ..EndpointConfig::default()
+                }],
+                ..ServerConfig::default()
+            })
+            .expect("server start");
+            (server.addr(), Some(server))
+        }
+    };
+
+    // Warm phase: one pass over the whole mix populates the rewrite
+    // cache so the timed run measures steady-state serving.
+    if opts.warm {
+        let mut conn = Conn::open(addr).expect("warmup connect");
+        for (lang, text) in &mix {
+            let resp = conn
+                .query(lang, text, opts.timeout_ms)
+                .expect("warmup query");
+            assert_eq!(
+                resp.get("status").and_then(Json::as_str),
+                Some("ok"),
+                "warmup failed: {resp}"
+            );
+        }
+    }
+
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|tid| {
+                let mix = &mix;
+                scope.spawn(move || run_client(addr, mix, opts.requests, tid, opts.timeout_ms))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut ok, mut errors, mut timeouts, mut overloaded) = (0u64, 0u64, 0u64, 0u64);
+    for t in tallies {
+        latencies.extend(t.latencies_us);
+        ok += t.ok;
+        errors += t.errors;
+        timeouts += t.timeouts;
+        overloaded += t.overloaded;
+    }
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let qps = total as f64 / wall.as_secs_f64().max(1e-9);
+    let mean_us = latencies.iter().sum::<u64>() as f64 / total.max(1) as f64;
+
+    // Server-side view: cache hit rate + queue high-water from STATS.
+    let stats = Conn::open(addr)
+        .and_then(|mut c| c.roundtrip("STATS"))
+        .unwrap_or(Json::Null);
+    let hit_rate = stats
+        .get("endpoints")
+        .and_then(|e| e.get(ENDPOINT))
+        .and_then(|e| e.get("cache_hit_rate"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let high_water = stats
+        .get("server")
+        .and_then(|s| s.get("queue_high_water"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    // Against an external server, --workers describes nothing — report
+    // the target's actual pool size from STATS instead.
+    let workers = stats
+        .get("workers")
+        .and_then(Json::as_u64)
+        .unwrap_or(opts.workers as u64);
+
+    let label = if opts.label.is_empty() {
+        String::new()
+    } else {
+        format!(" label={}", opts.label)
+    };
+    println!(
+        "loadgen report{label} workers={workers} connections={} requests={} mix_size={} warm={}",
+        opts.connections,
+        total,
+        mix.len(),
+        opts.warm,
+    );
+    println!(
+        "  wall_s={:.3} qps={qps:.1} ok={ok} errors={errors} timeouts={timeouts} overloaded={overloaded}",
+        wall.as_secs_f64()
+    );
+    println!(
+        "  latency_us mean={mean_us:.0} p50={} p90={} p95={} p99={} max={}",
+        pct(&latencies, 50.0),
+        pct(&latencies, 90.0),
+        pct(&latencies, 95.0),
+        pct(&latencies, 99.0),
+        latencies.last().copied().unwrap_or(0),
+    );
+    println!("  server cache_hit_rate={hit_rate:.3} queue_high_water={high_water}");
+    if opts.markdown {
+        println!(
+            "| {workers} | {} | {} | {:.0} | {:.1} | {:.1} | {:.1} | {:.3} |",
+            opts.connections,
+            if opts.warm { "warm" } else { "cold" },
+            qps,
+            pct(&latencies, 50.0) as f64 / 1000.0,
+            pct(&latencies, 95.0) as f64 / 1000.0,
+            pct(&latencies, 99.0) as f64 / 1000.0,
+            hit_rate,
+        );
+    }
+
+    if let Some(server) = spawned {
+        server.shutdown();
+        server.join();
+    }
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -21,11 +21,11 @@ fn main() {
     for scale in [1usize, 4, 16, 32] {
         let scenario = university_scenario(scale, 42);
         let rows: usize = scenario.tables.iter().map(|t| t.rows.len()).sum();
-        let mut virtual_sys = mastro::demo::build_system(&scenario)
+        let virtual_sys = mastro::demo::build_system(&scenario)
             .expect("builds")
             .with_rewriting(RewritingMode::Presto)
             .with_data_mode(DataMode::Virtual);
-        let mut mat_sys = mastro::demo::build_system(&scenario)
+        let mat_sys = mastro::demo::build_system(&scenario)
             .expect("builds")
             .with_rewriting(RewritingMode::Presto)
             .with_data_mode(DataMode::Materialized);
@@ -78,7 +78,7 @@ fn cache_report() {
         "answers".into(),
     ]];
     let build = |threads: usize| {
-        let mut sys = mastro::demo::build_system(&scenario)
+        let sys = mastro::demo::build_system(&scenario)
             .expect("builds")
             .with_rewriting(RewritingMode::PerfectRef)
             .with_data_mode(DataMode::Materialized)

@@ -234,7 +234,7 @@ mod tests {
     #[test]
     fn university_system_builds_and_is_consistent() {
         let scenario = university_scenario(1, 42);
-        let mut sys = build_system(&scenario).unwrap();
+        let sys = build_system(&scenario).unwrap();
         let violations = sys.check_consistency().unwrap();
         assert!(violations.is_empty(), "{violations:?}");
         // Every student (grad + undergrad) is an answer to q1.

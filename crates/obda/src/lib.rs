@@ -34,9 +34,13 @@ pub use answer::{
     AboxIndex, AnswerTerm, Answers,
 };
 pub use consistency::{check_consistency, Violation};
-pub use query::{parse_cq, print_cq, Atom, ConjunctiveQuery, Term, Ucq, ValueTerm};
+pub use query::{
+    parse_cq, print_cq, Atom, ConjunctiveQuery, QueryParseError, Term, Ucq, ValueTerm,
+};
 pub use rewrite::perfectref::{perfect_ref, perfect_ref_scan, perfect_ref_with_index};
 pub use rewrite::presto::{presto_rewrite, PrestoRewriting};
 pub use rewrite::subsume::{prune_ucq, subsumes};
 pub use sparql::{parse_sparql, SparqlQuery};
-pub use system::{AboxSystem, DataMode, ObdaError, ObdaSystem, RewritingMode};
+pub use system::{
+    AboxSystem, DataMode, MaterializedAbox, ObdaError, ObdaSystem, RewriteCacheStats, RewritingMode,
+};

@@ -20,10 +20,22 @@
 //! cores). With `QUONTO_TIMINGS=1` each answered query prints a
 //! one-line phase breakdown (`mastro-timings …`) to stderr, mirroring
 //! `quonto-timings` from the classification layer.
+//!
+//! ## Concurrency
+//!
+//! Every read-only entry point (`answer`, `answer_sparql`, `answer_cq`,
+//! `is_instance_of`, `explain`, `check_consistency`) takes `&self`: the
+//! rewrite cache lives behind a `Mutex` and the materialized ABox (plus
+//! its index) behind a `Mutex<Option<Arc<…>>>`, so one loaded system can
+//! be shared across N server worker threads (`obda-server` does exactly
+//! this). Rewriting and evaluation both run *outside* the locks — the
+//! critical sections are hash-map lookups and `Arc` clones. The only
+//! `&mut self` APIs left are the invalidators ([`Self::invalidate_rewrites`],
+//! [`Self::invalidate_abox`], [`AboxSystem::refresh_index`]), which is
+//! exactly the exclusivity they need.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use obda_dllite::{Abox, Tbox};
@@ -103,13 +115,41 @@ enum CachedRewriting {
     Presto(PrestoRewriting),
 }
 
-/// Hit/miss counters for the rewrite cache.
+/// Hit/miss counters for the rewrite cache. Counters saturate instead of
+/// wrapping, so a long-lived serving process can never panic (debug) or
+/// silently wrap (release) on overflow.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RewriteCacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that ran the rewriter.
     pub misses: u64,
+}
+
+impl RewriteCacheStats {
+    /// Fraction of lookups answered from the cache; `0.0` before any
+    /// lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits.saturating_add(self.misses);
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Zeroes both counters (e.g. between load-test phases).
+    pub fn reset(&mut self) {
+        *self = RewriteCacheStats::default();
+    }
+}
+
+/// Locks a facade-internal mutex, ignoring poisoning: the caches hold
+/// plain data that stays consistent across a panicking holder (worst
+/// case a lost insert), and a serving layer must not wedge every worker
+/// because one request panicked.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Rewrite cache: canonical CQ (+ mode) → rewriting, valid for one TBox
@@ -126,13 +166,13 @@ impl RewriteCache {
     fn get(&mut self, key: &(RewritingMode, ConjunctiveQuery)) -> Option<Arc<CachedRewriting>> {
         let hit = self.entries.get(key).map(Arc::clone);
         if hit.is_some() {
-            self.stats.hits += 1;
+            self.stats.hits = self.stats.hits.saturating_add(1);
         }
         hit
     }
 
     fn insert(&mut self, key: (RewritingMode, ConjunctiveQuery), value: Arc<CachedRewriting>) {
-        self.stats.misses += 1;
+        self.stats.misses = self.stats.misses.saturating_add(1);
         if self.entries.len() >= REWRITE_CACHE_CAP {
             self.entries.clear();
         }
@@ -180,8 +220,18 @@ fn rewrite_perfectref_pruned(q: &ConjunctiveQuery, tbox: &Tbox) -> CachedRewriti
     CachedRewriting::PerfectRef { ucq, raw_len }
 }
 
+/// The materialized ABox plus its secondary index, built together and
+/// shared immutably (behind an `Arc`) by every query that needs it.
+#[derive(Debug)]
+pub struct MaterializedAbox {
+    /// The materialized assertions.
+    pub abox: Abox,
+    /// The secondary index over them.
+    pub index: AboxIndex,
+}
+
 /// A complete OBDA system: TBox + classification + mappings + sources.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ObdaSystem {
     /// The ontology TBox.
     pub tbox: Tbox,
@@ -195,15 +245,29 @@ pub struct ObdaSystem {
     pub rewriting: RewritingMode,
     /// Data access mode (default: virtual).
     pub data: DataMode,
-    /// Cached materialized ABox (built on first use in materialized
-    /// mode).
-    materialized: Option<Abox>,
-    /// Secondary-index over `materialized`, same lifecycle.
-    abox_index: Option<AboxIndex>,
+    /// Cached materialized ABox + index (built on first use in
+    /// materialized mode, shared across threads).
+    materialized: Mutex<Option<Arc<MaterializedAbox>>>,
     /// Rewrite cache for the current TBox epoch.
-    rewrite_cache: RewriteCache,
+    rewrite_cache: Mutex<RewriteCache>,
     /// UCQ evaluation threads (0 = all cores).
     eval_threads: usize,
+}
+
+impl Clone for ObdaSystem {
+    fn clone(&self) -> Self {
+        ObdaSystem {
+            tbox: self.tbox.clone(),
+            classification: self.classification.clone(),
+            mappings: self.mappings.clone(),
+            db: self.db.clone(),
+            rewriting: self.rewriting,
+            data: self.data,
+            materialized: Mutex::new(lock_unpoisoned(&self.materialized).clone()),
+            rewrite_cache: Mutex::new(lock_unpoisoned(&self.rewrite_cache).clone()),
+            eval_threads: self.eval_threads,
+        }
+    }
 }
 
 impl ObdaSystem {
@@ -219,9 +283,8 @@ impl ObdaSystem {
             db,
             rewriting: RewritingMode::Presto,
             data: DataMode::Virtual,
-            materialized: None,
-            abox_index: None,
-            rewrite_cache: RewriteCache::default(),
+            materialized: Mutex::new(None),
+            rewrite_cache: Mutex::new(RewriteCache::default()),
             eval_threads: default_eval_threads(),
         })
     }
@@ -248,43 +311,49 @@ impl ObdaSystem {
     /// Drops all cached rewritings and bumps the TBox epoch. Call after
     /// mutating `tbox`/`classification` directly.
     pub fn invalidate_rewrites(&mut self) {
-        self.rewrite_cache.invalidate();
+        lock_unpoisoned(&self.rewrite_cache).invalidate();
     }
 
     /// Drops the materialized ABox and its index. Call after the source
     /// database or the mappings change.
     pub fn invalidate_abox(&mut self) {
-        self.materialized = None;
-        self.abox_index = None;
+        *lock_unpoisoned(&self.materialized) = None;
     }
 
     /// Rewrite-cache hit/miss counters.
     pub fn rewrite_cache_stats(&self) -> RewriteCacheStats {
-        self.rewrite_cache.stats
+        lock_unpoisoned(&self.rewrite_cache).stats
+    }
+
+    /// Zeroes the rewrite-cache counters (the cached entries stay).
+    pub fn reset_rewrite_cache_stats(&self) {
+        lock_unpoisoned(&self.rewrite_cache).stats.reset();
     }
 
     /// Current TBox epoch (bumped by [`Self::invalidate_rewrites`]).
     pub fn tbox_epoch(&self) -> u64 {
-        self.rewrite_cache.epoch
+        lock_unpoisoned(&self.rewrite_cache).epoch
     }
 
-    fn ensure_materialized(&mut self) -> Result<(), ObdaError> {
-        if self.materialized.is_none() {
-            self.materialized = Some(materialize(&self.mappings, &self.db)?);
-            self.abox_index = None;
+    /// Returns the shared materialized ABox + index, building it on
+    /// first use. The build runs under the lock: concurrent first
+    /// queries wait for one materialization instead of duplicating it.
+    fn ensure_materialized(&self) -> Result<Arc<MaterializedAbox>, ObdaError> {
+        let mut slot = lock_unpoisoned(&self.materialized);
+        if let Some(mat) = slot.as_ref() {
+            return Ok(Arc::clone(mat));
         }
-        if self.abox_index.is_none() {
-            self.abox_index = Some(AboxIndex::build(
-                self.materialized.as_ref().expect("just materialized"),
-            ));
-        }
-        Ok(())
+        let abox = materialize(&self.mappings, &self.db)?;
+        let index = AboxIndex::build(&abox);
+        let mat = Arc::new(MaterializedAbox { abox, index });
+        *slot = Some(Arc::clone(&mat));
+        Ok(mat)
     }
 
-    /// The materialized ABox (computing and caching it on first use).
-    pub fn materialized_abox(&mut self) -> Result<&Abox, ObdaError> {
-        self.ensure_materialized()?;
-        Ok(self.materialized.as_ref().expect("just set"))
+    /// The materialized ABox + index (computing and caching it on first
+    /// use).
+    pub fn materialized_abox(&self) -> Result<Arc<MaterializedAbox>, ObdaError> {
+        self.ensure_materialized()
     }
 
     /// Parses a query in the concrete CQ syntax against the TBox
@@ -294,7 +363,7 @@ impl ObdaSystem {
     }
 
     /// Answers a query given as text.
-    pub fn answer(&mut self, text: &str) -> Result<Answers, ObdaError> {
+    pub fn answer(&self, text: &str) -> Result<Answers, ObdaError> {
         let t0 = Instant::now();
         let q = self.parse_query(text)?;
         let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -303,7 +372,7 @@ impl ObdaSystem {
 
     /// Answers a SPARQL query (SELECT returns tuples in projection
     /// order; ASK returns ∅ or the empty tuple).
-    pub fn answer_sparql(&mut self, text: &str) -> Result<Answers, ObdaError> {
+    pub fn answer_sparql(&self, text: &str) -> Result<Answers, ObdaError> {
         let t0 = Instant::now();
         let q = crate::sparql::parse_sparql(text, &self.tbox.sig)?;
         let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -311,15 +380,20 @@ impl ObdaSystem {
     }
 
     /// Answers a parsed CQ under the configured modes.
-    pub fn answer_cq(&mut self, q: &ConjunctiveQuery) -> Result<Answers, ObdaError> {
+    pub fn answer_cq(&self, q: &ConjunctiveQuery) -> Result<Answers, ObdaError> {
         self.answer_cq_timed(q, 0.0)
     }
 
     /// Looks up (or computes and caches) the rewriting of `q` under the
     /// current mode. Returns the rewriting and whether it was a hit.
-    fn rewritten(&mut self, q: &ConjunctiveQuery) -> (Arc<CachedRewriting>, bool) {
+    ///
+    /// The rewriter runs *outside* the cache lock — it can be slow and
+    /// must not serialize unrelated queries. Two threads racing on the
+    /// same cold query may both rewrite it; the results are identical
+    /// and the second insert simply overwrites the first.
+    fn rewritten(&self, q: &ConjunctiveQuery) -> (Arc<CachedRewriting>, bool) {
         let key = (self.rewriting, q.canonical());
-        if let Some(hit) = self.rewrite_cache.get(&key) {
+        if let Some(hit) = lock_unpoisoned(&self.rewrite_cache).get(&key) {
             return (hit, true);
         }
         let value = Arc::new(match self.rewriting {
@@ -328,15 +402,11 @@ impl ObdaSystem {
                 CachedRewriting::Presto(presto_rewrite(q, &self.classification))
             }
         });
-        self.rewrite_cache.insert(key, Arc::clone(&value));
+        lock_unpoisoned(&self.rewrite_cache).insert(key, Arc::clone(&value));
         (value, false)
     }
 
-    fn answer_cq_timed(
-        &mut self,
-        q: &ConjunctiveQuery,
-        parse_ms: f64,
-    ) -> Result<Answers, ObdaError> {
+    fn answer_cq_timed(&self, q: &ConjunctiveQuery, parse_ms: f64) -> Result<Answers, ObdaError> {
         let t0 = Instant::now();
         let (rw, cache_hit) = self.rewritten(q);
         let rewrite_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -349,10 +419,8 @@ impl ObdaSystem {
                 (answers, *raw_len, ucq.len())
             }
             (CachedRewriting::PerfectRef { ucq, raw_len }, DataMode::Materialized) => {
-                self.ensure_materialized()?;
-                let abox = self.materialized.as_ref().expect("ensured");
-                let index = self.abox_index.as_ref().expect("ensured");
-                let answers = evaluate_ucq_parallel(ucq, abox, index, threads);
+                let mat = self.ensure_materialized()?;
+                let answers = evaluate_ucq_parallel(ucq, &mat.abox, &mat.index, threads);
                 (answers, *raw_len, ucq.len())
             }
             (CachedRewriting::Presto(rw), DataMode::Virtual) => {
@@ -361,11 +429,10 @@ impl ObdaSystem {
                 (answers, rw.len(), rw.len())
             }
             (CachedRewriting::Presto(rw), DataMode::Materialized) => {
-                self.ensure_materialized()?;
-                let abox = self.materialized.as_ref().expect("ensured");
+                let mat = self.ensure_materialized()?;
                 let mut answers = Answers::new();
                 for vq in &rw.queries {
-                    answers.extend(evaluate_view_query(vq, &self.classification, abox));
+                    answers.extend(evaluate_view_query(vq, &self.classification, &mat.abox));
                 }
                 (answers, rw.len(), rw.len())
             }
@@ -479,7 +546,7 @@ impl ObdaSystem {
     /// Instance checking (Section 5 lists it among the extensional
     /// reasoning services): whether `individual` is a certain instance of
     /// the named concept, through the full rewriting pipeline.
-    pub fn is_instance_of(&mut self, individual: &str, concept: &str) -> Result<bool, ObdaError> {
+    pub fn is_instance_of(&self, individual: &str, concept: &str) -> Result<bool, ObdaError> {
         let c = self
             .tbox
             .sig
@@ -511,9 +578,9 @@ impl ObdaSystem {
 /// An ABox-backed system (no mappings/SQL): the simple entry point used
 /// by the quickstart example and by tests. Carries the same fast path
 /// as [`ObdaSystem`]: a persistent [`AboxIndex`] built at construction
-/// and a rewrite cache (interior-mutable, so [`Self::answer`] stays
-/// `&self`).
-#[derive(Debug, Clone)]
+/// and a rewrite cache behind a `Mutex`, so every answering entry point
+/// is `&self` and the system is shareable across threads.
+#[derive(Debug)]
 pub struct AboxSystem {
     /// The ontology TBox.
     pub tbox: Tbox,
@@ -523,8 +590,21 @@ pub struct AboxSystem {
     /// [`Self::refresh_index`] after mutating it.
     pub abox: Abox,
     index: AboxIndex,
-    rewrite_cache: RefCell<RewriteCache>,
+    rewrite_cache: Mutex<RewriteCache>,
     eval_threads: usize,
+}
+
+impl Clone for AboxSystem {
+    fn clone(&self) -> Self {
+        AboxSystem {
+            tbox: self.tbox.clone(),
+            classification: self.classification.clone(),
+            abox: self.abox.clone(),
+            index: self.index.clone(),
+            rewrite_cache: Mutex::new(lock_unpoisoned(&self.rewrite_cache).clone()),
+            eval_threads: self.eval_threads,
+        }
+    }
 }
 
 impl AboxSystem {
@@ -537,7 +617,7 @@ impl AboxSystem {
             classification,
             abox,
             index,
-            rewrite_cache: RefCell::new(RewriteCache::default()),
+            rewrite_cache: Mutex::new(RewriteCache::default()),
             eval_threads: default_eval_threads(),
         }
     }
@@ -555,12 +635,17 @@ impl AboxSystem {
 
     /// Drops cached rewritings (call after mutating `tbox`).
     pub fn invalidate_rewrites(&mut self) {
-        self.rewrite_cache.borrow_mut().invalidate();
+        lock_unpoisoned(&self.rewrite_cache).invalidate();
     }
 
     /// Rewrite-cache hit/miss counters.
     pub fn rewrite_cache_stats(&self) -> RewriteCacheStats {
-        self.rewrite_cache.borrow().stats
+        lock_unpoisoned(&self.rewrite_cache).stats
+    }
+
+    /// Zeroes the rewrite-cache counters (the cached entries stay).
+    pub fn reset_rewrite_cache_stats(&self) {
+        lock_unpoisoned(&self.rewrite_cache).stats.reset();
     }
 
     /// Answers a query (text) with PerfectRef over the ABox.
@@ -568,19 +653,33 @@ impl AboxSystem {
         let t0 = Instant::now();
         let q = parse_cq(text, &self.tbox.sig)?;
         let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
+        Ok(self.answer_cq_timed(&q, parse_ms))
+    }
 
+    /// Answers a SPARQL query (conjunctive fragment) over the ABox.
+    pub fn answer_sparql(&self, text: &str) -> Result<Answers, ObdaError> {
+        let t0 = Instant::now();
+        let q = crate::sparql::parse_sparql(text, &self.tbox.sig)?;
+        let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
+        Ok(self.answer_cq_timed(&q.cq, parse_ms))
+    }
+
+    /// Answers a parsed CQ with PerfectRef over the ABox.
+    pub fn answer_cq(&self, q: &ConjunctiveQuery) -> Answers {
+        self.answer_cq_timed(q, 0.0)
+    }
+
+    fn answer_cq_timed(&self, q: &ConjunctiveQuery, parse_ms: f64) -> Answers {
         let t1 = Instant::now();
         let key = (RewritingMode::PerfectRef, q.canonical());
-        // Bind the lookup so the RefCell borrow ends before the miss
-        // arm re-borrows for insertion.
-        let cached = self.rewrite_cache.borrow_mut().get(&key);
+        // Bind the lookup so the lock is released before the miss arm
+        // re-locks for insertion (the rewriter runs unlocked).
+        let cached = lock_unpoisoned(&self.rewrite_cache).get(&key);
         let (entry, cache_hit) = match cached {
             Some(hit) => (hit, true),
             None => {
-                let value = Arc::new(rewrite_perfectref_pruned(&q, &self.tbox));
-                self.rewrite_cache
-                    .borrow_mut()
-                    .insert(key, Arc::clone(&value));
+                let value = Arc::new(rewrite_perfectref_pruned(q, &self.tbox));
+                lock_unpoisoned(&self.rewrite_cache).insert(key, Arc::clone(&value));
                 (value, false)
             }
         };
@@ -601,6 +700,22 @@ impl AboxSystem {
                 answers.len(),
             );
         }
-        Ok(answers)
+        answers
+    }
+}
+
+#[cfg(test)]
+mod shareability {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    /// The serving layer shares one loaded system across worker threads;
+    /// this pins the `Send + Sync` bounds at compile time.
+    #[test]
+    fn systems_are_send_and_sync() {
+        assert_send_sync::<ObdaSystem>();
+        assert_send_sync::<AboxSystem>();
+        assert_send_sync::<RewriteCacheStats>();
     }
 }

@@ -5,7 +5,7 @@ use obda_genont::university_scenario;
 #[test]
 fn instance_checking_goes_through_the_hierarchy() {
     let scenario = university_scenario(1, 42);
-    let mut sys = mastro::demo::build_system(&scenario).unwrap();
+    let sys = mastro::demo::build_system(&scenario).unwrap();
     // Find one grad student from the data.
     let grads = sys.answer("q(x) :- GradStudent(x)").unwrap();
     let grad_iri = match grads.iter().next().unwrap()[0] {

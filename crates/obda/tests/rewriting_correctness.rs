@@ -151,7 +151,7 @@ fn all_four_modes_agree_on_university_queries() {
     for qs in &scenario.queries {
         let mut reference: Option<Answers> = None;
         for (rw, dm) in modes {
-            let mut sys = mastro::demo::build_system(&scenario)
+            let sys = mastro::demo::build_system(&scenario)
                 .unwrap()
                 .with_rewriting(rw)
                 .with_data_mode(dm);
@@ -185,7 +185,7 @@ fn ontology_reasoning_changes_answers() {
     // Without the TBox, q1 (Student) would return nothing: only
     // Grad/Undergrad are mapped. The rewriting must surface them.
     let scenario = university_scenario(1, 7);
-    let mut sys = mastro::demo::build_system(&scenario).unwrap();
+    let sys = mastro::demo::build_system(&scenario).unwrap();
     let students = sys.answer("q(x) :- Student(x)").unwrap();
     let grads = sys.answer("q(x) :- GradStudent(x)").unwrap();
     let undergrads = sys.answer("q(x) :- UndergradStudent(x)").unwrap();
@@ -203,7 +203,7 @@ fn mandatory_participation_answers_via_existentials() {
     // only when y is non-distinguished. With y distinguished, only
     // asserted pairs answer.
     let scenario = university_scenario(1, 21);
-    let mut sys = mastro::demo::build_system(&scenario).unwrap();
+    let sys = mastro::demo::build_system(&scenario).unwrap();
     let teachers_open = sys.answer("q(x) :- teacherOf(x, y)").unwrap();
     let professors = sys.answer("q(x) :- Professor(x)").unwrap();
     assert_eq!(teachers_open, professors);

@@ -5,7 +5,7 @@ use obda_genont::university_scenario;
 #[test]
 fn sparql_select_equals_cq_answers() {
     let scenario = university_scenario(1, 42);
-    let mut sys = mastro::demo::build_system(&scenario).unwrap();
+    let sys = mastro::demo::build_system(&scenario).unwrap();
     let cq = sys.answer("q(x) :- Student(x)").unwrap();
     let sparql = sys
         .answer_sparql("SELECT ?x WHERE { ?x rdf:type :Student }")
@@ -23,7 +23,7 @@ fn sparql_select_equals_cq_answers() {
 #[test]
 fn sparql_ask_is_boolean() {
     let scenario = university_scenario(1, 7);
-    let mut sys = mastro::demo::build_system(&scenario).unwrap();
+    let sys = mastro::demo::build_system(&scenario).unwrap();
     let yes = sys
         .answer_sparql("ASK WHERE { ?x a :Professor . ?x :teacherOf ?y }")
         .unwrap();
@@ -38,7 +38,7 @@ fn sparql_ask_is_boolean() {
 #[test]
 fn sparql_with_iri_constant() {
     let scenario = university_scenario(1, 42);
-    let mut sys = mastro::demo::build_system(&scenario).unwrap();
+    let sys = mastro::demo::build_system(&scenario).unwrap();
     let grads = sys.answer("q(x) :- GradStudent(x)").unwrap();
     let grad = grads.iter().next().unwrap()[0].to_string();
     let courses = sys

@@ -68,7 +68,7 @@ fn fixture() -> (Tbox, MappingSet, Database) {
 #[test]
 fn prefix_pruning_blocks_cross_template_joins() {
     let (tbox, ms, db) = fixture();
-    let mut sys = ObdaSystem::new(tbox, ms, db).unwrap();
+    let sys = ObdaSystem::new(tbox, ms, db).unwrap();
     // Person(x) ∧ Company(x): templates person/ vs company/ never join.
     let answers = sys.answer("q(x) :- Person(x), Company(x)").unwrap();
     assert!(answers.is_empty());
@@ -80,7 +80,7 @@ fn prefix_pruning_blocks_cross_template_joins() {
 #[test]
 fn iri_constants_push_down_as_typed_suffixes() {
     let (tbox, ms, db) = fixture();
-    let mut sys = ObdaSystem::new(tbox, ms, db).unwrap();
+    let sys = ObdaSystem::new(tbox, ms, db).unwrap();
     let owned = sys.answer("q(y) :- owns(\"person/1\", y)").unwrap();
     assert_eq!(owned.len(), 1);
     assert!(owned.contains(&vec![AnswerTerm::Iri("company/10".into())]));
@@ -96,7 +96,7 @@ fn iri_constants_push_down_as_typed_suffixes() {
 #[test]
 fn boolean_queries_answer_emptiness() {
     let (tbox, ms, db) = fixture();
-    let mut sys = ObdaSystem::new(tbox, ms, db).unwrap();
+    let sys = ObdaSystem::new(tbox, ms, db).unwrap();
     let q = mastro::ConjunctiveQuery {
         head: vec![],
         atoms: mastro::parse_cq("q(x) :- owns(x, y)", &sys.tbox.sig)
@@ -118,7 +118,7 @@ fn boolean_queries_answer_emptiness() {
 #[test]
 fn attribute_values_join_and_filter() {
     let (tbox, ms, db) = fixture();
-    let mut sys = ObdaSystem::new(tbox, ms, db).unwrap();
+    let sys = ObdaSystem::new(tbox, ms, db).unwrap();
     let labelled = sys.answer("q(x, n) :- label(x, n)").unwrap();
     assert_eq!(labelled.len(), 2);
     let acme = sys.answer("q(x) :- label(x, \"acme\")").unwrap();
@@ -129,7 +129,7 @@ fn attribute_values_join_and_filter() {
 #[test]
 fn domain_range_typing_flows_through_roles() {
     let (tbox, ms, db) = fixture();
-    let mut sys = ObdaSystem::new(tbox, ms, db).unwrap();
+    let sys = ObdaSystem::new(tbox, ms, db).unwrap();
     // Person includes the owners (∃owns ⊑ Person) — here redundant with
     // the direct mapping — and Company includes owned things via range.
     let companies = sys.answer("q(y) :- Company(y)").unwrap();
@@ -142,7 +142,7 @@ fn domain_range_typing_flows_through_roles() {
     db2.execute("CREATE TABLE O (pid INT, cid INT)").unwrap();
     db2.execute("INSERT INTO O VALUES (7, 77)").unwrap();
     let (tbox2, ms2, _) = fixture();
-    let mut sys2 = ObdaSystem::new(tbox2, ms2, db2).unwrap();
+    let sys2 = ObdaSystem::new(tbox2, ms2, db2).unwrap();
     let companies2 = sys2.answer("q(y) :- Company(y)").unwrap();
     assert_eq!(companies2.len(), 1);
     assert!(companies2.contains(&vec![AnswerTerm::Iri("company/77".into())]));
@@ -166,7 +166,7 @@ fn mapping_bodies_with_joins_flatten_into_the_unfolding() {
             subject: tpl("cust/", "id"),
         }],
     });
-    let mut sys = ObdaSystem::new(tbox, ms, db).unwrap();
+    let sys = ObdaSystem::new(tbox, ms, db).unwrap();
     let answers = sys.answer("q(x) :- Customer(x)").unwrap();
     assert_eq!(answers.len(), 1);
     assert!(answers.contains(&vec![AnswerTerm::Iri("cust/1".into())]));

@@ -71,7 +71,7 @@ fn virtual_answers_equal_direct_abox_evaluation() {
         let reference = evaluate_ucq(&ucq, &abox);
         // Virtual: through the triple-store bridge, both rewritings.
         for rw in [RewritingMode::PerfectRef, RewritingMode::Presto] {
-            let mut sys = mastro::demo::system_from_abox(tbox.clone(), &abox)
+            let sys = mastro::demo::system_from_abox(tbox.clone(), &abox)
                 .expect("bridge builds")
                 .with_rewriting(rw)
                 .with_data_mode(DataMode::Virtual);

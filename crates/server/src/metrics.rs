@@ -1,0 +1,263 @@
+//! Lock-free serving metrics: atomic counters, gauges, and a log₂
+//! latency histogram with percentile estimation.
+//!
+//! Everything here is written on the hot path, so the design rule is
+//! "one relaxed atomic op per event": counters are `AtomicU64`
+//! increments, the histogram indexes a fixed bucket array by
+//! `ilog2(latency_µs)`. Percentiles are bucket-resolution estimates
+//! (each bucket spans a 2× range), which is exactly the fidelity a
+//! `STATS` dashboard needs — precise per-request numbers are in the
+//! access log.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Number of log₂ buckets: bucket `i` covers `[2^i, 2^(i+1))`
+/// microseconds, so 40 buckets reach ~12 days — effectively unbounded.
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation (saturating everywhere; a long-lived
+    /// server must never wrap or panic here).
+    pub fn record(&self, us: u64) {
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Estimated `p`-th percentile (0 < p ≤ 100) in microseconds: the
+    /// geometric midpoint of the bucket holding the rank, clamped by
+    /// the observed maximum.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let lo = 1u64 << i;
+                let mid = lo + lo / 2; // ≈ geometric midpoint of [2^i, 2^{i+1})
+                return mid.min(self.max_us());
+            }
+        }
+        self.max_us()
+    }
+
+    /// Zeroes every bucket and counter.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_us.store(0, Ordering::Relaxed);
+        self.max_us.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Global serving counters. Response-status counters are bumped at the
+/// single point where the response line is written, so they partition
+/// the request stream exactly.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    /// Requests admitted to the queue.
+    pub admitted: AtomicU64,
+    /// `ok` responses.
+    pub ok: AtomicU64,
+    /// `error` responses (parse failures, unknown endpoint, engine errors).
+    pub errors: AtomicU64,
+    /// `timeout` responses.
+    pub timeouts: AtomicU64,
+    /// `overloaded` rejections (bounded queue full).
+    pub overloaded: AtomicU64,
+    /// `shutting_down` rejections.
+    pub shed_on_shutdown: AtomicU64,
+    /// Frames that failed protocol parsing (subset of `errors`).
+    pub malformed: AtomicU64,
+    /// `STATS` requests served.
+    pub stats_requests: AtomicU64,
+    /// Connections accepted over the lifetime.
+    pub connections: AtomicU64,
+    /// Currently open connections.
+    pub active_connections: AtomicUsize,
+    /// Current bounded-queue depth.
+    pub queue_depth: AtomicUsize,
+    /// High-water mark of the queue depth.
+    pub queue_high_water: AtomicUsize,
+    /// End-to-end latency (admission to response write), microseconds.
+    pub latency: Histogram,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics {
+            started: Instant::now(),
+            admitted: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            shed_on_shutdown: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            stats_requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            active_connections: AtomicUsize::new(0),
+            queue_depth: AtomicUsize::new(0),
+            queue_high_water: AtomicUsize::new(0),
+            latency: Histogram::new(),
+        }
+    }
+}
+
+impl ServerMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Completed requests per second over the whole uptime.
+    pub fn qps(&self) -> f64 {
+        let up = self.uptime_s();
+        if up <= 0.0 {
+            0.0
+        } else {
+            self.latency.count() as f64 / up
+        }
+    }
+
+    /// The `STATS` body (global section; the server appends endpoints).
+    pub fn to_json(&self) -> Json {
+        let r = Ordering::Relaxed;
+        Json::obj(vec![
+            ("uptime_s", Json::Num(self.uptime_s())),
+            ("qps", Json::Num(self.qps())),
+            ("admitted", self.admitted.load(r).into()),
+            ("ok", self.ok.load(r).into()),
+            ("errors", self.errors.load(r).into()),
+            ("timeouts", self.timeouts.load(r).into()),
+            ("overloaded", self.overloaded.load(r).into()),
+            ("shutting_down", self.shed_on_shutdown.load(r).into()),
+            ("malformed", self.malformed.load(r).into()),
+            ("connections", self.connections.load(r).into()),
+            ("active_connections", self.active_connections.load(r).into()),
+            ("queue_depth", self.queue_depth.load(r).into()),
+            ("queue_high_water", self.queue_high_water.load(r).into()),
+            ("p50_us", self.latency.percentile_us(50.0).into()),
+            ("p95_us", self.latency.percentile_us(95.0).into()),
+            ("p99_us", self.latency.percentile_us(99.0).into()),
+            ("max_us", self.latency.max_us().into()),
+            ("mean_us", Json::Num(self.latency.mean_us())),
+        ])
+    }
+
+    /// One-line human summary for the periodic log.
+    pub fn summary_line(&self) -> String {
+        let r = Ordering::Relaxed;
+        format!(
+            "obda-server stats uptime_s={:.0} qps={:.1} ok={} errors={} timeouts={} overloaded={} queue_depth={} conns={} p50_us={} p95_us={} p99_us={}",
+            self.uptime_s(),
+            self.qps(),
+            self.ok.load(r),
+            self.errors.load(r),
+            self.timeouts.load(r),
+            self.overloaded.load(r),
+            self.queue_depth.load(r),
+            self.active_connections.load(r),
+            self.latency.percentile_us(50.0),
+            self.latency.percentile_us(95.0),
+            self.latency.percentile_us(99.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_the_data() {
+        let h = Histogram::new();
+        for us in [10u64, 20, 30, 40, 50, 1000, 2000, 4000, 100_000, 200_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.percentile_us(50.0);
+        assert!((8..=64).contains(&p50), "p50={p50}");
+        let p99 = h.percentile_us(99.0);
+        assert!(p99 >= 100_000, "p99={p99}");
+        assert_eq!(h.max_us(), 200_000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_us(99.0), 0);
+    }
+
+    #[test]
+    fn zero_latency_records_into_first_bucket() {
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile_us(50.0) <= 3);
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let m = ServerMetrics::new();
+        m.ok.fetch_add(3, Ordering::Relaxed);
+        m.latency.record(150);
+        let j = m.to_json();
+        assert_eq!(j.get("ok").and_then(Json::as_u64), Some(3));
+        assert!(j.get("p95_us").is_some());
+        assert!(m.summary_line().contains("ok=3"));
+    }
+}

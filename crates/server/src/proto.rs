@@ -1,0 +1,242 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line:
+//!
+//! ```json
+//! {"id":"7","endpoint":"uni","lang":"cq","query":"q(x) :- Student(x)"}
+//! ```
+//!
+//! * `id` — optional opaque string echoed back in the response;
+//! * `endpoint` — name of a loaded endpoint (see [`crate::config`]);
+//! * `lang` — `"cq"` (datalog-style concrete syntax, the default) or
+//!   `"sparql"` (conjunctive SELECT/ASK fragment);
+//! * `query` — the query text;
+//! * `timeout_ms` — optional per-request deadline override, clamped to
+//!   the server's configured maximum.
+//!
+//! The bare line `STATS` (no JSON) returns the metrics snapshot.
+//!
+//! Responses are one JSON object per line with a `status` field:
+//! `ok` (with `answers` as an array of string tuples, `rows`, and
+//! timing fields), `error` (with `error` text), `overloaded` (queue
+//! full — retry later), `timeout` (deadline exceeded), or
+//! `shutting_down`. Answer tuples are rendered via each term's display
+//! form and arrive in the evaluator's sorted order, so two servers over
+//! the same data produce byte-identical `answers` arrays.
+
+use mastro::{Answers, ObdaError};
+
+use crate::json::Json;
+
+/// Query language of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lang {
+    /// Datalog-style conjunctive query syntax (`q(x) :- C(x), r(x, y)`).
+    Cq,
+    /// SPARQL conjunctive fragment (SELECT / ASK).
+    Sparql,
+}
+
+impl Lang {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Lang::Cq => "cq",
+            Lang::Sparql => "sparql",
+        }
+    }
+}
+
+/// A parsed query request.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Client-chosen id, echoed back verbatim.
+    pub id: Option<String>,
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Query language.
+    pub lang: Lang,
+    /// Query text.
+    pub query: String,
+    /// Per-request deadline override (milliseconds).
+    pub timeout_ms: Option<u64>,
+}
+
+/// Any frame a client can send.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// A query.
+    Query(QueryRequest),
+    /// The `STATS` verb.
+    Stats,
+}
+
+/// Parses one protocol line. Never panics on malformed input — every
+/// failure is an `Err` the connection handler turns into an `error`
+/// response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    if line.eq_ignore_ascii_case("stats") {
+        return Ok(Request::Stats);
+    }
+    let v = Json::parse(line).map_err(|e| format!("bad frame: {e}"))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err("bad frame: request must be a JSON object".into());
+    }
+    let id = match v.get("id") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(Json::Num(n)) => Some(Json::Num(*n).to_string()),
+        Some(_) => return Err("bad frame: `id` must be a string or number".into()),
+    };
+    let endpoint = match v.get("endpoint") {
+        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        _ => return Err("bad frame: missing `endpoint`".into()),
+    };
+    let lang = match v.get("lang").and_then(Json::as_str) {
+        None | Some("cq") => Lang::Cq,
+        Some("sparql") => Lang::Sparql,
+        Some(other) => return Err(format!("bad frame: unknown lang `{other}`")),
+    };
+    let query = match v.get("query") {
+        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        _ => return Err("bad frame: missing `query`".into()),
+    };
+    let timeout_ms = match v.get("timeout_ms") {
+        None | Some(Json::Null) => None,
+        Some(n) => Some(
+            n.as_u64()
+                .ok_or("bad frame: `timeout_ms` must be a non-negative integer")?,
+        ),
+    };
+    Ok(Request::Query(QueryRequest {
+        id,
+        endpoint,
+        lang,
+        query,
+        timeout_ms,
+    }))
+}
+
+fn id_field(id: &Option<String>) -> Json {
+    match id {
+        Some(s) => Json::Str(s.clone()),
+        None => Json::Null,
+    }
+}
+
+/// Renders an answer set as a JSON array of string tuples (sorted — the
+/// evaluator returns a `BTreeSet`, so the order is already canonical).
+pub fn answers_to_json(answers: &Answers) -> Json {
+    Json::Arr(
+        answers
+            .iter()
+            .map(|tuple| Json::Arr(tuple.iter().map(|t| Json::Str(t.to_string())).collect()))
+            .collect(),
+    )
+}
+
+/// `status: ok` response with answers and timing.
+pub fn ok_response(id: &Option<String>, answers: &Answers, wait_us: u64, exec_us: u64) -> Json {
+    Json::obj(vec![
+        ("id", id_field(id)),
+        ("status", "ok".into()),
+        ("rows", answers.len().into()),
+        ("answers", answers_to_json(answers)),
+        ("wait_us", wait_us.into()),
+        ("exec_us", exec_us.into()),
+    ])
+}
+
+/// `status: error` response (parse failures, unknown endpoints, engine
+/// errors).
+pub fn error_response(id: &Option<String>, message: &str) -> Json {
+    Json::obj(vec![
+        ("id", id_field(id)),
+        ("status", "error".into()),
+        ("error", message.into()),
+    ])
+}
+
+/// `status: overloaded` — the bounded queue is full; the client should
+/// back off and retry.
+pub fn overloaded_response(id: &Option<String>) -> Json {
+    Json::obj(vec![("id", id_field(id)), ("status", "overloaded".into())])
+}
+
+/// `status: timeout` — the per-request deadline passed before the
+/// answer was produced.
+pub fn timeout_response(id: &Option<String>) -> Json {
+    Json::obj(vec![("id", id_field(id)), ("status", "timeout".into())])
+}
+
+/// `status: shutting_down` — the server is draining and accepts no new
+/// work.
+pub fn shutting_down_response(id: &Option<String>) -> Json {
+    Json::obj(vec![
+        ("id", id_field(id)),
+        ("status", "shutting_down".into()),
+    ])
+}
+
+/// Flattens an engine error into response text.
+pub fn engine_error_text(e: &ObdaError) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_query() {
+        let r = parse_request(r#"{"endpoint":"uni","query":"q(x) :- Student(x)"}"#).unwrap();
+        let Request::Query(q) = r else {
+            panic!("query")
+        };
+        assert_eq!(q.endpoint, "uni");
+        assert_eq!(q.lang, Lang::Cq);
+        assert_eq!(q.id, None);
+        assert_eq!(q.timeout_ms, None);
+    }
+
+    #[test]
+    fn parses_full_query() {
+        let r = parse_request(
+            r#"{"id":"42","endpoint":"uni","lang":"sparql","query":"ASK WHERE { ?x a :A }","timeout_ms":250}"#,
+        )
+        .unwrap();
+        let Request::Query(q) = r else {
+            panic!("query")
+        };
+        assert_eq!(q.id.as_deref(), Some("42"));
+        assert_eq!(q.lang, Lang::Sparql);
+        assert_eq!(q.timeout_ms, Some(250));
+    }
+
+    #[test]
+    fn stats_verb() {
+        assert!(matches!(parse_request("STATS").unwrap(), Request::Stats));
+        assert!(matches!(
+            parse_request("  stats  ").unwrap(),
+            Request::Stats
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "garbage",
+            "{}",
+            r#"{"endpoint":"uni"}"#,
+            r#"{"query":"q(x) :- A(x)"}"#,
+            r#"{"endpoint":"uni","query":"q","lang":"prolog"}"#,
+            r#"{"endpoint":"uni","query":"q","timeout_ms":-4}"#,
+            r#"{"endpoint":"uni","query":"q","timeout_ms":1.5}"#,
+            r#"[1,2,3]"#,
+            "\u{0}\u{1}\u{2}",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! SIGINT/SIGTERM → atomic flag, with no external crates.
+//!
+//! The workspace is std-only, so instead of the `libc`/`signal-hook`
+//! crates this declares the two libc symbols it needs directly (std
+//! already links libc on every unix target). The handler does the only
+//! async-signal-safe thing: store to an atomic the serving loop polls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the first SIGINT (ctrl-c) or SIGTERM.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal has arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Testing hook / programmatic trigger: behaves as if a signal arrived.
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // `signal(2)`: simple disposition swap is all we need; the
+        // handler only stores an atomic.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the flag-setting handler for SIGINT and SIGTERM.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// Non-unix targets: no handler; ctrl-c falls back to process kill.
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (no-op off unix).
+pub fn install_handlers() {
+    imp::install();
+}

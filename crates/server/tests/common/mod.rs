@@ -1,0 +1,73 @@
+//! Shared test client for the loopback integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use obda_server::Json;
+
+/// A blocking line-protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to loopback server");
+        stream.set_nodelay(true).expect("nodelay");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    /// Sends one raw line and returns the parsed response line.
+    pub fn roundtrip(&mut self, line: &str) -> Json {
+        self.send_raw(line.as_bytes());
+        self.read_response()
+    }
+
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+    }
+
+    pub fn read_response(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        Json::parse(line.trim()).expect("response is valid JSON")
+    }
+
+    /// Builds and sends a query request.
+    pub fn query(
+        &mut self,
+        endpoint: &str,
+        lang: &str,
+        text: &str,
+        timeout_ms: Option<u64>,
+    ) -> Json {
+        let mut req = Json::obj(vec![
+            ("endpoint", endpoint.into()),
+            ("lang", lang.into()),
+            ("query", text.into()),
+        ]);
+        if let Some(ms) = timeout_ms {
+            if let Json::Obj(fields) = &mut req {
+                fields.push(("timeout_ms".into(), ms.into()));
+            }
+        }
+        self.roundtrip(&req.to_string())
+    }
+
+    pub fn stats(&mut self) -> Json {
+        self.roundtrip("STATS")
+    }
+}
+
+/// Response status, or panic with the whole response for context.
+pub fn status(resp: &Json) -> &str {
+    resp.get("status")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("response without status: {resp}"))
+}

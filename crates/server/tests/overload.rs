@@ -1,0 +1,253 @@
+//! Admission control, deadlines, shutdown drain, and malformed-input
+//! robustness — the failure-path half of the serving contract.
+//!
+//! Every scenario is made deterministic with the `delay_ms` endpoint
+//! knob (an injected slow query) rather than by racing real work.
+
+mod common;
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use common::{status, Client};
+use obda_server::{EndpointConfig, EndpointKind, Json, Server, ServerConfig};
+
+const Q: &str = "q(x) :- Student(x)";
+
+/// A small materialized endpoint (fast to build) with a given name and
+/// injected delay.
+fn abox_endpoint(name: &str, delay_ms: u64) -> EndpointConfig {
+    EndpointConfig {
+        name: name.into(),
+        kind: EndpointKind::UniversityAbox,
+        scale: 1,
+        seed: 7,
+        delay_ms,
+        ..EndpointConfig::default()
+    }
+}
+
+#[test]
+fn queue_full_rejects_overloaded_and_never_hangs() {
+    // One worker, one queue slot, 500ms per query: of 6 simultaneous
+    // requests at most 2 can be admitted; the rest must be rejected
+    // immediately with `overloaded`.
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        endpoints: vec![abox_endpoint("slow", 500)],
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    const CLIENTS: usize = 6;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let started = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                barrier.wait();
+                let sent = Instant::now();
+                let resp = client.query("slow", "cq", Q, None);
+                (status(&resp).to_owned(), sent.elapsed())
+            })
+        })
+        .collect();
+    let results: Vec<(String, Duration)> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let wall = started.elapsed();
+
+    let ok = results.iter().filter(|(s, _)| s == "ok").count();
+    let overloaded = results.iter().filter(|(s, _)| s == "overloaded").count();
+    assert_eq!(ok + overloaded, CLIENTS, "unexpected statuses: {results:?}");
+    assert!(ok >= 1, "at least one request must be served: {results:?}");
+    assert!(overloaded >= 2, "bounded queue must shed load: {results:?}");
+    // Rejections are immediate — far quicker than a queued 500ms slot.
+    for (s, took) in &results {
+        if s == "overloaded" {
+            assert!(
+                *took < Duration::from_millis(400),
+                "slow rejection: {took:?}"
+            );
+        }
+    }
+    // 2 admitted × 500ms serialize on the single worker; rejections are
+    // free. Nothing may hang on a full queue.
+    assert!(wall < Duration::from_secs(3), "test took {wall:?}");
+
+    let stats = Client::connect(addr).stats();
+    let srv = stats.get("server").expect("server section");
+    assert_eq!(
+        srv.get("overloaded").and_then(Json::as_u64),
+        Some(overloaded as u64),
+        "{stats}"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn deadline_returns_timeout_and_worker_recovers() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        endpoints: vec![abox_endpoint("slow", 800), abox_endpoint("fast", 0)],
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // A request whose deadline lands inside the 800ms injected delay:
+    // the worker notices mid-sleep and answers `timeout` right then.
+    let mut client = Client::connect(addr);
+    let sent = Instant::now();
+    let resp = client.query("slow", "cq", Q, Some(100));
+    assert_eq!(status(&resp), "timeout", "{resp}");
+    let took = sent.elapsed();
+    assert!(
+        took < Duration::from_millis(600),
+        "timeout came late: {took:?}"
+    );
+
+    // A request that expires while *queued* behind a slow one: the
+    // connection-side timer fires; the worker later skips the cancelled
+    // job without evaluating it.
+    let slow_thread = thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        let resp = c.query("slow", "cq", Q, None);
+        status(&resp).to_owned()
+    });
+    thread::sleep(Duration::from_millis(100)); // let the slow query occupy the worker
+    let sent = Instant::now();
+    let resp = client.query("fast", "cq", Q, Some(100));
+    assert_eq!(status(&resp), "timeout", "{resp}");
+    assert!(sent.elapsed() < Duration::from_millis(700));
+    assert_eq!(slow_thread.join().unwrap(), "ok");
+
+    // The worker survived both timeouts: a plain query still answers.
+    let resp = client.query("fast", "cq", Q, None);
+    assert_eq!(status(&resp), "ok", "{resp}");
+
+    let stats = client.stats();
+    let srv = stats.get("server").expect("server section");
+    assert_eq!(
+        srv.get("timeouts").and_then(Json::as_u64),
+        Some(2),
+        "{stats}"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        endpoints: vec![abox_endpoint("slow", 400)],
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // In-flight when shutdown arrives: must still be answered `ok`.
+    let in_flight = thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        let resp = c.query("slow", "cq", Q, None);
+        status(&resp).to_owned()
+    });
+    thread::sleep(Duration::from_millis(100)); // request is on the worker now
+    server.shutdown();
+
+    // A request arriving after shutdown is shed, not served: either the
+    // connection is already torn down or it gets `shutting_down`.
+    let late = thread::spawn(move || {
+        let stream = std::net::TcpStream::connect(addr);
+        let Ok(mut stream) = stream else {
+            return "refused".to_owned(); // listener already gone
+        };
+        use std::io::{Read, Write};
+        let _ = stream.write_all(
+            b"{\"endpoint\":\"slow\",\"lang\":\"cq\",\"query\":\"q(x) :- Student(x)\"}\n",
+        );
+        let mut buf = String::new();
+        match stream.read_to_string(&mut buf) {
+            Ok(0) => "closed".to_owned(),
+            Ok(_) => Json::parse(buf.lines().next().unwrap_or(""))
+                .ok()
+                .and_then(|j| j.get("status").and_then(Json::as_str).map(str::to_owned))
+                .unwrap_or_else(|| "garbled".to_owned()),
+            Err(_) => "closed".to_owned(),
+        }
+    });
+
+    assert_eq!(
+        in_flight.join().unwrap(),
+        "ok",
+        "in-flight request was dropped"
+    );
+    let late_outcome = late.join().unwrap();
+    assert!(
+        ["refused", "closed", "shutting_down"].contains(&late_outcome.as_str()),
+        "late request was served after shutdown: {late_outcome}"
+    );
+    let drained = Instant::now();
+    server.join();
+    assert!(drained.elapsed() < Duration::from_secs(5), "join hung");
+}
+
+#[test]
+fn malformed_frames_never_kill_the_connection() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        max_line_bytes: 4096,
+        endpoints: vec![abox_endpoint("uni", 0)],
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr);
+    // A battery of garbage on ONE connection; each frame must get an
+    // `error` response and the connection must stay usable.
+    client.send_raw(&[0xff, 0xfe, 0x00, 0x80]); // invalid utf-8
+    assert_eq!(status(&client.read_response()), "error");
+    for garbage in [
+        "{",                                                           // truncated json
+        "[1,2,3]",                                                     // not an object
+        "{\"lang\":\"cq\"}",                                           // missing fields
+        "{\"endpoint\":\"uni\",\"lang\":\"klingon\",\"query\":\"q\"}", // bad lang
+        &"[".repeat(2000),                                             // nesting bomb
+    ] {
+        let resp = client.roundtrip(garbage);
+        assert_eq!(status(&resp), "error", "garbage {garbage:.20}: {resp}");
+    }
+    // Unknown endpoint is an error response, not a dropped connection.
+    let resp = client.query("nope", "cq", Q, None);
+    assert_eq!(status(&resp), "error", "{resp}");
+    // The same connection still serves real queries...
+    let resp = client.query("uni", "cq", Q, None);
+    assert_eq!(status(&resp), "ok", "{resp}");
+    // ...and the garbage was counted.
+    let stats = client.stats();
+    let srv = stats.get("server").expect("server section");
+    assert!(
+        srv.get("malformed").and_then(Json::as_u64).unwrap() >= 6,
+        "{stats}"
+    );
+
+    // An over-long frame cannot be re-framed: expect one `error`
+    // response, then the connection is closed — while other connections
+    // are untouched.
+    let mut flooder = Client::connect(addr);
+    flooder.send_raw(&vec![b'x'; 10_000]);
+    let resp = flooder.read_response();
+    assert_eq!(status(&resp), "error", "{resp}");
+    let mut fresh = Client::connect(addr);
+    let resp = fresh.query("uni", "cq", Q, None);
+    assert_eq!(status(&resp), "ok", "{resp}");
+
+    server.shutdown();
+    server.join();
+}

@@ -18,6 +18,15 @@
 //! let r = db.query("SELECT name FROM t WHERE id = 2").unwrap();
 //! assert_eq!(r.rows.len(), 1);
 //! ```
+//!
+//! ## Concurrency
+//!
+//! [`Database`] is `Send + Sync` and [`Database::query`] takes `&self`:
+//! once loaded, a database can be shared behind an `Arc` and queried
+//! from many threads at once with no external locking. Mutation
+//! (`execute`) needs `&mut self`, so the type system keeps writers
+//! exclusive. The `obda-server` serving layer relies on this to run one
+//! engine across a pool of worker threads.
 
 pub mod catalog;
 pub mod csv;

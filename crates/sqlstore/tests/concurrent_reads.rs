@@ -1,0 +1,62 @@
+//! `Database` is a shared read-only substrate for the serving layer:
+//! `query` takes `&self`, so one engine behind an `Arc` must serve many
+//! threads at once and always return what single-threaded evaluation
+//! returns.
+
+use std::sync::Arc;
+use std::thread;
+
+use obda_sqlstore::Database;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn database_is_send_and_sync() {
+    assert_send_sync::<Database>();
+}
+
+#[test]
+fn concurrent_queries_match_sequential_results() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE person (id INT, name TEXT, dept INT)")
+        .unwrap();
+    db.execute("CREATE TABLE dept (id INT, label TEXT)")
+        .unwrap();
+    for i in 0..200 {
+        db.execute(&format!(
+            "INSERT INTO person VALUES ({i}, 'p{i}', {})",
+            i % 5
+        ))
+        .unwrap();
+    }
+    for d in 0..5 {
+        db.execute(&format!("INSERT INTO dept VALUES ({d}, 'd{d}')"))
+            .unwrap();
+    }
+
+    let queries = [
+        "SELECT name FROM person WHERE dept = 3 ORDER BY name",
+        "SELECT DISTINCT label FROM person JOIN dept ON person.dept = dept.id ORDER BY label",
+        "SELECT id FROM person WHERE id = 42",
+        "SELECT name FROM person WHERE dept = 0 UNION SELECT label FROM dept ORDER BY name",
+    ];
+    let expected: Vec<_> = queries.iter().map(|q| db.query(q).unwrap().rows).collect();
+
+    let db = Arc::new(db);
+    let threads: Vec<_> = (0..8)
+        .map(|tid| {
+            let db = Arc::clone(&db);
+            let expected = expected.clone();
+            thread::spawn(move || {
+                for round in 0..20 {
+                    let i = (tid + round) % queries.len();
+                    let got = db.query(queries[i]).unwrap().rows;
+                    assert_eq!(got, expected[i], "thread {tid} query {i}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+}

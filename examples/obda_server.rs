@@ -1,0 +1,95 @@
+//! Serving quickstart: boot `obda-server` in-process on an ephemeral
+//! port, talk the newline-delimited JSON protocol over a real TCP
+//! socket, read the `STATS` snapshot, and shut down gracefully.
+//!
+//! ```text
+//! cargo run -p obda-server --example obda_server
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use obda_server::{Json, Server, ServerConfig};
+
+fn main() {
+    // 1. One endpoint named `uni`: the generated university scenario,
+    //    PerfectRef rewriting over the materialized ABox. `:0` picks an
+    //    ephemeral port.
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg).expect("server starts");
+    println!("serving on {}", server.addr());
+
+    // 2. A client connection: one JSON request per line, one JSON
+    //    response per line.
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut line = String::new();
+
+    let mut ask = |req: &str| -> Json {
+        writer.write_all(req.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("recv");
+        Json::parse(line.trim()).expect("valid response json")
+    };
+
+    // A conjunctive query, twice (the second hits the rewrite cache) …
+    for round in ["cold", "warm"] {
+        let resp = ask(r#"{"id":"q1","endpoint":"uni","query":"q(x) :- Student(x)"}"#);
+        println!(
+            "q1 ({round}): status={} rows={} exec_us={}",
+            resp.get("status").and_then(Json::as_str).unwrap_or("?"),
+            resp.get("rows").and_then(Json::as_u64).unwrap_or(0),
+            resp.get("exec_us").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
+
+    // … the same query through the SPARQL front-end …
+    let resp = ask(
+        r#"{"id":"q2","endpoint":"uni","lang":"sparql","query":"SELECT ?x WHERE { ?x a :Student }"}"#,
+    );
+    println!(
+        "q2 (sparql): rows={}",
+        resp.get("rows").and_then(Json::as_u64).unwrap_or(0)
+    );
+
+    // … a malformed frame (the server answers, the connection lives) …
+    let resp = ask("this is not json");
+    println!(
+        "garbage frame: status={}",
+        resp.get("status").and_then(Json::as_str).unwrap_or("?")
+    );
+
+    // … and the STATS verb.
+    let stats = ask("STATS");
+    let server_stats = stats.get("server").expect("server section");
+    let uni = stats
+        .get("endpoints")
+        .and_then(|e| e.get("uni"))
+        .expect("uni section");
+    println!(
+        "stats: ok={} errors={} p95_us={} cache_hit_rate={:.2}",
+        server_stats.get("ok").and_then(Json::as_u64).unwrap_or(0),
+        server_stats
+            .get("errors")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        server_stats
+            .get("p95_us")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        uni.get("cache_hit_rate")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+    );
+
+    // 3. Graceful shutdown: drains in-flight work, then joins.
+    server.shutdown();
+    server.join();
+    println!("server drained and stopped");
+}

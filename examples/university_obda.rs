@@ -20,7 +20,7 @@ fn main() {
     }
     println!("  …");
 
-    let mut sys = mastro::demo::build_system(&scenario).expect("system assembles");
+    let sys = mastro::demo::build_system(&scenario).expect("system assembles");
     println!(
         "\n== ontology == {} axioms; classification: {} concept-subsumption arcs",
         sys.tbox.len(),
@@ -70,7 +70,7 @@ fn main() {
         (RewritingMode::PerfectRef, DataMode::Materialized),
         (RewritingMode::Presto, DataMode::Materialized),
     ] {
-        let mut alt = mastro::demo::build_system(&scenario)
+        let alt = mastro::demo::build_system(&scenario)
             .expect("builds")
             .with_rewriting(rw)
             .with_data_mode(dm);
