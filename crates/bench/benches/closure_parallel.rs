@@ -14,10 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use quonto::{ChunkedBitsetEngine, ClosureEngine, ParSccEngine, SccEngine, TboxGraph};
 
 fn bench_scale() -> f64 {
-    std::env::var("QUONTO_BENCH_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.1)
+    quonto::env::bench_scale().unwrap_or(0.1)
 }
 
 fn closure_parallel(c: &mut Criterion) {

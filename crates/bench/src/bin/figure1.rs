@@ -43,7 +43,7 @@ fn main() {
     if verbose {
         // `Classification::classify_with` prints its phase breakdown
         // (engine name, thread count, graph/closure/unsat ms) when set.
-        std::env::set_var("QUONTO_TIMINGS", "1");
+        quonto::env::force_timings();
     }
     let effective_threads = if threads == 0 {
         quonto::default_threads()

@@ -44,7 +44,7 @@ fn classification_matches_tableau_on_preset_analogs() {
     // The tableau at the full 0.02 scale is fine in release but takes
     // many minutes unoptimized; debug builds shrink the presets unless
     // QUONTO_FULL_PRESETS=1 opts back in.
-    let scale = if cfg!(debug_assertions) && std::env::var_os("QUONTO_FULL_PRESETS").is_none() {
+    let scale = if cfg!(debug_assertions) && !quonto::env::full_presets() {
         0.004
     } else {
         0.02

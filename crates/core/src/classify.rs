@@ -38,7 +38,7 @@ impl Classification {
     /// phase breakdown (graph build / closure / unsat, engine name and
     /// thread count) to stderr — consumed by `figure1 --verbose`.
     pub fn classify_with(tbox: &Tbox, engine: &dyn ClosureEngine) -> Self {
-        let timings = std::env::var_os("QUONTO_TIMINGS").is_some_and(|v| v == "1");
+        let timings = crate::env::timings_enabled();
         let t0 = std::time::Instant::now();
         let graph = TboxGraph::build(tbox);
         // Resolve meta-engines (AutoEngine) so the timing line names the

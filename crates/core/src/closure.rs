@@ -200,7 +200,7 @@ impl AutoEngine {
     /// timing breakdown can name the selected engine).
     pub fn select(&self, g: &TboxGraph) -> Box<dyn ClosureEngine> {
         use crate::closure_par::{ChunkedBitsetEngine, ParSccEngine};
-        if let Ok(name) = std::env::var("QUONTO_CLOSURE") {
+        if let Some(name) = crate::env::closure_engine() {
             match name.as_str() {
                 "dfs" => return Box::new(DfsEngine),
                 "bfs" => return Box::new(BfsEngine),

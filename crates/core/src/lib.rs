@@ -47,9 +47,11 @@ pub mod classify;
 pub mod closure;
 pub mod closure_full;
 pub mod closure_par;
+pub mod env;
 pub mod graph;
 pub mod implication;
 pub mod phi;
+pub mod sync;
 pub mod taxonomy;
 pub mod unsat;
 

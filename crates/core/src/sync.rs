@@ -1,0 +1,84 @@
+//! Poison-recovering synchronization helpers shared by the whole stack.
+//!
+//! The serving layer wraps every query in `catch_unwind`, so a panic in
+//! one request must stay a one-request incident. Rust's `Mutex` poisons
+//! itself when a holder panics, and a poisoned lock turns every later
+//! `.lock().unwrap()` into a fresh panic — one bad request would cascade
+//! into a server-wide outage through the rewrite caches and the job
+//! queue. Every facade-internal lock in this workspace therefore goes
+//! through [`lock_or_recover`]: the guarded data is plain state that
+//! stays consistent across a panicking holder (worst case a lost cache
+//! insert), so recovering the guard is always the right call.
+//!
+//! `xtask lint` rule `R2.lock-unwrap` enforces this: `.lock().unwrap()`
+//! and open-coded `PoisonError::into_inner` recoveries outside this
+//! module are lint errors.
+
+use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+///
+/// Use this instead of `.lock().unwrap()` for any mutex whose contents
+/// remain meaningful after a panic (caches, counters, queues of
+/// self-contained jobs). Do **not** use it around multi-step invariants
+/// that a mid-flight panic could leave half-applied.
+pub fn lock_or_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with the same poison-recovery policy as
+/// [`lock_or_recover`]: if another holder of the re-acquired mutex
+/// panicked while we slept, the guard is recovered instead of
+/// propagating the poison.
+pub fn wait_timeout_or_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, timeout)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    /// Panics while holding the lock, poisoning it.
+    fn poison(m: &Arc<Mutex<Vec<u32>>>) {
+        let m = Arc::clone(m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m.lock().expect("first lock cannot be poisoned");
+            panic!("injected panic while holding the lock");
+        })
+        .join();
+    }
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(vec![1, 2, 3]));
+        poison(&m);
+        assert!(m.is_poisoned(), "the panicking holder must poison the lock");
+        // A poisoned lock still yields its (consistent) contents...
+        let mut guard = lock_or_recover(&m);
+        assert_eq!(*guard, vec![1, 2, 3]);
+        // ...and stays fully usable afterwards.
+        guard.push(4);
+        drop(guard);
+        assert_eq!(*lock_or_recover(&m), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wait_timeout_recovers_poison_acquired_while_waiting() {
+        let m = Arc::new(Mutex::new(Vec::new()));
+        let cv = Condvar::new();
+        // Poison first; the subsequent wait re-acquires a poisoned lock.
+        poison(&m);
+        let guard = lock_or_recover(&m);
+        let (guard, timed_out) = wait_timeout_or_recover(&cv, guard, Duration::from_millis(1));
+        assert!(timed_out.timed_out());
+        assert!(guard.is_empty());
+    }
+}

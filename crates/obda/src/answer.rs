@@ -175,6 +175,7 @@ pub fn evaluate_ucq_parallel(u: &Ucq, abox: &Abox, index: &AboxIndex, threads: u
     }
     let mut shards: Vec<Vec<&ConjunctiveQuery>> = vec![Vec::new(); shard_count];
     for (i, q) in u.disjuncts.iter().enumerate() {
+        // lint: allow(R1.index, "i % shard_count < shard_count == shards.len() by the vec! above")
         shards[i % shard_count].push(q);
     }
     let mut out = Answers::new();
@@ -193,6 +194,7 @@ pub fn evaluate_ucq_parallel(u: &Ucq, abox: &Abox, index: &AboxIndex, threads: u
             })
             .collect();
         for h in handles {
+            // lint: allow(R1.expect, "join() only fails if the shard panicked; re-raising hands the panic to the serving layer's per-request catch_unwind instead of silently dropping answers")
             out.extend(h.join().expect("UCQ evaluation shard panicked"));
         }
     });
@@ -221,6 +223,7 @@ fn eval_rec(
         answers.insert(tuple);
         return;
     }
+    // lint: allow(R1.index, "recursion invariant: atom_idx < q.atoms.len() is checked by the base case above")
     let atom = &q.atoms[atom_idx];
     // Resolve a term against current bindings: Some(required) or None
     // (free — the variable binds per candidate fact).

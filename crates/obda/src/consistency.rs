@@ -79,6 +79,7 @@ pub fn check_consistency(
             NodeSort::Attr => {
                 let (u1, u2) = match (g.node_kind(np.lhs), g.node_kind(np.rhs)) {
                     (NodeKind::Attr(u1), NodeKind::Attr(u2)) => (u1, u2),
+                    // lint: allow(R1.panic, "node_sort(lhs) == Attr implies both node_kinds are Attr by graph construction")
                     other => unreachable!("attr NI over {other:?}"),
                 };
                 boolean(vec![
@@ -140,6 +141,7 @@ fn render_node(tbox: &Tbox, cls: &Classification, n: quonto::NodeId) -> String {
         ),
         NodeSort::Attr => match g.node_kind(n) {
             NodeKind::Attr(u) => tbox.sig.attribute_name(u).to_owned(),
+            // lint: allow(R1.panic, "node_sort(n) == Attr implies node_kind(n) is Attr by graph construction")
             other => unreachable!("{other:?}"),
         },
     }

@@ -318,6 +318,7 @@ pub fn parse_cq(src: &str, sig: &Signature) -> Result<ConjunctiveQuery, QueryPar
     if !head_src.ends_with(')') {
         return qerr("head must end with `)`");
     }
+    // lint: allow(R1.index, "`open` is the byte offset of the `(` found above and the trailing `)` is checked, so open+1 <= len-1 and both bounds sit on ASCII char boundaries")
     let head: Vec<String> = head_src[open + 1..head_src.len() - 1]
         .split(',')
         .map(|s| s.trim().to_owned())
@@ -380,7 +381,9 @@ pub fn parse_cq(src: &str, sig: &Signature) -> Result<ConjunctiveQuery, QueryPar
         if !atom_src.ends_with(')') {
             return qerr(format!("atom `{atom_src}` must end with `)`"));
         }
+        // lint: allow(R1.index, "`open` is the byte offset of the `(` found above, an ASCII char boundary inside the string")
         let pred = atom_src[..open].trim();
+        // lint: allow(R1.index, "`open` indexes the `(` found above and the trailing `)` is checked, so open+1 <= len-1 on ASCII boundaries")
         let args: Vec<&str> = atom_src[open + 1..atom_src.len() - 1]
             .split(',')
             .map(str::trim)

@@ -96,6 +96,7 @@ fn perfect_ref_loop(q: &ConjunctiveQuery, src: &AxiomSource<'_>) -> Ucq {
             for ax in src.applicable(atom) {
                 for replacement in apply_pi(ax, atom, &cur, &mut fresh) {
                     let mut atoms = cur.atoms.clone();
+                    // lint: allow(R1.index, "i enumerates cur.atoms and atoms is a clone of it")
                     atoms[i] = replacement;
                     push(
                         ConjunctiveQuery {
@@ -170,6 +171,7 @@ fn perfect_ref_loop(q: &ConjunctiveQuery, src: &AxiomSource<'_>) -> Ucq {
         // Step (b): reduce — unify pairs of atoms.
         for i in 0..cur.atoms.len() {
             for j in (i + 1)..cur.atoms.len() {
+                // lint: allow(R1.index, "i < j < cur.atoms.len() by the loop bounds")
                 if let Some((subst, vsubst)) = unify(&cur.atoms[i], &cur.atoms[j], &cur.head) {
                     let reduced = cur.substitute_full(&subst, &vsubst);
                     push(reduced, &mut seen, &mut out, &mut queue);

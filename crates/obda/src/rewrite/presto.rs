@@ -236,6 +236,7 @@ pub fn presto_rewrite(q: &ConjunctiveQuery, cls: &Classification) -> PrestoRewri
             };
             if let Some(r) = replacement {
                 let mut atoms = cur.atoms.clone();
+                // lint: allow(R1.index, "i enumerates cur.atoms and atoms is a clone of it")
                 atoms[i] = r;
                 push(
                     ViewQuery {
@@ -429,6 +430,7 @@ fn intersect_pair(q: &ViewQuery, i: usize, j: usize, cls: &Classification) -> Ve
             }
             Some(subst)
         };
+    // lint: allow(R1.index, "the only caller iterates i < j < q.atoms.len() (rewrite driver loop)")
     match (&q.atoms[i], &q.atoms[j]) {
         (ViewAtom::ConceptView(s1, t1), ViewAtom::ConceptView(s2, t2)) if s1 != s2 => {
             if let Some(subst) = unify_terms(&[(t1, t2)]) {
@@ -564,6 +566,7 @@ fn reduce_pair(q: &ViewQuery, i: usize, j: usize) -> Option<ViewQuery> {
             (Term::Const(a), Term::Const(b)) => a == b,
         }
     };
+    // lint: allow(R1.index, "the only caller iterates i < j < q.atoms.len() (rewrite driver loop)")
     let ok = match (&q.atoms[i], &q.atoms[j]) {
         (ViewAtom::ConceptView(s1, t1), ViewAtom::ConceptView(s2, t2)) if s1 == s2 => {
             bind(t1, t2, &q.head, &mut subst)

@@ -221,7 +221,7 @@ fn map_atom(
 /// `true` when the environment disables pruning (`QUONTO_NO_PRUNE=1`) —
 /// the cross-checking escape hatch mirroring `QUONTO_CLOSURE`.
 pub fn pruning_disabled() -> bool {
-    std::env::var_os("QUONTO_NO_PRUNE").is_some_and(|v| v == "1")
+    quonto::env::no_prune()
 }
 
 #[cfg(test)]

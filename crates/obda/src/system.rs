@@ -35,8 +35,10 @@
 //! exactly the exclusivity they need.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+use quonto::sync::lock_or_recover;
 
 use obda_dllite::{Abox, Tbox};
 use obda_mapping::{materialize, MappingSet};
@@ -144,14 +146,6 @@ impl RewriteCacheStats {
     }
 }
 
-/// Locks a facade-internal mutex, ignoring poisoning: the caches hold
-/// plain data that stays consistent across a panicking holder (worst
-/// case a lost insert), and a serving layer must not wedge every worker
-/// because one request panicked.
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 /// Rewrite cache: canonical CQ (+ mode) → rewriting, valid for one TBox
 /// epoch. Entries are shared via `Arc` so a hit is a pointer clone, not
 /// a deep copy of a possibly-large UCQ.
@@ -185,18 +179,13 @@ impl RewriteCache {
     }
 }
 
-fn timings_enabled() -> bool {
-    std::env::var_os("QUONTO_TIMINGS").is_some_and(|v| v == "1")
-}
+use quonto::env::timings_enabled;
 
 /// Default evaluation-thread knob: `QUONTO_THREADS` if set and numeric,
 /// else 1 (sequential). `0` means "all available cores", matching the
 /// convention of `quonto`'s parallel closure engines.
 fn default_eval_threads() -> usize {
-    std::env::var("QUONTO_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1)
+    quonto::env::eval_threads().unwrap_or(1)
 }
 
 fn resolve_threads(threads: usize) -> usize {
@@ -209,7 +198,9 @@ fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-fn rewrite_perfectref_pruned(q: &ConjunctiveQuery, tbox: &Tbox) -> CachedRewriting {
+/// PerfectRef + subsumption pruning (unless disabled or over the
+/// disjunct cap). Returns the final UCQ and the pre-pruning length.
+fn rewrite_perfectref_pruned(q: &ConjunctiveQuery, tbox: &Tbox) -> (Ucq, usize) {
     let raw = perfect_ref(q, tbox);
     let raw_len = raw.len();
     let ucq = if pruning_disabled() || raw_len > crate::rewrite::subsume::PRUNE_DISJUNCT_CAP {
@@ -217,7 +208,7 @@ fn rewrite_perfectref_pruned(q: &ConjunctiveQuery, tbox: &Tbox) -> CachedRewriti
     } else {
         prune_ucq(&raw)
     };
-    CachedRewriting::PerfectRef { ucq, raw_len }
+    (ucq, raw_len)
 }
 
 /// The materialized ABox plus its secondary index, built together and
@@ -263,8 +254,8 @@ impl Clone for ObdaSystem {
             db: self.db.clone(),
             rewriting: self.rewriting,
             data: self.data,
-            materialized: Mutex::new(lock_unpoisoned(&self.materialized).clone()),
-            rewrite_cache: Mutex::new(lock_unpoisoned(&self.rewrite_cache).clone()),
+            materialized: Mutex::new(lock_or_recover(&self.materialized).clone()),
+            rewrite_cache: Mutex::new(lock_or_recover(&self.rewrite_cache).clone()),
             eval_threads: self.eval_threads,
         }
     }
@@ -311,35 +302,35 @@ impl ObdaSystem {
     /// Drops all cached rewritings and bumps the TBox epoch. Call after
     /// mutating `tbox`/`classification` directly.
     pub fn invalidate_rewrites(&mut self) {
-        lock_unpoisoned(&self.rewrite_cache).invalidate();
+        lock_or_recover(&self.rewrite_cache).invalidate();
     }
 
     /// Drops the materialized ABox and its index. Call after the source
     /// database or the mappings change.
     pub fn invalidate_abox(&mut self) {
-        *lock_unpoisoned(&self.materialized) = None;
+        *lock_or_recover(&self.materialized) = None;
     }
 
     /// Rewrite-cache hit/miss counters.
     pub fn rewrite_cache_stats(&self) -> RewriteCacheStats {
-        lock_unpoisoned(&self.rewrite_cache).stats
+        lock_or_recover(&self.rewrite_cache).stats
     }
 
     /// Zeroes the rewrite-cache counters (the cached entries stay).
     pub fn reset_rewrite_cache_stats(&self) {
-        lock_unpoisoned(&self.rewrite_cache).stats.reset();
+        lock_or_recover(&self.rewrite_cache).stats.reset();
     }
 
     /// Current TBox epoch (bumped by [`Self::invalidate_rewrites`]).
     pub fn tbox_epoch(&self) -> u64 {
-        lock_unpoisoned(&self.rewrite_cache).epoch
+        lock_or_recover(&self.rewrite_cache).epoch
     }
 
     /// Returns the shared materialized ABox + index, building it on
     /// first use. The build runs under the lock: concurrent first
     /// queries wait for one materialization instead of duplicating it.
     fn ensure_materialized(&self) -> Result<Arc<MaterializedAbox>, ObdaError> {
-        let mut slot = lock_unpoisoned(&self.materialized);
+        let mut slot = lock_or_recover(&self.materialized);
         if let Some(mat) = slot.as_ref() {
             return Ok(Arc::clone(mat));
         }
@@ -393,16 +384,19 @@ impl ObdaSystem {
     /// and the second insert simply overwrites the first.
     fn rewritten(&self, q: &ConjunctiveQuery) -> (Arc<CachedRewriting>, bool) {
         let key = (self.rewriting, q.canonical());
-        if let Some(hit) = lock_unpoisoned(&self.rewrite_cache).get(&key) {
+        if let Some(hit) = lock_or_recover(&self.rewrite_cache).get(&key) {
             return (hit, true);
         }
         let value = Arc::new(match self.rewriting {
-            RewritingMode::PerfectRef => rewrite_perfectref_pruned(q, &self.tbox),
+            RewritingMode::PerfectRef => {
+                let (ucq, raw_len) = rewrite_perfectref_pruned(q, &self.tbox);
+                CachedRewriting::PerfectRef { ucq, raw_len }
+            }
             RewritingMode::Presto => {
                 CachedRewriting::Presto(presto_rewrite(q, &self.classification))
             }
         });
-        lock_unpoisoned(&self.rewrite_cache).insert(key, Arc::clone(&value));
+        lock_or_recover(&self.rewrite_cache).insert(key, Arc::clone(&value));
         (value, false)
     }
 
@@ -463,11 +457,7 @@ impl ObdaSystem {
                 // Same pruning policy as the answer path, including the
                 // PRUNE_DISJUNCT_CAP gate — explaining a query must not
                 // cost quadratically more than answering it.
-                let CachedRewriting::PerfectRef { ucq, raw_len } =
-                    rewrite_perfectref_pruned(&q, &self.tbox)
-                else {
-                    unreachable!("PerfectRef mode rewrites to a UCQ")
-                };
+                let (ucq, raw_len) = rewrite_perfectref_pruned(&q, &self.tbox);
                 let _ = writeln!(
                     out,
                     "rewriting: PerfectRef, {} CQ disjunct(s) ({} before pruning)",
@@ -601,7 +591,7 @@ impl Clone for AboxSystem {
             classification: self.classification.clone(),
             abox: self.abox.clone(),
             index: self.index.clone(),
-            rewrite_cache: Mutex::new(lock_unpoisoned(&self.rewrite_cache).clone()),
+            rewrite_cache: Mutex::new(lock_or_recover(&self.rewrite_cache).clone()),
             eval_threads: self.eval_threads,
         }
     }
@@ -635,17 +625,17 @@ impl AboxSystem {
 
     /// Drops cached rewritings (call after mutating `tbox`).
     pub fn invalidate_rewrites(&mut self) {
-        lock_unpoisoned(&self.rewrite_cache).invalidate();
+        lock_or_recover(&self.rewrite_cache).invalidate();
     }
 
     /// Rewrite-cache hit/miss counters.
     pub fn rewrite_cache_stats(&self) -> RewriteCacheStats {
-        lock_unpoisoned(&self.rewrite_cache).stats
+        lock_or_recover(&self.rewrite_cache).stats
     }
 
     /// Zeroes the rewrite-cache counters (the cached entries stay).
     pub fn reset_rewrite_cache_stats(&self) {
-        lock_unpoisoned(&self.rewrite_cache).stats.reset();
+        lock_or_recover(&self.rewrite_cache).stats.reset();
     }
 
     /// Answers a query (text) with PerfectRef over the ABox.
@@ -674,18 +664,23 @@ impl AboxSystem {
         let key = (RewritingMode::PerfectRef, q.canonical());
         // Bind the lookup so the lock is released before the miss arm
         // re-locks for insertion (the rewriter runs unlocked).
-        let cached = lock_unpoisoned(&self.rewrite_cache).get(&key);
+        let cached = lock_or_recover(&self.rewrite_cache).get(&key);
         let (entry, cache_hit) = match cached {
             Some(hit) => (hit, true),
             None => {
-                let value = Arc::new(rewrite_perfectref_pruned(q, &self.tbox));
-                lock_unpoisoned(&self.rewrite_cache).insert(key, Arc::clone(&value));
+                let (ucq, raw_len) = rewrite_perfectref_pruned(q, &self.tbox);
+                let value = Arc::new(CachedRewriting::PerfectRef { ucq, raw_len });
+                lock_or_recover(&self.rewrite_cache).insert(key, Arc::clone(&value));
                 (value, false)
             }
         };
         let rewrite_ms = t1.elapsed().as_secs_f64() * 1e3;
-        let CachedRewriting::PerfectRef { ucq, raw_len } = &*entry else {
-            unreachable!("AboxSystem caches only PerfectRef rewritings")
+        let (ucq, raw_len) = match &*entry {
+            CachedRewriting::PerfectRef { ucq, raw_len } => (ucq, raw_len),
+            CachedRewriting::Presto(_) => {
+                // lint: allow(R1.panic, "this cache only ever receives PerfectRef entries (inserted above); the Presto arm is unreachable by construction")
+                unreachable!("AboxSystem caches only PerfectRef rewritings")
+            }
         };
 
         let threads = resolve_threads(self.eval_threads);

@@ -56,6 +56,11 @@ pub struct EndpointConfig {
     /// evaluation. A load-testing / failure-injection knob: lets tests
     /// and `loadgen` create slow requests deterministically.
     pub delay_ms: u64,
+    /// Fault-injection knob: a query whose text contains this marker
+    /// panics inside the worker instead of evaluating. Lets the
+    /// poison-cascade regression tests prove that one panicking query
+    /// cannot take the server down. `None` (the default) disables it.
+    pub panic_marker: Option<String>,
 }
 
 impl Default for EndpointConfig {
@@ -69,6 +74,7 @@ impl Default for EndpointConfig {
             data: DataMode::Materialized,
             eval_threads: 1,
             delay_ms: 0,
+            panic_marker: None,
         }
     }
 }
@@ -255,6 +261,14 @@ fn endpoint_from_json(v: &Json) -> Result<EndpointConfig, String> {
         ep.delay_ms = n
             .as_u64()
             .ok_or_else(|| bad("`delay_ms` must be a non-negative integer"))?;
+    }
+    if let Some(m) = v.get("panic_marker") {
+        ep.panic_marker = Some(
+            m.as_str()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| bad("`panic_marker` must be a non-empty string"))?
+                .to_owned(),
+        );
     }
     Ok(ep)
 }

@@ -35,6 +35,9 @@ pub struct Endpoint {
     pub engine: Engine,
     /// Artificial pre-evaluation delay (ms) — load-testing knob.
     pub delay_ms: u64,
+    /// Fault-injection marker: queries containing it panic in the
+    /// worker (see [`EndpointConfig::panic_marker`]).
+    pub panic_marker: Option<String>,
     /// Queries answered (any status) against this endpoint.
     pub requests: AtomicU64,
 }
@@ -70,6 +73,7 @@ impl Endpoint {
             name: cfg.name.clone(),
             engine,
             delay_ms: cfg.delay_ms,
+            panic_marker: cfg.panic_marker.clone(),
             requests: AtomicU64::new(0),
         })
     }
@@ -77,6 +81,12 @@ impl Endpoint {
     /// Answers one query. `&self` — callable from any worker thread.
     pub fn answer(&self, lang: Lang, query: &str) -> Result<Answers, ObdaError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(marker) = &self.panic_marker {
+            if query.contains(marker.as_str()) {
+                // lint: allow(R1.panic, "deliberate fault injection behind the panic_marker test knob; the worker's catch_unwind turns it into one error response")
+                panic!("injected panic: query matched panic_marker `{marker}`");
+            }
+        }
         match (&self.engine, lang) {
             (Engine::Obda(sys), Lang::Cq) => sys.answer(query),
             (Engine::Obda(sys), Lang::Sparql) => sys.answer_sparql(query),

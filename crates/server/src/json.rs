@@ -38,8 +38,9 @@ impl std::error::Error for JsonError {}
 
 /// Nesting cap: a parser for a line protocol never needs deep trees, and
 /// the cap turns `[[[[…` bombs into a parse error instead of a stack
-/// overflow that would kill the connection thread.
-const MAX_DEPTH: usize = 64;
+/// overflow that would kill the connection thread. Public so the hostile
+/// -input tests can probe the exact boundary.
+pub const MAX_DEPTH: usize = 64;
 
 impl Json {
     /// Parses exactly one JSON value spanning the whole input.
@@ -252,6 +253,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        // lint: allow(R1.index, "pos <= bytes.len() is the parser's cursor invariant; an at-end slice is empty, not a panic")
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(v)
@@ -335,6 +337,7 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
+        // lint: allow(R1.index, "start is a saved cursor position <= pos <= bytes.len()")
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
@@ -397,9 +400,13 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is &str, so slicing
                     // on char boundaries is safe).
+                    // lint: allow(R1.index, "pos <= bytes.len() cursor invariant")
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().expect("peeked non-empty");
+                    let c = match rest.chars().next() {
+                        Some(c) => c,
+                        None => return Err(self.err("unexpected end of input")),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -413,6 +420,7 @@ impl<'a> Parser<'a> {
         if end > self.bytes.len() {
             return Err(self.err("truncated \\u escape"));
         }
+        // lint: allow(R1.index, "end <= bytes.len() checked on the line above")
         let text = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| self.err("invalid \\u escape"))?;
         let v = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;

@@ -44,6 +44,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use quonto::sync::{lock_or_recover, wait_timeout_or_recover};
+
 use crate::config::ServerConfig;
 use crate::endpoint::Endpoint;
 use crate::json::Json;
@@ -112,16 +114,10 @@ impl JobQueue {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
     /// Admits a job unless the queue is full or closed. Returns the
     /// depth after the push.
     fn try_push(&self, job: Job) -> Result<usize, PushRejection> {
-        let mut inner = self.lock();
+        let mut inner = lock_or_recover(&self.inner);
         if !inner.open {
             return Err(PushRejection::Closed);
         }
@@ -138,7 +134,7 @@ impl JobQueue {
     /// Blocks for the next job. `None` once the queue is closed *and*
     /// drained — the worker-exit condition.
     fn pop(&self) -> Option<(Job, usize)> {
-        let mut inner = self.lock();
+        let mut inner = lock_or_recover(&self.inner);
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 let depth = inner.jobs.len();
@@ -147,22 +143,19 @@ impl JobQueue {
             if !inner.open {
                 return None;
             }
-            let (guard, _) = self
-                .ready
-                .wait_timeout(inner, TICK)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (guard, _) = wait_timeout_or_recover(&self.ready, inner, TICK);
             inner = guard;
         }
     }
 
     /// Closes admission; queued jobs still drain.
     fn close(&self) {
-        self.lock().open = false;
+        lock_or_recover(&self.inner).open = false;
         self.ready.notify_all();
     }
 
     fn depth(&self) -> usize {
-        self.lock().jobs.len()
+        lock_or_recover(&self.inner).jobs.len()
     }
 }
 
@@ -416,6 +409,7 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
         // Drain complete frames already buffered.
         while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
             let frame: Vec<u8> = buf.drain(..=nl).collect();
+            // lint: allow(R1.index, "frame ends at the newline found above, so len >= 1 and the range is in bounds")
             if !process_frame(shared, &mut stream, &frame[..frame.len() - 1]) {
                 return;
             }
@@ -433,6 +427,7 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // EOF
+            // lint: allow(R1.index, "Read::read contract guarantees n <= chunk.len()")
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
             Err(e) if e.kind() == ErrorKind::Interrupted => {}

@@ -1,4 +1,9 @@
 //! Shared test client for the loopback integration tests.
+//!
+//! Each integration-test binary compiles its own copy and uses a
+//! different subset of the helpers, so per-binary dead-code warnings
+//! are noise here.
+#![allow(dead_code)]
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};

@@ -1,0 +1,140 @@
+//! Poison-cascade regression: a panicking query must cost exactly one
+//! `error` response — never a worker, never a lock.
+//!
+//! The scenario this pins down: every facade-internal mutex (rewrite
+//! caches, materialized-ABox slot, job queue) used to be locked with
+//! `.lock().unwrap()`-style patterns that turn a poisoned lock into a
+//! fresh panic. One query panicking at the wrong instant would then
+//! poison a shared cache and every later request would die on the same
+//! lock — a server-wide outage from a single bad request. All locks now
+//! go through `quonto::sync::lock_or_recover`, and this test drives the
+//! panic path end-to-end through the `panic_marker` fault-injection
+//! knob.
+
+mod common;
+
+use std::thread;
+
+use common::{status, Client};
+use obda_server::{EndpointConfig, EndpointKind, Json, Server, ServerConfig};
+
+const Q: &str = "q(x) :- Student(x)";
+const MARKER: &str = "__inject_panic__";
+
+fn panicky_endpoint(name: &str) -> EndpointConfig {
+    EndpointConfig {
+        name: name.into(),
+        kind: EndpointKind::UniversityAbox,
+        scale: 1,
+        seed: 7,
+        panic_marker: Some(MARKER.into()),
+        ..EndpointConfig::default()
+    }
+}
+
+#[test]
+fn panicking_queries_leave_the_server_answering() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        endpoints: vec![panicky_endpoint("uni")],
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr);
+    // Warm the rewrite cache so the post-panic queries exercise the
+    // same locked cache the panicking requests touched.
+    assert_eq!(status(&client.query("uni", "cq", Q, None)), "ok");
+
+    // More panics than workers, in parallel: if a panic could wedge a
+    // worker or poison a shared lock, at least one later request would
+    // hang or die. The marker rides inside a comment-like suffix the
+    // parser never sees — the panic fires in `Endpoint::answer` before
+    // parsing, on the worker thread.
+    let panic_query = format!("q(x) :- Student(x), {MARKER}(x)");
+    let panickers: Vec<_> = (0..4)
+        .map(|_| {
+            let q = panic_query.clone();
+            thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let resp = c.query("uni", "cq", &q, None);
+                (
+                    status(&resp).to_owned(),
+                    resp.get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_owned(),
+                )
+            })
+        })
+        .collect();
+    for t in panickers {
+        let (st, err) = t.join().expect("client thread");
+        assert_eq!(st, "error", "injected panic must become an error response");
+        assert!(
+            err.contains("panicked"),
+            "error should say the query panicked: {err}"
+        );
+    }
+
+    // The same connection — and fresh ones — still get real answers.
+    let resp = client.query("uni", "cq", Q, None);
+    assert_eq!(status(&resp), "ok", "post-panic query failed: {resp}");
+    let resp =
+        Client::connect(addr).query("uni", "sparql", "SELECT ?x WHERE { ?x a :Student }", None);
+    assert_eq!(status(&resp), "ok", "fresh connection failed: {resp}");
+
+    // STATS still works and the cache kept counting across the panics
+    // (a poisoned stats lock would panic the connection thread here).
+    let stats = client.stats();
+    assert_eq!(status(&stats), "ok");
+    let uni = stats
+        .get("endpoints")
+        .and_then(|e| e.get("uni"))
+        .expect("endpoint stats");
+    assert!(
+        uni.get("cache_hits").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "rewrite cache must survive panicking requests: {stats}"
+    );
+    let srv = stats.get("server").expect("server section");
+    assert_eq!(
+        srv.get("errors").and_then(Json::as_u64),
+        Some(4),
+        "each injected panic is one counted error: {stats}"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn panic_marker_is_inert_when_unset() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        endpoints: vec![EndpointConfig {
+            name: "uni".into(),
+            kind: EndpointKind::UniversityAbox,
+            scale: 1,
+            ..EndpointConfig::default()
+        }],
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    // Without the knob, a query mentioning the marker text is just an
+    // (unparseable) query — an error response, but not a panic.
+    let resp = Client::connect(server.addr()).query(
+        "uni",
+        "cq",
+        &format!("q(x) :- Student(x), {MARKER}(x)"),
+        None,
+    );
+    assert_eq!(status(&resp), "error");
+    let err = resp.get("error").and_then(Json::as_str).unwrap_or_default();
+    assert!(
+        !err.contains("panicked"),
+        "must fail as a parse error, not a panic: {err}"
+    );
+    server.shutdown();
+    server.join();
+}

@@ -1,0 +1,87 @@
+//! Env-knob documentation sync: the README/DESIGN knob tables are
+//! rendered from `quonto::env::markdown_table()` into marker-delimited
+//! blocks, so the docs cannot drift from the registry.
+//!
+//! ```text
+//! <!-- quonto-env:begin -->
+//! | Variable | Values | Default | What it does |
+//! …
+//! <!-- quonto-env:end -->
+//! ```
+//!
+//! `xtask env-docs` reports stale blocks (exit 1); `--write` refreshes
+//! them in place. `xtask lint` runs the same check as rule `R4.docs`.
+
+pub const BEGIN: &str = "<!-- quonto-env:begin -->";
+pub const END: &str = "<!-- quonto-env:end -->";
+
+/// The documents that must carry the knob table.
+pub const DOC_FILES: &[&str] = &["README.md", "DESIGN.md"];
+
+/// Result of syncing one document's table block.
+pub enum SyncOutcome {
+    UpToDate,
+    /// New content to write.
+    Stale(String),
+    MissingMarkers,
+}
+
+/// Replaces the marker block's interior with `table`; detects drift.
+pub fn sync_block(content: &str, table: &str) -> SyncOutcome {
+    let Some(b) = content.find(BEGIN) else {
+        return SyncOutcome::MissingMarkers;
+    };
+    let Some(e) = content.find(END) else {
+        return SyncOutcome::MissingMarkers;
+    };
+    if e < b {
+        return SyncOutcome::MissingMarkers;
+    }
+    let block_start = b + BEGIN.len();
+    let current = &content[block_start..e];
+    let wanted = format!("\n{table}");
+    if current == wanted {
+        SyncOutcome::UpToDate
+    } else {
+        let mut out = String::with_capacity(content.len() + table.len());
+        out.push_str(&content[..block_start]);
+        out.push_str(&wanted);
+        out.push_str(&content[e..]);
+        SyncOutcome::Stale(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_blocks_are_rewritten_in_place() {
+        let table = quonto::env::markdown_table();
+        let doc = format!("intro\n\n{BEGIN}\nold table\n{END}\n\noutro\n");
+        let SyncOutcome::Stale(updated) = sync_block(&doc, &table) else {
+            panic!("stale block must be detected");
+        };
+        assert!(updated.contains("QUONTO_TIMINGS"));
+        assert!(updated.starts_with("intro"));
+        assert!(updated.ends_with("outro\n"));
+        // Idempotent: the rewritten doc is up to date.
+        assert!(matches!(
+            sync_block(&updated, &table),
+            SyncOutcome::UpToDate
+        ));
+    }
+
+    #[test]
+    fn missing_markers_are_reported() {
+        assert!(matches!(
+            sync_block("no markers here", "t"),
+            SyncOutcome::MissingMarkers
+        ));
+        let reversed = format!("{END} {BEGIN}");
+        assert!(matches!(
+            sync_block(&reversed, "t"),
+            SyncOutcome::MissingMarkers
+        ));
+    }
+}

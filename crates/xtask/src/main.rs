@@ -1,0 +1,131 @@
+//! CLI shell for the xtask library: `lint` and `env-docs`.
+
+use std::process::ExitCode;
+
+use xtask::{baseline, docs, render_json, render_text, repo_root, run_lint};
+
+const USAGE: &str = "\
+usage: cargo run -p xtask -- <command> [flags]
+
+commands:
+  lint [--json] [--update-baseline]
+      Run the workspace static-analysis pass.
+      --json              machine-readable output
+      --update-baseline   rewrite lint-baseline.txt from current findings
+  env-docs [--write]
+      Check (or with --write, refresh) the env-knob tables embedded in
+      README.md and DESIGN.md from quonto::env::KNOBS.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<&str> = args.iter().map(String::as_str).collect();
+    let cmd = if args.is_empty() { "" } else { args.remove(0) };
+    match cmd {
+        "lint" => lint(&args),
+        "env-docs" => env_docs(&args),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[&str]) -> ExitCode {
+    let mut json = false;
+    let mut update_baseline = false;
+    for a in args {
+        match *a {
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = repo_root();
+    let report = match run_lint(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if update_baseline {
+        let path = root.join("lint-baseline.txt");
+        if let Err(e) = baseline::save(&path, &report.fingerprints) {
+            eprintln!("xtask lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "xtask lint: baselined {} fingerprint(s) into lint-baseline.txt",
+            report.fingerprints.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if json {
+        println!("{}", render_json(&report));
+    } else {
+        print!("{}", render_text(&report));
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn env_docs(args: &[&str]) -> ExitCode {
+    let mut write = false;
+    for a in args {
+        match *a {
+            "--write" => write = true,
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = repo_root();
+    let table = quonto::env::markdown_table();
+    let mut stale = 0usize;
+    for doc in docs::DOC_FILES {
+        let path = root.join(doc);
+        let content = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("xtask env-docs: reading {doc}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match docs::sync_block(&content, &table) {
+            docs::SyncOutcome::UpToDate => println!("{doc}: up to date"),
+            docs::SyncOutcome::Stale(updated) => {
+                if write {
+                    if let Err(e) = std::fs::write(&path, updated) {
+                        eprintln!("xtask env-docs: writing {doc}: {e}");
+                        return ExitCode::from(2);
+                    }
+                    println!("{doc}: rewritten");
+                } else {
+                    println!("{doc}: STALE (run with --write)");
+                    stale += 1;
+                }
+            }
+            docs::SyncOutcome::MissingMarkers => {
+                eprintln!(
+                    "xtask env-docs: {doc} is missing the `{}` / `{}` markers",
+                    docs::BEGIN,
+                    docs::END
+                );
+                stale += 1;
+            }
+        }
+    }
+    if stale == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,432 @@
+//! Line-oriented Rust source scanner for the lint rules.
+//!
+//! Not a parser: a character-level state machine that walks a source
+//! file once and, for every line, produces three masked views plus
+//! region metadata. The rules then work on the view that cannot lie to
+//! them:
+//!
+//! * [`Line::code`] — string/char-literal *contents* blanked, comments
+//!   removed. `panic!` inside a string literal or a doc comment does not
+//!   appear here, so token rules (R1–R3, R5) never false-positive on
+//!   prose.
+//! * [`Line::text`] — string contents kept, comments removed. Used by
+//!   R4 to find `QUONTO_*` names that travel through string literals
+//!   (e.g. `env::var("QUONTO_X")`).
+//! * [`Line::comment`] — the comment content only. Used for `SAFETY:`
+//!   markers and `lint: allow(...)` suppressions.
+//!
+//! The machine understands line/blocks comments (nested), plain and raw
+//! strings (any `#` count, `b`/`br` prefixes), char and byte literals,
+//! and the lifetime-vs-char-literal ambiguity. It also tracks
+//! `#[cfg(test)]` regions by brace depth so in-file unit tests can be
+//! exempted from production-path rules.
+
+/// How a file participates in the build — rule scopes key off this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`src/` minus binaries): production code.
+    Lib,
+    /// Binary source (`src/bin/`, `src/main.rs`): CLI shells.
+    Bin,
+    /// Integration tests (`tests/`).
+    Test,
+    /// Benchmarks (`benches/`).
+    Bench,
+    /// Examples (`examples/`).
+    Example,
+    /// Build scripts (`build.rs`).
+    Build,
+}
+
+/// One source line in its masked views.
+#[derive(Debug)]
+pub struct Line {
+    /// The verbatim line (fingerprints, messages).
+    pub raw: String,
+    /// String/char contents blanked, comments removed.
+    pub code: String,
+    /// String contents kept, comments removed.
+    pub text: String,
+    /// Comment content (without the `//` / `/*` markers).
+    pub comment: String,
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A scanned file, ready for the rules.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Path relative to the repo root, `/`-separated.
+    pub path: String,
+    pub kind: FileKind,
+    pub lines: Vec<Line>,
+}
+
+/// Classifies a repo-relative path.
+pub fn classify(rel: &str) -> FileKind {
+    if rel.ends_with("build.rs") {
+        FileKind::Build
+    } else if rel.contains("/tests/") {
+        FileKind::Test
+    } else if rel.contains("/benches/") {
+        FileKind::Bench
+    } else if rel.contains("/examples/") || rel.starts_with("examples/") {
+        FileKind::Example
+    } else if rel.contains("/src/bin/") || rel.ends_with("/src/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    Str,
+    /// Number of `#` in the delimiter.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Scans one source text into masked lines.
+pub fn scan(path: &str, src: &str) -> ScannedFile {
+    let kind = classify(path);
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    let (mut code, mut text, mut comment) = (String::new(), String::new(), String::new());
+
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i <= chars.len() {
+        let c = if i < chars.len() { chars[i] } else { '\n' }; // flush a last unterminated line
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            if i < chars.len() || !code.is_empty() || !text.is_empty() || !comment.is_empty() {
+                lines.push(Line {
+                    raw: String::new(), // filled from src below
+                    code: std::mem::take(&mut code),
+                    text: std::mem::take(&mut text),
+                    comment: std::mem::take(&mut comment),
+                    in_test: false,
+                });
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    // Possible raw-string / byte-string opener: r", r#",
+                    // br", b"... Look ahead for [b] r? #* ".
+                    let mut j = i;
+                    if chars.get(j) == Some(&'b') {
+                        j += 1;
+                    }
+                    let raw = chars.get(j) == Some(&'r');
+                    if raw {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && (raw || hashes == 0) {
+                        state = if raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
+                        code.push('"');
+                        i = j + 1;
+                    } else {
+                        code.push(c);
+                        text.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime: 'x' / '\n' are literals,
+                    // 'a (no closing quote right after) is a lifetime.
+                    if next == Some('\\') || (next.is_some() && chars.get(i + 2) == Some(&'\'')) {
+                        state = State::CharLit;
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        code.push('\'');
+                        text.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    text.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(d) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(d + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if d == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(d - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && chars.get(i + 1) == Some(&'\n') {
+                    // Line-continuation escape: leave the newline for the
+                    // top-level handler so line alignment is preserved.
+                    i += 1;
+                } else if c == '\\' {
+                    // Keep escapes out of the masked views entirely (\"
+                    // must not close the string, \\ must not escape it).
+                    text.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    text.push(c);
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        state = State::Code;
+                        code.push('"');
+                        i += 1 + hashes as usize;
+                    } else {
+                        text.push(c);
+                        i += 1;
+                    }
+                } else {
+                    text.push(c);
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    // Attach raw lines and mark #[cfg(test)] regions.
+    for (line, raw) in lines.iter_mut().zip(src.lines()) {
+        line.raw = raw.to_owned();
+    }
+    mark_test_regions(&mut lines);
+
+    ScannedFile {
+        path: path.to_owned(),
+        kind,
+        lines,
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Marks every line inside a `#[cfg(test)] { … }` region (attribute
+/// line through the matching close brace) by walking brace depth over
+/// the masked code view.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    // Depth at which the innermost active test region opened.
+    let mut region_open_depth: Option<i64> = None;
+    // A cfg(test) attribute was seen; the next `{` opens the region.
+    let mut pending = false;
+    for line in lines.iter_mut() {
+        let is_cfg_test =
+            line.code.contains("#[cfg(test)]") || line.code.contains("#[cfg(all(test");
+        if is_cfg_test && region_open_depth.is_none() {
+            pending = true;
+        }
+        let starts_in_region = region_open_depth.is_some() || pending;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        region_open_depth = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(open) = region_open_depth {
+                        if depth <= open {
+                            region_open_depth = None;
+                        }
+                    }
+                }
+                // The attribute landed on a braceless item
+                // (`#[cfg(test)] use …;`): region never opens.
+                ';' if pending => pending = false,
+                _ => {}
+            }
+        }
+        line.in_test = starts_in_region || region_open_depth.is_some() || pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Line {
+        let mut f = scan("crates/x/src/lib.rs", src);
+        f.lines.remove(0)
+    }
+
+    #[test]
+    fn strings_are_blanked_in_code_kept_in_text() {
+        let l = one(r#"let s = "panic!(.unwrap())"; s.len();"#);
+        assert!(!l.code.contains("panic!"), "code: {}", l.code);
+        assert!(!l.code.contains(".unwrap()"));
+        assert!(l.code.contains("s.len()"));
+        assert!(l.text.contains("panic!(.unwrap())"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_close_strings() {
+        let l = one(r#"let s = "a\"b.unwrap()\"c"; x();"#);
+        assert!(!l.code.contains("unwrap"), "code: {}", l.code);
+        assert!(l.code.contains("x()"));
+    }
+
+    #[test]
+    fn raw_strings_mask_across_hash_levels() {
+        let l = one(r###"let s = r#"has "quotes" and .unwrap()"#; y();"###);
+        assert!(!l.code.contains("unwrap"), "code: {}", l.code);
+        assert!(l.code.contains("y()"));
+        assert!(l.text.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn comments_go_to_the_comment_view() {
+        let l = one("foo(); // SAFETY: .unwrap() is fine here");
+        assert!(l.code.contains("foo()"));
+        assert!(!l.code.contains("unwrap"));
+        assert!(l.comment.contains("SAFETY:"));
+        assert!(l.comment.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = scan(
+            "crates/x/src/lib.rs",
+            "a(); /* outer /* inner.unwrap() */\nstill comment */ b();",
+        );
+        assert!(f.lines[0].code.contains("a()"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains("inner.unwrap()"));
+        assert!(f.lines[1].code.contains("b()"));
+        assert!(f.lines[1].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        // '{' must not unbalance braces; 'a> is a lifetime, not a char.
+        let l = one("fn f<'a>(x: &'a str) { m('{'); }");
+        assert_eq!(l.code.matches('{').count(), 1, "code: {}", l.code);
+        assert!(l.code.contains("<'a>"));
+        let l = one(r"let c = '\n'; g();");
+        assert!(l.code.contains("g()"));
+        assert!(!l.code.contains('n') || !l.code.contains(r"\n"));
+    }
+
+    #[test]
+    fn byte_strings_are_masked() {
+        let l = one(r#"w.write_all(b"{\"a\": [1,2]}"); z();"#);
+        assert!(!l.code.contains('['), "code: {}", l.code);
+        assert!(l.code.contains("z()"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "\
+pub fn prod() { real(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+
+pub fn also_prod() {}
+";
+        let f = scan("crates/x/src/lib.rs", src);
+        let by_content = |needle: &str| {
+            f.lines
+                .iter()
+                .find(|l| l.raw.contains(needle))
+                .unwrap_or_else(|| panic!("line with {needle:?}"))
+        };
+        assert!(!by_content("prod()").in_test);
+        assert!(by_content("#[cfg(test)]").in_test);
+        assert!(by_content("mod tests").in_test);
+        assert!(by_content("unwrap").in_test);
+        assert!(!by_content("also_prod").in_test);
+    }
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(classify("crates/server/src/json.rs"), FileKind::Lib);
+        assert_eq!(
+            classify("crates/server/src/bin/quonto_server.rs"),
+            FileKind::Bin
+        );
+        assert_eq!(classify("crates/xtask/src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/server/tests/overload.rs"), FileKind::Test);
+        assert_eq!(
+            classify("crates/bench/benches/closure_parallel.rs"),
+            FileKind::Bench
+        );
+        assert_eq!(classify("examples/obda_server.rs"), FileKind::Example);
+        assert_eq!(classify("crates/x/build.rs"), FileKind::Build);
+    }
+}

@@ -1,0 +1,102 @@
+//! The lint's own acceptance tests: the committed tree must be clean,
+//! and an injected violation must be caught (so a green run can't be a
+//! silently broken scanner).
+
+use xtask::rules::{check_file, Finding};
+use xtask::scanner::scan;
+use xtask::{render_text, repo_root, run_lint};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = run_lint(&repo_root()).expect("lint pass runs");
+    assert!(
+        report.findings.is_empty(),
+        "the committed tree must be lint-clean:\n{}",
+        render_text(&report)
+    );
+    // The committed baseline is kept empty — violations get fixed or
+    // explicitly allowed, not ratcheted.
+    assert_eq!(report.baselined, 0, "lint-baseline.txt must stay empty");
+    // Sanity: the walk actually visited the workspace (not an empty dir).
+    assert!(report.files > 100, "only {} files scanned", report.files);
+}
+
+fn findings_for(path: &str, src: &str) -> Vec<Finding> {
+    let scanned = scan(path, src);
+    check_file(&scanned, &|name| quonto::env::is_registered(name))
+}
+
+#[test]
+fn injected_violations_are_caught() {
+    // Each injected source must produce exactly the expected rule —
+    // proving the green run above is meaningful.
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "crates/server/src/inject.rs",
+            "pub fn f(v: &[u8]) -> u8 { v.first().copied().unwrap() }",
+            "R1.unwrap",
+        ),
+        (
+            "crates/obda/src/inject.rs",
+            "pub fn f() { panic!(\"boom\"); }",
+            "R1.panic",
+        ),
+        (
+            "crates/obda/src/inject.rs",
+            "pub fn f(v: &[u8], i: usize) -> u8 { v[i] }",
+            "R1.index",
+        ),
+        (
+            "crates/core/src/inject.rs",
+            "pub fn f(m: &std::sync::Mutex<u8>) -> u8 { *m.lock().unwrap() }",
+            "R2.lock-unwrap",
+        ),
+        (
+            "crates/core/src/inject.rs",
+            "pub unsafe fn f(p: *const u8) -> u8 { *p }",
+            "R3.safety",
+        ),
+        (
+            "crates/core/src/inject.rs",
+            "pub fn f() -> Option<String> { std::env::var(\"QUONTO_BOGUS\").ok() }",
+            "R4.read",
+        ),
+        (
+            "crates/core/src/inject.rs",
+            "pub fn f() { println!(\"debug\"); }",
+            "R5.print",
+        ),
+        (
+            "crates/obda/src/inject.rs",
+            "// lint: allow(R1.unwrap)\npub fn f() {}",
+            "R0.allow",
+        ),
+    ];
+    for (path, src, rule) in cases {
+        let found = findings_for(path, src);
+        assert!(
+            found.iter().any(|f| f.rule == *rule),
+            "{rule} not raised for {src:?}; got {:?}",
+            found.iter().map(|f| f.rule).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn reasoned_allows_suppress_and_unused_allows_fire() {
+    let suppressed = findings_for(
+        "crates/obda/src/inject.rs",
+        "pub fn f(v: &[u8], i: usize) -> u8 {\n    // lint: allow(R1.index, \"caller guarantees i < v.len()\")\n    v[i]\n}",
+    );
+    assert!(suppressed.is_empty(), "got {suppressed:?}");
+
+    // The same allow with nothing to suppress is itself a finding.
+    let unused = findings_for(
+        "crates/obda/src/inject.rs",
+        "// lint: allow(R1.index, \"caller guarantees i < v.len()\")\npub fn f() {}",
+    );
+    assert!(
+        unused.iter().any(|f| f.rule == "R0.allow"),
+        "got {unused:?}"
+    );
+}
