@@ -1,10 +1,35 @@
 //! A4: end-to-end OBDA answering, virtual vs materialized, Presto vs
 //! PerfectRef, on the university scenario — including rewrite-cache
 //! cold vs warm and the 1/2/4-thread materialized evaluator.
+//!
+//! The mode matrix drives the engines through the unified
+//! [`mastro::QueryEngine`] trait (constructed via
+//! [`mastro::SystemBuilder`]) — the same surface the server endpoints
+//! hold — so what this bench measures is what serving pays.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mastro::{DataMode, RewritingMode};
-use obda_genont::university_scenario;
+use mastro::{DataMode, QueryEngine, QueryLang, RewritingMode, SystemBuilder};
+use obda_genont::{university_scenario, UniversityScenario};
+
+fn build_engine(
+    scenario: &UniversityScenario,
+    rw: RewritingMode,
+    dm: DataMode,
+    threads: usize,
+) -> Box<dyn QueryEngine> {
+    let db = mastro::demo::load_database(scenario).expect("loads");
+    let mappings = mastro::demo::build_mappings(scenario);
+    let sys = SystemBuilder::new()
+        .rewriting(rw)
+        .data_mode(dm)
+        .eval_threads(threads)
+        .build_obda(scenario.tbox.clone(), mappings, db)
+        .expect("builds");
+    if dm == DataMode::Materialized {
+        let _ = sys.materialized_abox().expect("materializes");
+    }
+    Box::new(sys)
+}
 
 fn obda_e2e(c: &mut Criterion) {
     let scenario = university_scenario(4, 42);
@@ -26,22 +51,18 @@ fn obda_e2e(c: &mut Criterion) {
         ),
     ];
     for (label, rw, dm) in modes {
-        let sys = mastro::demo::build_system(&scenario)
-            .expect("builds")
-            .with_rewriting(rw)
-            .with_data_mode(dm);
-        if dm == DataMode::Materialized {
-            let _ = sys.materialized_abox().expect("materializes");
-        }
+        let engine = build_engine(&scenario, rw, dm, 1);
         for qs in &scenario.queries {
             group.bench_with_input(BenchmarkId::new(label, &qs.name), &qs.text, |b, text| {
-                b.iter(|| sys.answer(text).expect("answers"))
+                b.iter(|| engine.answer(QueryLang::Cq, text).expect("answers"))
             });
         }
     }
 
     // Rewrite cache: cold re-rewrites every iteration, warm hits the
-    // cached (pruned) UCQ.
+    // cached (pruned) UCQ. Uses the concrete system: the trait-level
+    // `invalidate` also drops the materialized ABox, which would turn
+    // "cold cache" into "cold everything".
     let mut sys = mastro::demo::build_system(&scenario)
         .expect("builds")
         .with_rewriting(RewritingMode::PerfectRef)
@@ -68,16 +89,16 @@ fn obda_e2e(c: &mut Criterion) {
 
     // Thread scaling of the materialized UCQ evaluator.
     for threads in [1usize, 2, 4] {
-        let sys = mastro::demo::build_system(&scenario)
-            .expect("builds")
-            .with_rewriting(RewritingMode::PerfectRef)
-            .with_data_mode(DataMode::Materialized)
-            .with_eval_threads(threads);
-        let _ = sys.materialized_abox().expect("materializes");
+        let engine = build_engine(
+            &scenario,
+            RewritingMode::PerfectRef,
+            DataMode::Materialized,
+            threads,
+        );
         let label = format!("perfectref_mat_{threads}t");
         for qs in &scenario.queries {
             group.bench_with_input(BenchmarkId::new(&label, &qs.name), &qs.text, |b, text| {
-                b.iter(|| sys.answer(text).expect("answers"))
+                b.iter(|| engine.answer(QueryLang::Cq, text).expect("answers"))
             });
         }
     }

@@ -13,7 +13,13 @@
 //! loadgen [--addr HOST:PORT] [--workers N] [--queue N] [--scale N] [--seed N]
 //!         [--kind university|university-abox] [--connections N] [--requests N]
 //!         [--mix cq|sparql|both] [--warm] [--timeout-ms N] [--label S] [--markdown]
+//!         [--trace-slowest K]
 //! ```
+//!
+//! `--trace-slowest K` fetches the server's completed-query trace ring
+//! (the `TRACE` protocol verb) after the run and prints the K slowest
+//! traced queries with their per-phase timing breakdown — the first
+//! place to look when a tail latency needs explaining.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -42,6 +48,8 @@ struct Opts {
     delay_ms: u64,
     label: String,
     markdown: bool,
+    /// Print the K slowest traced queries (0 = off).
+    trace_slowest: usize,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -68,6 +76,7 @@ impl Default for Opts {
             delay_ms: 0,
             label: String::new(),
             markdown: false,
+            trace_slowest: 0,
         }
     }
 }
@@ -77,7 +86,7 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--workers N] [--queue N] [--scale N] [--seed N]\n\
          \x20              [--kind university|university-abox] [--connections N] [--requests N]\n\
          \x20              [--mix cq|sparql|both] [--warm] [--timeout-ms N] [--delay-ms N]\n\
-         \x20              [--label S] [--markdown]"
+         \x20              [--label S] [--markdown] [--trace-slowest K]"
     );
     std::process::exit(2)
 }
@@ -124,6 +133,9 @@ fn parse_opts() -> Opts {
             "--delay-ms" => opts.delay_ms = val("--delay-ms").parse().unwrap_or_else(|_| usage()),
             "--label" => opts.label = val("--label"),
             "--markdown" => opts.markdown = true,
+            "--trace-slowest" => {
+                opts.trace_slowest = val("--trace-slowest").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -230,6 +242,40 @@ fn pct(sorted_us: &[u64], p: f64) -> u64 {
     }
     let rank = ((p / 100.0) * sorted_us.len() as f64).ceil().max(1.0) as usize;
     sorted_us[rank.min(sorted_us.len()) - 1]
+}
+
+/// Fetches the server's trace ring via the `TRACE` verb and prints the
+/// `k` slowest traced queries with per-phase attribution.
+fn print_slowest_traces(addr: SocketAddr, k: usize) {
+    // The ring holds the last N completed traces (QUONTO_TRACE_RING,
+    // default 128); ask for more than any default so we see them all.
+    let resp = Conn::open(addr)
+        .and_then(|mut c| c.roundtrip("TRACE 4096"))
+        .unwrap_or(Json::Null);
+    let Some(traces) = resp.get("traces").and_then(Json::as_arr) else {
+        println!("  trace ring unavailable (server answered: {resp})");
+        return;
+    };
+    let mut traces: Vec<&Json> = traces.iter().collect();
+    traces.sort_by_key(|t| {
+        std::cmp::Reverse(t.get("total_us").and_then(Json::as_u64).unwrap_or(0))
+    });
+    println!("  slowest {} of {} traced queries:", k.min(traces.len()), traces.len());
+    for t in traces.iter().take(k) {
+        let query = t.get("query").and_then(Json::as_str).unwrap_or("?");
+        let status = t.get("status").and_then(Json::as_str).unwrap_or("?");
+        let rows = t.get("rows").and_then(Json::as_u64).unwrap_or(0);
+        let total_us = t.get("total_us").and_then(Json::as_u64).unwrap_or(0);
+        let mut phases = String::new();
+        if let Some(ps) = t.get("phases").and_then(Json::as_arr) {
+            for p in ps {
+                let name = p.get("phase").and_then(Json::as_str).unwrap_or("?");
+                let us = p.get("us").and_then(Json::as_u64).unwrap_or(0);
+                phases.push_str(&format!(" {name}={us}us"));
+            }
+        }
+        println!("    total_us={total_us} status={status} rows={rows} phases:{phases} query={query:?}");
+    }
 }
 
 fn main() {
@@ -364,6 +410,9 @@ fn main() {
         latencies.last().copied().unwrap_or(0),
     );
     println!("  server cache_hit_rate={hit_rate:.3} queue_high_water={high_water}");
+    if opts.trace_slowest > 0 {
+        print_slowest_traces(addr, opts.trace_slowest);
+    }
     if opts.markdown {
         println!(
             "| {workers} | {} | {} | {:.0} | {:.1} | {:.1} | {:.1} | {:.3} |",

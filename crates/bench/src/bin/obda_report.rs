@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use mastro::{DataMode, RewritingMode};
+use mastro::{DataMode, QueryEngine, QueryLang, RewritingMode, SystemBuilder};
 use obda_genont::university_scenario;
 use obda_mapping::materialize;
 
@@ -21,28 +21,39 @@ fn main() {
     for scale in [1usize, 4, 16, 32] {
         let scenario = university_scenario(scale, 42);
         let rows: usize = scenario.tables.iter().map(|t| t.rows.len()).sum();
-        let virtual_sys = mastro::demo::build_system(&scenario)
-            .expect("builds")
-            .with_rewriting(RewritingMode::Presto)
-            .with_data_mode(DataMode::Virtual);
-        let mat_sys = mastro::demo::build_system(&scenario)
-            .expect("builds")
-            .with_rewriting(RewritingMode::Presto)
-            .with_data_mode(DataMode::Materialized);
-
+        // Both modes go through the unified QueryEngine trait, built by
+        // the SystemBuilder — the same construction the server uses.
+        let virtual_sys = mastro::demo::build_system(&scenario).expect("builds");
         let t0 = Instant::now();
         let abox = materialize(&virtual_sys.mappings, &virtual_sys.db).expect("materializes");
         let mat_time = t0.elapsed();
+        let build = |dm: DataMode| -> Box<dyn QueryEngine> {
+            let db = mastro::demo::load_database(&scenario).expect("loads");
+            let mappings = mastro::demo::build_mappings(&scenario);
+            Box::new(
+                SystemBuilder::new()
+                    .rewriting(RewritingMode::Presto)
+                    .data_mode(dm)
+                    .build_obda(scenario.tbox.clone(), mappings, db)
+                    .expect("builds"),
+            )
+        };
+        let virtual_engine = build(DataMode::Virtual);
+        let mat_engine = build(DataMode::Materialized);
 
         let t1 = Instant::now();
         for qs in &scenario.queries {
-            let _ = virtual_sys.answer(&qs.text).expect("virtual answers");
+            let _ = virtual_engine
+                .answer(QueryLang::Cq, &qs.text)
+                .expect("virtual answers");
         }
         let virtual_time = t1.elapsed();
 
         let t2 = Instant::now();
         for qs in &scenario.queries {
-            let _ = mat_sys.answer(&qs.text).expect("materialized answers");
+            let _ = mat_engine
+                .answer(QueryLang::Cq, &qs.text)
+                .expect("materialized answers");
         }
         let materialized_time = t2.elapsed();
 

@@ -95,10 +95,18 @@ pub const KNOBS: &[Knob] = &[
     },
     Knob {
         name: "QUONTO_TIMINGS",
-        kind: KnobKind::Flag,
+        kind: KnobKind::Name,
         default: "off",
-        doc: "Prints one-line per-phase timing breakdowns (`quonto-timings`, `mastro-timings`) \
-              to stderr.",
+        doc: "Trace-sink selector for per-query phase breakdowns: `1` = legacy one-line stderr \
+              format (`quonto-timings`, `mastro-timings`), `json` = one JSON object per query \
+              on stderr, unset/`0` = off.",
+    },
+    Knob {
+        name: "QUONTO_TRACE_RING",
+        kind: KnobKind::Count,
+        default: "128",
+        doc: "Capacity of the in-process ring of completed query traces served by the server \
+              `TRACE` verb (`0` disables trace capture).",
     },
 ];
 
@@ -130,9 +138,31 @@ pub fn eval_threads() -> Option<usize> {
     raw("QUONTO_THREADS").and_then(|s| s.parse().ok())
 }
 
-/// `QUONTO_TIMINGS=1`: per-phase timing lines on stderr.
+/// The trace-sink selection carried by `QUONTO_TIMINGS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingsMode {
+    /// Unset, `0`, or anything unrecognised: no per-query output.
+    #[default]
+    Off,
+    /// `1` (or `stderr`): the legacy one-line stderr format.
+    Stderr,
+    /// `json`: one JSON object per query on stderr.
+    Json,
+}
+
+/// `QUONTO_TIMINGS`: which per-query trace sink is selected.
+pub fn timings_mode() -> TimingsMode {
+    match raw("QUONTO_TIMINGS").as_deref() {
+        Some("1") | Some("stderr") => TimingsMode::Stderr,
+        Some("json") => TimingsMode::Json,
+        _ => TimingsMode::Off,
+    }
+}
+
+/// Whether any per-phase timing output is enabled (legacy predicate;
+/// quonto's own `quonto-timings` lines key off this).
 pub fn timings_enabled() -> bool {
-    flag("QUONTO_TIMINGS")
+    timings_mode() != TimingsMode::Off
 }
 
 /// Turns [`timings_enabled`] on for this process (used by harness
@@ -154,6 +184,12 @@ pub fn full_presets() -> bool {
 /// `QUONTO_BENCH_SCALE`: bench ontology scale factor, if set and valid.
 pub fn bench_scale() -> Option<f64> {
     raw("QUONTO_BENCH_SCALE").and_then(|s| s.parse().ok())
+}
+
+/// `QUONTO_TRACE_RING`: capacity of the global completed-trace ring,
+/// if set and numeric. `Some(0)` disables trace capture.
+pub fn trace_ring() -> Option<usize> {
+    raw("QUONTO_TRACE_RING").and_then(|s| s.parse().ok())
 }
 
 /// Renders the registry as the markdown table embedded in README.md and

@@ -17,4 +17,4 @@ pub mod assertion;
 pub mod materialize;
 
 pub use assertion::{IriTemplate, MappingAssertion, MappingHead, MappingSet};
-pub use materialize::materialize;
+pub use materialize::{materialize, materialize_with_stats, MaterializeStats};

@@ -4,15 +4,72 @@
 //! This is "ABox mode" OBDA: useful for moderate data sizes, for tests,
 //! and as the baseline against unfolding in the A4 ablation.
 
+use std::sync::{Arc, OnceLock};
+
 use obda_dllite::{Abox, Value};
+use obda_obs::Counter;
 use obda_sqlstore::{Database, SqlError, SqlValue};
 
 use crate::assertion::{MappingHead, MappingSet};
 
+/// Per-run materialization counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaterializeStats {
+    /// Per mapping assertion (indexed like `MappingSet::assertions()`):
+    /// how many (row, head) derivations were dropped because a
+    /// head-referenced column was NULL — a NULL means the source had no
+    /// value, so no assertion is derived from that row for that head.
+    pub skipped_rows: Vec<u64>,
+}
+
+impl MaterializeStats {
+    /// Total skipped rows across all mappings.
+    pub fn total_skipped(&self) -> u64 {
+        self.skipped_rows.iter().sum()
+    }
+}
+
+/// Registry handle for the process-wide skipped-rows counter.
+fn skipped_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| obda_obs::registry().counter("materialize.skipped_rows"))
+}
+
 /// Evaluates all mappings over `db`, producing the virtual ABox.
 pub fn materialize(mappings: &MappingSet, db: &Database) -> Result<Abox, SqlError> {
+    materialize_with_stats(mappings, db).map(|(abox, _)| abox)
+}
+
+/// The columns a mapping head derives assertions from; a row is used by
+/// that head iff all of them are non-NULL. Centralizing this is what
+/// keeps NULL handling uniform across the three head shapes.
+fn head_columns<'a>(
+    h: &'a MappingHead,
+    col: &impl Fn(&str) -> Result<usize, SqlError>,
+) -> Result<Vec<usize>, SqlError> {
+    match h {
+        MappingHead::Concept { subject, .. } => Ok(vec![col(&subject.column)?]),
+        MappingHead::Role {
+            subject, object, ..
+        } => Ok(vec![col(&subject.column)?, col(&object.column)?]),
+        MappingHead::Attribute {
+            subject,
+            value_column,
+            ..
+        } => Ok(vec![col(&subject.column)?, col(value_column)?]),
+    }
+}
+
+/// [`materialize`] plus per-mapping skipped-row counters. Skips are also
+/// published to the metrics registry (`materialize.skipped_rows` total,
+/// `materialize.skipped_rows.m{i}` per mapping with skips).
+pub fn materialize_with_stats(
+    mappings: &MappingSet,
+    db: &Database,
+) -> Result<(Abox, MaterializeStats), SqlError> {
     let mut abox = Abox::new();
-    for m in mappings.assertions() {
+    let mut stats = MaterializeStats::default();
+    for (mi, m) in mappings.assertions().iter().enumerate() {
         let rs = db.query(&m.sql)?;
         let col = |name: &str| -> Result<usize, SqlError> {
             rs.columns
@@ -20,42 +77,30 @@ pub fn materialize(mappings: &MappingSet, db: &Database) -> Result<Abox, SqlErro
                 .position(|c| c == name)
                 .ok_or_else(|| SqlError::new(format!("missing answer column `{name}`")))
         };
+        let mut skipped = 0u64;
         for h in &m.heads {
-            match h {
-                MappingHead::Concept { concept, subject } => {
-                    let s = col(&subject.column)?;
-                    for row in &rs.rows {
-                        if row[s].is_null() {
-                            continue;
-                        }
-                        abox.assert_concept(*concept, &subject.render(&row[s]));
-                    }
+            let required = head_columns(h, &col)?;
+            for row in &rs.rows {
+                if required.iter().any(|&i| row[i].is_null()) {
+                    skipped += 1;
+                    continue;
                 }
-                MappingHead::Role {
-                    role,
-                    subject,
-                    object,
-                } => {
-                    let s = col(&subject.column)?;
-                    let o = col(&object.column)?;
-                    for row in &rs.rows {
-                        if row[s].is_null() || row[o].is_null() {
-                            continue;
-                        }
+                match h {
+                    MappingHead::Concept { concept, subject } => {
+                        abox.assert_concept(*concept, &subject.render(&row[required[0]]));
+                    }
+                    MappingHead::Role {
+                        role,
+                        subject,
+                        object,
+                    } => {
+                        let (s, o) = (required[0], required[1]);
                         abox.assert_role(*role, &subject.render(&row[s]), &object.render(&row[o]));
                     }
-                }
-                MappingHead::Attribute {
-                    attribute,
-                    subject,
-                    value_column,
-                } => {
-                    let s = col(&subject.column)?;
-                    let v = col(value_column)?;
-                    for row in &rs.rows {
-                        if row[s].is_null() || row[v].is_null() {
-                            continue;
-                        }
+                    MappingHead::Attribute {
+                        attribute, subject, ..
+                    } => {
+                        let (s, v) = (required[0], required[1]);
                         let value = match &row[v] {
                             SqlValue::Int(i) => Value::Int(*i),
                             SqlValue::Text(t) => Value::Text(t.clone()),
@@ -66,8 +111,13 @@ pub fn materialize(mappings: &MappingSet, db: &Database) -> Result<Abox, SqlErro
                 }
             }
         }
+        if skipped > 0 {
+            skipped_total().add(skipped);
+            obda_obs::registry().add(&format!("materialize.skipped_rows.m{mi}"), skipped);
+        }
+        stats.skipped_rows.push(skipped);
     }
-    Ok(abox)
+    Ok((abox, stats))
 }
 
 #[cfg(test)]
@@ -118,6 +168,57 @@ mod tests {
         assert_eq!(abox.attribute_instances(name).count(), 2);
         assert!(abox.find_individual("p/1").is_some());
         assert!(abox.find_individual("p/2").is_some());
+    }
+
+    #[test]
+    fn null_skips_are_counted_per_mapping_and_published() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE T (id INT, boss INT, name TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO T VALUES (1, NULL, 'ada'), (2, NULL, NULL), (3, 1, 'eve')")
+            .unwrap();
+        let mut sig = Signature::new();
+        let person = sig.concept("Person");
+        let reports = sig.role("reportsTo");
+        let name = sig.attribute("name");
+        let tpl = |col: &str| IriTemplate {
+            prefix: "p/".into(),
+            column: col.into(),
+        };
+        let mut ms = MappingSet::new();
+        // Mapping 0 never sees a NULL subject.
+        ms.add(MappingAssertion {
+            sql: "SELECT id FROM T".into(),
+            heads: vec![MappingHead::Concept {
+                concept: person,
+                subject: tpl("id"),
+            }],
+        });
+        // Mapping 1: two NULL bosses + one NULL name → 3 skips.
+        ms.add(MappingAssertion {
+            sql: "SELECT id, boss, name FROM T".into(),
+            heads: vec![
+                MappingHead::Role {
+                    role: reports,
+                    subject: tpl("id"),
+                    object: tpl("boss"),
+                },
+                MappingHead::Attribute {
+                    attribute: name,
+                    subject: tpl("id"),
+                    value_column: "name".into(),
+                },
+            ],
+        });
+        let before = skipped_total().get();
+        let (abox, stats) = materialize_with_stats(&ms, &db).unwrap();
+        assert_eq!(stats.skipped_rows, vec![0, 3]);
+        assert_eq!(stats.total_skipped(), 3);
+        assert_eq!(abox.role_instances(reports).count(), 1);
+        assert_eq!(abox.attribute_instances(name).count(), 2);
+        // The registry totals move by exactly this run's skips (the
+        // registry is process-global, so assert on the delta).
+        assert_eq!(skipped_total().get() - before, 3);
     }
 
     #[test]

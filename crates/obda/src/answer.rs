@@ -164,6 +164,23 @@ pub fn evaluate_ucq_indexed(u: &Ucq, abox: &Abox, index: &AboxIndex) -> Answers 
     out
 }
 
+/// [`evaluate_ucq_parallel`] under an `eval` trace span. Exactly one
+/// span is recorded, from the coordinating thread, with the resolved
+/// thread count as a counter — so a trace's phase set is identical for
+/// every `threads` value.
+pub fn evaluate_ucq_parallel_traced(
+    u: &Ucq,
+    abox: &Abox,
+    index: &AboxIndex,
+    threads: usize,
+    ctx: &obda_obs::TraceCtx,
+) -> Answers {
+    let guard = obda_obs::span!(ctx, "eval");
+    guard.count("threads", threads.clamp(1, u.disjuncts.len().max(1)) as u64);
+    guard.count("disjuncts", u.len() as u64);
+    evaluate_ucq_parallel(u, abox, index, threads)
+}
+
 /// Evaluates a UCQ with the disjuncts sharded round-robin over
 /// `threads` scoped threads. Each shard accumulates into its own
 /// [`Answers`] set; the ordered merge makes the result identical to

@@ -4,13 +4,18 @@
 
 use obda_genont::{Cell, HeadAtom, UniversityScenario};
 use obda_mapping::{IriTemplate, MappingAssertion, MappingHead, MappingSet};
-use obda_sqlstore::{ColumnType, Database, SqlValue};
+use obda_sqlstore::{ColumnType, Database, SqlError, SqlValue};
 
+use crate::error::ErrorPhase;
 use crate::system::{ObdaError, ObdaSystem};
 
 /// Loads the scenario's tables into a fresh database (with hash indexes
 /// on every first column, as a deployment would).
 pub fn load_database(scenario: &UniversityScenario) -> Result<Database, ObdaError> {
+    load_database_sql(scenario).map_err(|e| ObdaError::sql(ErrorPhase::Load, e))
+}
+
+fn load_database_sql(scenario: &UniversityScenario) -> Result<Database, SqlError> {
     let mut db = Database::new();
     for t in &scenario.tables {
         let columns = t
@@ -119,73 +124,7 @@ pub fn system_from_abox(
 ) -> Result<ObdaSystem, ObdaError> {
     use obda_dllite::{Assertion, Value};
 
-    let mut db = Database::new();
-    db.create_table(
-        "concept_assert",
-        vec![
-            ("cid".into(), ColumnType::Int),
-            ("ind".into(), ColumnType::Text),
-        ],
-    )?;
-    db.create_table(
-        "role_assert",
-        vec![
-            ("rid".into(), ColumnType::Int),
-            ("s".into(), ColumnType::Text),
-            ("o".into(), ColumnType::Text),
-        ],
-    )?;
-    db.create_table(
-        "attr_int",
-        vec![
-            ("aid".into(), ColumnType::Int),
-            ("s".into(), ColumnType::Text),
-            ("v".into(), ColumnType::Int),
-        ],
-    )?;
-    db.create_table(
-        "attr_text",
-        vec![
-            ("aid".into(), ColumnType::Int),
-            ("s".into(), ColumnType::Text),
-            ("v".into(), ColumnType::Text),
-        ],
-    )?;
-    for a in abox.assertions() {
-        match a {
-            Assertion::Concept(c, i) => db.insert(
-                "concept_assert",
-                vec![
-                    SqlValue::Int(c.0 as i64),
-                    SqlValue::Text(abox.individual_name(*i).to_owned()),
-                ],
-            )?,
-            Assertion::Role(p, s, o) => db.insert(
-                "role_assert",
-                vec![
-                    SqlValue::Int(p.0 as i64),
-                    SqlValue::Text(abox.individual_name(*s).to_owned()),
-                    SqlValue::Text(abox.individual_name(*o).to_owned()),
-                ],
-            )?,
-            Assertion::Attribute(u, s, v) => {
-                let (table, value) = match v {
-                    Value::Int(i) => ("attr_int", SqlValue::Int(*i)),
-                    Value::Text(t) => ("attr_text", SqlValue::Text(t.clone())),
-                };
-                db.insert(
-                    table,
-                    vec![
-                        SqlValue::Int(u.0 as i64),
-                        SqlValue::Text(abox.individual_name(*s).to_owned()),
-                        value,
-                    ],
-                )?;
-            }
-        }
-    }
-    db.create_index("concept_assert", "cid")?;
-    db.create_index("role_assert", "rid")?;
+    let db = abox_database(abox).map_err(|e| ObdaError::sql(ErrorPhase::Load, e))?;
 
     let ind = |col: &str| IriTemplate {
         prefix: String::new(),
@@ -223,7 +162,78 @@ pub fn system_from_abox(
             });
         }
     }
-    ObdaSystem::new(tbox, ms, db)
+    return ObdaSystem::new(tbox, ms, db);
+
+    fn abox_database(abox: &obda_dllite::Abox) -> Result<Database, SqlError> {
+        let mut db = Database::new();
+        db.create_table(
+            "concept_assert",
+            vec![
+                ("cid".into(), ColumnType::Int),
+                ("ind".into(), ColumnType::Text),
+            ],
+        )?;
+        db.create_table(
+            "role_assert",
+            vec![
+                ("rid".into(), ColumnType::Int),
+                ("s".into(), ColumnType::Text),
+                ("o".into(), ColumnType::Text),
+            ],
+        )?;
+        db.create_table(
+            "attr_int",
+            vec![
+                ("aid".into(), ColumnType::Int),
+                ("s".into(), ColumnType::Text),
+                ("v".into(), ColumnType::Int),
+            ],
+        )?;
+        db.create_table(
+            "attr_text",
+            vec![
+                ("aid".into(), ColumnType::Int),
+                ("s".into(), ColumnType::Text),
+                ("v".into(), ColumnType::Text),
+            ],
+        )?;
+        for a in abox.assertions() {
+            match a {
+                Assertion::Concept(c, i) => db.insert(
+                    "concept_assert",
+                    vec![
+                        SqlValue::Int(c.0 as i64),
+                        SqlValue::Text(abox.individual_name(*i).to_owned()),
+                    ],
+                )?,
+                Assertion::Role(p, s, o) => db.insert(
+                    "role_assert",
+                    vec![
+                        SqlValue::Int(p.0 as i64),
+                        SqlValue::Text(abox.individual_name(*s).to_owned()),
+                        SqlValue::Text(abox.individual_name(*o).to_owned()),
+                    ],
+                )?,
+                Assertion::Attribute(u, s, v) => {
+                    let (table, value) = match v {
+                        Value::Int(i) => ("attr_int", SqlValue::Int(*i)),
+                        Value::Text(t) => ("attr_text", SqlValue::Text(t.clone())),
+                    };
+                    db.insert(
+                        table,
+                        vec![
+                            SqlValue::Int(u.0 as i64),
+                            SqlValue::Text(abox.individual_name(*s).to_owned()),
+                            value,
+                        ],
+                    )?;
+                }
+            }
+        }
+        db.create_index("concept_assert", "cid")?;
+        db.create_index("role_assert", "rid")?;
+        Ok(db)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,247 @@
+//! The unified answering API: the [`QueryEngine`] trait and the
+//! [`SystemBuilder`].
+//!
+//! Before this module, [`crate::system::ObdaSystem`] and
+//! [`crate::system::AboxSystem`] exposed two divergent answering
+//! surfaces and the serving layer matched on an enum of them. Now both
+//! implement [`QueryEngine`], so a server endpoint, a load generator,
+//! or a bench holds a `Box<dyn QueryEngine>` and a third backend slots
+//! in without touching the serving layer.
+//!
+//! Construction goes through [`SystemBuilder`]: evaluation threads,
+//! cache toggles, and the trace sink are explicit builder options. Any
+//! option left unset falls back to the environment knob it supersedes
+//! (`QUONTO_THREADS`, `QUONTO_TIMINGS`) at build time — so knobs and
+//! builder calls compose, with the builder winning.
+
+use std::sync::Arc;
+
+use obda_dllite::{Abox, Signature, Tbox};
+use obda_mapping::MappingSet;
+use obda_obs::{span, SinkKind, TraceCtx, TraceSink};
+use obda_sqlstore::Database;
+
+use crate::answer::Answers;
+use crate::error::ObdaError;
+use crate::query::ConjunctiveQuery;
+use crate::system::{AboxSystem, DataMode, ObdaSystem, RewriteCacheStats, RewritingMode};
+
+/// Query language of an answering request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryLang {
+    /// Datalog-style conjunctive query syntax (`q(x) :- C(x), r(x, y)`).
+    Cq,
+    /// SPARQL conjunctive fragment (SELECT / ASK).
+    Sparql,
+}
+
+impl QueryLang {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryLang::Cq => "cq",
+            QueryLang::Sparql => "sparql",
+        }
+    }
+}
+
+/// Engine-level counters surfaced through [`QueryEngine::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Rewriting algorithm name (`"PerfectRef"`, `"Presto"`).
+    pub rewriting: &'static str,
+    /// Data-access mode name (`"Virtual"`, `"Materialized"`, `"Abox"`).
+    pub data: &'static str,
+    /// Configured UCQ evaluation threads (0 = all cores).
+    pub eval_threads: usize,
+    /// TBox epoch (bumped by invalidation).
+    pub tbox_epoch: u64,
+    /// Rewrite-cache hit/miss counters.
+    pub rewrite_cache: RewriteCacheStats,
+}
+
+/// One loaded, thread-shareable query-answering engine.
+///
+/// The required methods are the engine-specific plumbing; callers use
+/// the provided [`answer`](Self::answer) /
+/// [`answer_traced`](Self::answer_traced) entry points, which handle
+/// parsing, trace-context lifecycle, and sink emission uniformly.
+pub trait QueryEngine: Send + Sync + std::fmt::Debug {
+    /// The signature queries are parsed against.
+    fn signature(&self) -> &Signature;
+
+    /// The engine-level sink that untraced [`answer`](Self::answer)
+    /// calls publish finished traces to.
+    fn trace_sink(&self) -> Arc<dyn TraceSink>;
+
+    /// Answers a parsed CQ, recording phase spans on `ctx`.
+    fn answer_cq_traced(
+        &self,
+        q: &ConjunctiveQuery,
+        ctx: &TraceCtx,
+    ) -> Result<Answers, ObdaError>;
+
+    /// Engine counters (cache hit rates, configuration).
+    fn stats(&self) -> EngineStats;
+
+    /// Drops derived state (cached rewritings, materialized data) so
+    /// later queries recompute it. `&self`: callable on a shared
+    /// engine; concurrent queries simply see a cold cache.
+    fn invalidate(&self);
+
+    /// Zeroes the resettable counters in [`stats`](Self::stats).
+    fn reset_stats(&self);
+
+    /// Parses `text` under `lang` (recording a `parse` span) and
+    /// answers it, recording the remaining phase spans on `ctx`. The
+    /// caller owns the context: finishing and publishing the trace is
+    /// its responsibility (the server does this per request).
+    fn answer_traced(
+        &self,
+        lang: QueryLang,
+        text: &str,
+        ctx: &TraceCtx,
+    ) -> Result<Answers, ObdaError> {
+        let q = {
+            let _parse = span!(ctx, "parse");
+            match lang {
+                QueryLang::Cq => crate::query::parse_cq(text, self.signature())?,
+                QueryLang::Sparql => crate::sparql::parse_sparql(text, self.signature())?.cq,
+            }
+        };
+        self.answer_cq_traced(&q, ctx)
+    }
+
+    /// Answers `text`, managing the trace lifecycle internally: a
+    /// context is created iff the engine's sink is enabled, and the
+    /// finished trace is published to the sink and the global ring.
+    fn answer(&self, lang: QueryLang, text: &str) -> Result<Answers, ObdaError> {
+        run_with_engine_trace(&self.trace_sink(), Some(text), |ctx| {
+            self.answer_traced(lang, text, ctx)
+        })
+    }
+}
+
+/// Runs `f` under a fresh engine-level trace context (enabled iff the
+/// sink is) and publishes the finished trace. Shared by the trait's
+/// provided `answer` and the systems' legacy inherent entry points.
+pub(crate) fn run_with_engine_trace(
+    sink: &Arc<dyn TraceSink>,
+    text: Option<&str>,
+    f: impl FnOnce(&TraceCtx) -> Result<Answers, ObdaError>,
+) -> Result<Answers, ObdaError> {
+    let ctx = if sink.enabled() {
+        TraceCtx::new()
+    } else {
+        TraceCtx::disabled()
+    };
+    if let Some(text) = text {
+        ctx.set_query(text);
+    }
+    let res = f(&ctx);
+    let (status, rows) = match &res {
+        Ok(answers) => ("ok", answers.len() as u64),
+        Err(_) => ("error", 0),
+    };
+    if let Some(trace) = ctx.finish(status, rows) {
+        obda_obs::submit(trace, &**sink);
+    }
+    res
+}
+
+/// Typed construction for both engine shapes. Unset options default
+/// from the environment knobs at build time; set options always win.
+#[derive(Debug, Clone, Default)]
+pub struct SystemBuilder {
+    rewriting: Option<RewritingMode>,
+    data: Option<DataMode>,
+    eval_threads: Option<usize>,
+    rewrite_cache: Option<bool>,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl SystemBuilder {
+    pub fn new() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// Rewriting algorithm (default: Presto for [`ObdaSystem`];
+    /// [`AboxSystem`] always uses PerfectRef).
+    pub fn rewriting(mut self, mode: RewritingMode) -> Self {
+        self.rewriting = Some(mode);
+        self
+    }
+
+    /// Data-access mode (default: virtual). Ignored by
+    /// [`build_abox`](Self::build_abox).
+    pub fn data_mode(mut self, mode: DataMode) -> Self {
+        self.data = Some(mode);
+        self
+    }
+
+    /// UCQ evaluation threads, `0` = all cores (default:
+    /// `QUONTO_THREADS`, else 1).
+    pub fn eval_threads(mut self, threads: usize) -> Self {
+        self.eval_threads = Some(threads);
+        self
+    }
+
+    /// Enables/disables the rewrite cache (default: enabled).
+    pub fn rewrite_cache(mut self, enabled: bool) -> Self {
+        self.rewrite_cache = Some(enabled);
+        self
+    }
+
+    /// Trace sink for untraced `answer` calls (default: selected by
+    /// `QUONTO_TIMINGS`).
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Convenience for the built-in sinks.
+    pub fn trace(self, kind: SinkKind) -> Self {
+        let sink = obda_obs::sink::named(kind);
+        self.trace_sink(sink)
+    }
+
+    /// Builds a full OBDA system (mappings + SQL sources).
+    pub fn build_obda(
+        &self,
+        tbox: Tbox,
+        mappings: MappingSet,
+        db: Database,
+    ) -> Result<ObdaSystem, ObdaError> {
+        let mut sys = ObdaSystem::new(tbox, mappings, db)?;
+        if let Some(mode) = self.rewriting {
+            sys = sys.with_rewriting(mode);
+        }
+        if let Some(mode) = self.data {
+            sys = sys.with_data_mode(mode);
+        }
+        if let Some(threads) = self.eval_threads {
+            sys = sys.with_eval_threads(threads);
+        }
+        if let Some(enabled) = self.rewrite_cache {
+            sys = sys.with_rewrite_cache(enabled);
+        }
+        if let Some(sink) = &self.sink {
+            sys = sys.with_trace_sink(Arc::clone(sink));
+        }
+        Ok(sys)
+    }
+
+    /// Builds an ABox-backed system (no mappings/SQL).
+    pub fn build_abox(&self, tbox: Tbox, abox: Abox) -> AboxSystem {
+        let mut sys = AboxSystem::new(tbox, abox);
+        if let Some(threads) = self.eval_threads {
+            sys = sys.with_eval_threads(threads);
+        }
+        if let Some(enabled) = self.rewrite_cache {
+            sys = sys.with_rewrite_cache(enabled);
+        }
+        if let Some(sink) = &self.sink {
+            sys = sys.with_trace_sink(Arc::clone(sink));
+        }
+        sys
+    }
+}

@@ -1,0 +1,171 @@
+//! Structured errors for the OBDA facade.
+//!
+//! Every SQL-level failure carries the pipeline phase it happened in
+//! (and, where one exists, the query fragment being processed), so a
+//! serving layer can map errors to distinct machine-readable kinds
+//! (`sql.unfold`, `sql.materialize`, …) instead of flattening
+//! everything into one string. There is deliberately **no**
+//! `From<SqlError>` impl: each conversion site names its phase.
+
+use obda_sqlstore::SqlError;
+
+use crate::query::QueryParseError;
+
+/// The pipeline phase an SQL-level error is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorPhase {
+    /// Mapping validation against the source schema (at load time).
+    Validate,
+    /// Source loading / scenario setup.
+    Load,
+    /// ABox materialization from the mappings.
+    Materialize,
+    /// Unfolding a rewriting into flat SQL.
+    Unfold,
+    /// Executing SQL / evaluating the rewriting over the data.
+    Evaluate,
+    /// The knowledge-base consistency check.
+    Consistency,
+}
+
+impl ErrorPhase {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorPhase::Validate => "validate",
+            ErrorPhase::Load => "load",
+            ErrorPhase::Materialize => "materialize",
+            ErrorPhase::Unfold => "unfold",
+            ErrorPhase::Evaluate => "evaluate",
+            ErrorPhase::Consistency => "consistency",
+        }
+    }
+}
+
+/// Errors surfaced by the system facade.
+#[derive(Debug)]
+pub enum ObdaError {
+    /// Query text failed to parse.
+    Query(QueryParseError),
+    /// SQL-level failure, attributed to a pipeline phase.
+    Sql {
+        /// Where in the pipeline it failed.
+        phase: ErrorPhase,
+        /// The query/SQL fragment being processed, when known.
+        fragment: Option<String>,
+        /// The underlying store error.
+        source: SqlError,
+    },
+}
+
+impl ObdaError {
+    /// An SQL error attributed to `phase` with no fragment.
+    pub fn sql(phase: ErrorPhase, source: SqlError) -> ObdaError {
+        ObdaError::Sql {
+            phase,
+            fragment: None,
+            source,
+        }
+    }
+
+    /// An SQL error attributed to `phase` while processing `fragment`.
+    pub fn sql_in(phase: ErrorPhase, fragment: impl Into<String>, source: SqlError) -> ObdaError {
+        ObdaError::Sql {
+            phase,
+            fragment: Some(fragment.into()),
+            source,
+        }
+    }
+
+    /// Machine-readable error kind for protocol responses.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObdaError::Query(_) => "parse",
+            ObdaError::Sql { phase, .. } => match phase {
+                ErrorPhase::Validate => "sql.validate",
+                ErrorPhase::Load => "sql.load",
+                ErrorPhase::Materialize => "sql.materialize",
+                ErrorPhase::Unfold => "sql.unfold",
+                ErrorPhase::Evaluate => "sql.evaluate",
+                ErrorPhase::Consistency => "sql.consistency",
+            },
+        }
+    }
+
+    /// The failing phase (`None` for parse errors).
+    pub fn phase(&self) -> Option<ErrorPhase> {
+        match self {
+            ObdaError::Query(_) => None,
+            ObdaError::Sql { phase, .. } => Some(*phase),
+        }
+    }
+}
+
+impl std::fmt::Display for ObdaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObdaError::Query(e) => write!(f, "query error: {e}"),
+            ObdaError::Sql {
+                phase,
+                fragment: Some(frag),
+                source,
+            } => write!(f, "sql error during {} ({frag}): {source}", phase.as_str()),
+            ObdaError::Sql {
+                phase,
+                fragment: None,
+                source,
+            } => write!(f, "sql error during {}: {source}", phase.as_str()),
+        }
+    }
+}
+
+impl std::error::Error for ObdaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObdaError::Query(_) => None,
+            ObdaError::Sql { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<QueryParseError> for ObdaError {
+    fn from(e: QueryParseError) -> Self {
+        ObdaError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_carry_the_phase() {
+        let e = ObdaError::sql_in(
+            ErrorPhase::Unfold,
+            "q(x) :- Student(x)",
+            SqlError::new("unknown column `x`"),
+        );
+        assert_eq!(e.kind(), "sql.unfold");
+        assert_eq!(e.phase(), Some(ErrorPhase::Unfold));
+        let text = e.to_string();
+        assert!(text.contains("during unfold"));
+        assert!(text.contains("q(x) :- Student(x)"));
+        assert!(text.contains("unknown column"));
+
+        let p = ObdaError::Query(QueryParseError {
+            message: "nope".into(),
+        });
+        assert_eq!(p.kind(), "parse");
+        assert_eq!(p.phase(), None);
+
+        let bare = ObdaError::sql(ErrorPhase::Materialize, SqlError::new("boom"));
+        assert_eq!(bare.kind(), "sql.materialize");
+        assert_eq!(bare.to_string(), "sql error during materialize: boom");
+    }
+
+    #[test]
+    fn source_chains_to_the_sql_error() {
+        use std::error::Error as _;
+        let e = ObdaError::sql(ErrorPhase::Evaluate, SqlError::new("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -19,11 +19,17 @@
 //!   endpoint syntax Quest-style systems expose);
 //! * [`system`]: the [`ObdaSystem`] facade (rewriting × data-access
 //!   modes) and the simpler [`AboxSystem`];
+//! * [`engine`]: the unified [`QueryEngine`] trait both systems
+//!   implement, plus the typed [`SystemBuilder`];
+//! * [`error`]: structured [`ObdaError`] with phase-attributed SQL
+//!   failures;
 //! * [`demo`]: wiring for the generated university scenario.
 
 pub mod answer;
 pub mod consistency;
 pub mod demo;
+pub mod engine;
+pub mod error;
 pub mod query;
 pub mod rewrite;
 pub mod sparql;
@@ -40,7 +46,9 @@ pub use query::{
 pub use rewrite::perfectref::{perfect_ref, perfect_ref_scan, perfect_ref_with_index};
 pub use rewrite::presto::{presto_rewrite, PrestoRewriting};
 pub use rewrite::subsume::{prune_ucq, subsumes};
+pub use engine::{EngineStats, QueryEngine, QueryLang, SystemBuilder};
+pub use error::{ErrorPhase, ObdaError};
 pub use sparql::{parse_sparql, SparqlQuery};
 pub use system::{
-    AboxSystem, DataMode, MaterializedAbox, ObdaError, ObdaSystem, RewriteCacheStats, RewritingMode,
+    AboxSystem, DataMode, MaterializedAbox, ObdaSystem, RewriteCacheStats, RewritingMode,
 };

@@ -66,6 +66,15 @@ pub fn perfect_ref(q: &ConjunctiveQuery, tbox: &Tbox) -> Ucq {
     perfect_ref_with_index(q, &ix)
 }
 
+/// [`perfect_ref`] under a `perfectref` trace span recording the raw
+/// disjunct count.
+pub fn perfect_ref_traced(q: &ConjunctiveQuery, tbox: &Tbox, ctx: &obda_obs::TraceCtx) -> Ucq {
+    let guard = obda_obs::span!(ctx, "perfectref");
+    let u = perfect_ref(q, tbox);
+    guard.count("disjuncts", u.len() as u64);
+    u
+}
+
 /// Rewrites against a pre-built [`PiIndex`] (callers that rewrite many
 /// queries over one TBox build the index once).
 pub fn perfect_ref_with_index(q: &ConjunctiveQuery, ix: &PiIndex) -> Ucq {

@@ -179,6 +179,19 @@ impl PrestoRewriting {
     }
 }
 
+/// [`presto_rewrite`] under a `presto` trace span recording the view
+/// skeleton count.
+pub fn presto_rewrite_traced(
+    q: &ConjunctiveQuery,
+    cls: &Classification,
+    ctx: &obda_obs::TraceCtx,
+) -> PrestoRewriting {
+    let guard = obda_obs::span!(ctx, "presto");
+    let rw = presto_rewrite(q, cls);
+    guard.count("disjuncts", rw.len() as u64);
+    rw
+}
+
 /// Rewrites a CQ using the classification (Presto-style).
 pub fn presto_rewrite(q: &ConjunctiveQuery, cls: &Classification) -> PrestoRewriting {
     // Initial conversion: every atom becomes the view of its predicate.

@@ -48,6 +48,15 @@ pub fn prune_ucq(u: &Ucq) -> Ucq {
     Ucq { disjuncts: kept }
 }
 
+/// [`prune_ucq`] under a `prune` trace span recording the surviving
+/// disjunct count.
+pub fn prune_ucq_traced(u: &Ucq, ctx: &obda_obs::TraceCtx) -> Ucq {
+    let guard = obda_obs::span!(ctx, "prune");
+    let pruned = prune_ucq(u);
+    guard.count("disjuncts", pruned.len() as u64);
+    pruned
+}
+
 /// The sort a variable inhabits, read off its body occurrences: IRI
 /// positions (concept/role arguments, attribute subjects) vs attribute
 /// value positions. Well-sorted queries never mix the two.

@@ -27,6 +27,7 @@ use obda_sqlstore::{Database, SqlError, SqlValue};
 use quonto::Classification;
 
 use crate::answer::{AnswerTerm, Answers};
+use crate::error::{ErrorPhase, ObdaError};
 use crate::query::{Atom, ConjunctiveQuery, Term, Ucq, ValueTerm};
 use crate::rewrite::presto::{
     attr_view_members, concept_view_members, role_view_members, PrestoRewriting, ViewAtom,
@@ -673,6 +674,41 @@ fn build_one(
 }
 
 /// Executes combo queries, reconstructing answer tuples.
+/// Reconstructs answer tuples from one flat-SQL result set. Rows with a
+/// NULL in any output position are dropped: a NULL means the source had
+/// no value for that answer term, so no fact is derived.
+fn collect_rows(rs: obda_sqlstore::exec::ResultSet, combo: &ComboQuery, answers: &mut Answers) {
+    for row in rs.rows {
+        let mut tuple = Vec::with_capacity(combo.out.len());
+        let mut skip = false;
+        for ob in &combo.out {
+            match ob {
+                OutBinding::Iri { prefix, position } => {
+                    // lint: allow(R1.index, "OutBinding positions index the SELECT items built alongside them; every result row has exactly that arity")
+                    if row[*position].is_null() {
+                        skip = true;
+                        break;
+                    }
+                    // lint: allow(R1.index, "same SELECT-arity invariant as the null check above")
+                    tuple.push(AnswerTerm::Iri(format!("{prefix}{}", row[*position])));
+                }
+                // lint: allow(R1.index, "OutBinding positions index the SELECT items built alongside them; every result row has exactly that arity")
+                OutBinding::Val { position } => match &row[*position] {
+                    SqlValue::Null => {
+                        skip = true;
+                        break;
+                    }
+                    SqlValue::Int(i) => tuple.push(AnswerTerm::Value(Value::Int(*i))),
+                    SqlValue::Text(s) => tuple.push(AnswerTerm::Value(Value::Text(s.clone()))),
+                },
+            }
+        }
+        if !skip {
+            answers.insert(tuple);
+        }
+    }
+}
+
 fn run_combos(combos: &[ComboQuery], db: &Database) -> Result<Answers, SqlError> {
     let mut answers = Answers::new();
     for combo in combos {
@@ -684,35 +720,44 @@ fn run_combos(combos: &[ComboQuery], db: &Database) -> Result<Answers, SqlError>
         };
         let planned = obda_sqlstore::plan_query(db, &q)?;
         let rs = obda_sqlstore::exec::execute(db, &planned)?;
-        for row in rs.rows {
-            let mut tuple = Vec::with_capacity(combo.out.len());
-            let mut skip = false;
-            for ob in &combo.out {
-                match ob {
-                    OutBinding::Iri { prefix, position } => {
-                        // lint: allow(R1.index, "OutBinding positions index the SELECT items built alongside them; every result row has exactly that arity")
-                        if row[*position].is_null() {
-                            skip = true;
-                            break;
-                        }
-                        // lint: allow(R1.index, "same SELECT-arity invariant as the null check above")
-                        tuple.push(AnswerTerm::Iri(format!("{prefix}{}", row[*position])));
-                    }
-                    // lint: allow(R1.index, "OutBinding positions index the SELECT items built alongside them; every result row has exactly that arity")
-                    OutBinding::Val { position } => match &row[*position] {
-                        SqlValue::Null => {
-                            skip = true;
-                            break;
-                        }
-                        SqlValue::Int(i) => tuple.push(AnswerTerm::Value(Value::Int(*i))),
-                        SqlValue::Text(s) => tuple.push(AnswerTerm::Value(Value::Text(s.clone()))),
-                    },
-                }
-            }
-            if !skip {
-                answers.insert(tuple);
-            }
-        }
+        collect_rows(rs, combo, &mut answers);
+    }
+    Ok(answers)
+}
+
+/// Traced variant of [`run_combos`]: executes under an `sql` span, with
+/// per-statement scan counters on the trace and errors attributed to the
+/// evaluation phase carrying the failing flat-SQL fragment.
+fn run_combos_traced(
+    combos: &[ComboQuery],
+    db: &Database,
+    ctx: &obda_obs::TraceCtx,
+) -> Result<Answers, ObdaError> {
+    let guard = obda_obs::span!(ctx, "sql");
+    guard.count("sql_queries", combos.len() as u64);
+    let mut answers = Answers::new();
+    for combo in combos {
+        let q = obda_sqlstore::SelectQuery {
+            first: combo.core.clone(),
+            rest: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+        };
+        let planned = obda_sqlstore::plan_query(db, &q).map_err(|e| {
+            ObdaError::sql_in(
+                ErrorPhase::Evaluate,
+                obda_sqlstore::print_select_core(&combo.core),
+                e,
+            )
+        })?;
+        let rs = obda_sqlstore::exec::execute_traced(db, &planned, ctx).map_err(|e| {
+            ObdaError::sql_in(
+                ErrorPhase::Evaluate,
+                obda_sqlstore::print_select_core(&combo.core),
+                e,
+            )
+        })?;
+        collect_rows(rs, combo, &mut answers);
     }
     Ok(answers)
 }
@@ -737,6 +782,28 @@ fn answer_cq_virtual(
 ) -> Result<Answers, SqlError> {
     let combos = unfold_cq(cq, mappings, db)?;
     run_combos(&combos, db)
+}
+
+/// Traced variant of [`answer_ucq_virtual`]: unfolds every disjunct
+/// under an `unfold` span, then executes all flat SQL queries under an
+/// `sql` span, with errors attributed to the failing phase.
+pub fn answer_ucq_virtual_traced(
+    ucq: &Ucq,
+    mappings: &MappingSet,
+    db: &Database,
+    ctx: &obda_obs::TraceCtx,
+) -> Result<Answers, ObdaError> {
+    let combos = {
+        let _guard = obda_obs::span!(ctx, "unfold");
+        let mut all = Vec::new();
+        for cq in &ucq.disjuncts {
+            all.extend(
+                unfold_cq(cq, mappings, db).map_err(|e| ObdaError::sql(ErrorPhase::Unfold, e))?,
+            );
+        }
+        all
+    };
+    run_combos_traced(&combos, db, ctx)
 }
 
 /// Builds (without executing) the flat SQL queries a CQ unfolds into —
@@ -777,6 +844,29 @@ fn answer_view_query_virtual(
 ) -> Result<Answers, SqlError> {
     let combos = unfold_view_query(vq, cls, mappings, db)?;
     run_combos(&combos, db)
+}
+
+/// Traced variant of [`answer_presto_virtual`]: same `unfold` / `sql`
+/// span structure as the PerfectRef path.
+pub fn answer_presto_virtual_traced(
+    rw: &PrestoRewriting,
+    cls: &Classification,
+    mappings: &MappingSet,
+    db: &Database,
+    ctx: &obda_obs::TraceCtx,
+) -> Result<Answers, ObdaError> {
+    let combos = {
+        let _guard = obda_obs::span!(ctx, "unfold");
+        let mut all = Vec::new();
+        for vq in &rw.queries {
+            all.extend(
+                unfold_view_query(vq, cls, mappings, db)
+                    .map_err(|e| ObdaError::sql(ErrorPhase::Unfold, e))?,
+            );
+        }
+        all
+    };
+    run_combos_traced(&combos, db, ctx)
 }
 
 /// Builds (without executing) the flat SQL queries a Presto view query

@@ -17,9 +17,21 @@
 //! `QUONTO_NO_PRUNE=1` to keep the raw UCQ for cross-checking), and the
 //! materialized evaluation shards disjuncts over scoped threads
 //! (`with_eval_threads`, default from `QUONTO_THREADS`, `0` = all
-//! cores). With `QUONTO_TIMINGS=1` each answered query prints a
-//! one-line phase breakdown (`mastro-timings …`) to stderr, mirroring
-//! `quonto-timings` from the classification layer.
+//! cores).
+//!
+//! ## Tracing
+//!
+//! Every answering path threads an [`obda_obs::TraceCtx`] and records
+//! phase spans (`parse`, `rewrite` with nested `perfectref` /
+//! `presto` / `prune`, `unfold`, `sql`, `eval`) plus counters
+//! (disjuncts before/after pruning, cache hit, SQL rows scanned). The
+//! untraced entry points create a context themselves iff the engine's
+//! trace sink is enabled (`QUONTO_TIMINGS`: `1` = legacy
+//! `mastro-timings` stderr lines, `json` = JSON-lines; override per
+//! engine with [`crate::SystemBuilder::trace_sink`]). The serving
+//! layer instead passes its own context via
+//! [`crate::QueryEngine::answer_traced`] and publishes the finished
+//! trace to the global ring for the `TRACE` verb.
 //!
 //! ## Concurrency
 //!
@@ -30,28 +42,33 @@
 //! be shared across N server worker threads (`obda-server` does exactly
 //! this). Rewriting and evaluation both run *outside* the locks — the
 //! critical sections are hash-map lookups and `Arc` clones. The only
-//! `&mut self` APIs left are the invalidators ([`Self::invalidate_rewrites`],
-//! [`Self::invalidate_abox`], [`AboxSystem::refresh_index`]), which is
-//! exactly the exclusivity they need.
+//! `&mut self` APIs left are the legacy invalidators
+//! ([`Self::invalidate_rewrites`], [`Self::invalidate_abox`],
+//! [`AboxSystem::refresh_index`]); the trait-level
+//! [`crate::QueryEngine::invalidate`] does the same through the locks.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use quonto::sync::lock_or_recover;
 
 use obda_dllite::{Abox, Tbox};
 use obda_mapping::{materialize, MappingSet};
-use obda_sqlstore::{Database, SqlError};
+use obda_obs::{registry, span, Counter, Histogram, TraceCtx, TraceSink};
+use obda_sqlstore::Database;
 use quonto::Classification;
 
-use crate::answer::{evaluate_ucq_parallel, AboxIndex, Answers};
+use crate::answer::{evaluate_ucq_parallel_traced, AboxIndex, Answers};
 use crate::consistency::{check_consistency, Violation};
+use crate::engine::{run_with_engine_trace, EngineStats, QueryEngine, QueryLang};
 use crate::query::{parse_cq, ConjunctiveQuery, QueryParseError, Ucq};
-use crate::rewrite::perfectref::perfect_ref;
-use crate::rewrite::presto::{evaluate_view_query, presto_rewrite, PrestoRewriting};
-use crate::rewrite::subsume::{prune_ucq, pruning_disabled};
-use crate::rewrite::unfold::{answer_presto_virtual, answer_ucq_virtual};
+use crate::rewrite::perfectref::perfect_ref_traced;
+use crate::rewrite::presto::{evaluate_view_query, presto_rewrite, presto_rewrite_traced, PrestoRewriting};
+use crate::rewrite::subsume::{prune_ucq_traced, pruning_disabled};
+use crate::rewrite::unfold::{answer_presto_virtual_traced, answer_ucq_virtual_traced};
+
+pub use crate::error::{ErrorPhase, ObdaError};
 
 /// Which rewriting algorithm drives answering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +77,15 @@ pub enum RewritingMode {
     PerfectRef,
     /// Classification-aware Presto-style view rewriting.
     Presto,
+}
+
+impl RewritingMode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RewritingMode::PerfectRef => "PerfectRef",
+            RewritingMode::Presto => "Presto",
+        }
+    }
 }
 
 /// How the data is accessed.
@@ -71,35 +97,12 @@ pub enum DataMode {
     Materialized,
 }
 
-/// Errors surfaced by the system facade.
-#[derive(Debug)]
-pub enum ObdaError {
-    /// Query text failed to parse.
-    Query(QueryParseError),
-    /// SQL-level failure (planning, execution, mapping validation).
-    Sql(SqlError),
-}
-
-impl std::fmt::Display for ObdaError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl DataMode {
+    pub fn as_str(self) -> &'static str {
         match self {
-            ObdaError::Query(e) => write!(f, "query error: {e}"),
-            ObdaError::Sql(e) => write!(f, "sql error: {e}"),
+            DataMode::Virtual => "Virtual",
+            DataMode::Materialized => "Materialized",
         }
-    }
-}
-
-impl std::error::Error for ObdaError {}
-
-impl From<QueryParseError> for ObdaError {
-    fn from(e: QueryParseError) -> Self {
-        ObdaError::Query(e)
-    }
-}
-
-impl From<SqlError> for ObdaError {
-    fn from(e: SqlError) -> Self {
-        ObdaError::Sql(e)
     }
 }
 
@@ -110,7 +113,7 @@ const REWRITE_CACHE_CAP: usize = 1024;
 
 /// A cached rewriting result. PerfectRef entries store the
 /// subsumption-pruned UCQ plus the pre-pruning disjunct count (for the
-/// timings line).
+/// trace counters).
 #[derive(Debug, Clone)]
 enum CachedRewriting {
     PerfectRef { ucq: Ucq, raw_len: usize },
@@ -179,8 +182,6 @@ impl RewriteCache {
     }
 }
 
-use quonto::env::timings_enabled;
-
 /// Default evaluation-thread knob: `QUONTO_THREADS` if set and numeric,
 /// else 1 (sequential). `0` means "all available cores", matching the
 /// convention of `quonto`'s parallel closure engines.
@@ -198,17 +199,102 @@ fn resolve_threads(threads: usize) -> usize {
     }
 }
 
+/// Registry handles bumped once per answered query; resolved once so
+/// the hot path is two relaxed atomic ops.
+fn query_metrics() -> &'static (Arc<Counter>, Arc<Histogram>) {
+    static METRICS: OnceLock<(Arc<Counter>, Arc<Histogram>)> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        (
+            registry().counter("mastro.queries"),
+            registry().histogram("mastro.query_us"),
+        )
+    })
+}
+
 /// PerfectRef + subsumption pruning (unless disabled or over the
 /// disjunct cap). Returns the final UCQ and the pre-pruning length.
-fn rewrite_perfectref_pruned(q: &ConjunctiveQuery, tbox: &Tbox) -> (Ucq, usize) {
-    let raw = perfect_ref(q, tbox);
+/// Records `perfectref` / `prune` child spans when `ctx` is enabled.
+fn rewrite_perfectref_pruned_traced(
+    q: &ConjunctiveQuery,
+    tbox: &Tbox,
+    ctx: &TraceCtx,
+) -> (Ucq, usize) {
+    let raw = perfect_ref_traced(q, tbox, ctx);
     let raw_len = raw.len();
     let ucq = if pruning_disabled() || raw_len > crate::rewrite::subsume::PRUNE_DISJUNCT_CAP {
         raw
     } else {
-        prune_ucq(&raw)
+        prune_ucq_traced(&raw, ctx)
     };
     (ucq, raw_len)
+}
+
+/// Untraced variant, kept for `explain` and external callers.
+pub(crate) fn rewrite_perfectref_pruned(q: &ConjunctiveQuery, tbox: &Tbox) -> (Ucq, usize) {
+    rewrite_perfectref_pruned_traced(q, tbox, &TraceCtx::disabled())
+}
+
+/// Cache lookup with the compute running *outside* the lock — the
+/// rewriter can be slow and must not serialize unrelated queries. Two
+/// threads racing on the same cold query may both rewrite it; the
+/// results are identical and the second insert overwrites the first.
+/// With the cache disabled, every lookup computes (misses still count).
+fn cached_rewriting(
+    cache: &Mutex<RewriteCache>,
+    enabled: bool,
+    key: (RewritingMode, ConjunctiveQuery),
+    compute: impl FnOnce() -> CachedRewriting,
+) -> (Arc<CachedRewriting>, bool) {
+    if enabled {
+        if let Some(hit) = lock_or_recover(cache).get(&key) {
+            return (hit, true);
+        }
+    }
+    let value = Arc::new(compute());
+    let mut guard = lock_or_recover(cache);
+    if enabled {
+        guard.insert(key, Arc::clone(&value));
+    } else {
+        guard.stats.misses = guard.stats.misses.saturating_add(1);
+    }
+    (value, false)
+}
+
+/// The one rewriting front door both systems share: cache lookup +
+/// traced rewriting under a `rewrite` span with cache/size counters.
+fn rewrite_with_cache_traced(
+    cache: &Mutex<RewriteCache>,
+    cache_enabled: bool,
+    mode: RewritingMode,
+    tbox: &Tbox,
+    classification: &Classification,
+    q: &ConjunctiveQuery,
+    ctx: &TraceCtx,
+) -> Arc<CachedRewriting> {
+    let guard = span!(ctx, "rewrite");
+    let (rw, cache_hit) = cached_rewriting(cache, cache_enabled, (mode, q.canonical()), || {
+        match mode {
+            RewritingMode::PerfectRef => {
+                let (ucq, raw_len) = rewrite_perfectref_pruned_traced(q, tbox, ctx);
+                CachedRewriting::PerfectRef { ucq, raw_len }
+            }
+            RewritingMode::Presto => {
+                CachedRewriting::Presto(presto_rewrite_traced(q, classification, ctx))
+            }
+        }
+    });
+    guard.count("cache_hit", u64::from(cache_hit));
+    match &*rw {
+        CachedRewriting::PerfectRef { ucq, raw_len } => {
+            guard.count("ucq_raw", *raw_len as u64);
+            guard.count("ucq_pruned", ucq.len() as u64);
+        }
+        CachedRewriting::Presto(p) => {
+            guard.count("ucq_raw", p.len() as u64);
+            guard.count("ucq_pruned", p.len() as u64);
+        }
+    }
+    rw
 }
 
 /// The materialized ABox plus its secondary index, built together and
@@ -241,8 +327,12 @@ pub struct ObdaSystem {
     materialized: Mutex<Option<Arc<MaterializedAbox>>>,
     /// Rewrite cache for the current TBox epoch.
     rewrite_cache: Mutex<RewriteCache>,
+    /// Whether rewritings are cached at all (builder toggle).
+    cache_enabled: bool,
     /// UCQ evaluation threads (0 = all cores).
     eval_threads: usize,
+    /// Sink for traces of untraced `answer` calls.
+    sink: Arc<dyn TraceSink>,
 }
 
 impl Clone for ObdaSystem {
@@ -256,16 +346,22 @@ impl Clone for ObdaSystem {
             data: self.data,
             materialized: Mutex::new(lock_or_recover(&self.materialized).clone()),
             rewrite_cache: Mutex::new(lock_or_recover(&self.rewrite_cache).clone()),
+            cache_enabled: self.cache_enabled,
             eval_threads: self.eval_threads,
+            sink: Arc::clone(&self.sink),
         }
     }
 }
 
 impl ObdaSystem {
     /// Assembles a system, classifying the TBox and validating the
-    /// mappings against the source schema.
+    /// mappings against the source schema. Defaults come from the
+    /// environment knobs; prefer [`crate::SystemBuilder`] to set them
+    /// explicitly.
     pub fn new(tbox: Tbox, mappings: MappingSet, db: Database) -> Result<Self, ObdaError> {
-        mappings.validate(&db)?;
+        mappings
+            .validate(&db)
+            .map_err(|e| ObdaError::sql(ErrorPhase::Validate, e))?;
         let classification = Classification::classify(&tbox);
         Ok(ObdaSystem {
             tbox,
@@ -276,7 +372,9 @@ impl ObdaSystem {
             data: DataMode::Virtual,
             materialized: Mutex::new(None),
             rewrite_cache: Mutex::new(RewriteCache::default()),
+            cache_enabled: true,
             eval_threads: default_eval_threads(),
+            sink: obda_obs::sink::from_env(),
         })
     }
 
@@ -296,6 +394,18 @@ impl ObdaSystem {
     /// (`0` = all available cores).
     pub fn with_eval_threads(mut self, threads: usize) -> Self {
         self.eval_threads = threads;
+        self
+    }
+
+    /// Enables/disables the rewrite cache.
+    pub fn with_rewrite_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    /// Replaces the trace sink used by untraced `answer` calls.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
         self
     }
 
@@ -326,6 +436,11 @@ impl ObdaSystem {
         lock_or_recover(&self.rewrite_cache).epoch
     }
 
+    /// Configured UCQ evaluation threads (0 = all cores).
+    pub fn eval_threads(&self) -> usize {
+        self.eval_threads
+    }
+
     /// Returns the shared materialized ABox + index, building it on
     /// first use. The build runs under the lock: concurrent first
     /// queries wait for one materialization instead of duplicating it.
@@ -334,7 +449,8 @@ impl ObdaSystem {
         if let Some(mat) = slot.as_ref() {
             return Ok(Arc::clone(mat));
         }
-        let abox = materialize(&self.mappings, &self.db)?;
+        let abox = materialize(&self.mappings, &self.db)
+            .map_err(|e| ObdaError::sql(ErrorPhase::Materialize, e))?;
         let index = AboxIndex::build(&abox);
         let mat = Arc::new(MaterializedAbox { abox, index });
         *slot = Some(Arc::clone(&mat));
@@ -355,92 +471,65 @@ impl ObdaSystem {
 
     /// Answers a query given as text.
     pub fn answer(&self, text: &str) -> Result<Answers, ObdaError> {
-        let t0 = Instant::now();
-        let q = self.parse_query(text)?;
-        let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
-        self.answer_cq_timed(&q, parse_ms)
+        QueryEngine::answer(self, QueryLang::Cq, text)
     }
 
     /// Answers a SPARQL query (SELECT returns tuples in projection
     /// order; ASK returns ∅ or the empty tuple).
     pub fn answer_sparql(&self, text: &str) -> Result<Answers, ObdaError> {
-        let t0 = Instant::now();
-        let q = crate::sparql::parse_sparql(text, &self.tbox.sig)?;
-        let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
-        self.answer_cq_timed(&q.cq, parse_ms)
+        QueryEngine::answer(self, QueryLang::Sparql, text)
     }
 
     /// Answers a parsed CQ under the configured modes.
     pub fn answer_cq(&self, q: &ConjunctiveQuery) -> Result<Answers, ObdaError> {
-        self.answer_cq_timed(q, 0.0)
+        run_with_engine_trace(&self.trace_sink(), None, |ctx| self.answer_cq_traced(q, ctx))
     }
 
-    /// Looks up (or computes and caches) the rewriting of `q` under the
-    /// current mode. Returns the rewriting and whether it was a hit.
-    ///
-    /// The rewriter runs *outside* the cache lock — it can be slow and
-    /// must not serialize unrelated queries. Two threads racing on the
-    /// same cold query may both rewrite it; the results are identical
-    /// and the second insert simply overwrites the first.
-    fn rewritten(&self, q: &ConjunctiveQuery) -> (Arc<CachedRewriting>, bool) {
-        let key = (self.rewriting, q.canonical());
-        if let Some(hit) = lock_or_recover(&self.rewrite_cache).get(&key) {
-            return (hit, true);
-        }
-        let value = Arc::new(match self.rewriting {
-            RewritingMode::PerfectRef => {
-                let (ucq, raw_len) = rewrite_perfectref_pruned(q, &self.tbox);
-                CachedRewriting::PerfectRef { ucq, raw_len }
-            }
-            RewritingMode::Presto => {
-                CachedRewriting::Presto(presto_rewrite(q, &self.classification))
-            }
-        });
-        lock_or_recover(&self.rewrite_cache).insert(key, Arc::clone(&value));
-        (value, false)
-    }
-
-    fn answer_cq_timed(&self, q: &ConjunctiveQuery, parse_ms: f64) -> Result<Answers, ObdaError> {
-        let t0 = Instant::now();
-        let (rw, cache_hit) = self.rewritten(q);
-        let rewrite_ms = t0.elapsed().as_secs_f64() * 1e3;
+    /// The traced answering core shared by every entry point.
+    fn answer_cq_traced_impl(
+        &self,
+        q: &ConjunctiveQuery,
+        ctx: &TraceCtx,
+    ) -> Result<Answers, ObdaError> {
+        let started = Instant::now();
+        ctx.tag("rewriting", self.rewriting.as_str());
+        ctx.tag("data", self.data.as_str());
+        let rw = rewrite_with_cache_traced(
+            &self.rewrite_cache,
+            self.cache_enabled,
+            self.rewriting,
+            &self.tbox,
+            &self.classification,
+            q,
+            ctx,
+        );
         let threads = resolve_threads(self.eval_threads);
-
-        let t1 = Instant::now();
-        let (answers, raw_len, pruned_len) = match (&*rw, self.data) {
-            (CachedRewriting::PerfectRef { ucq, raw_len }, DataMode::Virtual) => {
-                let answers = answer_ucq_virtual(ucq, &self.mappings, &self.db)?;
-                (answers, *raw_len, ucq.len())
+        let answers = match (&*rw, self.data) {
+            (CachedRewriting::PerfectRef { ucq, .. }, DataMode::Virtual) => {
+                answer_ucq_virtual_traced(ucq, &self.mappings, &self.db, ctx)?
             }
-            (CachedRewriting::PerfectRef { ucq, raw_len }, DataMode::Materialized) => {
+            (CachedRewriting::PerfectRef { ucq, .. }, DataMode::Materialized) => {
                 let mat = self.ensure_materialized()?;
-                let answers = evaluate_ucq_parallel(ucq, &mat.abox, &mat.index, threads);
-                (answers, *raw_len, ucq.len())
+                evaluate_ucq_parallel_traced(ucq, &mat.abox, &mat.index, threads, ctx)
             }
             (CachedRewriting::Presto(rw), DataMode::Virtual) => {
-                let answers =
-                    answer_presto_virtual(rw, &self.classification, &self.mappings, &self.db)?;
-                (answers, rw.len(), rw.len())
+                answer_presto_virtual_traced(rw, &self.classification, &self.mappings, &self.db, ctx)?
             }
             (CachedRewriting::Presto(rw), DataMode::Materialized) => {
                 let mat = self.ensure_materialized()?;
+                let guard = span!(ctx, "eval");
+                guard.count("threads", 1);
+                guard.count("disjuncts", rw.len() as u64);
                 let mut answers = Answers::new();
                 for vq in &rw.queries {
                     answers.extend(evaluate_view_query(vq, &self.classification, &mat.abox));
                 }
-                (answers, rw.len(), rw.len())
+                answers
             }
         };
-        if timings_enabled() {
-            let eval_ms = t1.elapsed().as_secs_f64() * 1e3;
-            eprintln!(
-                "mastro-timings rewriting={:?} data={:?} parse_ms={parse_ms:.2} rewrite_ms={rewrite_ms:.2} cache={} ucq={raw_len} pruned={pruned_len} eval_ms={eval_ms:.2} threads={threads} answers={}",
-                self.rewriting,
-                self.data,
-                if cache_hit { "hit" } else { "miss" },
-                answers.len(),
-            );
-        }
+        let (queries, latency) = query_metrics();
+        queries.add(1);
+        latency.record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         Ok(answers)
     }
 
@@ -475,8 +564,14 @@ impl ObdaSystem {
                     let mut total = 0usize;
                     let mut sql_lines = String::new();
                     for d in &ucq.disjuncts {
-                        let combos =
-                            crate::rewrite::unfold::unfold_cq(d, &self.mappings, &self.db)?;
+                        let combos = crate::rewrite::unfold::unfold_cq(d, &self.mappings, &self.db)
+                            .map_err(|e| {
+                                ObdaError::sql_in(
+                                    ErrorPhase::Unfold,
+                                    crate::query::print_cq(d, &self.tbox.sig),
+                                    e,
+                                )
+                            })?;
                         total += combos.len();
                         for combo in combos {
                             if shown < 6 {
@@ -509,7 +604,8 @@ impl ObdaSystem {
                             &self.classification,
                             &self.mappings,
                             &self.db,
-                        )?;
+                        )
+                        .map_err(|e| ObdaError::sql(ErrorPhase::Unfold, e))?;
                         total += combos.len();
                         for combo in combos {
                             if shown < 6 {
@@ -556,12 +652,41 @@ impl ObdaSystem {
 
     /// Runs the consistency check over the virtual knowledge base.
     pub fn check_consistency(&self) -> Result<Vec<Violation>, ObdaError> {
-        Ok(check_consistency(
-            &self.tbox,
-            &self.classification,
-            &self.mappings,
-            &self.db,
-        )?)
+        check_consistency(&self.tbox, &self.classification, &self.mappings, &self.db)
+            .map_err(|e| ObdaError::sql(ErrorPhase::Consistency, e))
+    }
+}
+
+impl QueryEngine for ObdaSystem {
+    fn signature(&self) -> &obda_dllite::Signature {
+        &self.tbox.sig
+    }
+
+    fn trace_sink(&self) -> Arc<dyn TraceSink> {
+        Arc::clone(&self.sink)
+    }
+
+    fn answer_cq_traced(&self, q: &ConjunctiveQuery, ctx: &TraceCtx) -> Result<Answers, ObdaError> {
+        self.answer_cq_traced_impl(q, ctx)
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            rewriting: self.rewriting.as_str(),
+            data: self.data.as_str(),
+            eval_threads: self.eval_threads,
+            tbox_epoch: self.tbox_epoch(),
+            rewrite_cache: self.rewrite_cache_stats(),
+        }
+    }
+
+    fn invalidate(&self) {
+        lock_or_recover(&self.rewrite_cache).invalidate();
+        *lock_or_recover(&self.materialized) = None;
+    }
+
+    fn reset_stats(&self) {
+        self.reset_rewrite_cache_stats();
     }
 }
 
@@ -581,7 +706,9 @@ pub struct AboxSystem {
     pub abox: Abox,
     index: AboxIndex,
     rewrite_cache: Mutex<RewriteCache>,
+    cache_enabled: bool,
     eval_threads: usize,
+    sink: Arc<dyn TraceSink>,
 }
 
 impl Clone for AboxSystem {
@@ -592,7 +719,9 @@ impl Clone for AboxSystem {
             abox: self.abox.clone(),
             index: self.index.clone(),
             rewrite_cache: Mutex::new(lock_or_recover(&self.rewrite_cache).clone()),
+            cache_enabled: self.cache_enabled,
             eval_threads: self.eval_threads,
+            sink: Arc::clone(&self.sink),
         }
     }
 }
@@ -608,7 +737,9 @@ impl AboxSystem {
             abox,
             index,
             rewrite_cache: Mutex::new(RewriteCache::default()),
+            cache_enabled: true,
             eval_threads: default_eval_threads(),
+            sink: obda_obs::sink::from_env(),
         }
     }
 
@@ -616,6 +747,23 @@ impl AboxSystem {
     pub fn with_eval_threads(mut self, threads: usize) -> Self {
         self.eval_threads = threads;
         self
+    }
+
+    /// Enables/disables the rewrite cache.
+    pub fn with_rewrite_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    /// Replaces the trace sink used by untraced `answer` calls.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Configured UCQ evaluation threads (0 = all cores).
+    pub fn eval_threads(&self) -> usize {
+        self.eval_threads
     }
 
     /// Rebuilds the ABox index after `abox` was mutated.
@@ -640,62 +788,86 @@ impl AboxSystem {
 
     /// Answers a query (text) with PerfectRef over the ABox.
     pub fn answer(&self, text: &str) -> Result<Answers, ObdaError> {
-        let t0 = Instant::now();
-        let q = parse_cq(text, &self.tbox.sig)?;
-        let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
-        Ok(self.answer_cq_timed(&q, parse_ms))
+        QueryEngine::answer(self, QueryLang::Cq, text)
     }
 
     /// Answers a SPARQL query (conjunctive fragment) over the ABox.
     pub fn answer_sparql(&self, text: &str) -> Result<Answers, ObdaError> {
-        let t0 = Instant::now();
-        let q = crate::sparql::parse_sparql(text, &self.tbox.sig)?;
-        let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
-        Ok(self.answer_cq_timed(&q.cq, parse_ms))
+        QueryEngine::answer(self, QueryLang::Sparql, text)
     }
 
     /// Answers a parsed CQ with PerfectRef over the ABox.
     pub fn answer_cq(&self, q: &ConjunctiveQuery) -> Answers {
-        self.answer_cq_timed(q, 0.0)
+        run_with_engine_trace(&self.trace_sink(), None, |ctx| {
+            Ok(self.eval_cq_traced(q, ctx))
+        })
+        .unwrap_or_default()
     }
 
-    fn answer_cq_timed(&self, q: &ConjunctiveQuery, parse_ms: f64) -> Answers {
-        let t1 = Instant::now();
-        let key = (RewritingMode::PerfectRef, q.canonical());
-        // Bind the lookup so the lock is released before the miss arm
-        // re-locks for insertion (the rewriter runs unlocked).
-        let cached = lock_or_recover(&self.rewrite_cache).get(&key);
-        let (entry, cache_hit) = match cached {
-            Some(hit) => (hit, true),
-            None => {
-                let (ucq, raw_len) = rewrite_perfectref_pruned(q, &self.tbox);
-                let value = Arc::new(CachedRewriting::PerfectRef { ucq, raw_len });
-                lock_or_recover(&self.rewrite_cache).insert(key, Arc::clone(&value));
-                (value, false)
-            }
-        };
-        let rewrite_ms = t1.elapsed().as_secs_f64() * 1e3;
-        let (ucq, raw_len) = match &*entry {
-            CachedRewriting::PerfectRef { ucq, raw_len } => (ucq, raw_len),
+    /// The traced answering core: rewrite (shared front door with
+    /// [`ObdaSystem`]) then indexed parallel evaluation.
+    fn eval_cq_traced(&self, q: &ConjunctiveQuery, ctx: &TraceCtx) -> Answers {
+        let started = Instant::now();
+        ctx.tag("rewriting", RewritingMode::PerfectRef.as_str());
+        ctx.tag("data", "Abox");
+        let rw = rewrite_with_cache_traced(
+            &self.rewrite_cache,
+            self.cache_enabled,
+            RewritingMode::PerfectRef,
+            &self.tbox,
+            &self.classification,
+            q,
+            ctx,
+        );
+        let ucq = match &*rw {
+            CachedRewriting::PerfectRef { ucq, .. } => ucq,
             CachedRewriting::Presto(_) => {
                 // lint: allow(R1.panic, "this cache only ever receives PerfectRef entries (inserted above); the Presto arm is unreachable by construction")
                 unreachable!("AboxSystem caches only PerfectRef rewritings")
             }
         };
-
         let threads = resolve_threads(self.eval_threads);
-        let t2 = Instant::now();
-        let answers = evaluate_ucq_parallel(ucq, &self.abox, &self.index, threads);
-        if timings_enabled() {
-            let eval_ms = t2.elapsed().as_secs_f64() * 1e3;
-            eprintln!(
-                "mastro-timings rewriting=PerfectRef data=Abox parse_ms={parse_ms:.2} rewrite_ms={rewrite_ms:.2} cache={} ucq={raw_len} pruned={} eval_ms={eval_ms:.2} threads={threads} answers={}",
-                if cache_hit { "hit" } else { "miss" },
-                ucq.len(),
-                answers.len(),
-            );
-        }
+        let answers = evaluate_ucq_parallel_traced(ucq, &self.abox, &self.index, threads, ctx);
+        let (queries, latency) = query_metrics();
+        queries.add(1);
+        latency.record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         answers
+    }
+}
+
+impl QueryEngine for AboxSystem {
+    fn signature(&self) -> &obda_dllite::Signature {
+        &self.tbox.sig
+    }
+
+    fn trace_sink(&self) -> Arc<dyn TraceSink> {
+        Arc::clone(&self.sink)
+    }
+
+    fn answer_cq_traced(&self, q: &ConjunctiveQuery, ctx: &TraceCtx) -> Result<Answers, ObdaError> {
+        Ok(self.eval_cq_traced(q, ctx))
+    }
+
+    fn stats(&self) -> EngineStats {
+        // One lock for both fields: the guard is a temporary, and a
+        // second `rewrite_cache_stats()` lock inside the same struct
+        // literal would self-deadlock.
+        let cache = lock_or_recover(&self.rewrite_cache);
+        EngineStats {
+            rewriting: RewritingMode::PerfectRef.as_str(),
+            data: "Abox",
+            eval_threads: self.eval_threads,
+            tbox_epoch: cache.epoch,
+            rewrite_cache: cache.stats,
+        }
+    }
+
+    fn invalidate(&self) {
+        lock_or_recover(&self.rewrite_cache).invalidate();
+    }
+
+    fn reset_stats(&self) {
+        self.reset_rewrite_cache_stats();
     }
 }
 
@@ -703,7 +875,7 @@ impl AboxSystem {
 mod shareability {
     use super::*;
 
-    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send_sync<T: Send + Sync + ?Sized>() {}
 
     /// The serving layer shares one loaded system across worker threads;
     /// this pins the `Send + Sync` bounds at compile time.
@@ -712,5 +884,6 @@ mod shareability {
         assert_send_sync::<ObdaSystem>();
         assert_send_sync::<AboxSystem>();
         assert_send_sync::<RewriteCacheStats>();
+        assert_send_sync::<dyn QueryEngine>();
     }
 }

@@ -1,0 +1,49 @@
+//! `SystemBuilder` composition with the environment knobs: unset
+//! options default from the env at build time, set options always win.
+//!
+//! One `#[test]` on purpose — the cases mutate process-global env vars
+//! and would race if the harness ran them on parallel threads.
+
+use mastro::{QueryEngine, SystemBuilder};
+use obda_dllite::parse_tbox;
+use obda_genont::random_abox;
+use obda_obs::SinkKind;
+
+#[test]
+fn builder_options_win_over_env_knobs() {
+    let tbox = parse_tbox("concept A B\nrole p").unwrap();
+    let abox = random_abox(7, &tbox, 3, 8);
+
+    // lint: allow(R4.read, "the test exercises the env-default path itself; the knob literal is the subject under test")
+    std::env::set_var("QUONTO_THREADS", "3");
+    // lint: allow(R4.read, "same: selects the stderr sink to prove the builder overrides it")
+    std::env::set_var("QUONTO_TIMINGS", "1");
+
+    // Unset builder options inherit the env defaults at build time.
+    let from_env = SystemBuilder::new().build_abox(tbox.clone(), abox.clone());
+    assert_eq!(from_env.stats().eval_threads, 3);
+    assert!(
+        from_env.trace_sink().enabled(),
+        "QUONTO_TIMINGS=1 should select an emitting sink"
+    );
+
+    // Explicit builder options beat the same knobs.
+    let explicit = SystemBuilder::new()
+        .eval_threads(7)
+        .trace(SinkKind::Off)
+        .build_abox(tbox.clone(), abox.clone());
+    assert_eq!(explicit.stats().eval_threads, 7);
+    assert!(
+        !explicit.trace_sink().enabled(),
+        "builder-set Off sink must win over QUONTO_TIMINGS=1"
+    );
+
+    // With the knobs gone, the documented fallbacks apply.
+    // lint: allow(R4.read, "restores the env for the rest of the process")
+    std::env::remove_var("QUONTO_THREADS");
+    // lint: allow(R4.read, "restores the env for the rest of the process")
+    std::env::remove_var("QUONTO_TIMINGS");
+    let bare = SystemBuilder::new().build_abox(tbox, abox);
+    assert_eq!(bare.stats().eval_threads, 1);
+    assert!(!bare.trace_sink().enabled());
+}

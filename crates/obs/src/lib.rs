@@ -1,0 +1,99 @@
+//! Observability for the OBDA stack: per-query traces and a
+//! process-wide metrics registry.
+//!
+//! The answering pipeline (parse → rewrite → prune → unfold → evaluate →
+//! serialize) has query-dependent cost that is dominated by rewriting
+//! blow-up, so a slow answer is only diagnosable if every phase is
+//! attributed. This crate provides:
+//!
+//! - [`TraceCtx`] — a query-scoped trace context. Phases open nested
+//!   [`span!`] guards that record wall time and named counters
+//!   (disjuncts before/after pruning, cache hit/miss, SQL rows
+//!   scanned). A *disabled* context is a single `Option` check per
+//!   span, so untraced paths stay at production speed.
+//! - [`TraceRing`] — a bounded ring of the last N completed
+//!   [`QueryTrace`]s, served by the server `TRACE` verb
+//!   (`QUONTO_TRACE_RING` sizes the [`ring::global`] instance).
+//! - [`registry()`] — process-wide named [`Counter`]s and log₂
+//!   [`Histogram`]s, superseding per-component ad-hoc counters.
+//! - [`TraceSink`]s — where finished traces go: the legacy
+//!   `mastro-timings` stderr line ([`StderrSink`]), JSON-lines
+//!   ([`JsonSink`]), an in-memory buffer for tests ([`MemorySink`]),
+//!   or nowhere ([`NullSink`]). `QUONTO_TIMINGS` selects the process
+//!   default ([`sink::from_env`]).
+//!
+//! Everything is std-only and panic-free on the hot path; interior
+//! locks go through `quonto::sync::lock_or_recover`.
+
+pub mod registry;
+pub mod ring;
+pub mod sink;
+pub mod trace;
+
+pub use registry::{registry, Counter, Histogram, HistogramSummary, Registry};
+pub use ring::TraceRing;
+pub use sink::{JsonSink, MemorySink, NullSink, SinkKind, StderrSink, TraceSink};
+pub use trace::{QueryTrace, SpanGuard, SpanRecord, TraceCtx};
+
+/// Opens a named phase span on a [`TraceCtx`]; the returned RAII guard
+/// records the phase's wall time when dropped:
+///
+/// ```
+/// use obda_obs::{span, TraceCtx};
+/// let ctx = TraceCtx::new();
+/// {
+///     let g = span!(ctx, "rewrite");
+///     g.count("disjuncts", 12);
+/// } // "rewrite" span closed here
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($ctx:expr, $name:literal) => {
+        $ctx.span($name)
+    };
+}
+
+/// Publishes a finished trace: pushes it onto the global ring (so the
+/// server `TRACE` verb can retrieve it) and emits it through `sink`.
+/// Returns the shared trace for callers that also want to inspect it.
+pub fn submit(trace: QueryTrace, sink: &dyn TraceSink) -> std::sync::Arc<QueryTrace> {
+    let trace = std::sync::Arc::new(trace);
+    ring::global().push(std::sync::Arc::clone(&trace));
+    sink.emit(&trace);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_macro_roundtrip() {
+        let ctx = TraceCtx::new();
+        {
+            let g = span!(ctx, "rewrite");
+            g.count("disjuncts", 12);
+            let _inner = span!(ctx, "prune");
+        }
+        let t = ctx.finish("ok", 0).expect("enabled ctx yields a trace");
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].name, "rewrite");
+        assert_eq!(t.spans[0].depth, 0);
+        assert_eq!(t.spans[1].name, "prune");
+        assert_eq!(t.spans[1].depth, 1);
+        assert_eq!(t.spans[0].counters, vec![("disjuncts", 12)]);
+    }
+
+    #[test]
+    fn submit_reaches_ring_and_sink() {
+        let sink = MemorySink::new();
+        let ctx = TraceCtx::new();
+        ctx.set_query("q(x) :- A(x)");
+        drop(span!(ctx, "parse"));
+        let t = ctx.finish("ok", 3).expect("trace");
+        let id = t.id;
+        submit(t, &sink);
+        assert_eq!(sink.len(), 1);
+        assert!(ring::global().last(usize::MAX).iter().any(|t| t.id == id));
+    }
+}

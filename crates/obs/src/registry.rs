@@ -1,0 +1,283 @@
+//! The process-wide metrics registry: named counters and log₂
+//! histograms.
+//!
+//! Components register interest by name (`registry().counter("…")`)
+//! and keep the returned `Arc` so the hot path is one relaxed atomic
+//! op — the name→slot map is only consulted at setup (or for one-off
+//! bumps via [`Registry::add`]). The server `STATS` verb snapshots the
+//! whole registry; component-local counters from earlier PRs (e.g. the
+//! rewrite-cache stats) remain for their existing APIs, but new
+//! cross-cutting metrics live here.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use quonto::sync::lock_or_recover;
+
+/// A monotonically increasing named counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` covers `[2^i, 2^(i+1))`
+/// microseconds, so 40 buckets reach ~12 days — effectively unbounded.
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram over microseconds.
+///
+/// Everything here is written on the hot path, so the design rule is
+/// "one relaxed atomic op per event". Percentiles are
+/// bucket-resolution estimates (each bucket spans a 2× range), which
+/// is exactly the fidelity a `STATS` dashboard needs.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation (saturating everywhere; a long-lived
+    /// server must never wrap or panic here).
+    pub fn record(&self, us: u64) {
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Estimated `p`-th percentile (0 < p ≤ 100) in microseconds: the
+    /// geometric midpoint of the bucket holding the rank, clamped by
+    /// the observed maximum.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let lo = 1u64 << i;
+                let mid = lo + lo / 2; // ≈ geometric midpoint of [2^i, 2^{i+1})
+                return mid.min(self.max_us());
+            }
+        }
+        self.max_us()
+    }
+
+    /// Zeroes every bucket and counter.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_us.store(0, Ordering::Relaxed);
+        self.max_us.store(0, Ordering::Relaxed);
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean_us: self.mean_us(),
+            p50_us: self.percentile_us(50.0),
+            p95_us: self.percentile_us(95.0),
+            p99_us: self.percentile_us(99.0),
+            max_us: self.max_us(),
+        }
+    }
+}
+
+/// Point-in-time digest of one histogram, for `STATS` snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub mean_us: f64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// Named counters + histograms behind one lock (setup path only).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    /// Hot paths should call this once and keep the `Arc`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = lock_or_recover(&self.counters);
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = lock_or_recover(&self.histograms);
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// One-off counter bump (setup-path convenience).
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// One-off histogram observation.
+    pub fn observe(&self, name: &str, us: u64) {
+        self.histogram(name).record(us);
+    }
+
+    /// Sorted snapshot of every counter.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        lock_or_recover(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Sorted snapshot of every histogram's digest.
+    pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
+        lock_or_recover(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect()
+    }
+
+    /// Zeroes every metric (names stay registered). Test helper; the
+    /// registry is process-global, so concurrent tests should assert
+    /// on deltas rather than reset.
+    pub fn reset(&self) {
+        for c in lock_or_recover(&self.counters).values() {
+            c.reset();
+        }
+        for h in lock_or_recover(&self.histograms).values() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_by_name() {
+        let r = Registry::new();
+        r.add("a.hits", 2);
+        r.add("a.hits", 3);
+        let handle = r.counter("a.hits");
+        handle.add(1);
+        assert_eq!(r.counters(), vec![("a.hits".to_owned(), 6)]);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_the_data() {
+        let h = Histogram::new();
+        for us in [10u64, 20, 30, 40, 50, 1000, 2000, 4000, 100_000, 200_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.percentile_us(50.0);
+        assert!((8..=64).contains(&p50), "p50={p50}");
+        let p99 = h.percentile_us(99.0);
+        assert!(p99 >= 100_000, "p99={p99}");
+        assert_eq!(h.max_us(), 200_000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_us(99.0), 0);
+    }
+
+    #[test]
+    fn zero_latency_records_into_first_bucket() {
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile_us(50.0) <= 3);
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_and_resettable() {
+        let r = Registry::new();
+        r.add("z", 1);
+        r.add("a", 1);
+        r.observe("lat", 100);
+        let names: Vec<_> = r.counters().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "z"]);
+        assert_eq!(r.histograms()[0].1.count, 1);
+        r.reset();
+        assert_eq!(r.counters(), vec![("a".into(), 0), ("z".into(), 0)]);
+        assert_eq!(r.histograms()[0].1.count, 0);
+    }
+}

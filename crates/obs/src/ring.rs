@@ -1,0 +1,113 @@
+//! A bounded ring of the most recent completed query traces.
+//!
+//! The server `TRACE` verb reads the [`global`] ring; anything that
+//! finishes a trace may push here. Traces are shared (`Arc`) so a push
+//! and a concurrent `TRACE` response never copy span vectors.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use quonto::sync::lock_or_recover;
+
+use crate::trace::QueryTrace;
+
+/// Fallback capacity when `QUONTO_TRACE_RING` is unset.
+pub const DEFAULT_CAPACITY: usize = 128;
+
+/// Bounded FIFO of completed traces; pushing past capacity drops the
+/// oldest. Capacity 0 disables capture entirely.
+#[derive(Debug)]
+pub struct TraceRing {
+    cap: usize,
+    inner: Mutex<VecDeque<Arc<QueryTrace>>>,
+}
+
+impl TraceRing {
+    pub fn new(cap: usize) -> TraceRing {
+        TraceRing {
+            cap,
+            inner: Mutex::new(VecDeque::with_capacity(cap.min(1024))),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Whether pushes are retained at all.
+    pub fn is_enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    pub fn push(&self, trace: Arc<QueryTrace>) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut q = lock_or_recover(&self.inner);
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(trace);
+    }
+
+    /// Up to `n` most recent traces, newest first.
+    pub fn last(&self, n: usize) -> Vec<Arc<QueryTrace>> {
+        let q = lock_or_recover(&self.inner);
+        q.iter().rev().take(n).cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        lock_or_recover(&self.inner).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        lock_or_recover(&self.inner).clear();
+    }
+}
+
+/// The process-wide ring; capacity comes from `QUONTO_TRACE_RING`
+/// (default [`DEFAULT_CAPACITY`], `0` disables) read once at first use.
+pub fn global() -> &'static TraceRing {
+    static RING: OnceLock<TraceRing> = OnceLock::new();
+    RING.get_or_init(|| TraceRing::new(quonto::env::trace_ring().unwrap_or(DEFAULT_CAPACITY)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceCtx;
+
+    fn mk(query: &str) -> Arc<QueryTrace> {
+        let ctx = TraceCtx::new();
+        ctx.set_query(query);
+        Arc::new(ctx.finish("ok", 0).expect("trace"))
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_traces() {
+        let ring = TraceRing::new(3);
+        for i in 0..5 {
+            ring.push(mk(&format!("q{i}")));
+        }
+        assert_eq!(ring.len(), 3);
+        let last = ring.last(2);
+        assert_eq!(last.len(), 2);
+        assert_eq!(last[0].query, "q4");
+        assert_eq!(last[1].query, "q3");
+        assert_eq!(ring.last(10).len(), 3);
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_capture() {
+        let ring = TraceRing::new(0);
+        assert!(!ring.is_enabled());
+        ring.push(mk("q"));
+        assert!(ring.is_empty());
+    }
+}

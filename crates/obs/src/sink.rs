@@ -1,0 +1,151 @@
+//! Pluggable destinations for finished traces.
+//!
+//! The sink decides what a completed [`QueryTrace`] turns into:
+//! nothing ([`NullSink`]), the legacy `mastro-timings` stderr line
+//! ([`StderrSink`]), one JSON object per line on stderr ([`JsonSink`]),
+//! or an in-memory buffer a test can inspect ([`MemorySink`]).
+//! `QUONTO_TIMINGS` selects the process default via [`from_env`]; a
+//! `SystemBuilder` can override it per engine.
+//!
+//! This module is the *only* place in the query path allowed to print
+//! diagnostics (`xtask lint` rule `R6` bans raw `eprintln!` elsewhere
+//! in library code).
+
+use std::sync::{Arc, Mutex};
+
+use quonto::sync::lock_or_recover;
+
+use crate::trace::QueryTrace;
+
+/// Where finished traces go. Implementations must be cheap when
+/// `enabled()` is false — callers use it to skip trace construction.
+pub trait TraceSink: Send + Sync + std::fmt::Debug {
+    /// Whether emitting to this sink does anything. Callers may build
+    /// a disabled `TraceCtx` when this is false.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn emit(&self, trace: &QueryTrace);
+}
+
+/// Discards everything; `enabled()` is false.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _trace: &QueryTrace) {}
+}
+
+/// The pre-obs `QUONTO_TIMINGS=1` behaviour: one `mastro-timings`
+/// line per query on stderr, now reconstructed from spans.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn emit(&self, trace: &QueryTrace) {
+        eprintln!("{}", trace.timings_line());
+    }
+}
+
+/// One JSON object per query on stderr (`QUONTO_TIMINGS=json`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JsonSink;
+
+impl TraceSink for JsonSink {
+    fn emit(&self, trace: &QueryTrace) {
+        eprintln!("{}", trace.to_json_line());
+    }
+}
+
+/// Buffers traces for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    traces: Mutex<Vec<QueryTrace>>,
+}
+
+impl MemorySink {
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of everything emitted so far, oldest first.
+    pub fn traces(&self) -> Vec<QueryTrace> {
+        lock_or_recover(&self.traces).clone()
+    }
+
+    pub fn len(&self) -> usize {
+        lock_or_recover(&self.traces).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        lock_or_recover(&self.traces).clear();
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&self, trace: &QueryTrace) {
+        lock_or_recover(&self.traces).push(trace.clone());
+    }
+}
+
+/// The built-in sink choices, as selected by `QUONTO_TIMINGS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    Off,
+    Stderr,
+    Json,
+}
+
+/// Instantiates a built-in sink.
+pub fn named(kind: SinkKind) -> Arc<dyn TraceSink> {
+    match kind {
+        SinkKind::Off => Arc::new(NullSink),
+        SinkKind::Stderr => Arc::new(StderrSink),
+        SinkKind::Json => Arc::new(JsonSink),
+    }
+}
+
+/// The sink selected by `QUONTO_TIMINGS`: unset/`0` → off, `1` →
+/// legacy stderr lines, `json` → JSON-lines.
+pub fn from_env() -> Arc<dyn TraceSink> {
+    named(match quonto::env::timings_mode() {
+        quonto::env::TimingsMode::Off => SinkKind::Off,
+        quonto::env::TimingsMode::Stderr => SinkKind::Stderr,
+        quonto::env::TimingsMode::Json => SinkKind::Json,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceCtx;
+
+    #[test]
+    fn memory_sink_buffers_clones() {
+        let sink = MemorySink::new();
+        assert!(sink.enabled());
+        let ctx = TraceCtx::new();
+        ctx.set_query("q(x) :- A(x)");
+        sink.emit(&ctx.finish("ok", 2).expect("trace"));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.traces()[0].rows, 2);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        assert!(!NullSink.enabled());
+        assert!(StderrSink.enabled());
+        assert!(JsonSink.enabled());
+    }
+}

@@ -1,38 +1,34 @@
 //! Named query endpoints: one loaded ontology/data engine shared by all
 //! worker threads.
 //!
-//! An endpoint owns either a full [`ObdaSystem`] (mappings + SQL
-//! sources) or an [`AboxSystem`] (materialized ABox). Both answer
-//! through `&self` (the PR-3 concurrency refactor in `mastro::system`),
-//! so an `Arc<Endpoint>` is all the sharing machinery the server needs.
+//! An endpoint owns a `Box<dyn QueryEngine>` — the unified answering
+//! trait from `mastro::engine` — so a full [`mastro::ObdaSystem`]
+//! (mappings + SQL sources), a [`mastro::AboxSystem`] (materialized
+//! ABox), or any future backend serves through the same code path.
+//! Engines answer through `&self` (the PR-3 concurrency refactor in
+//! `mastro::system`), so an `Arc<Endpoint>` is all the sharing
+//! machinery the server needs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use mastro::{
-    demo, AboxSystem, Answers, ObdaError, ObdaSystem, QueryParseError, RewriteCacheStats,
+    demo, Answers, ObdaError, QueryEngine, QueryParseError, RewriteCacheStats, SystemBuilder,
 };
 use obda_genont::university_scenario;
+use obda_obs::{TraceCtx, TraceSink};
 
 use crate::config::{EndpointConfig, EndpointKind};
 use crate::json::Json;
 use crate::proto::Lang;
-
-/// The two engine shapes an endpoint can serve.
-#[derive(Debug)]
-pub enum Engine {
-    /// Full OBDA stack: rewriting × (virtual SQL | materialized ABox).
-    Obda(ObdaSystem),
-    /// Plain ABox evaluation with PerfectRef rewriting.
-    Abox(AboxSystem),
-}
 
 /// A named, shareable endpoint plus its per-endpoint counters.
 #[derive(Debug)]
 pub struct Endpoint {
     /// Name clients address.
     pub name: String,
-    /// The engine.
-    pub engine: Engine,
+    /// The answering engine.
+    pub engine: Box<dyn QueryEngine>,
     /// Artificial pre-evaluation delay (ms) — load-testing knob.
     pub delay_ms: u64,
     /// Fault-injection marker: queries containing it panic in the
@@ -45,28 +41,31 @@ pub struct Endpoint {
 impl Endpoint {
     /// Builds the endpoint from its config (classification, data
     /// generation, and materialization all happen here, at startup).
+    /// Construction goes through [`SystemBuilder`], so env knobs
+    /// (`QUONTO_THREADS`, `QUONTO_TIMINGS`) still apply to anything the
+    /// config leaves unset.
     pub fn build(cfg: &EndpointConfig) -> Result<Endpoint, ObdaError> {
         let scenario = university_scenario(cfg.scale.max(1), cfg.seed);
-        let engine = match cfg.kind {
+        let builder = SystemBuilder::new()
+            .rewriting(cfg.rewriting)
+            .data_mode(cfg.data)
+            .eval_threads(cfg.eval_threads);
+        let engine: Box<dyn QueryEngine> = match cfg.kind {
             EndpointKind::University => {
-                let sys = demo::build_system(&scenario)?
-                    .with_rewriting(cfg.rewriting)
-                    .with_data_mode(cfg.data)
-                    .with_eval_threads(cfg.eval_threads);
+                let db = demo::load_database(&scenario)?;
+                let mappings = demo::build_mappings(&scenario);
+                let sys = builder.build_obda(scenario.tbox.clone(), mappings, db)?;
                 // Materialize eagerly so the first request doesn't pay
                 // for the ABox build.
                 if cfg.data == mastro::DataMode::Materialized {
                     sys.materialized_abox()?;
                 }
-                Engine::Obda(sys)
+                Box::new(sys)
             }
             EndpointKind::UniversityAbox => {
                 let sys = demo::build_system(&scenario)?;
                 let mat = sys.materialized_abox()?;
-                Engine::Abox(
-                    AboxSystem::new(scenario.tbox.clone(), mat.abox.clone())
-                        .with_eval_threads(cfg.eval_threads),
-                )
+                Box::new(builder.build_abox(scenario.tbox.clone(), mat.abox.clone()))
             }
         };
         Ok(Endpoint {
@@ -78,8 +77,14 @@ impl Endpoint {
         })
     }
 
-    /// Answers one query. `&self` — callable from any worker thread.
-    pub fn answer(&self, lang: Lang, query: &str) -> Result<Answers, ObdaError> {
+    /// Answers one query, recording phase spans on `ctx`. `&self` —
+    /// callable from any worker thread.
+    pub fn answer_traced(
+        &self,
+        lang: Lang,
+        query: &str,
+        ctx: &TraceCtx,
+    ) -> Result<Answers, ObdaError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if let Some(marker) = &self.panic_marker {
             if query.contains(marker.as_str()) {
@@ -87,35 +92,40 @@ impl Endpoint {
                 panic!("injected panic: query matched panic_marker `{marker}`");
             }
         }
-        match (&self.engine, lang) {
-            (Engine::Obda(sys), Lang::Cq) => sys.answer(query),
-            (Engine::Obda(sys), Lang::Sparql) => sys.answer_sparql(query),
-            (Engine::Abox(sys), Lang::Cq) => sys.answer(query),
-            (Engine::Abox(sys), Lang::Sparql) => sys.answer_sparql(query),
-        }
+        self.engine.answer_traced(lang.to_engine(), query, ctx)
+    }
+
+    /// Answers one query without collecting a trace.
+    pub fn answer(&self, lang: Lang, query: &str) -> Result<Answers, ObdaError> {
+        self.answer_traced(lang, query, &TraceCtx::disabled())
+    }
+
+    /// The engine's trace sink (finished worker traces publish here).
+    pub fn trace_sink(&self) -> Arc<dyn TraceSink> {
+        self.engine.trace_sink()
     }
 
     /// Rewrite-cache counters of the underlying engine.
     pub fn cache_stats(&self) -> RewriteCacheStats {
-        match &self.engine {
-            Engine::Obda(sys) => sys.rewrite_cache_stats(),
-            Engine::Abox(sys) => sys.rewrite_cache_stats(),
-        }
+        self.engine.stats().rewrite_cache
     }
 
-    /// Zeroes the rewrite-cache counters (load-test phase boundaries).
+    /// Zeroes the engine's resettable counters (load-test phase
+    /// boundaries).
     pub fn reset_cache_stats(&self) {
-        match &self.engine {
-            Engine::Obda(sys) => sys.reset_rewrite_cache_stats(),
-            Engine::Abox(sys) => sys.reset_rewrite_cache_stats(),
-        }
+        self.engine.reset_stats();
     }
 
     /// Per-endpoint `STATS` section.
     pub fn stats_json(&self) -> Json {
-        let cache = self.cache_stats();
+        let stats = self.engine.stats();
+        let cache = stats.rewrite_cache;
         Json::obj(vec![
             ("requests", self.requests.load(Ordering::Relaxed).into()),
+            ("rewriting", stats.rewriting.into()),
+            ("data", stats.data.into()),
+            ("eval_threads", stats.eval_threads.into()),
+            ("tbox_epoch", stats.tbox_epoch.into()),
             ("cache_hits", cache.hits.into()),
             ("cache_misses", cache.misses.into()),
             ("cache_hit_rate", Json::Num(cache.hit_rate())),
@@ -171,5 +181,24 @@ mod tests {
         assert!(abox.cache_stats().misses > 0);
         abox.reset_cache_stats();
         assert_eq!(abox.cache_stats(), RewriteCacheStats::default());
+    }
+
+    #[test]
+    fn traced_answers_carry_phases() {
+        let ep = Endpoint::build(&EndpointConfig {
+            name: "t".into(),
+            scale: 1,
+            ..EndpointConfig::default()
+        })
+        .unwrap();
+        let ctx = TraceCtx::new();
+        let answers = ep
+            .answer_traced(Lang::Cq, "q(x) :- Student(x)", &ctx)
+            .unwrap();
+        let trace = ctx.finish("ok", answers.len() as u64).unwrap();
+        let phases: Vec<&str> = trace.phases().iter().map(|(n, _)| *n).collect();
+        assert!(phases.contains(&"parse"), "{phases:?}");
+        assert!(phases.contains(&"rewrite"), "{phases:?}");
+        assert!(phases.len() >= 3, "{phases:?}");
     }
 }

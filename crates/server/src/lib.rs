@@ -18,8 +18,10 @@
 //!   and panicking queries cost one error response, never a worker;
 //! * **observability** — atomic counters, a log₂ latency histogram
 //!   (p50/p95/p99), per-endpoint rewrite-cache hit rates, a `STATS`
-//!   protocol verb, structured access-log lines, and a periodic
-//!   summary;
+//!   protocol verb (including the process-wide metrics registry), a
+//!   `TRACE` verb serving per-query phase traces from the in-process
+//!   ring, structured `kind`s on error responses, structured
+//!   access-log lines, and a periodic summary;
 //! * **graceful shutdown** — SIGINT/SIGTERM stop admissions, drain
 //!   in-flight requests, then exit.
 //!
@@ -41,7 +43,7 @@ pub mod server;
 pub mod signal;
 
 pub use config::{EndpointConfig, EndpointKind, ServerConfig};
-pub use endpoint::{Endpoint, Engine};
+pub use endpoint::Endpoint;
 pub use json::Json;
 pub use metrics::{Histogram, ServerMetrics};
 pub use proto::{parse_request, Lang, QueryRequest, Request};

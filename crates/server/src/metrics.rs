@@ -1,107 +1,18 @@
-//! Lock-free serving metrics: atomic counters, gauges, and a log₂
-//! latency histogram with percentile estimation.
+//! Lock-free serving metrics: atomic counters, gauges, and the log₂
+//! latency histogram from `obda-obs`.
 //!
 //! Everything here is written on the hot path, so the design rule is
-//! "one relaxed atomic op per event": counters are `AtomicU64`
-//! increments, the histogram indexes a fixed bucket array by
-//! `ilog2(latency_µs)`. Percentiles are bucket-resolution estimates
-//! (each bucket spans a 2× range), which is exactly the fidelity a
-//! `STATS` dashboard needs — precise per-request numbers are in the
-//! access log.
+//! "one relaxed atomic op per event". The [`Histogram`] type moved to
+//! the shared observability crate (`obda_obs::Histogram`) so the same
+//! implementation backs the server `STATS` verb and the process-wide
+//! metrics registry; it is re-exported here for compatibility.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
+pub use obda_obs::Histogram;
+
 use crate::json::Json;
-
-/// Number of log₂ buckets: bucket `i` covers `[2^i, 2^(i+1))`
-/// microseconds, so 40 buckets reach ~12 days — effectively unbounded.
-const BUCKETS: usize = 40;
-
-/// A log₂-bucketed latency histogram over microseconds.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl Histogram {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one observation (saturating everywhere; a long-lived
-    /// server must never wrap or panic here).
-    pub fn record(&self, us: u64) {
-        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        // lint: allow(R1.index, "idx is clamped to BUCKETS - 1 on the line above")
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    pub fn mean_us(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// Estimated `p`-th percentile (0 < p ≤ 100) in microseconds: the
-    /// geometric midpoint of the bucket holding the rank, clamped by
-    /// the observed maximum.
-    pub fn percentile_us(&self, p: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                let lo = 1u64 << i;
-                let mid = lo + lo / 2; // ≈ geometric midpoint of [2^i, 2^{i+1})
-                return mid.min(self.max_us());
-            }
-        }
-        self.max_us()
-    }
-
-    /// Zeroes every bucket and counter.
-    pub fn reset(&self) {
-        for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
-        }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum_us.store(0, Ordering::Relaxed);
-        self.max_us.store(0, Ordering::Relaxed);
-    }
-}
 
 /// Global serving counters. Response-status counters are bumped at the
 /// single point where the response line is written, so they partition
@@ -125,6 +36,8 @@ pub struct ServerMetrics {
     pub malformed: AtomicU64,
     /// `STATS` requests served.
     pub stats_requests: AtomicU64,
+    /// `TRACE` requests served.
+    pub trace_requests: AtomicU64,
     /// Connections accepted over the lifetime.
     pub connections: AtomicU64,
     /// Currently open connections.
@@ -149,6 +62,7 @@ impl Default for ServerMetrics {
             shed_on_shutdown: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
             stats_requests: AtomicU64::new(0),
+            trace_requests: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             active_connections: AtomicUsize::new(0),
             queue_depth: AtomicUsize::new(0),
@@ -190,6 +104,7 @@ impl ServerMetrics {
             ("overloaded", self.overloaded.load(r).into()),
             ("shutting_down", self.shed_on_shutdown.load(r).into()),
             ("malformed", self.malformed.load(r).into()),
+            ("trace_requests", self.trace_requests.load(r).into()),
             ("connections", self.connections.load(r).into()),
             ("active_connections", self.active_connections.load(r).into()),
             ("queue_depth", self.queue_depth.load(r).into()),

@@ -14,17 +14,25 @@
 //! * `timeout_ms` — optional per-request deadline override, clamped to
 //!   the server's configured maximum.
 //!
-//! The bare line `STATS` (no JSON) returns the metrics snapshot.
+//! The bare line `STATS` (no JSON) returns the metrics snapshot, and
+//! `TRACE` (or `TRACE n`) returns the last `n` completed query traces
+//! from the in-process ring buffer, each with its per-phase timing
+//! breakdown.
 //!
 //! Responses are one JSON object per line with a `status` field:
 //! `ok` (with `answers` as an array of string tuples, `rows`, and
-//! timing fields), `error` (with `error` text), `overloaded` (queue
+//! timing fields), `error` (with `error` text and a machine-readable
+//! `kind` such as `bad_request`, `unknown_endpoint`, `parse`,
+//! `sql.evaluate`, `panic`, or `internal`), `overloaded` (queue
 //! full — retry later), `timeout` (deadline exceeded), or
 //! `shutting_down`. Answer tuples are rendered via each term's display
 //! form and arrive in the evaluator's sorted order, so two servers over
 //! the same data produce byte-identical `answers` arrays.
 
+use std::sync::Arc;
+
 use mastro::{Answers, ObdaError};
+use obda_obs::QueryTrace;
 
 use crate::json::Json;
 
@@ -42,6 +50,14 @@ impl Lang {
         match self {
             Lang::Cq => "cq",
             Lang::Sparql => "sparql",
+        }
+    }
+
+    /// The engine-side language this wire tag selects.
+    pub fn to_engine(self) -> mastro::QueryLang {
+        match self {
+            Lang::Cq => mastro::QueryLang::Cq,
+            Lang::Sparql => mastro::QueryLang::Sparql,
         }
     }
 }
@@ -68,6 +84,9 @@ pub enum Request {
     Query(QueryRequest),
     /// The `STATS` verb.
     Stats,
+    /// The `TRACE [n]` verb: fetch the last `n` completed query traces
+    /// (default 1) from the in-process ring buffer.
+    Trace(Option<usize>),
 }
 
 /// Parses one protocol line. Never panics on malformed input — every
@@ -77,6 +96,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let line = line.trim();
     if line.eq_ignore_ascii_case("stats") {
         return Ok(Request::Stats);
+    }
+    if line.eq_ignore_ascii_case("trace") {
+        return Ok(Request::Trace(None));
+    }
+    if let Some(rest) = line
+        .get(..5)
+        .filter(|head| head.eq_ignore_ascii_case("trace"))
+        .map(|_| line[5..].trim())
+        .filter(|rest| !rest.is_empty())
+    {
+        let n: usize = rest
+            .parse()
+            .map_err(|_| format!("bad frame: TRACE count must be an integer, got `{rest}`"))?;
+        return Ok(Request::Trace(Some(n)));
     }
     let v = Json::parse(line).map_err(|e| format!("bad frame: {e}"))?;
     if !matches!(v, Json::Obj(_)) {
@@ -148,12 +181,60 @@ pub fn ok_response(id: &Option<String>, answers: &Answers, wait_us: u64, exec_us
 }
 
 /// `status: error` response (parse failures, unknown endpoints, engine
-/// errors).
-pub fn error_response(id: &Option<String>, message: &str) -> Json {
+/// errors). `kind` is a stable machine-readable discriminator:
+/// `bad_request` (frame failed protocol parsing), `unknown_endpoint`,
+/// an engine error kind ([`ObdaError::kind`]: `parse`, `sql.unfold`,
+/// `sql.evaluate`, ...), `panic`, or `internal`.
+pub fn error_response(id: &Option<String>, kind: &str, message: &str) -> Json {
     Json::obj(vec![
         ("id", id_field(id)),
         ("status", "error".into()),
+        ("kind", kind.into()),
         ("error", message.into()),
+    ])
+}
+
+/// The `TRACE` response: newest-first completed query traces with their
+/// depth-0 phase breakdowns, counters, and tags.
+pub fn trace_response(traces: &[Arc<QueryTrace>]) -> Json {
+    let count = traces.len();
+    let traces = traces
+        .iter()
+        .map(|t| {
+            let phases = Json::Arr(
+                t.phases()
+                    .iter()
+                    .map(|(name, us)| Json::obj(vec![("phase", (*name).into()), ("us", (*us).into())]))
+                    .collect(),
+            );
+            let counters = Json::Obj(
+                t.counters
+                    .iter()
+                    .map(|(name, n)| ((*name).to_owned(), Json::from(*n)))
+                    .collect(),
+            );
+            let tags = Json::Obj(
+                t.tags
+                    .iter()
+                    .map(|(name, v)| ((*name).to_owned(), Json::Str(v.clone())))
+                    .collect(),
+            );
+            Json::obj(vec![
+                ("id", t.id.into()),
+                ("query", t.query.as_str().into()),
+                ("status", t.status.as_str().into()),
+                ("rows", t.rows.into()),
+                ("total_us", t.total_us.into()),
+                ("phases", phases),
+                ("counters", counters),
+                ("tags", tags),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("status", "ok".into()),
+        ("count", count.into()),
+        ("traces", Json::Arr(traces)),
     ])
 }
 
@@ -220,6 +301,39 @@ mod tests {
             parse_request("  stats  ").unwrap(),
             Request::Stats
         ));
+    }
+
+    #[test]
+    fn trace_verb() {
+        assert!(matches!(
+            parse_request("TRACE").unwrap(),
+            Request::Trace(None)
+        ));
+        assert!(matches!(
+            parse_request("  trace  ").unwrap(),
+            Request::Trace(None)
+        ));
+        assert!(matches!(
+            parse_request("TRACE 5").unwrap(),
+            Request::Trace(Some(5))
+        ));
+        assert!(matches!(
+            parse_request("trace 16").unwrap(),
+            Request::Trace(Some(16))
+        ));
+        assert!(parse_request("TRACE five").is_err());
+        assert!(parse_request("TRACE -1").is_err());
+    }
+
+    #[test]
+    fn error_response_carries_kind() {
+        let j = error_response(&Some("9".into()), "unknown_endpoint", "no such endpoint");
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("unknown_endpoint"));
+        assert_eq!(
+            j.get("error").and_then(Json::as_str),
+            Some("no such endpoint")
+        );
     }
 
     #[test]

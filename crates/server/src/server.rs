@@ -52,7 +52,7 @@ use crate::json::Json;
 use crate::metrics::ServerMetrics;
 use crate::proto::{
     self, error_response, ok_response, overloaded_response, parse_request, shutting_down_response,
-    timeout_response, QueryRequest, Request,
+    timeout_response, trace_response, QueryRequest, Request,
 };
 use crate::signal;
 
@@ -193,8 +193,40 @@ impl Shared {
             ("workers", self.cfg.workers.into()),
             ("queue_capacity", self.cfg.queue_capacity.into()),
             ("endpoints", Json::Obj(endpoints)),
+            ("registry", registry_json()),
         ])
     }
+}
+
+/// The process-wide metrics registry rendered for `STATS`: every named
+/// counter plus a digest of every named histogram.
+fn registry_json() -> Json {
+    let reg = obda_obs::registry();
+    let counters = Json::Obj(
+        reg.counters()
+            .into_iter()
+            .map(|(name, value)| (name, Json::from(value)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        reg.histograms()
+            .into_iter()
+            .map(|(name, h)| {
+                (
+                    name,
+                    Json::obj(vec![
+                        ("count", h.count.into()),
+                        ("mean_us", Json::Num(h.mean_us)),
+                        ("p50_us", h.p50_us.into()),
+                        ("p95_us", h.p95_us.into()),
+                        ("p99_us", h.p99_us.into()),
+                        ("max_us", h.max_us.into()),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj(vec![("counters", counters), ("histograms", histograms)])
 }
 
 /// A running server: listener + workers over a set of loaded endpoints.
@@ -305,6 +337,7 @@ impl Server {
         while !signal::shutdown_requested() && !self.shared.shutting_down() {
             std::thread::sleep(TICK);
         }
+        // lint: allow(R6.print, "operator-facing shutdown notice on the server's own stderr, not library timing output")
         eprintln!(
             "obda-server draining: {}",
             self.shared.metrics.summary_line()
@@ -369,6 +402,7 @@ fn summary_loop(shared: &Arc<Shared>) {
     while !shared.shutting_down() {
         std::thread::sleep(TICK);
         if last.elapsed() >= every {
+            // lint: allow(R6.print, "periodic operator summary, opt-in via summary_every_s config")
             eprintln!("{}", shared.metrics.summary_line());
             last = Instant::now();
         }
@@ -391,6 +425,7 @@ fn access_log(
     total_us: u64,
 ) {
     if shared.cfg.access_log {
+        // lint: allow(R6.print, "structured access log, opt-in via access_log config")
         eprintln!(
             "access endpoint={endpoint} lang={lang} status={status} rows={rows} total_us={total_us}"
         );
@@ -419,7 +454,10 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
             // line overflows; answer and hang up.
             shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(&mut stream, &error_response(&None, "frame too long"));
+            let _ = write_response(
+                &mut stream,
+                &error_response(&None, "bad_request", "frame too long"),
+            );
             return;
         }
         if shared.shutting_down() {
@@ -444,7 +482,10 @@ fn process_frame(shared: &Arc<Shared>, stream: &mut TcpStream, raw: &[u8]) -> bo
         Err(_) => {
             metrics.malformed.fetch_add(1, Ordering::Relaxed);
             metrics.errors.fetch_add(1, Ordering::Relaxed);
-            return write_response(stream, &error_response(&None, "bad frame: invalid utf-8"));
+            return write_response(
+                stream,
+                &error_response(&None, "bad_request", "bad frame: invalid utf-8"),
+            );
         }
     };
     if line.trim().is_empty() {
@@ -455,13 +496,18 @@ fn process_frame(shared: &Arc<Shared>, stream: &mut TcpStream, raw: &[u8]) -> bo
         Err(msg) => {
             metrics.malformed.fetch_add(1, Ordering::Relaxed);
             metrics.errors.fetch_add(1, Ordering::Relaxed);
-            return write_response(stream, &error_response(&None, &msg));
+            return write_response(stream, &error_response(&None, "bad_request", &msg));
         }
     };
     match req {
         Request::Stats => {
             metrics.stats_requests.fetch_add(1, Ordering::Relaxed);
             write_response(stream, &shared.stats_json())
+        }
+        Request::Trace(n) => {
+            metrics.trace_requests.fetch_add(1, Ordering::Relaxed);
+            let traces = obda_obs::ring::global().last(n.unwrap_or(1));
+            write_response(stream, &trace_response(&traces))
         }
         Request::Query(q) => handle_query(shared, stream, q),
     }
@@ -474,7 +520,7 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, req: QueryRequest)
         None => {
             metrics.errors.fetch_add(1, Ordering::Relaxed);
             let msg = proto::engine_error_text(&crate::endpoint::unknown_endpoint(&req.endpoint));
-            let resp = error_response(&req.id, &msg);
+            let resp = error_response(&req.id, "unknown_endpoint", &msg);
             access_log(shared, &req.endpoint, req.lang.as_str(), "error", 0, 0);
             return write_response(stream, &resp);
         }
@@ -529,7 +575,11 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, req: QueryRequest)
             (timeout_response(&req.id), "timeout", 0)
         }
         Err(RecvTimeoutError::Disconnected) => (
-            error_response(&req.id, "internal error: worker dropped the request"),
+            error_response(
+                &req.id,
+                "internal",
+                "internal error: worker dropped the request",
+            ),
             "error",
             0,
         ),
@@ -592,29 +642,50 @@ fn worker_loop(shared: &Arc<Shared>) {
             continue;
         }
         let t = Instant::now();
+        // Collect a trace when anyone will consume it: the global ring
+        // (the `TRACE` verb) or the endpoint's sink (`QUONTO_TIMINGS`).
+        // With both off the context is the disabled no-op.
+        let sink = job.endpoint.trace_sink();
+        let ctx = if obda_obs::ring::global().is_enabled() || sink.enabled() {
+            obda_obs::TraceCtx::new()
+        } else {
+            obda_obs::TraceCtx::disabled()
+        };
+        ctx.set_query(&job.req.query);
+        ctx.tag("endpoint", job.endpoint.name.clone());
         // A panicking query (engine bug, adversarial input) must take
         // down one request, not the worker.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            job.endpoint.answer(job.req.lang, &job.req.query)
+            job.endpoint.answer_traced(job.req.lang, &job.req.query, &ctx)
         }));
         let exec_us = t.elapsed().as_micros() as u64;
-        let reply = match outcome {
-            Ok(Ok(answers)) => WorkerReply {
-                rows: answers.len(),
-                json: ok_response(&job.req.id, &answers, wait_us, exec_us),
-                status: "ok",
-            },
-            Ok(Err(e)) => WorkerReply {
-                json: error_response(&job.req.id, &proto::engine_error_text(&e)),
-                status: "error",
-                rows: 0,
-            },
-            Err(_) => WorkerReply {
-                json: error_response(&job.req.id, "internal error: query execution panicked"),
-                status: "error",
-                rows: 0,
-            },
+        let reply = {
+            let _serialize = ctx.span("serialize");
+            match outcome {
+                Ok(Ok(answers)) => WorkerReply {
+                    rows: answers.len(),
+                    json: ok_response(&job.req.id, &answers, wait_us, exec_us),
+                    status: "ok",
+                },
+                Ok(Err(e)) => WorkerReply {
+                    json: error_response(&job.req.id, e.kind(), &proto::engine_error_text(&e)),
+                    status: "error",
+                    rows: 0,
+                },
+                Err(_) => WorkerReply {
+                    json: error_response(
+                        &job.req.id,
+                        "panic",
+                        "internal error: query execution panicked",
+                    ),
+                    status: "error",
+                    rows: 0,
+                },
+            }
         };
+        if let Some(trace) = ctx.finish(reply.status, reply.rows as u64) {
+            obda_obs::submit(trace, &*sink);
+        }
         // Receiver gone = client timed out or hung up; drop the result.
         let _ = job.resp_tx.send(reply);
     }

@@ -1,0 +1,157 @@
+//! TRACE verb + STATS registry integration: every server-answered
+//! query leaves a retrievable trace with attributed phases, STATS
+//! exposes the process-wide metrics registry, and error responses
+//! carry a structured `kind`.
+//!
+//! The trace ring is process-global and the harness runs these tests
+//! on parallel threads, so each test serves a uniquely named endpoint
+//! and filters the ring by its own endpoint tag.
+
+mod common;
+
+use common::{status, Client};
+use obda_genont::university_scenario;
+use obda_server::{EndpointConfig, EndpointKind, Json, Server, ServerConfig};
+
+fn start_server(endpoint: &str) -> Server {
+    Server::start(ServerConfig {
+        workers: 2,
+        endpoints: vec![EndpointConfig {
+            name: endpoint.into(),
+            kind: EndpointKind::University,
+            scale: 1,
+            seed: 42,
+            ..EndpointConfig::default()
+        }],
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+#[test]
+fn every_answered_query_yields_a_trace_with_phases() {
+    let server = start_server("uni-phases");
+    let mut client = Client::connect(server.addr());
+    let queries = university_scenario(1, 42).queries;
+    for qs in &queries {
+        let resp = client.query("uni-phases", "cq", &qs.text, None);
+        assert_eq!(status(&resp), "ok", "query `{}` failed: {resp}", qs.name);
+    }
+
+    // Ask for the whole ring and keep this test's own traces.
+    let resp = client.roundtrip("TRACE 4096");
+    assert_eq!(status(&resp), "ok", "TRACE failed: {resp}");
+    let traces: Vec<&Json> = resp
+        .get("traces")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("TRACE response without traces: {resp}"))
+        .iter()
+        .filter(|t| {
+            t.get("tags")
+                .and_then(|tags| tags.get("endpoint"))
+                .and_then(Json::as_str)
+                == Some("uni-phases")
+        })
+        .collect();
+    assert_eq!(traces.len(), queries.len(), "one trace per answered query");
+    for trace in traces {
+        let phases = trace
+            .get("phases")
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("trace without phases: {trace}"));
+        assert!(
+            phases.len() >= 4,
+            "server-answered queries attribute >= 4 phases, got {trace}"
+        );
+        let names: Vec<&str> = phases
+            .iter()
+            .filter_map(|p| p.get("phase").and_then(Json::as_str))
+            .collect();
+        for want in ["parse", "rewrite", "serialize"] {
+            assert!(names.contains(&want), "trace missing `{want}`: {names:?}");
+        }
+        assert_eq!(
+            trace.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "trace of a successful query records ok: {trace}"
+        );
+        assert!(trace.get("rows").and_then(Json::as_u64).is_some());
+        assert!(trace.get("total_us").and_then(Json::as_u64).is_some());
+        assert!(trace.get("query").and_then(Json::as_str).is_some());
+    }
+
+    // A bare TRACE returns exactly the most recent trace.
+    let resp = client.roundtrip("trace");
+    let traces = resp.get("traces").and_then(Json::as_arr).expect("traces");
+    assert_eq!(traces.len(), 1);
+}
+
+#[test]
+fn stats_exposes_registry_and_trace_requests() {
+    let server = start_server("uni-stats");
+    let mut client = Client::connect(server.addr());
+    let resp = client.query("uni-stats", "cq", "q(x) :- Student(x)", None);
+    assert_eq!(status(&resp), "ok");
+    let _ = client.roundtrip("TRACE");
+
+    let stats = client.stats();
+    assert_eq!(status(&stats), "ok");
+    let registry = stats
+        .get("registry")
+        .unwrap_or_else(|| panic!("STATS without registry section: {stats}"));
+    let counters = registry
+        .get("counters")
+        .unwrap_or_else(|| panic!("registry without counters: {registry}"));
+    assert!(
+        counters
+            .get("mastro.queries")
+            .and_then(Json::as_u64)
+            .is_some_and(|n| n >= 1),
+        "answered queries bump mastro.queries: {counters}"
+    );
+    assert!(
+        registry
+            .get("histograms")
+            .and_then(|h| h.get("mastro.query_us"))
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .is_some_and(|n| n >= 1),
+        "query latency lands in the registry histogram: {registry}"
+    );
+    let metrics = stats.get("server").expect("server metrics");
+    assert!(
+        metrics
+            .get("trace_requests")
+            .and_then(Json::as_u64)
+            .is_some_and(|n| n >= 1),
+        "TRACE requests are themselves metered: {metrics}"
+    );
+}
+
+#[test]
+fn error_responses_carry_structured_kinds() {
+    let server = start_server("uni-err");
+    let mut client = Client::connect(server.addr());
+
+    let kind_of = |resp: &Json| -> String {
+        resp.get("kind")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("error without kind: {resp}"))
+            .to_owned()
+    };
+
+    // Unknown endpoint.
+    let resp = client.query("nope", "cq", "q(x) :- Student(x)", None);
+    assert_eq!(status(&resp), "error");
+    assert_eq!(kind_of(&resp), "unknown_endpoint");
+
+    // Engine-side parse failure.
+    let resp = client.query("uni-err", "cq", "q(x) :- NotAConcept(", None);
+    assert_eq!(status(&resp), "error");
+    assert_eq!(kind_of(&resp), "parse");
+
+    // Protocol-level garbage.
+    let resp = client.roundtrip("not json, not a verb");
+    assert_eq!(status(&resp), "error");
+    assert_eq!(kind_of(&resp), "bad_request");
+}

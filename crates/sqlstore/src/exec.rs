@@ -53,15 +53,56 @@ impl ResultSet {
     }
 }
 
+/// Execution counters, filled in by [`execute_counted`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Base-table rows the scans considered (post index lookup, before
+    /// pushed filters) — the "work done" metric the trace reports.
+    pub rows_scanned: u64,
+}
+
 /// Executes a planned query.
 pub fn execute(db: &Database, pq: &PlannedQuery) -> Result<ResultSet, SqlError> {
+    execute_counted(db, pq, &mut ExecStats::default())
+}
+
+/// Executes a planned query, accumulating scan counters into `stats`.
+pub fn execute_counted(
+    db: &Database,
+    pq: &PlannedQuery,
+    stats: &mut ExecStats,
+) -> Result<ResultSet, SqlError> {
     Ok(ResultSet {
         columns: pq.columns.clone(),
-        rows: run(db, &pq.plan)?,
+        rows: run(db, &pq.plan, stats)?,
     })
 }
 
-fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>, SqlError> {
+/// Registry handle for the process-wide scanned-rows counter, resolved
+/// once so the per-statement cost is one relaxed atomic add.
+fn rows_scanned_total() -> &'static std::sync::Arc<obda_obs::Counter> {
+    static HANDLE: std::sync::OnceLock<std::sync::Arc<obda_obs::Counter>> =
+        std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| obda_obs::registry().counter("sqlstore.rows_scanned"))
+}
+
+/// Executes a planned query under a trace context: bumps the per-query
+/// `rows_scanned` / `sql_statements` trace counters and the process-wide
+/// `sqlstore.rows_scanned` registry counter.
+pub fn execute_traced(
+    db: &Database,
+    pq: &PlannedQuery,
+    ctx: &obda_obs::TraceCtx,
+) -> Result<ResultSet, SqlError> {
+    let mut stats = ExecStats::default();
+    let res = execute_counted(db, pq, &mut stats);
+    ctx.count("rows_scanned", stats.rows_scanned);
+    ctx.count("sql_statements", 1);
+    rows_scanned_total().add(stats.rows_scanned);
+    res
+}
+
+fn run(db: &Database, plan: &Plan, stats: &mut ExecStats) -> Result<Vec<Row>, SqlError> {
     match plan {
         Plan::Scan {
             table,
@@ -77,10 +118,12 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>, SqlError> {
                 },
                 None => Box::new(t.rows().iter()),
             };
-            Ok(rows
+            let out: Vec<Row> = rows
+                .inspect(|_| stats.rows_scanned += 1)
                 .filter(|r| pushed.iter().all(|p| p.eval(r)))
                 .cloned()
-                .collect())
+                .collect();
+            Ok(out)
         }
         Plan::HashJoin {
             left,
@@ -89,8 +132,8 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>, SqlError> {
             right_keys,
             residual,
         } => {
-            let left_rows = run(db, left)?;
-            let right_rows = run(db, right)?;
+            let left_rows = run(db, left, stats)?;
+            let right_rows = run(db, right, stats)?;
             let mut out = Vec::new();
             if left_keys.is_empty() {
                 // Cross join (rare; only from joins without equi-keys).
@@ -139,19 +182,19 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>, SqlError> {
             Ok(out)
         }
         Plan::Filter { input, predicates } => {
-            let mut rows = run(db, input)?;
+            let mut rows = run(db, input, stats)?;
             rows.retain(|r| predicates.iter().all(|p| p.eval(r)));
             Ok(rows)
         }
         Plan::Project { input, cols } => {
-            let rows = run(db, input)?;
+            let rows = run(db, input, stats)?;
             Ok(rows
                 .into_iter()
                 .map(|r| cols.iter().map(|&i| r[i].clone()).collect())
                 .collect())
         }
         Plan::Distinct { input } => {
-            let rows = run(db, input)?;
+            let rows = run(db, input, stats)?;
             let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
             Ok(rows
                 .into_iter()
@@ -161,7 +204,7 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>, SqlError> {
         Plan::Union { inputs, all } => {
             let mut out = Vec::new();
             for p in inputs {
-                out.extend(run(db, p)?);
+                out.extend(run(db, p, stats)?);
             }
             if !all {
                 let mut seen: HashSet<Row> = HashSet::with_capacity(out.len());
@@ -170,7 +213,7 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>, SqlError> {
             Ok(out)
         }
         Plan::Sort { input, keys } => {
-            let mut rows = run(db, input)?;
+            let mut rows = run(db, input, stats)?;
             rows.sort_by(|a, b| {
                 for &(pos, asc) in keys {
                     let ord = a[pos].cmp(&b[pos]);
@@ -184,7 +227,7 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>, SqlError> {
             Ok(rows)
         }
         Plan::Limit { input, n } => {
-            let mut rows = run(db, input)?;
+            let mut rows = run(db, input, stats)?;
             rows.truncate(*n);
             Ok(rows)
         }

@@ -11,6 +11,7 @@
 //! | R3 unsafe audit | everywhere, tests included |
 //! | R4 env registry | everywhere outside the registry itself, docs included |
 //! | R5 hygiene | `#[ignore]` reasons everywhere; stdout prints in library code |
+//! | R6 observability | raw stderr prints in traced library code (`obda`, `sqlstore`, `mapping`, `server`, `obs`) — timing/diagnostic output must flow through `obda-obs` spans and sinks |
 //!
 //! Suppressions are explicit and must carry a reason:
 //! `// lint: allow(rule-id, "reason")` on the offending line or the line
@@ -97,6 +98,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "R5.print",
         "library code must not write to stdout; use `eprintln!` or return the data",
+    ),
+    (
+        "R6.print",
+        "record a span/counter and let the obda-obs sink emit it; raw stderr prints bypass QUONTO_TIMINGS routing",
     ),
     (
         "R0.allow",
@@ -814,6 +819,58 @@ fn r5(file: &ScannedFile, findings: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
+// R6 — observability discipline
+// ---------------------------------------------------------------------
+
+/// Library code covered by the structured tracing stack: per-query
+/// timing and diagnostic output must flow through `obda-obs` spans and
+/// sinks (so `QUONTO_TIMINGS` routing, the JSON sink, and the trace
+/// ring all see it), never raw stderr prints. The sink module itself is
+/// the one place allowed to write the legacy stderr lines; binaries and
+/// tests print freely.
+fn r6_scope(file: &ScannedFile) -> bool {
+    if file.kind != FileKind::Lib {
+        return false;
+    }
+    if file.path == "crates/obs/src/sink.rs" {
+        return false;
+    }
+    [
+        "crates/obda/src/",
+        "crates/sqlstore/src/",
+        "crates/mapping/src/",
+        "crates/server/src/",
+        "crates/obs/src/",
+    ]
+    .iter()
+    .any(|p| file.path.starts_with(p))
+}
+
+fn r6(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    if !r6_scope(file) {
+        return;
+    }
+    for (idx, l) in file.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        for mac in ["eprintln!(", "eprint!("] {
+            if has_token(&l.code, mac) {
+                findings.push(Finding {
+                    rule: "R6.print",
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{}...)` in traced library code",
+                        &mac[..mac.len() - 1]
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Entry point
 // ---------------------------------------------------------------------
 
@@ -827,6 +884,7 @@ pub fn check_file(file: &ScannedFile, is_registered: &dyn Fn(&str) -> bool) -> V
     r3(file, &mut raw);
     r4(file, is_registered, &mut raw);
     r5(file, &mut raw);
+    r6(file, &mut raw);
     findings.extend(apply_allows(file, &allows, raw));
     findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     findings
@@ -1166,6 +1224,41 @@ mod tests {
         assert!(lint_src("crates/core/src/bin/tool.rs", lib_print).is_empty());
         let eprint = "pub fn f() { eprintln!(\"x\"); }\n";
         assert!(lint_src("crates/core/src/fx.rs", eprint).is_empty());
+    }
+
+    #[test]
+    fn r6_bans_raw_stderr_in_traced_library_code() {
+        let src = "pub fn f() { eprintln!(\"mastro-timings total_ms=1\"); }\n";
+        for path in [
+            "crates/obda/src/fx.rs",
+            "crates/sqlstore/src/fx.rs",
+            "crates/mapping/src/fx.rs",
+            "crates/server/src/fx.rs",
+            "crates/obs/src/fx.rs",
+        ] {
+            assert_eq!(rules_of(&lint_src(path, src)), vec!["R6.print"], "{path}");
+        }
+        // The sink module, binaries, core, and tests are out of scope.
+        assert!(lint_src("crates/obs/src/sink.rs", src).is_empty());
+        assert!(lint_src("crates/server/src/bin/quonto_server.rs", src).is_empty());
+        assert!(lint_src("crates/core/src/fx.rs", src).is_empty());
+        assert!(lint_src("crates/obda/tests/fx.rs", src).is_empty());
+        let in_test = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { eprintln!(\"debugging\"); }
+}
+";
+        assert!(lint_src("crates/obda/src/fx.rs", in_test).is_empty());
+        // An allow with a reason still works.
+        let allowed = "\
+pub fn f() {
+    // lint: allow(R6.print, \"operator-facing notice, not timing output\")
+    eprintln!(\"draining\");
+}
+";
+        assert!(lint_src("crates/server/src/fx.rs", allowed).is_empty());
     }
 
     #[test]
