@@ -11,10 +11,15 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--workers N] [--queue N] [--scale N] [--seed N]
-//!         [--kind university|university-abox] [--connections N] [--requests N]
+//!         [--kind university|university-abox] [--shards N] [--exact-workers]
+//!         [--connections N] [--requests N]
 //!         [--mix cq|sparql|both] [--warm] [--timeout-ms N] [--label S] [--markdown]
-//!         [--trace-slowest K]
+//!         [--json FILE] [--trace-slowest K]
 //! ```
+//!
+//! `--json FILE` appends one machine-readable run record (qps,
+//! percentiles, counters) to a JSON array at FILE — the format the
+//! EXPERIMENTS tables are generated from (`BENCH_A8.json`).
 //!
 //! `--trace-slowest K` fetches the server's completed-query trace ring
 //! (the `TRACE` protocol verb) after the run and prints the K slowest
@@ -46,8 +51,14 @@ struct Opts {
     /// I/O-bound backend so worker-pool scaling is visible even when
     /// the queries themselves are CPU-cheap (or the host is 1-core).
     delay_ms: u64,
+    /// ABox shards on the spawned endpoint (0 = unsharded default).
+    shards: usize,
+    /// Run exactly `--workers` threads even past the core count.
+    exact_workers: bool,
     label: String,
     markdown: bool,
+    /// Append one machine-readable run record to this JSON file.
+    json_path: Option<String>,
     /// Print the K slowest traced queries (0 = off).
     trace_slowest: usize,
 }
@@ -74,8 +85,11 @@ impl Default for Opts {
             warm: false,
             timeout_ms: 30_000,
             delay_ms: 0,
+            shards: 0,
+            exact_workers: false,
             label: String::new(),
             markdown: false,
+            json_path: None,
             trace_slowest: 0,
         }
     }
@@ -84,9 +98,10 @@ impl Default for Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--workers N] [--queue N] [--scale N] [--seed N]\n\
-         \x20              [--kind university|university-abox] [--connections N] [--requests N]\n\
+         \x20              [--kind university|university-abox] [--shards N] [--exact-workers]\n\
+         \x20              [--connections N] [--requests N]\n\
          \x20              [--mix cq|sparql|both] [--warm] [--timeout-ms N] [--delay-ms N]\n\
-         \x20              [--label S] [--markdown] [--trace-slowest K]"
+         \x20              [--label S] [--markdown] [--json FILE] [--trace-slowest K]"
     );
     std::process::exit(2)
 }
@@ -131,8 +146,11 @@ fn parse_opts() -> Opts {
                 opts.timeout_ms = val("--timeout-ms").parse().unwrap_or_else(|_| usage())
             }
             "--delay-ms" => opts.delay_ms = val("--delay-ms").parse().unwrap_or_else(|_| usage()),
+            "--shards" => opts.shards = val("--shards").parse().unwrap_or_else(|_| usage()),
+            "--exact-workers" => opts.exact_workers = true,
             "--label" => opts.label = val("--label"),
             "--markdown" => opts.markdown = true,
+            "--json" => opts.json_path = Some(val("--json")),
             "--trace-slowest" => {
                 opts.trace_slowest = val("--trace-slowest").parse().unwrap_or_else(|_| usage())
             }
@@ -236,6 +254,39 @@ fn run_client(
     tally
 }
 
+fn kind_name(kind: EndpointKind) -> &'static str {
+    match kind {
+        EndpointKind::University => "university",
+        EndpointKind::UniversityAbox => "university-abox",
+    }
+}
+
+/// Appends `record` to the JSON array at `path` (created as `[record]`
+/// when absent), so successive runs build up the table one file feeds.
+fn append_json_record(path: &str, record: Json) -> Result<(), String> {
+    let mut runs = match std::fs::read_to_string(path) {
+        Ok(src) => match Json::parse(src.trim()) {
+            Ok(Json::Arr(items)) => items,
+            Ok(other) => return Err(format!("{path} holds {other}, not a JSON array")),
+            Err(e) => return Err(format!("{path} is not valid JSON: {e}")),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.to_string()),
+    };
+    runs.push(record);
+    let mut out = String::from("[\n");
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&run.to_string());
+        if i + 1 < runs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out).map_err(|e| e.to_string())
+}
+
 fn pct(sorted_us: &[u64], p: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
@@ -257,10 +308,13 @@ fn print_slowest_traces(addr: SocketAddr, k: usize) {
         return;
     };
     let mut traces: Vec<&Json> = traces.iter().collect();
-    traces.sort_by_key(|t| {
-        std::cmp::Reverse(t.get("total_us").and_then(Json::as_u64).unwrap_or(0))
-    });
-    println!("  slowest {} of {} traced queries:", k.min(traces.len()), traces.len());
+    traces
+        .sort_by_key(|t| std::cmp::Reverse(t.get("total_us").and_then(Json::as_u64).unwrap_or(0)));
+    println!(
+        "  slowest {} of {} traced queries:",
+        k.min(traces.len()),
+        traces.len()
+    );
     for t in traces.iter().take(k) {
         let query = t.get("query").and_then(Json::as_str).unwrap_or("?");
         let status = t.get("status").and_then(Json::as_str).unwrap_or("?");
@@ -274,7 +328,9 @@ fn print_slowest_traces(addr: SocketAddr, k: usize) {
                 phases.push_str(&format!(" {name}={us}us"));
             }
         }
-        println!("    total_us={total_us} status={status} rows={rows} phases:{phases} query={query:?}");
+        println!(
+            "    total_us={total_us} status={status} rows={rows} phases:{phases} query={query:?}"
+        );
     }
 }
 
@@ -297,18 +353,20 @@ fn main() {
         }
         None => {
             eprintln!(
-                "loadgen: spawning in-process server (workers={} queue={} scale={} seed={})",
-                opts.workers, opts.queue, opts.scale, opts.seed
+                "loadgen: spawning in-process server (workers={} queue={} scale={} seed={} shards={})",
+                opts.workers, opts.queue, opts.scale, opts.seed, opts.shards
             );
             let server = Server::start(ServerConfig {
                 workers: opts.workers,
                 queue_capacity: opts.queue,
+                exact_workers: opts.exact_workers,
                 endpoints: vec![EndpointConfig {
                     name: ENDPOINT.into(),
                     kind: opts.kind,
                     scale: opts.scale,
                     seed: opts.seed,
                     delay_ms: opts.delay_ms,
+                    shards: opts.shards,
                     ..EndpointConfig::default()
                 }],
                 ..ServerConfig::default()
@@ -379,11 +437,18 @@ fn main() {
         .and_then(Json::as_u64)
         .unwrap_or(0);
     // Against an external server, --workers describes nothing — report
-    // the target's actual pool size from STATS instead.
+    // the target's actual pool size from STATS instead (also reflects
+    // the CPU clamp on a spawned server).
     let workers = stats
         .get("workers")
         .and_then(Json::as_u64)
         .unwrap_or(opts.workers as u64);
+    let shards = stats
+        .get("endpoints")
+        .and_then(|e| e.get(ENDPOINT))
+        .and_then(|e| e.get("shards"))
+        .and_then(Json::as_u64)
+        .unwrap_or(1);
 
     let label = if opts.label.is_empty() {
         String::new()
@@ -391,7 +456,7 @@ fn main() {
         format!(" label={}", opts.label)
     };
     println!(
-        "loadgen report{label} workers={workers} connections={} requests={} mix_size={} warm={}",
+        "loadgen report{label} workers={workers} shards={shards} connections={} requests={} mix_size={} warm={}",
         opts.connections,
         total,
         mix.len(),
@@ -424,6 +489,35 @@ fn main() {
             pct(&latencies, 99.0) as f64 / 1000.0,
             hit_rate,
         );
+    }
+    if let Some(path) = &opts.json_path {
+        let record = Json::obj(vec![
+            ("label", opts.label.as_str().into()),
+            ("kind", kind_name(opts.kind).into()),
+            ("workers", workers.into()),
+            ("shards", shards.into()),
+            ("connections", opts.connections.into()),
+            ("requests", total.into()),
+            ("warm", Json::Bool(opts.warm)),
+            ("qps", Json::Num(qps)),
+            ("mean_us", Json::Num(mean_us)),
+            ("p50_us", pct(&latencies, 50.0).into()),
+            ("p90_us", pct(&latencies, 90.0).into()),
+            ("p95_us", pct(&latencies, 95.0).into()),
+            ("p99_us", pct(&latencies, 99.0).into()),
+            ("max_us", latencies.last().copied().unwrap_or(0).into()),
+            ("ok", ok.into()),
+            ("errors", errors.into()),
+            ("timeouts", timeouts.into()),
+            ("overloaded", overloaded.into()),
+            ("cache_hit_rate", Json::Num(hit_rate)),
+            ("queue_high_water", high_water.into()),
+        ]);
+        if let Err(e) = append_json_record(path, record) {
+            eprintln!("loadgen: writing --json {path} failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("loadgen: appended run record to {path}");
     }
 
     if let Some(server) = spawned {

@@ -87,6 +87,14 @@ pub const KNOBS: &[Knob] = &[
               rewriting fast path.",
     },
     Knob {
+        name: "QUONTO_SHARDS",
+        kind: KnobKind::Count,
+        default: "1",
+        doc: "ABox evaluation shards in `mastro` (`0` = all cores). `1` serves the unsharded \
+              fast path; higher values partition the ABox by subject hash and scatter-gather \
+              UCQ evaluation across the shards.",
+    },
+    Knob {
         name: "QUONTO_THREADS",
         kind: KnobKind::Count,
         default: "1",
@@ -184,6 +192,13 @@ pub fn full_presets() -> bool {
 /// `QUONTO_BENCH_SCALE`: bench ontology scale factor, if set and valid.
 pub fn bench_scale() -> Option<f64> {
     raw("QUONTO_BENCH_SCALE").and_then(|s| s.parse().ok())
+}
+
+/// `QUONTO_SHARDS`: ABox evaluation shard count, if set and numeric.
+/// `Some(0)` means "all available cores" by workspace convention;
+/// `Some(1)` (and unset) select the unsharded fast path.
+pub fn shards() -> Option<usize> {
+    raw("QUONTO_SHARDS").and_then(|s| s.parse().ok())
 }
 
 /// `QUONTO_TRACE_RING`: capacity of the global completed-trace ring,

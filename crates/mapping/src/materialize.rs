@@ -43,8 +43,8 @@ pub fn materialize(mappings: &MappingSet, db: &Database) -> Result<Abox, SqlErro
 /// The columns a mapping head derives assertions from; a row is used by
 /// that head iff all of them are non-NULL. Centralizing this is what
 /// keeps NULL handling uniform across the three head shapes.
-fn head_columns<'a>(
-    h: &'a MappingHead,
+fn head_columns(
+    h: &MappingHead,
     col: &impl Fn(&str) -> Result<usize, SqlError>,
 ) -> Result<Vec<usize>, SqlError> {
     match h {

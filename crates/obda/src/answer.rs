@@ -164,6 +164,24 @@ pub fn evaluate_ucq_indexed(u: &Ucq, abox: &Abox, index: &AboxIndex) -> Answers 
     out
 }
 
+/// Evaluates a set of disjuncts (borrowed from one or more UCQs)
+/// against a prebuilt index, unioning their answers. This is the
+/// shard-side evaluation primitive of the scatter-gather engine: the
+/// coordinator routes each disjunct to the shards that can contain its
+/// matches and each shard runs exactly this over its own index.
+pub fn evaluate_disjuncts_indexed(
+    disjuncts: &[&ConjunctiveQuery],
+    abox: &Abox,
+    index: &AboxIndex,
+) -> Answers {
+    let mut out = Answers::new();
+    for q in disjuncts {
+        let mut bindings: HashMap<String, Binding> = HashMap::new();
+        eval_rec(q, abox, index, 0, &mut bindings, &mut out);
+    }
+    out
+}
+
 /// [`evaluate_ucq_parallel`] under an `eval` trace span. Exactly one
 /// span is recorded, from the coordinating thread, with the resolved
 /// thread count as a counter — so a trace's phase set is identical for

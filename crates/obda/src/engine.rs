@@ -55,8 +55,35 @@ pub struct EngineStats {
     pub eval_threads: usize,
     /// TBox epoch (bumped by invalidation).
     pub tbox_epoch: u64,
-    /// Rewrite-cache hit/miss counters.
+    /// Rewrite-cache hit/miss counters. For a sharded engine this is
+    /// the rollup of the coordinator and every shard, so dashboards
+    /// that parse one hit/miss pair keep working unchanged.
     pub rewrite_cache: RewriteCacheStats,
+    /// Evaluation shards (`1` = the unsharded fast path).
+    pub shards: usize,
+}
+
+/// Per-shard serving counters, surfaced through
+/// [`QueryEngine::shard_stats`] by sharded engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStats {
+    /// Shard index (`0..shards`).
+    pub shard: usize,
+    /// Individuals interned in this shard's ABox.
+    pub individuals: usize,
+    /// Indexed facts owned by this shard.
+    pub facts: usize,
+    /// Scatter evaluations routed to this shard.
+    pub requests: u64,
+    /// This shard's own rewrite-cache counters (direct access only —
+    /// coordinator-routed queries rewrite once at the coordinator).
+    pub rewrite_cache: RewriteCacheStats,
+    /// Configured per-shard inflight cap (`0` = unbounded).
+    pub max_inflight: usize,
+    /// Highest concurrent inflight evaluations observed.
+    pub inflight_high_water: usize,
+    /// Scatter evaluations that had to wait at the shard gate.
+    pub gate_waits: u64,
 }
 
 /// One loaded, thread-shareable query-answering engine.
@@ -74,11 +101,7 @@ pub trait QueryEngine: Send + Sync + std::fmt::Debug {
     fn trace_sink(&self) -> Arc<dyn TraceSink>;
 
     /// Answers a parsed CQ, recording phase spans on `ctx`.
-    fn answer_cq_traced(
-        &self,
-        q: &ConjunctiveQuery,
-        ctx: &TraceCtx,
-    ) -> Result<Answers, ObdaError>;
+    fn answer_cq_traced(&self, q: &ConjunctiveQuery, ctx: &TraceCtx) -> Result<Answers, ObdaError>;
 
     /// Engine counters (cache hit rates, configuration).
     fn stats(&self) -> EngineStats;
@@ -90,6 +113,12 @@ pub trait QueryEngine: Send + Sync + std::fmt::Debug {
 
     /// Zeroes the resettable counters in [`stats`](Self::stats).
     fn reset_stats(&self);
+
+    /// Per-shard serving counters; empty for unsharded engines (the
+    /// default), one entry per shard for sharded ones.
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        Vec::new()
+    }
 
     /// Parses `text` under `lang` (recording a `parse` span) and
     /// answers it, recording the remaining phase spans on `ctx`. The
@@ -156,6 +185,8 @@ pub struct SystemBuilder {
     data: Option<DataMode>,
     eval_threads: Option<usize>,
     rewrite_cache: Option<bool>,
+    shards: Option<usize>,
+    shard_max_inflight: Option<usize>,
     sink: Option<Arc<dyn TraceSink>>,
 }
 
@@ -188,6 +219,21 @@ impl SystemBuilder {
     /// Enables/disables the rewrite cache (default: enabled).
     pub fn rewrite_cache(mut self, enabled: bool) -> Self {
         self.rewrite_cache = Some(enabled);
+        self
+    }
+
+    /// ABox evaluation shards for
+    /// [`build_abox_engine`](Self::build_abox_engine), `0` = all cores
+    /// (default: `QUONTO_SHARDS`, else 1 = unsharded).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Per-shard cap on concurrent scatter evaluations (`0` =
+    /// unbounded, the default). Only meaningful for sharded engines.
+    pub fn shard_max_inflight(mut self, cap: usize) -> Self {
+        self.shard_max_inflight = Some(cap);
         self
     }
 
@@ -243,5 +289,45 @@ impl SystemBuilder {
             sys = sys.with_trace_sink(Arc::clone(sink));
         }
         sys
+    }
+
+    /// The shard count [`build_abox_engine`](Self::build_abox_engine)
+    /// will use: the builder option, else `QUONTO_SHARDS`, else 1;
+    /// `0` resolves to all available cores.
+    pub fn resolved_shards(&self) -> usize {
+        let n = self.shards.or_else(quonto::env::shards).unwrap_or(1);
+        if n == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            n
+        }
+    }
+
+    /// Builds an ABox-backed engine, sharded or not: the serving-layer
+    /// entry point. With [`resolved_shards`](Self::resolved_shards)
+    /// `<= 1` this is exactly [`build_abox`](Self::build_abox) boxed —
+    /// the unsharded fast path stays byte-for-byte what it was.
+    /// Otherwise the ABox is partitioned into a
+    /// [`crate::shard::ShardedAboxSystem`] (which always evaluates each
+    /// shard single-threaded — `eval_threads` does not apply; scatter
+    /// parallelism comes from the shards themselves).
+    pub fn build_abox_engine(&self, tbox: Tbox, abox: Abox) -> Box<dyn QueryEngine> {
+        let n = self.resolved_shards();
+        if n <= 1 {
+            return Box::new(self.build_abox(tbox, abox));
+        }
+        let mut sys = crate::shard::ShardedAboxSystem::new(tbox, abox, n);
+        if let Some(enabled) = self.rewrite_cache {
+            sys = sys.with_rewrite_cache(enabled);
+        }
+        if let Some(cap) = self.shard_max_inflight {
+            sys = sys.with_shard_max_inflight(cap);
+        }
+        if let Some(sink) = &self.sink {
+            sys = sys.with_trace_sink(Arc::clone(sink));
+        }
+        Box::new(sys)
     }
 }

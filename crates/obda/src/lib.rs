@@ -32,6 +32,7 @@ pub mod engine;
 pub mod error;
 pub mod query;
 pub mod rewrite;
+pub mod shard;
 pub mod sparql;
 pub mod system;
 
@@ -40,14 +41,15 @@ pub use answer::{
     AboxIndex, AnswerTerm, Answers,
 };
 pub use consistency::{check_consistency, Violation};
+pub use engine::{EngineStats, QueryEngine, QueryLang, ShardStats, SystemBuilder};
+pub use error::{ErrorPhase, ObdaError};
 pub use query::{
     parse_cq, print_cq, Atom, ConjunctiveQuery, QueryParseError, Term, Ucq, ValueTerm,
 };
 pub use rewrite::perfectref::{perfect_ref, perfect_ref_scan, perfect_ref_with_index};
 pub use rewrite::presto::{presto_rewrite, PrestoRewriting};
 pub use rewrite::subsume::{prune_ucq, subsumes};
-pub use engine::{EngineStats, QueryEngine, QueryLang, SystemBuilder};
-pub use error::{ErrorPhase, ObdaError};
+pub use shard::{shard_of, ShardedAboxSystem};
 pub use sparql::{parse_sparql, SparqlQuery};
 pub use system::{
     AboxSystem, DataMode, MaterializedAbox, ObdaSystem, RewriteCacheStats, RewritingMode,

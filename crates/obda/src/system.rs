@@ -64,7 +64,9 @@ use crate::consistency::{check_consistency, Violation};
 use crate::engine::{run_with_engine_trace, EngineStats, QueryEngine, QueryLang};
 use crate::query::{parse_cq, ConjunctiveQuery, QueryParseError, Ucq};
 use crate::rewrite::perfectref::perfect_ref_traced;
-use crate::rewrite::presto::{evaluate_view_query, presto_rewrite, presto_rewrite_traced, PrestoRewriting};
+use crate::rewrite::presto::{
+    evaluate_view_query, presto_rewrite, presto_rewrite_traced, PrestoRewriting,
+};
 use crate::rewrite::subsume::{prune_ucq_traced, pruning_disabled};
 use crate::rewrite::unfold::{answer_presto_virtual_traced, answer_ucq_virtual_traced};
 
@@ -115,7 +117,7 @@ const REWRITE_CACHE_CAP: usize = 1024;
 /// subsumption-pruned UCQ plus the pre-pruning disjunct count (for the
 /// trace counters).
 #[derive(Debug, Clone)]
-enum CachedRewriting {
+pub(crate) enum CachedRewriting {
     PerfectRef { ucq: Ucq, raw_len: usize },
     Presto(PrestoRewriting),
 }
@@ -153,14 +155,17 @@ impl RewriteCacheStats {
 /// epoch. Entries are shared via `Arc` so a hit is a pointer clone, not
 /// a deep copy of a possibly-large UCQ.
 #[derive(Debug, Clone, Default)]
-struct RewriteCache {
-    epoch: u64,
+pub(crate) struct RewriteCache {
+    pub(crate) epoch: u64,
     entries: HashMap<(RewritingMode, ConjunctiveQuery), Arc<CachedRewriting>>,
-    stats: RewriteCacheStats,
+    pub(crate) stats: RewriteCacheStats,
 }
 
 impl RewriteCache {
-    fn get(&mut self, key: &(RewritingMode, ConjunctiveQuery)) -> Option<Arc<CachedRewriting>> {
+    pub(crate) fn get(
+        &mut self,
+        key: &(RewritingMode, ConjunctiveQuery),
+    ) -> Option<Arc<CachedRewriting>> {
         let hit = self.entries.get(key).map(Arc::clone);
         if hit.is_some() {
             self.stats.hits = self.stats.hits.saturating_add(1);
@@ -168,7 +173,11 @@ impl RewriteCache {
         hit
     }
 
-    fn insert(&mut self, key: (RewritingMode, ConjunctiveQuery), value: Arc<CachedRewriting>) {
+    pub(crate) fn insert(
+        &mut self,
+        key: (RewritingMode, ConjunctiveQuery),
+        value: Arc<CachedRewriting>,
+    ) {
         self.stats.misses = self.stats.misses.saturating_add(1);
         if self.entries.len() >= REWRITE_CACHE_CAP {
             self.entries.clear();
@@ -176,7 +185,7 @@ impl RewriteCache {
         self.entries.insert(key, value);
     }
 
-    fn invalidate(&mut self) {
+    pub(crate) fn invalidate(&mut self) {
         self.epoch += 1;
         self.entries.clear();
     }
@@ -201,7 +210,7 @@ fn resolve_threads(threads: usize) -> usize {
 
 /// Registry handles bumped once per answered query; resolved once so
 /// the hot path is two relaxed atomic ops.
-fn query_metrics() -> &'static (Arc<Counter>, Arc<Histogram>) {
+pub(crate) fn query_metrics() -> &'static (Arc<Counter>, Arc<Histogram>) {
     static METRICS: OnceLock<(Arc<Counter>, Arc<Histogram>)> = OnceLock::new();
     METRICS.get_or_init(|| {
         (
@@ -262,7 +271,7 @@ fn cached_rewriting(
 
 /// The one rewriting front door both systems share: cache lookup +
 /// traced rewriting under a `rewrite` span with cache/size counters.
-fn rewrite_with_cache_traced(
+pub(crate) fn rewrite_with_cache_traced(
     cache: &Mutex<RewriteCache>,
     cache_enabled: bool,
     mode: RewritingMode,
@@ -272,8 +281,8 @@ fn rewrite_with_cache_traced(
     ctx: &TraceCtx,
 ) -> Arc<CachedRewriting> {
     let guard = span!(ctx, "rewrite");
-    let (rw, cache_hit) = cached_rewriting(cache, cache_enabled, (mode, q.canonical()), || {
-        match mode {
+    let (rw, cache_hit) =
+        cached_rewriting(cache, cache_enabled, (mode, q.canonical()), || match mode {
             RewritingMode::PerfectRef => {
                 let (ucq, raw_len) = rewrite_perfectref_pruned_traced(q, tbox, ctx);
                 CachedRewriting::PerfectRef { ucq, raw_len }
@@ -281,8 +290,7 @@ fn rewrite_with_cache_traced(
             RewritingMode::Presto => {
                 CachedRewriting::Presto(presto_rewrite_traced(q, classification, ctx))
             }
-        }
-    });
+        });
     guard.count("cache_hit", u64::from(cache_hit));
     match &*rw {
         CachedRewriting::PerfectRef { ucq, raw_len } => {
@@ -482,7 +490,9 @@ impl ObdaSystem {
 
     /// Answers a parsed CQ under the configured modes.
     pub fn answer_cq(&self, q: &ConjunctiveQuery) -> Result<Answers, ObdaError> {
-        run_with_engine_trace(&self.trace_sink(), None, |ctx| self.answer_cq_traced(q, ctx))
+        run_with_engine_trace(&self.trace_sink(), None, |ctx| {
+            self.answer_cq_traced(q, ctx)
+        })
     }
 
     /// The traced answering core shared by every entry point.
@@ -512,9 +522,13 @@ impl ObdaSystem {
                 let mat = self.ensure_materialized()?;
                 evaluate_ucq_parallel_traced(ucq, &mat.abox, &mat.index, threads, ctx)
             }
-            (CachedRewriting::Presto(rw), DataMode::Virtual) => {
-                answer_presto_virtual_traced(rw, &self.classification, &self.mappings, &self.db, ctx)?
-            }
+            (CachedRewriting::Presto(rw), DataMode::Virtual) => answer_presto_virtual_traced(
+                rw,
+                &self.classification,
+                &self.mappings,
+                &self.db,
+                ctx,
+            )?,
             (CachedRewriting::Presto(rw), DataMode::Materialized) => {
                 let mat = self.ensure_materialized()?;
                 let guard = span!(ctx, "eval");
@@ -677,6 +691,7 @@ impl QueryEngine for ObdaSystem {
             eval_threads: self.eval_threads,
             tbox_epoch: self.tbox_epoch(),
             rewrite_cache: self.rewrite_cache_stats(),
+            shards: 1,
         }
     }
 
@@ -730,6 +745,13 @@ impl AboxSystem {
     /// Classifies the TBox, wraps and indexes the ABox.
     pub fn new(tbox: Tbox, abox: Abox) -> Self {
         let classification = Classification::classify(&tbox);
+        Self::with_classification(tbox, classification, abox)
+    }
+
+    /// Like [`Self::new`] but reusing an existing classification — the
+    /// sharded engine builds N shard systems over one TBox and must not
+    /// classify it N times.
+    pub fn with_classification(tbox: Tbox, classification: Classification, abox: Abox) -> Self {
         let index = AboxIndex::build(&abox);
         AboxSystem {
             tbox,
@@ -741,6 +763,12 @@ impl AboxSystem {
             eval_threads: default_eval_threads(),
             sink: obda_obs::sink::from_env(),
         }
+    }
+
+    /// The persistent index over [`Self::abox`] (shard-side evaluation
+    /// reads it directly).
+    pub(crate) fn index(&self) -> &AboxIndex {
+        &self.index
     }
 
     /// Sets the number of threads for UCQ evaluation (`0` = all cores).
@@ -859,6 +887,7 @@ impl QueryEngine for AboxSystem {
             eval_threads: self.eval_threads,
             tbox_epoch: cache.epoch,
             rewrite_cache: cache.stats,
+            shards: 1,
         }
     }
 

@@ -1,0 +1,246 @@
+//! Determinism property for the sharded scatter-gather tier: at any
+//! shard count, [`ShardedAboxSystem`] must return answer sets
+//! byte-identical to the unsharded [`AboxSystem`] — for shard-local
+//! star disjuncts, cross-shard joins (the gather-then-join fallback),
+//! constant-subject routing, value-typed head variables, and shard
+//! counts that exceed the number of individuals (empty shards).
+
+use mastro::{
+    AboxSystem, Atom, ConjunctiveQuery, QueryEngine, QueryLang, ShardedAboxSystem, SystemBuilder,
+    Term, ValueTerm,
+};
+use obda_dllite::{AttributeId, ConceptId, RoleId, Tbox, Value};
+use obda_genont::{random_abox, random_tbox, university_scenario};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random small safe CQ (same generator shape as the fast-path
+/// equivalence suite): 1–3 atoms over a small variable pool, head = one
+/// random body variable, so value-typed heads and multi-subject bodies
+/// both occur regularly.
+fn random_query(seed: u64, t: &Tbox) -> Option<ConjunctiveQuery> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_atoms = rng.gen_range(1..=3);
+    let vars = ["x", "y", "z", "w"];
+    let val_vars = ["n", "m"];
+    let mut atoms = Vec::new();
+    for _ in 0..n_atoms {
+        let v1 = Term::Var(vars[rng.gen_range(0..vars.len())].to_owned());
+        match rng.gen_range(0..4) {
+            0 if t.sig.num_concepts() > 0 => {
+                let c = ConceptId(rng.gen_range(0..t.sig.num_concepts() as u32));
+                atoms.push(Atom::Concept(c, v1));
+            }
+            1 if t.sig.num_attributes() > 0 => {
+                let u = AttributeId(rng.gen_range(0..t.sig.num_attributes() as u32));
+                let v = if rng.gen_bool(0.7) {
+                    ValueTerm::Var(val_vars[rng.gen_range(0..val_vars.len())].to_owned())
+                } else {
+                    ValueTerm::Lit(Value::Int(rng.gen_range(0..5)))
+                };
+                atoms.push(Atom::Attribute(u, v1, v));
+            }
+            _ if t.sig.num_roles() > 0 => {
+                let p = RoleId(rng.gen_range(0..t.sig.num_roles() as u32));
+                let v2 = Term::Var(vars[rng.gen_range(0..vars.len())].to_owned());
+                atoms.push(Atom::Role(p, v1, v2));
+            }
+            _ => return None,
+        }
+    }
+    let body_vars: Vec<String> = {
+        let q = ConjunctiveQuery {
+            head: vec![],
+            atoms: atoms.clone(),
+        };
+        q.body_vars().into_iter().map(str::to_owned).collect()
+    };
+    if body_vars.is_empty() {
+        return None;
+    }
+    let head = vec![body_vars[rng.gen_range(0..body_vars.len())].clone()];
+    Some(ConjunctiveQuery { head, atoms })
+}
+
+/// Positive-only projection of a random TBox (PerfectRef input shape).
+fn random_positive_tbox(
+    seed: u64,
+    concepts: usize,
+    roles: usize,
+    attrs: usize,
+    axioms: usize,
+) -> Tbox {
+    let full = random_tbox(seed, concepts, roles, attrs, axioms);
+    let mut pos = Tbox::with_signature(full.sig.clone());
+    for ax in full.positive_inclusions() {
+        pos.add(*ax);
+    }
+    pos
+}
+
+/// Whether all atoms share one subject term (the shard-local shape) —
+/// used only to assert the generators cover both routing classes.
+fn single_subject(q: &ConjunctiveQuery) -> bool {
+    let mut subject: Option<&Term> = None;
+    for atom in &q.atoms {
+        let s = match atom {
+            Atom::Concept(_, t) => t,
+            Atom::Role(_, s, _) => s,
+            Atom::Attribute(_, s, _) => s,
+        };
+        match subject {
+            None => subject = Some(s),
+            Some(prev) if prev == s => {}
+            Some(_) => return false,
+        }
+    }
+    true
+}
+
+#[test]
+fn sharded_evaluation_matches_unsharded_on_random_aboxes() {
+    let mut cross_shard = 0;
+    let mut value_headed = 0;
+    let mut nonempty_answers = 0;
+    for seed in 0u64..60 {
+        let t = random_positive_tbox(seed.wrapping_add(47_000), 5, 3, 2, 12);
+        let ab = random_abox(seed ^ 0x5AAD, &t, 6, 18);
+        let Some(q) = random_query(seed ^ 0xE11, &t) else {
+            continue;
+        };
+        if !single_subject(&q) {
+            cross_shard += 1;
+        }
+        if q.atoms.iter().any(
+            |a| matches!(a, Atom::Attribute(_, _, ValueTerm::Var(v)) if Some(v.as_str()) == q.head.first().map(String::as_str)),
+        ) {
+            value_headed += 1;
+        }
+        let reference = AboxSystem::new(t.clone(), ab.clone()).with_eval_threads(1);
+        let expected = reference.answer_cq(&q);
+        if !expected.is_empty() {
+            nonempty_answers += 1;
+        }
+        for shards in [1usize, 2, 4, 8] {
+            let sys = ShardedAboxSystem::new(t.clone(), ab.clone(), shards);
+            assert_eq!(
+                sys.answer_cq(&q),
+                expected,
+                "seed {seed}: {shards}-shard evaluation diverged on {q:?}"
+            );
+        }
+    }
+    // The property is vacuous unless the generators hit every regime.
+    assert!(
+        cross_shard >= 10,
+        "only {cross_shard} runs had cross-shard join shapes; generators drifted"
+    );
+    assert!(
+        value_headed >= 5,
+        "only {value_headed} runs had value-typed heads; generators drifted"
+    );
+    assert!(
+        nonempty_answers >= 20,
+        "only {nonempty_answers} runs produced answers; generators drifted"
+    );
+}
+
+#[test]
+fn constant_subjects_route_and_answer_identically() {
+    let t = random_positive_tbox(61_000, 4, 3, 1, 10);
+    let ab = random_abox(0xC0157, &t, 5, 20);
+    let reference = AboxSystem::new(t.clone(), ab.clone()).with_eval_threads(1);
+    // Query around every individual by name (present constants) plus one
+    // name no shard interned (absent constant → empty everywhere).
+    let mut names: Vec<String> = (0..ab.num_individuals())
+        .map(|i| {
+            ab.individual_name(obda_dllite::IndividualId(i as u32))
+                .to_owned()
+        })
+        .collect();
+    names.push("no-such-individual".into());
+    for shards in [2usize, 4, 8] {
+        let sys = ShardedAboxSystem::new(t.clone(), ab.clone(), shards);
+        for name in &names {
+            let q = ConjunctiveQuery {
+                head: vec!["y".into()],
+                atoms: vec![Atom::Role(
+                    RoleId(0),
+                    Term::Const(name.clone()),
+                    Term::Var("y".into()),
+                )],
+            };
+            assert_eq!(
+                sys.answer_cq(&q),
+                reference.answer_cq(&q),
+                "{shards}-shard constant routing diverged for {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn more_shards_than_individuals_leaves_empty_shards_correct() {
+    let t = random_positive_tbox(62_000, 3, 2, 1, 8);
+    // Tiny ABox: 2 individuals, 8 shards — most shards own nothing.
+    let ab = random_abox(0x71AE, &t, 2, 3);
+    let reference = AboxSystem::new(t.clone(), ab.clone()).with_eval_threads(1);
+    let sys = ShardedAboxSystem::new(t.clone(), ab.clone(), 8);
+    assert_eq!(sys.num_shards(), 8);
+    let empty_shards = sys.shard_fact_counts().iter().filter(|&&n| n == 0).count();
+    assert!(empty_shards > 0, "expected at least one empty shard");
+    for seed in 0u64..20 {
+        let Some(q) = random_query(seed ^ 0xF00, &t) else {
+            continue;
+        };
+        assert_eq!(
+            sys.answer_cq(&q),
+            reference.answer_cq(&q),
+            "seed {seed}: empty-shard evaluation diverged on {q:?}"
+        );
+    }
+}
+
+#[test]
+fn builder_engine_answers_university_queries_identically_at_any_shard_count() {
+    let scenario = university_scenario(1, 7);
+    let sys = mastro::demo::build_system(&scenario).unwrap();
+    let mat = sys.materialized_abox().unwrap();
+    let reference: Box<dyn QueryEngine> = Box::new(
+        SystemBuilder::new()
+            .eval_threads(1)
+            .build_abox(scenario.tbox.clone(), mat.abox.clone()),
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let engine = SystemBuilder::new()
+            .shards(shards)
+            .build_abox_engine(scenario.tbox.clone(), mat.abox.clone());
+        assert_eq!(
+            engine.stats().shards,
+            shards.max(1),
+            "builder shard count not honored"
+        );
+        for qs in &scenario.queries {
+            let got = engine.answer(QueryLang::Cq, &qs.text).unwrap();
+            let want = reference.answer(QueryLang::Cq, &qs.text).unwrap();
+            assert_eq!(got, want, "{}: {shards}-shard engine diverged", qs.name);
+        }
+        // Warm pass: the coordinator rewrite cache must not change
+        // answers, and must actually be hit.
+        for qs in &scenario.queries {
+            assert_eq!(
+                engine.answer(QueryLang::Cq, &qs.text).unwrap(),
+                reference.answer(QueryLang::Cq, &qs.text).unwrap(),
+                "{}: warm sharded cache changed answers",
+                qs.name
+            );
+        }
+        assert!(
+            engine.stats().rewrite_cache.hits > 0,
+            "sharded engine never hit its rewrite cache"
+        );
+        if shards > 1 {
+            assert_eq!(engine.shard_stats().len(), shards);
+        }
+    }
+}

@@ -92,7 +92,7 @@ fn obda_paths_attribute_expected_phases() {
     let mat_pr = build(RewritingMode::PerfectRef, DataMode::Materialized);
     for qs in &scenario.queries {
         for virt in [&virtual_presto, &virtual_pr] {
-            let t = traced(&*virt, &qs.text);
+            let t = traced(virt, &qs.text);
             assert_children_fit(&t);
             let phases = phase_names(&t);
             for want in ["parse", "rewrite", "unfold", "sql"] {

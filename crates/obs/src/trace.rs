@@ -99,7 +99,10 @@ impl TraceCtx {
     /// Opens a nested phase span; prefer the [`crate::span!`] macro.
     pub fn span(&self, name: &'static str) -> SpanGuard {
         let Some(inner) = &self.inner else {
-            return SpanGuard { inner: None, idx: 0 };
+            return SpanGuard {
+                inner: None,
+                idx: 0,
+            };
         };
         let start_us = inner.now_us();
         let mut st = lock_or_recover(&inner.state);
@@ -144,6 +147,39 @@ impl TraceCtx {
     pub fn set_query(&self, text: impl Into<String>) {
         let Some(inner) = &self.inner else { return };
         lock_or_recover(&inner.state).query = Some(text.into());
+    }
+
+    /// Microseconds since trace start (0 for a disabled context). Pair
+    /// with [`record_span`](Self::record_span) to time work on a thread
+    /// that must not take the context lock per event.
+    pub fn now_us(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.now_us())
+    }
+
+    /// Records an already-closed span post-hoc, at the current nesting
+    /// depth plus one (a child of whatever span is open at record
+    /// time). Scatter/gather evaluation uses this: shard threads
+    /// bracket their work with [`now_us`](Self::now_us) and the
+    /// coordinator records one span per shard after the merge, so the
+    /// trace stays deterministic in shard order instead of reflecting
+    /// thread-scheduling races.
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        start_us: u64,
+        dur_us: u64,
+        counters: Vec<(&'static str, u64)>,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = lock_or_recover(&inner.state);
+        let depth = u16::try_from(st.open.len()).unwrap_or(u16::MAX);
+        st.spans.push(SpanRecord {
+            name,
+            depth,
+            start_us,
+            dur_us: dur_us.max(1),
+            counters,
+        });
     }
 
     /// Seals the context into a [`QueryTrace`] (`None` when disabled).
@@ -396,12 +432,7 @@ mod tests {
         let names: Vec<_> = t.spans.iter().map(|s| (s.name, s.depth)).collect();
         assert_eq!(
             names,
-            vec![
-                ("rewrite", 0),
-                ("perfectref", 1),
-                ("prune", 1),
-                ("eval", 0)
-            ]
+            vec![("rewrite", 0), ("perfectref", 1), ("prune", 1), ("eval", 0)]
         );
         assert_eq!(t.counter("disjuncts_after"), 4);
         assert_eq!(t.phases().len(), 2);
@@ -419,7 +450,11 @@ mod tests {
             }
         }
         let t = ctx.finish("ok", 0).expect("trace");
-        let parent = t.spans.iter().find(|s| s.name == "rewrite").expect("parent");
+        let parent = t
+            .spans
+            .iter()
+            .find(|s| s.name == "rewrite")
+            .expect("parent");
         let child_sum: u64 = t
             .spans
             .iter()
@@ -434,6 +469,27 @@ mod tests {
             parent.dur_us
         );
         assert!(t.total_us >= parent.dur_us);
+    }
+
+    #[test]
+    fn post_hoc_spans_nest_under_the_open_span() {
+        let ctx = TraceCtx::new();
+        {
+            let _eval = ctx.span("eval");
+            let t0 = ctx.now_us();
+            ctx.record_span("shard0", t0, 5, vec![("disjuncts", 3)]);
+            ctx.record_span("shard1", t0, 7, vec![("disjuncts", 2)]);
+        }
+        let t = ctx.finish("ok", 0).expect("trace");
+        let names: Vec<_> = t.spans.iter().map(|s| (s.name, s.depth)).collect();
+        assert_eq!(names, vec![("eval", 0), ("shard0", 1), ("shard1", 1)]);
+        assert_eq!(t.counter("disjuncts"), 5);
+        assert_eq!(t.span_us("shard1"), 7);
+        // Disabled contexts stay inert.
+        let off = TraceCtx::disabled();
+        assert_eq!(off.now_us(), 0);
+        off.record_span("shard0", 0, 1, vec![]);
+        assert!(off.finish("ok", 0).is_none());
     }
 
     #[test]

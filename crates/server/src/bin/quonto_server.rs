@@ -3,6 +3,7 @@
 //! ```text
 //! quonto-server [--config server.json] [--addr HOST:PORT] [--workers N]
 //!               [--queue N] [--scale N] [--seed N] [--endpoint-kind university|university-abox]
+//!               [--shards N] [--exact-workers]
 //!               [--access-log] [--summary-s N] [--smoke]
 //! ```
 //!
@@ -22,6 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: quonto-server [--config FILE] [--addr HOST:PORT] [--workers N] [--queue N]\n\
          \x20                    [--scale N] [--seed N] [--endpoint-kind university|university-abox]\n\
+         \x20                    [--shards N] [--exact-workers]\n\
          \x20                    [--access-log] [--summary-s N] [--smoke]"
     );
     std::process::exit(2);
@@ -35,6 +37,8 @@ fn parse_args() -> (ServerConfig, bool) {
     let mut scale: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut kind: Option<EndpointKind> = None;
+    let mut shards: Option<usize> = None;
+    let mut exact_workers = false;
     let mut access_log = false;
     let mut summary_s: Option<u64> = None;
     let mut smoke = false;
@@ -73,6 +77,8 @@ fn parse_args() -> (ServerConfig, bool) {
                     }
                 })
             }
+            "--shards" => shards = val("--shards").parse().ok(),
+            "--exact-workers" => exact_workers = true,
             "--access-log" => access_log = true,
             "--summary-s" => summary_s = val("--summary-s").parse().ok(),
             "--smoke" => smoke = true,
@@ -112,6 +118,14 @@ fn parse_args() -> (ServerConfig, bool) {
         for ep in &mut cfg.endpoints {
             ep.kind = k;
         }
+    }
+    if let Some(n) = shards {
+        for ep in &mut cfg.endpoints {
+            ep.shards = n;
+        }
+    }
+    if exact_workers {
+        cfg.exact_workers = true;
     }
     if access_log {
         cfg.access_log = true;
@@ -153,7 +167,13 @@ fn run_smoke(server: Server) -> ExitCode {
         if served != 1 {
             return Err(format!("stats did not count the query: {line}"));
         }
-        println!("smoke ok: {rows} rows, stats verb live");
+        let shards = stats
+            .get("endpoints")
+            .and_then(|e| e.get("uni"))
+            .and_then(|e| e.get("shards"))
+            .and_then(Json::as_u64)
+            .unwrap_or(1);
+        println!("smoke ok: {rows} rows, {shards} shard(s), stats verb live");
         Ok(())
     })();
     server.shutdown();

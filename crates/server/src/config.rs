@@ -61,6 +61,14 @@ pub struct EndpointConfig {
     /// poison-cascade regression tests prove that one panicking query
     /// cannot take the server down. `None` (the default) disables it.
     pub panic_marker: Option<String>,
+    /// ABox evaluation shards (`UniversityAbox` kind only): `0` (the
+    /// default) defers to `QUONTO_SHARDS` / unsharded, `1` forces the
+    /// unsharded fast path, higher values partition the materialized
+    /// ABox and scatter-gather each query across the shards.
+    pub shards: usize,
+    /// Per-shard cap on concurrent scatter evaluations (`0` =
+    /// unbounded). Only meaningful with `shards > 1`.
+    pub shard_max_inflight: usize,
 }
 
 impl Default for EndpointConfig {
@@ -75,6 +83,8 @@ impl Default for EndpointConfig {
             eval_threads: 1,
             delay_ms: 0,
             panic_marker: None,
+            shards: 0,
+            shard_max_inflight: 0,
         }
     }
 }
@@ -103,6 +113,13 @@ pub struct ServerConfig {
     pub summary_every_s: u64,
     /// How long `shutdown` waits for in-flight work to drain.
     pub drain_timeout_ms: u64,
+    /// Run exactly `workers` threads even when that exceeds the
+    /// machine's cores. By default CPU-bound pools are clamped to
+    /// `available_parallelism` — extra workers past the core count only
+    /// add timeslicing jitter to tail latency (the A7 result). Pools
+    /// serving endpoints with an artificial `delay_ms` are never
+    /// clamped (those workers sleep, they don't compete for cores).
+    pub exact_workers: bool,
     /// Endpoints to load at startup.
     pub endpoints: Vec<EndpointConfig>,
 }
@@ -119,6 +136,7 @@ impl Default for ServerConfig {
             access_log: false,
             summary_every_s: 0,
             drain_timeout_ms: 10_000,
+            exact_workers: false,
             endpoints: vec![EndpointConfig::default()],
         }
     }
@@ -173,6 +191,11 @@ impl ServerConfig {
                 .as_bool()
                 .ok_or_else(|| bad("`access_log` must be a boolean"))?;
         }
+        if let Some(b) = v.get("exact_workers") {
+            cfg.exact_workers = b
+                .as_bool()
+                .ok_or_else(|| bad("`exact_workers` must be a boolean"))?;
+        }
         if let Some(eps) = v.get("endpoints") {
             let arr = eps
                 .as_arr()
@@ -212,6 +235,15 @@ impl ServerConfig {
         }
         if self.endpoints.iter().any(|e| e.name.is_empty()) {
             return Err(bad("endpoint names must be non-empty"));
+        }
+        for e in &self.endpoints {
+            if e.shards > 1 && e.kind != EndpointKind::UniversityAbox {
+                return Err(bad(format!(
+                    "endpoint `{}`: `shards` requires kind `university-abox` \
+                     (virtual OBDA endpoints delegate evaluation to the SQL sources)",
+                    e.name
+                )));
+            }
         }
         Ok(())
     }
@@ -270,6 +302,18 @@ fn endpoint_from_json(v: &Json) -> Result<EndpointConfig, String> {
                 .to_owned(),
         );
     }
+    if let Some(n) = v.get("shards") {
+        ep.shards = n
+            .as_u64()
+            .ok_or_else(|| bad("`shards` must be a non-negative integer"))?
+            as usize;
+    }
+    if let Some(n) = v.get("shard_max_inflight") {
+        ep.shard_max_inflight = n
+            .as_u64()
+            .ok_or_else(|| bad("`shard_max_inflight` must be a non-negative integer"))?
+            as usize;
+    }
     Ok(ep)
 }
 
@@ -283,10 +327,12 @@ mod tests {
             r#"{
               "addr": "127.0.0.1:7077", "workers": 8, "queue_capacity": 16,
               "default_timeout_ms": 1000, "access_log": true,
+              "exact_workers": true,
               "endpoints": [
                 {"name": "a", "kind": "university", "scale": 3, "seed": 7,
                  "rewriting": "presto", "data": "virtual"},
-                {"name": "b", "kind": "university-abox", "delay_ms": 5}
+                {"name": "b", "kind": "university-abox", "delay_ms": 5,
+                 "shards": 4, "shard_max_inflight": 2}
               ]
             }"#,
         )
@@ -294,11 +340,15 @@ mod tests {
         assert_eq!(cfg.workers, 8);
         assert_eq!(cfg.queue_capacity, 16);
         assert!(cfg.access_log);
+        assert!(cfg.exact_workers);
         assert_eq!(cfg.endpoints.len(), 2);
         assert_eq!(cfg.endpoints[0].rewriting, RewritingMode::Presto);
         assert_eq!(cfg.endpoints[0].data, DataMode::Virtual);
+        assert_eq!(cfg.endpoints[0].shards, 0);
         assert_eq!(cfg.endpoints[1].kind, EndpointKind::UniversityAbox);
         assert_eq!(cfg.endpoints[1].delay_ms, 5);
+        assert_eq!(cfg.endpoints[1].shards, 4);
+        assert_eq!(cfg.endpoints[1].shard_max_inflight, 2);
     }
 
     #[test]
@@ -312,6 +362,9 @@ mod tests {
             r#"{"endpoints": [{"name":"x","kind":"nope"}]}"#,
             r#"{"endpoints": [{"kind":"university"}]}"#,
             r#"{"workers": "four"}"#,
+            r#"{"endpoints": [{"name":"x","kind":"university","shards":4}]}"#,
+            r#"{"endpoints": [{"name":"x","shards":"two"}]}"#,
+            r#"{"exact_workers": 1}"#,
         ] {
             assert!(ServerConfig::from_json_str(bad_src).is_err(), "{bad_src}");
         }

@@ -204,7 +204,9 @@ pub fn trace_response(traces: &[Arc<QueryTrace>]) -> Json {
             let phases = Json::Arr(
                 t.phases()
                     .iter()
-                    .map(|(name, us)| Json::obj(vec![("phase", (*name).into()), ("us", (*us).into())]))
+                    .map(|(name, us)| {
+                        Json::obj(vec![("phase", (*name).into()), ("us", (*us).into())])
+                    })
                     .collect(),
             );
             let counters = Json::Obj(
@@ -329,7 +331,10 @@ mod tests {
     fn error_response_carries_kind() {
         let j = error_response(&Some("9".into()), "unknown_endpoint", "no such endpoint");
         assert_eq!(j.get("status").and_then(Json::as_str), Some("error"));
-        assert_eq!(j.get("kind").and_then(Json::as_str), Some("unknown_endpoint"));
+        assert_eq!(
+            j.get("kind").and_then(Json::as_str),
+            Some("unknown_endpoint")
+        );
         assert_eq!(
             j.get("error").and_then(Json::as_str),
             Some("no such endpoint")

@@ -162,6 +162,10 @@ impl JobQueue {
 /// State shared by every thread of one server instance.
 struct Shared {
     cfg: ServerConfig,
+    /// Worker threads actually running (after the CPU clamp — see
+    /// [`effective_workers`]); `STATS` reports this, not the configured
+    /// number, so load tools see the real pool size.
+    workers: usize,
     endpoints: HashMap<String, Arc<Endpoint>>,
     queue: JobQueue,
     metrics: ServerMetrics,
@@ -190,7 +194,7 @@ impl Shared {
         Json::obj(vec![
             ("status", "ok".into()),
             ("server", self.metrics.to_json()),
-            ("workers", self.cfg.workers.into()),
+            ("workers", self.workers.into()),
             ("queue_capacity", self.cfg.queue_capacity.into()),
             ("endpoints", Json::Obj(endpoints)),
             ("registry", registry_json()),
@@ -229,6 +233,27 @@ fn registry_json() -> Json {
     Json::obj(vec![("counters", counters), ("histograms", histograms)])
 }
 
+/// The worker-pool size the server actually runs.
+///
+/// CPU-bound query workers past the core count cannot add throughput —
+/// they compete for the same cores and the extra timeslicing shows up
+/// directly as p95/p99 creep (the A7 measurement). So the pool is
+/// clamped to `available_parallelism` unless:
+///
+/// - `exact_workers` is set (the explicit operator override), or
+/// - any endpoint injects an artificial `delay_ms` — those workers
+///   *sleep* rather than compute, and the load-test scenarios that use
+///   the knob need the configured concurrency exactly.
+fn effective_workers(cfg: &ServerConfig) -> usize {
+    if cfg.exact_workers || cfg.endpoints.iter().any(|e| e.delay_ms > 0) {
+        return cfg.workers;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(cfg.workers);
+    cfg.workers.min(cores).max(1)
+}
+
 /// A running server: listener + workers over a set of loaded endpoints.
 pub struct Server {
     shared: Arc<Shared>,
@@ -257,8 +282,10 @@ impl Server {
             .set_nonblocking(true)
             .map_err(|e| format!("set_nonblocking failed: {e}"))?;
 
+        let workers = effective_workers(&cfg);
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity),
+            workers,
             endpoints,
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
@@ -267,7 +294,7 @@ impl Server {
         });
 
         let mut threads = Vec::new();
-        for i in 0..shared.cfg.workers {
+        for i in 0..shared.workers {
             let s = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
@@ -656,7 +683,8 @@ fn worker_loop(shared: &Arc<Shared>) {
         // A panicking query (engine bug, adversarial input) must take
         // down one request, not the worker.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            job.endpoint.answer_traced(job.req.lang, &job.req.query, &ctx)
+            job.endpoint
+                .answer_traced(job.req.lang, &job.req.query, &ctx)
         }));
         let exec_us = t.elapsed().as_micros() as u64;
         let reply = {
@@ -694,6 +722,30 @@ fn worker_loop(shared: &Arc<Shared>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_clamp_respects_cores_and_overrides() {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let mut cfg = ServerConfig {
+            workers: cores + 8,
+            ..ServerConfig::default()
+        };
+        assert_eq!(effective_workers(&cfg), cores, "CPU-bound pools clamp");
+        cfg.exact_workers = true;
+        assert_eq!(effective_workers(&cfg), cores + 8, "override wins");
+        cfg.exact_workers = false;
+        cfg.endpoints[0].delay_ms = 5;
+        assert_eq!(
+            effective_workers(&cfg),
+            cores + 8,
+            "sleeping pools are never clamped"
+        );
+        cfg.endpoints[0].delay_ms = 0;
+        cfg.workers = 1;
+        assert_eq!(effective_workers(&cfg), 1, "never below the config");
+    }
 
     #[test]
     fn queue_rejects_when_full_and_drains_after_close() {

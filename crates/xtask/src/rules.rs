@@ -110,7 +110,7 @@ pub const RULES: &[(&str, &str)] = &[
 ];
 
 /// `Condvar` field → the mutex field it must always re-acquire.
-pub const CONDVAR_PAIRS: &[(&str, &str)] = &[("ready", "inner")];
+pub const CONDVAR_PAIRS: &[(&str, &str)] = &[("ready", "inner"), ("freed", "inflight")];
 
 /// Workspace lock-acquisition order (outermost first). Acquiring an
 /// earlier lock while holding a later one is an R2.order violation.
@@ -860,10 +860,7 @@ fn r6(file: &ScannedFile, findings: &mut Vec<Finding>) {
                     rule: "R6.print",
                     path: file.path.clone(),
                     line: idx + 1,
-                    message: format!(
-                        "`{}...)` in traced library code",
-                        &mac[..mac.len() - 1]
-                    ),
+                    message: format!("`{}...)` in traced library code", &mac[..mac.len() - 1]),
                 });
             }
         }
