@@ -30,6 +30,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Instant;
 
+use mastro::RewritingMode;
 use obda_genont::university_scenario;
 use obda_server::{EndpointConfig, EndpointKind, Json, Server, ServerConfig};
 
@@ -42,6 +43,8 @@ struct Opts {
     scale: usize,
     seed: u64,
     kind: EndpointKind,
+    /// Rewriting mode on the spawned endpoint.
+    rewriting: RewritingMode,
     connections: usize,
     requests: usize,
     mix: Mix,
@@ -79,6 +82,7 @@ impl Default for Opts {
             scale: 2,
             seed: 42,
             kind: EndpointKind::UniversityAbox,
+            rewriting: RewritingMode::PerfectRef,
             connections: 8,
             requests: 50,
             mix: Mix::Both,
@@ -99,6 +103,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--workers N] [--queue N] [--scale N] [--seed N]\n\
          \x20              [--kind university|university-abox] [--shards N] [--exact-workers]\n\
+         \x20              [--rewriting perfectref|presto|ndl]\n\
          \x20              [--connections N] [--requests N]\n\
          \x20              [--mix cq|sparql|both] [--warm] [--timeout-ms N] [--delay-ms N]\n\
          \x20              [--label S] [--markdown] [--json FILE] [--trace-slowest K]"
@@ -126,6 +131,14 @@ fn parse_opts() -> Opts {
                 opts.kind = match val("--kind").as_str() {
                     "university" => EndpointKind::University,
                     "university-abox" => EndpointKind::UniversityAbox,
+                    _ => usage(),
+                }
+            }
+            "--rewriting" => {
+                opts.rewriting = match val("--rewriting").as_str() {
+                    "perfectref" => RewritingMode::PerfectRef,
+                    "presto" => RewritingMode::Presto,
+                    "ndl" => RewritingMode::Ndl,
                     _ => usage(),
                 }
             }
@@ -365,6 +378,7 @@ fn main() {
                     kind: opts.kind,
                     scale: opts.scale,
                     seed: opts.seed,
+                    rewriting: opts.rewriting,
                     delay_ms: opts.delay_ms,
                     shards: opts.shards,
                     ..EndpointConfig::default()
@@ -449,6 +463,13 @@ fn main() {
         .and_then(|e| e.get("shards"))
         .and_then(Json::as_u64)
         .unwrap_or(1);
+    let rewriting = stats
+        .get("endpoints")
+        .and_then(|e| e.get(ENDPOINT))
+        .and_then(|e| e.get("rewriting"))
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_owned();
 
     let label = if opts.label.is_empty() {
         String::new()
@@ -456,7 +477,7 @@ fn main() {
         format!(" label={}", opts.label)
     };
     println!(
-        "loadgen report{label} workers={workers} shards={shards} connections={} requests={} mix_size={} warm={}",
+        "loadgen report{label} workers={workers} shards={shards} rewriting={rewriting} connections={} requests={} mix_size={} warm={}",
         opts.connections,
         total,
         mix.len(),
@@ -496,6 +517,7 @@ fn main() {
             ("kind", kind_name(opts.kind).into()),
             ("workers", workers.into()),
             ("shards", shards.into()),
+            ("rewriting", rewriting.as_str().into()),
             ("connections", opts.connections.into()),
             ("requests", total.into()),
             ("warm", Json::Bool(opts.warm)),

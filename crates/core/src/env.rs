@@ -26,6 +26,8 @@ pub enum KnobKind {
     Flag,
     /// Non-negative integer count (`0` conventionally = all cores).
     Count,
+    /// Non-negative integer threshold with no `0` convention.
+    Limit,
     /// Floating-point scale factor.
     Scale,
     /// Symbolic name from a fixed set.
@@ -38,6 +40,7 @@ impl KnobKind {
         match self {
             KnobKind::Flag => "`1` to enable",
             KnobKind::Count => "integer (`0` = all cores)",
+            KnobKind::Limit => "integer",
             KnobKind::Scale => "float",
             KnobKind::Name => "name",
         }
@@ -85,6 +88,14 @@ pub const KNOBS: &[Knob] = &[
         default: "off",
         doc: "Disables UCQ subsumption pruning — the cross-checking escape hatch for the \
               rewriting fast path.",
+    },
+    Knob {
+        name: "QUONTO_PRUNE_CAP",
+        kind: KnobKind::Limit,
+        default: "512",
+        doc: "UCQ disjunct count above which subsumption pruning is skipped (the quadratic \
+              prune would cost more than evaluation). Over-cap rewritings bump the \
+              `rewrite_prune_capped` counter; `--rewriting ndl` sidesteps the blowup.",
     },
     Knob {
         name: "QUONTO_SHARDS",
@@ -182,6 +193,11 @@ pub fn force_timings() {
 /// `QUONTO_NO_PRUNE=1`: disable UCQ subsumption pruning.
 pub fn no_prune() -> bool {
     flag("QUONTO_NO_PRUNE")
+}
+
+/// `QUONTO_PRUNE_CAP`: UCQ pruning disjunct cap, if set and numeric.
+pub fn prune_cap() -> Option<usize> {
+    raw("QUONTO_PRUNE_CAP").and_then(|s| s.parse().ok())
 }
 
 /// `QUONTO_FULL_PRESETS=1`: run full-scale presets in debug tests.

@@ -1,0 +1,142 @@
+//! The `exp_chain` preset: qualified-existential chain ontologies whose
+//! UCQ rewritings blow up exponentially.
+//!
+//! The shape is a chain of `depth` levels. Level `i` has an atomic
+//! concept `A{i}` with `branch` subsumees `B{i}_{j} ⊑ A{i}` forming
+//! disjoint flat hierarchies, and a qualified existential
+//! `A{i-1} ⊑ ∃r{i}.A{i}` linking consecutive levels. The star query
+//!
+//! ```text
+//! q(x) :- A1(x), A2(x), …, Ad(x)
+//! ```
+//!
+//! rewrites under PerfectRef into `(branch + 1)^depth` pairwise
+//! subsumption-incomparable disjuncts (each atom independently stays
+//! `A{i}` or drops to one of its `branch` subsumees, and every disjunct
+//! has exactly one atom per level, so no disjunct's atom set contains
+//! another's) — past the prune cap this UCQ is evaluated raw. The NDL
+//! compilation of the same query is one skeleton over `depth` shared
+//! views of `branch + 1` member rules each: `depth·(branch+1) + 1`
+//! rules, polynomial where the UCQ is exponential. This is the preset
+//! behind the `rewrite_prune_capped` counter test and the A9 table.
+
+use obda_dllite::{Abox, Axiom, BasicConcept, BasicRole, GeneralConcept, Tbox};
+
+/// A generated exp_chain scenario.
+#[derive(Debug, Clone)]
+pub struct ExpChain {
+    /// Chain TBox: `depth` levels of `branch` subsumees plus the
+    /// qualified-existential chain axioms.
+    pub tbox: Tbox,
+    /// Deterministic ABox: every individual is asserted into one
+    /// subsumee of every level, so the star query answers all of them.
+    pub abox: Abox,
+    /// The star query `q(x) :- A1(x), …, Ad(x)` whose raw UCQ
+    /// rewriting has `(branch + 1)^depth` disjuncts.
+    pub star_query: String,
+    /// Levels in the chain.
+    pub depth: usize,
+    /// Subsumees per level.
+    pub branch: usize,
+}
+
+impl ExpChain {
+    /// Raw PerfectRef disjunct count of [`star_query`](Self::star_query).
+    pub fn expected_ucq_disjuncts(&self) -> usize {
+        (self.branch + 1).pow(self.depth as u32)
+    }
+
+    /// NDL rule count for the same query: one member rule per view
+    /// member plus the single skeleton.
+    pub fn expected_ndl_rules(&self) -> usize {
+        self.depth * (self.branch + 1) + 1
+    }
+}
+
+/// Generates the exp_chain preset. Fully deterministic — no RNG: the
+/// level-`i` assertion for individual `x{k}` picks subsumee
+/// `B{i}_{(k·31 + i) mod branch}`, which spreads individuals across the
+/// hierarchies without randomness.
+pub fn exp_chain(depth: usize, branch: usize, individuals: usize) -> ExpChain {
+    assert!(
+        depth >= 1 && branch >= 1,
+        "exp_chain needs depth, branch >= 1"
+    );
+    let mut t = Tbox::new();
+    let levels: Vec<_> = (1..=depth)
+        .map(|i| t.sig.concept(&format!("A{i}")))
+        .collect();
+    let subs: Vec<Vec<_>> = (1..=depth)
+        .map(|i| {
+            (0..branch)
+                .map(|j| t.sig.concept(&format!("B{i}_{j}")))
+                .collect()
+        })
+        .collect();
+    let roles: Vec<_> = (2..=depth).map(|i| t.sig.role(&format!("r{i}"))).collect();
+
+    for (i, &a) in levels.iter().enumerate() {
+        for &b in &subs[i] {
+            t.add(Axiom::ConceptIncl(
+                BasicConcept::Atomic(b),
+                GeneralConcept::Basic(BasicConcept::Atomic(a)),
+            ));
+        }
+        // A{i} ⊑ ∃r{i+1}.A{i+1}: the qualified-existential chain.
+        if i + 1 < depth {
+            t.add(Axiom::ConceptIncl(
+                BasicConcept::Atomic(a),
+                GeneralConcept::QualExists(BasicRole::Direct(roles[i]), levels[i + 1]),
+            ));
+        }
+    }
+
+    let mut ab = Abox::new();
+    for k in 0..individuals {
+        let name = format!("x{k}");
+        ab.individual(&name);
+        for (i, level_subs) in subs.iter().enumerate() {
+            ab.assert_concept(level_subs[(k * 31 + i + 1) % branch], &name);
+        }
+        // A few explicit chain edges so the role signature is populated.
+        if k + 1 < individuals {
+            if let Some(&r) = roles.first() {
+                ab.assert_role(r, &name, &format!("x{}", k + 1));
+            }
+        }
+    }
+
+    let atoms: Vec<String> = (1..=depth).map(|i| format!("A{i}(x)")).collect();
+    let star_query = format!("q(x) :- {}", atoms.join(", "));
+
+    ExpChain {
+        tbox: t,
+        abox: ab,
+        star_query,
+        depth,
+        branch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_chain_is_deterministic_and_sized() {
+        let a = exp_chain(5, 3, 10);
+        let b = exp_chain(5, 3, 10);
+        assert_eq!(a.tbox.axioms(), b.tbox.axioms());
+        assert_eq!(a.expected_ucq_disjuncts(), 1024);
+        assert_eq!(a.expected_ndl_rules(), 21);
+        // depth levels × (branch subsumee axioms) + depth-1 chain axioms.
+        assert_eq!(a.tbox.len(), 5 * 3 + 4);
+        assert_eq!(a.abox.num_individuals(), 10);
+    }
+
+    #[test]
+    fn star_query_mentions_every_level() {
+        let c = exp_chain(3, 2, 4);
+        assert_eq!(c.star_query, "q(x) :- A1(x), A2(x), A3(x)");
+    }
+}

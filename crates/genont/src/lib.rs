@@ -4,6 +4,8 @@
 //!
 //! * [`spec`]: parameterized DL-Lite TBox generation
 //!   ([`OntologySpec`]) — the shape knobs that drive classification cost;
+//! * [`exp_chain`]: qualified-existential chain ontologies whose UCQ
+//!   rewritings blow up exponentially — the NDL-vs-UCQ stress preset;
 //! * [`presets`]: structural analogs of the eleven Figure 1 benchmark
 //!   ontologies (see DESIGN.md for the substitution rationale);
 //! * [`random`]: small dense random TBoxes/ABoxes/interpretations/OWL
@@ -12,11 +14,13 @@
 //!   schema + data, mappings, query mix) standing in for the paper's
 //!   proprietary industrial deployments.
 
+pub mod exp_chain;
 pub mod presets;
 pub mod random;
 pub mod spec;
 pub mod university;
 
+pub use exp_chain::{exp_chain, ExpChain};
 pub use presets::figure1_presets;
 pub use random::{random_abox, random_interpretation, random_owl, random_tbox, repair_into_model};
 pub use spec::OntologySpec;

@@ -55,25 +55,25 @@ enum Binding {
 /// Concept extension: member list (for free-variable iteration) plus a
 /// membership set (for bound-term probes).
 #[derive(Debug, Clone, Default)]
-struct ConceptFacts {
-    members: Vec<IndividualId>,
-    set: HashSet<IndividualId>,
+pub(crate) struct ConceptFacts {
+    pub(crate) members: Vec<IndividualId>,
+    pub(crate) set: HashSet<IndividualId>,
 }
 
 /// Role extension: the pair list plus subject→objects and
 /// object→subjects hash indexes.
 #[derive(Debug, Clone, Default)]
-struct RoleFacts {
-    pairs: Vec<(IndividualId, IndividualId)>,
-    by_subject: HashMap<IndividualId, Vec<IndividualId>>,
-    by_object: HashMap<IndividualId, Vec<IndividualId>>,
+pub(crate) struct RoleFacts {
+    pub(crate) pairs: Vec<(IndividualId, IndividualId)>,
+    pub(crate) by_subject: HashMap<IndividualId, Vec<IndividualId>>,
+    pub(crate) by_object: HashMap<IndividualId, Vec<IndividualId>>,
 }
 
 /// Attribute extension: the pair list plus a subject→values index.
 #[derive(Debug, Clone, Default)]
-struct AttrFacts {
-    pairs: Vec<(IndividualId, Value)>,
-    by_subject: HashMap<IndividualId, Vec<Value>>,
+pub(crate) struct AttrFacts {
+    pub(crate) pairs: Vec<(IndividualId, Value)>,
+    pub(crate) by_subject: HashMap<IndividualId, Vec<Value>>,
 }
 
 /// Per-predicate fact index with secondary hash indexes, so each atom
@@ -85,9 +85,9 @@ struct AttrFacts {
 /// is only needed after the ABox changes.
 #[derive(Debug, Clone, Default)]
 pub struct AboxIndex {
-    concepts: HashMap<u32, ConceptFacts>,
-    roles: HashMap<u32, RoleFacts>,
-    attributes: HashMap<u32, AttrFacts>,
+    pub(crate) concepts: HashMap<u32, ConceptFacts>,
+    pub(crate) roles: HashMap<u32, RoleFacts>,
+    pub(crate) attributes: HashMap<u32, AttrFacts>,
 }
 
 impl AboxIndex {

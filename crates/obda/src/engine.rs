@@ -195,8 +195,11 @@ impl SystemBuilder {
         SystemBuilder::default()
     }
 
-    /// Rewriting algorithm (default: Presto for [`ObdaSystem`];
-    /// [`AboxSystem`] always uses PerfectRef).
+    /// Rewriting algorithm (default: Presto for [`ObdaSystem`],
+    /// PerfectRef for [`AboxSystem`]). On the ABox tier Presto folds
+    /// into PerfectRef (there are no mappings to unfold against);
+    /// [`RewritingMode::Ndl`] selects the shared-view NDL evaluator on
+    /// every engine shape.
     pub fn rewriting(mut self, mode: RewritingMode) -> Self {
         self.rewriting = Some(mode);
         self
@@ -279,6 +282,9 @@ impl SystemBuilder {
     /// Builds an ABox-backed system (no mappings/SQL).
     pub fn build_abox(&self, tbox: Tbox, abox: Abox) -> AboxSystem {
         let mut sys = AboxSystem::new(tbox, abox);
+        if let Some(mode) = self.rewriting {
+            sys = sys.with_rewriting(mode);
+        }
         if let Some(threads) = self.eval_threads {
             sys = sys.with_eval_threads(threads);
         }
@@ -319,6 +325,9 @@ impl SystemBuilder {
             return Box::new(self.build_abox(tbox, abox));
         }
         let mut sys = crate::shard::ShardedAboxSystem::new(tbox, abox, n);
+        if let Some(mode) = self.rewriting {
+            sys = sys.with_rewriting(mode);
+        }
         if let Some(enabled) = self.rewrite_cache {
             sys = sys.with_rewrite_cache(enabled);
         }

@@ -11,6 +11,10 @@
 //! * [`rewrite::presto`]: Presto-style classification-aware rewriting
 //!   into a small view program (this is where the paper's graph-based
 //!   classification pays off at query time);
+//! * [`rewrite::ndl`]: compilation of the Presto view program into
+//!   nonrecursive datalog, evaluated natively over the ABox index with
+//!   shared, epoch-memoized view extents (or as one shared-subplan SQL
+//!   statement on the virtual path);
 //! * [`rewrite::unfold`]: unfolding into flat SQL joins over the mappings
 //!   with template-prefix pruning and typed suffix pushdown;
 //! * [`answer`]: reference CQ evaluation over a concrete ABox;
@@ -46,6 +50,7 @@ pub use error::{ErrorPhase, ObdaError};
 pub use query::{
     parse_cq, print_cq, Atom, ConjunctiveQuery, QueryParseError, Term, Ucq, ValueTerm,
 };
+pub use rewrite::ndl::{ndl_compile, NdlProgram};
 pub use rewrite::perfectref::{perfect_ref, perfect_ref_scan, perfect_ref_with_index};
 pub use rewrite::presto::{presto_rewrite, PrestoRewriting};
 pub use rewrite::subsume::{prune_ucq, subsumes};

@@ -1,5 +1,7 @@
-//! Query rewriting: PerfectRef, Presto-style views, and SQL unfolding.
+//! Query rewriting: PerfectRef, Presto-style views, NDL compilation,
+//! and SQL unfolding.
 
+pub mod ndl;
 pub mod perfectref;
 pub mod presto;
 pub mod subsume;

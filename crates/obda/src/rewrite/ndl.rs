@@ -1,0 +1,957 @@
+//! **NDL rewriting target**: the Presto view skeletons compiled into a
+//! stratified nonrecursive-datalog program, evaluated with *shared* view
+//! extents instead of a per-skeleton cross-product of members.
+//!
+//! Presto already keeps the number of *skeletons* small, but our
+//! evaluation path expanded each view atom into the union of its member
+//! predicates per skeleton — re-deriving the same view extension once per
+//! occurrence, and (on the PerfectRef path) exploding into a UCQ that the
+//! `PRUNE_DISJUNCT_CAP` has to cap. Bienvenu et al. show this gap is
+//! inherent: UCQ rewritings are exponential in the worst case while
+//! NDL rewritings stay polynomial. The NDL program makes the sharing
+//! explicit:
+//!
+//! * **stratum 0** — one rule per view member: `V_S(x) :- B(x)` for every
+//!   basic expression `B ⊑* S` in the classification closure;
+//! * **stratum 1** — one rule per Presto skeleton, over the stratum-0
+//!   view predicates.
+//!
+//! Each distinct view predicate appears **once** in the program, so
+//! program size is `O(skeletons + Σ |members|)` — polynomial in the
+//! TBox — and evaluation materializes each view extent exactly once:
+//!
+//! * **materialized mode**: [`build_extent`] computes the extent from the
+//!   [`AboxIndex`], keyed by name so per-shard extents merge without
+//!   re-interning; a [`ViewMemo`] caches extents per ABox epoch
+//!   (`ndl_view_memo_{hit,miss}` registry counters), and
+//!   [`eval_skeletons`] joins the strata bottom-up with a backtracking
+//!   join mirroring the UCQ evaluator;
+//! * **virtual mode**: [`answer_ndl_virtual_traced`] compiles the whole
+//!   program into **one** SQL plan — each view extent is a
+//!   [`Plan::SharedScan`] (CTE-style `WITH v AS (...)`) over the union of
+//!   its member sources, with IRI templates concatenated into full-IRI
+//!   text columns so skeleton joins are single-column string equality;
+//!   every skeleton referencing a view reuses the same materialized
+//!   intermediate within the statement.
+//!
+//! Memo keying note: the memo key is the view predicate alone, not
+//! (predicate, binding pattern) — an extent carries its own secondary
+//! indexes (by-subject / by-object / membership set), so one
+//! materialization serves every binding pattern that arises during the
+//! join. Invalidation rides the existing rewrite-cache epoch: a TBox or
+//! ABox change bumps the epoch and the memo self-clears on next access.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use obda_dllite::{Abox, AttributeId, BasicConcept, BasicRole, Value};
+use obda_mapping::MappingSet;
+use obda_obs::{registry, Counter, TraceCtx};
+use obda_sqlstore::plan::{CompiledCmp, Source};
+use obda_sqlstore::sql::ast::{
+    CmpOp, Comparison, Join, Operand, SelectCore, SelectItem, SelectQuery,
+};
+use obda_sqlstore::{
+    execute_traced, plan_query, ComputeExpr, Database, Plan, PlannedQuery, SqlError, SqlValue,
+};
+use quonto::sync::lock_or_recover;
+use quonto::Classification;
+
+use crate::answer::{AboxIndex, AnswerTerm, Answers};
+use crate::error::{ErrorPhase, ObdaError};
+use crate::query::{ConjunctiveQuery, Term, ValueTerm};
+use crate::rewrite::presto::{
+    attr_view_members, concept_view_members, presto_rewrite, role_view_members, ViewAtom, ViewQuery,
+};
+use crate::rewrite::unfold::{view_atom_sources, ArgBinding, FlatSource};
+
+/// A stratum-0 intensional predicate: the view of one basic expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ViewPred {
+    /// Unary concept view `V_S(x)`.
+    Concept(BasicConcept),
+    /// Binary role view `V_Q(x, y)` (orientation included).
+    Role(BasicRole),
+    /// Attribute view `V_U(x, v)`.
+    Attr(AttributeId),
+}
+
+/// A view predicate plus its member rules (one rule per member).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewDef {
+    /// Concept view: members are basic concepts `B ⊑* S`.
+    Concept {
+        /// The view's target expression.
+        target: BasicConcept,
+        /// Subsumee members, sorted and deduplicated.
+        members: Vec<BasicConcept>,
+    },
+    /// Role view: members are basic roles `Q' ⊑* Q`.
+    Role {
+        /// The view's target role (with orientation).
+        target: BasicRole,
+        /// Subsumee members, sorted and deduplicated.
+        members: Vec<BasicRole>,
+    },
+    /// Attribute view: members are attributes `U' ⊑* U`.
+    Attr {
+        /// The view's target attribute.
+        target: AttributeId,
+        /// Subsumee members, sorted and deduplicated.
+        members: Vec<AttributeId>,
+    },
+}
+
+impl ViewDef {
+    /// The predicate this definition defines.
+    pub fn pred(&self) -> ViewPred {
+        match self {
+            ViewDef::Concept { target, .. } => ViewPred::Concept(*target),
+            ViewDef::Role { target, .. } => ViewPred::Role(*target),
+            ViewDef::Attr { target, .. } => ViewPred::Attr(*target),
+        }
+    }
+
+    /// Number of stratum-0 rules (one per member).
+    pub fn num_members(&self) -> usize {
+        match self {
+            ViewDef::Concept { members, .. } => members.len(),
+            ViewDef::Role { members, .. } => members.len(),
+            ViewDef::Attr { members, .. } => members.len(),
+        }
+    }
+}
+
+/// A compiled NDL program: shared stratum-0 view definitions plus the
+/// stratum-1 skeleton rules over them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdlProgram {
+    /// Distinct view predicates, in deterministic (sorted) order.
+    pub views: Vec<ViewDef>,
+    /// Skeleton rules (shape shared with the Presto rewriting).
+    pub queries: Vec<ViewQuery>,
+    /// Total rule count: one per view member plus one per skeleton.
+    pub num_rules: usize,
+}
+
+impl NdlProgram {
+    /// Number of skeleton rules.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the program has no skeletons (unsatisfiable query shape).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Registry counters for the NDL path, resolved once.
+fn ndl_metrics() -> &'static (Arc<Counter>, Arc<Counter>, Arc<Counter>) {
+    static HANDLE: OnceLock<(Arc<Counter>, Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        let r = registry();
+        (
+            r.counter("ndl_rules"),
+            r.counter("ndl_view_memo_hit"),
+            r.counter("ndl_view_memo_miss"),
+        )
+    })
+}
+
+/// Compiles `q` into an NDL program: Presto skeletons plus one shared
+/// view definition per distinct view predicate they mention.
+pub fn ndl_compile(q: &ConjunctiveQuery, cls: &Classification) -> NdlProgram {
+    let presto = presto_rewrite(q, cls);
+    let mut preds: BTreeSet<ViewPred> = BTreeSet::new();
+    for vq in &presto.queries {
+        for atom in &vq.atoms {
+            preds.insert(match atom {
+                ViewAtom::ConceptView(s, _) => ViewPred::Concept(*s),
+                ViewAtom::RoleView(r, _, _) => ViewPred::Role(*r),
+                ViewAtom::AttrView(u, _, _) => ViewPred::Attr(*u),
+            });
+        }
+    }
+    let views: Vec<ViewDef> = preds
+        .into_iter()
+        .map(|p| match p {
+            ViewPred::Concept(s) => ViewDef::Concept {
+                target: s,
+                members: concept_view_members(cls, s),
+            },
+            ViewPred::Role(r) => ViewDef::Role {
+                target: r,
+                members: role_view_members(cls, r),
+            },
+            ViewPred::Attr(u) => ViewDef::Attr {
+                target: u,
+                members: attr_view_members(cls, u),
+            },
+        })
+        .collect();
+    let num_rules = views.iter().map(ViewDef::num_members).sum::<usize>() + presto.queries.len();
+    NdlProgram {
+        views,
+        queries: presto.queries,
+        num_rules,
+    }
+}
+
+/// Traced [`ndl_compile`]: child span `ndl` (under the engine's
+/// `rewrite` span) with rule/view/skeleton counters, plus the
+/// process-wide `ndl_rules` registry counter.
+pub fn ndl_compile_traced(
+    q: &ConjunctiveQuery,
+    cls: &Classification,
+    ctx: &TraceCtx,
+) -> NdlProgram {
+    let guard = ctx.span("ndl");
+    let prog = ndl_compile(q, cls);
+    guard.count("rules", prog.num_rules as u64);
+    guard.count("views", prog.views.len() as u64);
+    guard.count("skeletons", prog.queries.len() as u64);
+    ndl_metrics().0.add(prog.num_rules as u64);
+    prog
+}
+
+// ---------------------------------------------------------------------------
+// Native evaluation: name-keyed view extents + memo + backtracking join.
+// ---------------------------------------------------------------------------
+
+/// A materialized view extent, keyed by individual *name* so per-shard
+/// extents (whose `IndividualId`s are shard-local) merge directly.
+/// Carries the same secondary indexes as [`AboxIndex`], so one extent
+/// serves every binding pattern.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewExtent {
+    /// Unary members (concept views), sorted and deduplicated.
+    pub members: Vec<String>,
+    /// Membership set for bound-term probes (unary views).
+    pub member_set: HashSet<String>,
+    /// Binary pairs (role views: IRI/IRI; attribute views: IRI/value
+    /// with the value in [`ExtTerm::Val`]), sorted and deduplicated.
+    pub pairs: Vec<(String, ExtTerm)>,
+    /// Subject → objects index over `pairs`.
+    pub by_subject: HashMap<String, Vec<ExtTerm>>,
+    /// Object → subjects index (role views only; values don't join on
+    /// the object side through this index).
+    pub by_object: HashMap<ExtTerm, Vec<String>>,
+}
+
+/// Second component of a binary extent pair: an IRI or a data value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExtTerm {
+    /// Individual IRI.
+    Iri(String),
+    /// Attribute value.
+    Val(Value),
+}
+
+impl ViewExtent {
+    fn from_members(mut members: Vec<String>) -> ViewExtent {
+        members.sort();
+        members.dedup();
+        let member_set = members.iter().cloned().collect();
+        ViewExtent {
+            members,
+            member_set,
+            ..ViewExtent::default()
+        }
+    }
+
+    fn from_pairs(mut pairs: Vec<(String, ExtTerm)>) -> ViewExtent {
+        pairs.sort();
+        pairs.dedup();
+        let mut by_subject: HashMap<String, Vec<ExtTerm>> = HashMap::new();
+        let mut by_object: HashMap<ExtTerm, Vec<String>> = HashMap::new();
+        for (s, o) in &pairs {
+            by_subject.entry(s.clone()).or_default().push(o.clone());
+            by_object.entry(o.clone()).or_default().push(s.clone());
+        }
+        ViewExtent {
+            pairs,
+            by_subject,
+            by_object,
+            ..ViewExtent::default()
+        }
+    }
+
+    /// Number of tuples in the extent.
+    pub fn len(&self) -> usize {
+        self.members.len() + self.pairs.len()
+    }
+
+    /// True when the extent is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty() && self.pairs.is_empty()
+    }
+}
+
+/// Builds one view extent from the fact index (stratum-0 evaluation:
+/// the union over the view's members of their direct extensions).
+pub fn build_extent(def: &ViewDef, abox: &Abox, index: &AboxIndex) -> ViewExtent {
+    let name = |i| abox.individual_name(i).to_string();
+    match def {
+        ViewDef::Concept { members, .. } => {
+            let mut out = Vec::new();
+            for m in members {
+                match m {
+                    BasicConcept::Atomic(a) => {
+                        if let Some(f) = index.concepts.get(&a.0) {
+                            out.extend(f.members.iter().map(|&i| name(i)));
+                        }
+                    }
+                    BasicConcept::Exists(q) => {
+                        if let Some(f) = index.roles.get(&q.role().0) {
+                            let keys = if q.is_inverse() {
+                                f.by_object.keys()
+                            } else {
+                                f.by_subject.keys()
+                            };
+                            out.extend(keys.map(|&i| name(i)));
+                        }
+                    }
+                    BasicConcept::AttrDomain(u) => {
+                        if let Some(f) = index.attributes.get(&u.0) {
+                            out.extend(f.by_subject.keys().map(|&i| name(i)));
+                        }
+                    }
+                }
+            }
+            ViewExtent::from_members(out)
+        }
+        ViewDef::Role { members, .. } => {
+            let mut out = Vec::new();
+            for m in members {
+                if let Some(f) = index.roles.get(&m.role().0) {
+                    for &(s, o) in &f.pairs {
+                        let (s, o) = if m.is_inverse() { (o, s) } else { (s, o) };
+                        out.push((name(s), ExtTerm::Iri(name(o))));
+                    }
+                }
+            }
+            ViewExtent::from_pairs(out)
+        }
+        ViewDef::Attr { members, .. } => {
+            let mut out = Vec::new();
+            for m in members {
+                if let Some(f) = index.attributes.get(&m.0) {
+                    for (s, v) in &f.pairs {
+                        out.push((name(*s), ExtTerm::Val(v.clone())));
+                    }
+                }
+            }
+            ViewExtent::from_pairs(out)
+        }
+    }
+}
+
+/// Merges per-shard partial extents into one (ordered concatenation
+/// then sort + dedup — byte-identical regardless of shard count).
+pub fn merge_extents(parts: &[Arc<ViewExtent>]) -> ViewExtent {
+    if parts.iter().any(|p| !p.members.is_empty()) {
+        let mut members = Vec::new();
+        for p in parts {
+            members.extend(p.members.iter().cloned());
+        }
+        ViewExtent::from_members(members)
+    } else {
+        let mut pairs = Vec::new();
+        for p in parts {
+            pairs.extend(p.pairs.iter().cloned());
+        }
+        ViewExtent::from_pairs(pairs)
+    }
+}
+
+/// Epoch-guarded memo of materialized view extents. Shared by the
+/// unsharded systems (whole-ABox extents), each shard (shard-local
+/// partial extents) and the sharded coordinator (merged extents).
+#[derive(Debug, Default)]
+pub struct ViewMemo {
+    epoch: u64,
+    extents: HashMap<ViewPred, Arc<ViewExtent>>,
+}
+
+impl ViewMemo {
+    /// Drops every memoized extent (ABox refresh without an epoch bump).
+    pub fn clear(&mut self) {
+        self.extents.clear();
+    }
+}
+
+/// Looks up `pred` in the memo for `epoch`, building (outside the lock)
+/// and inserting on miss. A stale epoch clears the memo first. Returns
+/// the extent and whether it was a memo hit; bumps the
+/// `ndl_view_memo_{hit,miss}` registry counters.
+pub fn memoized_extent(
+    memo: &Mutex<ViewMemo>,
+    epoch: u64,
+    pred: ViewPred,
+    build: impl FnOnce() -> ViewExtent,
+) -> (Arc<ViewExtent>, bool) {
+    {
+        let mut m = lock_or_recover(memo);
+        if m.epoch != epoch {
+            m.extents.clear();
+            m.epoch = epoch;
+        } else if let Some(e) = m.extents.get(&pred) {
+            ndl_metrics().1.add(1);
+            return (Arc::clone(e), true);
+        }
+    }
+    // Build outside the lock; a concurrent builder of the same extent
+    // produces an identical value, so last-insert-wins is harmless.
+    let built = Arc::new(build());
+    let mut m = lock_or_recover(memo);
+    if m.epoch == epoch {
+        m.extents.insert(pred, Arc::clone(&built));
+    }
+    ndl_metrics().2.add(1);
+    (built, false)
+}
+
+/// A skeleton-atom argument, uniform across the three atom shapes.
+enum SkArg<'a> {
+    IriConst(&'a str),
+    IriVar(&'a str),
+    ValLit(&'a Value),
+    ValVar(&'a str),
+}
+
+fn atom_args(atom: &ViewAtom) -> (ViewPred, Vec<SkArg<'_>>) {
+    fn conv(t: &Term) -> SkArg<'_> {
+        match t {
+            Term::Var(v) => SkArg::IriVar(v),
+            Term::Const(c) => SkArg::IriConst(c),
+        }
+    }
+    match atom {
+        ViewAtom::ConceptView(s, t) => (ViewPred::Concept(*s), vec![conv(t)]),
+        ViewAtom::RoleView(r, s, o) => (ViewPred::Role(*r), vec![conv(s), conv(o)]),
+        ViewAtom::AttrView(u, s, v) => (
+            ViewPred::Attr(*u),
+            vec![
+                conv(s),
+                match v {
+                    ValueTerm::Var(x) => SkArg::ValVar(x),
+                    ValueTerm::Lit(l) => SkArg::ValLit(l),
+                },
+            ],
+        ),
+    }
+}
+
+/// Evaluates the stratum-1 skeletons over materialized view extents:
+/// a backtracking join (mirroring the UCQ evaluator's structure) with
+/// name bindings, answers merged into a [`BTreeSet`].
+pub fn eval_skeletons(
+    queries: &[ViewQuery],
+    extents: &HashMap<ViewPred, Arc<ViewExtent>>,
+) -> Answers {
+    let mut answers = Answers::new();
+    for vq in queries {
+        let atoms: Vec<(ViewPred, Vec<SkArg<'_>>)> = vq.atoms.iter().map(atom_args).collect();
+        let mut bindings: HashMap<String, ExtTerm> = HashMap::new();
+        eval_rec(vq, &atoms, 0, extents, &mut bindings, &mut answers);
+    }
+    answers
+}
+
+/// Resolves an IRI-position argument to a concrete name, if bound.
+/// `Err(())` means a sort clash (the variable is bound to a value).
+fn resolve_iri(a: &SkArg<'_>, bindings: &HashMap<String, ExtTerm>) -> Result<Option<String>, ()> {
+    match a {
+        SkArg::IriConst(c) => Ok(Some((*c).to_string())),
+        SkArg::IriVar(v) => match bindings.get(*v) {
+            Some(ExtTerm::Iri(s)) => Ok(Some(s.clone())),
+            Some(ExtTerm::Val(_)) => Err(()),
+            None => Ok(None),
+        },
+        _ => Err(()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn with_binding(
+    var: &str,
+    val: ExtTerm,
+    vq: &ViewQuery,
+    atoms: &[(ViewPred, Vec<SkArg<'_>>)],
+    idx: usize,
+    extents: &HashMap<ViewPred, Arc<ViewExtent>>,
+    bindings: &mut HashMap<String, ExtTerm>,
+    answers: &mut Answers,
+) {
+    bindings.insert(var.to_string(), val);
+    eval_rec(vq, atoms, idx + 1, extents, bindings, answers);
+    bindings.remove(var);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_rec(
+    vq: &ViewQuery,
+    atoms: &[(ViewPred, Vec<SkArg<'_>>)],
+    idx: usize,
+    extents: &HashMap<ViewPred, Arc<ViewExtent>>,
+    bindings: &mut HashMap<String, ExtTerm>,
+    answers: &mut Answers,
+) {
+    if idx == atoms.len() {
+        let mut tuple = Vec::with_capacity(vq.head.len());
+        for h in &vq.head {
+            match bindings.get(h) {
+                Some(ExtTerm::Iri(s)) => tuple.push(AnswerTerm::Iri(s.clone())),
+                Some(ExtTerm::Val(v)) => tuple.push(AnswerTerm::Value(v.clone())),
+                None => return, // unsafe head var; cannot happen on parsed queries
+            }
+        }
+        answers.insert(tuple);
+        return;
+    }
+    // lint: allow(R1.index, "idx == atoms.len() returned above and eval_rec only increments by 1")
+    let (pred, args) = &atoms[idx];
+    let Some(ext) = extents.get(pred) else { return };
+    match args.as_slice() {
+        [t] => {
+            let Ok(want) = resolve_iri(t, bindings) else {
+                return;
+            };
+            match want {
+                Some(n) => {
+                    if ext.member_set.contains(&n) {
+                        eval_rec(vq, atoms, idx + 1, extents, bindings, answers);
+                    }
+                }
+                None => {
+                    let SkArg::IriVar(v) = t else { return };
+                    for n in &ext.members {
+                        with_binding(
+                            v,
+                            ExtTerm::Iri(n.clone()),
+                            vq,
+                            atoms,
+                            idx,
+                            extents,
+                            bindings,
+                            answers,
+                        );
+                    }
+                }
+            }
+        }
+        [s, o] => {
+            let Ok(ws) = resolve_iri(s, bindings) else {
+                return;
+            };
+            // Object side: IRI (role view) or value (attribute view).
+            let wo: Option<ExtTerm> = match o {
+                SkArg::IriConst(c) => Some(ExtTerm::Iri((*c).to_string())),
+                SkArg::ValLit(l) => Some(ExtTerm::Val((*l).clone())),
+                SkArg::IriVar(v) | SkArg::ValVar(v) => bindings.get(*v).cloned(),
+            };
+            let obj_var = match o {
+                SkArg::IriVar(v) | SkArg::ValVar(v) => Some(*v),
+                _ => None,
+            };
+            match (ws, wo) {
+                (Some(sn), Some(ob)) => {
+                    if ext
+                        .by_subject
+                        .get(&sn)
+                        .is_some_and(|objs| objs.contains(&ob))
+                    {
+                        eval_rec(vq, atoms, idx + 1, extents, bindings, answers);
+                    }
+                }
+                (Some(sn), None) => {
+                    let Some(v) = obj_var else { return };
+                    if let Some(objs) = ext.by_subject.get(&sn) {
+                        for ob in objs.clone() {
+                            with_binding(v, ob, vq, atoms, idx, extents, bindings, answers);
+                        }
+                    }
+                }
+                (None, Some(ob)) => {
+                    let SkArg::IriVar(v) = s else { return };
+                    if let Some(subs) = ext.by_object.get(&ob) {
+                        for sn in subs.clone() {
+                            with_binding(
+                                v,
+                                ExtTerm::Iri(sn),
+                                vq,
+                                atoms,
+                                idx,
+                                extents,
+                                bindings,
+                                answers,
+                            );
+                        }
+                    }
+                }
+                (None, None) => {
+                    let SkArg::IriVar(sv) = s else { return };
+                    let Some(ov) = obj_var else { return };
+                    for (sn, ob) in ext.pairs.clone() {
+                        if *sv == ov {
+                            // Same variable on both sides: require equality.
+                            if ExtTerm::Iri(sn.clone()) != ob {
+                                continue;
+                            }
+                            with_binding(
+                                sv,
+                                ExtTerm::Iri(sn),
+                                vq,
+                                atoms,
+                                idx,
+                                extents,
+                                bindings,
+                                answers,
+                            );
+                        } else {
+                            bindings.insert(sv.to_string(), ExtTerm::Iri(sn));
+                            bindings.insert(ov.to_string(), ob);
+                            eval_rec(vq, atoms, idx + 1, extents, bindings, answers);
+                            bindings.remove(ov);
+                            bindings.remove(*sv);
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Evaluates a compiled NDL program natively over the fact index, with
+/// extents memoized in `memo` for `epoch`. Span `eval` carries
+/// view/skeleton counters plus per-query memo hit/miss counts.
+pub fn answer_ndl_indexed_traced(
+    prog: &NdlProgram,
+    abox: &Abox,
+    index: &AboxIndex,
+    memo: &Mutex<ViewMemo>,
+    epoch: u64,
+    ctx: &TraceCtx,
+) -> Answers {
+    let guard = ctx.span("eval");
+    guard.count("views", prog.views.len() as u64);
+    guard.count("skeletons", prog.queries.len() as u64);
+    let mut extents: HashMap<ViewPred, Arc<ViewExtent>> = HashMap::new();
+    for def in &prog.views {
+        let (ext, hit) =
+            memoized_extent(memo, epoch, def.pred(), || build_extent(def, abox, index));
+        guard.count(
+            if hit {
+                "view_memo_hit"
+            } else {
+                "view_memo_miss"
+            },
+            1,
+        );
+        extents.insert(def.pred(), ext);
+    }
+    eval_skeletons(&prog.queries, &extents)
+}
+
+// ---------------------------------------------------------------------------
+// Virtual evaluation: one SQL plan with CTE-style SharedScan view extents.
+// ---------------------------------------------------------------------------
+
+/// Output sort of one head position (drives answer reconstruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutKind {
+    Iri,
+    Val,
+}
+
+/// Builds the relational plan of one member source: project the
+/// argument columns, then concatenate IRI template prefixes into
+/// full-IRI text columns ([`ComputeExpr::Concat`]).
+fn member_plan(db: &Database, src: &FlatSource) -> Result<Plan, SqlError> {
+    let items: Vec<SelectItem> = src
+        .args
+        .iter()
+        .enumerate()
+        .map(|(i, a)| SelectItem {
+            col: match a {
+                ArgBinding::Iri { col, .. } | ArgBinding::Val { col } => col.clone(),
+            },
+            alias: Some(format!("c{i}")),
+        })
+        .collect();
+    // Place each condition on the last table it references (the same
+    // FROM/JOIN placement the UCQ unfolder uses), so the planner sees
+    // equi-join keys instead of residual cross-join filters.
+    let alias_pos: HashMap<&str, usize> = src
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.alias.as_str(), i))
+        .collect();
+    let mut per_table: Vec<Vec<Comparison>> = vec![Vec::new(); src.tables.len()];
+    for cmp in src.own_conditions.iter().chain(&src.filters).cloned() {
+        let mut pos = 0;
+        for op in [&cmp.lhs, &cmp.rhs] {
+            if let Operand::Col(c) = op {
+                if let Some(p) = c.qualifier.as_deref().and_then(|a| alias_pos.get(a)) {
+                    pos = pos.max(*p);
+                }
+            }
+        }
+        // lint: allow(R1.index, "pos comes from alias_pos values, all < src.tables.len() == per_table.len()")
+        per_table[pos].push(cmp);
+    }
+    let mut tables = src.tables.iter().cloned().enumerate();
+    let Some((_, from)) = tables.next() else {
+        return Err(SqlError::new("view source with no tables"));
+    };
+    let filter = std::mem::take(&mut per_table[0]);
+    let joins: Vec<Join> = tables
+        .map(|(pos, t)| Join {
+            table: t,
+            // lint: allow(R1.index, "pos enumerates src.tables, and per_table has one slot per table")
+            on: std::mem::take(&mut per_table[pos]),
+        })
+        .collect();
+    let q = SelectQuery {
+        first: SelectCore {
+            distinct: false,
+            items,
+            from,
+            joins,
+            filter,
+        },
+        rest: Vec::new(),
+        order_by: Vec::new(),
+        limit: None,
+    };
+    let planned = plan_query(db, &q)?;
+    let exprs: Vec<ComputeExpr> = src
+        .args
+        .iter()
+        .enumerate()
+        .map(|(i, a)| match a {
+            ArgBinding::Iri { prefix, .. } => ComputeExpr::Concat {
+                prefix: prefix.clone(),
+                col: i,
+            },
+            ArgBinding::Val { .. } => ComputeExpr::Col(i),
+        })
+        .collect();
+    Ok(Plan::Compute {
+        input: Box::new(planned.plan),
+        exprs,
+    })
+}
+
+/// Builds the shared extent plan of one view: the deduplicated union of
+/// its member sources, wrapped in a [`Plan::SharedScan`] so every
+/// skeleton that references the view reuses one materialization.
+fn view_plan(
+    db: &Database,
+    cls: &Classification,
+    mappings: &MappingSet,
+    def: &ViewDef,
+    id: usize,
+    counter: &mut usize,
+) -> Result<Plan, SqlError> {
+    // Canonical atom: the terms are ignored by source expansion.
+    let x = || Term::Var("x".to_string());
+    let atom = match def {
+        ViewDef::Concept { target, .. } => ViewAtom::ConceptView(*target, x()),
+        ViewDef::Role { target, .. } => ViewAtom::RoleView(*target, x(), Term::Var("y".into())),
+        ViewDef::Attr { target, .. } => {
+            ViewAtom::AttrView(*target, x(), ValueTerm::Var("v".into()))
+        }
+    };
+    let sources = view_atom_sources(&atom, cls, mappings, db, counter)?;
+    let inputs: Vec<Plan> = sources
+        .iter()
+        .map(|s| member_plan(db, s))
+        .collect::<Result<_, _>>()?;
+    Ok(Plan::SharedScan {
+        id,
+        input: Box::new(Plan::Union { inputs, all: false }),
+    })
+}
+
+/// Builds the join plan of one skeleton over the shared view extents.
+fn skeleton_plan(vq: &ViewQuery, view_plans: &HashMap<ViewPred, Plan>) -> Result<Plan, SqlError> {
+    let mut plan: Option<Plan> = None;
+    let mut var_pos: HashMap<String, usize> = HashMap::new();
+    let mut width = 0usize;
+    for atom in &vq.atoms {
+        let (pred, args) = atom_args(atom);
+        let base = view_plans
+            .get(&pred)
+            .cloned()
+            .ok_or_else(|| SqlError::new("skeleton references unknown view"))?;
+        let arity = args.len();
+        // Per-atom constant filters and intra-atom repeated variables.
+        let mut predicates: Vec<CompiledCmp> = Vec::new();
+        let mut new_vars: Vec<(String, usize)> = Vec::new();
+        let eq = |i: usize, rhs: Source| CompiledCmp {
+            lhs: Source::Col(i),
+            op: CmpOp::Eq,
+            rhs,
+        };
+        for (i, a) in args.iter().enumerate() {
+            match a {
+                SkArg::IriConst(c) => {
+                    predicates.push(eq(i, Source::Lit(SqlValue::Text((*c).to_string()))));
+                }
+                SkArg::ValLit(v) => predicates.push(eq(i, Source::Lit(sql_value(v)))),
+                SkArg::IriVar(v) | SkArg::ValVar(v) => {
+                    match new_vars.iter().find(|(n, _)| n == v) {
+                        Some(&(_, j)) => predicates.push(eq(i, Source::Col(j))),
+                        None => new_vars.push(((*v).to_string(), i)),
+                    }
+                }
+            }
+        }
+        let mut node = base;
+        if !predicates.is_empty() {
+            node = Plan::Filter {
+                input: Box::new(node),
+                predicates,
+            };
+        }
+        match plan.take() {
+            None => {
+                plan = Some(node);
+                for (v, j) in new_vars {
+                    var_pos.entry(v).or_insert(j);
+                }
+                width = arity;
+            }
+            Some(left) => {
+                let mut left_keys = Vec::new();
+                let mut right_keys = Vec::new();
+                for (v, j) in &new_vars {
+                    if let Some(&p) = var_pos.get(v) {
+                        left_keys.push(p);
+                        right_keys.push(*j);
+                    }
+                }
+                plan = Some(Plan::HashJoin {
+                    left: Box::new(left),
+                    right: Box::new(node),
+                    left_keys,
+                    right_keys,
+                    residual: Vec::new(),
+                });
+                for (v, j) in new_vars {
+                    var_pos.entry(v).or_insert(width + j);
+                }
+                width += arity;
+            }
+        }
+    }
+    let Some(joined) = plan else {
+        return Err(SqlError::new("skeleton with no atoms"));
+    };
+    let cols: Vec<usize> = vq
+        .head
+        .iter()
+        .map(|h| {
+            var_pos
+                .get(h)
+                .copied()
+                .ok_or_else(|| SqlError::new("unsafe head variable"))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Plan::Project {
+        input: Box::new(joined),
+        cols,
+    })
+}
+
+fn sql_value(v: &Value) -> SqlValue {
+    match v {
+        Value::Int(i) => SqlValue::Int(*i),
+        Value::Text(s) => SqlValue::Text(s.clone()),
+    }
+}
+
+/// Head-position sorts, read off the first skeleton (sorts are
+/// consistent across skeletons of one rewriting).
+fn out_kinds(prog: &NdlProgram) -> Vec<OutKind> {
+    let Some(vq) = prog.queries.first() else {
+        return Vec::new();
+    };
+    vq.head
+        .iter()
+        .map(|h| {
+            for atom in &vq.atoms {
+                if let ViewAtom::AttrView(_, _, ValueTerm::Var(v)) = atom {
+                    if v == h {
+                        return OutKind::Val;
+                    }
+                }
+            }
+            OutKind::Iri
+        })
+        .collect()
+}
+
+/// Evaluates a compiled NDL program in virtual mode: one SQL statement
+/// whose plan unions every skeleton join over [`Plan::SharedScan`] view
+/// extents. Span `unfold` covers plan construction; execution runs
+/// under the engine's SQL tracing (`rows_scanned`, `sql_statements`).
+pub fn answer_ndl_virtual_traced(
+    prog: &NdlProgram,
+    cls: &Classification,
+    mappings: &MappingSet,
+    db: &Database,
+    ctx: &TraceCtx,
+) -> Result<Answers, ObdaError> {
+    let planned = {
+        let guard = ctx.span("unfold");
+        guard.count("views", prog.views.len() as u64);
+        guard.count("skeletons", prog.queries.len() as u64);
+        let mut counter = 0usize;
+        let mut view_plans: HashMap<ViewPred, Plan> = HashMap::new();
+        for (id, def) in prog.views.iter().enumerate() {
+            let p = view_plan(db, cls, mappings, def, id, &mut counter)
+                .map_err(|e| ObdaError::sql_in(ErrorPhase::Unfold, "ndl view", e))?;
+            view_plans.insert(def.pred(), p);
+        }
+        let inputs: Vec<Plan> = prog
+            .queries
+            .iter()
+            .map(|vq| skeleton_plan(vq, &view_plans))
+            .collect::<Result<_, _>>()
+            .map_err(|e| ObdaError::sql_in(ErrorPhase::Unfold, "ndl skeleton", e))?;
+        let arity = prog.queries.first().map_or(0, |vq| vq.head.len());
+        PlannedQuery {
+            plan: Plan::Union { inputs, all: false },
+            columns: (0..arity).map(|i| format!("o{i}")).collect(),
+        }
+    };
+    let kinds = out_kinds(prog);
+    let res = {
+        let _guard = ctx.span("sql");
+        ctx.count("sql_queries", 1);
+        execute_traced(db, &planned, ctx)
+            .map_err(|e| ObdaError::sql_in(ErrorPhase::Evaluate, "ndl program", e))?
+    };
+    let mut answers = Answers::new();
+    'row: for row in &res.rows {
+        let mut tuple = Vec::with_capacity(kinds.len());
+        for (v, kind) in row.iter().zip(&kinds) {
+            match (kind, v) {
+                (_, SqlValue::Null) => continue 'row,
+                (OutKind::Iri, SqlValue::Text(s)) => tuple.push(AnswerTerm::Iri(s.clone())),
+                (OutKind::Iri, SqlValue::Int(i)) => tuple.push(AnswerTerm::Iri(i.to_string())),
+                (OutKind::Val, SqlValue::Int(i)) => tuple.push(AnswerTerm::Value(Value::Int(*i))),
+                (OutKind::Val, SqlValue::Text(s)) => {
+                    tuple.push(AnswerTerm::Value(Value::Text(s.clone())))
+                }
+            }
+        }
+        answers.insert(tuple);
+    }
+    Ok(answers)
+}

@@ -223,6 +223,8 @@ pub fn presto_rewrite(q: &ConjunctiveQuery, cls: &Classification) -> PrestoRewri
     // rewrite call.
     let mut qual_memo: std::collections::HashMap<(BasicRole, BasicConcept), Vec<BasicConcept>> =
         std::collections::HashMap::new();
+    let mut lone_memo: std::collections::HashMap<BasicConcept, Vec<BasicConcept>> =
+        std::collections::HashMap::new();
 
     while let Some(cur) = queue.pop_front() {
         // Collapse: role atom with an unbound side → domain view.
@@ -312,6 +314,41 @@ pub fn presto_rewrite(q: &ConjunctiveQuery, cls: &Classification) -> PrestoRewri
                         );
                     }
                 }
+            }
+        }
+        // Lone qualified elimination: a concept view on an unbound
+        // variable is also witnessed by the *anonymous* individuals
+        // qualified axioms generate — `W ⊑ ∃Q.A₀` with `A₀ ⊑* s` puts a
+        // fresh `s`-member next to every `W` instance, so the atom
+        // weakens to the witness's view on the same (still unbound)
+        // variable. This is the unbound-atom case of PerfectRef's
+        // qualified-existential rule; unlike the pair elimination above
+        // the role is unconstrained (any anonymous witness certifies
+        // the existential), so the witness scan ranges over all roles.
+        for (i, atom) in cur.atoms.iter().enumerate() {
+            let ViewAtom::ConceptView(s, Term::Var(v)) = atom else {
+                continue;
+            };
+            if !cur.is_unbound(v) {
+                continue;
+            }
+            let witnesses = lone_memo
+                .entry(*s)
+                .or_insert_with(|| lone_qual_witnesses(cls, *s))
+                .clone();
+            for w in witnesses {
+                let mut atoms = cur.atoms.clone();
+                // lint: allow(R1.index, "i enumerates cur.atoms and atoms is a clone of it")
+                atoms[i] = ViewAtom::ConceptView(w, Term::Var(v.clone()));
+                push(
+                    ViewQuery {
+                        head: cur.head.clone(),
+                        atoms,
+                    },
+                    &mut seen,
+                    &mut out,
+                    &mut queue,
+                );
             }
         }
         // Reduce: unify same-target atoms (minimal variant sufficient to
@@ -534,6 +571,35 @@ fn maximal_qual_witnesses(
             if closure.reaches(g.role_node(q0), target_role)
                 && closure.reaches(g.role_exists_node(q0.inverse()), target_c_node)
             {
+                out.push(BasicConcept::Exists(q0));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Witnesses for a lone concept view on an unbound variable: basic
+/// concepts `W` whose instances force an anonymous `s`-member into the
+/// canonical model. Two sources, mirroring [`maximal_qual_witnesses`]
+/// with the role constraint dropped: asserted qualified axioms
+/// `W ⊑ ∃Q.A₀` with `A₀ ⊑* s`, and `∃Q₀` for roles whose range is
+/// forced into a subsumee of `s` (`∃Q₀⁻ ⊑* s`) — the latter's view
+/// members cover every `B ⊑* ∃Q₀`, qualified or not.
+fn lone_qual_witnesses(cls: &Classification, target: BasicConcept) -> Vec<BasicConcept> {
+    let g = cls.graph();
+    let closure = cls.closure();
+    let target_node = g.concept_node(target);
+    let mut out = Vec::new();
+    for qa in &g.qual_axioms {
+        if closure.reaches(g.atomic_node(qa.filler), target_node) {
+            out.push(g.node_as_concept(qa.lhs));
+        }
+    }
+    for p in 0..g.num_roles() {
+        for q0 in [BasicRole::Direct(RoleId(p)), BasicRole::Inverse(RoleId(p))] {
+            if closure.reaches(g.role_exists_node(q0.inverse()), target_node) {
                 out.push(BasicConcept::Exists(q0));
             }
         }

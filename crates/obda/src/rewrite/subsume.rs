@@ -27,6 +27,12 @@ use crate::query::{Atom, ConjunctiveQuery, Term, Ucq, ValueTerm};
 /// evaluating.
 pub const PRUNE_DISJUNCT_CAP: usize = 512;
 
+/// The effective pruning cap: `QUONTO_PRUNE_CAP` when set and numeric,
+/// else [`PRUNE_DISJUNCT_CAP`].
+pub fn prune_cap() -> usize {
+    quonto::env::prune_cap().unwrap_or(PRUNE_DISJUNCT_CAP)
+}
+
 /// Removes every disjunct subsumed by another disjunct. Keeps the first
 /// representative of hom-equivalent disjuncts (in input order), so the
 /// output is deterministic for a canonicalized input.

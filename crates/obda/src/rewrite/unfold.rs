@@ -36,7 +36,7 @@ use crate::rewrite::presto::{
 
 /// How one argument position of an atom is produced by a source.
 #[derive(Debug, Clone)]
-enum ArgBinding {
+pub(crate) enum ArgBinding {
     /// IRI built as `prefix + column value`.
     Iri { prefix: String, col: ColRef },
     /// Raw value column (attribute value position).
@@ -45,15 +45,15 @@ enum ArgBinding {
 
 /// A flattened mapping body ready for inlining into a larger join.
 #[derive(Debug, Clone)]
-struct FlatSource {
-    tables: Vec<TableRef>,
+pub(crate) struct FlatSource {
+    pub(crate) tables: Vec<TableRef>,
     /// Join conditions among this source's own tables (from the mapping's
     /// own JOINs), fully qualified.
-    own_conditions: Vec<Comparison>,
+    pub(crate) own_conditions: Vec<Comparison>,
     /// WHERE conjuncts of the mapping body, fully qualified.
-    filters: Vec<Comparison>,
+    pub(crate) filters: Vec<Comparison>,
     /// Argument bindings for the atom's positions.
-    args: Vec<ArgBinding>,
+    pub(crate) args: Vec<ArgBinding>,
 }
 
 /// Flattens one core of a mapping's SQL for inclusion under an alias
@@ -254,7 +254,7 @@ fn atom_sources(
 }
 
 /// All sources of a view atom (Presto mode: union over subsumee members).
-fn view_atom_sources(
+pub(crate) fn view_atom_sources(
     atom: &ViewAtom,
     cls: &Classification,
     mappings: &MappingSet,

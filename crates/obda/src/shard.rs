@@ -56,6 +56,10 @@ use crate::answer::{evaluate_disjuncts_indexed, AboxIndex, Answers};
 use crate::engine::{run_with_engine_trace, EngineStats, QueryEngine, QueryLang, ShardStats};
 use crate::error::ObdaError;
 use crate::query::{Atom, ConjunctiveQuery, Term};
+use crate::rewrite::ndl::{
+    eval_skeletons, memoized_extent, merge_extents, NdlProgram, ViewDef, ViewExtent, ViewMemo,
+    ViewPred,
+};
 use crate::system::{
     query_metrics, rewrite_with_cache_traced, AboxSystem, CachedRewriting, MaterializedAbox,
     RewriteCache, RewritingMode,
@@ -254,6 +258,12 @@ pub struct ShardedAboxSystem {
     /// `AboxSystem`) and serve direct per-shard access.
     rewrite_cache: Mutex<RewriteCache>,
     cache_enabled: bool,
+    /// Rewriting mode: PerfectRef (default) or NDL; Presto folds into
+    /// PerfectRef (no mappings on the ABox tier).
+    rewriting: RewritingMode,
+    /// Coordinator memo of *merged* NDL view extents; the per-shard
+    /// partial extents are memoized inside each shard's own system.
+    ndl_memo: Mutex<ViewMemo>,
     /// Lazily built union ABox + index for cross-shard disjuncts,
     /// dropped on [`QueryEngine::invalidate`].
     fallback: Mutex<Option<Arc<MaterializedAbox>>>,
@@ -283,6 +293,8 @@ impl ShardedAboxSystem {
             shards,
             rewrite_cache: Mutex::new(RewriteCache::default()),
             cache_enabled: true,
+            rewriting: RewritingMode::PerfectRef,
+            ndl_memo: Mutex::new(ViewMemo::default()),
             fallback: Mutex::new(None),
             sink: obda_obs::sink::from_env(),
         }
@@ -292,6 +304,22 @@ impl ShardedAboxSystem {
     pub fn with_rewrite_cache(mut self, enabled: bool) -> Self {
         self.cache_enabled = enabled;
         self
+    }
+
+    /// Switches the rewriting mode. Presto has no distinct evaluation
+    /// path on the ABox tier and is answered via PerfectRef.
+    pub fn with_rewriting(mut self, mode: RewritingMode) -> Self {
+        self.rewriting = mode;
+        self
+    }
+
+    /// The rewriting mode actually answered with (Presto folds into
+    /// PerfectRef).
+    fn effective_rewriting(&self) -> RewritingMode {
+        match self.rewriting {
+            RewritingMode::Ndl => RewritingMode::Ndl,
+            _ => RewritingMode::PerfectRef,
+        }
     }
 
     /// Replaces the trace sink used by untraced `answer` calls.
@@ -463,15 +491,78 @@ impl ShardedAboxSystem {
         (merged, par)
     }
 
+    /// Builds one view's partial extent on every shard (each memoized
+    /// shard-locally) and returns them in shard order. Parallel across
+    /// shards like [`Self::scatter_eval`]; the merge order is the shard
+    /// order either way, so the merged extent is deterministic.
+    fn scatter_extents(&self, def: &ViewDef) -> Vec<Arc<ViewExtent>> {
+        let par = self.scatter_parallelism(self.shards.len());
+        let build = |s: &ShardState| {
+            s.requests.fetch_add(1, Ordering::Relaxed);
+            let _permit = s.gate.acquire();
+            s.system.ndl_partial_extent(def)
+        };
+        if par <= 1 {
+            self.shards.iter().map(build).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|s| scope.spawn(move || build(s)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        // lint: allow(R1.expect, "join() only fails if the shard panicked; re-raising hands the panic to the serving layer's per-request catch_unwind instead of silently dropping extent tuples")
+                        h.join().expect("extent scatter shard panicked")
+                    })
+                    .collect()
+            })
+        }
+    }
+
+    /// NDL answering: merged view extents (scattered per shard, memoized
+    /// at both tiers) joined at the coordinator. Per-shard *skeleton*
+    /// evaluation would be unsound here — a concept view member like
+    /// `∃p⁻` matches an individual through a fact stored in the
+    /// *subject's* shard, breaking the subject-locality invariant the
+    /// UCQ router relies on — so shards contribute extents, not answers.
+    fn eval_ndl_traced(&self, prog: &NdlProgram, ctx: &TraceCtx) -> Answers {
+        let guard = span!(ctx, "eval");
+        guard.count("views", prog.views.len() as u64);
+        guard.count("skeletons", prog.queries.len() as u64);
+        guard.count("shards", self.shards.len() as u64);
+        let epoch = lock_or_recover(&self.rewrite_cache).epoch;
+        let mut extents: std::collections::HashMap<ViewPred, Arc<ViewExtent>> =
+            std::collections::HashMap::new();
+        for def in &prog.views {
+            let (ext, hit) = memoized_extent(&self.ndl_memo, epoch, def.pred(), || {
+                merge_extents(&self.scatter_extents(def))
+            });
+            guard.count(
+                if hit {
+                    "view_memo_hit"
+                } else {
+                    "view_memo_miss"
+                },
+                1,
+            );
+            extents.insert(def.pred(), ext);
+        }
+        eval_skeletons(&prog.queries, &extents)
+    }
+
     /// The traced answering core: rewrite once, route, scatter, gather.
     fn eval_cq_traced(&self, q: &ConjunctiveQuery, ctx: &TraceCtx) -> Answers {
         let started = Instant::now();
-        ctx.tag("rewriting", RewritingMode::PerfectRef.as_str());
+        let mode = self.effective_rewriting();
+        ctx.tag("rewriting", mode.as_str());
         ctx.tag("data", "ShardedAbox");
         let rw = rewrite_with_cache_traced(
             &self.rewrite_cache,
             self.cache_enabled,
-            RewritingMode::PerfectRef,
+            mode,
             &self.tbox,
             &self.classification,
             q,
@@ -479,9 +570,18 @@ impl ShardedAboxSystem {
         );
         let ucq = match &*rw {
             CachedRewriting::PerfectRef { ucq, .. } => ucq,
+            CachedRewriting::Ndl(prog) => {
+                let answers = self.eval_ndl_traced(prog, ctx);
+                let m = shard_metrics();
+                m.queries.add(1);
+                let (queries, latency) = query_metrics();
+                queries.add(1);
+                latency.record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                return answers;
+            }
             CachedRewriting::Presto(_) => {
-                // lint: allow(R1.panic, "this cache only ever receives PerfectRef entries (inserted above); the Presto arm is unreachable by construction")
-                unreachable!("ShardedAboxSystem caches only PerfectRef rewritings")
+                // lint: allow(R1.panic, "this cache only ever receives PerfectRef or Ndl entries (inserted above); the Presto arm is unreachable by construction")
+                unreachable!("ShardedAboxSystem never caches Presto rewritings")
             }
         };
         let n = self.shards.len();
@@ -572,7 +672,7 @@ impl QueryEngine for ShardedAboxSystem {
             rolled.misses = rolled.misses.saturating_add(shard.misses);
         }
         EngineStats {
-            rewriting: RewritingMode::PerfectRef.as_str(),
+            rewriting: self.effective_rewriting().as_str(),
             data: "ShardedAbox",
             eval_threads: 1,
             tbox_epoch: epoch,
@@ -605,6 +705,7 @@ impl QueryEngine for ShardedAboxSystem {
         for s in &self.shards {
             s.system.invalidate();
         }
+        lock_or_recover(&self.ndl_memo).clear();
         *lock_or_recover(&self.fallback) = None;
     }
 

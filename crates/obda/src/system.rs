@@ -63,11 +63,15 @@ use crate::answer::{evaluate_ucq_parallel_traced, AboxIndex, Answers};
 use crate::consistency::{check_consistency, Violation};
 use crate::engine::{run_with_engine_trace, EngineStats, QueryEngine, QueryLang};
 use crate::query::{parse_cq, ConjunctiveQuery, QueryParseError, Ucq};
+use crate::rewrite::ndl::{
+    answer_ndl_indexed_traced, answer_ndl_virtual_traced, ndl_compile, ndl_compile_traced,
+    NdlProgram, ViewMemo,
+};
 use crate::rewrite::perfectref::perfect_ref_traced;
 use crate::rewrite::presto::{
     evaluate_view_query, presto_rewrite, presto_rewrite_traced, PrestoRewriting,
 };
-use crate::rewrite::subsume::{prune_ucq_traced, pruning_disabled};
+use crate::rewrite::subsume::{prune_cap, prune_ucq_traced, pruning_disabled};
 use crate::rewrite::unfold::{answer_presto_virtual_traced, answer_ucq_virtual_traced};
 
 pub use crate::error::{ErrorPhase, ObdaError};
@@ -79,6 +83,9 @@ pub enum RewritingMode {
     PerfectRef,
     /// Classification-aware Presto-style view rewriting.
     Presto,
+    /// Nonrecursive-datalog target: Presto skeletons over shared,
+    /// memoized view extents (polynomial program size).
+    Ndl,
 }
 
 impl RewritingMode {
@@ -86,6 +93,7 @@ impl RewritingMode {
         match self {
             RewritingMode::PerfectRef => "PerfectRef",
             RewritingMode::Presto => "Presto",
+            RewritingMode::Ndl => "Ndl",
         }
     }
 }
@@ -120,6 +128,7 @@ const REWRITE_CACHE_CAP: usize = 1024;
 pub(crate) enum CachedRewriting {
     PerfectRef { ucq: Ucq, raw_len: usize },
     Presto(PrestoRewriting),
+    Ndl(NdlProgram),
 }
 
 /// Hit/miss counters for the rewrite cache. Counters saturate instead of
@@ -230,12 +239,26 @@ fn rewrite_perfectref_pruned_traced(
 ) -> (Ucq, usize) {
     let raw = perfect_ref_traced(q, tbox, ctx);
     let raw_len = raw.len();
-    let ucq = if pruning_disabled() || raw_len > crate::rewrite::subsume::PRUNE_DISJUNCT_CAP {
+    let ucq = if pruning_disabled() {
+        raw
+    } else if raw_len > prune_cap() {
+        // Over the disjunct cap: pruning would cost quadratically more
+        // than answering, so skip it — but record the fact instead of
+        // dropping it on the floor (`QUONTO_PRUNE_CAP` tunes the cap;
+        // `RewritingMode::Ndl` avoids the blowup altogether).
+        prune_capped_total().add(1);
+        ctx.count("prune_capped", 1);
         raw
     } else {
         prune_ucq_traced(&raw, ctx)
     };
     (ucq, raw_len)
+}
+
+/// Registry handle for the capped-prune counter, resolved once.
+fn prune_capped_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| registry().counter("rewrite_prune_capped"))
 }
 
 /// Untraced variant, kept for `explain` and external callers.
@@ -290,6 +313,7 @@ pub(crate) fn rewrite_with_cache_traced(
             RewritingMode::Presto => {
                 CachedRewriting::Presto(presto_rewrite_traced(q, classification, ctx))
             }
+            RewritingMode::Ndl => CachedRewriting::Ndl(ndl_compile_traced(q, classification, ctx)),
         });
     guard.count("cache_hit", u64::from(cache_hit));
     match &*rw {
@@ -300,6 +324,11 @@ pub(crate) fn rewrite_with_cache_traced(
         CachedRewriting::Presto(p) => {
             guard.count("ucq_raw", p.len() as u64);
             guard.count("ucq_pruned", p.len() as u64);
+        }
+        CachedRewriting::Ndl(p) => {
+            guard.count("ucq_raw", p.len() as u64);
+            guard.count("ucq_pruned", p.len() as u64);
+            guard.count("ndl_rules", p.num_rules as u64);
         }
     }
     rw
@@ -335,6 +364,9 @@ pub struct ObdaSystem {
     materialized: Mutex<Option<Arc<MaterializedAbox>>>,
     /// Rewrite cache for the current TBox epoch.
     rewrite_cache: Mutex<RewriteCache>,
+    /// Memoized NDL view extents for the current epoch (materialized
+    /// mode; also cleared when the ABox is invalidated).
+    ndl_memo: Mutex<ViewMemo>,
     /// Whether rewritings are cached at all (builder toggle).
     cache_enabled: bool,
     /// UCQ evaluation threads (0 = all cores).
@@ -354,6 +386,8 @@ impl Clone for ObdaSystem {
             data: self.data,
             materialized: Mutex::new(lock_or_recover(&self.materialized).clone()),
             rewrite_cache: Mutex::new(lock_or_recover(&self.rewrite_cache).clone()),
+            // The clone starts with a cold extent memo (it's a cache).
+            ndl_memo: Mutex::new(ViewMemo::default()),
             cache_enabled: self.cache_enabled,
             eval_threads: self.eval_threads,
             sink: Arc::clone(&self.sink),
@@ -380,6 +414,7 @@ impl ObdaSystem {
             data: DataMode::Virtual,
             materialized: Mutex::new(None),
             rewrite_cache: Mutex::new(RewriteCache::default()),
+            ndl_memo: Mutex::new(ViewMemo::default()),
             cache_enabled: true,
             eval_threads: default_eval_threads(),
             sink: obda_obs::sink::from_env(),
@@ -423,10 +458,11 @@ impl ObdaSystem {
         lock_or_recover(&self.rewrite_cache).invalidate();
     }
 
-    /// Drops the materialized ABox and its index. Call after the source
-    /// database or the mappings change.
+    /// Drops the materialized ABox, its index and the memoized NDL view
+    /// extents. Call after the source database or the mappings change.
     pub fn invalidate_abox(&mut self) {
         *lock_or_recover(&self.materialized) = None;
+        lock_or_recover(&self.ndl_memo).clear();
     }
 
     /// Rewrite-cache hit/miss counters.
@@ -540,6 +576,18 @@ impl ObdaSystem {
                 }
                 answers
             }
+            (CachedRewriting::Ndl(prog), DataMode::Virtual) => answer_ndl_virtual_traced(
+                prog,
+                &self.classification,
+                &self.mappings,
+                &self.db,
+                ctx,
+            )?,
+            (CachedRewriting::Ndl(prog), DataMode::Materialized) => {
+                let mat = self.ensure_materialized()?;
+                let epoch = self.tbox_epoch();
+                answer_ndl_indexed_traced(prog, &mat.abox, &mat.index, &self.ndl_memo, epoch, ctx)
+            }
         };
         let (queries, latency) = query_metrics();
         queries.add(1);
@@ -639,6 +687,29 @@ impl ObdaSystem {
                     }
                 }
             }
+            RewritingMode::Ndl => {
+                let prog = ndl_compile(&q, &self.classification);
+                let _ = writeln!(
+                    out,
+                    "rewriting: NDL, {} rule(s) ({} shared view(s), {} skeleton(s))",
+                    prog.num_rules,
+                    prog.views.len(),
+                    prog.queries.len()
+                );
+                for def in prog.views.iter().take(8) {
+                    let _ = writeln!(out, "  view with {} member rule(s)", def.num_members());
+                }
+                if prog.views.len() > 8 {
+                    let _ = writeln!(out, "  … {} more view(s)", prog.views.len() - 8);
+                }
+                if self.data == DataMode::Virtual {
+                    let _ = writeln!(
+                        out,
+                        "unfolding: 1 SQL statement ({} shared subplan(s))",
+                        prog.views.len()
+                    );
+                }
+            }
         }
         Ok(out)
     }
@@ -698,6 +769,7 @@ impl QueryEngine for ObdaSystem {
     fn invalidate(&self) {
         lock_or_recover(&self.rewrite_cache).invalidate();
         *lock_or_recover(&self.materialized) = None;
+        lock_or_recover(&self.ndl_memo).clear();
     }
 
     fn reset_stats(&self) {
@@ -720,7 +792,13 @@ pub struct AboxSystem {
     /// [`Self::refresh_index`] after mutating it.
     pub abox: Abox,
     index: AboxIndex,
+    /// Rewriting algorithm: PerfectRef (default) or NDL. Presto is
+    /// folded into PerfectRef here (no mappings to unfold through).
+    rewriting: RewritingMode,
     rewrite_cache: Mutex<RewriteCache>,
+    /// Memoized NDL view extents (whole-ABox extents unsharded; partial
+    /// shard-local extents when this system is one shard).
+    ndl_memo: Mutex<ViewMemo>,
     cache_enabled: bool,
     eval_threads: usize,
     sink: Arc<dyn TraceSink>,
@@ -733,7 +811,10 @@ impl Clone for AboxSystem {
             classification: self.classification.clone(),
             abox: self.abox.clone(),
             index: self.index.clone(),
+            rewriting: self.rewriting,
             rewrite_cache: Mutex::new(lock_or_recover(&self.rewrite_cache).clone()),
+            // The clone starts with a cold extent memo (it's a cache).
+            ndl_memo: Mutex::new(ViewMemo::default()),
             cache_enabled: self.cache_enabled,
             eval_threads: self.eval_threads,
             sink: Arc::clone(&self.sink),
@@ -758,11 +839,20 @@ impl AboxSystem {
             classification,
             abox,
             index,
+            rewriting: RewritingMode::PerfectRef,
             rewrite_cache: Mutex::new(RewriteCache::default()),
+            ndl_memo: Mutex::new(ViewMemo::default()),
             cache_enabled: true,
             eval_threads: default_eval_threads(),
             sink: obda_obs::sink::from_env(),
         }
+    }
+
+    /// Switches the rewriting mode. Presto has no distinct evaluation
+    /// path over a plain ABox and is answered via PerfectRef.
+    pub fn with_rewriting(mut self, mode: RewritingMode) -> Self {
+        self.rewriting = mode;
+        self
     }
 
     /// The persistent index over [`Self::abox`] (shard-side evaluation
@@ -794,9 +884,25 @@ impl AboxSystem {
         self.eval_threads
     }
 
-    /// Rebuilds the ABox index after `abox` was mutated.
+    /// Rebuilds the ABox index after `abox` was mutated, dropping the
+    /// memoized NDL view extents computed from the old facts.
     pub fn refresh_index(&mut self) {
         self.index = AboxIndex::build(&self.abox);
+        lock_or_recover(&self.ndl_memo).clear();
+    }
+
+    /// The memoized (or freshly built) extent of one NDL view over this
+    /// system's ABox — the sharded engine calls this per shard, so each
+    /// shard's partial extents are memoized shard-locally.
+    pub(crate) fn ndl_partial_extent(
+        &self,
+        def: &crate::rewrite::ndl::ViewDef,
+    ) -> Arc<crate::rewrite::ndl::ViewExtent> {
+        let epoch = lock_or_recover(&self.rewrite_cache).epoch;
+        crate::rewrite::ndl::memoized_extent(&self.ndl_memo, epoch, def.pred(), || {
+            crate::rewrite::ndl::build_extent(def, &self.abox, &self.index)
+        })
+        .0
     }
 
     /// Drops cached rewritings (call after mutating `tbox`).
@@ -834,28 +940,43 @@ impl AboxSystem {
 
     /// The traced answering core: rewrite (shared front door with
     /// [`ObdaSystem`]) then indexed parallel evaluation.
+    /// The rewriting mode actually answered with: NDL stays NDL, Presto
+    /// folds into PerfectRef (no mappings to unfold through).
+    pub(crate) fn effective_rewriting(&self) -> RewritingMode {
+        match self.rewriting {
+            RewritingMode::Ndl => RewritingMode::Ndl,
+            _ => RewritingMode::PerfectRef,
+        }
+    }
+
     fn eval_cq_traced(&self, q: &ConjunctiveQuery, ctx: &TraceCtx) -> Answers {
         let started = Instant::now();
-        ctx.tag("rewriting", RewritingMode::PerfectRef.as_str());
+        let mode = self.effective_rewriting();
+        ctx.tag("rewriting", mode.as_str());
         ctx.tag("data", "Abox");
         let rw = rewrite_with_cache_traced(
             &self.rewrite_cache,
             self.cache_enabled,
-            RewritingMode::PerfectRef,
+            mode,
             &self.tbox,
             &self.classification,
             q,
             ctx,
         );
-        let ucq = match &*rw {
-            CachedRewriting::PerfectRef { ucq, .. } => ucq,
+        let answers = match &*rw {
+            CachedRewriting::PerfectRef { ucq, .. } => {
+                let threads = resolve_threads(self.eval_threads);
+                evaluate_ucq_parallel_traced(ucq, &self.abox, &self.index, threads, ctx)
+            }
+            CachedRewriting::Ndl(prog) => {
+                let epoch = lock_or_recover(&self.rewrite_cache).epoch;
+                answer_ndl_indexed_traced(prog, &self.abox, &self.index, &self.ndl_memo, epoch, ctx)
+            }
             CachedRewriting::Presto(_) => {
-                // lint: allow(R1.panic, "this cache only ever receives PerfectRef entries (inserted above); the Presto arm is unreachable by construction")
-                unreachable!("AboxSystem caches only PerfectRef rewritings")
+                // lint: allow(R1.panic, "this cache only ever receives PerfectRef or Ndl entries (inserted above); the Presto arm is unreachable by construction")
+                unreachable!("AboxSystem never caches Presto rewritings")
             }
         };
-        let threads = resolve_threads(self.eval_threads);
-        let answers = evaluate_ucq_parallel_traced(ucq, &self.abox, &self.index, threads, ctx);
         let (queries, latency) = query_metrics();
         queries.add(1);
         latency.record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
@@ -882,7 +1003,7 @@ impl QueryEngine for AboxSystem {
         // literal would self-deadlock.
         let cache = lock_or_recover(&self.rewrite_cache);
         EngineStats {
-            rewriting: RewritingMode::PerfectRef.as_str(),
+            rewriting: self.effective_rewriting().as_str(),
             data: "Abox",
             eval_threads: self.eval_threads,
             tbox_epoch: cache.epoch,
@@ -893,6 +1014,7 @@ impl QueryEngine for AboxSystem {
 
     fn invalidate(&self) {
         lock_or_recover(&self.rewrite_cache).invalidate();
+        lock_or_recover(&self.ndl_memo).clear();
     }
 
     fn reset_stats(&self) {

@@ -44,7 +44,9 @@ pub struct EndpointConfig {
     pub scale: usize,
     /// Scenario RNG seed.
     pub seed: u64,
-    /// Rewriting mode (`University` kind only).
+    /// Rewriting mode (`perfectref`, `presto`, or `ndl`). On
+    /// `university-abox` endpoints `presto` folds into PerfectRef;
+    /// `ndl` selects the shared-view NDL evaluator on both kinds.
     pub rewriting: RewritingMode,
     /// Data-access mode (`University` kind only).
     pub data: DataMode,
@@ -275,6 +277,7 @@ fn endpoint_from_json(v: &Json) -> Result<EndpointConfig, String> {
         None => {}
         Some("perfectref") => ep.rewriting = RewritingMode::PerfectRef,
         Some("presto") => ep.rewriting = RewritingMode::Presto,
+        Some("ndl") => ep.rewriting = RewritingMode::Ndl,
         Some(other) => return Err(bad(format!("unknown rewriting `{other}`"))),
     }
     match v.get("data").and_then(Json::as_str) {

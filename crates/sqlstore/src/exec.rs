@@ -59,6 +59,9 @@ pub struct ExecStats {
     /// Base-table rows the scans considered (post index lookup, before
     /// pushed filters) — the "work done" metric the trace reports.
     pub rows_scanned: u64,
+    /// `SharedScan` reuses: evaluations served from the statement-scoped
+    /// intermediate cache instead of re-running the subplan.
+    pub shared_scan_hits: u64,
 }
 
 /// Executes a planned query.
@@ -72,9 +75,12 @@ pub fn execute_counted(
     pq: &PlannedQuery,
     stats: &mut ExecStats,
 ) -> Result<ResultSet, SqlError> {
+    // Statement-scoped cache of SharedScan intermediates: one
+    // materialization per id per execution, WITH-clause style.
+    let mut shared: HashMap<usize, Vec<Row>> = HashMap::new();
     Ok(ResultSet {
         columns: pq.columns.clone(),
-        rows: run(db, &pq.plan, stats)?,
+        rows: run(db, &pq.plan, stats, &mut shared)?,
     })
 }
 
@@ -102,7 +108,12 @@ pub fn execute_traced(
     res
 }
 
-fn run(db: &Database, plan: &Plan, stats: &mut ExecStats) -> Result<Vec<Row>, SqlError> {
+fn run(
+    db: &Database,
+    plan: &Plan,
+    stats: &mut ExecStats,
+    shared: &mut HashMap<usize, Vec<Row>>,
+) -> Result<Vec<Row>, SqlError> {
     match plan {
         Plan::Scan {
             table,
@@ -132,8 +143,8 @@ fn run(db: &Database, plan: &Plan, stats: &mut ExecStats) -> Result<Vec<Row>, Sq
             right_keys,
             residual,
         } => {
-            let left_rows = run(db, left, stats)?;
-            let right_rows = run(db, right, stats)?;
+            let left_rows = run(db, left, stats, shared)?;
+            let right_rows = run(db, right, stats, shared)?;
             let mut out = Vec::new();
             if left_keys.is_empty() {
                 // Cross join (rare; only from joins without equi-keys).
@@ -182,19 +193,19 @@ fn run(db: &Database, plan: &Plan, stats: &mut ExecStats) -> Result<Vec<Row>, Sq
             Ok(out)
         }
         Plan::Filter { input, predicates } => {
-            let mut rows = run(db, input, stats)?;
+            let mut rows = run(db, input, stats, shared)?;
             rows.retain(|r| predicates.iter().all(|p| p.eval(r)));
             Ok(rows)
         }
         Plan::Project { input, cols } => {
-            let rows = run(db, input, stats)?;
+            let rows = run(db, input, stats, shared)?;
             Ok(rows
                 .into_iter()
                 .map(|r| cols.iter().map(|&i| r[i].clone()).collect())
                 .collect())
         }
         Plan::Distinct { input } => {
-            let rows = run(db, input, stats)?;
+            let rows = run(db, input, stats, shared)?;
             let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
             Ok(rows
                 .into_iter()
@@ -204,7 +215,7 @@ fn run(db: &Database, plan: &Plan, stats: &mut ExecStats) -> Result<Vec<Row>, Sq
         Plan::Union { inputs, all } => {
             let mut out = Vec::new();
             for p in inputs {
-                out.extend(run(db, p, stats)?);
+                out.extend(run(db, p, stats, shared)?);
             }
             if !all {
                 let mut seen: HashSet<Row> = HashSet::with_capacity(out.len());
@@ -213,7 +224,7 @@ fn run(db: &Database, plan: &Plan, stats: &mut ExecStats) -> Result<Vec<Row>, Sq
             Ok(out)
         }
         Plan::Sort { input, keys } => {
-            let mut rows = run(db, input, stats)?;
+            let mut rows = run(db, input, stats, shared)?;
             rows.sort_by(|a, b| {
                 for &(pos, asc) in keys {
                     let ord = a[pos].cmp(&b[pos]);
@@ -227,9 +238,25 @@ fn run(db: &Database, plan: &Plan, stats: &mut ExecStats) -> Result<Vec<Row>, Sq
             Ok(rows)
         }
         Plan::Limit { input, n } => {
-            let mut rows = run(db, input, stats)?;
+            let mut rows = run(db, input, stats, shared)?;
             rows.truncate(*n);
             Ok(rows)
+        }
+        Plan::SharedScan { id, input } => {
+            if let Some(rows) = shared.get(id) {
+                stats.shared_scan_hits += 1;
+                return Ok(rows.clone());
+            }
+            let rows = run(db, input, stats, shared)?;
+            shared.insert(*id, rows.clone());
+            Ok(rows)
+        }
+        Plan::Compute { input, exprs } => {
+            let rows = run(db, input, stats, shared)?;
+            Ok(rows
+                .into_iter()
+                .map(|r| exprs.iter().map(|e| e.eval(&r)).collect())
+                .collect())
         }
     }
 }

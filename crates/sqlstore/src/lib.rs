@@ -40,8 +40,8 @@ pub mod value;
 pub use catalog::Database;
 pub use csv::load_csv;
 pub use error::SqlError;
-pub use exec::ResultSet;
-pub use plan::{plan_query, Plan, PlannedQuery};
+pub use exec::{execute, execute_counted, execute_traced, ExecStats, ResultSet};
+pub use plan::{plan_query, ComputeExpr, Plan, PlannedQuery};
 pub use sql::ast::{SelectQuery, Statement};
 pub use sql::parser::{parse_query, parse_statement};
 pub use sql::printer::{select_core as print_select_core, select_query as print_select_query};

@@ -62,6 +62,37 @@ impl CompiledCmp {
     }
 }
 
+/// A per-row computed output (see [`Plan::Compute`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComputeExpr {
+    /// Pass an input column through.
+    Col(usize),
+    /// A constant.
+    Lit(SqlValue),
+    /// `prefix ‖ input[col]` rendered as `Text` (IRI-template
+    /// concatenation); a NULL input stays NULL.
+    Concat {
+        /// Literal prefix.
+        prefix: String,
+        /// Input column position.
+        col: usize,
+    },
+}
+
+impl ComputeExpr {
+    /// Evaluates against an input row.
+    pub fn eval(&self, row: &[SqlValue]) -> SqlValue {
+        match self {
+            ComputeExpr::Col(i) => row[*i].clone(),
+            ComputeExpr::Lit(v) => v.clone(),
+            ComputeExpr::Concat { prefix, col } => match &row[*col] {
+                SqlValue::Null => SqlValue::Null,
+                v => SqlValue::Text(format!("{prefix}{v}")),
+            },
+        }
+    }
+}
+
 /// A plan node. Every node produces rows with a fixed arity; output
 /// column names live only at the root (in [`PlannedQuery`]).
 #[derive(Debug, Clone)]
@@ -130,6 +161,24 @@ pub enum Plan {
         input: Box<Plan>,
         /// Maximum number of rows.
         n: usize,
+    },
+    /// CTE-like shared subplan (`WITH v AS (…)`): every `SharedScan`
+    /// carrying the same `id` within one statement execution evaluates
+    /// its input once and reuses the materialized rows. Callers must
+    /// give distinct ids to distinct subplans — the id, not the input
+    /// tree, is the cache key.
+    SharedScan {
+        /// Statement-scoped intermediate id.
+        id: usize,
+        /// The shared subplan.
+        input: Box<Plan>,
+    },
+    /// Computed projection: one output value per expression.
+    Compute {
+        /// Input.
+        input: Box<Plan>,
+        /// Output expressions, in output order.
+        exprs: Vec<ComputeExpr>,
     },
 }
 

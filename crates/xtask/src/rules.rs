@@ -1206,6 +1206,25 @@ mod tests {
     }
 
     #[test]
+    fn r4_accepts_the_prune_cap_knob() {
+        // QUONTO_PRUNE_CAP is registered (the prune-cap accessor reads
+        // it through the registry), so neither code mentions nor doc
+        // mentions may fire R4.
+        assert!(quonto::env::is_registered("QUONTO_PRUNE_CAP"));
+        let code =
+            "pub fn f() -> usize { quonto::env::prune_cap().unwrap_or(512) } // QUONTO_PRUNE_CAP\n";
+        assert!(lint_src("crates/obda/src/rewrite/subsume.rs", code).is_empty());
+        let mut f = Vec::new();
+        r4_docs(
+            "DESIGN.md",
+            "gated at `QUONTO_PRUNE_CAP` (default 512)",
+            &registered,
+            &mut f,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
     fn r5_ignore_and_print() {
         let src = "#[ignore]\nfn slow() {}\n#[ignore = \"needs 30s\"]\nfn slower() {}\n";
         assert_eq!(
