@@ -1,0 +1,318 @@
+//! **A10**: incremental delta apply vs. full rebuild on the university
+//! preset.
+//!
+//! Replays the same reproducible `genont::churn` stream through two
+//! engines in NDL mode:
+//!
+//! * *incremental* — `apply_delta` batches: in-place index patching plus
+//!   targeted view-memo maintenance (the PR-8 write path);
+//! * *rebuild* — `mutate_abox` per batch: the pre-write-path baseline
+//!   that re-indexes the whole ABox and drops every memoized extent.
+//!
+//! For each batch size the report measures the mean cost of ingesting
+//! one batch (`apply`) and of the first query after it (`read` — cold
+//! extents after a rebuild, patched extents after a delta), plus two
+//! ratios: `apply speedup` (the maintenance operation itself — the
+//! headline number) and `e2e speedup` (apply + first read; diluted by
+//! the answer-materialization floor both strategies pay identically).
+//! Small batches are where the write path must win by an order of
+//! magnitude: rebuild cost is O(|ABox|) regardless of batch size,
+//! incremental cost is O(|batch|) plus the touched views.
+//!
+//! ```text
+//! delta_report [--scale N] [--seed N] [--json FILE]
+//! ```
+//!
+//! `--json FILE` appends one record per batch size to a JSON array at
+//! FILE — the format the EXPERIMENTS A10 table is generated from
+//! (`BENCH_A10.json`). `QUONTO_WRITE_FALLBACK=1` is the ablation lever:
+//! it forces every batch to invalidate every memoized extent, isolating
+//! how much of the read-side win comes from targeted maintenance.
+
+use std::time::Instant;
+
+use mastro::{parse_cq, AboxDelta, AboxSystem, DeltaStatement, QueryEngine, RewritingMode};
+use obda_dllite::{Abox, Assertion, Tbox, Value};
+use obda_genont::{churn_stream, university_scenario, ChurnFact, ChurnOp};
+use obda_server::Json;
+
+const BATCH_SIZES: &[usize] = &[1, 8, 64, 512];
+
+fn to_statement(f: &ChurnFact) -> DeltaStatement {
+    match f {
+        ChurnFact::Concept {
+            concept,
+            individual,
+        } => DeltaStatement::unary(concept, individual),
+        ChurnFact::Role {
+            role,
+            subject,
+            object,
+        } => DeltaStatement::binary(role, subject, object),
+        ChurnFact::Attr {
+            attr,
+            individual,
+            text,
+        } => DeltaStatement::binary_value(attr, individual, Value::Text(text.clone())),
+    }
+}
+
+/// Applies one batch directly to an ABox (the rebuild engine's path):
+/// deletes first, then inserts — the delta batch semantics.
+fn apply_to_abox(tbox: &Tbox, abox: &mut Abox, batch: &[ChurnOp]) {
+    for op in batch {
+        if let ChurnOp::Delete(f) = op {
+            let assertion = match f {
+                ChurnFact::Concept {
+                    concept,
+                    individual,
+                } => tbox
+                    .sig
+                    .find_concept(concept)
+                    .and_then(|c| Some(Assertion::Concept(c, abox.find_individual(individual)?))),
+                ChurnFact::Role {
+                    role,
+                    subject,
+                    object,
+                } => tbox.sig.find_role(role).and_then(|p| {
+                    Some(Assertion::Role(
+                        p,
+                        abox.find_individual(subject)?,
+                        abox.find_individual(object)?,
+                    ))
+                }),
+                ChurnFact::Attr {
+                    attr,
+                    individual,
+                    text,
+                } => tbox.sig.find_attribute(attr).and_then(|u| {
+                    Some(Assertion::Attribute(
+                        u,
+                        abox.find_individual(individual)?,
+                        Value::Text(text.clone()),
+                    ))
+                }),
+            };
+            if let Some(a) = assertion {
+                abox.remove(&a);
+            }
+        }
+    }
+    for op in batch {
+        if let ChurnOp::Insert(f) = op {
+            match f {
+                ChurnFact::Concept {
+                    concept,
+                    individual,
+                } => {
+                    let c = tbox.sig.find_concept(concept).expect(concept);
+                    abox.assert_concept(c, individual);
+                }
+                ChurnFact::Role {
+                    role,
+                    subject,
+                    object,
+                } => {
+                    let p = tbox.sig.find_role(role).expect(role);
+                    abox.assert_role(p, subject, object);
+                }
+                ChurnFact::Attr {
+                    attr,
+                    individual,
+                    text,
+                } => {
+                    let u = tbox.sig.find_attribute(attr).expect(attr);
+                    abox.assert_attribute(u, individual, Value::Text(text.clone()));
+                }
+            }
+        }
+    }
+}
+
+struct Row {
+    batch: usize,
+    batches: usize,
+    rows_changed: usize,
+    inc_apply_us: u64,
+    inc_read_us: u64,
+    reb_apply_us: u64,
+    reb_read_us: u64,
+}
+
+impl Row {
+    /// Ingest speedup: the cost of the maintenance operation itself.
+    fn apply_speedup(&self) -> f64 {
+        self.reb_apply_us as f64 / self.inc_apply_us.max(1) as f64
+    }
+
+    /// End-to-end speedup (apply + first query). Both strategies pay
+    /// the same answer-materialization floor on the read, so this is
+    /// a lower bound diluted by query-evaluation cost.
+    fn e2e_speedup(&self) -> f64 {
+        let inc = (self.inc_apply_us + self.inc_read_us).max(1);
+        (self.reb_apply_us + self.reb_read_us) as f64 / inc as f64
+    }
+}
+
+fn main() {
+    let arg = |name: &str| std::env::args().skip_while(|a| a != name).nth(1);
+    let scale: usize = arg("--scale").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let json_path = arg("--json");
+
+    let scenario = university_scenario(scale, seed);
+    let base = mastro::demo::build_system(&scenario)
+        .expect("build university system")
+        .materialized_abox()
+        .expect("materialize")
+        .abox
+        .clone();
+    let tbox = scenario.tbox.clone();
+    let probe = parse_cq("q(x) :- Student(x)", &tbox.sig).expect("probe query");
+
+    println!(
+        "A10 — incremental delta apply vs full rebuild (university scale {scale}, {} base facts, write_fallback={})\n",
+        base.len(),
+        quonto::env::write_fallback(),
+    );
+
+    let mut report: Vec<Row> = Vec::new();
+    for &batch in BATCH_SIZES {
+        // Fixed op budget per batch size, clamped so tiny batches still
+        // average over many samples and huge ones still run a few.
+        let batches = (512 / batch).clamp(4, 64);
+        let stream = churn_stream(scale, seed ^ (batch as u64) << 16, batches * batch);
+
+        let incremental =
+            AboxSystem::new(tbox.clone(), base.clone()).with_rewriting(RewritingMode::Ndl);
+        let rebuild =
+            AboxSystem::new(tbox.clone(), base.clone()).with_rewriting(RewritingMode::Ndl);
+        // Warm both memos: steady-state serving, not first-query cost.
+        let a = incremental.answer_cq(&probe);
+        assert_eq!(a, rebuild.answer_cq(&probe));
+
+        let (mut inc_apply, mut inc_read) = (0u64, 0u64);
+        let (mut reb_apply, mut reb_read) = (0u64, 0u64);
+        let mut rows_changed = 0usize;
+        for chunk in stream.chunks(batch) {
+            let mut delta = AboxDelta::new();
+            for op in chunk {
+                delta = match op {
+                    ChurnOp::Insert(f) => delta.insert(to_statement(f)),
+                    ChurnOp::Delete(f) => delta.delete(to_statement(f)),
+                };
+            }
+
+            let t = Instant::now();
+            let summary = incremental.apply_delta(&delta).expect("incremental apply");
+            inc_apply += t.elapsed().as_micros() as u64;
+            rows_changed += summary.inserted + summary.deleted;
+            let t = Instant::now();
+            let inc_answers = incremental.answer_cq(&probe);
+            inc_read += t.elapsed().as_micros() as u64;
+
+            let t = Instant::now();
+            rebuild.mutate_abox(|abox| apply_to_abox(&tbox, abox, chunk));
+            reb_apply += t.elapsed().as_micros() as u64;
+            let t = Instant::now();
+            let reb_answers = rebuild.answer_cq(&probe);
+            reb_read += t.elapsed().as_micros() as u64;
+
+            assert_eq!(inc_answers, reb_answers, "strategies diverged");
+        }
+
+        let n = batches as u64;
+        report.push(Row {
+            batch,
+            batches,
+            rows_changed,
+            inc_apply_us: inc_apply / n,
+            inc_read_us: inc_read / n,
+            reb_apply_us: reb_apply / n,
+            reb_read_us: reb_read / n,
+        });
+    }
+
+    let mut table = vec![vec![
+        "batch".to_owned(),
+        "batches".into(),
+        "rows".into(),
+        "inc apply".into(),
+        "inc read".into(),
+        "rebuild apply".into(),
+        "rebuild read".into(),
+        "apply speedup".into(),
+        "e2e speedup".into(),
+    ]];
+    for r in &report {
+        table.push(vec![
+            r.batch.to_string(),
+            r.batches.to_string(),
+            r.rows_changed.to_string(),
+            format!("{}us", r.inc_apply_us),
+            format!("{}us", r.inc_read_us),
+            format!("{}us", r.reb_apply_us),
+            format!("{}us", r.reb_read_us),
+            format!("{:.1}x", r.apply_speedup()),
+            format!("{:.1}x", r.e2e_speedup()),
+        ]);
+    }
+    println!("{}", obda_bench::render(&table));
+    println!(
+        "shape: rebuild pays O(|ABox|) re-indexing plus cold view extents on every batch; the \
+         incremental path pays O(|batch|) index patches plus only the touched views, so its \
+         advantage is largest on small batches and narrows as a batch approaches the ABox size."
+    );
+
+    if let Some(path) = json_path {
+        let records: Vec<Json> = report
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("table", "A10".into()),
+                    ("scale", (scale as u64).into()),
+                    ("batch", (r.batch as u64).into()),
+                    ("batches", (r.batches as u64).into()),
+                    ("rows_changed", (r.rows_changed as u64).into()),
+                    ("inc_apply_us", r.inc_apply_us.into()),
+                    ("inc_read_us", r.inc_read_us.into()),
+                    ("rebuild_apply_us", r.reb_apply_us.into()),
+                    ("rebuild_read_us", r.reb_read_us.into()),
+                    ("apply_speedup", Json::Num(r.apply_speedup())),
+                    ("e2e_speedup", Json::Num(r.e2e_speedup())),
+                    ("write_fallback", Json::Bool(quonto::env::write_fallback())),
+                ])
+            })
+            .collect();
+        if let Err(e) = append_json_records(&path, records) {
+            eprintln!("delta_report: writing --json {path} failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("delta_report: appended {} records to {path}", report.len());
+    }
+}
+
+/// Appends `records` to the JSON array at `path` (created when absent).
+fn append_json_records(path: &str, records: Vec<Json>) -> Result<(), String> {
+    let mut runs = match std::fs::read_to_string(path) {
+        Ok(src) => match Json::parse(src.trim()) {
+            Ok(Json::Arr(items)) => items,
+            Ok(other) => return Err(format!("{path} holds {other}, not a JSON array")),
+            Err(e) => return Err(format!("{path} is not valid JSON: {e}")),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.to_string()),
+    };
+    runs.extend(records);
+    let mut out = String::from("[\n");
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&run.to_string());
+        if i + 1 < runs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out).map_err(|e| e.to_string())
+}

@@ -13,9 +13,19 @@
 //! loadgen [--addr HOST:PORT] [--workers N] [--queue N] [--scale N] [--seed N]
 //!         [--kind university|university-abox] [--shards N] [--exact-workers]
 //!         [--connections N] [--requests N]
-//!         [--mix cq|sparql|both] [--warm] [--timeout-ms N] [--label S] [--markdown]
+//!         [--mix cq|sparql|both] [--write-frac F] [--batch N]
+//!         [--warm] [--timeout-ms N] [--label S] [--markdown]
 //!         [--json FILE] [--trace-slowest K]
 //! ```
+//!
+//! `--write-frac F` turns the run into mixed read/write traffic: the
+//! fraction `F` (0.0–1.0) of each connection's requests become INSERT/
+//! DELETE batches of `--batch` statements drawn from the reproducible
+//! `genont::churn` stream (seeded per connection, so reruns offer the
+//! exact same writes). Read and write latencies are tallied separately —
+//! the read-qps column under a write load is the A10 degradation
+//! measurement. Writes need a materialized engine; keep the default
+//! `--kind university-abox`.
 //!
 //! `--json FILE` appends one machine-readable run record (qps,
 //! percentiles, counters) to a JSON array at FILE — the format the
@@ -31,7 +41,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Instant;
 
 use mastro::RewritingMode;
-use obda_genont::university_scenario;
+use obda_genont::{churn_stream, university_scenario, ChurnFact, ChurnOp};
 use obda_server::{EndpointConfig, EndpointKind, Json, Server, ServerConfig};
 
 const ENDPOINT: &str = "uni";
@@ -48,6 +58,10 @@ struct Opts {
     connections: usize,
     requests: usize,
     mix: Mix,
+    /// Fraction of requests that are write batches (0.0 = read-only).
+    write_frac: f64,
+    /// Statements per write batch.
+    batch: usize,
     warm: bool,
     timeout_ms: u64,
     /// Injected per-request delay on the spawned endpoint — models an
@@ -86,6 +100,8 @@ impl Default for Opts {
             connections: 8,
             requests: 50,
             mix: Mix::Both,
+            write_frac: 0.0,
+            batch: 4,
             warm: false,
             timeout_ms: 30_000,
             delay_ms: 0,
@@ -105,7 +121,8 @@ fn usage() -> ! {
          \x20              [--kind university|university-abox] [--shards N] [--exact-workers]\n\
          \x20              [--rewriting perfectref|presto|ndl]\n\
          \x20              [--connections N] [--requests N]\n\
-         \x20              [--mix cq|sparql|both] [--warm] [--timeout-ms N] [--delay-ms N]\n\
+         \x20              [--mix cq|sparql|both] [--write-frac F] [--batch N]\n\
+         \x20              [--warm] [--timeout-ms N] [--delay-ms N]\n\
          \x20              [--label S] [--markdown] [--json FILE] [--trace-slowest K]"
     );
     std::process::exit(2)
@@ -154,6 +171,14 @@ fn parse_opts() -> Opts {
                     _ => usage(),
                 }
             }
+            "--write-frac" => {
+                opts.write_frac = val("--write-frac").parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&opts.write_frac) {
+                    eprintln!("--write-frac must be in 0.0..=1.0");
+                    usage()
+                }
+            }
+            "--batch" => opts.batch = val("--batch").parse().unwrap_or_else(|_| usage()),
             "--warm" => opts.warm = true,
             "--timeout-ms" => {
                 opts.timeout_ms = val("--timeout-ms").parse().unwrap_or_else(|_| usage())
@@ -174,10 +199,58 @@ fn parse_opts() -> Opts {
             }
         }
     }
-    if opts.connections == 0 || opts.requests == 0 {
+    if opts.connections == 0 || opts.requests == 0 || opts.batch == 0 {
         usage()
     }
     opts
+}
+
+/// Renders one churn fact as its wire-statement JSON array.
+fn statement_json(f: &ChurnFact) -> Json {
+    match f {
+        ChurnFact::Concept {
+            concept,
+            individual,
+        } => Json::Arr(vec![concept.as_str().into(), individual.as_str().into()]),
+        ChurnFact::Role {
+            role,
+            subject,
+            object,
+        } => Json::Arr(vec![
+            role.as_str().into(),
+            subject.as_str().into(),
+            object.as_str().into(),
+        ]),
+        ChurnFact::Attr {
+            attr,
+            individual,
+            text,
+        } => Json::Arr(vec![
+            attr.as_str().into(),
+            individual.as_str().into(),
+            text.as_str().into(),
+        ]),
+    }
+}
+
+/// Builds the write-request line for one slice of the churn stream.
+fn write_request_json(ops: &[ChurnOp], timeout_ms: u64) -> String {
+    let (mut inserts, mut deletes) = (Vec::new(), Vec::new());
+    for op in ops {
+        match op {
+            ChurnOp::Insert(f) => inserts.push(statement_json(f)),
+            ChurnOp::Delete(f) => deletes.push(statement_json(f)),
+        }
+    }
+    let mut fields = vec![("endpoint", Json::Str(ENDPOINT.into()))];
+    if !inserts.is_empty() {
+        fields.push(("insert", Json::Arr(inserts)));
+    }
+    if !deletes.is_empty() {
+        fields.push(("delete", Json::Arr(deletes)));
+    }
+    fields.push(("timeout_ms", timeout_ms.into()));
+    Json::obj(fields).to_string()
 }
 
 /// The request mix: `(lang, query text)` pairs.
@@ -235,30 +308,61 @@ impl Conn {
 #[derive(Default)]
 struct ClientTally {
     latencies_us: Vec<u64>,
+    write_latencies_us: Vec<u64>,
     ok: u64,
     errors: u64,
     timeouts: u64,
     overloaded: u64,
+    write_rows: u64,
 }
 
-fn run_client(
-    addr: SocketAddr,
-    mix: &[(&'static str, String)],
+struct ClientPlan<'a> {
+    mix: &'a [(&'static str, String)],
     requests: usize,
     offset: usize,
     timeout_ms: u64,
-) -> ClientTally {
+    write_frac: f64,
+    batch: usize,
+    /// This connection's private churn stream (empty when read-only).
+    churn: Vec<ChurnOp>,
+}
+
+fn run_client(addr: SocketAddr, plan: &ClientPlan) -> ClientTally {
     let mut tally = ClientTally::default();
     let mut conn = Conn::open(addr).expect("loadgen client connect");
-    for i in 0..requests {
-        let (lang, text) = &mix[(offset + i) % mix.len()];
+    // Fractional accumulator spreads writes evenly through the request
+    // sequence — deterministic, no RNG in the hot loop.
+    let mut write_credit = 0.0;
+    let mut churn_cursor = 0;
+    for i in 0..plan.requests {
+        write_credit += plan.write_frac;
+        let write = write_credit >= 1.0 && churn_cursor + plan.batch <= plan.churn.len();
         let t = Instant::now();
-        let resp = conn
-            .query(lang, text, timeout_ms)
-            .expect("loadgen roundtrip");
-        tally.latencies_us.push(t.elapsed().as_micros() as u64);
+        let resp = if write {
+            write_credit -= 1.0;
+            let ops = &plan.churn[churn_cursor..churn_cursor + plan.batch];
+            churn_cursor += plan.batch;
+            conn.roundtrip(&write_request_json(ops, plan.timeout_ms))
+                .expect("loadgen write roundtrip")
+        } else {
+            let (lang, text) = &plan.mix[(plan.offset + i) % plan.mix.len()];
+            conn.query(lang, text, plan.timeout_ms)
+                .expect("loadgen roundtrip")
+        };
+        let us = t.elapsed().as_micros() as u64;
+        if write {
+            tally.write_latencies_us.push(us);
+        } else {
+            tally.latencies_us.push(us);
+        }
         match resp.get("status").and_then(Json::as_str) {
-            Some("ok") => tally.ok += 1,
+            Some("ok") => {
+                tally.ok += 1;
+                if write {
+                    tally.write_rows += resp.get("inserted").and_then(Json::as_u64).unwrap_or(0)
+                        + resp.get("deleted").and_then(Json::as_u64).unwrap_or(0);
+                }
+            }
             Some("timeout") => tally.timeouts += 1,
             Some("overloaded") => tally.overloaded += 1,
             _ => tally.errors += 1,
@@ -406,13 +510,35 @@ fn main() {
         }
     }
 
+    // Per-connection churn streams: disjoint seeds so two connections
+    // never race to insert/delete the same churn fact, reruns replay
+    // the exact same writes.
+    let plans: Vec<ClientPlan> = (0..opts.connections)
+        .map(|tid| {
+            let churn = if opts.write_frac > 0.0 {
+                let len = (opts.requests as f64 * opts.write_frac).ceil() as usize * opts.batch
+                    + opts.batch;
+                churn_stream(opts.scale, opts.seed ^ ((tid as u64 + 1) << 32), len)
+            } else {
+                Vec::new()
+            };
+            ClientPlan {
+                mix: &mix,
+                requests: opts.requests,
+                offset: tid,
+                timeout_ms: opts.timeout_ms,
+                write_frac: opts.write_frac,
+                batch: opts.batch,
+                churn,
+            }
+        })
+        .collect();
+
     let started = Instant::now();
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..opts.connections)
-            .map(|tid| {
-                let mix = &mix;
-                scope.spawn(move || run_client(addr, mix, opts.requests, tid, opts.timeout_ms))
-            })
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| scope.spawn(move || run_client(addr, plan)))
             .collect();
         handles
             .into_iter()
@@ -422,16 +548,23 @@ fn main() {
     let wall = started.elapsed();
 
     let mut latencies: Vec<u64> = Vec::new();
+    let mut write_latencies: Vec<u64> = Vec::new();
     let (mut ok, mut errors, mut timeouts, mut overloaded) = (0u64, 0u64, 0u64, 0u64);
+    let mut write_rows = 0u64;
     for t in tallies {
         latencies.extend(t.latencies_us);
+        write_latencies.extend(t.write_latencies_us);
         ok += t.ok;
         errors += t.errors;
         timeouts += t.timeouts;
         overloaded += t.overloaded;
+        write_rows += t.write_rows;
     }
     latencies.sort_unstable();
+    write_latencies.sort_unstable();
     let total = latencies.len() as u64;
+    let writes = write_latencies.len() as u64;
+    // Read qps — under mixed traffic this is the degradation number.
     let qps = total as f64 / wall.as_secs_f64().max(1e-9);
     let mean_us = latencies.iter().sum::<u64>() as f64 / total.max(1) as f64;
 
@@ -495,6 +628,16 @@ fn main() {
         pct(&latencies, 99.0),
         latencies.last().copied().unwrap_or(0),
     );
+    if writes > 0 {
+        let wqps = writes as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "  writes={writes} write_qps={wqps:.1} batch={} rows_changed={write_rows} write_us p50={} p95={} p99={}",
+            opts.batch,
+            pct(&write_latencies, 50.0),
+            pct(&write_latencies, 95.0),
+            pct(&write_latencies, 99.0),
+        );
+    }
     println!("  server cache_hit_rate={hit_rate:.3} queue_high_water={high_water}");
     if opts.trace_slowest > 0 {
         print_slowest_traces(addr, opts.trace_slowest);
@@ -534,6 +677,13 @@ fn main() {
             ("overloaded", overloaded.into()),
             ("cache_hit_rate", Json::Num(hit_rate)),
             ("queue_high_water", high_water.into()),
+            ("write_frac", Json::Num(opts.write_frac)),
+            ("batch", opts.batch.into()),
+            ("writes", writes.into()),
+            ("write_rows", write_rows.into()),
+            ("write_p50_us", pct(&write_latencies, 50.0).into()),
+            ("write_p95_us", pct(&write_latencies, 95.0).into()),
+            ("write_p99_us", pct(&write_latencies, 99.0).into()),
         ]);
         if let Err(e) = append_json_record(path, record) {
             eprintln!("loadgen: writing --json {path} failed: {e}");

@@ -127,6 +127,14 @@ pub const KNOBS: &[Knob] = &[
         doc: "Capacity of the in-process ring of completed query traces served by the server \
               `TRACE` verb (`0` disables trace capture).",
     },
+    Knob {
+        name: "QUONTO_WRITE_FALLBACK",
+        kind: KnobKind::Flag,
+        default: "off",
+        doc: "Disables incremental view-memo maintenance on the write path: every ABox delta \
+              invalidates every memoized NDL view extent (each counted in `delta_fallback`) \
+              instead of patching them in place. A/B lever for the A10 experiment.",
+    },
 ];
 
 /// Whether `name` is a registered knob.
@@ -221,6 +229,12 @@ pub fn shards() -> Option<usize> {
 /// if set and numeric. `Some(0)` disables trace capture.
 pub fn trace_ring() -> Option<usize> {
     raw("QUONTO_TRACE_RING").and_then(|s| s.parse().ok())
+}
+
+/// `QUONTO_WRITE_FALLBACK=1`: force the write path to invalidate
+/// memoized view extents wholesale instead of patching incrementally.
+pub fn write_fallback() -> bool {
+    flag("QUONTO_WRITE_FALLBACK")
 }
 
 /// Renders the registry as the markdown table embedded in README.md and

@@ -14,7 +14,9 @@
 //! and open-coded `PoisonError::into_inner` recoveries outside this
 //! module are lint errors.
 
-use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
 use std::time::Duration;
 
 /// Locks `m`, recovering the guard if a previous holder panicked.
@@ -25,6 +27,23 @@ use std::time::Duration;
 /// that a mid-flight panic could leave half-applied.
 pub fn lock_or_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Read-locks `rw`, recovering the guard if a previous writer panicked.
+///
+/// The `RwLock` counterpart of [`lock_or_recover`]: use it for shared
+/// state that stays consistent across a panicking writer (the write
+/// path rebuilds or rolls forward whole values, never leaves them
+/// half-mutated across an unwind point).
+pub fn read_or_recover<T: ?Sized>(rw: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    rw.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write-locks `rw`, recovering the guard if a previous writer panicked.
+/// See [`read_or_recover`].
+pub fn write_or_recover<T: ?Sized>(rw: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    rw.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// [`Condvar::wait_timeout`] with the same poison-recovery policy as
@@ -68,6 +87,24 @@ mod tests {
         guard.push(4);
         drop(guard);
         assert_eq!(*lock_or_recover(&m), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recovers_a_poisoned_rwlock() {
+        use std::sync::RwLock;
+        let rw = Arc::new(RwLock::new(7u32));
+        {
+            let rw = Arc::clone(&rw);
+            let _ = std::thread::spawn(move || {
+                let _guard = rw.write().expect("first write lock cannot be poisoned");
+                panic!("injected panic while holding the write lock");
+            })
+            .join();
+        }
+        assert!(rw.is_poisoned());
+        assert_eq!(*read_or_recover(&rw), 7);
+        *write_or_recover(&rw) = 8;
+        assert_eq!(*read_or_recover(&rw), 8);
     }
 
     #[test]

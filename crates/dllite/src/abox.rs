@@ -5,7 +5,7 @@
 //! [`Abox`] is still needed as the materialization target, as the input of
 //! ABox-mode query answering, and for tests.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::signature::{AttributeId, ConceptId, RoleId};
@@ -57,7 +57,10 @@ pub struct Abox {
     individuals: Vec<String>,
     individual_ids: HashMap<String, IndividualId>,
     assertions: Vec<Assertion>,
-    seen: HashSet<Assertion>,
+    /// Assertion → its position in `assertions`, for O(1) dedup and
+    /// removal (the write path deletes facts one batch at a time and
+    /// must not pay a store scan per fact).
+    seen: HashMap<Assertion, usize>,
 }
 
 impl Abox {
@@ -97,12 +100,45 @@ impl Abox {
 
     /// Adds an assertion, ignoring duplicates. Returns `true` if new.
     pub fn add(&mut self, a: Assertion) -> bool {
-        if self.seen.insert(a.clone()) {
-            self.assertions.push(a);
-            true
-        } else {
-            false
+        if self.seen.contains_key(&a) {
+            return false;
         }
+        self.seen.insert(a.clone(), self.assertions.len());
+        self.assertions.push(a);
+        true
+    }
+
+    /// Removes an assertion in O(1). Returns `true` if it was present.
+    ///
+    /// The individual stays interned — ids handed out earlier remain
+    /// valid, and re-adding the same fact later reuses them. Assertion
+    /// *order* is not preserved (`swap_remove`); nothing downstream
+    /// depends on it — indexes hash by predicate and every answering
+    /// path lands results in sorted sets.
+    pub fn remove(&mut self, a: &Assertion) -> bool {
+        let Some(pos) = self.seen.remove(a) else {
+            return false;
+        };
+        self.assertions.swap_remove(pos);
+        if let Some(moved) = self.assertions.get(pos) {
+            *self
+                .seen
+                .get_mut(moved)
+                .expect("moved assertion is interned") = pos;
+        }
+        true
+    }
+
+    /// Removes a batch of assertions, returning the ones that were
+    /// actually present (duplicates in `batch` count once).
+    pub fn remove_batch(&mut self, batch: &[Assertion]) -> Vec<Assertion> {
+        let mut removed = Vec::new();
+        for a in batch {
+            if self.remove(a) {
+                removed.push(a.clone());
+            }
+        }
+        removed
     }
 
     /// Convenience: add `A(c)` by names... interning both.
@@ -124,14 +160,15 @@ impl Abox {
         self.add(Assertion::Attribute(u, c, v));
     }
 
-    /// All assertions, in insertion order.
+    /// All assertions. Insertion order until the first [`Abox::remove`];
+    /// unspecified (but deterministic per operation sequence) after.
     pub fn assertions(&self) -> &[Assertion] {
         &self.assertions
     }
 
     /// Whether the ABox contains exactly this assertion.
     pub fn contains(&self, a: &Assertion) -> bool {
-        self.seen.contains(a)
+        self.seen.contains_key(a)
     }
 
     /// Number of assertions.
@@ -191,6 +228,38 @@ mod tests {
             ab.individual_name(ab.find_individual("rome").unwrap()),
             "rome"
         );
+    }
+
+    #[test]
+    fn remove_and_remove_batch() {
+        let mut ab = Abox::new();
+        let a = ConceptId(0);
+        let p = RoleId(0);
+        ab.assert_concept(a, "x");
+        ab.assert_role(p, "x", "y");
+        ab.assert_concept(a, "y");
+        let x = ab.find_individual("x").unwrap();
+        let y = ab.find_individual("y").unwrap();
+
+        assert!(ab.remove(&Assertion::Concept(a, x)));
+        assert!(!ab.remove(&Assertion::Concept(a, x)), "already gone");
+        assert!(!ab.contains(&Assertion::Concept(a, x)));
+        assert_eq!(ab.len(), 2);
+        // Individuals stay interned after their last assertion goes.
+        assert_eq!(ab.find_individual("x"), Some(x));
+
+        let removed = ab.remove_batch(&[
+            Assertion::Role(p, x, y),
+            Assertion::Role(p, x, y), // duplicate in the batch
+            Assertion::Concept(a, x), // not present
+        ]);
+        assert_eq!(removed, vec![Assertion::Role(p, x, y)]);
+        assert_eq!(ab.len(), 1);
+        assert!(ab.contains(&Assertion::Concept(a, y)));
+
+        // Re-adding a removed fact works and reuses the interned id.
+        assert!(ab.add(Assertion::Concept(a, x)));
+        assert_eq!(ab.len(), 2);
     }
 
     #[test]

@@ -12,14 +12,19 @@
 //!   ontologies for property-based testing;
 //! * [`university`]: the LUBM-flavoured OBDA scenario (ontology, source
 //!   schema + data, mappings, query mix) standing in for the paper's
-//!   proprietary industrial deployments.
+//!   proprietary industrial deployments;
+//! * [`churn`]: reproducible insert/delete streams over the university
+//!   naming space — the write-path workload for the delta-equivalence
+//!   suites and benchmark A10.
 
+pub mod churn;
 pub mod exp_chain;
 pub mod presets;
 pub mod random;
 pub mod spec;
 pub mod university;
 
+pub use churn::{churn_stream, ChurnFact, ChurnOp};
 pub use exp_chain::{exp_chain, ExpChain};
 pub use presets::figure1_presets;
 pub use random::{random_abox, random_interpretation, random_owl, random_tbox, repair_into_model};

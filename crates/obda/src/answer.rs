@@ -117,6 +117,86 @@ impl AboxIndex {
         ix
     }
 
+    /// Patches one freshly added assertion into the index, mirroring
+    /// what [`AboxIndex::build`] would have done for it. The caller must
+    /// only pass assertions that are *new* to the underlying ABox
+    /// ([`Abox::add`] returned `true`) — the fact lists carry no
+    /// duplicate detection of their own.
+    pub(crate) fn insert_assertion(&mut self, a: &Assertion) {
+        match a {
+            Assertion::Concept(c, i) => {
+                let f = self.concepts.entry(c.0).or_default();
+                f.members.push(*i);
+                f.set.insert(*i);
+            }
+            Assertion::Role(p, s, o) => {
+                let f = self.roles.entry(p.0).or_default();
+                f.pairs.push((*s, *o));
+                f.by_subject.entry(*s).or_default().push(*o);
+                f.by_object.entry(*o).or_default().push(*s);
+            }
+            Assertion::Attribute(u, s, v) => {
+                let f = self.attributes.entry(u.0).or_default();
+                f.pairs.push((*s, v.clone()));
+                f.by_subject.entry(*s).or_default().push(v.clone());
+            }
+        }
+    }
+
+    /// Removes one assertion from the index. The caller must only pass
+    /// assertions that were actually present ([`Abox::remove`] returned
+    /// `true`), so every bucket holds exactly one copy.
+    ///
+    /// Ordering inside fact lists is *not* preserved (`swap_remove`) —
+    /// sound because every evaluation path lands answers in a sorted
+    /// `BTreeSet`. Hash-bucket keys whose list empties are removed
+    /// outright: the NDL view extents derive `∃q` / attribute-domain
+    /// membership from `by_subject`/`by_object` *keys*, so a lingering
+    /// empty bucket would break the key-set = extension invariant.
+    pub(crate) fn remove_assertion(&mut self, a: &Assertion) {
+        fn drop_from<K: std::hash::Hash + Eq, V: PartialEq>(
+            map: &mut HashMap<K, Vec<V>>,
+            key: &K,
+            value: &V,
+        ) {
+            if let Some(bucket) = map.get_mut(key) {
+                if let Some(pos) = bucket.iter().position(|x| x == value) {
+                    bucket.swap_remove(pos);
+                }
+                if bucket.is_empty() {
+                    map.remove(key);
+                }
+            }
+        }
+        match a {
+            Assertion::Concept(c, i) => {
+                if let Some(f) = self.concepts.get_mut(&c.0) {
+                    if let Some(pos) = f.members.iter().position(|m| m == i) {
+                        f.members.swap_remove(pos);
+                    }
+                    f.set.remove(i);
+                }
+            }
+            Assertion::Role(p, s, o) => {
+                if let Some(f) = self.roles.get_mut(&p.0) {
+                    if let Some(pos) = f.pairs.iter().position(|x| x == &(*s, *o)) {
+                        f.pairs.swap_remove(pos);
+                    }
+                    drop_from(&mut f.by_subject, s, o);
+                    drop_from(&mut f.by_object, o, s);
+                }
+            }
+            Assertion::Attribute(u, s, v) => {
+                if let Some(f) = self.attributes.get_mut(&u.0) {
+                    if let Some(pos) = f.pairs.iter().position(|(ps, pv)| ps == s && pv == v) {
+                        f.pairs.swap_remove(pos);
+                    }
+                    drop_from(&mut f.by_subject, s, v);
+                }
+            }
+        }
+    }
+
     /// Total number of indexed facts (diagnostics).
     pub fn num_facts(&self) -> usize {
         self.concepts

@@ -22,6 +22,7 @@ use obda_obs::{span, SinkKind, TraceCtx, TraceSink};
 use obda_sqlstore::Database;
 
 use crate::answer::Answers;
+use crate::delta::{AboxDelta, DeltaSummary};
 use crate::error::ObdaError;
 use crate::query::ConjunctiveQuery;
 use crate::system::{AboxSystem, DataMode, ObdaSystem, RewriteCacheStats, RewritingMode};
@@ -103,6 +104,21 @@ pub trait QueryEngine: Send + Sync + std::fmt::Debug {
     /// Answers a parsed CQ, recording phase spans on `ctx`.
     fn answer_cq_traced(&self, q: &ConjunctiveQuery, ctx: &TraceCtx) -> Result<Answers, ObdaError>;
 
+    /// Applies an ABox delta batch incrementally, recording
+    /// `write.apply` / `write.index` / `write.views` spans on `ctx`.
+    /// The default declines: engines without a writable store (e.g. a
+    /// virtual-mode [`ObdaSystem`]) keep their read-only contract.
+    fn apply_delta_traced(
+        &self,
+        delta: &AboxDelta,
+        ctx: &TraceCtx,
+    ) -> Result<DeltaSummary, ObdaError> {
+        let _ = (delta, ctx);
+        Err(ObdaError::unsupported(
+            "ABox deltas (this engine has no writable store)",
+        ))
+    }
+
     /// Engine counters (cache hit rates, configuration).
     fn stats(&self) -> EngineStats;
 
@@ -144,20 +160,37 @@ pub trait QueryEngine: Send + Sync + std::fmt::Debug {
     /// context is created iff the engine's sink is enabled, and the
     /// finished trace is published to the sink and the global ring.
     fn answer(&self, lang: QueryLang, text: &str) -> Result<Answers, ObdaError> {
-        run_with_engine_trace(&self.trace_sink(), Some(text), |ctx| {
-            self.answer_traced(lang, text, ctx)
-        })
+        run_with_engine_trace(
+            &self.trace_sink(),
+            Some(text),
+            |a: &Answers| a.len() as u64,
+            |ctx| self.answer_traced(lang, text, ctx),
+        )
+    }
+
+    /// Applies an ABox delta batch, managing the trace lifecycle the
+    /// same way [`answer`](Self::answer) does (the finished trace's
+    /// `rows` is the number of changed assertions).
+    fn apply_delta(&self, delta: &AboxDelta) -> Result<DeltaSummary, ObdaError> {
+        run_with_engine_trace(
+            &self.trace_sink(),
+            None,
+            |s: &DeltaSummary| (s.inserted + s.deleted) as u64,
+            |ctx| self.apply_delta_traced(delta, ctx),
+        )
     }
 }
 
 /// Runs `f` under a fresh engine-level trace context (enabled iff the
-/// sink is) and publishes the finished trace. Shared by the trait's
-/// provided `answer` and the systems' legacy inherent entry points.
-pub(crate) fn run_with_engine_trace(
+/// sink is) and publishes the finished trace, whose `rows` field comes
+/// from `rows(&ok_value)`. Shared by the trait's provided `answer` /
+/// `apply_delta` and the systems' legacy inherent entry points.
+pub(crate) fn run_with_engine_trace<T>(
     sink: &Arc<dyn TraceSink>,
     text: Option<&str>,
-    f: impl FnOnce(&TraceCtx) -> Result<Answers, ObdaError>,
-) -> Result<Answers, ObdaError> {
+    rows: impl FnOnce(&T) -> u64,
+    f: impl FnOnce(&TraceCtx) -> Result<T, ObdaError>,
+) -> Result<T, ObdaError> {
     let ctx = if sink.enabled() {
         TraceCtx::new()
     } else {
@@ -168,7 +201,7 @@ pub(crate) fn run_with_engine_trace(
     }
     let res = f(&ctx);
     let (status, rows) = match &res {
-        Ok(answers) => ("ok", answers.len() as u64),
+        Ok(value) => ("ok", rows(value)),
         Err(_) => ("error", 0),
     };
     if let Some(trace) = ctx.finish(status, rows) {

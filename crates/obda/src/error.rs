@@ -55,6 +55,12 @@ pub enum ObdaError {
         /// The underlying store error.
         source: SqlError,
     },
+    /// The operation is not supported by this engine configuration
+    /// (e.g. an ABox delta against a virtual-mode system).
+    Unsupported {
+        /// What was attempted, for the error text.
+        what: String,
+    },
 }
 
 impl ObdaError {
@@ -76,10 +82,16 @@ impl ObdaError {
         }
     }
 
+    /// An unsupported-operation error.
+    pub fn unsupported(what: impl Into<String>) -> ObdaError {
+        ObdaError::Unsupported { what: what.into() }
+    }
+
     /// Machine-readable error kind for protocol responses.
     pub fn kind(&self) -> &'static str {
         match self {
             ObdaError::Query(_) => "parse",
+            ObdaError::Unsupported { .. } => "unsupported",
             ObdaError::Sql { phase, .. } => match phase {
                 ErrorPhase::Validate => "sql.validate",
                 ErrorPhase::Load => "sql.load",
@@ -94,7 +106,7 @@ impl ObdaError {
     /// The failing phase (`None` for parse errors).
     pub fn phase(&self) -> Option<ErrorPhase> {
         match self {
-            ObdaError::Query(_) => None,
+            ObdaError::Query(_) | ObdaError::Unsupported { .. } => None,
             ObdaError::Sql { phase, .. } => Some(*phase),
         }
     }
@@ -114,6 +126,7 @@ impl std::fmt::Display for ObdaError {
                 fragment: None,
                 source,
             } => write!(f, "sql error during {}: {source}", phase.as_str()),
+            ObdaError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
         }
     }
 }
@@ -121,7 +134,7 @@ impl std::fmt::Display for ObdaError {
 impl std::error::Error for ObdaError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ObdaError::Query(_) => None,
+            ObdaError::Query(_) | ObdaError::Unsupported { .. } => None,
             ObdaError::Sql { source, .. } => Some(source),
         }
     }
@@ -160,6 +173,11 @@ mod tests {
         let bare = ObdaError::sql(ErrorPhase::Materialize, SqlError::new("boom"));
         assert_eq!(bare.kind(), "sql.materialize");
         assert_eq!(bare.to_string(), "sql error during materialize: boom");
+
+        let u = ObdaError::unsupported("ABox writes on a virtual-mode system");
+        assert_eq!(u.kind(), "unsupported");
+        assert_eq!(u.phase(), None);
+        assert!(u.to_string().contains("virtual-mode"));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`rewrite::unfold`]: unfolding into flat SQL joins over the mappings
 //!   with template-prefix pruning and typed suffix pushdown;
 //! * [`answer`]: reference CQ evaluation over a concrete ABox;
+//! * [`delta`]: the streaming write path — [`AboxDelta`] batches applied
+//!   incrementally to the ABox index and the memoized NDL view extents;
 //! * [`consistency`]: NI-violation and unsat-emptiness checking;
 //! * [`sparql`]: a SPARQL front-end for the conjunctive fragment (the
 //!   endpoint syntax Quest-style systems expose);
@@ -31,6 +33,7 @@
 
 pub mod answer;
 pub mod consistency;
+pub mod delta;
 pub mod demo;
 pub mod engine;
 pub mod error;
@@ -45,12 +48,13 @@ pub use answer::{
     AboxIndex, AnswerTerm, Answers,
 };
 pub use consistency::{check_consistency, Violation};
+pub use delta::{AboxDelta, DeltaObject, DeltaStatement, DeltaSummary};
 pub use engine::{EngineStats, QueryEngine, QueryLang, ShardStats, SystemBuilder};
 pub use error::{ErrorPhase, ObdaError};
 pub use query::{
     parse_cq, print_cq, Atom, ConjunctiveQuery, QueryParseError, Term, Ucq, ValueTerm,
 };
-pub use rewrite::ndl::{ndl_compile, NdlProgram};
+pub use rewrite::ndl::{ndl_compile, DataEpoch, NdlProgram};
 pub use rewrite::perfectref::{perfect_ref, perfect_ref_scan, perfect_ref_with_index};
 pub use rewrite::presto::{presto_rewrite, PrestoRewriting};
 pub use rewrite::subsume::{prune_ucq, subsumes};

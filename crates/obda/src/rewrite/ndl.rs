@@ -38,8 +38,11 @@
 //! (predicate, binding pattern) — an extent carries its own secondary
 //! indexes (by-subject / by-object / membership set), so one
 //! materialization serves every binding pattern that arises during the
-//! join. Invalidation rides the existing rewrite-cache epoch: a TBox or
-//! ABox change bumps the epoch and the memo self-clears on next access.
+//! join. Invalidation is keyed on a [`DataEpoch`] — the pair of the
+//! TBox epoch and an ABox version: a TBox change or a wholesale ABox
+//! swap moves the epoch and the memo self-clears on next access, while
+//! the incremental write path ([`crate::delta`]) *patches* memoized
+//! extents in place and restamps the memo at the new ABox version.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -249,7 +252,7 @@ pub enum ExtTerm {
 }
 
 impl ViewExtent {
-    fn from_members(mut members: Vec<String>) -> ViewExtent {
+    pub(crate) fn from_members(mut members: Vec<String>) -> ViewExtent {
         members.sort();
         members.dedup();
         let member_set = members.iter().cloned().collect();
@@ -260,7 +263,7 @@ impl ViewExtent {
         }
     }
 
-    fn from_pairs(mut pairs: Vec<(String, ExtTerm)>) -> ViewExtent {
+    pub(crate) fn from_pairs(mut pairs: Vec<(String, ExtTerm)>) -> ViewExtent {
         pairs.sort();
         pairs.dedup();
         let mut by_subject: HashMap<String, Vec<ExtTerm>> = HashMap::new();
@@ -274,6 +277,77 @@ impl ViewExtent {
             by_subject,
             by_object,
             ..ViewExtent::default()
+        }
+    }
+
+    /// Adds one member in place (unary extents), keeping `members`
+    /// sorted/deduplicated and `member_set` consistent. Duplicates are
+    /// no-ops. The write path patches extents with this instead of
+    /// rebuilding them, so a delta's memo cost is O(batch · log extent)
+    /// plus the insertion memmoves — not a clone of the extent.
+    pub(crate) fn add_member(&mut self, name: String) {
+        if self.member_set.contains(&name) {
+            return;
+        }
+        let pos = self
+            .members
+            .binary_search(&name)
+            .expect_err("member_set said absent");
+        self.members.insert(pos, name.clone());
+        self.member_set.insert(name);
+    }
+
+    /// Removes one member in place; absent names are no-ops.
+    pub(crate) fn remove_member(&mut self, name: &str) {
+        if !self.member_set.remove(name) {
+            return;
+        }
+        if let Ok(pos) = self.members.binary_search_by(|m| m.as_str().cmp(name)) {
+            self.members.remove(pos);
+        }
+    }
+
+    /// Adds one pair in place (binary extents), keeping `pairs` and the
+    /// secondary-index buckets in the same sorted order a from-scratch
+    /// [`ViewExtent::from_pairs`] build produces. Duplicates are no-ops.
+    pub(crate) fn add_pair(&mut self, s: String, o: ExtTerm) {
+        let pair = (s, o);
+        let Err(pos) = self.pairs.binary_search(&pair) else {
+            return;
+        };
+        self.pairs.insert(pos, pair.clone());
+        let (s, o) = pair;
+        let bucket = self.by_subject.entry(s.clone()).or_default();
+        let at = bucket.binary_search(&o).unwrap_or_else(|e| e);
+        bucket.insert(at, o.clone());
+        let bucket = self.by_object.entry(o).or_default();
+        let at = bucket.binary_search(&s).unwrap_or_else(|e| e);
+        bucket.insert(at, s);
+    }
+
+    /// Removes one pair in place, dropping emptied index buckets;
+    /// absent pairs are no-ops.
+    pub(crate) fn remove_pair(&mut self, s: &str, o: &ExtTerm) {
+        let found = self
+            .pairs
+            .binary_search_by(|(ps, po)| ps.as_str().cmp(s).then_with(|| po.cmp(o)));
+        let Ok(pos) = found else { return };
+        self.pairs.remove(pos);
+        if let Some(bucket) = self.by_subject.get_mut(s) {
+            if let Ok(at) = bucket.binary_search(o) {
+                bucket.remove(at);
+            }
+            if bucket.is_empty() {
+                self.by_subject.remove(s);
+            }
+        }
+        if let Some(bucket) = self.by_object.get_mut(o) {
+            if let Ok(at) = bucket.binary_search_by(|x| x.as_str().cmp(s)) {
+                bucket.remove(at);
+            }
+            if bucket.is_empty() {
+                self.by_object.remove(o);
+            }
         }
     }
 
@@ -365,12 +439,26 @@ pub fn merge_extents(parts: &[Arc<ViewExtent>]) -> ViewExtent {
     }
 }
 
+/// The pair of epochs data-derived caches depend on. The rewrite cache
+/// is keyed on the TBox epoch alone (rewritings never read the ABox);
+/// memoized view extents depend on both components — `tbox` moves on
+/// schema-level invalidation, `abox` is a monotone per-system version
+/// counter bumped by every ABox change (wholesale swap *or* incremental
+/// delta).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataEpoch {
+    /// TBox / classification epoch (rewrite-cache generation).
+    pub tbox: u64,
+    /// ABox version within that TBox epoch.
+    pub abox: u64,
+}
+
 /// Epoch-guarded memo of materialized view extents. Shared by the
 /// unsharded systems (whole-ABox extents), each shard (shard-local
 /// partial extents) and the sharded coordinator (merged extents).
 #[derive(Debug, Default)]
 pub struct ViewMemo {
-    epoch: u64,
+    epoch: DataEpoch,
     extents: HashMap<ViewPred, Arc<ViewExtent>>,
 }
 
@@ -378,6 +466,42 @@ impl ViewMemo {
     /// Drops every memoized extent (ABox refresh without an epoch bump).
     pub fn clear(&mut self) {
         self.extents.clear();
+    }
+
+    /// The epoch the memoized extents were built at.
+    pub(crate) fn epoch(&self) -> DataEpoch {
+        self.epoch
+    }
+
+    /// Restamps the memo (the write path patches extents in place and
+    /// then declares them current at the new ABox version).
+    pub(crate) fn set_epoch(&mut self, epoch: DataEpoch) {
+        self.epoch = epoch;
+    }
+
+    /// The currently memoized view predicates.
+    pub(crate) fn preds(&self) -> Vec<ViewPred> {
+        self.extents.keys().cloned().collect()
+    }
+
+    /// Replaces the memoized extent of `pred`.
+    pub(crate) fn insert(&mut self, pred: ViewPred, ext: Arc<ViewExtent>) {
+        self.extents.insert(pred, ext);
+    }
+
+    /// Removes and returns the memoized extent of `pred`. The write
+    /// path takes the extent *out* of the map before patching so the
+    /// memo's own reference is gone: `Arc::make_mut` then mutates in
+    /// place whenever no in-flight query still holds the snapshot, and
+    /// copies only when one does.
+    pub(crate) fn take(&mut self, pred: &ViewPred) -> Option<Arc<ViewExtent>> {
+        self.extents.remove(pred)
+    }
+
+    /// Drops one memoized extent (targeted invalidation). Returns
+    /// whether it was present.
+    pub(crate) fn remove(&mut self, pred: &ViewPred) -> bool {
+        self.extents.remove(pred).is_some()
     }
 }
 
@@ -387,7 +511,7 @@ impl ViewMemo {
 /// `ndl_view_memo_{hit,miss}` registry counters.
 pub fn memoized_extent(
     memo: &Mutex<ViewMemo>,
-    epoch: u64,
+    epoch: DataEpoch,
     pred: ViewPred,
     build: impl FnOnce() -> ViewExtent,
 ) -> (Arc<ViewExtent>, bool) {
@@ -632,7 +756,7 @@ pub fn answer_ndl_indexed_traced(
     abox: &Abox,
     index: &AboxIndex,
     memo: &Mutex<ViewMemo>,
-    epoch: u64,
+    epoch: DataEpoch,
     ctx: &TraceCtx,
 ) -> Answers {
     let guard = ctx.span("eval");

@@ -53,12 +53,15 @@ use quonto::sync::{lock_or_recover, wait_timeout_or_recover};
 use quonto::Classification;
 
 use crate::answer::{evaluate_disjuncts_indexed, AboxIndex, Answers};
+use crate::delta::{
+    maintain_merged_memo, record_batch, resolve_delta, AboxDelta, DeltaSummary, ResolvedFact,
+};
 use crate::engine::{run_with_engine_trace, EngineStats, QueryEngine, QueryLang, ShardStats};
 use crate::error::ObdaError;
 use crate::query::{Atom, ConjunctiveQuery, Term};
 use crate::rewrite::ndl::{
-    eval_skeletons, memoized_extent, merge_extents, NdlProgram, ViewDef, ViewExtent, ViewMemo,
-    ViewPred,
+    eval_skeletons, memoized_extent, merge_extents, DataEpoch, NdlProgram, ViewDef, ViewExtent,
+    ViewMemo, ViewPred,
 };
 use crate::system::{
     query_metrics, rewrite_with_cache_traced, AboxSystem, CachedRewriting, MaterializedAbox,
@@ -264,8 +267,13 @@ pub struct ShardedAboxSystem {
     /// Coordinator memo of *merged* NDL view extents; the per-shard
     /// partial extents are memoized inside each shard's own system.
     ndl_memo: Mutex<ViewMemo>,
+    /// Coordinator ABox version: bumped by every delta batch (and by
+    /// [`QueryEngine::invalidate`]), stamping the merged-extent memo's
+    /// [`DataEpoch`] alongside the TBox epoch.
+    version: AtomicU64,
     /// Lazily built union ABox + index for cross-shard disjuncts,
-    /// dropped on [`QueryEngine::invalidate`].
+    /// dropped on [`QueryEngine::invalidate`] and by any delta batch
+    /// that changes a fact.
     fallback: Mutex<Option<Arc<MaterializedAbox>>>,
     sink: Arc<dyn TraceSink>,
 }
@@ -295,6 +303,7 @@ impl ShardedAboxSystem {
             cache_enabled: true,
             rewriting: RewritingMode::PerfectRef,
             ndl_memo: Mutex::new(ViewMemo::default()),
+            version: AtomicU64::new(0),
             fallback: Mutex::new(None),
             sink: obda_obs::sink::from_env(),
         }
@@ -347,7 +356,7 @@ impl ShardedAboxSystem {
     pub fn shard_fact_counts(&self) -> Vec<usize> {
         self.shards
             .iter()
-            .map(|s| s.system.index().num_facts())
+            .map(|s| s.system.with_data(|d| d.index.num_facts()))
             .collect()
     }
 
@@ -367,7 +376,9 @@ impl ShardedAboxSystem {
         let shard = &self.shards[i];
         shard.requests.fetch_add(1, Ordering::Relaxed);
         let _permit = shard.gate.acquire();
-        evaluate_disjuncts_indexed(disjuncts, &shard.system.abox, shard.system.index())
+        shard
+            .system
+            .with_data(|d| evaluate_disjuncts_indexed(disjuncts, &d.abox, &d.index))
     }
 
     /// The union ABox + index for cross-shard disjuncts, built on first
@@ -381,20 +392,26 @@ impl ShardedAboxSystem {
         }
         let mut union = Abox::new();
         for s in &self.shards {
-            let part = &s.system.abox;
-            for a in part.assertions() {
-                match a {
-                    Assertion::Concept(c, i) => {
-                        union.assert_concept(*c, part.individual_name(*i));
-                    }
-                    Assertion::Role(p, su, o) => {
-                        union.assert_role(*p, part.individual_name(*su), part.individual_name(*o));
-                    }
-                    Assertion::Attribute(u, su, v) => {
-                        union.assert_attribute(*u, part.individual_name(*su), v.clone());
+            s.system.with_data(|d| {
+                let part = &d.abox;
+                for a in part.assertions() {
+                    match a {
+                        Assertion::Concept(c, i) => {
+                            union.assert_concept(*c, part.individual_name(*i));
+                        }
+                        Assertion::Role(p, su, o) => {
+                            union.assert_role(
+                                *p,
+                                part.individual_name(*su),
+                                part.individual_name(*o),
+                            );
+                        }
+                        Assertion::Attribute(u, su, v) => {
+                            union.assert_attribute(*u, part.individual_name(*su), v.clone());
+                        }
                     }
                 }
-            }
+            });
         }
         let index = AboxIndex::build(&union);
         let fb = Arc::new(MaterializedAbox { abox: union, index });
@@ -533,7 +550,13 @@ impl ShardedAboxSystem {
         guard.count("views", prog.views.len() as u64);
         guard.count("skeletons", prog.queries.len() as u64);
         guard.count("shards", self.shards.len() as u64);
-        let epoch = lock_or_recover(&self.rewrite_cache).epoch;
+        // Version first, shard snapshots second: a write landing in
+        // between yields a merged extent *newer* than its stamp, which
+        // the memo over-invalidates on the next query — never stale.
+        let epoch = DataEpoch {
+            tbox: lock_or_recover(&self.rewrite_cache).epoch,
+            abox: self.version.load(Ordering::Relaxed),
+        };
         let mut extents: std::collections::HashMap<ViewPred, Arc<ViewExtent>> =
             std::collections::HashMap::new();
         for def in &prog.views {
@@ -636,9 +659,12 @@ impl ShardedAboxSystem {
 
     /// Answers a parsed CQ.
     pub fn answer_cq(&self, q: &ConjunctiveQuery) -> Answers {
-        run_with_engine_trace(&self.trace_sink(), None, |ctx| {
-            Ok(self.eval_cq_traced(q, ctx))
-        })
+        run_with_engine_trace(
+            &self.trace_sink(),
+            None,
+            |a: &Answers| a.len() as u64,
+            |ctx| Ok(self.eval_cq_traced(q, ctx)),
+        )
         .unwrap_or_default()
     }
 }
@@ -658,6 +684,64 @@ impl QueryEngine for ShardedAboxSystem {
 
     fn answer_cq_traced(&self, q: &ConjunctiveQuery, ctx: &TraceCtx) -> Result<Answers, ObdaError> {
         Ok(self.eval_cq_traced(q, ctx))
+    }
+
+    /// Applies a delta by routing each resolved fact to its subject's
+    /// shard — the exact partitioning [`partition_abox`] uses, so a
+    /// system grown by deltas is byte-identical to one partitioned from
+    /// the final ABox. Each shard patches its own store and partial
+    /// extent memo; the coordinator then maintains the merged-extent
+    /// memo and drops the cross-shard union fallback if anything
+    /// changed.
+    fn apply_delta_traced(
+        &self,
+        delta: &AboxDelta,
+        ctx: &TraceCtx,
+    ) -> Result<DeltaSummary, ObdaError> {
+        let guard = span!(ctx, "write.apply");
+        let (inserts, deletes) = resolve_delta(&self.tbox.sig, delta)?;
+        let n = self.shards.len();
+        let mut routed: Vec<(Vec<ResolvedFact>, Vec<ResolvedFact>)> = vec![Default::default(); n];
+        for f in &inserts {
+            // lint: allow(R1.index, "shard_of returns hash % n < n == routed.len() by the vec! above")
+            routed[shard_of(f.subject(), n)].0.push(f.clone());
+        }
+        for f in &deletes {
+            // lint: allow(R1.index, "shard_of returns hash % n < n == routed.len() by the vec! above")
+            routed[shard_of(f.subject(), n)].1.push(f.clone());
+        }
+        let mut summary = DeltaSummary::default();
+        for (shard, (ins, del)) in self.shards.iter().zip(&routed) {
+            if ins.is_empty() && del.is_empty() {
+                continue;
+            }
+            shard.requests.fetch_add(1, Ordering::Relaxed);
+            summary.absorb(shard.system.apply_resolved_traced(ins, del, ctx));
+        }
+        let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
+        let epoch = DataEpoch {
+            tbox: lock_or_recover(&self.rewrite_cache).epoch,
+            abox: version,
+        };
+        let merged_fallbacks = {
+            let g = span!(ctx, "write.views");
+            let fb = maintain_merged_memo(
+                &self.ndl_memo,
+                epoch,
+                &inserts,
+                &deletes,
+                &self.classification,
+            );
+            g.count("fallbacks", fb);
+            fb
+        };
+        summary.fallbacks += merged_fallbacks;
+        if summary.inserted + summary.deleted > 0 {
+            *lock_or_recover(&self.fallback) = None;
+        }
+        guard.count("rows", (summary.inserted + summary.deleted) as u64);
+        record_batch(&summary);
+        Ok(summary)
     }
 
     fn stats(&self) -> EngineStats {
@@ -687,8 +771,8 @@ impl QueryEngine for ShardedAboxSystem {
             .enumerate()
             .map(|(i, s)| ShardStats {
                 shard: i,
-                individuals: s.system.abox.num_individuals(),
-                facts: s.system.index().num_facts(),
+                individuals: s.system.with_data(|d| d.abox.num_individuals()),
+                facts: s.system.with_data(|d| d.index.num_facts()),
                 requests: s.requests.load(Ordering::Relaxed),
                 rewrite_cache: s.system.rewrite_cache_stats(),
                 max_inflight: s.gate.cap,
@@ -706,6 +790,7 @@ impl QueryEngine for ShardedAboxSystem {
             s.system.invalidate();
         }
         lock_or_recover(&self.ndl_memo).clear();
+        self.version.fetch_add(1, Ordering::Relaxed);
         *lock_or_recover(&self.fallback) = None;
     }
 

@@ -41,17 +41,26 @@
 //! its index) behind a `Mutex<Option<Arc<…>>>`, so one loaded system can
 //! be shared across N server worker threads (`obda-server` does exactly
 //! this). Rewriting and evaluation both run *outside* the locks — the
-//! critical sections are hash-map lookups and `Arc` clones. The only
-//! `&mut self` APIs left are the legacy invalidators
-//! ([`Self::invalidate_rewrites`], [`Self::invalidate_abox`],
-//! [`AboxSystem::refresh_index`]); the trait-level
-//! [`crate::QueryEngine::invalidate`] does the same through the locks.
+//! critical sections are hash-map lookups and `Arc` clones.
+//!
+//! ## Write path
+//!
+//! [`crate::QueryEngine::apply_delta`] applies an [`crate::AboxDelta`]
+//! batch *incrementally* (see [`crate::delta`]): [`AboxSystem`] keeps
+//! its ABox + index + version behind an `RwLock` and patches them in
+//! place; [`ObdaSystem`] (materialized mode only) patches the
+//! materialized ABox via `Arc::make_mut` — in-flight readers keep their
+//! pre-batch snapshot, the steady state is zero-copy. Data-only writes
+//! bump an **ABox version**, not the TBox epoch: the rewrite cache is
+//! keyed on the TBox epoch alone and stays warm across writes, while
+//! the NDL view memo keys on the ([`DataEpoch`]) pair of both.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
-use quonto::sync::lock_or_recover;
+use quonto::sync::{lock_or_recover, read_or_recover, write_or_recover};
 
 use obda_dllite::{Abox, Tbox};
 use obda_mapping::{materialize, MappingSet};
@@ -61,11 +70,15 @@ use quonto::Classification;
 
 use crate::answer::{evaluate_ucq_parallel_traced, AboxIndex, Answers};
 use crate::consistency::{check_consistency, Violation};
+use crate::delta::{
+    apply_to_store, maintain_memo, record_batch, resolve_delta, AboxDelta, DeltaSummary,
+    ResolvedFact,
+};
 use crate::engine::{run_with_engine_trace, EngineStats, QueryEngine, QueryLang};
 use crate::query::{parse_cq, ConjunctiveQuery, QueryParseError, Ucq};
 use crate::rewrite::ndl::{
     answer_ndl_indexed_traced, answer_ndl_virtual_traced, ndl_compile, ndl_compile_traced,
-    NdlProgram, ViewMemo,
+    DataEpoch, NdlProgram, ViewMemo,
 };
 use crate::rewrite::perfectref::perfect_ref_traced;
 use crate::rewrite::presto::{
@@ -335,8 +348,11 @@ pub(crate) fn rewrite_with_cache_traced(
 }
 
 /// The materialized ABox plus its secondary index, built together and
-/// shared immutably (behind an `Arc`) by every query that needs it.
-#[derive(Debug)]
+/// shared (behind an `Arc`) by every query that needs it. The write
+/// path patches it through `Arc::make_mut` — `Clone` exists so a batch
+/// that lands while readers still hold the old snapshot copies once
+/// instead of blocking them.
+#[derive(Debug, Clone)]
 pub struct MaterializedAbox {
     /// The materialized assertions.
     pub abox: Abox,
@@ -367,6 +383,10 @@ pub struct ObdaSystem {
     /// Memoized NDL view extents for the current epoch (materialized
     /// mode; also cleared when the ABox is invalidated).
     ndl_memo: Mutex<ViewMemo>,
+    /// Monotone ABox version: bumped by every delta batch and by
+    /// [`Self::invalidate_abox`]. Data-only changes move this instead of
+    /// the TBox epoch, so cached rewritings survive writes.
+    abox_version: AtomicU64,
     /// Whether rewritings are cached at all (builder toggle).
     cache_enabled: bool,
     /// UCQ evaluation threads (0 = all cores).
@@ -388,6 +408,7 @@ impl Clone for ObdaSystem {
             rewrite_cache: Mutex::new(lock_or_recover(&self.rewrite_cache).clone()),
             // The clone starts with a cold extent memo (it's a cache).
             ndl_memo: Mutex::new(ViewMemo::default()),
+            abox_version: AtomicU64::new(self.abox_version.load(Ordering::Relaxed)),
             cache_enabled: self.cache_enabled,
             eval_threads: self.eval_threads,
             sink: Arc::clone(&self.sink),
@@ -415,6 +436,7 @@ impl ObdaSystem {
             materialized: Mutex::new(None),
             rewrite_cache: Mutex::new(RewriteCache::default()),
             ndl_memo: Mutex::new(ViewMemo::default()),
+            abox_version: AtomicU64::new(0),
             cache_enabled: true,
             eval_threads: default_eval_threads(),
             sink: obda_obs::sink::from_env(),
@@ -459,10 +481,18 @@ impl ObdaSystem {
     }
 
     /// Drops the materialized ABox, its index and the memoized NDL view
-    /// extents. Call after the source database or the mappings change.
+    /// extents, and bumps the ABox version. Call after the source
+    /// database or the mappings change. Cached rewritings survive —
+    /// they depend only on the TBox.
     pub fn invalidate_abox(&mut self) {
         *lock_or_recover(&self.materialized) = None;
         lock_or_recover(&self.ndl_memo).clear();
+        self.abox_version.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current ABox version (second [`DataEpoch`] component).
+    pub fn abox_version(&self) -> u64 {
+        self.abox_version.load(Ordering::Relaxed)
     }
 
     /// Rewrite-cache hit/miss counters.
@@ -526,9 +556,12 @@ impl ObdaSystem {
 
     /// Answers a parsed CQ under the configured modes.
     pub fn answer_cq(&self, q: &ConjunctiveQuery) -> Result<Answers, ObdaError> {
-        run_with_engine_trace(&self.trace_sink(), None, |ctx| {
-            self.answer_cq_traced(q, ctx)
-        })
+        run_with_engine_trace(
+            &self.trace_sink(),
+            None,
+            |a: &Answers| a.len() as u64,
+            |ctx| self.answer_cq_traced(q, ctx),
+        )
     }
 
     /// The traced answering core shared by every entry point.
@@ -584,8 +617,15 @@ impl ObdaSystem {
                 ctx,
             )?,
             (CachedRewriting::Ndl(prog), DataMode::Materialized) => {
+                // Version first, snapshot second: if a write lands in
+                // between, the snapshot is *newer* than the stamp — the
+                // memo then over-invalidates on the next query, never
+                // serves extents older than their stamped version.
+                let epoch = DataEpoch {
+                    tbox: self.tbox_epoch(),
+                    abox: self.abox_version.load(Ordering::Relaxed),
+                };
                 let mat = self.ensure_materialized()?;
-                let epoch = self.tbox_epoch();
                 answer_ndl_indexed_traced(prog, &mat.abox, &mat.index, &self.ndl_memo, epoch, ctx)
             }
         };
@@ -755,6 +795,73 @@ impl QueryEngine for ObdaSystem {
         self.answer_cq_traced_impl(q, ctx)
     }
 
+    fn apply_delta_traced(
+        &self,
+        delta: &AboxDelta,
+        ctx: &TraceCtx,
+    ) -> Result<DeltaSummary, ObdaError> {
+        if self.data != DataMode::Materialized {
+            return Err(ObdaError::unsupported(
+                "ABox deltas on a virtual-mode system (the data lives in the sources; \
+                 use DataMode::Materialized)",
+            ));
+        }
+        let guard = span!(ctx, "write.apply");
+        let (inserts, deletes) = resolve_delta(&self.tbox.sig, delta)?;
+        // TBox epoch before the materialized lock (canonical lock order:
+        // `rewrite_cache` precedes `materialized`). A concurrent TBox
+        // invalidation at worst stamps the memo with the old epoch — the
+        // next query sees the mismatch and rebuilds.
+        let tbox_epoch = self.tbox_epoch();
+        let mut slot = lock_or_recover(&self.materialized);
+        let mut arc = match slot.take() {
+            Some(a) => a,
+            None => {
+                let abox = materialize(&self.mappings, &self.db)
+                    .map_err(|e| ObdaError::sql(ErrorPhase::Materialize, e))?;
+                let index = AboxIndex::build(&abox);
+                Arc::new(MaterializedAbox { abox, index })
+            }
+        };
+        // Zero-copy between queries (refcount 1); clones once if a
+        // reader still holds the pre-batch snapshot.
+        let mat = Arc::make_mut(&mut arc);
+        let applied = {
+            let g = span!(ctx, "write.index");
+            let applied = apply_to_store(&mut mat.abox, &mut mat.index, &inserts, &deletes);
+            g.count("inserted", applied.inserted.len() as u64);
+            g.count("deleted", applied.deleted.len() as u64);
+            applied
+        };
+        let version = self.abox_version.fetch_add(1, Ordering::Relaxed) + 1;
+        let epoch = DataEpoch {
+            tbox: tbox_epoch,
+            abox: version,
+        };
+        let fallbacks = {
+            let g = span!(ctx, "write.views");
+            let fb = maintain_memo(
+                &self.ndl_memo,
+                epoch,
+                &applied,
+                &self.classification,
+                &mat.abox,
+                Some(&mat.index),
+            );
+            g.count("fallbacks", fb);
+            fb
+        };
+        let summary = DeltaSummary {
+            inserted: applied.inserted.len(),
+            deleted: applied.deleted.len(),
+            fallbacks,
+        };
+        *slot = Some(arc);
+        guard.count("rows", (summary.inserted + summary.deleted) as u64);
+        record_batch(&summary);
+        Ok(summary)
+    }
+
     fn stats(&self) -> EngineStats {
         EngineStats {
             rewriting: self.rewriting.as_str(),
@@ -770,6 +877,7 @@ impl QueryEngine for ObdaSystem {
         lock_or_recover(&self.rewrite_cache).invalidate();
         *lock_or_recover(&self.materialized) = None;
         lock_or_recover(&self.ndl_memo).clear();
+        self.abox_version.fetch_add(1, Ordering::Relaxed);
     }
 
     fn reset_stats(&self) {
@@ -777,21 +885,36 @@ impl QueryEngine for ObdaSystem {
     }
 }
 
+/// The versioned data half of an [`AboxSystem`]: the explicit ABox, its
+/// secondary index, and the monotone version that stamps [`DataEpoch`]s.
+/// Kept in one struct behind one `RwLock` so queries see the three
+/// fields atomically — a reader can never pair a patched index with a
+/// pre-batch version.
+#[derive(Debug, Clone)]
+pub(crate) struct AboxData {
+    pub(crate) abox: Abox,
+    pub(crate) index: AboxIndex,
+    /// Bumped by every delta batch and every [`AboxSystem::mutate_abox`].
+    pub(crate) version: u64,
+}
+
 /// An ABox-backed system (no mappings/SQL): the simple entry point used
 /// by the quickstart example and by tests. Carries the same fast path
 /// as [`ObdaSystem`]: a persistent [`AboxIndex`] built at construction
 /// and a rewrite cache behind a `Mutex`, so every answering entry point
-/// is `&self` and the system is shareable across threads.
+/// is `&self` and the system is shareable across threads. The ABox and
+/// its index live behind an `RwLock` ([`AboxData`]): reads are
+/// lock-shared, and the write path ([`crate::QueryEngine::apply_delta`])
+/// patches both in place.
 #[derive(Debug)]
 pub struct AboxSystem {
     /// The ontology TBox.
     pub tbox: Tbox,
     /// The classification.
     pub classification: Classification,
-    /// The explicit ABox. Rebuild the index with
-    /// [`Self::refresh_index`] after mutating it.
-    pub abox: Abox,
-    index: AboxIndex,
+    /// The explicit ABox + index + version (see [`AboxData`]). Mutate
+    /// through [`Self::mutate_abox`] or the delta API.
+    data: RwLock<AboxData>,
     /// Rewriting algorithm: PerfectRef (default) or NDL. Presto is
     /// folded into PerfectRef here (no mappings to unfold through).
     rewriting: RewritingMode,
@@ -809,8 +932,7 @@ impl Clone for AboxSystem {
         AboxSystem {
             tbox: self.tbox.clone(),
             classification: self.classification.clone(),
-            abox: self.abox.clone(),
-            index: self.index.clone(),
+            data: RwLock::new(read_or_recover(&self.data).clone()),
             rewriting: self.rewriting,
             rewrite_cache: Mutex::new(lock_or_recover(&self.rewrite_cache).clone()),
             // The clone starts with a cold extent memo (it's a cache).
@@ -837,8 +959,11 @@ impl AboxSystem {
         AboxSystem {
             tbox,
             classification,
-            abox,
-            index,
+            data: RwLock::new(AboxData {
+                abox,
+                index,
+                version: 0,
+            }),
             rewriting: RewritingMode::PerfectRef,
             rewrite_cache: Mutex::new(RewriteCache::default()),
             ndl_memo: Mutex::new(ViewMemo::default()),
@@ -855,10 +980,10 @@ impl AboxSystem {
         self
     }
 
-    /// The persistent index over [`Self::abox`] (shard-side evaluation
-    /// reads it directly).
-    pub(crate) fn index(&self) -> &AboxIndex {
-        &self.index
+    /// Runs `f` with a shared read lock over the ABox + index + version
+    /// (shard-side evaluation and the stats path read through this).
+    pub(crate) fn with_data<R>(&self, f: impl FnOnce(&AboxData) -> R) -> R {
+        f(&read_or_recover(&self.data))
     }
 
     /// Sets the number of threads for UCQ evaluation (`0` = all cores).
@@ -884,11 +1009,23 @@ impl AboxSystem {
         self.eval_threads
     }
 
-    /// Rebuilds the ABox index after `abox` was mutated, dropping the
-    /// memoized NDL view extents computed from the old facts.
-    pub fn refresh_index(&mut self) {
-        self.index = AboxIndex::build(&self.abox);
+    /// Mutates the ABox arbitrarily under the write lock, then rebuilds
+    /// the index from scratch, bumps the version, and drops the memoized
+    /// NDL view extents computed from the old facts. This is the
+    /// *non-incremental* mutation escape hatch (and the baseline the A10
+    /// experiment compares the delta path against); batched changes
+    /// should go through [`crate::QueryEngine::apply_delta`].
+    pub fn mutate_abox(&self, f: impl FnOnce(&mut Abox)) {
+        let mut data = write_or_recover(&self.data);
+        f(&mut data.abox);
+        data.index = AboxIndex::build(&data.abox);
+        data.version += 1;
         lock_or_recover(&self.ndl_memo).clear();
+    }
+
+    /// The current ABox version (second [`DataEpoch`] component).
+    pub fn abox_version(&self) -> u64 {
+        read_or_recover(&self.data).version
     }
 
     /// The memoized (or freshly built) extent of one NDL view over this
@@ -898,11 +1035,60 @@ impl AboxSystem {
         &self,
         def: &crate::rewrite::ndl::ViewDef,
     ) -> Arc<crate::rewrite::ndl::ViewExtent> {
-        let epoch = lock_or_recover(&self.rewrite_cache).epoch;
+        let data = read_or_recover(&self.data);
+        let epoch = DataEpoch {
+            tbox: lock_or_recover(&self.rewrite_cache).epoch,
+            abox: data.version,
+        };
         crate::rewrite::ndl::memoized_extent(&self.ndl_memo, epoch, def.pred(), || {
-            crate::rewrite::ndl::build_extent(def, &self.abox, &self.index)
+            crate::rewrite::ndl::build_extent(def, &data.abox, &data.index)
         })
         .0
+    }
+
+    /// Applies pre-resolved delta facts to this system's store and view
+    /// memo: the shared write core reused verbatim by the sharded engine
+    /// (which resolves once at the coordinator and routes the facts).
+    /// Deletes apply before inserts; returns the per-batch summary.
+    pub(crate) fn apply_resolved_traced(
+        &self,
+        inserts: &[ResolvedFact],
+        deletes: &[ResolvedFact],
+        ctx: &TraceCtx,
+    ) -> DeltaSummary {
+        let mut guard = write_or_recover(&self.data);
+        // Reborrow through the guard once so the field borrows split.
+        let data = &mut *guard;
+        let applied = {
+            let g = span!(ctx, "write.index");
+            let applied = apply_to_store(&mut data.abox, &mut data.index, inserts, deletes);
+            g.count("inserted", applied.inserted.len() as u64);
+            g.count("deleted", applied.deleted.len() as u64);
+            applied
+        };
+        data.version += 1;
+        let epoch = DataEpoch {
+            tbox: lock_or_recover(&self.rewrite_cache).epoch,
+            abox: data.version,
+        };
+        let fallbacks = {
+            let g = span!(ctx, "write.views");
+            let fb = maintain_memo(
+                &self.ndl_memo,
+                epoch,
+                &applied,
+                &self.classification,
+                &data.abox,
+                Some(&data.index),
+            );
+            g.count("fallbacks", fb);
+            fb
+        };
+        DeltaSummary {
+            inserted: applied.inserted.len(),
+            deleted: applied.deleted.len(),
+            fallbacks,
+        }
     }
 
     /// Drops cached rewritings (call after mutating `tbox`).
@@ -932,9 +1118,12 @@ impl AboxSystem {
 
     /// Answers a parsed CQ with PerfectRef over the ABox.
     pub fn answer_cq(&self, q: &ConjunctiveQuery) -> Answers {
-        run_with_engine_trace(&self.trace_sink(), None, |ctx| {
-            Ok(self.eval_cq_traced(q, ctx))
-        })
+        run_with_engine_trace(
+            &self.trace_sink(),
+            None,
+            |a: &Answers| a.len() as u64,
+            |ctx| Ok(self.eval_cq_traced(q, ctx)),
+        )
         .unwrap_or_default()
     }
 
@@ -963,14 +1152,20 @@ impl AboxSystem {
             q,
             ctx,
         );
+        let data = read_or_recover(&self.data);
         let answers = match &*rw {
             CachedRewriting::PerfectRef { ucq, .. } => {
                 let threads = resolve_threads(self.eval_threads);
-                evaluate_ucq_parallel_traced(ucq, &self.abox, &self.index, threads, ctx)
+                evaluate_ucq_parallel_traced(ucq, &data.abox, &data.index, threads, ctx)
             }
             CachedRewriting::Ndl(prog) => {
-                let epoch = lock_or_recover(&self.rewrite_cache).epoch;
-                answer_ndl_indexed_traced(prog, &self.abox, &self.index, &self.ndl_memo, epoch, ctx)
+                // The read lock pins abox+index+version together, so the
+                // stamped epoch always matches the snapshot it covers.
+                let epoch = DataEpoch {
+                    tbox: lock_or_recover(&self.rewrite_cache).epoch,
+                    abox: data.version,
+                };
+                answer_ndl_indexed_traced(prog, &data.abox, &data.index, &self.ndl_memo, epoch, ctx)
             }
             CachedRewriting::Presto(_) => {
                 // lint: allow(R1.panic, "this cache only ever receives PerfectRef or Ndl entries (inserted above); the Presto arm is unreachable by construction")
@@ -995,6 +1190,19 @@ impl QueryEngine for AboxSystem {
 
     fn answer_cq_traced(&self, q: &ConjunctiveQuery, ctx: &TraceCtx) -> Result<Answers, ObdaError> {
         Ok(self.eval_cq_traced(q, ctx))
+    }
+
+    fn apply_delta_traced(
+        &self,
+        delta: &AboxDelta,
+        ctx: &TraceCtx,
+    ) -> Result<DeltaSummary, ObdaError> {
+        let guard = span!(ctx, "write.apply");
+        let (inserts, deletes) = resolve_delta(&self.tbox.sig, delta)?;
+        let summary = self.apply_resolved_traced(&inserts, &deletes, ctx);
+        guard.count("rows", (summary.inserted + summary.deleted) as u64);
+        record_batch(&summary);
+        Ok(summary)
     }
 
     fn stats(&self) -> EngineStats {

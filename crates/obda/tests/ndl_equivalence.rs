@@ -253,12 +253,13 @@ fn ndl_memo_is_invalidated_by_abox_refresh_and_epoch_bump() {
 
     // ABox mutation + refresh: the memo must drop the old extents, and
     // the new individual must show up (a stale memo would drop it).
-    sys.abox.individual("fresh");
-    for i in 1..=3u32 {
-        let b = c.tbox.sig.find_concept(&format!("B{i}_0")).unwrap();
-        sys.abox.assert_concept(b, "fresh");
-    }
-    sys.refresh_index();
+    sys.mutate_abox(|abox| {
+        abox.individual("fresh");
+        for i in 1..=3u32 {
+            let b = c.tbox.sig.find_concept(&format!("B{i}_0")).unwrap();
+            abox.assert_concept(b, "fresh");
+        }
+    });
     let m2 = miss.get();
     let refreshed = sys.answer_cq(&q);
     assert_eq!(refreshed.len(), 7, "refreshed answers must include `fresh`");

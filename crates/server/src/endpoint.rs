@@ -13,7 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mastro::{
-    demo, Answers, ObdaError, QueryEngine, QueryParseError, RewriteCacheStats, SystemBuilder,
+    demo, AboxDelta, Answers, DeltaSummary, ObdaError, QueryEngine, QueryParseError,
+    RewriteCacheStats, SystemBuilder,
 };
 use obda_genont::university_scenario;
 use obda_obs::{TraceCtx, TraceSink};
@@ -106,6 +107,25 @@ impl Endpoint {
     /// Answers one query without collecting a trace.
     pub fn answer(&self, lang: Lang, query: &str) -> Result<Answers, ObdaError> {
         self.answer_traced(lang, query, &TraceCtx::disabled())
+    }
+
+    /// Applies one delta batch through the engine's incremental write
+    /// path, recording `write.*` spans on `ctx`. `&self` — writes go
+    /// through the same worker pool as queries. Engines without a
+    /// writable store (virtual-mode OBDA) answer
+    /// [`ObdaError::Unsupported`].
+    pub fn apply_delta_traced(
+        &self,
+        delta: &AboxDelta,
+        ctx: &TraceCtx,
+    ) -> Result<DeltaSummary, ObdaError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.engine.apply_delta_traced(delta, ctx)
+    }
+
+    /// Applies one delta batch without collecting a trace.
+    pub fn apply_delta(&self, delta: &AboxDelta) -> Result<DeltaSummary, ObdaError> {
+        self.apply_delta_traced(delta, &TraceCtx::disabled())
     }
 
     /// The engine's trace sink (finished worker traces publish here).

@@ -46,5 +46,5 @@ pub use config::{EndpointConfig, EndpointKind, ServerConfig};
 pub use endpoint::Endpoint;
 pub use json::Json;
 pub use metrics::{Histogram, ServerMetrics};
-pub use proto::{parse_request, Lang, QueryRequest, Request};
+pub use proto::{parse_request, Lang, QueryRequest, Request, WriteRequest};
 pub use server::Server;

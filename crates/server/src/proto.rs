@@ -14,6 +14,24 @@
 //! * `timeout_ms` — optional per-request deadline override, clamped to
 //!   the server's configured maximum.
 //!
+//! A JSON object carrying `insert` and/or `delete` (and **no** `query`)
+//! is a *write* — a [`mastro::AboxDelta`] batch applied to the
+//! endpoint's materialized ABox through the incremental write path:
+//!
+//! ```json
+//! {"id":"w1","endpoint":"uni","insert":[["Student","person/9"],
+//!   ["takesCourse","person/9","course/1"],["personName","person/9","Ada"]],
+//!   "delete":[["takesCourse","person/9","course/2"]]}
+//! ```
+//!
+//! Each statement is an array: `[predicate, individual]` asserts a
+//! concept membership; `[predicate, subject, object]` asserts a role
+//! (string object) or attribute (the object is an attribute value — a
+//! JSON integer becomes a typed int, a string on an attribute predicate
+//! becomes a text value; predicate names resolve against the TBox
+//! signature, roles first). Deletes apply before inserts; duplicate
+//! inserts and deletes of absent facts are no-ops.
+//!
 //! The bare line `STATS` (no JSON) returns the metrics snapshot, and
 //! `TRACE` (or `TRACE n`) returns the last `n` completed query traces
 //! from the in-process ring buffer, each with its per-phase timing
@@ -31,7 +49,8 @@
 
 use std::sync::Arc;
 
-use mastro::{Answers, ObdaError};
+use mastro::{AboxDelta, Answers, DeltaStatement, DeltaSummary, ObdaError};
+use obda_dllite::Value;
 use obda_obs::QueryTrace;
 
 use crate::json::Json;
@@ -77,11 +96,26 @@ pub struct QueryRequest {
     pub timeout_ms: Option<u64>,
 }
 
+/// A parsed write request: one delta batch against one endpoint.
+#[derive(Debug, Clone)]
+pub struct WriteRequest {
+    /// Client-chosen id, echoed back verbatim.
+    pub id: Option<String>,
+    /// Endpoint name.
+    pub endpoint: String,
+    /// The batch: deletes apply first, then inserts.
+    pub delta: AboxDelta,
+    /// Per-request deadline override (milliseconds).
+    pub timeout_ms: Option<u64>,
+}
+
 /// Any frame a client can send.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// A query.
     Query(QueryRequest),
+    /// A write (delta batch).
+    Write(WriteRequest),
     /// The `STATS` verb.
     Stats,
     /// The `TRACE [n]` verb: fetch the last `n` completed query traces
@@ -125,6 +159,31 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some(Json::Str(s)) if !s.is_empty() => s.clone(),
         _ => return Err("bad frame: missing `endpoint`".into()),
     };
+    let timeout_ms = match v.get("timeout_ms") {
+        None | Some(Json::Null) => None,
+        Some(n) => Some(
+            n.as_u64()
+                .ok_or("bad frame: `timeout_ms` must be a non-negative integer")?,
+        ),
+    };
+    if v.get("insert").is_some() || v.get("delete").is_some() {
+        if v.get("query").is_some() || v.get("lang").is_some() {
+            return Err("bad frame: a request is a query or a write, not both".into());
+        }
+        let delta = AboxDelta {
+            inserts: parse_statements(v.get("insert"), "insert")?,
+            deletes: parse_statements(v.get("delete"), "delete")?,
+        };
+        if delta.is_empty() {
+            return Err("bad frame: write carries no statements".into());
+        }
+        return Ok(Request::Write(WriteRequest {
+            id,
+            endpoint,
+            delta,
+            timeout_ms,
+        }));
+    }
     let lang = match v.get("lang").and_then(Json::as_str) {
         None | Some("cq") => Lang::Cq,
         Some("sparql") => Lang::Sparql,
@@ -134,13 +193,6 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some(Json::Str(s)) if !s.is_empty() => s.clone(),
         _ => return Err("bad frame: missing `query`".into()),
     };
-    let timeout_ms = match v.get("timeout_ms") {
-        None | Some(Json::Null) => None,
-        Some(n) => Some(
-            n.as_u64()
-                .ok_or("bad frame: `timeout_ms` must be a non-negative integer")?,
-        ),
-    };
     Ok(Request::Query(QueryRequest {
         id,
         endpoint,
@@ -148,6 +200,52 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         query,
         timeout_ms,
     }))
+}
+
+/// Parses one side of a write batch: an array of statement arrays.
+fn parse_statements(field: Option<&Json>, name: &str) -> Result<Vec<DeltaStatement>, String> {
+    let items = match field {
+        None | Some(Json::Null) => return Ok(Vec::new()),
+        Some(Json::Arr(items)) => items,
+        Some(_) => {
+            return Err(format!(
+                "bad frame: `{name}` must be an array of statements"
+            ))
+        }
+    };
+    items
+        .iter()
+        .map(|item| parse_statement(item, name))
+        .collect()
+}
+
+/// One wire statement: `[predicate, individual]` (concept) or
+/// `[predicate, subject, object]` (role / attribute). A JSON-integer
+/// object pins the statement to an attribute with a typed int value.
+fn parse_statement(item: &Json, name: &str) -> Result<DeltaStatement, String> {
+    let shape = format!(
+        "bad frame: each `{name}` statement is [predicate, individual] or [predicate, subject, object]"
+    );
+    let Json::Arr(parts) = item else {
+        return Err(shape);
+    };
+    match parts.as_slice() {
+        [Json::Str(p), Json::Str(i)] if !p.is_empty() && !i.is_empty() => {
+            Ok(DeltaStatement::unary(p, i))
+        }
+        [Json::Str(p), Json::Str(s), Json::Str(o)] if !p.is_empty() && !s.is_empty() => {
+            Ok(DeltaStatement::binary(p, s, o))
+        }
+        [Json::Str(p), Json::Str(s), Json::Num(n)] if !p.is_empty() && !s.is_empty() => {
+            if n.fract() != 0.0 || *n < i64::MIN as f64 || *n > i64::MAX as f64 {
+                return Err(format!(
+                    "bad frame: `{name}` attribute value must be an integer, got {n}"
+                ));
+            }
+            Ok(DeltaStatement::binary_value(p, s, Value::Int(*n as i64)))
+        }
+        _ => Err(shape),
+    }
 }
 
 fn id_field(id: &Option<String>) -> Json {
@@ -175,6 +273,27 @@ pub fn ok_response(id: &Option<String>, answers: &Answers, wait_us: u64, exec_us
         ("status", "ok".into()),
         ("rows", answers.len().into()),
         ("answers", answers_to_json(answers)),
+        ("wait_us", wait_us.into()),
+        ("exec_us", exec_us.into()),
+    ])
+}
+
+/// `status: ok` response for an applied write batch. `inserted` and
+/// `deleted` count *changed* rows (duplicate inserts and deletes of
+/// absent facts are no-ops); `fallback` counts memoized view extents
+/// the batch invalidated instead of patching.
+pub fn write_ok_response(
+    id: &Option<String>,
+    summary: &DeltaSummary,
+    wait_us: u64,
+    exec_us: u64,
+) -> Json {
+    Json::obj(vec![
+        ("id", id_field(id)),
+        ("status", "ok".into()),
+        ("inserted", summary.inserted.into()),
+        ("deleted", summary.deleted.into()),
+        ("fallback", summary.fallbacks.into()),
         ("wait_us", wait_us.into()),
         ("exec_us", exec_us.into()),
     ])
@@ -325,6 +444,80 @@ mod tests {
         ));
         assert!(parse_request("TRACE five").is_err());
         assert!(parse_request("TRACE -1").is_err());
+    }
+
+    #[test]
+    fn parses_write_batches() {
+        let r = parse_request(
+            r#"{"id":"w1","endpoint":"uni","insert":[["Student","person/9"],["takesCourse","person/9","course/1"],["age","person/9",30]],"delete":[["takesCourse","person/9","course/2"]],"timeout_ms":250}"#,
+        )
+        .unwrap();
+        let Request::Write(w) = r else {
+            panic!("write")
+        };
+        assert_eq!(w.id.as_deref(), Some("w1"));
+        assert_eq!(w.endpoint, "uni");
+        assert_eq!(w.timeout_ms, Some(250));
+        assert_eq!(w.delta.inserts.len(), 3);
+        assert_eq!(w.delta.deletes.len(), 1);
+        assert_eq!(
+            w.delta.inserts[0],
+            DeltaStatement::unary("Student", "person/9")
+        );
+        assert_eq!(
+            w.delta.inserts[2],
+            DeltaStatement::binary_value("age", "person/9", Value::Int(30))
+        );
+        // Insert-only and delete-only batches are fine.
+        assert!(matches!(
+            parse_request(r#"{"endpoint":"uni","insert":[["A","i"]]}"#).unwrap(),
+            Request::Write(_)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"endpoint":"uni","delete":[["A","i"]]}"#).unwrap(),
+            Request::Write(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_writes() {
+        for bad in [
+            // Query and write in one frame.
+            r#"{"endpoint":"uni","query":"q(x) :- A(x)","insert":[["A","i"]]}"#,
+            // Empty batch.
+            r#"{"endpoint":"uni","insert":[],"delete":[]}"#,
+            // Statement shape violations.
+            r#"{"endpoint":"uni","insert":[["A"]]}"#,
+            r#"{"endpoint":"uni","insert":[["A","s","o","x"]]}"#,
+            r#"{"endpoint":"uni","insert":["A"]}"#,
+            r#"{"endpoint":"uni","insert":[["","i"]]}"#,
+            r#"{"endpoint":"uni","insert":[[1,"i"]]}"#,
+            r#"{"endpoint":"uni","insert":[["age","s",1.5]]}"#,
+            r#"{"endpoint":"uni","insert":"A(i)"}"#,
+            // Writes still need an endpoint.
+            r#"{"insert":[["A","i"]]}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn write_ok_response_carries_counts() {
+        let j = write_ok_response(
+            &Some("w1".into()),
+            &DeltaSummary {
+                inserted: 3,
+                deleted: 1,
+                fallbacks: 2,
+            },
+            10,
+            20,
+        );
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(j.get("inserted").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("deleted").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("fallback").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("exec_us").and_then(Json::as_u64), Some(20));
     }
 
     #[test]

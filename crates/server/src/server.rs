@@ -52,7 +52,7 @@ use crate::json::Json;
 use crate::metrics::ServerMetrics;
 use crate::proto::{
     self, error_response, ok_response, overloaded_response, parse_request, shutting_down_response,
-    timeout_response, trace_response, QueryRequest, Request,
+    timeout_response, trace_response, write_ok_response, QueryRequest, Request, WriteRequest,
 };
 use crate::signal;
 
@@ -73,9 +73,62 @@ struct WorkerReply {
     rows: usize,
 }
 
-/// One admitted query, queued for a worker.
+/// What an admitted request asks a worker to do: answer a query or
+/// apply a write batch. Both flow through the same queue, deadline, and
+/// panic-isolation machinery — admission control does not distinguish
+/// reads from writes.
+enum WorkItem {
+    Query(QueryRequest),
+    Write(WriteRequest),
+}
+
+impl WorkItem {
+    fn id(&self) -> &Option<String> {
+        match self {
+            WorkItem::Query(q) => &q.id,
+            WorkItem::Write(w) => &w.id,
+        }
+    }
+
+    fn endpoint(&self) -> &str {
+        match self {
+            WorkItem::Query(q) => &q.endpoint,
+            WorkItem::Write(w) => &w.endpoint,
+        }
+    }
+
+    /// The access-log / trace tag for the request flavor: the query
+    /// language, or `write`.
+    fn kind_str(&self) -> &'static str {
+        match self {
+            WorkItem::Query(q) => q.lang.as_str(),
+            WorkItem::Write(_) => "write",
+        }
+    }
+
+    fn timeout_ms(&self) -> Option<u64> {
+        match self {
+            WorkItem::Query(q) => q.timeout_ms,
+            WorkItem::Write(w) => w.timeout_ms,
+        }
+    }
+
+    /// The line recorded as the trace's query text.
+    fn trace_text(&self) -> String {
+        match self {
+            WorkItem::Query(q) => q.query.clone(),
+            WorkItem::Write(w) => format!(
+                "WRITE insert={} delete={}",
+                w.delta.inserts.len(),
+                w.delta.deletes.len()
+            ),
+        }
+    }
+}
+
+/// One admitted request (query or write), queued for a worker.
 struct Job {
-    req: QueryRequest,
+    work: WorkItem,
     endpoint: Arc<Endpoint>,
     admitted: Instant,
     deadline: Instant,
@@ -536,30 +589,34 @@ fn process_frame(shared: &Arc<Shared>, stream: &mut TcpStream, raw: &[u8]) -> bo
             let traces = obda_obs::ring::global().last(n.unwrap_or(1));
             write_response(stream, &trace_response(&traces))
         }
-        Request::Query(q) => handle_query(shared, stream, q),
+        Request::Query(q) => handle_work(shared, stream, WorkItem::Query(q)),
+        Request::Write(w) => handle_work(shared, stream, WorkItem::Write(w)),
     }
 }
 
-fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, req: QueryRequest) -> bool {
+fn handle_work(shared: &Arc<Shared>, stream: &mut TcpStream, work: WorkItem) -> bool {
     let metrics = &shared.metrics;
-    let endpoint = match shared.endpoints.get(&req.endpoint) {
+    let id = work.id().clone();
+    let endpoint_name = work.endpoint().to_owned();
+    let kind = work.kind_str();
+    let endpoint = match shared.endpoints.get(&endpoint_name) {
         Some(ep) => Arc::clone(ep),
         None => {
             metrics.errors.fetch_add(1, Ordering::Relaxed);
-            let msg = proto::engine_error_text(&crate::endpoint::unknown_endpoint(&req.endpoint));
-            let resp = error_response(&req.id, "unknown_endpoint", &msg);
-            access_log(shared, &req.endpoint, req.lang.as_str(), "error", 0, 0);
+            let msg = proto::engine_error_text(&crate::endpoint::unknown_endpoint(&endpoint_name));
+            let resp = error_response(&id, "unknown_endpoint", &msg);
+            access_log(shared, &endpoint_name, kind, "error", 0, 0);
             return write_response(stream, &resp);
         }
     };
     if shared.shutting_down() {
         metrics.shed_on_shutdown.fetch_add(1, Ordering::Relaxed);
-        return write_response(stream, &shutting_down_response(&req.id));
+        return write_response(stream, &shutting_down_response(&id));
     }
 
     let admitted = Instant::now();
-    let timeout_ms = req
-        .timeout_ms
+    let timeout_ms = work
+        .timeout_ms()
         .unwrap_or(shared.cfg.default_timeout_ms)
         .min(shared.cfg.max_timeout_ms);
     let deadline = admitted + Duration::from_millis(timeout_ms);
@@ -571,18 +628,18 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, req: QueryRequest)
         deadline,
         cancelled: Arc::clone(&cancelled),
         resp_tx,
-        req: req.clone(),
+        work,
     };
 
     match shared.queue.try_push(job) {
         Err(PushRejection::Full) => {
             metrics.overloaded.fetch_add(1, Ordering::Relaxed);
-            access_log(shared, &req.endpoint, req.lang.as_str(), "overloaded", 0, 0);
-            return write_response(stream, &overloaded_response(&req.id));
+            access_log(shared, &endpoint_name, kind, "overloaded", 0, 0);
+            return write_response(stream, &overloaded_response(&id));
         }
         Err(PushRejection::Closed) => {
             metrics.shed_on_shutdown.fetch_add(1, Ordering::Relaxed);
-            return write_response(stream, &shutting_down_response(&req.id));
+            return write_response(stream, &shutting_down_response(&id));
         }
         Ok(depth) => {
             metrics.admitted.fetch_add(1, Ordering::Relaxed);
@@ -599,11 +656,11 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, req: QueryRequest)
         Ok(reply) => (reply.json, reply.status, reply.rows),
         Err(RecvTimeoutError::Timeout) => {
             cancelled.store(true, Ordering::SeqCst);
-            (timeout_response(&req.id), "timeout", 0)
+            (timeout_response(&id), "timeout", 0)
         }
         Err(RecvTimeoutError::Disconnected) => (
             error_response(
-                &req.id,
+                &id,
                 "internal",
                 "internal error: worker dropped the request",
             ),
@@ -618,14 +675,7 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, req: QueryRequest)
         _ => metrics.errors.fetch_add(1, Ordering::Relaxed),
     };
     metrics.latency.record(total_us);
-    access_log(
-        shared,
-        &req.endpoint,
-        req.lang.as_str(),
-        status,
-        rows,
-        total_us,
-    );
+    access_log(shared, &endpoint_name, kind, status, rows, total_us);
     write_response(stream, &resp)
 }
 
@@ -644,6 +694,13 @@ fn interruptible_delay(job: &Job, delay_ms: u64) -> bool {
     !job.cancelled.load(Ordering::SeqCst) && Instant::now() < job.deadline
 }
 
+/// What one unit of worker execution produced (queries answer rows;
+/// writes answer a delta summary).
+enum ExecOutput {
+    Answers(mastro::Answers),
+    Applied(mastro::DeltaSummary),
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some((job, depth)) = shared.queue.pop() {
         shared.metrics.queue_depth.store(depth, Ordering::Relaxed);
@@ -654,7 +711,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         if Instant::now() >= job.deadline {
             // Expired while queued: cheap timeout, no evaluation at all.
             let _ = job.resp_tx.send(WorkerReply {
-                json: timeout_response(&job.req.id),
+                json: timeout_response(job.work.id()),
                 status: "timeout",
                 rows: 0,
             });
@@ -662,7 +719,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         if job.endpoint.delay_ms > 0 && !interruptible_delay(&job, job.endpoint.delay_ms) {
             let _ = job.resp_tx.send(WorkerReply {
-                json: timeout_response(&job.req.id),
+                json: timeout_response(job.work.id()),
                 status: "timeout",
                 rows: 0,
             });
@@ -678,34 +735,42 @@ fn worker_loop(shared: &Arc<Shared>) {
         } else {
             obda_obs::TraceCtx::disabled()
         };
-        ctx.set_query(&job.req.query);
+        ctx.set_query(job.work.trace_text());
         ctx.tag("endpoint", job.endpoint.name.clone());
-        // A panicking query (engine bug, adversarial input) must take
+        // A panicking request (engine bug, adversarial input) must take
         // down one request, not the worker.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            job.endpoint
-                .answer_traced(job.req.lang, &job.req.query, &ctx)
+        let outcome = catch_unwind(AssertUnwindSafe(|| match &job.work {
+            WorkItem::Query(q) => job
+                .endpoint
+                .answer_traced(q.lang, &q.query, &ctx)
+                .map(ExecOutput::Answers),
+            WorkItem::Write(w) => job
+                .endpoint
+                .apply_delta_traced(&w.delta, &ctx)
+                .map(ExecOutput::Applied),
         }));
         let exec_us = t.elapsed().as_micros() as u64;
+        let id = job.work.id();
         let reply = {
             let _serialize = ctx.span("serialize");
             match outcome {
-                Ok(Ok(answers)) => WorkerReply {
+                Ok(Ok(ExecOutput::Answers(answers))) => WorkerReply {
                     rows: answers.len(),
-                    json: ok_response(&job.req.id, &answers, wait_us, exec_us),
+                    json: ok_response(id, &answers, wait_us, exec_us),
+                    status: "ok",
+                },
+                Ok(Ok(ExecOutput::Applied(summary))) => WorkerReply {
+                    rows: summary.inserted + summary.deleted,
+                    json: write_ok_response(id, &summary, wait_us, exec_us),
                     status: "ok",
                 },
                 Ok(Err(e)) => WorkerReply {
-                    json: error_response(&job.req.id, e.kind(), &proto::engine_error_text(&e)),
+                    json: error_response(id, e.kind(), &proto::engine_error_text(&e)),
                     status: "error",
                     rows: 0,
                 },
                 Err(_) => WorkerReply {
-                    json: error_response(
-                        &job.req.id,
-                        "panic",
-                        "internal error: query execution panicked",
-                    ),
+                    json: error_response(id, "panic", "internal error: request execution panicked"),
                     status: "error",
                     rows: 0,
                 },
@@ -754,13 +819,13 @@ mod tests {
             let (tx, _rx) = sync_channel(1);
             // _rx dropped: sends fail silently, which is fine here.
             Job {
-                req: QueryRequest {
+                work: WorkItem::Query(QueryRequest {
                     id: Some(name.into()),
                     endpoint: "e".into(),
                     lang: crate::proto::Lang::Cq,
                     query: "q".into(),
                     timeout_ms: None,
-                },
+                }),
                 endpoint: Arc::new(
                     crate::endpoint::Endpoint::build(&crate::config::EndpointConfig {
                         scale: 1,

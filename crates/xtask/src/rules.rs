@@ -114,7 +114,11 @@ pub const CONDVAR_PAIRS: &[(&str, &str)] = &[("ready", "inner"), ("freed", "infl
 
 /// Workspace lock-acquisition order (outermost first). Acquiring an
 /// earlier lock while holding a later one is an R2.order violation.
-pub const LOCK_ORDER: &[&str] = &["inner", "rewrite_cache", "materialized"];
+/// `data` is the `AboxSystem` store lock (abox + index + version); the
+/// write path acquires it before touching the rewrite cache or the
+/// materialized slot, and RwLock acquisitions through
+/// `read_or_recover`/`write_or_recover` count the same as mutex ones.
+pub const LOCK_ORDER: &[&str] = &["inner", "data", "rewrite_cache", "materialized"];
 
 /// One diagnostic.
 #[derive(Debug, Clone)]
@@ -473,8 +477,10 @@ fn r2(file: &ScannedFile, findings: &mut Vec<Finding>) {
         // (`lock_or_recover(&…).get(k)`) is a temporary that dies at the
         // semicolon, not a live guard.
         if let Some(var) = let_binding(code) {
-            let locks_here = (code.contains("lock_or_recover(") && !code.contains(")."))
-                || joined.contains(".lock()");
+            let recover_call = ["lock_or_recover(", "read_or_recover(", "write_or_recover("]
+                .iter()
+                .any(|pat| code.contains(pat));
+            let locks_here = (recover_call && !code.contains(").")) || joined.contains(".lock()");
             if locks_here {
                 let origin = origin_field(code);
                 // R2.order: acquiring out of declared order while other
@@ -586,11 +592,15 @@ fn let_binding(code: &str) -> Option<String> {
     }
 }
 
-/// The mutex field behind a lock call: `lock_or_recover(&self.inner)` /
-/// `self.rewrite_cache.lock()` → `inner` / `rewrite_cache`.
+/// The lock field behind an acquisition call:
+/// `lock_or_recover(&self.inner)` / `read_or_recover(&self.data)` /
+/// `self.rewrite_cache.lock()` → `inner` / `data` / `rewrite_cache`.
 fn origin_field(code: &str) -> Option<String> {
-    let after = if let Some(p) = code.find("lock_or_recover(") {
-        &code[p + "lock_or_recover(".len()..]
+    let recover_start = ["lock_or_recover(", "read_or_recover(", "write_or_recover("]
+        .iter()
+        .find_map(|pat| code.find(pat).map(|p| p + pat.len()));
+    let after = if let Some(p) = recover_start {
+        &code[p..]
     } else if let Some(p) = code.find(".lock()") {
         // Walk back over the receiver expression.
         let recv = &code[..p];
@@ -1128,6 +1138,37 @@ fn f(&self) {
 ";
         let f = lint_src("crates/obda/src/fixture4.rs", good);
         assert!(!rules_of(&f).contains(&"R2.order"), "{f:?}");
+    }
+
+    #[test]
+    fn r2_lock_order_covers_the_write_path_rwlock() {
+        // The canonical write path: data store first, then caches.
+        let good = "\
+fn apply(&self) {
+    let guard = write_or_recover(&self.data);
+    let cache = lock_or_recover(&self.rewrite_cache);
+}
+";
+        let f = lint_src("crates/obda/src/fixture5.rs", good);
+        assert!(!rules_of(&f).contains(&"R2.order"), "{f:?}");
+        // Grabbing the store while holding a cache inverts the order —
+        // a reader doing this can deadlock against the writer.
+        let bad = "\
+fn apply(&self) {
+    let cache = lock_or_recover(&self.rewrite_cache);
+    let guard = read_or_recover(&self.data);
+}
+";
+        let f = lint_src("crates/obda/src/fixture5.rs", bad);
+        assert!(rules_of(&f).contains(&"R2.order"), "{f:?}");
+        let bad_mat = "\
+fn apply(&self) {
+    let slot = lock_or_recover(&self.materialized);
+    let guard = write_or_recover(&self.data);
+}
+";
+        let f = lint_src("crates/obda/src/fixture5.rs", bad_mat);
+        assert!(rules_of(&f).contains(&"R2.order"), "{f:?}");
     }
 
     #[test]
