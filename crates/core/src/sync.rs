@@ -13,6 +13,16 @@
 //! `xtask lint` rule `R2.lock-unwrap` enforces this: `.lock().unwrap()`
 //! and open-coded `PoisonError::into_inner` recoveries outside this
 //! module are lint errors.
+//!
+//! These helpers are also the acquisition vocabulary of
+//! `xtask analyze`: every `lock_or_recover`/`read_or_recover`/
+//! `write_or_recover` call site is a lock-graph node for the held-set
+//! propagation (rules `A1.reacquire`/`A1.inversion`), with guard
+//! lifetimes modeled as live-to-`drop`-or-block-close for `let`-bound
+//! guards and live-to-statement-end for temporaries. This module
+//! itself is excluded from graph extraction — it implements the
+//! helpers, it doesn't participate in lock ordering. Keep new
+//! synchronization primitives here so the analysis sees their callers.
 
 use std::sync::{
     Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,

@@ -4,10 +4,7 @@
 //! This is "ABox mode" OBDA: useful for moderate data sizes, for tests,
 //! and as the baseline against unfolding in the A4 ablation.
 
-use std::sync::{Arc, OnceLock};
-
 use obda_dllite::{Abox, Value};
-use obda_obs::Counter;
 use obda_sqlstore::{Database, SqlError, SqlValue};
 
 use crate::assertion::{MappingHead, MappingSet};
@@ -29,11 +26,8 @@ impl MaterializeStats {
     }
 }
 
-/// Registry handle for the process-wide skipped-rows counter.
-fn skipped_total() -> &'static Arc<Counter> {
-    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
-    HANDLE.get_or_init(|| obda_obs::registry().counter("materialize.skipped_rows"))
-}
+// Process-wide skipped-rows counter, resolved once.
+obda_obs::counter_handle!(fn skipped_total, "materialize.skipped_rows");
 
 /// Evaluates all mappings over `db`, producing the virtual ABox.
 pub fn materialize(mappings: &MappingSet, db: &Database) -> Result<Abox, SqlError> {

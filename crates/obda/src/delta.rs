@@ -38,13 +38,12 @@
 //! as a fallback). This is the A/B lever the A10 experiment uses to
 //! price the incremental path against rebuild-on-next-read.
 
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 use obda_dllite::{
     Abox, Assertion, AttributeId, BasicConcept, BasicRole, ConceptId, IndividualId, RoleId,
     Signature, Value,
 };
-use obda_obs::{registry, Counter};
 use quonto::sync::lock_or_recover;
 use quonto::Classification;
 
@@ -183,27 +182,17 @@ impl DeltaSummary {
     }
 }
 
-/// Registry counters for the write path, resolved once:
-/// `delta_applied` (batches), `delta_rows` (changed assertions),
-/// `delta_fallback` (extents invalidated instead of patched).
-pub(crate) fn delta_metrics() -> &'static (Arc<Counter>, Arc<Counter>, Arc<Counter>) {
-    static HANDLE: OnceLock<(Arc<Counter>, Arc<Counter>, Arc<Counter>)> = OnceLock::new();
-    HANDLE.get_or_init(|| {
-        let r = registry();
-        (
-            r.counter("delta_applied"),
-            r.counter("delta_rows"),
-            r.counter("delta_fallback"),
-        )
-    })
-}
+// Registry counters for the write path, resolved once: applied batches,
+// changed assertions, extents invalidated instead of patched.
+obda_obs::counter_handle!(pub(crate) fn delta_applied_total, "delta_applied");
+obda_obs::counter_handle!(pub(crate) fn delta_rows_total, "delta_rows");
+obda_obs::counter_handle!(pub(crate) fn delta_fallback_total, "delta_fallback");
 
 /// Publishes a finished batch to the registry counters.
 pub(crate) fn record_batch(summary: &DeltaSummary) {
-    let (applied, rows, fallback) = delta_metrics();
-    applied.add(1);
-    rows.add((summary.inserted + summary.deleted) as u64);
-    fallback.add(summary.fallbacks);
+    delta_applied_total().add(1);
+    delta_rows_total().add((summary.inserted + summary.deleted) as u64);
+    delta_fallback_total().add(summary.fallbacks);
 }
 
 /// A delta statement with its predicate resolved against a signature,

@@ -45,11 +45,11 @@
 //! extents in place and restamps the memo at the new ABox version.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 use obda_dllite::{Abox, AttributeId, BasicConcept, BasicRole, Value};
 use obda_mapping::MappingSet;
-use obda_obs::{registry, Counter, TraceCtx};
+use obda_obs::TraceCtx;
 use obda_sqlstore::plan::{CompiledCmp, Source};
 use obda_sqlstore::sql::ast::{
     CmpOp, Comparison, Join, Operand, SelectCore, SelectItem, SelectQuery,
@@ -149,18 +149,10 @@ impl NdlProgram {
     }
 }
 
-/// Registry counters for the NDL path, resolved once.
-fn ndl_metrics() -> &'static (Arc<Counter>, Arc<Counter>, Arc<Counter>) {
-    static HANDLE: OnceLock<(Arc<Counter>, Arc<Counter>, Arc<Counter>)> = OnceLock::new();
-    HANDLE.get_or_init(|| {
-        let r = registry();
-        (
-            r.counter("ndl_rules"),
-            r.counter("ndl_view_memo_hit"),
-            r.counter("ndl_view_memo_miss"),
-        )
-    })
-}
+// Registry counters for the NDL path, resolved once.
+obda_obs::counter_handle!(fn ndl_rules_total, "ndl_rules");
+obda_obs::counter_handle!(fn ndl_memo_hit_total, "ndl_view_memo_hit");
+obda_obs::counter_handle!(fn ndl_memo_miss_total, "ndl_view_memo_miss");
 
 /// Compiles `q` into an NDL program: Presto skeletons plus one shared
 /// view definition per distinct view predicate they mention.
@@ -214,7 +206,7 @@ pub fn ndl_compile_traced(
     guard.count("rules", prog.num_rules as u64);
     guard.count("views", prog.views.len() as u64);
     guard.count("skeletons", prog.queries.len() as u64);
-    ndl_metrics().0.add(prog.num_rules as u64);
+    ndl_rules_total().add(prog.num_rules as u64);
     prog
 }
 
@@ -521,7 +513,7 @@ pub fn memoized_extent(
             m.extents.clear();
             m.epoch = epoch;
         } else if let Some(e) = m.extents.get(&pred) {
-            ndl_metrics().1.add(1);
+            ndl_memo_hit_total().add(1);
             return (Arc::clone(e), true);
         }
     }
@@ -532,7 +524,7 @@ pub fn memoized_extent(
     if m.epoch == epoch {
         m.extents.insert(pred, Arc::clone(&built));
     }
-    ndl_metrics().2.add(1);
+    ndl_memo_miss_total().add(1);
     (built, false)
 }
 

@@ -268,11 +268,8 @@ fn rewrite_perfectref_pruned_traced(
     (ucq, raw_len)
 }
 
-/// Registry handle for the capped-prune counter, resolved once.
-fn prune_capped_total() -> &'static Arc<Counter> {
-    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
-    HANDLE.get_or_init(|| registry().counter("rewrite_prune_capped"))
-}
+// Registry handle for the capped-prune counter, resolved once.
+obda_obs::counter_handle!(fn prune_capped_total, "rewrite_prune_capped");
 
 /// Untraced variant, kept for `explain` and external callers.
 pub(crate) fn rewrite_perfectref_pruned(q: &ConjunctiveQuery, tbox: &Tbox) -> (Ucq, usize) {

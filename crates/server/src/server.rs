@@ -144,6 +144,12 @@ struct QueueInner {
 /// Bounded MPMC job queue (mutex + condvar; the queue holds dozens of
 /// entries, not millions — contention on the lock is dwarfed by query
 /// execution).
+///
+/// Lock-order note: `JobQueue.inner` is acquired strictly before any
+/// engine-side lock (workers pop a job, *release* the queue, then run
+/// the query) — `xtask analyze` derives this order from the acquisition
+/// paths and would flag any new path that holds `inner` into engine
+/// code as an `A1.inversion`.
 struct JobQueue {
     inner: Mutex<QueueInner>,
     ready: Condvar,

@@ -84,13 +84,9 @@ pub fn execute_counted(
     })
 }
 
-/// Registry handle for the process-wide scanned-rows counter, resolved
-/// once so the per-statement cost is one relaxed atomic add.
-fn rows_scanned_total() -> &'static std::sync::Arc<obda_obs::Counter> {
-    static HANDLE: std::sync::OnceLock<std::sync::Arc<obda_obs::Counter>> =
-        std::sync::OnceLock::new();
-    HANDLE.get_or_init(|| obda_obs::registry().counter("sqlstore.rows_scanned"))
-}
+// Process-wide scanned-rows counter, resolved once so the
+// per-statement cost is one relaxed atomic add.
+obda_obs::counter_handle!(fn rows_scanned_total, "sqlstore.rows_scanned");
 
 /// Executes a planned query under a trace context: bumps the per-query
 /// `rows_scanned` / `sql_statements` trace counters and the process-wide

@@ -1,0 +1,988 @@
+//! `xtask analyze` — the three whole-workspace graph analyses.
+//!
+//! Runs on the call graph [`crate::graph`] extracts from the scanner's
+//! masked views:
+//!
+//! * **A1 lock order** — propagates held-lock sets across resolved
+//!   call edges and reports same-mutex re-acquisition paths
+//!   (`A1.reacquire`, the PR 5 `AboxSystem::stats` self-deadlock
+//!   class) and order-inversion cycles between distinct locks
+//!   (`A1.inversion`). The order is *derived* from the observed
+//!   acquisition edges, not a declared list: any cycle is a finding.
+//! * **A2 telemetry drift** — collects every `span!` / `.span("…")` /
+//!   `.count("…")` / `registry().counter("…")` / `counter_handle!`
+//!   name literal, generates the telemetry-name table embedded in
+//!   README/DESIGN between `<!-- quonto-obs:begin/end -->` markers
+//!   (`A2.table` when stale), and reports consumer-side counter names
+//!   with no producer (`A2.orphan`) and edit-distance-1 near-duplicate
+//!   names within a kind (`A2.neardup`).
+//! * **A3 invalidation soundness** — every site that bumps a data
+//!   version (`version += 1`, `…version.fetch_add(`) must reach, in
+//!   the call graph, a `ViewMemo` patch-or-invalidate action
+//!   (`A3.unpaired`); conversely a function that applies a delta to
+//!   the backing store must reach a version bump (`A3.version`).
+//!   These are the PR 8 write-path invariants as a checkable rule.
+//!
+//! Findings share the `R0` suppression machinery under the
+//! `analyze: allow(rule, "reason")` marker; the shipped tree holds at
+//! zero findings, enforced by a gating CI job.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::graph::{Event, Workspace};
+use crate::rules::{apply_allows_for, collect_allows_for, Finding};
+use crate::scanner::{FileKind, ScannedFile};
+use crate::{docs, source_files};
+
+/// Analyze rule identifiers with their fix hints (the `A` namespace;
+/// `R*` belongs to `xtask lint`).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "A1.reacquire",
+        "this path locks a mutex it already holds — a guaranteed self-deadlock; hoist one acquisition or split the critical section",
+    ),
+    (
+        "A1.inversion",
+        "two paths acquire these locks in opposite orders; pick one order and restructure the later-locking path",
+    ),
+    (
+        "A2.table",
+        "run `cargo run -p xtask -- obs-docs --write` to refresh the embedded telemetry-name table",
+    ),
+    (
+        "A2.orphan",
+        "a consumer reads a telemetry name no producer emits; fix the typo or delete the dead read",
+    ),
+    (
+        "A2.neardup",
+        "telemetry names one edit apart are almost always a typo splitting one series in two; unify them",
+    ),
+    (
+        "A3.unpaired",
+        "a data-version bump must reach a ViewMemo patch-or-invalidate on the same call path, or queries serve stale extents",
+    ),
+    (
+        "A3.version",
+        "applying a delta to the store without bumping the data version leaves epoch-keyed caches claiming freshness",
+    ),
+    (
+        "A0.allow",
+        "suppressions are `analyze: allow(rule-id, \"reason\")` and must match a real finding",
+    ),
+];
+
+fn rule_exists(id: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == id)
+}
+
+/// A full analyze run.
+pub struct AnalyzeReport {
+    pub findings: Vec<Finding>,
+    /// Source files scanned (docs excluded).
+    pub files: usize,
+    /// Functions in the call graph.
+    pub fns: usize,
+    /// Distinct telemetry names collected.
+    pub names: usize,
+}
+
+/// What a telemetry literal names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TelemetryKind {
+    Span,
+    SpanCounter,
+    Counter,
+    Histogram,
+}
+
+impl TelemetryKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            TelemetryKind::Span => "span",
+            TelemetryKind::SpanCounter => "span counter",
+            TelemetryKind::Counter => "counter",
+            TelemetryKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One collected telemetry-name literal.
+#[derive(Debug, Clone)]
+pub struct TelemetryName {
+    pub name: String,
+    pub kind: TelemetryKind,
+    pub file: String,
+    pub line: usize,
+    /// A read side (the trace sink resolving span counters), not an
+    /// emission site.
+    pub consumer: bool,
+}
+
+/// Collects every telemetry-name literal from production sources.
+pub fn collect_telemetry(files: &[ScannedFile]) -> Vec<TelemetryName> {
+    let mut out = Vec::new();
+    for f in files {
+        if !matches!(f.kind, FileKind::Lib | FileKind::Bin) || f.path.starts_with("crates/xtask/") {
+            continue;
+        }
+        // The trace module is the *consumer* side of span counters:
+        // `.counter("x")` there resolves a recorded count, it does not
+        // register a process-wide metric.
+        let consumer_side = f.path == "crates/obs/src/trace.rs";
+        for (idx, l) in f.lines.iter().enumerate() {
+            if l.in_test {
+                continue;
+            }
+            let mut push = |name: String, kind: TelemetryKind, consumer: bool| {
+                out.push(TelemetryName {
+                    name,
+                    kind,
+                    file: f.path.clone(),
+                    line: idx + 1,
+                    consumer,
+                });
+            };
+            // Each pattern is gated on the *code* view (so the literal
+            // is real code, not prose) and extracted from the raw line
+            // (the code view blanks string contents).
+            for name in literals_after(&l.code, &l.raw, "span!(") {
+                push(name, TelemetryKind::Span, false);
+            }
+            for name in literals_after(&l.code, &l.raw, ".span(") {
+                push(name, TelemetryKind::Span, false);
+            }
+            for name in literals_after(&l.code, &l.raw, ".count(") {
+                push(name, TelemetryKind::SpanCounter, false);
+            }
+            for name in literals_after(&l.code, &l.raw, ".counter(") {
+                if consumer_side {
+                    push(name, TelemetryKind::SpanCounter, true);
+                } else {
+                    push(name, TelemetryKind::Counter, false);
+                }
+            }
+            for name in literals_after(&l.code, &l.raw, ".histogram(") {
+                push(name, TelemetryKind::Histogram, false);
+            }
+            for name in literals_after(&l.code, &l.raw, "counter_handle!(") {
+                push(name, TelemetryKind::Counter, false);
+            }
+        }
+    }
+    out
+}
+
+/// String-literal first arguments following `pat` — `raw` occurrences
+/// whose next non-space character opens a literal, gated on `pat`
+/// appearing in the masked code view (so doc prose never matches).
+fn literals_after(code: &str, raw: &str, pat: &str) -> Vec<String> {
+    if !code.contains(pat) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(p) = rest.find(pat) {
+        let after = &rest[p + pat.len()..];
+        // Accept the first literal inside this call's argument list —
+        // leading arguments may precede it (`span!(ctx, "x")`,
+        // `counter_handle!(pub(crate) fn f, "x")`), so track paren
+        // depth and stop at the paren that closes the call.
+        let mut lit_start = None;
+        let mut depth = 0i32;
+        for (j, c) in after.char_indices() {
+            match c {
+                '"' => {
+                    lit_start = Some(j + 1);
+                    break;
+                }
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = lit_start {
+            if let Some(e) = after[s..].find('"') {
+                let name = &after[s..s + e];
+                if !name.is_empty() && !name.contains('{') {
+                    out.push(name.to_owned());
+                }
+            }
+        }
+        rest = after;
+    }
+    out
+}
+
+/// The generated telemetry-name table for the `<!-- quonto-obs -->`
+/// doc blocks: one row per (name, kind), with the emitting files.
+pub fn telemetry_table(names: &[TelemetryName]) -> String {
+    let mut rows: BTreeMap<(String, TelemetryKind), BTreeSet<String>> = BTreeMap::new();
+    for n in names.iter().filter(|n| !n.consumer) {
+        rows.entry((n.name.clone(), n.kind))
+            .or_default()
+            .insert(n.file.clone());
+    }
+    let mut out = String::from("| Name | Kind | Emitted from |\n|---|---|---|\n");
+    for ((name, kind), files) in &rows {
+        let files: Vec<String> = files.iter().map(|f| format!("`{f}`")).collect();
+        out.push_str(&format!(
+            "| `{name}` | {} | {} |\n",
+            kind.label(),
+            files.join(", ")
+        ));
+    }
+    out
+}
+
+/// Levenshtein distance, early-exited at 2 (only distance 1 matters).
+fn edit_distance_is_one(a: &str, b: &str) -> bool {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let (la, lb) = (a.len(), b.len());
+    if la.abs_diff(lb) > 1 || a == b {
+        return false;
+    }
+    if la == lb {
+        // Exactly one substitution.
+        return a.iter().zip(&b).filter(|(x, y)| x != y).count() == 1;
+    }
+    // One insertion: the longer must equal the shorter with one skip.
+    let (s, l) = if la < lb { (&a, &b) } else { (&b, &a) };
+    let mut i = 0;
+    let mut skipped = false;
+    for c in l {
+        if i < s.len() && s[i] == *c {
+            i += 1;
+        } else if skipped {
+            return false;
+        } else {
+            skipped = true;
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// A1 — lock order
+// ---------------------------------------------------------------------
+
+fn a1(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let callees = ws.callees();
+    let locks = ws.transitive_locks(&callees);
+
+    // Acquisition-order edges between distinct locks: held → acquired,
+    // with one witness site per edge.
+    let mut edges: BTreeMap<(String, String), (String, usize, String)> = BTreeMap::new();
+
+    for f in &ws.fns {
+        for e in &f.events {
+            match e {
+                Event::Acquire { lock, line, held } => {
+                    if held.iter().any(|h| h == lock) {
+                        findings.push(Finding {
+                            rule: "A1.reacquire",
+                            path: f.file.clone(),
+                            line: *line,
+                            message: format!(
+                                "`{}` acquires `{lock}` while already holding it (guaranteed self-deadlock)",
+                                f.qname
+                            ),
+                        });
+                    }
+                    for h in held {
+                        if h != lock {
+                            edges.entry((h.clone(), lock.clone())).or_insert((
+                                f.file.clone(),
+                                *line,
+                                f.qname.clone(),
+                            ));
+                        }
+                    }
+                }
+                Event::Call {
+                    recv,
+                    method,
+                    line,
+                    held,
+                } => {
+                    let Some(c) = ws.resolve(f, recv, method) else {
+                        continue;
+                    };
+                    for h in held {
+                        if locks[c].contains(h) {
+                            let chain = ws.path_to_lock(&callees, c, h);
+                            let via = if chain.is_empty() {
+                                String::new()
+                            } else {
+                                format!(" via {}", chain.join(" → "))
+                            };
+                            findings.push(Finding {
+                                rule: "A1.reacquire",
+                                path: f.file.clone(),
+                                line: *line,
+                                message: format!(
+                                    "`{}` holds `{h}` across a call to `{}`, which re-acquires it{via}",
+                                    f.qname, ws.fns[c].qname
+                                ),
+                            });
+                        }
+                        for l in &locks[c] {
+                            if l != h {
+                                edges.entry((h.clone(), l.clone())).or_insert((
+                                    f.file.clone(),
+                                    *line,
+                                    f.qname.clone(),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Order inversions: an edge that closes a cycle in the derived
+    // lock digraph. Reported per participating edge, anchored at its
+    // witness, naming the counter-witness that closes the cycle.
+    let adj: BTreeMap<&str, Vec<&str>> = {
+        let mut m: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            m.entry(a.as_str()).or_default().push(b.as_str());
+        }
+        m
+    };
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::from([from]);
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(x) = queue.pop_front() {
+            if x == to {
+                return true;
+            }
+            for &n in adj.get(x).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        false
+    };
+    for ((a, b), (file, line, qname)) in &edges {
+        if reaches(b, a) {
+            let counter = edges
+                .get(&(b.clone(), a.clone()))
+                .map(|(f2, l2, _)| format!(" (counter-witness {f2}:{l2})"))
+                .unwrap_or_default();
+            findings.push(Finding {
+                rule: "A1.inversion",
+                path: file.clone(),
+                line: *line,
+                message: format!(
+                    "`{qname}` acquires `{b}` while holding `{a}`, but another path orders `{b}` before `{a}`{counter}"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A2 — telemetry drift (source-level half)
+// ---------------------------------------------------------------------
+
+fn a2_sources(names: &[TelemetryName], findings: &mut Vec<Finding>) {
+    // Orphans: a consumer-side span-counter read with no producer.
+    let producers: BTreeSet<(&str, TelemetryKind)> = names
+        .iter()
+        .filter(|n| !n.consumer)
+        .map(|n| (n.name.as_str(), n.kind))
+        .collect();
+    for n in names.iter().filter(|n| n.consumer) {
+        if !producers.contains(&(n.name.as_str(), n.kind)) {
+            findings.push(Finding {
+                rule: "A2.orphan",
+                path: n.file.clone(),
+                line: n.line,
+                message: format!(
+                    "`{}` is read as a {} but no production code records it",
+                    n.name,
+                    n.kind.label()
+                ),
+            });
+        }
+    }
+    // Near-duplicates within a kind (producers and consumers alike):
+    // report at the lexicographically later name's first site.
+    let mut by_kind: BTreeMap<TelemetryKind, BTreeMap<&str, &TelemetryName>> = BTreeMap::new();
+    for n in names {
+        by_kind
+            .entry(n.kind)
+            .or_default()
+            .entry(&n.name)
+            .or_insert(n);
+    }
+    for (kind, members) in &by_kind {
+        let keys: Vec<&&str> = members.keys().collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                if edit_distance_is_one(a, b) {
+                    let site = members[**b];
+                    findings.push(Finding {
+                        rule: "A2.neardup",
+                        path: site.file.clone(),
+                        line: site.line,
+                        message: format!(
+                            "{} `{b}` is one edit from `{a}` — split series or typo?",
+                            kind.label()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A3 — invalidation soundness
+// ---------------------------------------------------------------------
+
+fn a3(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let callees = ws.callees();
+    let n = ws.fns.len();
+    // Reachability fixpoints: does f (or any transitive callee) carry
+    // a memo action / a version bump?
+    let mut has_memo: Vec<bool> = ws.fns.iter().map(|f| !f.memo_lines.is_empty()).collect();
+    let mut has_bump: Vec<bool> = ws.fns.iter().map(|f| !f.bump_lines.is_empty()).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            for &c in &callees[i] {
+                if has_memo[c] && !has_memo[i] {
+                    has_memo[i] = true;
+                    changed = true;
+                }
+                if has_bump[c] && !has_bump[i] {
+                    has_bump[i] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (i, f) in ws.fns.iter().enumerate() {
+        for &line in &f.bump_lines {
+            if !has_memo[i] {
+                findings.push(Finding {
+                    rule: "A3.unpaired",
+                    path: f.file.clone(),
+                    line,
+                    message: format!(
+                        "`{}` bumps a data version with no ViewMemo patch-or-invalidate on the path",
+                        f.qname
+                    ),
+                });
+            }
+        }
+        for &line in &f.store_lines {
+            if !has_bump[i] {
+                findings.push(Finding {
+                    rule: "A3.version",
+                    path: f.file.clone(),
+                    line,
+                    message: format!(
+                        "`{}` applies a delta to the store but never bumps the data version",
+                        f.qname
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Runs the three analyses over already-scanned sources and applies
+/// `analyze: allow` suppressions. Pure — no filesystem access — so
+/// integration tests can inject synthetic workspaces.
+pub fn analyze_sources(files: &[ScannedFile]) -> (Vec<Finding>, Workspace, Vec<TelemetryName>) {
+    let mut findings = Vec::new();
+    let allows: Vec<_> = files
+        .iter()
+        .map(|f| {
+            (
+                f.path.clone(),
+                collect_allows_for(f, "analyze: allow", &rule_exists, "A0.allow", &mut findings),
+            )
+        })
+        .collect();
+
+    let ws = Workspace::build(files);
+    let names = collect_telemetry(files);
+    let mut raw = Vec::new();
+    a1(&ws, &mut raw);
+    a2_sources(&names, &mut raw);
+    a3(&ws, &mut raw);
+
+    // Per-file suppression application (doc-level findings are added by
+    // the caller and are not source-suppressible).
+    let mut by_path: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in raw {
+        by_path.entry(f.path.clone()).or_default().push(f);
+    }
+    for (path, file_allows) in &allows {
+        let file_findings = by_path.remove(path).unwrap_or_default();
+        findings.extend(apply_allows_for(
+            path,
+            file_allows,
+            file_findings,
+            "A0.allow",
+        ));
+    }
+    // Findings in files that produced no allow entry (never happens for
+    // scanned sources, but keep them rather than dropping).
+    for (_, fs) in by_path {
+        findings.extend(fs);
+    }
+    (findings, ws, names)
+}
+
+/// Scans the repo and renders the current telemetry-name table
+/// (`xtask obs-docs`).
+pub fn workspace_telemetry_table(root: &Path) -> Result<String, String> {
+    let mut scanned = Vec::new();
+    for path in source_files(root) {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| format!("{} is outside the repo root", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        scanned.push(crate::scanner::scan(&rel, &src));
+    }
+    Ok(telemetry_table(&collect_telemetry(&scanned)))
+}
+
+/// Runs the whole analysis over the repo at `root`, docs included.
+pub fn run_analyze(root: &Path) -> Result<AnalyzeReport, String> {
+    let mut scanned = Vec::new();
+    for path in source_files(root) {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| format!("{} is outside the repo root", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        scanned.push(crate::scanner::scan(&rel, &src));
+    }
+    let files = scanned.len();
+    let (mut findings, ws, names) = analyze_sources(&scanned);
+
+    // Doc half of A2: the embedded telemetry-name tables must match.
+    let table = telemetry_table(&names);
+    for doc in docs::DOC_FILES {
+        let path = root.join(doc);
+        let content = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        match docs::sync_block_between(&content, &table, docs::OBS_BEGIN, docs::OBS_END) {
+            docs::SyncOutcome::UpToDate => {}
+            docs::SyncOutcome::Stale(_) => findings.push(Finding {
+                rule: "A2.table",
+                path: (*doc).to_owned(),
+                line: 1,
+                message: "embedded telemetry-name table is stale vs the collected literals".into(),
+            }),
+            docs::SyncOutcome::MissingMarkers => findings.push(Finding {
+                rule: "A2.table",
+                path: (*doc).to_owned(),
+                line: 1,
+                message: format!(
+                    "missing `{}` / `{}` markers for the telemetry-name table",
+                    docs::OBS_BEGIN,
+                    docs::OBS_END
+                ),
+            }),
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+    let distinct: BTreeSet<(&str, TelemetryKind)> =
+        names.iter().map(|n| (n.name.as_str(), n.kind)).collect();
+    Ok(AnalyzeReport {
+        findings,
+        files,
+        fns: ws.fns.len(),
+        names: distinct.len(),
+    })
+}
+
+/// Human-readable rendering.
+pub fn render_text(report: &AnalyzeReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    hint: {}\n",
+            f.path,
+            f.line,
+            f.rule,
+            f.message,
+            f.hint()
+        ));
+    }
+    out.push_str(&format!(
+        "xtask analyze: {} finding(s), {} file(s), {} fn(s), {} telemetry name(s)\n",
+        report.findings.len(),
+        report.files,
+        report.fns,
+        report.names
+    ));
+    out
+}
+
+/// Machine-readable rendering (CI artifact).
+pub fn render_json(report: &AnalyzeReport) -> String {
+    let esc = crate::json_escape;
+    let items: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                r#"{{"rule":"{}","path":"{}","line":{},"message":"{}","hint":"{}"}}"#,
+                esc(f.rule),
+                esc(&f.path),
+                f.line,
+                esc(&f.message),
+                esc(f.hint())
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"findings":[{}],"files":{},"fns":{},"names":{}}}"#,
+        items.join(","),
+        report.files,
+        report.fns,
+        report.names
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn findings_for(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let scanned: Vec<ScannedFile> = sources.iter().map(|(p, s)| scan(p, s)).collect();
+        analyze_sources(&scanned).0
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&str> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn edit_distance_one() {
+        assert!(edit_distance_is_one("ucq_raw", "ucq_ra"));
+        assert!(edit_distance_is_one("cache_hit", "cache_hits"));
+        assert!(edit_distance_is_one("rows", "row"));
+        assert!(!edit_distance_is_one("ucq_raw", "ucq_raw"));
+        assert!(!edit_distance_is_one("ucq_raw", "ucq_rwa")); // transposition = 2 edits
+        assert!(!edit_distance_is_one("a", "abc"));
+    }
+
+    #[test]
+    fn direct_reacquire_is_flagged() {
+        let f = findings_for(&[(
+            "crates/obda/src/fx.rs",
+            "\
+impl S {
+    fn f(&self) {
+        let a = lock_or_recover(&self.cache);
+        let b = lock_or_recover(&self.cache);
+    }
+}
+",
+        )]);
+        assert!(rules_of(&f).contains(&"A1.reacquire"), "{f:?}");
+    }
+
+    #[test]
+    fn cross_fn_reacquire_is_flagged_with_path() {
+        let f = findings_for(&[(
+            "crates/obda/src/fx.rs",
+            "\
+impl S {
+    fn outer(&self) {
+        let g = lock_or_recover(&self.cache);
+        self.middle();
+    }
+    fn middle(&self) {
+        self.inner();
+    }
+    fn inner(&self) {
+        let g = lock_or_recover(&self.cache);
+    }
+}
+",
+        )]);
+        let re: Vec<&Finding> = f.iter().filter(|x| x.rule == "A1.reacquire").collect();
+        assert_eq!(re.len(), 1, "{f:?}");
+        assert!(re[0].message.contains("S::middle"), "{}", re[0].message);
+        assert!(re[0].message.contains("S::inner"), "{}", re[0].message);
+    }
+
+    #[test]
+    fn inversion_cycles_are_flagged() {
+        let f = findings_for(&[(
+            "crates/obda/src/fx.rs",
+            "\
+impl S {
+    fn ab(&self) {
+        let a = lock_or_recover(&self.alpha);
+        let b = lock_or_recover(&self.beta);
+    }
+    fn ba(&self) {
+        let b = lock_or_recover(&self.beta);
+        let a = lock_or_recover(&self.alpha);
+    }
+}
+",
+        )]);
+        assert!(rules_of(&f).contains(&"A1.inversion"), "{f:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let f = findings_for(&[(
+            "crates/obda/src/fx.rs",
+            "\
+impl S {
+    fn ab(&self) {
+        let a = lock_or_recover(&self.alpha);
+        let b = lock_or_recover(&self.beta);
+    }
+    fn also_ab(&self) {
+        let a = lock_or_recover(&self.alpha);
+        let b = lock_or_recover(&self.beta);
+    }
+}
+",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allows_suppress_analyze_findings() {
+        let f = findings_for(&[(
+            "crates/obda/src/fx.rs",
+            "\
+impl S {
+    fn f(&self) {
+        let a = lock_or_recover(&self.cache);
+        // analyze: allow(A1.reacquire, \"fixture: deliberate\")
+        let b = lock_or_recover(&self.cache);
+    }
+}
+",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unused_analyze_allow_is_a0() {
+        let f = findings_for(&[(
+            "crates/obda/src/fx.rs",
+            "// analyze: allow(A1.reacquire, \"nothing here\")\nfn f() {}\n",
+        )]);
+        assert_eq!(rules_of(&f), vec!["A0.allow"], "{f:?}");
+    }
+
+    #[test]
+    fn orphan_consumer_is_flagged() {
+        let f = findings_for(&[
+            (
+                "crates/obs/src/trace.rs",
+                "\
+impl TraceCtx {
+    fn render(&self) -> u64 {
+        self.counter(\"ucq_rwa\")
+    }
+    fn counter(&self, name: &str) -> u64 {
+        0
+    }
+}
+",
+            ),
+            (
+                "crates/obda/src/fx.rs",
+                "\
+fn emit(g: &SpanGuard) {
+    g.count(\"ucq_raw\", 1);
+}
+",
+            ),
+        ]);
+        let orphans: Vec<&Finding> = f.iter().filter(|x| x.rule == "A2.orphan").collect();
+        assert_eq!(orphans.len(), 1, "{f:?}");
+        assert!(orphans[0].message.contains("ucq_rwa"));
+    }
+
+    #[test]
+    fn near_duplicate_names_are_flagged() {
+        let f = findings_for(&[(
+            "crates/obda/src/fx.rs",
+            "\
+fn emit(g: &SpanGuard) {
+    g.count(\"delta_rows\", 1);
+    g.count(\"delta_row\", 1);
+}
+",
+        )]);
+        assert!(rules_of(&f).contains(&"A2.neardup"), "{f:?}");
+    }
+
+    #[test]
+    fn unpaired_bump_is_flagged_and_paired_is_clean() {
+        let bad = findings_for(&[(
+            "crates/obda/src/fx.rs",
+            "\
+impl S {
+    fn touch(&self) {
+        self.version.fetch_add(1, Ordering::Relaxed);
+    }
+}
+",
+        )]);
+        assert!(rules_of(&bad).contains(&"A3.unpaired"), "{bad:?}");
+        let good = findings_for(&[(
+            "crates/obda/src/fx.rs",
+            "\
+impl S {
+    fn touch(&self) {
+        self.version.fetch_add(1, Ordering::Relaxed);
+        lock_or_recover(&self.ndl_memo).clear();
+    }
+}
+",
+        )]);
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn bump_paired_through_a_callee_is_clean() {
+        let f = findings_for(&[(
+            "crates/obda/src/fx.rs",
+            "\
+impl S {
+    fn apply(&self) {
+        self.version.fetch_add(1, Ordering::Relaxed);
+        self.maintain(epoch);
+    }
+    fn maintain(&self, epoch: DataEpoch) {
+        maintain_memo(&self.ndl_memo, epoch);
+    }
+}
+",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn store_apply_without_bump_is_flagged() {
+        let f = findings_for(&[(
+            "crates/obda/src/fx.rs",
+            "\
+impl S {
+    fn apply(&self, d: &mut Data) {
+        apply_to_store(d);
+        lock_or_recover(&self.ndl_memo).clear();
+    }
+}
+",
+        )]);
+        assert!(rules_of(&f).contains(&"A3.version"), "{f:?}");
+    }
+
+    #[test]
+    fn telemetry_literals_are_collected_with_kinds() {
+        let scanned = vec![scan(
+            "crates/obda/src/fx.rs",
+            "\
+fn f(ctx: &TraceCtx) {
+    let g = span!(ctx, \"rewrite\");
+    g.count(\"disjuncts\", 2);
+    registry().counter(\"delta_applied\").add(1);
+    registry().histogram(\"mastro.query_us\").record(5);
+}
+",
+        )];
+        let names = collect_telemetry(&scanned);
+        let pairs: Vec<(&str, TelemetryKind)> =
+            names.iter().map(|n| (n.name.as_str(), n.kind)).collect();
+        assert!(
+            pairs.contains(&("rewrite", TelemetryKind::Span)),
+            "{pairs:?}"
+        );
+        assert!(pairs.contains(&("disjuncts", TelemetryKind::SpanCounter)));
+        assert!(pairs.contains(&("delta_applied", TelemetryKind::Counter)));
+        assert!(pairs.contains(&("mastro.query_us", TelemetryKind::Histogram)));
+        let table = telemetry_table(&names);
+        assert!(table.contains("| `rewrite` | span |"), "{table}");
+        assert!(table.contains("crates/obda/src/fx.rs"));
+    }
+
+    #[test]
+    fn counter_handle_literals_survive_visibility_parens() {
+        // `pub(crate)` closes a paren before the name literal; the
+        // extractor must not mistake it for the end of the call.
+        let scanned = vec![scan(
+            "crates/obda/src/fx.rs",
+            "\
+obda_obs::counter_handle!(pub(crate) fn delta_applied_total, \"delta_applied\");
+obda_obs::counter_handle!(fn ndl_rules_total, \"ndl_rules\");
+",
+        )];
+        let names: Vec<String> = collect_telemetry(&scanned)
+            .into_iter()
+            .map(|n| n.name)
+            .collect();
+        assert_eq!(names, vec!["delta_applied", "ndl_rules"], "{names:?}");
+        // And a variable-name argument followed by an unrelated literal
+        // must not leak that literal into the call's extraction.
+        let scanned = vec![scan(
+            "crates/obda/src/fx.rs",
+            "let c = registry().counter(name).add(1); log(\"oops\");\n",
+        )];
+        assert!(collect_telemetry(&scanned).is_empty());
+    }
+
+    #[test]
+    fn prose_and_test_literals_are_not_collected() {
+        let scanned = vec![scan(
+            "crates/obda/src/fx.rs",
+            "\
+// the sink resolves .counter(\"cache_hit\") from spans
+fn f() {}
+#[cfg(test)]
+mod tests {
+    fn t(ctx: &TraceCtx) {
+        let _g = span!(ctx, \"test_only\");
+    }
+}
+",
+        )];
+        assert!(collect_telemetry(&scanned).is_empty());
+    }
+}

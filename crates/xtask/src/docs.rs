@@ -15,6 +15,11 @@
 pub const BEGIN: &str = "<!-- quonto-env:begin -->";
 pub const END: &str = "<!-- quonto-env:end -->";
 
+/// Markers for the generated telemetry-name table (`xtask obs-docs`,
+/// checked by `xtask analyze` as rule `A2.table`).
+pub const OBS_BEGIN: &str = "<!-- quonto-obs:begin -->";
+pub const OBS_END: &str = "<!-- quonto-obs:end -->";
+
 /// The documents that must carry the knob table.
 pub const DOC_FILES: &[&str] = &["README.md", "DESIGN.md"];
 
@@ -26,18 +31,24 @@ pub enum SyncOutcome {
     MissingMarkers,
 }
 
-/// Replaces the marker block's interior with `table`; detects drift.
+/// Replaces the env-knob marker block's interior with `table`.
 pub fn sync_block(content: &str, table: &str) -> SyncOutcome {
-    let Some(b) = content.find(BEGIN) else {
+    sync_block_between(content, table, BEGIN, END)
+}
+
+/// Replaces the interior of an arbitrary marker pair with `table`;
+/// detects drift.
+pub fn sync_block_between(content: &str, table: &str, begin: &str, end: &str) -> SyncOutcome {
+    let Some(b) = content.find(begin) else {
         return SyncOutcome::MissingMarkers;
     };
-    let Some(e) = content.find(END) else {
+    let Some(e) = content.find(end) else {
         return SyncOutcome::MissingMarkers;
     };
     if e < b {
         return SyncOutcome::MissingMarkers;
     }
-    let block_start = b + BEGIN.len();
+    let block_start = b + begin.len();
     let current = &content[block_start..e];
     let wanted = format!("\n{table}");
     if current == wanted {
@@ -68,6 +79,21 @@ mod tests {
         // Idempotent: the rewritten doc is up to date.
         assert!(matches!(
             sync_block(&updated, &table),
+            SyncOutcome::UpToDate
+        ));
+    }
+
+    #[test]
+    fn obs_markers_sync_independently_of_env_markers() {
+        let doc = format!("{BEGIN}\nenv table\n{END}\n\n{OBS_BEGIN}\nold names\n{OBS_END}\n");
+        let SyncOutcome::Stale(updated) = sync_block_between(&doc, "| new |\n", OBS_BEGIN, OBS_END)
+        else {
+            panic!("stale obs block must be detected");
+        };
+        assert!(updated.contains("| new |"));
+        assert!(updated.contains("env table"), "env block untouched");
+        assert!(matches!(
+            sync_block_between(&updated, "| new |\n", OBS_BEGIN, OBS_END),
             SyncOutcome::UpToDate
         ));
     }

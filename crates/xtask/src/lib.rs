@@ -9,14 +9,23 @@
 //!   lock discipline (R2), unsafe audit (R3), the env-knob registry
 //!   (R4, both directions, docs included), and test/doc hygiene (R5).
 //!   Exit code 0 = clean, 1 = findings, 2 = usage/IO error.
+//! * `cargo run -p xtask -- analyze [--json]` — the whole-workspace
+//!   graph analyses in [`analyze`]: lock-order soundness (A1, held-set
+//!   propagation over the call graph in [`graph`]), telemetry-name
+//!   drift (A2), and invalidation soundness (A3, the PR 8 write-path
+//!   invariants). Same exit-code contract as `lint`.
 //! * `cargo run -p xtask -- env-docs [--write]` — syncs the README and
 //!   DESIGN knob tables from `quonto::env::KNOBS`.
+//! * `cargo run -p xtask -- obs-docs [--write]` — syncs the README and
+//!   DESIGN telemetry-name tables from the collected literals.
 //!
 //! See DESIGN.md ("Static analysis & concurrency correctness") for the
 //! rationale and the full rule table.
 
+pub mod analyze;
 pub mod baseline;
 pub mod docs;
+pub mod graph;
 pub mod rules;
 pub mod scanner;
 
@@ -207,22 +216,25 @@ pub fn render_text(report: &LintReport) -> String {
     out
 }
 
+/// Escapes a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders findings as a JSON array (machine-readable, for CI annotations).
 pub fn render_json(report: &LintReport) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
+    let esc = json_escape;
     let items: Vec<String> = report
         .findings
         .iter()

@@ -1,20 +1,28 @@
-//! CLI shell for the xtask library: `lint` and `env-docs`.
+//! CLI shell for the xtask library: `lint`, `analyze`, `env-docs`,
+//! and `obs-docs`.
 
 use std::process::ExitCode;
 
-use xtask::{baseline, docs, render_json, render_text, repo_root, run_lint};
+use xtask::{analyze, baseline, docs, render_json, render_text, repo_root, run_lint};
 
 const USAGE: &str = "\
 usage: cargo run -p xtask -- <command> [flags]
 
 commands:
   lint [--json] [--update-baseline]
-      Run the workspace static-analysis pass.
+      Run the per-line workspace static-analysis pass.
       --json              machine-readable output
       --update-baseline   rewrite lint-baseline.txt from current findings
+  analyze [--json]
+      Run the whole-workspace graph analyses: lock order (A1),
+      telemetry-name drift (A2), invalidation soundness (A3).
+      --json              machine-readable output
   env-docs [--write]
       Check (or with --write, refresh) the env-knob tables embedded in
       README.md and DESIGN.md from quonto::env::KNOBS.
+  obs-docs [--write]
+      Check (or with --write, refresh) the telemetry-name tables
+      embedded in README.md and DESIGN.md from the collected literals.
 ";
 
 fn main() -> ExitCode {
@@ -23,11 +31,103 @@ fn main() -> ExitCode {
     let cmd = if args.is_empty() { "" } else { args.remove(0) };
     match cmd {
         "lint" => lint(&args),
+        "analyze" => analyze_cmd(&args),
         "env-docs" => env_docs(&args),
+        "obs-docs" => obs_docs(&args),
         _ => {
             eprint!("{USAGE}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn analyze_cmd(args: &[&str]) -> ExitCode {
+    let mut json = false;
+    for a in args {
+        match *a {
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match analyze::run_analyze(&repo_root()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", analyze::render_json(&report));
+    } else {
+        print!("{}", analyze::render_text(&report));
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn obs_docs(args: &[&str]) -> ExitCode {
+    let mut write = false;
+    for a in args {
+        match *a {
+            "--write" => write = true,
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = repo_root();
+    let table = match analyze::workspace_telemetry_table(&root) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask obs-docs: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut stale = 0usize;
+    for doc in docs::DOC_FILES {
+        let path = root.join(doc);
+        let content = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("xtask obs-docs: reading {doc}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match docs::sync_block_between(&content, &table, docs::OBS_BEGIN, docs::OBS_END) {
+            docs::SyncOutcome::UpToDate => println!("{doc}: up to date"),
+            docs::SyncOutcome::Stale(updated) => {
+                if write {
+                    if let Err(e) = std::fs::write(&path, updated) {
+                        eprintln!("xtask obs-docs: writing {doc}: {e}");
+                        return ExitCode::from(2);
+                    }
+                    println!("{doc}: rewritten");
+                } else {
+                    println!("{doc}: STALE (run with --write)");
+                    stale += 1;
+                }
+            }
+            docs::SyncOutcome::MissingMarkers => {
+                eprintln!(
+                    "xtask obs-docs: {doc} is missing the `{}` / `{}` markers",
+                    docs::OBS_BEGIN,
+                    docs::OBS_END
+                );
+                stale += 1;
+            }
+        }
+    }
+    if stale == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -135,6 +135,7 @@ impl Finding {
     pub fn hint(&self) -> &'static str {
         RULES
             .iter()
+            .chain(crate::analyze::RULES.iter())
             .find(|(id, _)| *id == self.rule)
             .map(|(_, h)| *h)
             .unwrap_or("")
@@ -165,7 +166,7 @@ fn rule_exists(id: &str) -> bool {
 // ---------------------------------------------------------------------
 
 #[derive(Debug)]
-struct Allow {
+pub(crate) struct Allow {
     rule: String,
     /// 1-based line of the comment.
     line: usize,
@@ -173,9 +174,17 @@ struct Allow {
     used: std::cell::Cell<bool>,
 }
 
-/// Parses `lint: allow(rule, "reason")` / `lint: allow-file(rule, "reason")`
-/// from comment views. Malformed suppressions become R0.allow findings.
-fn collect_allows(file: &ScannedFile, findings: &mut Vec<Finding>) -> Vec<Allow> {
+/// Parses `<marker>(rule, "reason")` / `<marker>-file(rule, "reason")`
+/// from comment views — shared by `lint: allow` (rules R1–R6) and
+/// `analyze: allow` (rules A1–A3). Malformed suppressions become
+/// findings under `allow_rule` (`R0.allow` / `A0.allow`).
+pub(crate) fn collect_allows_for(
+    file: &ScannedFile,
+    marker: &str,
+    rule_exists: &dyn Fn(&str) -> bool,
+    allow_rule: &'static str,
+    findings: &mut Vec<Finding>,
+) -> Vec<Allow> {
     let mut allows = Vec::new();
     // The lint's own sources talk *about* the suppression syntax in
     // docs and fixtures; they are not suppressions.
@@ -184,17 +193,17 @@ fn collect_allows(file: &ScannedFile, findings: &mut Vec<Finding>) -> Vec<Allow>
     }
     for (idx, l) in file.lines.iter().enumerate() {
         let c = l.comment.trim();
-        let Some(pos) = c.find("lint: allow") else {
+        let Some(pos) = c.find(marker) else {
             continue;
         };
-        let rest = &c[pos + "lint: allow".len()..];
+        let rest = &c[pos + marker.len()..];
         let (file_wide, rest) = match rest.strip_prefix("-file") {
             Some(r) => (true, r),
             None => (false, rest),
         };
         let bad = |msg: &str, findings: &mut Vec<Finding>| {
             findings.push(Finding {
-                rule: "R0.allow",
+                rule: allow_rule,
                 path: file.path.clone(),
                 line: idx + 1,
                 message: format!("malformed suppression: {msg}"),
@@ -234,8 +243,18 @@ fn collect_allows(file: &ScannedFile, findings: &mut Vec<Finding>) -> Vec<Allow>
     allows
 }
 
-/// Filters suppressed findings; unmatched allows become R0.allow.
-fn apply_allows(file: &ScannedFile, allows: &[Allow], findings: Vec<Finding>) -> Vec<Finding> {
+fn collect_allows(file: &ScannedFile, findings: &mut Vec<Finding>) -> Vec<Allow> {
+    collect_allows_for(file, "lint: allow", &rule_exists, "R0.allow", findings)
+}
+
+/// Filters suppressed findings; unmatched allows become `allow_rule`
+/// findings (a stale suppression rots into false confidence).
+pub(crate) fn apply_allows_for(
+    file_path: &str,
+    allows: &[Allow],
+    findings: Vec<Finding>,
+    allow_rule: &'static str,
+) -> Vec<Finding> {
     let mut out: Vec<Finding> = findings
         .into_iter()
         .filter(|f| {
@@ -253,8 +272,8 @@ fn apply_allows(file: &ScannedFile, allows: &[Allow], findings: Vec<Finding>) ->
         .collect();
     for a in allows.iter().filter(|a| !a.used.get()) {
         out.push(Finding {
-            rule: "R0.allow",
-            path: file.path.clone(),
+            rule: allow_rule,
+            path: file_path.to_owned(),
             line: a.line,
             message: format!(
                 "unused suppression for `{}`: no finding here to allow (stale after a fix?)",
@@ -263,6 +282,10 @@ fn apply_allows(file: &ScannedFile, allows: &[Allow], findings: Vec<Finding>) ->
         });
     }
     out
+}
+
+fn apply_allows(file: &ScannedFile, allows: &[Allow], findings: Vec<Finding>) -> Vec<Finding> {
+    apply_allows_for(&file.path, allows, findings, "R0.allow")
 }
 
 // ---------------------------------------------------------------------

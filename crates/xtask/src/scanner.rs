@@ -414,6 +414,78 @@ pub fn also_prod() {}
     }
 
     #[test]
+    fn multi_hash_raw_strings_need_matching_hash_count() {
+        // r##"…"## only closes on "##: an embedded "# must not end it.
+        let f = scan(
+            "crates/x/src/lib.rs",
+            "let s = r##\"inner \"# still.unwrap() inside\"##; after();",
+        );
+        let l = &f.lines[0];
+        assert!(!l.code.contains("unwrap"), "code: {}", l.code);
+        assert!(l.code.contains("after()"), "code: {}", l.code);
+        assert!(l.text.contains("still.unwrap() inside"));
+        // And an unterminated one keeps masking across lines.
+        let f = scan(
+            "crates/x/src/lib.rs",
+            "let s = r##\"line one.unwrap()\nline two\"# not yet\nreally done\"##; tail();",
+        );
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(!f.lines[1].code.contains("not yet"));
+        assert!(
+            f.lines[2].code.contains("tail()"),
+            "code: {}",
+            f.lines[2].code
+        );
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        // A lifetime bound ('a:) and a char literal ('a') on one line:
+        // the literal is masked, the lifetime is kept, and the quote of
+        // the literal must not swallow the rest of the line.
+        let l = one("fn f<'a, T: 'a>(x: &'a T) { if c == 'a' { g(); } }");
+        assert!(l.code.contains("<'a, T: 'a>"), "code: {}", l.code);
+        assert!(l.code.contains("g()"), "code: {}", l.code);
+        // Static lifetime next to a char literal holding a quote.
+        let l = one("fn h(x: &'static str, q: char) { m('\\''); n(); }");
+        assert!(l.code.contains("&'static str"), "code: {}", l.code);
+        assert!(l.code.contains("n()"), "code: {}", l.code);
+    }
+
+    #[test]
+    fn cfg_test_regions_nested_in_macro_bodies() {
+        // The test region tracker is brace-depth based; a #[cfg(test)]
+        // region opened *inside* a macro body must close with the
+        // macro-body brace it attached to, not leak to file end.
+        let src = "\
+macro_rules! gen {
+    () => {
+        #[cfg(test)]
+        mod tests {
+            fn t() { x.unwrap(); }
+        }
+        pub fn generated() { real(); }
+    };
+}
+
+pub fn after_macro() { also_real(); }
+";
+        let f = scan("crates/x/src/lib.rs", src);
+        let by_content = |needle: &str| {
+            f.lines
+                .iter()
+                .find(|l| l.raw.contains(needle))
+                .unwrap_or_else(|| panic!("line with {needle:?}"))
+        };
+        assert!(by_content("unwrap").in_test);
+        assert!(
+            !by_content("generated()").in_test,
+            "region leaked past its braces"
+        );
+        assert!(!by_content("after_macro").in_test);
+    }
+
+    #[test]
     fn classification_by_path() {
         assert_eq!(classify("crates/server/src/json.rs"), FileKind::Lib);
         assert_eq!(

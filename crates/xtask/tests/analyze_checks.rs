@@ -1,0 +1,193 @@
+//! The graph analyses' acceptance tests: the committed tree must run
+//! clean, and an injected violation per analysis must be caught — a
+//! deliberate lock-order inversion, the PR 5 `AboxSystem::stats`
+//! self-deadlock reconstructed, a typo'd counter name, and an unpaired
+//! epoch bump — so a green run can't be a silently broken extractor.
+
+use xtask::analyze::{analyze_sources, render_text, run_analyze};
+use xtask::repo_root;
+use xtask::rules::Finding;
+use xtask::scanner::{scan, ScannedFile};
+
+#[test]
+fn workspace_is_analyze_clean() {
+    let report = run_analyze(&repo_root()).expect("analyze pass runs");
+    assert!(
+        report.findings.is_empty(),
+        "the committed tree must be analyze-clean:\n{}",
+        render_text(&report)
+    );
+    // Sanity: the extraction actually saw the workspace — a graph with
+    // no functions or a sweep with no telemetry names means the
+    // extractor broke, not that the tree is clean.
+    assert!(report.files > 100, "only {} files scanned", report.files);
+    assert!(report.fns > 500, "only {} fns extracted", report.fns);
+    assert!(report.names > 30, "only {} telemetry names", report.names);
+}
+
+fn findings_for(sources: &[(&str, &str)]) -> Vec<Finding> {
+    let scanned: Vec<ScannedFile> = sources.iter().map(|(p, s)| scan(p, s)).collect();
+    analyze_sources(&scanned).0
+}
+
+/// The PR 5 self-deadlock, reconstructed: `stats` built its return
+/// struct with a live `rewrite_cache` guard in one field initializer
+/// while another initializer called a helper that locked the same
+/// mutex. The struct-literal temporary is the subtle part — it stays
+/// alive across the remaining field initializers.
+#[test]
+fn pr5_stats_self_deadlock_is_detected() {
+    let found = findings_for(&[(
+        "crates/obda/src/inject.rs",
+        "\
+impl AboxSystem {
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            tbox_epoch: lock_or_recover(&self.rewrite_cache).epoch,
+            cache: self.rewrite_cache_stats(),
+            abox_size: self.abox.len(),
+        }
+    }
+    fn rewrite_cache_stats(&self) -> CacheStats {
+        lock_or_recover(&self.rewrite_cache).stats
+    }
+}
+",
+    )]);
+    let re: Vec<&Finding> = found.iter().filter(|f| f.rule == "A1.reacquire").collect();
+    assert_eq!(re.len(), 1, "got {found:?}");
+    assert!(
+        re[0].message.contains("AboxSystem.rewrite_cache"),
+        "{}",
+        re[0].message
+    );
+    assert!(
+        re[0].message.contains("rewrite_cache_stats"),
+        "{}",
+        re[0].message
+    );
+}
+
+/// A deliberate inversion: one function orders `inner` before `data`,
+/// another (via a helper, so the edge crosses a call) orders `data`
+/// before `inner`.
+#[test]
+fn injected_lock_order_inversion_is_detected() {
+    let found = findings_for(&[(
+        "crates/server/src/inject.rs",
+        "\
+impl Server {
+    fn enqueue(&self) {
+        let q = lock_or_recover(&self.inner);
+        let d = lock_or_recover(&self.data);
+    }
+    fn drain(&self) {
+        let d = lock_or_recover(&self.data);
+        self.queue_len();
+    }
+    fn queue_len(&self) -> usize {
+        lock_or_recover(&self.inner).len()
+    }
+}
+",
+    )]);
+    assert!(
+        found.iter().any(|f| f.rule == "A1.inversion"),
+        "got {found:?}"
+    );
+}
+
+/// A typo'd counter: the trace sink reads `ucq_rwa` but production
+/// code only ever records `ucq_raw`.
+#[test]
+fn typoed_counter_is_detected_as_orphan_and_neardup() {
+    let found = findings_for(&[
+        (
+            "crates/obs/src/trace.rs",
+            "\
+impl QueryTrace {
+    pub fn render(&self) -> u64 {
+        self.counter(\"ucq_rwa\")
+    }
+}
+",
+        ),
+        (
+            "crates/obda/src/inject.rs",
+            "\
+pub fn record(g: &SpanGuard) {
+    g.count(\"ucq_raw\", 1);
+}
+",
+        ),
+    ]);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.rule == "A2.orphan" && f.message.contains("ucq_rwa")),
+        "got {found:?}"
+    );
+}
+
+/// An unpaired epoch bump: the version advances but no memo
+/// maintenance is reachable, so warm view extents would serve stale
+/// answers while claiming the new epoch.
+#[test]
+fn unpaired_epoch_bump_is_detected() {
+    let found = findings_for(&[(
+        "crates/obda/src/inject.rs",
+        "\
+impl ObdaSystem {
+    pub fn touch(&self) -> u64 {
+        self.abox_version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+",
+    )]);
+    assert!(
+        found.iter().any(|f| f.rule == "A3.unpaired"),
+        "got {found:?}"
+    );
+    // The PR 8 shape — bump plus reachable maintenance — is clean.
+    let paired = findings_for(&[(
+        "crates/obda/src/inject.rs",
+        "\
+impl ObdaSystem {
+    pub fn apply(&self, delta: &Delta) -> u64 {
+        let version = self.abox_version.fetch_add(1, Ordering::Relaxed) + 1;
+        self.maintain(version);
+        version
+    }
+    fn maintain(&self, version: u64) {
+        maintain_memo(&self.ndl_memo, version);
+    }
+}
+",
+    )]);
+    assert!(paired.is_empty(), "got {paired:?}");
+}
+
+#[test]
+fn reasoned_analyze_allows_suppress_and_unused_allows_fire() {
+    let suppressed = findings_for(&[(
+        "crates/obda/src/inject.rs",
+        "\
+impl S {
+    fn touch(&self) {
+        // analyze: allow(A3.unpaired, \"epoch probe for tests; no cached extents exist yet\")
+        self.version.fetch_add(1, Ordering::Relaxed);
+    }
+}
+",
+    )]);
+    assert!(suppressed.is_empty(), "got {suppressed:?}");
+
+    let unused = findings_for(&[(
+        "crates/obda/src/inject.rs",
+        "// analyze: allow(A1.reacquire, \"nothing to suppress\")\npub fn f() {}\n",
+    )]);
+    assert!(
+        unused.iter().any(|f| f.rule == "A0.allow"),
+        "got {unused:?}"
+    );
+}
