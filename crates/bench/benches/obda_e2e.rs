@@ -4,11 +4,11 @@
 //!
 //! The mode matrix drives the engines through the unified
 //! [`mastro::QueryEngine`] trait (constructed via
-//! [`mastro::SystemBuilder`]) — the same surface the server endpoints
+//! [`mastro::EngineConfig`]) — the same surface the server endpoints
 //! hold — so what this bench measures is what serving pays.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mastro::{DataMode, QueryEngine, QueryLang, RewritingMode, SystemBuilder};
+use mastro::{DataMode, EngineConfig, QueryEngine, QueryLang, RewritingMode};
 use obda_genont::{university_scenario, UniversityScenario};
 
 fn build_engine(
@@ -19,7 +19,7 @@ fn build_engine(
 ) -> Box<dyn QueryEngine> {
     let db = mastro::demo::load_database(scenario).expect("loads");
     let mappings = mastro::demo::build_mappings(scenario);
-    let sys = SystemBuilder::new()
+    let sys = EngineConfig::new()
         .rewriting(rw)
         .data_mode(dm)
         .eval_threads(threads)

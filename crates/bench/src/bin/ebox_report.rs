@@ -1,0 +1,354 @@
+//! **A11 ablation**: EBox constraint-aware pruning — rewrite-size and
+//! SQL-union reduction plus warm answering latency, with the EBox off
+//! vs on, across three workloads:
+//!
+//! * the university OBDA scenario in **virtual** mode (`--ebox on`
+//!   seeds constraints from the mappings: unmapped predicates become
+//!   empties that prune disjuncts before they are unfolded, and the
+//!   unfolding drops union branches whose sources the EBox rules out);
+//! * the **exp_chain** presets over a materialized ABox (`infer` finds
+//!   the chain levels that are never asserted, collapsing the
+//!   exponential UCQ);
+//! * a **churn** stream through the write path (`infer` constraints
+//!   must survive revalidation — retracted only when a write actually
+//!   invalidates them — with answers pinned to the EBox-off engine).
+//!
+//! ```text
+//! ebox_report [--scale N] [--json FILE]
+//! ```
+//!
+//! `--json FILE` appends one machine-readable record per row to a JSON
+//! array at FILE — the format the EXPERIMENTS A11 table is generated
+//! from (`BENCH_A11.json`).
+
+use std::time::Instant;
+
+use mastro::{AboxDelta, DeltaStatement, EboxMode, QueryEngine, RewritingMode};
+use obda_dllite::Value;
+use obda_genont::{churn_stream, exp_chain, university_scenario, ChurnFact};
+use obda_server::Json;
+
+const WARM_ROUNDS: u32 = 30;
+
+struct Row {
+    preset: String,
+    query: String,
+    mode: &'static str,
+    constraints: usize,
+    pruned_disjuncts: u64,
+    pruned_unions: u64,
+    retracted: u64,
+    warm_off_us: u128,
+    warm_ebox_us: u128,
+    answers: usize,
+}
+
+/// Counter deltas around one cold answer: how much the EBox pruned.
+struct PruneDelta {
+    disjuncts: u64,
+    unions: u64,
+}
+
+fn with_prune_delta(f: impl FnOnce()) -> PruneDelta {
+    let reg = obda_obs::registry();
+    let d = reg.counter("ebox_pruned_disjuncts");
+    let u = reg.counter("ebox_pruned_unions");
+    let (d0, u0) = (d.get(), u.get());
+    f();
+    PruneDelta {
+        disjuncts: d.get() - d0,
+        unions: u.get() - u0,
+    }
+}
+
+fn warm_time(mut answer: impl FnMut()) -> u128 {
+    answer(); // ensure caches are hot
+    let t = Instant::now();
+    for _ in 0..WARM_ROUNDS {
+        answer();
+    }
+    t.elapsed().as_micros() / u128::from(WARM_ROUNDS)
+}
+
+fn main() {
+    let scale = std::env::args()
+        .skip_while(|a| a != "--scale")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1usize);
+    let json_path = std::env::args().skip_while(|a| a != "--json").nth(1);
+
+    let mut rows: Vec<Row> = Vec::new();
+    university_virtual(scale, &mut rows);
+    exp_chain_presets(&mut rows);
+    churn_revalidation(scale, &mut rows);
+
+    let mut table = vec![vec![
+        "preset".to_owned(),
+        "query".into(),
+        "ebox".into(),
+        "constraints".into(),
+        "pruned CQs".into(),
+        "pruned unions".into(),
+        "retracted".into(),
+        "warm off".into(),
+        "warm ebox".into(),
+        "answers".into(),
+    ]];
+    for r in &rows {
+        table.push(vec![
+            r.preset.clone(),
+            r.query.clone(),
+            r.mode.into(),
+            r.constraints.to_string(),
+            r.pruned_disjuncts.to_string(),
+            r.pruned_unions.to_string(),
+            r.retracted.to_string(),
+            format!("{}us", r.warm_off_us),
+            format!("{}us", r.warm_ebox_us),
+            r.answers.to_string(),
+        ]);
+    }
+    println!("{}", obda_bench::render(&table));
+    println!(
+        "shape: every row's answers are asserted byte-identical with the EBox off and on; \
+         the pruned CQ/union columns are the rewriting work the constraints removed, and the \
+         churn rows show constraints surviving revalidation (retracted only on invalidating \
+         writes)."
+    );
+
+    if let Some(path) = json_path {
+        let records: Vec<Json> = rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("table", "A11".into()),
+                    ("preset", r.preset.as_str().into()),
+                    ("query", r.query.as_str().into()),
+                    ("ebox", r.mode.into()),
+                    ("constraints", (r.constraints as u64).into()),
+                    ("pruned_disjuncts", r.pruned_disjuncts.into()),
+                    ("pruned_unions", r.pruned_unions.into()),
+                    ("retracted", r.retracted.into()),
+                    ("warm_off_us", (r.warm_off_us as u64).into()),
+                    ("warm_ebox_us", (r.warm_ebox_us as u64).into()),
+                    ("answers", (r.answers as u64).into()),
+                ])
+            })
+            .collect();
+        let count = records.len();
+        if let Err(e) = append_json_records(&path, records) {
+            eprintln!("ebox_report: writing --json {path} failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("ebox_report: appended {count} records to {path}");
+    }
+}
+
+/// Section 1: university OBDA, virtual mode, EBox seeded from the
+/// mappings (`on`). Unmapped predicates are empty at the sources, so
+/// the rewriting can drop their disjuncts and the unfolding their
+/// union branches — without touching any answer.
+fn university_virtual(scale: usize, rows: &mut Vec<Row>) {
+    println!("A11 — EBox pruning: university virtual (PerfectRef, scale {scale})\n");
+    let scenario = university_scenario(scale, 42);
+    let off = mastro::demo::build_system(&scenario).expect("builds");
+    let ebox = mastro::demo::build_system(&scenario)
+        .expect("builds")
+        .with_ebox_mode(EboxMode::On);
+    let constraints = ebox.ebox_constraints();
+    assert!(constraints > 0, "mappings must seed constraints");
+
+    for qs in &scenario.queries {
+        let reference = off.answer(&qs.text).expect("answers");
+        let mut pruned_answers = Default::default();
+        let delta = with_prune_delta(|| {
+            pruned_answers = ebox.answer(&qs.text).expect("answers");
+        });
+        assert_eq!(
+            reference, pruned_answers,
+            "{}: EBox changed answers",
+            qs.name
+        );
+        let warm_off_us = warm_time(|| {
+            let _ = off.answer(&qs.text).expect("answers");
+        });
+        let warm_ebox_us = warm_time(|| {
+            let _ = ebox.answer(&qs.text).expect("answers");
+        });
+        rows.push(Row {
+            preset: format!("university-virtual(scale {scale})"),
+            query: qs.name.clone(),
+            mode: "on",
+            constraints,
+            pruned_disjuncts: delta.disjuncts,
+            pruned_unions: delta.unions,
+            retracted: 0,
+            warm_off_us,
+            warm_ebox_us,
+            answers: reference.len(),
+        });
+    }
+}
+
+/// Section 2: exp_chain star queries over a materialized ABox. Only
+/// the first chain level is ever asserted, so `infer` marks the upper
+/// levels empty and the (branch+1)^depth-sized UCQ collapses.
+fn exp_chain_presets(rows: &mut Vec<Row>) {
+    println!("\nA11 — EBox pruning: exp_chain (PerfectRef, materialized)\n");
+    for (depth, branch) in [(4usize, 2usize), (5, 3)] {
+        let c = exp_chain(depth, branch, 64);
+        let q = mastro::parse_cq(&c.star_query, &c.tbox.sig).expect("star query parses");
+        let off = mastro::AboxSystem::new(c.tbox.clone(), c.abox.clone())
+            .with_rewriting(RewritingMode::PerfectRef);
+        let ebox = mastro::AboxSystem::new(c.tbox.clone(), c.abox.clone())
+            .with_rewriting(RewritingMode::PerfectRef)
+            .with_ebox_mode(EboxMode::Infer);
+        let reference = off.answer_cq(&q);
+        let mut pruned_answers = Default::default();
+        let delta = with_prune_delta(|| {
+            pruned_answers = ebox.answer_cq(&q);
+        });
+        assert_eq!(
+            reference, pruned_answers,
+            "exp_chain({depth},{branch}): EBox changed answers"
+        );
+        let warm_off_us = warm_time(|| {
+            let _ = off.answer_cq(&q);
+        });
+        let warm_ebox_us = warm_time(|| {
+            let _ = ebox.answer_cq(&q);
+        });
+        rows.push(Row {
+            preset: format!("exp_chain({depth},{branch})"),
+            query: "star".into(),
+            mode: "infer",
+            constraints: ebox.ebox_constraints(),
+            pruned_disjuncts: delta.disjuncts,
+            pruned_unions: delta.unions,
+            retracted: 0,
+            warm_off_us,
+            warm_ebox_us,
+            answers: reference.len(),
+        });
+    }
+}
+
+/// Section 3: the churn stream through the incremental write path. The
+/// inferred constraints must survive non-invalidating writes and be
+/// retracted (counted) by invalidating ones, with every checkpoint
+/// answer pinned to the EBox-off twin fed the same deltas.
+fn churn_revalidation(scale: usize, rows: &mut Vec<Row>) {
+    println!("\nA11 — EBox revalidation under churn (PerfectRef, materialized)\n");
+    let scenario = university_scenario(scale, 42);
+    let base = mastro::demo::build_system(&scenario).expect("builds");
+    let abox = base.materialized_abox().expect("materializes").abox.clone();
+    let off = mastro::AboxSystem::new(scenario.tbox.clone(), abox.clone());
+    let ebox = mastro::AboxSystem::new(scenario.tbox.clone(), abox).with_ebox_mode(EboxMode::Infer);
+    let constraints_before = ebox.ebox_constraints();
+    assert!(
+        constraints_before > 0,
+        "university data must infer constraints"
+    );
+
+    let retracted_counter = obda_obs::registry().counter("ebox_retracted");
+    let retracted_before = retracted_counter.get();
+    let stream = churn_stream(scale, 42, 64);
+    for chunk in stream.chunks(8) {
+        let mut delta = AboxDelta::new();
+        for op in chunk {
+            let stmt = match op.fact() {
+                ChurnFact::Concept {
+                    concept,
+                    individual,
+                } => DeltaStatement::unary(concept, individual),
+                ChurnFact::Role {
+                    role,
+                    subject,
+                    object,
+                } => DeltaStatement::binary(role, subject, object),
+                ChurnFact::Attr {
+                    attr,
+                    individual,
+                    text,
+                } => DeltaStatement::binary_value(attr, individual, Value::Text(text.clone())),
+            };
+            delta = if op.is_insert() {
+                delta.insert(stmt)
+            } else {
+                delta.delete(stmt)
+            };
+        }
+        off.apply_delta(&delta).expect("off applies");
+        ebox.apply_delta(&delta).expect("ebox applies");
+        for qs in &scenario.queries {
+            assert_eq!(
+                off.answer(&qs.text).expect("answers"),
+                ebox.answer(&qs.text).expect("answers"),
+                "{}: diverged mid-churn",
+                qs.name
+            );
+        }
+    }
+    let retracted = retracted_counter.get() - retracted_before;
+    let constraints_after = ebox.ebox_constraints();
+    println!(
+        "churn: {constraints_before} constraints inferred, {constraints_after} alive after \
+         {} ops, {retracted} retraction(s)\n",
+        stream.len()
+    );
+
+    for qs in &scenario.queries {
+        let reference = off.answer(&qs.text).expect("answers");
+        assert_eq!(
+            reference,
+            ebox.answer(&qs.text).expect("answers"),
+            "{}",
+            qs.name
+        );
+        let warm_off_us = warm_time(|| {
+            let _ = off.answer(&qs.text).expect("answers");
+        });
+        let warm_ebox_us = warm_time(|| {
+            let _ = ebox.answer(&qs.text).expect("answers");
+        });
+        rows.push(Row {
+            preset: format!("university-churn(scale {scale})"),
+            query: qs.name.clone(),
+            mode: "infer",
+            constraints: constraints_after,
+            pruned_disjuncts: 0,
+            pruned_unions: 0,
+            retracted,
+            warm_off_us,
+            warm_ebox_us,
+            answers: reference.len(),
+        });
+    }
+}
+
+/// Appends `records` to the JSON array at `path` (created when absent).
+fn append_json_records(path: &str, records: Vec<Json>) -> Result<(), String> {
+    let mut runs = match std::fs::read_to_string(path) {
+        Ok(src) => match Json::parse(src.trim()) {
+            Ok(Json::Arr(items)) => items,
+            Ok(other) => return Err(format!("{path} holds {other}, not a JSON array")),
+            Err(e) => return Err(format!("{path} is not valid JSON: {e}")),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.to_string()),
+    };
+    runs.extend(records);
+    let mut out = String::from("[\n");
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&run.to_string());
+        if i + 1 < runs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    std::fs::write(path, out).map_err(|e| e.to_string())
+}

@@ -40,7 +40,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Instant;
 
-use mastro::RewritingMode;
+use mastro::{EboxMode, RewritingMode};
 use obda_genont::{churn_stream, university_scenario, ChurnFact, ChurnOp};
 use obda_server::{EndpointConfig, EndpointKind, Json, Server, ServerConfig};
 
@@ -55,6 +55,9 @@ struct Opts {
     kind: EndpointKind,
     /// Rewriting mode on the spawned endpoint.
     rewriting: RewritingMode,
+    /// EBox constraint mode on the spawned endpoint (None = engine
+    /// default / `QUONTO_EBOX`).
+    ebox: Option<EboxMode>,
     connections: usize,
     requests: usize,
     mix: Mix,
@@ -97,6 +100,7 @@ impl Default for Opts {
             seed: 42,
             kind: EndpointKind::UniversityAbox,
             rewriting: RewritingMode::PerfectRef,
+            ebox: None,
             connections: 8,
             requests: 50,
             mix: Mix::Both,
@@ -119,7 +123,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--workers N] [--queue N] [--scale N] [--seed N]\n\
          \x20              [--kind university|university-abox] [--shards N] [--exact-workers]\n\
-         \x20              [--rewriting perfectref|presto|ndl]\n\
+         \x20              [--rewriting perfectref|presto|ndl] [--ebox off|on|infer]\n\
          \x20              [--connections N] [--requests N]\n\
          \x20              [--mix cq|sparql|both] [--write-frac F] [--batch N]\n\
          \x20              [--warm] [--timeout-ms N] [--delay-ms N]\n\
@@ -152,12 +156,16 @@ fn parse_opts() -> Opts {
                 }
             }
             "--rewriting" => {
-                opts.rewriting = match val("--rewriting").as_str() {
-                    "perfectref" => RewritingMode::PerfectRef,
-                    "presto" => RewritingMode::Presto,
-                    "ndl" => RewritingMode::Ndl,
-                    _ => usage(),
-                }
+                opts.rewriting = val("--rewriting").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--ebox" => {
+                opts.ebox = Some(val("--ebox").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                }))
             }
             "--connections" => {
                 opts.connections = val("--connections").parse().unwrap_or_else(|_| usage())
@@ -482,9 +490,17 @@ fn main() {
                     kind: opts.kind,
                     scale: opts.scale,
                     seed: opts.seed,
-                    rewriting: opts.rewriting,
+                    engine: {
+                        let mut engine = EndpointConfig::default().engine.rewriting(opts.rewriting);
+                        if opts.shards > 0 {
+                            engine = engine.shards(opts.shards);
+                        }
+                        if let Some(mode) = opts.ebox {
+                            engine = engine.ebox(mode);
+                        }
+                        engine
+                    },
                     delay_ms: opts.delay_ms,
-                    shards: opts.shards,
                     ..EndpointConfig::default()
                 }],
                 ..ServerConfig::default()
@@ -603,6 +619,19 @@ fn main() {
         .and_then(Json::as_str)
         .unwrap_or("?")
         .to_owned();
+    let ebox = stats
+        .get("endpoints")
+        .and_then(|e| e.get(ENDPOINT))
+        .and_then(|e| e.get("ebox"))
+        .and_then(Json::as_str)
+        .unwrap_or("off")
+        .to_owned();
+    let ebox_constraints = stats
+        .get("endpoints")
+        .and_then(|e| e.get(ENDPOINT))
+        .and_then(|e| e.get("ebox_constraints"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
 
     let label = if opts.label.is_empty() {
         String::new()
@@ -610,7 +639,7 @@ fn main() {
         format!(" label={}", opts.label)
     };
     println!(
-        "loadgen report{label} workers={workers} shards={shards} rewriting={rewriting} connections={} requests={} mix_size={} warm={}",
+        "loadgen report{label} workers={workers} shards={shards} rewriting={rewriting} ebox={ebox} connections={} requests={} mix_size={} warm={}",
         opts.connections,
         total,
         mix.len(),
@@ -661,6 +690,8 @@ fn main() {
             ("workers", workers.into()),
             ("shards", shards.into()),
             ("rewriting", rewriting.as_str().into()),
+            ("ebox", ebox.as_str().into()),
+            ("ebox_constraints", ebox_constraints.into()),
             ("connections", opts.connections.into()),
             ("requests", total.into()),
             ("warm", Json::Bool(opts.warm)),

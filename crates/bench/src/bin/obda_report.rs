@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use mastro::{DataMode, QueryEngine, QueryLang, RewritingMode, SystemBuilder};
+use mastro::{DataMode, EngineConfig, QueryEngine, QueryLang, RewritingMode};
 use obda_genont::university_scenario;
 use obda_mapping::materialize;
 
@@ -22,7 +22,7 @@ fn main() {
         let scenario = university_scenario(scale, 42);
         let rows: usize = scenario.tables.iter().map(|t| t.rows.len()).sum();
         // Both modes go through the unified QueryEngine trait, built by
-        // the SystemBuilder — the same construction the server uses.
+        // the EngineConfig — the same construction the server uses.
         let virtual_sys = mastro::demo::build_system(&scenario).expect("builds");
         let t0 = Instant::now();
         let abox = materialize(&virtual_sys.mappings, &virtual_sys.db).expect("materializes");
@@ -31,7 +31,7 @@ fn main() {
             let db = mastro::demo::load_database(&scenario).expect("loads");
             let mappings = mastro::demo::build_mappings(&scenario);
             Box::new(
-                SystemBuilder::new()
+                EngineConfig::new()
                     .rewriting(RewritingMode::Presto)
                     .data_mode(dm)
                     .build_obda(scenario.tbox.clone(), mappings, db)

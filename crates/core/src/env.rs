@@ -76,6 +76,14 @@ pub const KNOBS: &[Knob] = &[
               bypassing the size×cores heuristic of `AutoEngine`.",
     },
     Knob {
+        name: "QUONTO_EBOX",
+        kind: KnobKind::Name,
+        default: "off",
+        doc: "EBox constraint-aware pruning mode for `mastro`: `off` (or `0`) disables it, \
+              `on` (or `1`) seeds constraints from the mappings, `infer` additionally \
+              re-infers them from the loaded data. Builder/config settings override the knob.",
+    },
+    Knob {
         name: "QUONTO_FULL_PRESETS",
         kind: KnobKind::Flag,
         default: "off",
@@ -157,6 +165,13 @@ fn flag(name: &'static str) -> bool {
 /// `QUONTO_CLOSURE`: forced closure-engine name, if set and non-empty.
 pub fn closure_engine() -> Option<String> {
     raw("QUONTO_CLOSURE").filter(|s| !s.is_empty())
+}
+
+/// `QUONTO_EBOX`: requested EBox pruning mode, if set and non-empty.
+/// The string is parsed by the consumer (`mastro`'s `EboxMode::from_str`)
+/// so the mode vocabulary lives next to the modes.
+pub fn ebox_mode() -> Option<String> {
+    raw("QUONTO_EBOX").filter(|s| !s.is_empty())
 }
 
 /// `QUONTO_THREADS`: UCQ evaluation threads, if set and numeric.

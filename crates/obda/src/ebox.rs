@@ -1,0 +1,818 @@
+//! **EBox engine**: inference, write-path revalidation, and state
+//! plumbing for the extensional constraints of
+//! [`obda_mapping::Ebox`] (Hovland et al., PAPERS.md).
+//!
+//! The mapping crate owns the pure constraint *type*; this module owns
+//! everything that needs the engine's data structures:
+//!
+//! * [`infer_from_index`] scans a materialized [`AboxIndex`] and
+//!   records, for every TBox subsumption `B ⊑ S` the rewriter could
+//!   expand, whether the *asserted* extensions also satisfy
+//!   `B ⊑ₑ S` — plus empty extensions and exact-extension annotations;
+//! * [`infer_from_mappings`] derives the static, schema-level subset
+//!   for virtual mode: unmapped predicates are provably empty, and
+//!   mapping sources that are syntactic specializations of another
+//!   predicate's sources yield inclusions that hold for *every* source
+//!   database state;
+//! * [`revalidate`] keeps an inferred EBox sound across
+//!   `apply_delta`: each applied fact is probed against the
+//!   constraints that read its predicate, and violated constraints are
+//!   retracted (counted in the `ebox_retracted` registry counter) so
+//!   later rewritings fall back toward unconstrained — never unsound —
+//!   pruning.
+//!
+//! Soundness note: every pruning decision the rewrite layer makes from
+//! these constraints (see `crate::rewrite::eboxprune`) is justified at
+//! the *evaluation* level — both the disjunct/view/union pruning rules
+//! and the constraints themselves speak only about asserted data, which
+//! is exactly what every evaluation path (index joins, view extents,
+//! SQL unions) ranges over. The one rule that additionally reasons
+//! about certain answers (the exact-predicate short-circuit) carries
+//! its own gate, documented there.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use obda_dllite::{Assertion, BasicConcept, BasicRole, IndividualId, NamedPredicate, Tbox, Value};
+use obda_mapping::{Ebox, EboxInclusion, EboxPredicate, MappingSet};
+use obda_sqlstore::Database;
+use quonto::Classification;
+
+use crate::answer::AboxIndex;
+use crate::delta::AppliedBatch;
+use crate::rewrite::presto::{attr_view_members, concept_view_members, role_view_members};
+
+/// How the engine acquires and applies extensional constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EboxMode {
+    /// No EBox: rewritings are pruned by logical subsumption only.
+    #[default]
+    Off,
+    /// Static constraints only: mapping-level containments and
+    /// scenario metadata (virtual/OBDA engines); a plain ABox engine
+    /// has none and behaves as `Off`.
+    On,
+    /// `On` plus data-driven inference: scan the ABox index for
+    /// containments that hold in the current data, revalidating them
+    /// incrementally on every write batch.
+    Infer,
+}
+
+impl EboxMode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EboxMode::Off => "off",
+            EboxMode::On => "on",
+            EboxMode::Infer => "infer",
+        }
+    }
+
+    /// Whether any EBox machinery runs at all.
+    pub fn enabled(self) -> bool {
+        self != EboxMode::Off
+    }
+}
+
+impl std::str::FromStr for EboxMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" | "0" => Ok(EboxMode::Off),
+            "on" | "1" => Ok(EboxMode::On),
+            "infer" => Ok(EboxMode::Infer),
+            other => Err(format!(
+                "unknown ebox mode `{other}` (expected `off`, `on`, or `infer`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EboxMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// Registry counters for the pruning hooks and the write path.
+obda_obs::counter_handle!(pub(crate) fn ebox_pruned_disjuncts_total, "ebox_pruned_disjuncts");
+obda_obs::counter_handle!(pub(crate) fn ebox_pruned_views_total, "ebox_pruned_views");
+obda_obs::counter_handle!(pub(crate) fn ebox_pruned_unions_total, "ebox_pruned_unions");
+obda_obs::counter_handle!(pub(crate) fn ebox_retracted_total, "ebox_retracted");
+
+/// The engine-side EBox state: the current constraint set (shared so a
+/// query snapshot is an `Arc` clone) and a generation stamp bumped on
+/// every retraction, which invalidates rewrite-cache entries computed
+/// under the stronger constraint set.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EboxState {
+    pub(crate) ebox: Arc<Ebox>,
+    pub(crate) generation: u64,
+    /// Total constraints retracted over this engine's lifetime.
+    pub(crate) retracted: u64,
+}
+
+impl EboxState {
+    pub(crate) fn new(ebox: Ebox) -> EboxState {
+        EboxState {
+            ebox: Arc::new(ebox),
+            generation: 0,
+            retracted: 0,
+        }
+    }
+
+    /// The snapshot queries prune against: `None` when there is nothing
+    /// to prune with, so the hot path skips the EBox pass entirely.
+    pub(crate) fn snapshot(&self) -> Option<Arc<Ebox>> {
+        if self.ebox.is_empty() {
+            None
+        } else {
+            Some(Arc::clone(&self.ebox))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension probes over the ABox index.
+// ---------------------------------------------------------------------------
+
+/// Whether `i` is in the asserted extension of the basic concept `b`.
+pub(crate) fn unary_member(ix: &AboxIndex, b: BasicConcept, i: IndividualId) -> bool {
+    match b {
+        BasicConcept::Atomic(a) => ix.concepts.get(&a.0).is_some_and(|f| f.set.contains(&i)),
+        BasicConcept::Exists(BasicRole::Direct(p)) => ix
+            .roles
+            .get(&p.0)
+            .is_some_and(|f| f.by_subject.contains_key(&i)),
+        BasicConcept::Exists(BasicRole::Inverse(p)) => ix
+            .roles
+            .get(&p.0)
+            .is_some_and(|f| f.by_object.contains_key(&i)),
+        BasicConcept::AttrDomain(u) => ix
+            .attributes
+            .get(&u.0)
+            .is_some_and(|f| f.by_subject.contains_key(&i)),
+    }
+}
+
+/// Whether the *oriented* pair `(s, o)` is in the asserted extension of
+/// the basic role `q` (`Inverse(p)`'s extension holds `p`'s pairs
+/// swapped).
+fn role_member(ix: &AboxIndex, q: BasicRole, s: IndividualId, o: IndividualId) -> bool {
+    let (p, sub, obj) = match q {
+        BasicRole::Direct(p) => (p, s, o),
+        BasicRole::Inverse(p) => (p, o, s),
+    };
+    ix.roles
+        .get(&p.0)
+        .and_then(|f| f.by_subject.get(&sub))
+        .is_some_and(|objs| objs.contains(&obj))
+}
+
+fn attr_member(ix: &AboxIndex, u: obda_dllite::AttributeId, s: IndividualId, v: &Value) -> bool {
+    ix.attributes
+        .get(&u.0)
+        .and_then(|f| f.by_subject.get(&s))
+        .is_some_and(|vals| vals.contains(v))
+}
+
+/// The asserted extension of a basic concept, collected (inference is a
+/// build-time scan, not a query-path operation).
+fn unary_extension(ix: &AboxIndex, b: BasicConcept) -> Vec<IndividualId> {
+    match b {
+        BasicConcept::Atomic(a) => ix
+            .concepts
+            .get(&a.0)
+            .map(|f| f.members.clone())
+            .unwrap_or_default(),
+        BasicConcept::Exists(BasicRole::Direct(p)) => ix
+            .roles
+            .get(&p.0)
+            .map(|f| f.by_subject.keys().copied().collect())
+            .unwrap_or_default(),
+        BasicConcept::Exists(BasicRole::Inverse(p)) => ix
+            .roles
+            .get(&p.0)
+            .map(|f| f.by_object.keys().copied().collect())
+            .unwrap_or_default(),
+        BasicConcept::AttrDomain(u) => ix
+            .attributes
+            .get(&u.0)
+            .map(|f| f.by_subject.keys().copied().collect())
+            .unwrap_or_default(),
+    }
+}
+
+fn oriented_pairs(ix: &AboxIndex, q: BasicRole) -> Vec<(IndividualId, IndividualId)> {
+    match q {
+        BasicRole::Direct(p) => ix
+            .roles
+            .get(&p.0)
+            .map(|f| f.pairs.clone())
+            .unwrap_or_default(),
+        BasicRole::Inverse(p) => ix
+            .roles
+            .get(&p.0)
+            .map(|f| f.pairs.iter().map(|&(s, o)| (o, s)).collect())
+            .unwrap_or_default(),
+    }
+}
+
+fn unary_contained(ix: &AboxIndex, sub: BasicConcept, sup: BasicConcept) -> bool {
+    unary_extension(ix, sub)
+        .into_iter()
+        .all(|i| unary_member(ix, sup, i))
+}
+
+fn role_contained(ix: &AboxIndex, sub: BasicRole, sup: BasicRole) -> bool {
+    oriented_pairs(ix, sub)
+        .into_iter()
+        .all(|(s, o)| role_member(ix, sup, s, o))
+}
+
+fn attr_contained(
+    ix: &AboxIndex,
+    sub: obda_dllite::AttributeId,
+    sup: obda_dllite::AttributeId,
+) -> bool {
+    ix.attributes
+        .get(&sub.0)
+        .is_none_or(|f| f.pairs.iter().all(|(s, v)| attr_member(ix, sup, *s, v)))
+}
+
+/// Every basic concept over the signature: the unary candidate space
+/// for empties and inclusion targets.
+fn unary_candidates(tbox: &Tbox) -> Vec<BasicConcept> {
+    let sig = &tbox.sig;
+    let mut out: Vec<BasicConcept> = sig.concepts().map(BasicConcept::Atomic).collect();
+    for p in sig.roles() {
+        out.push(BasicConcept::exists(p));
+        out.push(BasicConcept::exists_inv(p));
+    }
+    out.extend(sig.attributes().map(BasicConcept::AttrDomain));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Inference.
+// ---------------------------------------------------------------------------
+
+/// Scans the ABox index and records every constraint the pruning layer
+/// could use that actually holds in the current data:
+///
+/// * **empties** for every basic extension with no asserted facts;
+/// * **inclusions** `B ⊑ₑ S` for every classification edge `B ⊑ S`
+///   (the exact pairs PerfectRef specializes along and the view
+///   expansions enumerate) whose asserted extensions are contained;
+/// * **exact** annotations for named predicates all of whose basic
+///   subsumees were just verified contained — recorded with that
+///   support so a later retraction of any member drops the annotation.
+///
+/// Candidate generation is deliberately restricted to TBox-subsumption
+/// pairs: those are the only containments the rewriter ever asks
+/// about, and they keep the scan linear in `|closure| × |data|`.
+pub fn infer_from_index(tbox: &Tbox, cls: &Classification, ix: &AboxIndex) -> Ebox {
+    let mut ebox = Ebox::new();
+    let sig = &tbox.sig;
+    for b in unary_candidates(tbox) {
+        if unary_extension(ix, b).is_empty() {
+            ebox.set_empty(EboxPredicate::Concept(b));
+        }
+    }
+    for p in sig.roles() {
+        if ix.roles.get(&p.0).is_none_or(|f| f.pairs.is_empty()) {
+            ebox.set_empty(EboxPredicate::Role(BasicRole::Direct(p)));
+            ebox.set_empty(EboxPredicate::Role(BasicRole::Inverse(p)));
+        }
+    }
+    for u in sig.attributes() {
+        if ix.attributes.get(&u.0).is_none_or(|f| f.pairs.is_empty()) {
+            ebox.set_empty(EboxPredicate::Attribute(u));
+        }
+    }
+    for target in unary_candidates(tbox) {
+        for m in concept_view_members(cls, target) {
+            if m != target && unary_contained(ix, m, target) {
+                ebox.add_inclusion(EboxPredicate::Concept(m), EboxPredicate::Concept(target));
+            }
+        }
+    }
+    for p in sig.roles() {
+        for target in [BasicRole::Direct(p), BasicRole::Inverse(p)] {
+            for m in role_view_members(cls, target) {
+                if m != target && role_contained(ix, m, target) {
+                    ebox.add_inclusion(EboxPredicate::Role(m), EboxPredicate::Role(target));
+                }
+            }
+        }
+    }
+    for u in sig.attributes() {
+        for m in attr_view_members(cls, u) {
+            if m != u && attr_contained(ix, m, u) {
+                ebox.add_inclusion(EboxPredicate::Attribute(m), EboxPredicate::Attribute(u));
+            }
+        }
+    }
+    infer_exact(&mut ebox, tbox, cls);
+    ebox
+}
+
+/// Collects the support inclusions `sub ⊑ₑ target` for every member of
+/// `members` other than `target` itself; `None` if any is missing from
+/// the base set.
+fn coverage_support(
+    ebox: &Ebox,
+    members: &[BasicConcept],
+    target: BasicConcept,
+) -> Option<Vec<EboxInclusion>> {
+    let mut support = Vec::new();
+    for &m in members {
+        if m == target {
+            continue;
+        }
+        let incl = EboxInclusion {
+            sub: EboxPredicate::Concept(m),
+            sup: EboxPredicate::Concept(target),
+        };
+        if !ebox.has_inclusion(incl) {
+            return None;
+        }
+        support.push(incl);
+    }
+    Some(support)
+}
+
+/// Marks named predicates **exact** when the already-validated
+/// inclusions prove the asserted extension contains every *named*
+/// certain member:
+///
+/// * a concept `A` is exact when every basic subsumee's extension is
+///   contained in `ext(A)` (in DL-Litephone, named certain members of
+///   `A` arise only from asserted subsumee facts);
+/// * a role `p` additionally needs domain and range coverage
+///   (`S ⊑ ∃p` subsumees contained in `p`'s subjects, `S ⊑ ∃p⁻` in
+///   its objects) so atoms with an existential end stay covered;
+/// * an attribute `u` mirrors the role case through `δ(u)`.
+fn infer_exact(ebox: &mut Ebox, tbox: &Tbox, cls: &Classification) {
+    let sig = &tbox.sig;
+    for a in sig.concepts() {
+        let target = BasicConcept::Atomic(a);
+        let members = concept_view_members(cls, target);
+        if let Some(support) = coverage_support(ebox, &members, target) {
+            ebox.set_exact(NamedPredicate::Concept(a), support);
+        }
+    }
+    for p in sig.roles() {
+        let dir = BasicRole::Direct(p);
+        let mut support = Vec::new();
+        let mut ok = true;
+        for m in role_view_members(cls, dir) {
+            if m == dir {
+                continue;
+            }
+            let incl = EboxInclusion {
+                sub: EboxPredicate::Role(m),
+                sup: EboxPredicate::Role(dir),
+            };
+            if ebox.has_inclusion(incl) {
+                support.push(incl);
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            for target in [BasicConcept::exists(p), BasicConcept::exists_inv(p)] {
+                let members = concept_view_members(cls, target);
+                match coverage_support(ebox, &members, target) {
+                    Some(mut s) => support.append(&mut s),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if ok {
+            ebox.set_exact(NamedPredicate::Role(p), support);
+        }
+    }
+    for u in sig.attributes() {
+        let mut support = Vec::new();
+        let mut ok = true;
+        for m in attr_view_members(cls, u) {
+            if m == u {
+                continue;
+            }
+            let incl = EboxInclusion {
+                sub: EboxPredicate::Attribute(m),
+                sup: EboxPredicate::Attribute(u),
+            };
+            if ebox.has_inclusion(incl) {
+                support.push(incl);
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            let target = BasicConcept::AttrDomain(u);
+            let members = concept_view_members(cls, target);
+            match coverage_support(ebox, &members, target) {
+                Some(mut s) => support.append(&mut s),
+                None => ok = false,
+            }
+        }
+        if ok {
+            ebox.set_exact(NamedPredicate::Attribute(u), support);
+        }
+    }
+}
+
+/// Derives the *static* EBox of a virtual-mode system from its mapping
+/// set: constraints that hold for every source database state, so they
+/// never need revalidation.
+///
+/// * A predicate with no mapping assertion has a provably empty virtual
+///   extension (`genont` scenarios encode abstract mid-hierarchy
+///   predicates this way — see
+///   `obda_genont::UniversityScenario::unmapped_predicate_names`);
+/// * along each classification edge `B ⊑ S` of the same shape, `B`'s
+///   virtual extension is contained in `S`'s when every flat source of
+///   `B` is a syntactic specialization of some source of `S` (same
+///   tables, same projected arguments, a superset of the conditions) —
+///   checked by the unfolder's [`crate::rewrite::unfold`] source
+///   containment, the same test the union pruning uses.
+///
+/// No exact annotations are inferred here: exactness quantifies over
+/// the concrete data, which a schema-level pass cannot see.
+pub fn infer_from_mappings(
+    tbox: &Tbox,
+    cls: &Classification,
+    mappings: &MappingSet,
+    db: &Database,
+) -> Ebox {
+    let mut ebox = Ebox::new();
+    let sig = &tbox.sig;
+    for a in sig.concepts() {
+        if mappings.concept_sources(a).next().is_none() {
+            ebox.set_empty(EboxPredicate::Concept(BasicConcept::Atomic(a)));
+        }
+    }
+    for p in sig.roles() {
+        if mappings.role_sources(p).next().is_none() {
+            ebox.set_empty(EboxPredicate::Role(BasicRole::Direct(p)));
+            ebox.set_empty(EboxPredicate::Role(BasicRole::Inverse(p)));
+            ebox.set_empty(EboxPredicate::Concept(BasicConcept::exists(p)));
+            ebox.set_empty(EboxPredicate::Concept(BasicConcept::exists_inv(p)));
+        }
+    }
+    for u in sig.attributes() {
+        if mappings.attribute_sources(u).next().is_none() {
+            ebox.set_empty(EboxPredicate::Attribute(u));
+            ebox.set_empty(EboxPredicate::Concept(BasicConcept::AttrDomain(u)));
+        }
+    }
+    // Same-shape inclusions along classification edges. An empty sub
+    // is contained in anything, and recording the base inclusion keeps
+    // the constraint usable as exactness support by a later data-level
+    // pass (uniform with `infer_from_index`).
+    for a in sig.concepts() {
+        let target = BasicConcept::Atomic(a);
+        for m in concept_view_members(cls, target) {
+            let BasicConcept::Atomic(b) = m else { continue };
+            if b == a {
+                continue;
+            }
+            let sub = EboxPredicate::Concept(m);
+            if ebox.is_empty_pred(sub)
+                || crate::rewrite::unfold::concept_sources_contained(mappings, db, b, a)
+            {
+                ebox.add_inclusion(sub, EboxPredicate::Concept(target));
+            }
+        }
+    }
+    for p in sig.roles() {
+        let dir = BasicRole::Direct(p);
+        for m in role_view_members(cls, dir) {
+            let BasicRole::Direct(q) = m else { continue };
+            if q == p {
+                continue;
+            }
+            let sub = EboxPredicate::Role(m);
+            if ebox.is_empty_pred(sub)
+                || crate::rewrite::unfold::role_sources_contained(mappings, db, q, p)
+            {
+                ebox.add_inclusion(sub, EboxPredicate::Role(dir));
+                // Same-orientation pair containment projects to both
+                // ends: ∃q ⊑ₑ ∃p and ∃q⁻ ⊑ₑ ∃p⁻.
+                ebox.add_inclusion(
+                    EboxPredicate::Concept(BasicConcept::exists(q)),
+                    EboxPredicate::Concept(BasicConcept::exists(p)),
+                );
+                ebox.add_inclusion(
+                    EboxPredicate::Concept(BasicConcept::exists_inv(q)),
+                    EboxPredicate::Concept(BasicConcept::exists_inv(p)),
+                );
+            }
+        }
+    }
+    for u in sig.attributes() {
+        for m in attr_view_members(cls, u) {
+            if m == u {
+                continue;
+            }
+            let sub = EboxPredicate::Attribute(m);
+            if ebox.is_empty_pred(sub)
+                || crate::rewrite::unfold::attr_sources_contained(mappings, db, m, u)
+            {
+                ebox.add_inclusion(sub, EboxPredicate::Attribute(u));
+                ebox.add_inclusion(
+                    EboxPredicate::Concept(BasicConcept::AttrDomain(m)),
+                    EboxPredicate::Concept(BasicConcept::AttrDomain(u)),
+                );
+            }
+        }
+    }
+    ebox
+}
+
+// ---------------------------------------------------------------------------
+// Write-path revalidation.
+// ---------------------------------------------------------------------------
+
+/// The named predicate whose fact list an assertion belongs to.
+fn assertion_predicate(a: &Assertion) -> NamedPredicate {
+    match a {
+        Assertion::Concept(c, _) => NamedPredicate::Concept(*c),
+        Assertion::Role(p, _, _) => NamedPredicate::Role(*p),
+        Assertion::Attribute(u, _, _) => NamedPredicate::Attribute(*u),
+    }
+}
+
+/// The element `a` contributes to the extension of basic concept `b`
+/// (`None` when `a`'s predicate is not `b`'s source).
+fn unary_element(b: BasicConcept, a: &Assertion) -> Option<IndividualId> {
+    match (b, a) {
+        (BasicConcept::Atomic(c), Assertion::Concept(c2, i)) if c == *c2 => Some(*i),
+        (BasicConcept::Exists(BasicRole::Direct(p)), Assertion::Role(p2, s, _)) if p == *p2 => {
+            Some(*s)
+        }
+        (BasicConcept::Exists(BasicRole::Inverse(p)), Assertion::Role(p2, _, o)) if p == *p2 => {
+            Some(*o)
+        }
+        (BasicConcept::AttrDomain(u), Assertion::Attribute(u2, s, _)) if u == *u2 => Some(*s),
+        _ => None,
+    }
+}
+
+/// Whether, after `a` was *inserted*, the inclusion no longer holds:
+/// the new element of `sub`'s extension is probed against `sup` in the
+/// already-patched index.
+fn insert_violates(incl: &EboxInclusion, a: &Assertion, ix: &AboxIndex) -> bool {
+    match (incl.sub, incl.sup) {
+        (EboxPredicate::Concept(sb), EboxPredicate::Concept(sp)) => {
+            unary_element(sb, a).is_some_and(|i| !unary_member(ix, sp, i))
+        }
+        (EboxPredicate::Role(qb), EboxPredicate::Role(qp)) => match (qb, a) {
+            (BasicRole::Direct(p), Assertion::Role(p2, s, o)) if p == *p2 => {
+                !role_member(ix, qp, *s, *o)
+            }
+            (BasicRole::Inverse(p), Assertion::Role(p2, s, o)) if p == *p2 => {
+                !role_member(ix, qp, *o, *s)
+            }
+            _ => false,
+        },
+        (EboxPredicate::Attribute(ub), EboxPredicate::Attribute(up)) => match a {
+            Assertion::Attribute(u2, s, v) if ub == *u2 => !attr_member(ix, up, *s, v),
+            _ => false,
+        },
+        // Cross-sort inclusions are rejected at insertion time.
+        _ => false,
+    }
+}
+
+/// Whether, after `a` was *deleted* from `sup`'s source predicate, the
+/// inclusion no longer holds: the element `a` used to contribute may
+/// have left `sup`'s extension while still being in `sub`'s.
+fn delete_violates(incl: &EboxInclusion, a: &Assertion, ix: &AboxIndex) -> bool {
+    match (incl.sub, incl.sup) {
+        (EboxPredicate::Concept(sb), EboxPredicate::Concept(sp)) => unary_element(sp, a)
+            .is_some_and(|i| unary_member(ix, sb, i) && !unary_member(ix, sp, i)),
+        (EboxPredicate::Role(qb), EboxPredicate::Role(qp)) => match (qp, a) {
+            (BasicRole::Direct(p), Assertion::Role(p2, s, o)) if p == *p2 => {
+                role_member(ix, qb, *s, *o) && !role_member(ix, qp, *s, *o)
+            }
+            (BasicRole::Inverse(p), Assertion::Role(p2, s, o)) if p == *p2 => {
+                role_member(ix, qb, *o, *s) && !role_member(ix, qp, *o, *s)
+            }
+            _ => false,
+        },
+        (EboxPredicate::Attribute(ub), EboxPredicate::Attribute(up)) => match a {
+            Assertion::Attribute(u2, s, v) if up == *u2 => {
+                attr_member(ix, ub, *s, v) && !attr_member(ix, up, *s, v)
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Revalidates an EBox against one applied delta batch, probing each
+/// changed fact against the constraints that read its predicate in the
+/// *post-patch* index, and retracting exactly the violated ones (plus
+/// exact annotations whose support they carried). Constraints the
+/// probes re-confirm survive — a churn stream that respects the data
+/// invariants keeps its pruning power. Returns the number of retracted
+/// constraints (also added to the `ebox_retracted` counter by the
+/// caller's state update).
+///
+/// Inserts can violate an *empty* (the predicate now has a fact) or an
+/// inclusion through its `sub` side; deletes can only violate an
+/// inclusion through its `sup` side. Deletes never violate empties,
+/// and a predicate that *becomes* empty is not promoted — inference
+/// strengthens only at (re)build points.
+pub(crate) fn revalidate(ebox: &mut Ebox, applied: &AppliedBatch, ix: &AboxIndex) -> u64 {
+    if ebox.is_empty() || (applied.inserted.is_empty() && applied.deleted.is_empty()) {
+        return 0;
+    }
+    let mut bad_incl: HashSet<EboxInclusion> = HashSet::new();
+    let mut bad_empty: HashSet<EboxPredicate> = HashSet::new();
+    for a in &applied.inserted {
+        let n = assertion_predicate(a);
+        for p in ebox.empties() {
+            if p.source_predicate() == n {
+                bad_empty.insert(*p);
+            }
+        }
+        for incl in ebox.inclusions() {
+            if incl.sub.source_predicate() == n
+                && !bad_incl.contains(incl)
+                && insert_violates(incl, a, ix)
+            {
+                bad_incl.insert(*incl);
+            }
+        }
+    }
+    for a in &applied.deleted {
+        let n = assertion_predicate(a);
+        for incl in ebox.inclusions() {
+            if incl.sup.source_predicate() == n
+                && !bad_incl.contains(incl)
+                && delete_violates(incl, a, ix)
+            {
+                bad_incl.insert(*incl);
+            }
+        }
+    }
+    ebox.retract_specific(&bad_incl, &bad_empty) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{parse_tbox, Abox};
+
+    fn build(tbox_src: &str, facts: &[&str]) -> (Tbox, Classification, Abox, AboxIndex) {
+        let tbox = parse_tbox(tbox_src).unwrap();
+        let cls = Classification::classify(&tbox);
+        let mut abox = Abox::new();
+        for f in facts {
+            // "A a" concept, "p a b" role, "u a 5" attribute (int).
+            let parts: Vec<&str> = f.split_whitespace().collect();
+            match parts.as_slice() {
+                [c, i] => {
+                    let cid = tbox.sig.find_concept(c).unwrap();
+                    let ind = abox.individual(i);
+                    abox.add(Assertion::Concept(cid, ind));
+                }
+                [p, s, o] => {
+                    if let Some(pid) = tbox.sig.find_role(p) {
+                        let si = abox.individual(s);
+                        let oi = abox.individual(o);
+                        abox.add(Assertion::Role(pid, si, oi));
+                    } else {
+                        let uid = tbox.sig.find_attribute(p).unwrap();
+                        let si = abox.individual(s);
+                        abox.add(Assertion::Attribute(
+                            uid,
+                            si,
+                            Value::Int(o.parse().unwrap()),
+                        ));
+                    }
+                }
+                _ => panic!("bad fact {f}"),
+            }
+        }
+        let ix = AboxIndex::build(&abox);
+        (tbox, cls, abox, ix)
+    }
+
+    const TBOX: &str = "concept A B C\nrole p\nB [= A\nC [= A\nexists p [= A";
+
+    #[test]
+    fn infers_empties_inclusions_and_exact() {
+        let (tbox, cls, _abox, ix) =
+            build(TBOX, &["B x1", "A x1", "B x2", "A x2", "A x3", "p x3 y"]);
+        let e = infer_from_index(&tbox, &cls, &ix);
+        let b = EboxPredicate::Concept(BasicConcept::Atomic(tbox.sig.find_concept("B").unwrap()));
+        let a = EboxPredicate::Concept(BasicConcept::Atomic(tbox.sig.find_concept("A").unwrap()));
+        let c = EboxPredicate::Concept(BasicConcept::Atomic(tbox.sig.find_concept("C").unwrap()));
+        let p = tbox.sig.find_role("p").unwrap();
+        let ep = EboxPredicate::Concept(BasicConcept::exists(p));
+        assert!(e.contains(b, a), "asserted B ⊆ asserted A");
+        assert!(e.is_empty_pred(c), "C never asserted");
+        assert!(e.contains(c, a), "empty C contained in anything");
+        assert!(e.contains(ep, a), "p-subjects all carry A");
+        // Every subsumee of A is covered, so A is exact.
+        assert!(e.is_exact(NamedPredicate::Concept(tbox.sig.find_concept("A").unwrap())));
+        // B has no subsumees at all: trivially exact.
+        assert!(e.is_exact(NamedPredicate::Concept(tbox.sig.find_concept("B").unwrap())));
+    }
+
+    #[test]
+    fn non_contained_data_yields_no_inclusion() {
+        let (tbox, cls, _abox, ix) = build(TBOX, &["B x1", "A x2"]);
+        let e = infer_from_index(&tbox, &cls, &ix);
+        let b = EboxPredicate::Concept(BasicConcept::Atomic(tbox.sig.find_concept("B").unwrap()));
+        let a = EboxPredicate::Concept(BasicConcept::Atomic(tbox.sig.find_concept("A").unwrap()));
+        assert!(!e.contains(b, a), "x1 is a B but not an A");
+        assert!(!e.is_exact(NamedPredicate::Concept(tbox.sig.find_concept("A").unwrap())));
+    }
+
+    #[test]
+    fn revalidation_retracts_violated_and_keeps_confirmed() {
+        let (tbox, cls, mut abox, mut ix) = build(TBOX, &["B x1", "A x1"]);
+        let mut e = infer_from_index(&tbox, &cls, &ix);
+        let b_id = tbox.sig.find_concept("B").unwrap();
+        let a_id = tbox.sig.find_concept("A").unwrap();
+        let b = EboxPredicate::Concept(BasicConcept::Atomic(b_id));
+        let a = EboxPredicate::Concept(BasicConcept::Atomic(a_id));
+        assert!(e.contains(b, a));
+        assert!(e.is_exact(NamedPredicate::Concept(a_id)));
+
+        // Insert B(x2) *and* A(x2): the inclusion is probed and survives.
+        let x2 = abox.individual("x2");
+        for f in [Assertion::Concept(a_id, x2), Assertion::Concept(b_id, x2)] {
+            abox.add(f.clone());
+            ix.insert_assertion(&f);
+        }
+        let applied = AppliedBatch {
+            inserted: vec![Assertion::Concept(a_id, x2), Assertion::Concept(b_id, x2)],
+            deleted: vec![],
+        };
+        assert_eq!(revalidate(&mut e, &applied, &ix), 0);
+        assert!(e.contains(b, a));
+
+        // Delete A(x2): x2 is still a B, so B ⊑ₑ A is violated and the
+        // exact annotation on A loses its support.
+        let del = Assertion::Concept(a_id, x2);
+        abox.remove(&del);
+        ix.remove_assertion(&del);
+        let applied = AppliedBatch {
+            inserted: vec![],
+            deleted: vec![del],
+        };
+        let removed = revalidate(&mut e, &applied, &ix);
+        assert!(removed >= 1, "B ⊑ₑ A retracted");
+        assert!(!e.contains(b, a));
+        assert!(!e.is_exact(NamedPredicate::Concept(a_id)));
+    }
+
+    #[test]
+    fn insert_into_empty_predicate_retracts_the_empty() {
+        let (tbox, cls, mut abox, mut ix) = build(TBOX, &["A x1"]);
+        let mut e = infer_from_index(&tbox, &cls, &ix);
+        let c_id = tbox.sig.find_concept("C").unwrap();
+        let c = EboxPredicate::Concept(BasicConcept::Atomic(c_id));
+        assert!(e.is_empty_pred(c));
+        let x1 = abox.individual("x1");
+        let f = Assertion::Concept(c_id, x1);
+        abox.add(f.clone());
+        ix.insert_assertion(&f);
+        let applied = AppliedBatch {
+            inserted: vec![f],
+            deleted: vec![],
+        };
+        // The empty goes; C(x1) with A(x1) present keeps C ⊑ₑ A alive
+        // as a *checked* inclusion is not present (it was only implied
+        // by emptiness), so pruning now must not assume it.
+        assert!(revalidate(&mut e, &applied, &ix) >= 1);
+        assert!(!e.is_empty_pred(c));
+    }
+
+    #[test]
+    fn mode_parses_and_renders() {
+        for (s, m) in [
+            ("off", EboxMode::Off),
+            ("on", EboxMode::On),
+            ("infer", EboxMode::Infer),
+        ] {
+            assert_eq!(s.parse::<EboxMode>().unwrap(), m);
+            assert_eq!(m.as_str(), s);
+        }
+        assert!("nope".parse::<EboxMode>().is_err());
+        assert!(!EboxMode::Off.enabled());
+        assert!(EboxMode::Infer.enabled());
+    }
+}

@@ -22,6 +22,7 @@ use obda_obs::{span, SinkKind, TraceCtx, TraceSink};
 use obda_sqlstore::Database;
 
 use crate::answer::Answers;
+use crate::config::EngineConfig;
 use crate::delta::{AboxDelta, DeltaSummary};
 use crate::error::ObdaError;
 use crate::query::ConjunctiveQuery;
@@ -62,6 +63,11 @@ pub struct EngineStats {
     pub rewrite_cache: RewriteCacheStats,
     /// Evaluation shards (`1` = the unsharded fast path).
     pub shards: usize,
+    /// EBox mode name (`"off"`, `"on"`, `"infer"`).
+    pub ebox: &'static str,
+    /// Live EBox constraints (inclusions + empties + exact
+    /// annotations); `0` when the EBox is off.
+    pub ebox_constraints: usize,
 }
 
 /// Per-shard serving counters, surfaced through
@@ -210,17 +216,18 @@ pub(crate) fn run_with_engine_trace<T>(
     res
 }
 
-/// Typed construction for both engine shapes. Unset options default
-/// from the environment knobs at build time; set options always win.
+/// Typed construction for both engine shapes — now a thin wrapper over
+/// [`EngineConfig`], which is the one configuration surface (typed
+/// setters, config-file keys, env knobs, one validation pass). Unset
+/// options still default from the environment knobs at build time and
+/// set options still win, because those are `EngineConfig`'s semantics.
+///
+/// The setters are kept as deprecated shims (pinned by
+/// `tests/builder.rs`) so existing callers keep compiling; new code
+/// should use [`EngineConfig`] directly.
 #[derive(Debug, Clone, Default)]
 pub struct SystemBuilder {
-    rewriting: Option<RewritingMode>,
-    data: Option<DataMode>,
-    eval_threads: Option<usize>,
-    rewrite_cache: Option<bool>,
-    shards: Option<usize>,
-    shard_max_inflight: Option<usize>,
-    sink: Option<Arc<dyn TraceSink>>,
+    cfg: EngineConfig,
 }
 
 impl SystemBuilder {
@@ -228,62 +235,70 @@ impl SystemBuilder {
         SystemBuilder::default()
     }
 
-    /// Rewriting algorithm (default: Presto for [`ObdaSystem`],
-    /// PerfectRef for [`AboxSystem`]). On the ABox tier Presto folds
-    /// into PerfectRef (there are no mappings to unfold against);
-    /// [`RewritingMode::Ndl`] selects the shared-view NDL evaluator on
-    /// every engine shape.
+    /// Wraps an already-assembled [`EngineConfig`].
+    pub fn from_config(cfg: EngineConfig) -> SystemBuilder {
+        SystemBuilder { cfg }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Deprecated shim for [`EngineConfig::rewriting`].
+    #[deprecated(note = "use EngineConfig::rewriting")]
     pub fn rewriting(mut self, mode: RewritingMode) -> Self {
-        self.rewriting = Some(mode);
+        self.cfg.rewriting = Some(mode);
         self
     }
 
-    /// Data-access mode (default: virtual). Ignored by
-    /// [`build_abox`](Self::build_abox).
+    /// Deprecated shim for [`EngineConfig::data_mode`].
+    #[deprecated(note = "use EngineConfig::data_mode")]
     pub fn data_mode(mut self, mode: DataMode) -> Self {
-        self.data = Some(mode);
+        self.cfg.data = Some(mode);
         self
     }
 
-    /// UCQ evaluation threads, `0` = all cores (default:
-    /// `QUONTO_THREADS`, else 1).
+    /// Deprecated shim for [`EngineConfig::eval_threads`].
+    #[deprecated(note = "use EngineConfig::eval_threads")]
     pub fn eval_threads(mut self, threads: usize) -> Self {
-        self.eval_threads = Some(threads);
+        self.cfg.eval_threads = Some(threads);
         self
     }
 
-    /// Enables/disables the rewrite cache (default: enabled).
+    /// Deprecated shim for [`EngineConfig::rewrite_cache`].
+    #[deprecated(note = "use EngineConfig::rewrite_cache")]
     pub fn rewrite_cache(mut self, enabled: bool) -> Self {
-        self.rewrite_cache = Some(enabled);
+        self.cfg.rewrite_cache = Some(enabled);
         self
     }
 
-    /// ABox evaluation shards for
-    /// [`build_abox_engine`](Self::build_abox_engine), `0` = all cores
-    /// (default: `QUONTO_SHARDS`, else 1 = unsharded).
+    /// Deprecated shim for [`EngineConfig::shards`].
+    #[deprecated(note = "use EngineConfig::shards")]
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = Some(shards);
+        self.cfg.shards = Some(shards);
         self
     }
 
-    /// Per-shard cap on concurrent scatter evaluations (`0` =
-    /// unbounded, the default). Only meaningful for sharded engines.
+    /// Deprecated shim for [`EngineConfig::shard_max_inflight`].
+    #[deprecated(note = "use EngineConfig::shard_max_inflight")]
     pub fn shard_max_inflight(mut self, cap: usize) -> Self {
-        self.shard_max_inflight = Some(cap);
+        self.cfg.shard_max_inflight = Some(cap);
         self
     }
 
-    /// Trace sink for untraced `answer` calls (default: selected by
-    /// `QUONTO_TIMINGS`).
+    /// Deprecated shim for [`EngineConfig::trace_sink`].
+    #[deprecated(note = "use EngineConfig::trace_sink")]
     pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
-        self.sink = Some(sink);
+        self.cfg.sink = Some(sink);
         self
     }
 
-    /// Convenience for the built-in sinks.
-    pub fn trace(self, kind: SinkKind) -> Self {
-        let sink = obda_obs::sink::named(kind);
-        self.trace_sink(sink)
+    /// Deprecated shim for [`EngineConfig::trace`].
+    #[deprecated(note = "use EngineConfig::trace")]
+    pub fn trace(mut self, kind: SinkKind) -> Self {
+        self.cfg.sink = Some(obda_obs::sink::named(kind));
+        self
     }
 
     /// Builds a full OBDA system (mappings + SQL sources).
@@ -293,83 +308,23 @@ impl SystemBuilder {
         mappings: MappingSet,
         db: Database,
     ) -> Result<ObdaSystem, ObdaError> {
-        let mut sys = ObdaSystem::new(tbox, mappings, db)?;
-        if let Some(mode) = self.rewriting {
-            sys = sys.with_rewriting(mode);
-        }
-        if let Some(mode) = self.data {
-            sys = sys.with_data_mode(mode);
-        }
-        if let Some(threads) = self.eval_threads {
-            sys = sys.with_eval_threads(threads);
-        }
-        if let Some(enabled) = self.rewrite_cache {
-            sys = sys.with_rewrite_cache(enabled);
-        }
-        if let Some(sink) = &self.sink {
-            sys = sys.with_trace_sink(Arc::clone(sink));
-        }
-        Ok(sys)
+        self.cfg.build_obda(tbox, mappings, db)
     }
 
     /// Builds an ABox-backed system (no mappings/SQL).
     pub fn build_abox(&self, tbox: Tbox, abox: Abox) -> AboxSystem {
-        let mut sys = AboxSystem::new(tbox, abox);
-        if let Some(mode) = self.rewriting {
-            sys = sys.with_rewriting(mode);
-        }
-        if let Some(threads) = self.eval_threads {
-            sys = sys.with_eval_threads(threads);
-        }
-        if let Some(enabled) = self.rewrite_cache {
-            sys = sys.with_rewrite_cache(enabled);
-        }
-        if let Some(sink) = &self.sink {
-            sys = sys.with_trace_sink(Arc::clone(sink));
-        }
-        sys
+        self.cfg.build_abox(tbox, abox)
     }
 
     /// The shard count [`build_abox_engine`](Self::build_abox_engine)
-    /// will use: the builder option, else `QUONTO_SHARDS`, else 1;
-    /// `0` resolves to all available cores.
+    /// will use (see [`EngineConfig::resolved_shards`]).
     pub fn resolved_shards(&self) -> usize {
-        let n = self.shards.or_else(quonto::env::shards).unwrap_or(1);
-        if n == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            n
-        }
+        self.cfg.resolved_shards()
     }
 
-    /// Builds an ABox-backed engine, sharded or not: the serving-layer
-    /// entry point. With [`resolved_shards`](Self::resolved_shards)
-    /// `<= 1` this is exactly [`build_abox`](Self::build_abox) boxed —
-    /// the unsharded fast path stays byte-for-byte what it was.
-    /// Otherwise the ABox is partitioned into a
-    /// [`crate::shard::ShardedAboxSystem`] (which always evaluates each
-    /// shard single-threaded — `eval_threads` does not apply; scatter
-    /// parallelism comes from the shards themselves).
+    /// Builds an ABox-backed engine, sharded or not (see
+    /// [`EngineConfig::build_abox_engine`]).
     pub fn build_abox_engine(&self, tbox: Tbox, abox: Abox) -> Box<dyn QueryEngine> {
-        let n = self.resolved_shards();
-        if n <= 1 {
-            return Box::new(self.build_abox(tbox, abox));
-        }
-        let mut sys = crate::shard::ShardedAboxSystem::new(tbox, abox, n);
-        if let Some(mode) = self.rewriting {
-            sys = sys.with_rewriting(mode);
-        }
-        if let Some(enabled) = self.rewrite_cache {
-            sys = sys.with_rewrite_cache(enabled);
-        }
-        if let Some(cap) = self.shard_max_inflight {
-            sys = sys.with_shard_max_inflight(cap);
-        }
-        if let Some(sink) = &self.sink {
-            sys = sys.with_trace_sink(Arc::clone(sink));
-        }
-        Box::new(sys)
+        self.cfg.build_abox_engine(tbox, abox)
     }
 }

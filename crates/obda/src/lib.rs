@@ -32,9 +32,11 @@
 //! * [`demo`]: wiring for the generated university scenario.
 
 pub mod answer;
+pub mod config;
 pub mod consistency;
 pub mod delta;
 pub mod demo;
+pub mod ebox;
 pub mod engine;
 pub mod error;
 pub mod query;
@@ -47,8 +49,10 @@ pub use answer::{
     evaluate_cq, evaluate_cq_indexed, evaluate_ucq, evaluate_ucq_indexed, evaluate_ucq_parallel,
     AboxIndex, AnswerTerm, Answers,
 };
+pub use config::{EngineConfig, ENGINE_CONFIG_KEYS};
 pub use consistency::{check_consistency, Violation};
 pub use delta::{AboxDelta, DeltaObject, DeltaStatement, DeltaSummary};
+pub use ebox::{infer_from_index, infer_from_mappings, EboxMode};
 pub use engine::{EngineStats, QueryEngine, QueryLang, ShardStats, SystemBuilder};
 pub use error::{ErrorPhase, ObdaError};
 pub use query::{

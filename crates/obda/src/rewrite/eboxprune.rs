@@ -1,0 +1,677 @@
+//! **EBox-aware pruning**: the rewrite-side consumers of the
+//! extensional constraints in [`obda_mapping::Ebox`].
+//!
+//! Three prunings, in decreasing order of generality:
+//!
+//! * [`prune_ucq_ebox`] drops UCQ disjuncts that mention a provably
+//!   empty predicate, then runs the kept-list subsumption of
+//!   `subsume::prune_ucq` with a *relaxed* homomorphism: an atom of the
+//!   general disjunct may land on a target atom of a different
+//!   predicate when the EBox proves the target's asserted extension is
+//!   contained in the general atom's;
+//! * [`prune_concept_members`] (and role/attr analogues) shrink the
+//!   member lists of Presto/NDL views — a member with an empty or
+//!   subsumed asserted extension contributes no rows to the union;
+//! * [`exact_covers`] is the exact-predicate short-circuit: when every
+//!   predicate of the original query is exact (its asserted extension
+//!   already contains every certain member) and no join travels through
+//!   a non-head variable, the whole rewriting collapses to the original
+//!   query.
+//!
+//! **Soundness.** The constraints speak only about *asserted* data, and
+//! every evaluation path (index joins, view extents, unfolded SQL)
+//! ranges over exactly that data — so the first two prunings are
+//! justified at the evaluation level with no extra condition: a dropped
+//! disjunct's matches are matches of the kept subsumer, a dropped view
+//! member's rows are rows of a kept member. The exact short-circuit is
+//! the one rule that reasons about *certain answers*, and it is unsound
+//! for queries that join through an existential witness (e.g.
+//! `q(x) :- p(x,y), A(y)` under `B ⊑ ∃p.A`: the witness `y` is
+//! anonymous, so the asserted extension of `A` cannot cover it even
+//! when every named certain member is asserted). The gate therefore
+//! requires every non-head variable to occur exactly once in the body —
+//! head variables range over named individuals and may join freely.
+
+use std::collections::{HashMap, HashSet};
+
+use obda_dllite::{BasicConcept, BasicRole};
+use obda_mapping::{Ebox, EboxPredicate};
+
+use crate::ebox::ebox_pruned_views_total;
+use crate::query::{Atom, ConjunctiveQuery, Term, Ucq, ValueTerm};
+use crate::rewrite::subsume::prune_cap;
+
+/// The EBox predicate an atom's matches are drawn from.
+fn atom_pred(a: &Atom) -> EboxPredicate {
+    match a {
+        Atom::Concept(c, _) => EboxPredicate::Concept(BasicConcept::Atomic(*c)),
+        Atom::Role(p, _, _) => EboxPredicate::Role(BasicRole::Direct(*p)),
+        Atom::Attribute(u, _, _) => EboxPredicate::Attribute(*u),
+    }
+}
+
+/// Whether some atom of `q` reads a provably empty extension (the
+/// disjunct can never match).
+fn mentions_empty(q: &ConjunctiveQuery, ebox: &Ebox) -> bool {
+    q.atoms.iter().any(|a| ebox.is_empty_pred(atom_pred(a)))
+}
+
+/// Body variables of `q` that occur exactly once in the body and not in
+/// the head — the variables whose only job is "some value exists",
+/// which the relaxed homomorphism may witness through an EBox
+/// domain/range containment instead of a concrete binding.
+fn free_vars(q: &ConjunctiveQuery) -> HashSet<String> {
+    fn note<'a>(count: &mut HashMap<&'a str, usize>, v: Option<&'a str>) {
+        if let Some(v) = v {
+            *count.entry(v).or_insert(0) += 1;
+        }
+    }
+    let mut count: HashMap<&str, usize> = HashMap::new();
+    for a in &q.atoms {
+        match a {
+            Atom::Concept(_, t) => note(&mut count, t.as_var()),
+            Atom::Role(_, s, o) => {
+                note(&mut count, s.as_var());
+                note(&mut count, o.as_var());
+            }
+            Atom::Attribute(_, s, v) => {
+                note(&mut count, s.as_var());
+                note(&mut count, v.as_var());
+            }
+        }
+    }
+    count
+        .into_iter()
+        .filter(|(v, n)| *n == 1 && !q.head.iter().any(|h| h == v))
+        .map(|(v, _)| v.to_owned())
+        .collect()
+}
+
+/// `sub ⊑ₑ sup` over basic concepts.
+fn c_in(ebox: &Ebox, sub: BasicConcept, sup: BasicConcept) -> bool {
+    ebox.contains(EboxPredicate::Concept(sub), EboxPredicate::Concept(sup))
+}
+
+/// Relaxed subsumption: `general` subsumes `specific` *over the data
+/// states the EBox describes*. Extends `subsume::subsumes` in two ways:
+/// an atom may land on a target atom of a different predicate when the
+/// EBox contains the target's extension in the atom's, and an atom with
+/// a free variable (single body occurrence, non-head) may be witnessed
+/// by a domain/range containment without binding the free variable.
+pub(crate) fn ebox_subsumes(
+    general: &ConjunctiveQuery,
+    specific: &ConjunctiveQuery,
+    ebox: &Ebox,
+) -> bool {
+    if general.head.len() != specific.head.len() {
+        return false;
+    }
+    // Positional head seeding — identical to `subsume::subsumes`.
+    let gen_sorts = var_sorts(general);
+    let spec_sorts = var_sorts(specific);
+    let mut iri_map: HashMap<String, Term> = HashMap::new();
+    let mut val_map: HashMap<String, ValueTerm> = HashMap::new();
+    for (g, s) in general.head.iter().zip(&specific.head) {
+        match (gen_sorts.get(g.as_str()), spec_sorts.get(s.as_str())) {
+            (Some(VarSort::Iri), Some(VarSort::Iri)) => match iri_map.get(g) {
+                Some(Term::Var(prev)) if prev == s => {}
+                Some(_) => return false,
+                None => {
+                    iri_map.insert(g.clone(), Term::Var(s.clone()));
+                }
+            },
+            (Some(VarSort::Val), Some(VarSort::Val)) => match val_map.get(g) {
+                Some(ValueTerm::Var(prev)) if prev == s => {}
+                Some(_) => return false,
+                None => {
+                    val_map.insert(g.clone(), ValueTerm::Var(s.clone()));
+                }
+            },
+            _ => return false,
+        }
+    }
+    let free = free_vars(general);
+    hom_search(
+        &general.atoms,
+        0,
+        &specific.atoms,
+        ebox,
+        &free,
+        &mut iri_map,
+        &mut val_map,
+    )
+}
+
+// Local copy of the sort classification (private in `subsume`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarSort {
+    Iri,
+    Val,
+    Mixed,
+}
+
+fn var_sorts(q: &ConjunctiveQuery) -> HashMap<&str, VarSort> {
+    fn note<'a>(sorts: &mut HashMap<&'a str, VarSort>, v: Option<&'a str>, sort: VarSort) {
+        let Some(v) = v else { return };
+        sorts
+            .entry(v)
+            .and_modify(|s| {
+                if *s != sort {
+                    *s = VarSort::Mixed;
+                }
+            })
+            .or_insert(sort);
+    }
+    let mut sorts: HashMap<&str, VarSort> = HashMap::new();
+    for a in &q.atoms {
+        match a {
+            Atom::Concept(_, t) => note(&mut sorts, t.as_var(), VarSort::Iri),
+            Atom::Role(_, s, o) => {
+                note(&mut sorts, s.as_var(), VarSort::Iri);
+                note(&mut sorts, o.as_var(), VarSort::Iri);
+            }
+            Atom::Attribute(_, s, v) => {
+                note(&mut sorts, s.as_var(), VarSort::Iri);
+                note(&mut sorts, v.as_var(), VarSort::Val);
+            }
+        }
+    }
+    sorts
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hom_search(
+    gen_atoms: &[Atom],
+    idx: usize,
+    spec_atoms: &[Atom],
+    ebox: &Ebox,
+    free: &HashSet<String>,
+    iri_map: &mut HashMap<String, Term>,
+    val_map: &mut HashMap<String, ValueTerm>,
+) -> bool {
+    let Some(atom) = gen_atoms.get(idx) else {
+        return true;
+    };
+    for target in spec_atoms {
+        let mut added_iri: Vec<String> = Vec::new();
+        let mut added_val: Vec<String> = Vec::new();
+        if map_atom_ebox(
+            atom,
+            target,
+            ebox,
+            free,
+            iri_map,
+            val_map,
+            &mut added_iri,
+            &mut added_val,
+        ) && hom_search(gen_atoms, idx + 1, spec_atoms, ebox, free, iri_map, val_map)
+        {
+            return true;
+        }
+        for v in added_iri {
+            iri_map.remove(&v);
+        }
+        for v in added_val {
+            val_map.remove(&v);
+        }
+    }
+    false
+}
+
+/// Whether the term is a free variable of the general query that the
+/// mapping has not (and will not) bind.
+fn is_free(t: &Term, free: &HashSet<String>) -> bool {
+    matches!(t, Term::Var(v) if free.contains(v))
+}
+
+/// Extends the mapping so `atom` (general) lands on `target`
+/// (specific), allowing EBox-justified predicate changes and free-var
+/// witnessing. Newly bound variables are recorded for rollback.
+#[allow(clippy::too_many_arguments)]
+fn map_atom_ebox(
+    atom: &Atom,
+    target: &Atom,
+    ebox: &Ebox,
+    free: &HashSet<String>,
+    iri_map: &mut HashMap<String, Term>,
+    val_map: &mut HashMap<String, ValueTerm>,
+    added_iri: &mut Vec<String>,
+    added_val: &mut Vec<String>,
+) -> bool {
+    fn map_term(
+        iri_map: &mut HashMap<String, Term>,
+        added_iri: &mut Vec<String>,
+        t: &Term,
+        onto: &Term,
+    ) -> bool {
+        match t {
+            Term::Const(c) => matches!(onto, Term::Const(c2) if c == c2),
+            Term::Var(v) => match iri_map.get(v) {
+                Some(bound) => bound == onto,
+                None => {
+                    iri_map.insert(v.clone(), onto.clone());
+                    added_iri.push(v.clone());
+                    true
+                }
+            },
+        }
+    }
+    match (atom, target) {
+        // --- Same-shape with relaxed predicate -------------------------
+        (Atom::Concept(c1, t1), Atom::Concept(c2, t2)) => {
+            if c1 == c2 || c_in(ebox, BasicConcept::Atomic(*c2), BasicConcept::Atomic(*c1)) {
+                return map_term(iri_map, added_iri, t1, t2);
+            }
+            false
+        }
+        (Atom::Role(p1, s1, o1), Atom::Role(p2, s2, o2)) => {
+            let direct = p1 == p2
+                || ebox.contains(
+                    EboxPredicate::Role(BasicRole::Direct(*p2)),
+                    EboxPredicate::Role(BasicRole::Direct(*p1)),
+                );
+            if direct {
+                let mut cp_iri = iri_map.clone();
+                let mut cp_added = added_iri.clone();
+                if map_term(&mut cp_iri, &mut cp_added, s1, s2)
+                    && map_term(&mut cp_iri, &mut cp_added, o1, o2)
+                {
+                    *iri_map = cp_iri;
+                    *added_iri = cp_added;
+                    return true;
+                }
+            }
+            // `p2(s2,o2)` also witnesses `p1(o2,s2)` when the inverse
+            // orientation of `p2` is contained in `p1`.
+            let inverse = ebox.contains(
+                EboxPredicate::Role(BasicRole::Inverse(*p2)),
+                EboxPredicate::Role(BasicRole::Direct(*p1)),
+            );
+            if inverse
+                && map_term(iri_map, added_iri, s1, o2)
+                && map_term(iri_map, added_iri, o1, s2)
+            {
+                return true;
+            }
+            // Free-end witnessing against a role target: the target's
+            // subject (resp. object) is in the general role's domain.
+            if is_free(o1, free) {
+                if c_in(ebox, BasicConcept::exists(*p2), BasicConcept::exists(*p1))
+                    && map_term(iri_map, added_iri, s1, s2)
+                {
+                    return true;
+                }
+                if c_in(
+                    ebox,
+                    BasicConcept::exists_inv(*p2),
+                    BasicConcept::exists(*p1),
+                ) && map_term(iri_map, added_iri, s1, o2)
+                {
+                    return true;
+                }
+            }
+            if is_free(s1, free) {
+                if c_in(
+                    ebox,
+                    BasicConcept::exists(*p2),
+                    BasicConcept::exists_inv(*p1),
+                ) && map_term(iri_map, added_iri, o1, s2)
+                {
+                    return true;
+                }
+                if c_in(
+                    ebox,
+                    BasicConcept::exists_inv(*p2),
+                    BasicConcept::exists_inv(*p1),
+                ) && map_term(iri_map, added_iri, o1, o2)
+                {
+                    return true;
+                }
+            }
+            false
+        }
+        (Atom::Attribute(u1, s1, v1), Atom::Attribute(u2, s2, v2)) => {
+            if u1 == u2
+                || ebox.contains(EboxPredicate::Attribute(*u2), EboxPredicate::Attribute(*u1))
+            {
+                if !map_term(iri_map, added_iri, s1, s2) {
+                    return false;
+                }
+                return match v1 {
+                    ValueTerm::Lit(l) => matches!(v2, ValueTerm::Lit(l2) if l == l2),
+                    ValueTerm::Var(x) => match val_map.get(x) {
+                        Some(bound) => bound == v2,
+                        None => {
+                            val_map.insert(x.clone(), v2.clone());
+                            added_val.push(x.clone());
+                            true
+                        }
+                    },
+                };
+            }
+            // Domain witnessing when the value is free.
+            if matches!(v1, ValueTerm::Var(x) if free.contains(x))
+                && c_in(
+                    ebox,
+                    BasicConcept::AttrDomain(*u2),
+                    BasicConcept::AttrDomain(*u1),
+                )
+            {
+                return map_term(iri_map, added_iri, s1, s2);
+            }
+            false
+        }
+        // --- Cross-shape witnessing ------------------------------------
+        // Concept atom witnessed by a role/attribute target: the
+        // target's end is in the concept's extension. A concept atom
+        // has a single term, so no free-var condition is needed.
+        (Atom::Concept(c1, t1), Atom::Role(p2, s2, o2)) => {
+            let c1 = BasicConcept::Atomic(*c1);
+            (c_in(ebox, BasicConcept::exists(*p2), c1) && map_term(iri_map, added_iri, t1, s2))
+                || (c_in(ebox, BasicConcept::exists_inv(*p2), c1)
+                    && map_term(iri_map, added_iri, t1, o2))
+        }
+        (Atom::Concept(c1, t1), Atom::Attribute(u2, s2, _)) => {
+            c_in(
+                ebox,
+                BasicConcept::AttrDomain(*u2),
+                BasicConcept::Atomic(*c1),
+            ) && map_term(iri_map, added_iri, t1, s2)
+        }
+        // Role atom with a free end witnessed by a concept/attribute
+        // target: every member of the target's extension has the
+        // required successor in the asserted data.
+        (Atom::Role(p1, s1, o1), Atom::Concept(c2, t2)) => {
+            let c2 = BasicConcept::Atomic(*c2);
+            if is_free(o1, free) && c_in(ebox, c2, BasicConcept::exists(*p1)) {
+                return map_term(iri_map, added_iri, s1, t2);
+            }
+            if is_free(s1, free) && c_in(ebox, c2, BasicConcept::exists_inv(*p1)) {
+                return map_term(iri_map, added_iri, o1, t2);
+            }
+            false
+        }
+        (Atom::Role(p1, s1, o1), Atom::Attribute(u2, s2, _)) => {
+            let dom = BasicConcept::AttrDomain(*u2);
+            if is_free(o1, free) && c_in(ebox, dom, BasicConcept::exists(*p1)) {
+                return map_term(iri_map, added_iri, s1, s2);
+            }
+            if is_free(s1, free) && c_in(ebox, dom, BasicConcept::exists_inv(*p1)) {
+                return map_term(iri_map, added_iri, o1, s2);
+            }
+            false
+        }
+        // Attribute atom with a free value witnessed by a concept/role
+        // target through the attribute's domain.
+        (Atom::Attribute(u1, s1, v1), Atom::Concept(c2, t2)) => {
+            matches!(v1, ValueTerm::Var(x) if free.contains(x))
+                && c_in(
+                    ebox,
+                    BasicConcept::Atomic(*c2),
+                    BasicConcept::AttrDomain(*u1),
+                )
+                && map_term(iri_map, added_iri, s1, t2)
+        }
+        (Atom::Attribute(u1, s1, v1), Atom::Role(p2, s2, o2)) => {
+            if !matches!(v1, ValueTerm::Var(x) if free.contains(x)) {
+                return false;
+            }
+            let dom = BasicConcept::AttrDomain(*u1);
+            (c_in(ebox, BasicConcept::exists(*p2), dom) && map_term(iri_map, added_iri, s1, s2))
+                || (c_in(ebox, BasicConcept::exists_inv(*p2), dom)
+                    && map_term(iri_map, added_iri, s1, o2))
+        }
+    }
+}
+
+/// EBox disjunct pruning: drops disjuncts that mention a provably empty
+/// predicate (linear, always applied), then — when the survivor count
+/// is within the pruning cap — runs the kept-list algorithm under
+/// [`ebox_subsumes`]. Returns the pruned UCQ and the number of dropped
+/// disjuncts.
+pub(crate) fn prune_ucq_ebox(u: &Ucq, ebox: &Ebox) -> (Ucq, u64) {
+    let before = u.disjuncts.len();
+    let survivors: Vec<&ConjunctiveQuery> = u
+        .disjuncts
+        .iter()
+        .filter(|q| !mentions_empty(q, ebox))
+        .collect();
+    let kept: Vec<ConjunctiveQuery> = if survivors.len() <= prune_cap() {
+        let mut kept: Vec<ConjunctiveQuery> = Vec::new();
+        'outer: for q in survivors {
+            for k in &kept {
+                if ebox_subsumes(k, q, ebox) {
+                    continue 'outer;
+                }
+            }
+            kept.retain(|k| !ebox_subsumes(q, k, ebox));
+            kept.push(q.clone());
+        }
+        kept
+    } else {
+        survivors.into_iter().cloned().collect()
+    };
+    let dropped = (before - kept.len()) as u64;
+    (Ucq { disjuncts: kept }, dropped)
+}
+
+/// The exact-predicate short-circuit gate: `true` when evaluating the
+/// *original* query over the asserted data already yields every certain
+/// answer, so the whole UCQ rewriting can be replaced by `{q}`.
+///
+/// Requires every atom's predicate to be exact (its asserted extension
+/// contains all named certain members, per the EBox's validated
+/// support) and every non-head variable to occur exactly once in the
+/// body: a repeated non-head variable joins through a possibly
+/// anonymous witness, which exactness of the individual predicates
+/// cannot cover (see module docs for the counterexample). Head
+/// variables range over named answer tuples and may repeat freely.
+pub(crate) fn exact_covers(q: &ConjunctiveQuery, ebox: &Ebox) -> bool {
+    if !q
+        .atoms
+        .iter()
+        .all(|a| ebox.is_exact(atom_pred(a).source_predicate()))
+    {
+        return false;
+    }
+    let free = free_vars(q);
+    let mut ok = true;
+    let mut check = |v: Option<&str>| {
+        if let Some(v) = v {
+            if !q.head.iter().any(|h| h == v) && !free.contains(v) {
+                ok = false;
+            }
+        }
+    };
+    for a in &q.atoms {
+        match a {
+            Atom::Concept(_, t) => check(t.as_var()),
+            Atom::Role(_, s, o) => {
+                check(s.as_var());
+                check(o.as_var());
+            }
+            Atom::Attribute(_, s, v) => {
+                check(s.as_var());
+                check(v.as_var());
+            }
+        }
+    }
+    ok
+}
+
+/// Drops view members with provably empty or subsumed extensions: a
+/// member `m` contributes nothing when another kept member `m'` has
+/// `m ⊑ₑ m'` — its rows are already in the union. Counted
+/// `ebox_pruned_views`.
+pub(crate) fn prune_concept_members(members: Vec<BasicConcept>, ebox: &Ebox) -> Vec<BasicConcept> {
+    prune_members(members, ebox, EboxPredicate::Concept)
+}
+
+/// Role analogue of [`prune_concept_members`].
+pub(crate) fn prune_role_members(members: Vec<BasicRole>, ebox: &Ebox) -> Vec<BasicRole> {
+    prune_members(members, ebox, EboxPredicate::Role)
+}
+
+/// Attribute analogue of [`prune_concept_members`].
+pub(crate) fn prune_attr_members(
+    members: Vec<obda_dllite::AttributeId>,
+    ebox: &Ebox,
+) -> Vec<obda_dllite::AttributeId> {
+    prune_members(members, ebox, EboxPredicate::Attribute)
+}
+
+fn prune_members<T: Copy>(
+    members: Vec<T>,
+    ebox: &Ebox,
+    pred: impl Fn(T) -> EboxPredicate,
+) -> Vec<T> {
+    let before = members.len();
+    let mut kept: Vec<T> = Vec::new();
+    'outer: for m in members {
+        let mp = pred(m);
+        if ebox.is_empty_pred(mp) {
+            continue;
+        }
+        for k in &kept {
+            if ebox.contains(mp, pred(*k)) {
+                continue 'outer;
+            }
+        }
+        kept.retain(|k| !ebox.contains(pred(*k), mp));
+        kept.push(m);
+    }
+    let dropped = (before - kept.len()) as u64;
+    if dropped > 0 {
+        ebox_pruned_views_total().add(dropped);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_cq;
+    use obda_dllite::parse_tbox;
+
+    fn sig() -> obda_dllite::Signature {
+        parse_tbox("concept A B C\nrole p q\nattribute u")
+            .unwrap()
+            .sig
+    }
+
+    fn pc(s: &obda_dllite::Signature, name: &str) -> EboxPredicate {
+        EboxPredicate::Concept(BasicConcept::Atomic(s.find_concept(name).unwrap()))
+    }
+
+    #[test]
+    fn relaxed_subsumption_uses_inclusions() {
+        let s = sig();
+        let mut e = Ebox::new();
+        e.add_inclusion(pc(&s, "B"), pc(&s, "A"));
+        let ga = parse_cq("q(x) :- A(x)", &s).unwrap();
+        let gb = parse_cq("q(x) :- B(x)", &s).unwrap();
+        // ext(B) ⊆ ext(A): every match of B(x) is a match of A(x).
+        assert!(ebox_subsumes(&ga, &gb, &e));
+        assert!(!ebox_subsumes(&gb, &ga, &e));
+        let (pruned, dropped) = prune_ucq_ebox(
+            &Ucq {
+                disjuncts: vec![ga.clone(), gb],
+            },
+            &e,
+        );
+        assert_eq!(pruned.disjuncts, vec![ga]);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn empty_predicate_drops_disjunct() {
+        let s = sig();
+        let mut e = Ebox::new();
+        e.set_empty(pc(&s, "C"));
+        let qa = parse_cq("q(x) :- A(x)", &s).unwrap();
+        let qc = parse_cq("q(x) :- C(x), p(x, y)", &s).unwrap();
+        let (pruned, dropped) = prune_ucq_ebox(
+            &Ucq {
+                disjuncts: vec![qa.clone(), qc],
+            },
+            &e,
+        );
+        assert_eq!(pruned.disjuncts, vec![qa]);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn free_var_role_atom_witnessed_by_concept() {
+        let s = sig();
+        let p = s.find_role("p").unwrap();
+        let mut e = Ebox::new();
+        // Every asserted B has an asserted p-successor.
+        e.add_inclusion(pc(&s, "B"), EboxPredicate::Concept(BasicConcept::exists(p)));
+        let g = parse_cq("q(x) :- p(x, y)", &s).unwrap();
+        let sp = parse_cq("q(x) :- B(x)", &s).unwrap();
+        assert!(ebox_subsumes(&g, &sp, &e));
+        // But not when the "free" variable is pinned by the head.
+        let g2 = parse_cq("q(x, y) :- p(x, y)", &s).unwrap();
+        let sp2 = parse_cq("q(x, y) :- B(x), p(x, y)", &s).unwrap();
+        assert!(ebox_subsumes(&g2, &sp2, &e)); // plain hom via the p atom
+        let sp3 = parse_cq("q(x, x) :- B(x)", &s).unwrap();
+        assert!(!ebox_subsumes(&g2, &sp3, &e)); // no p atom to land on
+    }
+
+    #[test]
+    fn free_var_witnessing_requires_single_occurrence() {
+        let s = sig();
+        let p = s.find_role("p").unwrap();
+        let mut e = Ebox::new();
+        e.add_inclusion(pc(&s, "B"), EboxPredicate::Concept(BasicConcept::exists(p)));
+        // y joins p and A: it is NOT free, so B(x) alone cannot witness
+        // the pair of atoms (the reviewer counterexample from the
+        // module docs).
+        let g = parse_cq("q(x) :- p(x, y), A(y)", &s).unwrap();
+        let sp = parse_cq("q(x) :- B(x), A(x)", &s).unwrap();
+        assert!(!ebox_subsumes(&g, &sp, &e));
+    }
+
+    #[test]
+    fn exact_gate_blocks_nonhead_joins() {
+        let s = sig();
+        let mut e = Ebox::new();
+        for n in ["A", "B", "C"] {
+            e.set_exact(
+                obda_dllite::NamedPredicate::Concept(s.find_concept(n).unwrap()),
+                vec![],
+            );
+        }
+        e.set_exact(
+            obda_dllite::NamedPredicate::Role(s.find_role("p").unwrap()),
+            vec![],
+        );
+        // Free non-head var: covered.
+        assert!(exact_covers(&parse_cq("q(x) :- p(x, y)", &s).unwrap(), &e));
+        // Head-var join: covered (answers are named).
+        assert!(exact_covers(
+            &parse_cq("q(x) :- A(x), p(x, x)", &s).unwrap(),
+            &e
+        ));
+        // Non-head join variable: NOT covered.
+        assert!(!exact_covers(
+            &parse_cq("q(x) :- p(x, y), A(y)", &s).unwrap(),
+            &e
+        ));
+        // Non-exact predicate: NOT covered.
+        assert!(!exact_covers(&parse_cq("q(x) :- q(x, y)", &s).unwrap(), &e));
+    }
+
+    #[test]
+    fn member_pruning_drops_empty_and_subsumed() {
+        let s = sig();
+        let a = BasicConcept::Atomic(s.find_concept("A").unwrap());
+        let b = BasicConcept::Atomic(s.find_concept("B").unwrap());
+        let c = BasicConcept::Atomic(s.find_concept("C").unwrap());
+        let mut e = Ebox::new();
+        e.add_inclusion(EboxPredicate::Concept(b), EboxPredicate::Concept(a));
+        e.set_empty(EboxPredicate::Concept(c));
+        let kept = prune_concept_members(vec![a, b, c], &e);
+        assert_eq!(kept, vec![a]);
+    }
+}

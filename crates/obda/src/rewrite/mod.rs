@@ -1,6 +1,7 @@
 //! Query rewriting: PerfectRef, Presto-style views, NDL compilation,
 //! and SQL unfolding.
 
+pub mod eboxprune;
 pub mod ndl;
 pub mod perfectref;
 pub mod presto;

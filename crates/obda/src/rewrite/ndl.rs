@@ -157,6 +157,24 @@ obda_obs::counter_handle!(fn ndl_memo_miss_total, "ndl_view_memo_miss");
 /// Compiles `q` into an NDL program: Presto skeletons plus one shared
 /// view definition per distinct view predicate they mention.
 pub fn ndl_compile(q: &ConjunctiveQuery, cls: &Classification) -> NdlProgram {
+    ndl_compile_ebox(q, cls, None)
+}
+
+/// [`ndl_compile`] with EBox member pruning: each view definition keeps
+/// only members with non-empty, non-subsumed asserted extensions
+/// (counted `ebox_pruned_views`). Extents built from the pruned members
+/// stay correct under delta maintenance because `maintain_memo` patches
+/// against the *full* classification-derived member list: an insert
+/// into a pruned member lands in the extent through its kept subsumer's
+/// containment, revalidated (or retracted) by the write path first.
+pub(crate) fn ndl_compile_ebox(
+    q: &ConjunctiveQuery,
+    cls: &Classification,
+    ebox: Option<&obda_mapping::Ebox>,
+) -> NdlProgram {
+    use crate::rewrite::eboxprune::{
+        prune_attr_members, prune_concept_members, prune_role_members,
+    };
     let presto = presto_rewrite(q, cls);
     let mut preds: BTreeSet<ViewPred> = BTreeSet::new();
     for vq in &presto.queries {
@@ -173,15 +191,24 @@ pub fn ndl_compile(q: &ConjunctiveQuery, cls: &Classification) -> NdlProgram {
         .map(|p| match p {
             ViewPred::Concept(s) => ViewDef::Concept {
                 target: s,
-                members: concept_view_members(cls, s),
+                members: match ebox {
+                    Some(e) => prune_concept_members(concept_view_members(cls, s), e),
+                    None => concept_view_members(cls, s),
+                },
             },
             ViewPred::Role(r) => ViewDef::Role {
                 target: r,
-                members: role_view_members(cls, r),
+                members: match ebox {
+                    Some(e) => prune_role_members(role_view_members(cls, r), e),
+                    None => role_view_members(cls, r),
+                },
             },
             ViewPred::Attr(u) => ViewDef::Attr {
                 target: u,
-                members: attr_view_members(cls, u),
+                members: match ebox {
+                    Some(e) => prune_attr_members(attr_view_members(cls, u), e),
+                    None => attr_view_members(cls, u),
+                },
             },
         })
         .collect();
@@ -201,8 +228,19 @@ pub fn ndl_compile_traced(
     cls: &Classification,
     ctx: &TraceCtx,
 ) -> NdlProgram {
+    ndl_compile_traced_ebox(q, cls, ctx, None)
+}
+
+/// [`ndl_compile_traced`] with EBox member pruning (see
+/// [`ndl_compile_ebox`]).
+pub(crate) fn ndl_compile_traced_ebox(
+    q: &ConjunctiveQuery,
+    cls: &Classification,
+    ctx: &TraceCtx,
+    ebox: Option<&obda_mapping::Ebox>,
+) -> NdlProgram {
     let guard = ctx.span("ndl");
-    let prog = ndl_compile(q, cls);
+    let prog = ndl_compile_ebox(q, cls, ebox);
     guard.count("rules", prog.num_rules as u64);
     guard.count("views", prog.views.len() as u64);
     guard.count("skeletons", prog.queries.len() as u64);
@@ -865,6 +903,7 @@ fn member_plan(db: &Database, src: &FlatSource) -> Result<Plan, SqlError> {
 /// Builds the shared extent plan of one view: the deduplicated union of
 /// its member sources, wrapped in a [`Plan::SharedScan`] so every
 /// skeleton that references the view reuses one materialization.
+#[allow(clippy::too_many_arguments)]
 fn view_plan(
     db: &Database,
     cls: &Classification,
@@ -872,6 +911,7 @@ fn view_plan(
     def: &ViewDef,
     id: usize,
     counter: &mut usize,
+    ebox: Option<&obda_mapping::Ebox>,
 ) -> Result<Plan, SqlError> {
     // Canonical atom: the terms are ignored by source expansion.
     let x = || Term::Var("x".to_string());
@@ -882,7 +922,7 @@ fn view_plan(
             ViewAtom::AttrView(*target, x(), ValueTerm::Var("v".into()))
         }
     };
-    let sources = view_atom_sources(&atom, cls, mappings, db, counter)?;
+    let sources = view_atom_sources(&atom, cls, mappings, db, counter, ebox)?;
     let inputs: Vec<Plan> = sources
         .iter()
         .map(|s| member_plan(db, s))
@@ -1022,6 +1062,7 @@ pub fn answer_ndl_virtual_traced(
     mappings: &MappingSet,
     db: &Database,
     ctx: &TraceCtx,
+    ebox: Option<&obda_mapping::Ebox>,
 ) -> Result<Answers, ObdaError> {
     let planned = {
         let guard = ctx.span("unfold");
@@ -1030,7 +1071,7 @@ pub fn answer_ndl_virtual_traced(
         let mut counter = 0usize;
         let mut view_plans: HashMap<ViewPred, Plan> = HashMap::new();
         for (id, def) in prog.views.iter().enumerate() {
-            let p = view_plan(db, cls, mappings, def, id, &mut counter)
+            let p = view_plan(db, cls, mappings, def, id, &mut counter, ebox)
                 .map_err(|e| ObdaError::sql_in(ErrorPhase::Unfold, "ndl view", e))?;
             view_plans.insert(def.pred(), p);
         }

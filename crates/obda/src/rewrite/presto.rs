@@ -754,6 +754,22 @@ pub fn evaluate_view_query(
     cls: &Classification,
     abox: &obda_dllite::Abox,
 ) -> crate::answer::Answers {
+    evaluate_view_query_ebox(vq, cls, abox, None)
+}
+
+/// [`evaluate_view_query`] with EBox member pruning: members with
+/// provably empty or subsumed asserted extensions are skipped before
+/// the cross-product is built (counted `ebox_pruned_views`), which the
+/// evaluation-level containments keep answer-preserving.
+pub(crate) fn evaluate_view_query_ebox(
+    vq: &ViewQuery,
+    cls: &Classification,
+    abox: &obda_dllite::Abox,
+    ebox: Option<&obda_mapping::Ebox>,
+) -> crate::answer::Answers {
+    use crate::rewrite::eboxprune::{
+        prune_attr_members, prune_concept_members, prune_role_members,
+    };
     // Expand each view atom into a UCQ-of-basics and evaluate the cross
     // product of choices through the plain CQ evaluator.
     let mut disjuncts: Vec<ConjunctiveQuery> = vec![ConjunctiveQuery {
@@ -763,26 +779,44 @@ pub fn evaluate_view_query(
     let mut fresh = 0usize;
     for atom in &vq.atoms {
         let choices: Vec<Vec<Atom>> = match atom {
-            ViewAtom::ConceptView(s, t) => concept_view_members(cls, *s)
-                .into_iter()
-                .map(|b| {
-                    fresh += 1;
-                    vec![basic_membership_atom(b, t.clone(), fresh)]
-                })
-                .collect(),
-            ViewAtom::RoleView(q, s, o) => role_view_members(cls, *q)
-                .into_iter()
-                .map(|q2| {
-                    vec![match q2 {
-                        BasicRole::Direct(p) => Atom::Role(p, s.clone(), o.clone()),
-                        BasicRole::Inverse(p) => Atom::Role(p, o.clone(), s.clone()),
-                    }]
-                })
-                .collect(),
-            ViewAtom::AttrView(u, s, v) => attr_view_members(cls, *u)
-                .into_iter()
-                .map(|u2| vec![Atom::Attribute(u2, s.clone(), v.clone())])
-                .collect(),
+            ViewAtom::ConceptView(s, t) => {
+                let members = match ebox {
+                    Some(e) => prune_concept_members(concept_view_members(cls, *s), e),
+                    None => concept_view_members(cls, *s),
+                };
+                members
+                    .into_iter()
+                    .map(|b| {
+                        fresh += 1;
+                        vec![basic_membership_atom(b, t.clone(), fresh)]
+                    })
+                    .collect()
+            }
+            ViewAtom::RoleView(q, s, o) => {
+                let members = match ebox {
+                    Some(e) => prune_role_members(role_view_members(cls, *q), e),
+                    None => role_view_members(cls, *q),
+                };
+                members
+                    .into_iter()
+                    .map(|q2| {
+                        vec![match q2 {
+                            BasicRole::Direct(p) => Atom::Role(p, s.clone(), o.clone()),
+                            BasicRole::Inverse(p) => Atom::Role(p, o.clone(), s.clone()),
+                        }]
+                    })
+                    .collect()
+            }
+            ViewAtom::AttrView(u, s, v) => {
+                let members = match ebox {
+                    Some(e) => prune_attr_members(attr_view_members(cls, *u), e),
+                    None => attr_view_members(cls, *u),
+                };
+                members
+                    .into_iter()
+                    .map(|u2| vec![Atom::Attribute(u2, s.clone(), v.clone())])
+                    .collect()
+            }
         };
         let mut next = Vec::with_capacity(disjuncts.len() * choices.len());
         for d in &disjuncts {

@@ -18,8 +18,8 @@
 
 use std::collections::HashMap;
 
-use obda_dllite::Value;
-use obda_mapping::{IriTemplate, MappingSet};
+use obda_dllite::{AttributeId, ConceptId, RoleId, Value};
+use obda_mapping::{Ebox, IriTemplate, MappingSet};
 use obda_sqlstore::sql::ast::{
     CmpOp, ColRef, Comparison, Join, Operand, SelectCore, SelectItem, TableRef,
 };
@@ -253,13 +253,229 @@ fn atom_sources(
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Flat-source containment (EBox union pruning + mapping-level inference).
+// ---------------------------------------------------------------------------
+
+/// A comparison operand with aliases canonicalized to table positions,
+/// so two flattenings of the same mapping body compare equal regardless
+/// of the alias counter they were flattened under.
+#[derive(PartialEq)]
+enum CanonOperand {
+    Col(usize, String),
+    Lit(SqlValue),
+    /// A column whose alias is not one of the source's own tables —
+    /// malformed for containment purposes; never equal to anything.
+    Foreign,
+}
+
+fn canon_operand(o: &Operand, pos: &HashMap<&str, usize>) -> CanonOperand {
+    match o {
+        Operand::Lit(v) => CanonOperand::Lit(v.clone()),
+        Operand::Col(c) => match c.qualifier.as_deref().and_then(|q| pos.get(q)) {
+            Some(i) => CanonOperand::Col(*i, c.column.clone()),
+            None => CanonOperand::Foreign,
+        },
+    }
+}
+
+fn canon_cmp(cmp: &Comparison, pos: &HashMap<&str, usize>) -> (CanonOperand, CmpOp, CanonOperand) {
+    (
+        canon_operand(&cmp.lhs, pos),
+        cmp.op,
+        canon_operand(&cmp.rhs, pos),
+    )
+}
+
+/// Whether two canonical comparisons assert the same thing (equality is
+/// symmetric, so `a = b` matches `b = a`).
+fn cmp_matches(
+    a: &(CanonOperand, CmpOp, CanonOperand),
+    b: &(CanonOperand, CmpOp, CanonOperand),
+) -> bool {
+    if matches!(a.0, CanonOperand::Foreign) || matches!(a.2, CanonOperand::Foreign) {
+        return false;
+    }
+    (a.1 == b.1 && a.0 == b.0 && a.2 == b.2)
+        || (a.1 == CmpOp::Eq && b.1 == CmpOp::Eq && a.0 == b.2 && a.2 == b.0)
+}
+
+fn alias_positions(src: &FlatSource) -> HashMap<&str, usize> {
+    src.tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.alias.as_str(), i))
+        .collect()
+}
+
+/// Whether every row `specific` produces is also produced by `general`:
+/// both scan the same tables in the same order and bind the same
+/// argument columns, and every condition `general` imposes is also
+/// imposed by `specific` (which may impose more). Purely syntactic, so
+/// it holds for **every** source database state.
+pub(crate) fn flat_source_contains(general: &FlatSource, specific: &FlatSource) -> bool {
+    if general.tables.len() != specific.tables.len() || general.args.len() != specific.args.len() {
+        return false;
+    }
+    if general
+        .tables
+        .iter()
+        .zip(&specific.tables)
+        .any(|(g, s)| g.table != s.table)
+    {
+        return false;
+    }
+    let gpos = alias_positions(general);
+    let spos = alias_positions(specific);
+    for (g, s) in general.args.iter().zip(&specific.args) {
+        let same = match (g, s) {
+            (
+                ArgBinding::Iri {
+                    prefix: gp,
+                    col: gc,
+                },
+                ArgBinding::Iri {
+                    prefix: sp,
+                    col: sc,
+                },
+            ) => {
+                gp == sp
+                    && canon_operand(&Operand::Col(gc.clone()), &gpos)
+                        == canon_operand(&Operand::Col(sc.clone()), &spos)
+            }
+            (ArgBinding::Val { col: gc }, ArgBinding::Val { col: sc }) => {
+                canon_operand(&Operand::Col(gc.clone()), &gpos)
+                    == canon_operand(&Operand::Col(sc.clone()), &spos)
+            }
+            _ => false,
+        };
+        if !same {
+            return false;
+        }
+    }
+    let spec_cmps: Vec<_> = specific
+        .own_conditions
+        .iter()
+        .chain(&specific.filters)
+        .map(|c| canon_cmp(c, &spos))
+        .collect();
+    general
+        .own_conditions
+        .iter()
+        .chain(&general.filters)
+        .map(|c| canon_cmp(c, &gpos))
+        .all(|g| spec_cmps.iter().any(|s| cmp_matches(&g, s)))
+}
+
+/// Drops union members (per-atom flat sources) whose rows are provably
+/// produced by another kept member. Returns the kept list and the
+/// number pruned.
+fn prune_flat_sources(sources: Vec<FlatSource>) -> (Vec<FlatSource>, u64) {
+    let mut kept: Vec<FlatSource> = Vec::new();
+    let mut pruned = 0u64;
+    'next: for s in sources {
+        for k in &kept {
+            if flat_source_contains(k, &s) {
+                pruned += 1;
+                continue 'next;
+            }
+        }
+        kept.retain(|k| {
+            let drop = flat_source_contains(&s, k);
+            if drop {
+                pruned += 1;
+            }
+            !drop
+        });
+        kept.push(s);
+    }
+    (kept, pruned)
+}
+
+/// Every flat source of one named predicate, under a throwaway alias
+/// counter (canonical containment ignores alias numbering).
+fn named_sources(
+    atom: &Atom,
+    mappings: &MappingSet,
+    db: &Database,
+) -> Result<Vec<FlatSource>, SqlError> {
+    let mut counter = 0usize;
+    atom_sources(atom, mappings, db, &mut counter)
+}
+
+fn sources_contained(sub: &Atom, sup: &Atom, mappings: &MappingSet, db: &Database) -> bool {
+    let (Ok(subs), Ok(sups)) = (
+        named_sources(sub, mappings, db),
+        named_sources(sup, mappings, db),
+    ) else {
+        return false; // conservative: unparseable mapping ⇒ no constraint
+    };
+    subs.iter()
+        .all(|s| sups.iter().any(|g| flat_source_contains(g, s)))
+}
+
+fn var(n: &str) -> Term {
+    Term::Var(n.to_owned())
+}
+
+/// Whether concept `sub`'s virtual extension is contained in `sup`'s in
+/// every source database state (each of `sub`'s mapping sources is a
+/// syntactic specialization of one of `sup`'s).
+pub(crate) fn concept_sources_contained(
+    mappings: &MappingSet,
+    db: &Database,
+    sub: ConceptId,
+    sup: ConceptId,
+) -> bool {
+    sources_contained(
+        &Atom::Concept(sub, var("x")),
+        &Atom::Concept(sup, var("x")),
+        mappings,
+        db,
+    )
+}
+
+/// Role analogue of [`concept_sources_contained`] (same orientation).
+pub(crate) fn role_sources_contained(
+    mappings: &MappingSet,
+    db: &Database,
+    sub: RoleId,
+    sup: RoleId,
+) -> bool {
+    sources_contained(
+        &Atom::Role(sub, var("x"), var("y")),
+        &Atom::Role(sup, var("x"), var("y")),
+        mappings,
+        db,
+    )
+}
+
+/// Attribute analogue of [`concept_sources_contained`].
+pub(crate) fn attr_sources_contained(
+    mappings: &MappingSet,
+    db: &Database,
+    sub: AttributeId,
+    sup: AttributeId,
+) -> bool {
+    sources_contained(
+        &Atom::Attribute(sub, var("x"), ValueTerm::Var("v".to_owned())),
+        &Atom::Attribute(sup, var("x"), ValueTerm::Var("v".to_owned())),
+        mappings,
+        db,
+    )
+}
+
 /// All sources of a view atom (Presto mode: union over subsumee members).
+/// With an EBox, members with provably empty or subsumed virtual
+/// extensions are skipped before their sources are flattened (counted
+/// `ebox_pruned_views`).
 pub(crate) fn view_atom_sources(
     atom: &ViewAtom,
     cls: &Classification,
     mappings: &MappingSet,
     db: &Database,
     counter: &mut usize,
+    ebox: Option<&Ebox>,
 ) -> Result<Vec<FlatSource>, SqlError> {
     use obda_dllite::{BasicConcept, BasicRole};
     let mut out = Vec::new();
@@ -282,9 +498,16 @@ pub(crate) fn view_atom_sources(
         }
         Ok(())
     };
+    use crate::rewrite::eboxprune::{
+        prune_attr_members, prune_concept_members, prune_role_members,
+    };
     match atom {
         ViewAtom::ConceptView(s, _) => {
-            for member in concept_view_members(cls, *s) {
+            let members = match ebox {
+                Some(e) => prune_concept_members(concept_view_members(cls, *s), e),
+                None => concept_view_members(cls, *s),
+            };
+            for member in members {
                 match member {
                     BasicConcept::Atomic(a) => {
                         for (m, subject) in mappings.concept_sources(a) {
@@ -310,7 +533,11 @@ pub(crate) fn view_atom_sources(
             }
         }
         ViewAtom::RoleView(q, _, _) => {
-            for member in role_view_members(cls, *q) {
+            let members = match ebox {
+                Some(e) => prune_role_members(role_view_members(cls, *q), e),
+                None => role_view_members(cls, *q),
+            };
+            for member in members {
                 let p = member.role();
                 for (m, subject, object) in mappings.role_sources(p) {
                     let wants = if member.is_inverse() {
@@ -323,7 +550,11 @@ pub(crate) fn view_atom_sources(
             }
         }
         ViewAtom::AttrView(u, _, _) => {
-            for member in attr_view_members(cls, *u) {
+            let members = match ebox {
+                Some(e) => prune_attr_members(attr_view_members(cls, *u), e),
+                None => attr_view_members(cls, *u),
+            };
+            for member in members {
                 for (m, subject, value_col) in mappings.attribute_sources(member) {
                     add(
                         &m.sql,
@@ -792,13 +1023,15 @@ pub fn answer_ucq_virtual_traced(
     mappings: &MappingSet,
     db: &Database,
     ctx: &obda_obs::TraceCtx,
+    ebox: Option<&Ebox>,
 ) -> Result<Answers, ObdaError> {
     let combos = {
         let _guard = obda_obs::span!(ctx, "unfold");
         let mut all = Vec::new();
         for cq in &ucq.disjuncts {
             all.extend(
-                unfold_cq(cq, mappings, db).map_err(|e| ObdaError::sql(ErrorPhase::Unfold, e))?,
+                unfold_cq_ebox(cq, mappings, db, ebox)
+                    .map_err(|e| ObdaError::sql(ErrorPhase::Unfold, e))?,
             );
         }
         all
@@ -813,10 +1046,33 @@ pub fn unfold_cq(
     mappings: &MappingSet,
     db: &Database,
 ) -> Result<Vec<ComboQuery>, SqlError> {
+    unfold_cq_ebox(cq, mappings, db, None)
+}
+
+/// [`unfold_cq`] with EBox union pruning: per-atom source unions drop
+/// members whose rows another kept member provably produces (counted
+/// `ebox_pruned_unions`).
+pub(crate) fn unfold_cq_ebox(
+    cq: &ConjunctiveQuery,
+    mappings: &MappingSet,
+    db: &Database,
+    ebox: Option<&Ebox>,
+) -> Result<Vec<ComboQuery>, SqlError> {
     let mut counter = 0usize;
     let mut sources = Vec::with_capacity(cq.atoms.len());
+    let mut pruned = 0u64;
     for atom in &cq.atoms {
-        sources.push(atom_sources(atom, mappings, db, &mut counter)?);
+        let srcs = atom_sources(atom, mappings, db, &mut counter)?;
+        sources.push(if ebox.is_some() {
+            let (kept, n) = prune_flat_sources(srcs);
+            pruned += n;
+            kept
+        } else {
+            srcs
+        });
+    }
+    if pruned > 0 {
+        crate::ebox::ebox_pruned_unions_total().add(pruned);
     }
     let args: Vec<Vec<ArgTerm>> = cq.atoms.iter().map(atom_args).collect();
     build_combos(&cq.head, &args, &sources, db)
@@ -854,13 +1110,14 @@ pub fn answer_presto_virtual_traced(
     mappings: &MappingSet,
     db: &Database,
     ctx: &obda_obs::TraceCtx,
+    ebox: Option<&Ebox>,
 ) -> Result<Answers, ObdaError> {
     let combos = {
         let _guard = obda_obs::span!(ctx, "unfold");
         let mut all = Vec::new();
         for vq in &rw.queries {
             all.extend(
-                unfold_view_query(vq, cls, mappings, db)
+                unfold_view_query_ebox(vq, cls, mappings, db, ebox)
                     .map_err(|e| ObdaError::sql(ErrorPhase::Unfold, e))?,
             );
         }
@@ -877,10 +1134,35 @@ pub fn unfold_view_query(
     mappings: &MappingSet,
     db: &Database,
 ) -> Result<Vec<ComboQuery>, SqlError> {
+    unfold_view_query_ebox(vq, cls, mappings, db, None)
+}
+
+/// [`unfold_view_query`] with EBox pruning at both levels: view members
+/// are dropped before flattening (`ebox_pruned_views`) and the
+/// remaining flat unions deduplicated by containment
+/// (`ebox_pruned_unions`).
+pub(crate) fn unfold_view_query_ebox(
+    vq: &ViewQuery,
+    cls: &Classification,
+    mappings: &MappingSet,
+    db: &Database,
+    ebox: Option<&Ebox>,
+) -> Result<Vec<ComboQuery>, SqlError> {
     let mut counter = 0usize;
     let mut sources = Vec::with_capacity(vq.atoms.len());
+    let mut pruned = 0u64;
     for atom in &vq.atoms {
-        sources.push(view_atom_sources(atom, cls, mappings, db, &mut counter)?);
+        let srcs = view_atom_sources(atom, cls, mappings, db, &mut counter, ebox)?;
+        sources.push(if ebox.is_some() {
+            let (kept, n) = prune_flat_sources(srcs);
+            pruned += n;
+            kept
+        } else {
+            srcs
+        });
+    }
+    if pruned > 0 {
+        crate::ebox::ebox_pruned_unions_total().add(pruned);
     }
     let args: Vec<Vec<ArgTerm>> = vq.atoms.iter().map(view_atom_args).collect();
     build_combos(&vq.head, &args, &sources, db)

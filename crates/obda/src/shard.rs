@@ -47,7 +47,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use obda_dllite::{Abox, Assertion, Tbox};
+use obda_dllite::{Abox, Assertion, NamedPredicate, Tbox};
+use obda_mapping::Ebox;
 use obda_obs::{registry, span, Counter, TraceCtx, TraceSink};
 use quonto::sync::{lock_or_recover, wait_timeout_or_recover};
 use quonto::Classification;
@@ -56,6 +57,7 @@ use crate::answer::{evaluate_disjuncts_indexed, AboxIndex, Answers};
 use crate::delta::{
     maintain_merged_memo, record_batch, resolve_delta, AboxDelta, DeltaSummary, ResolvedFact,
 };
+use crate::ebox::{ebox_retracted_total, EboxMode, EboxState};
 use crate::engine::{run_with_engine_trace, EngineStats, QueryEngine, QueryLang, ShardStats};
 use crate::error::ObdaError;
 use crate::query::{Atom, ConjunctiveQuery, Term};
@@ -275,6 +277,14 @@ pub struct ShardedAboxSystem {
     /// dropped on [`QueryEngine::invalidate`] and by any delta batch
     /// that changes a fact.
     fallback: Mutex<Option<Arc<MaterializedAbox>>>,
+    /// EBox knob, applied to every shard and to the coordinator.
+    ebox_mode: EboxMode,
+    /// Coordinator constraint set: the intersection of the per-shard
+    /// EBoxes restricted to subject-local predicates — the forms whose
+    /// extensions partition by subject shard, so per-shard validity
+    /// implies global validity and a write routed to one shard can only
+    /// falsify constraints that mention its predicates.
+    ebox: Mutex<EboxState>,
     sink: Arc<dyn TraceSink>,
 }
 
@@ -305,8 +315,49 @@ impl ShardedAboxSystem {
             ndl_memo: Mutex::new(ViewMemo::default()),
             version: AtomicU64::new(0),
             fallback: Mutex::new(None),
+            ebox_mode: EboxMode::Off,
+            ebox: Mutex::new(EboxState::default()),
             sink: obda_obs::sink::from_env(),
         }
+    }
+
+    /// Switches the EBox mode: every shard infers (or clears) its own
+    /// constraint set, and the coordinator keeps the subject-local
+    /// intersection for pruning the once-per-query rewriting.
+    pub fn with_ebox_mode(mut self, mode: EboxMode) -> Self {
+        self.ebox_mode = mode;
+        self.shards = std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(|s| ShardState {
+                system: s.system.with_ebox_mode(mode),
+                requests: s.requests,
+                gate: s.gate,
+            })
+            .collect();
+        self.ebox = Mutex::new(EboxState::new(self.coordinator_ebox()));
+        self
+    }
+
+    /// The configured EBox mode.
+    pub fn ebox_mode(&self) -> EboxMode {
+        self.ebox_mode
+    }
+
+    /// Intersection of the per-shard EBoxes, restricted to
+    /// subject-local constraint forms (see the `ebox` field docs).
+    fn coordinator_ebox(&self) -> Ebox {
+        if !self.ebox_mode.enabled() {
+            return Ebox::new();
+        }
+        let mut acc: Option<Ebox> = None;
+        for s in &self.shards {
+            let local = s.system.ebox_current().restrict_subject_local();
+            acc = Some(match acc {
+                Some(a) => a.intersect(&local),
+                None => local,
+            });
+        }
+        acc.unwrap_or_default()
     }
 
     /// Enables/disables the coordinator rewrite cache.
@@ -582,6 +633,10 @@ impl ShardedAboxSystem {
         let mode = self.effective_rewriting();
         ctx.tag("rewriting", mode.as_str());
         ctx.tag("data", "ShardedAbox");
+        let (ebox, ebox_gen) = {
+            let state = lock_or_recover(&self.ebox);
+            (state.snapshot(), state.generation)
+        };
         let rw = rewrite_with_cache_traced(
             &self.rewrite_cache,
             self.cache_enabled,
@@ -589,6 +644,8 @@ impl ShardedAboxSystem {
             &self.tbox,
             &self.classification,
             q,
+            ebox.as_deref(),
+            ebox_gen,
             ctx,
         );
         let ucq = match &*rw {
@@ -673,6 +730,16 @@ fn elapsed_us(t: Instant) -> u64 {
     t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
+/// The named predicate a resolved delta fact asserts — the coordinator
+/// EBox retracts everything it mentions.
+fn resolved_predicate(f: &ResolvedFact) -> NamedPredicate {
+    match f {
+        ResolvedFact::Concept(c, _) => NamedPredicate::Concept(*c),
+        ResolvedFact::Role(p, _, _) => NamedPredicate::Role(*p),
+        ResolvedFact::Attr(u, _, _) => NamedPredicate::Attribute(*u),
+    }
+}
+
 impl QueryEngine for ShardedAboxSystem {
     fn signature(&self) -> &obda_dllite::Signature {
         &self.tbox.sig
@@ -700,6 +767,29 @@ impl QueryEngine for ShardedAboxSystem {
     ) -> Result<DeltaSummary, ObdaError> {
         let guard = span!(ctx, "write.apply");
         let (inserts, deletes) = resolve_delta(&self.tbox.sig, delta)?;
+        if self.ebox_mode.enabled() {
+            // Conservative coordinator retraction *before* the facts
+            // land: drop every coordinator constraint mentioning a
+            // touched predicate (the per-shard EBoxes revalidate
+            // precisely inside each shard's own write path). Probing
+            // across shards would need the union index the coordinator
+            // deliberately does not keep.
+            let touched: std::collections::HashSet<NamedPredicate> = inserts
+                .iter()
+                .chain(&deletes)
+                .map(resolved_predicate)
+                .collect();
+            let mut state = lock_or_recover(&self.ebox);
+            if !state.ebox.is_empty() {
+                let removed = Arc::make_mut(&mut state.ebox).retract_about(&touched) as u64;
+                if removed > 0 {
+                    state.generation += 1;
+                    state.retracted += removed;
+                    ebox_retracted_total().add(removed);
+                    ctx.count("ebox_retracted", removed);
+                }
+            }
+        }
         let n = self.shards.len();
         let mut routed: Vec<(Vec<ResolvedFact>, Vec<ResolvedFact>)> = vec![Default::default(); n];
         for f in &inserts {
@@ -762,6 +852,8 @@ impl QueryEngine for ShardedAboxSystem {
             tbox_epoch: epoch,
             rewrite_cache: rolled,
             shards: self.shards.len(),
+            ebox: self.ebox_mode.as_str(),
+            ebox_constraints: lock_or_recover(&self.ebox).ebox.constraint_count(),
         }
     }
 

@@ -63,7 +63,7 @@ use std::time::Instant;
 use quonto::sync::{lock_or_recover, read_or_recover, write_or_recover};
 
 use obda_dllite::{Abox, Tbox};
-use obda_mapping::{materialize, MappingSet};
+use obda_mapping::{materialize, Ebox, MappingSet};
 use obda_obs::{registry, span, Counter, Histogram, TraceCtx, TraceSink};
 use obda_sqlstore::Database;
 use quonto::Classification;
@@ -74,15 +74,20 @@ use crate::delta::{
     apply_to_store, maintain_memo, record_batch, resolve_delta, AboxDelta, DeltaSummary,
     ResolvedFact,
 };
+use crate::ebox::{
+    ebox_pruned_disjuncts_total, ebox_retracted_total, infer_from_index, infer_from_mappings,
+    revalidate, EboxMode, EboxState,
+};
 use crate::engine::{run_with_engine_trace, EngineStats, QueryEngine, QueryLang};
 use crate::query::{parse_cq, ConjunctiveQuery, QueryParseError, Ucq};
+use crate::rewrite::eboxprune::{exact_covers, prune_ucq_ebox};
 use crate::rewrite::ndl::{
-    answer_ndl_indexed_traced, answer_ndl_virtual_traced, ndl_compile, ndl_compile_traced,
+    answer_ndl_indexed_traced, answer_ndl_virtual_traced, ndl_compile, ndl_compile_traced_ebox,
     DataEpoch, NdlProgram, ViewMemo,
 };
 use crate::rewrite::perfectref::perfect_ref_traced;
 use crate::rewrite::presto::{
-    evaluate_view_query, presto_rewrite, presto_rewrite_traced, PrestoRewriting,
+    evaluate_view_query_ebox, presto_rewrite, presto_rewrite_traced, PrestoRewriting,
 };
 use crate::rewrite::subsume::{prune_cap, prune_ucq_traced, pruning_disabled};
 use crate::rewrite::unfold::{answer_presto_virtual_traced, answer_ucq_virtual_traced};
@@ -111,6 +116,24 @@ impl RewritingMode {
     }
 }
 
+/// The one config spelling (`perfectref` / `presto` / `ndl`) shared by
+/// the server JSON config, the loadgen flags, and
+/// [`crate::EngineConfig::set`].
+impl std::str::FromStr for RewritingMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "perfectref" => Ok(RewritingMode::PerfectRef),
+            "presto" => Ok(RewritingMode::Presto),
+            "ndl" => Ok(RewritingMode::Ndl),
+            other => Err(format!(
+                "unknown rewriting `{other}` (expected `perfectref`, `presto`, or `ndl`)"
+            )),
+        }
+    }
+}
+
 /// How the data is accessed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataMode {
@@ -125,6 +148,22 @@ impl DataMode {
         match self {
             DataMode::Virtual => "Virtual",
             DataMode::Materialized => "Materialized",
+        }
+    }
+}
+
+/// The one config spelling (`virtual` / `materialized`) shared by the
+/// server JSON config and [`crate::EngineConfig::set`].
+impl std::str::FromStr for DataMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "virtual" => Ok(DataMode::Virtual),
+            "materialized" => Ok(DataMode::Materialized),
+            other => Err(format!(
+                "unknown data mode `{other}` (expected `virtual` or `materialized`)"
+            )),
         }
     }
 }
@@ -181,9 +220,26 @@ pub(crate) struct RewriteCache {
     pub(crate) epoch: u64,
     entries: HashMap<(RewritingMode, ConjunctiveQuery), Arc<CachedRewriting>>,
     pub(crate) stats: RewriteCacheStats,
+    /// EBox generation the cached entries were rewritten under. Pruned
+    /// rewritings are only sound for the constraints they were pruned
+    /// with, so a generation mismatch clears the entries — without
+    /// bumping the TBox epoch (the NDL extent memo keys on that epoch
+    /// and its extents stay correct: `maintain_memo` patches them from
+    /// the *full* member lists).
+    ebox_gen: u64,
 }
 
 impl RewriteCache {
+    /// Aligns the cache with the EBox generation of the caller's
+    /// constraint snapshot, dropping entries pruned under another
+    /// generation.
+    pub(crate) fn sync_ebox_gen(&mut self, gen: u64) {
+        if self.ebox_gen != gen {
+            self.entries.clear();
+            self.ebox_gen = gen;
+        }
+    }
+
     pub(crate) fn get(
         &mut self,
         key: &(RewritingMode, ConjunctiveQuery),
@@ -284,17 +340,23 @@ pub(crate) fn rewrite_perfectref_pruned(q: &ConjunctiveQuery, tbox: &Tbox) -> (U
 fn cached_rewriting(
     cache: &Mutex<RewriteCache>,
     enabled: bool,
+    ebox_gen: u64,
     key: (RewritingMode, ConjunctiveQuery),
     compute: impl FnOnce() -> CachedRewriting,
 ) -> (Arc<CachedRewriting>, bool) {
     if enabled {
-        if let Some(hit) = lock_or_recover(cache).get(&key) {
+        let mut guard = lock_or_recover(cache);
+        guard.sync_ebox_gen(ebox_gen);
+        if let Some(hit) = guard.get(&key) {
             return (hit, true);
         }
     }
     let value = Arc::new(compute());
     let mut guard = lock_or_recover(cache);
-    if enabled {
+    if enabled && guard.ebox_gen == ebox_gen {
+        // Skip the insert if a constraint retraction raced the compute:
+        // an entry pruned under the older, stronger EBox must not live
+        // on under the new generation.
         guard.insert(key, Arc::clone(&value));
     } else {
         guard.stats.misses = guard.stats.misses.saturating_add(1);
@@ -302,8 +364,34 @@ fn cached_rewriting(
     (value, false)
 }
 
+/// PerfectRef disjunct pruning against the EBox: the cheap exact-cover
+/// short-circuit first (the whole UCQ collapses to the input query),
+/// then the empty-predicate drop and the constraint-relaxed pairwise
+/// subsumption pass. Runs under an `ebox` child span of `rewrite`.
+fn ebox_prune_perfectref(q: &ConjunctiveQuery, ucq: Ucq, ebox: &Ebox, ctx: &TraceCtx) -> Ucq {
+    let guard = span!(ctx, "ebox");
+    let before = ucq.len();
+    let pruned = if exact_covers(q, ebox) {
+        Ucq {
+            disjuncts: vec![q.clone()],
+        }
+    } else {
+        prune_ucq_ebox(&ucq, ebox).0
+    };
+    let dropped = before.saturating_sub(pruned.len()) as u64;
+    guard.count("ebox_pruned_disjuncts", dropped);
+    if dropped > 0 {
+        ebox_pruned_disjuncts_total().add(dropped);
+    }
+    pruned
+}
+
 /// The one rewriting front door both systems share: cache lookup +
 /// traced rewriting under a `rewrite` span with cache/size counters.
+/// `ebox` carries the caller's constraint snapshot (already consistent
+/// with the data snapshot it will evaluate against) and `ebox_gen` its
+/// generation, keying cache validity.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn rewrite_with_cache_traced(
     cache: &Mutex<RewriteCache>,
     cache_enabled: bool,
@@ -311,20 +399,33 @@ pub(crate) fn rewrite_with_cache_traced(
     tbox: &Tbox,
     classification: &Classification,
     q: &ConjunctiveQuery,
+    ebox: Option<&Ebox>,
+    ebox_gen: u64,
     ctx: &TraceCtx,
 ) -> Arc<CachedRewriting> {
     let guard = span!(ctx, "rewrite");
-    let (rw, cache_hit) =
-        cached_rewriting(cache, cache_enabled, (mode, q.canonical()), || match mode {
+    let (rw, cache_hit) = cached_rewriting(
+        cache,
+        cache_enabled,
+        ebox_gen,
+        (mode, q.canonical()),
+        || match mode {
             RewritingMode::PerfectRef => {
                 let (ucq, raw_len) = rewrite_perfectref_pruned_traced(q, tbox, ctx);
+                let ucq = match ebox {
+                    Some(e) => ebox_prune_perfectref(q, ucq, e, ctx),
+                    None => ucq,
+                };
                 CachedRewriting::PerfectRef { ucq, raw_len }
             }
             RewritingMode::Presto => {
                 CachedRewriting::Presto(presto_rewrite_traced(q, classification, ctx))
             }
-            RewritingMode::Ndl => CachedRewriting::Ndl(ndl_compile_traced(q, classification, ctx)),
-        });
+            RewritingMode::Ndl => {
+                CachedRewriting::Ndl(ndl_compile_traced_ebox(q, classification, ctx, ebox))
+            }
+        },
+    );
     guard.count("cache_hit", u64::from(cache_hit));
     match &*rw {
         CachedRewriting::PerfectRef { ucq, raw_len } => {
@@ -357,6 +458,11 @@ pub struct MaterializedAbox {
     pub index: AboxIndex,
 }
 
+/// One consistent read of [`ObdaSystem`]'s materialized state: the
+/// data snapshot, the EBox constraints inferred at-or-before it (None
+/// when the EBox is off), and the EBox generation stamp.
+type MaterializedSnapshot = (Arc<MaterializedAbox>, Option<Arc<Ebox>>, u64);
+
 /// A complete OBDA system: TBox + classification + mappings + sources.
 #[derive(Debug)]
 pub struct ObdaSystem {
@@ -388,6 +494,13 @@ pub struct ObdaSystem {
     cache_enabled: bool,
     /// UCQ evaluation threads (0 = all cores).
     eval_threads: usize,
+    /// EBox knob: off (default), on (mapping-level constraints), or
+    /// infer (additionally scan the materialized index).
+    ebox_mode: EboxMode,
+    /// The live constraint set + generation. Updated under the
+    /// `materialized` lock in materialized mode so query snapshots stay
+    /// consistent with the data they evaluate.
+    ebox: Mutex<EboxState>,
     /// Sink for traces of untraced `answer` calls.
     sink: Arc<dyn TraceSink>,
 }
@@ -408,6 +521,8 @@ impl Clone for ObdaSystem {
             abox_version: AtomicU64::new(self.abox_version.load(Ordering::Relaxed)),
             cache_enabled: self.cache_enabled,
             eval_threads: self.eval_threads,
+            ebox_mode: self.ebox_mode,
+            ebox: Mutex::new(lock_or_recover(&self.ebox).clone()),
             sink: Arc::clone(&self.sink),
         }
     }
@@ -436,6 +551,8 @@ impl ObdaSystem {
             abox_version: AtomicU64::new(0),
             cache_enabled: true,
             eval_threads: default_eval_threads(),
+            ebox_mode: EboxMode::Off,
+            ebox: Mutex::new(EboxState::default()),
             sink: obda_obs::sink::from_env(),
         })
     }
@@ -444,6 +561,36 @@ impl ObdaSystem {
     pub fn with_rewriting(mut self, mode: RewritingMode) -> Self {
         self.rewriting = mode;
         self
+    }
+
+    /// Switches the EBox mode. `On` and `Infer` both seed the constraint
+    /// set from the mappings (source-containment and unmapped-predicate
+    /// analysis — valid for every source state); `Infer` additionally
+    /// re-infers from the materialized index when one is built.
+    pub fn with_ebox_mode(mut self, mode: EboxMode) -> Self {
+        self.ebox_mode = mode;
+        self.ebox = Mutex::new(EboxState::new(self.static_ebox()));
+        self
+    }
+
+    /// The configured EBox mode.
+    pub fn ebox_mode(&self) -> EboxMode {
+        self.ebox_mode
+    }
+
+    /// Number of live EBox constraints (inclusions + empties + exacts).
+    pub fn ebox_constraints(&self) -> usize {
+        lock_or_recover(&self.ebox).ebox.constraint_count()
+    }
+
+    /// The mapping-level constraint set for the current mode: empty when
+    /// off, inferred from the mappings otherwise.
+    fn static_ebox(&self) -> obda_mapping::Ebox {
+        if self.ebox_mode.enabled() {
+            infer_from_mappings(&self.tbox, &self.classification, &self.mappings, &self.db)
+        } else {
+            obda_mapping::Ebox::new()
+        }
     }
 
     /// Switches the data-access mode.
@@ -484,6 +631,14 @@ impl ObdaSystem {
     pub fn invalidate_abox(&mut self) {
         *lock_or_recover(&self.materialized) = None;
         lock_or_recover(&self.ndl_memo).clear();
+        if self.ebox_mode.enabled() {
+            // Re-derive the mapping-level constraints (the sources may
+            // have changed); `Infer` re-infers on the next build.
+            let fresh = self.static_ebox();
+            let mut state = lock_or_recover(&self.ebox);
+            state.ebox = Arc::new(fresh);
+            state.generation += 1;
+        }
         self.abox_version.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -516,16 +671,47 @@ impl ObdaSystem {
     /// first use. The build runs under the lock: concurrent first
     /// queries wait for one materialization instead of duplicating it.
     fn ensure_materialized(&self) -> Result<Arc<MaterializedAbox>, ObdaError> {
+        Ok(self.materialized_with_ebox()?.0)
+    }
+
+    /// One consistent snapshot of the materialized ABox and the EBox:
+    /// both read under the `materialized` lock, which is also where the
+    /// write path revalidates constraints — a query can never pair a
+    /// stronger (stale) EBox with newer data. A first build under
+    /// `EboxMode::Infer` re-infers the constraints from the index it
+    /// just built (the generation bump drops rewrite-cache entries
+    /// pruned under the weaker mapping-level set).
+    fn materialized_with_ebox(&self) -> Result<MaterializedSnapshot, ObdaError> {
         let mut slot = lock_or_recover(&self.materialized);
-        if let Some(mat) = slot.as_ref() {
-            return Ok(Arc::clone(mat));
+        let mat = match slot.as_ref() {
+            Some(mat) => Arc::clone(mat),
+            None => {
+                let abox = materialize(&self.mappings, &self.db)
+                    .map_err(|e| ObdaError::sql(ErrorPhase::Materialize, e))?;
+                let index = AboxIndex::build(&abox);
+                let mat = Arc::new(MaterializedAbox { abox, index });
+                *slot = Some(Arc::clone(&mat));
+                if self.ebox_mode == EboxMode::Infer {
+                    let inferred = infer_from_index(&self.tbox, &self.classification, &mat.index);
+                    let mut state = lock_or_recover(&self.ebox);
+                    state.ebox = Arc::new(inferred);
+                    state.generation += 1;
+                }
+                mat
+            }
+        };
+        let (ebox, gen) = self.ebox_snapshot();
+        Ok((mat, ebox, gen))
+    }
+
+    /// The current EBox snapshot + generation (`None` when disabled or
+    /// empty, so the hot path skips pruning entirely).
+    fn ebox_snapshot(&self) -> (Option<Arc<Ebox>>, u64) {
+        if !self.ebox_mode.enabled() {
+            return (None, 0);
         }
-        let abox = materialize(&self.mappings, &self.db)
-            .map_err(|e| ObdaError::sql(ErrorPhase::Materialize, e))?;
-        let index = AboxIndex::build(&abox);
-        let mat = Arc::new(MaterializedAbox { abox, index });
-        *slot = Some(Arc::clone(&mat));
-        Ok(mat)
+        let state = lock_or_recover(&self.ebox);
+        (state.snapshot(), state.generation)
     }
 
     /// The materialized ABox + index (computing and caching it on first
@@ -570,6 +756,28 @@ impl ObdaSystem {
         let started = Instant::now();
         ctx.tag("rewriting", self.rewriting.as_str());
         ctx.tag("data", self.data.as_str());
+        // Data snapshot before the rewriting: the EBox only ever weakens
+        // between the snapshots (writes retract, never add), so pruning
+        // with constraints taken at-or-after the data snapshot is sound.
+        // In materialized mode both come from one lock section.
+        // Version first, snapshot second: if a write lands in between,
+        // the snapshot is *newer* than the stamp — the NDL memo then
+        // over-invalidates on the next query, never serves extents older
+        // than their stamped version.
+        let epoch = DataEpoch {
+            tbox: self.tbox_epoch(),
+            abox: self.abox_version.load(Ordering::Relaxed),
+        };
+        let (mat, ebox, ebox_gen) = match self.data {
+            DataMode::Materialized => {
+                let (mat, ebox, gen) = self.materialized_with_ebox()?;
+                (Some(mat), ebox, gen)
+            }
+            DataMode::Virtual => {
+                let (ebox, gen) = self.ebox_snapshot();
+                (None, ebox, gen)
+            }
+        };
         let rw = rewrite_with_cache_traced(
             &self.rewrite_cache,
             self.cache_enabled,
@@ -577,15 +785,19 @@ impl ObdaSystem {
             &self.tbox,
             &self.classification,
             q,
+            ebox.as_deref(),
+            ebox_gen,
             ctx,
         );
         let threads = resolve_threads(self.eval_threads);
+        // lint: allow(R1.expect, "`mat` is Some exactly in materialized mode, matched below")
+        let require_mat = || mat.as_ref().expect("materialized snapshot present");
         let answers = match (&*rw, self.data) {
             (CachedRewriting::PerfectRef { ucq, .. }, DataMode::Virtual) => {
-                answer_ucq_virtual_traced(ucq, &self.mappings, &self.db, ctx)?
+                answer_ucq_virtual_traced(ucq, &self.mappings, &self.db, ctx, ebox.as_deref())?
             }
             (CachedRewriting::PerfectRef { ucq, .. }, DataMode::Materialized) => {
-                let mat = self.ensure_materialized()?;
+                let mat = require_mat();
                 evaluate_ucq_parallel_traced(ucq, &mat.abox, &mat.index, threads, ctx)
             }
             (CachedRewriting::Presto(rw), DataMode::Virtual) => answer_presto_virtual_traced(
@@ -594,15 +806,21 @@ impl ObdaSystem {
                 &self.mappings,
                 &self.db,
                 ctx,
+                ebox.as_deref(),
             )?,
             (CachedRewriting::Presto(rw), DataMode::Materialized) => {
-                let mat = self.ensure_materialized()?;
+                let mat = require_mat();
                 let guard = span!(ctx, "eval");
                 guard.count("threads", 1);
                 guard.count("disjuncts", rw.len() as u64);
                 let mut answers = Answers::new();
                 for vq in &rw.queries {
-                    answers.extend(evaluate_view_query(vq, &self.classification, &mat.abox));
+                    answers.extend(evaluate_view_query_ebox(
+                        vq,
+                        &self.classification,
+                        &mat.abox,
+                        ebox.as_deref(),
+                    ));
                 }
                 answers
             }
@@ -612,17 +830,10 @@ impl ObdaSystem {
                 &self.mappings,
                 &self.db,
                 ctx,
+                ebox.as_deref(),
             )?,
             (CachedRewriting::Ndl(prog), DataMode::Materialized) => {
-                // Version first, snapshot second: if a write lands in
-                // between, the snapshot is *newer* than the stamp — the
-                // memo then over-invalidates on the next query, never
-                // serves extents older than their stamped version.
-                let epoch = DataEpoch {
-                    tbox: self.tbox_epoch(),
-                    abox: self.abox_version.load(Ordering::Relaxed),
-                };
-                let mat = self.ensure_materialized()?;
+                let mat = require_mat();
                 answer_ndl_indexed_traced(prog, &mat.abox, &mat.index, &self.ndl_memo, epoch, ctx)
             }
         };
@@ -848,6 +1059,22 @@ impl QueryEngine for ObdaSystem {
             g.count("fallbacks", fb);
             fb
         };
+        if self.ebox_mode.enabled() {
+            // Still under the `materialized` lock: retract constraints
+            // the batch falsified before any query can snapshot this
+            // data. Rewritings pruned with the stronger set die with the
+            // generation bump (the cache syncs lazily on next lookup).
+            let mut state = lock_or_recover(&self.ebox);
+            if !state.ebox.is_empty() {
+                let removed = revalidate(Arc::make_mut(&mut state.ebox), &applied, &mat.index);
+                if removed > 0 {
+                    state.generation += 1;
+                    state.retracted += removed;
+                    ebox_retracted_total().add(removed);
+                    ctx.count("ebox_retracted", removed);
+                }
+            }
+        }
         let summary = DeltaSummary {
             inserted: applied.inserted.len(),
             deleted: applied.deleted.len(),
@@ -867,12 +1094,25 @@ impl QueryEngine for ObdaSystem {
             tbox_epoch: self.tbox_epoch(),
             rewrite_cache: self.rewrite_cache_stats(),
             shards: 1,
+            ebox: self.ebox_mode.as_str(),
+            ebox_constraints: self.ebox_constraints(),
         }
     }
 
     fn invalidate(&self) {
         lock_or_recover(&self.rewrite_cache).invalidate();
-        *lock_or_recover(&self.materialized) = None;
+        let mut slot = lock_or_recover(&self.materialized);
+        *slot = None;
+        if self.ebox_mode.enabled() {
+            // Constraints inferred from the dropped data are stale; fall
+            // back to the mapping-level set until the next build (which
+            // re-infers under `Infer`). Still under the `materialized`
+            // lock, pairing the reset with the drop atomically.
+            let mut state = lock_or_recover(&self.ebox);
+            state.ebox = Arc::new(self.static_ebox());
+            state.generation += 1;
+        }
+        drop(slot);
         lock_or_recover(&self.ndl_memo).clear();
         self.abox_version.fetch_add(1, Ordering::Relaxed);
     }
@@ -921,6 +1161,12 @@ pub struct AboxSystem {
     ndl_memo: Mutex<ViewMemo>,
     cache_enabled: bool,
     eval_threads: usize,
+    /// EBox knob: `Infer` scans the index for constraints; `On` has no
+    /// mapping-level source here and starts empty.
+    ebox_mode: EboxMode,
+    /// Constraint set + generation; written under the `data` write lock
+    /// so read-locked queries snapshot it consistently.
+    ebox: Mutex<EboxState>,
     sink: Arc<dyn TraceSink>,
 }
 
@@ -936,6 +1182,8 @@ impl Clone for AboxSystem {
             ndl_memo: Mutex::new(ViewMemo::default()),
             cache_enabled: self.cache_enabled,
             eval_threads: self.eval_threads,
+            ebox_mode: self.ebox_mode,
+            ebox: Mutex::new(lock_or_recover(&self.ebox).clone()),
             sink: Arc::clone(&self.sink),
         }
     }
@@ -966,6 +1214,8 @@ impl AboxSystem {
             ndl_memo: Mutex::new(ViewMemo::default()),
             cache_enabled: true,
             eval_threads: default_eval_threads(),
+            ebox_mode: EboxMode::Off,
+            ebox: Mutex::new(EboxState::default()),
             sink: obda_obs::sink::from_env(),
         }
     }
@@ -975,6 +1225,49 @@ impl AboxSystem {
     pub fn with_rewriting(mut self, mode: RewritingMode) -> Self {
         self.rewriting = mode;
         self
+    }
+
+    /// Switches the EBox mode. With no mappings there is no static
+    /// constraint source, so `On` starts empty (constraints only ever
+    /// come from revalidated prior state) and `Infer` scans the current
+    /// index.
+    pub fn with_ebox_mode(mut self, mode: EboxMode) -> Self {
+        self.ebox_mode = mode;
+        let ebox = if mode == EboxMode::Infer {
+            let data = read_or_recover(&self.data);
+            infer_from_index(&self.tbox, &self.classification, &data.index)
+        } else {
+            Ebox::new()
+        };
+        self.ebox = Mutex::new(EboxState::new(ebox));
+        self
+    }
+
+    /// The configured EBox mode.
+    pub fn ebox_mode(&self) -> EboxMode {
+        self.ebox_mode
+    }
+
+    /// Number of live EBox constraints (inclusions + empties + exacts).
+    pub fn ebox_constraints(&self) -> usize {
+        lock_or_recover(&self.ebox).ebox.constraint_count()
+    }
+
+    /// The current EBox snapshot + generation (`None` when disabled or
+    /// empty). Callers must already hold the `data` lock (read or write)
+    /// so the snapshot stays consistent with the data they evaluate.
+    fn ebox_snapshot(&self) -> (Option<Arc<Ebox>>, u64) {
+        if !self.ebox_mode.enabled() {
+            return (None, 0);
+        }
+        let state = lock_or_recover(&self.ebox);
+        (state.snapshot(), state.generation)
+    }
+
+    /// The full current constraint set (possibly empty) — the sharded
+    /// coordinator intersects these across its shards.
+    pub(crate) fn ebox_current(&self) -> Arc<Ebox> {
+        Arc::clone(&lock_or_recover(&self.ebox).ebox)
     }
 
     /// Runs `f` with a shared read lock over the ABox + index + version
@@ -1018,6 +1311,23 @@ impl AboxSystem {
         data.index = AboxIndex::build(&data.abox);
         data.version += 1;
         lock_or_recover(&self.ndl_memo).clear();
+        if self.ebox_mode == EboxMode::Infer {
+            // Arbitrary mutation: re-infer from scratch like the index
+            // (still under the write lock). The generation bump drops
+            // rewritings pruned under the old constraints.
+            let inferred = infer_from_index(&self.tbox, &self.classification, &data.index);
+            let mut state = lock_or_recover(&self.ebox);
+            state.ebox = Arc::new(inferred);
+            state.generation += 1;
+        } else if self.ebox_mode == EboxMode::On {
+            // No data source to re-derive from: drop everything rather
+            // than keep constraints the mutation may have falsified.
+            let mut state = lock_or_recover(&self.ebox);
+            if !state.ebox.is_empty() {
+                state.ebox = Arc::new(Ebox::new());
+                state.generation += 1;
+            }
+        }
     }
 
     /// The current ABox version (second [`DataEpoch`] component).
@@ -1081,6 +1391,21 @@ impl AboxSystem {
             g.count("fallbacks", fb);
             fb
         };
+        if self.ebox_mode.enabled() {
+            // Still under the `data` write lock: constraints the batch
+            // falsified are retracted before any reader can pair them
+            // with the new facts.
+            let mut state = lock_or_recover(&self.ebox);
+            if !state.ebox.is_empty() {
+                let removed = revalidate(Arc::make_mut(&mut state.ebox), &applied, &data.index);
+                if removed > 0 {
+                    state.generation += 1;
+                    state.retracted += removed;
+                    ebox_retracted_total().add(removed);
+                    ctx.count("ebox_retracted", removed);
+                }
+            }
+        }
         DeltaSummary {
             inserted: applied.inserted.len(),
             deleted: applied.deleted.len(),
@@ -1140,6 +1465,11 @@ impl AboxSystem {
         let mode = self.effective_rewriting();
         ctx.tag("rewriting", mode.as_str());
         ctx.tag("data", "Abox");
+        // Read lock before the rewriting: the EBox snapshot must not
+        // predate the data it prunes for (writers revalidate under the
+        // write lock, so holding the read lock pins both together).
+        let data = read_or_recover(&self.data);
+        let (ebox, ebox_gen) = self.ebox_snapshot();
         let rw = rewrite_with_cache_traced(
             &self.rewrite_cache,
             self.cache_enabled,
@@ -1147,9 +1477,10 @@ impl AboxSystem {
             &self.tbox,
             &self.classification,
             q,
+            ebox.as_deref(),
+            ebox_gen,
             ctx,
         );
-        let data = read_or_recover(&self.data);
         let answers = match &*rw {
             CachedRewriting::PerfectRef { ucq, .. } => {
                 let threads = resolve_threads(self.eval_threads);
@@ -1214,6 +1545,8 @@ impl QueryEngine for AboxSystem {
             tbox_epoch: cache.epoch,
             rewrite_cache: cache.stats,
             shards: 1,
+            ebox: self.ebox_mode.as_str(),
+            ebox_constraints: lock_or_recover(&self.ebox).ebox.constraint_count(),
         }
     }
 

@@ -6,7 +6,7 @@
 //! counts that exceed the number of individuals (empty shards).
 
 use mastro::{
-    AboxSystem, Atom, ConjunctiveQuery, QueryEngine, QueryLang, ShardedAboxSystem, SystemBuilder,
+    AboxSystem, Atom, ConjunctiveQuery, EngineConfig, QueryEngine, QueryLang, ShardedAboxSystem,
     Term, ValueTerm,
 };
 use obda_dllite::{AttributeId, ConceptId, RoleId, Tbox, Value};
@@ -207,12 +207,12 @@ fn builder_engine_answers_university_queries_identically_at_any_shard_count() {
     let sys = mastro::demo::build_system(&scenario).unwrap();
     let mat = sys.materialized_abox().unwrap();
     let reference: Box<dyn QueryEngine> = Box::new(
-        SystemBuilder::new()
+        EngineConfig::new()
             .eval_threads(1)
             .build_abox(scenario.tbox.clone(), mat.abox.clone()),
     );
     for shards in [1usize, 2, 4, 8] {
-        let engine = SystemBuilder::new()
+        let engine = EngineConfig::new()
             .shards(shards)
             .build_abox_engine(scenario.tbox.clone(), mat.abox.clone());
         assert_eq!(

@@ -3,7 +3,7 @@
 //! must not depend on the evaluator thread count, and both engine
 //! shapes attribute the documented phases on every query.
 
-use mastro::{DataMode, QueryEngine, QueryLang, RewritingMode, SystemBuilder};
+use mastro::{DataMode, EngineConfig, QueryEngine, QueryLang, RewritingMode};
 use obda_dllite::{parse_tbox, Tbox};
 use obda_genont::{random_abox, university_scenario};
 use obda_obs::{QueryTrace, TraceCtx};
@@ -77,7 +77,7 @@ fn obda_paths_attribute_expected_phases() {
     let build = |rw: RewritingMode, dm: DataMode| {
         let db = mastro::demo::load_database(&scenario).expect("loads");
         let mappings = mastro::demo::build_mappings(&scenario);
-        let sys = SystemBuilder::new()
+        let sys = EngineConfig::new()
             .rewriting(rw)
             .data_mode(dm)
             .build_obda(scenario.tbox.clone(), mappings, db)
@@ -128,7 +128,7 @@ fn phase_set_is_invariant_across_eval_threads() {
     let build = |threads: usize| {
         let db = mastro::demo::load_database(&scenario).expect("loads");
         let mappings = mastro::demo::build_mappings(&scenario);
-        let sys = SystemBuilder::new()
+        let sys = EngineConfig::new()
             .rewriting(RewritingMode::PerfectRef)
             .data_mode(DataMode::Materialized)
             .eval_threads(threads)
@@ -210,7 +210,7 @@ proptest! {
     ) {
         let tbox = sig_tbox();
         let build = |threads: usize| {
-            SystemBuilder::new()
+            EngineConfig::new()
                 .eval_threads(threads)
                 .build_abox(tbox.clone(), random_abox(seed, &tbox, 4, 12))
         };

@@ -121,7 +121,7 @@ fn parse_args() -> (ServerConfig, bool) {
     }
     if let Some(n) = shards {
         for ep in &mut cfg.endpoints {
-            ep.shards = n;
+            ep.engine.shards = Some(n);
         }
     }
     if exact_workers {

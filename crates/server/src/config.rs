@@ -19,7 +19,7 @@
 //! (mappings + SQL sources), `university-abox` materializes once into a
 //! plain ABox system (the fastest serving shape).
 
-use mastro::{DataMode, RewritingMode};
+use mastro::{DataMode, EngineConfig, RewritingMode, ENGINE_CONFIG_KEYS};
 
 use crate::json::Json;
 
@@ -34,6 +34,13 @@ pub enum EndpointKind {
 }
 
 /// One named query endpoint.
+///
+/// The engine options (`rewriting`, `data`, `eval_threads`, `shards`,
+/// `shard_max_inflight`, `ebox`, `rewrite_cache`) live in the nested
+/// [`EngineConfig`] — the same typed struct the builder API uses, so
+/// JSON keys, CLI flags, and builder calls share one parse path and one
+/// precedence rule (explicit setting > env knob > default). A JSON key
+/// the config leaves out stays `None` and defers to the knob.
 #[derive(Debug, Clone)]
 pub struct EndpointConfig {
     /// Name clients address in requests.
@@ -44,16 +51,11 @@ pub struct EndpointConfig {
     pub scale: usize,
     /// Scenario RNG seed.
     pub seed: u64,
-    /// Rewriting mode (`perfectref`, `presto`, or `ndl`). On
-    /// `university-abox` endpoints `presto` folds into PerfectRef;
-    /// `ndl` selects the shared-view NDL evaluator on both kinds.
-    pub rewriting: RewritingMode,
-    /// Data-access mode (`University` kind only).
-    pub data: DataMode,
-    /// UCQ evaluation threads per request (0 = all cores). Keep at 1
-    /// when serving many concurrent clients — cross-request parallelism
-    /// beats intra-request parallelism under load.
-    pub eval_threads: usize,
+    /// Engine options, forwarded verbatim to construction. The server
+    /// default pins `rewriting=perfectref data=materialized
+    /// eval_threads=1` (the historical serving shape); everything else
+    /// defers to the `QUONTO_*` knobs.
+    pub engine: EngineConfig,
     /// Artificial per-request delay (milliseconds) injected before
     /// evaluation. A load-testing / failure-injection knob: lets tests
     /// and `loadgen` create slow requests deterministically.
@@ -63,14 +65,6 @@ pub struct EndpointConfig {
     /// poison-cascade regression tests prove that one panicking query
     /// cannot take the server down. `None` (the default) disables it.
     pub panic_marker: Option<String>,
-    /// ABox evaluation shards (`UniversityAbox` kind only): `0` (the
-    /// default) defers to `QUONTO_SHARDS` / unsharded, `1` forces the
-    /// unsharded fast path, higher values partition the materialized
-    /// ABox and scatter-gather each query across the shards.
-    pub shards: usize,
-    /// Per-shard cap on concurrent scatter evaluations (`0` =
-    /// unbounded). Only meaningful with `shards > 1`.
-    pub shard_max_inflight: usize,
 }
 
 impl Default for EndpointConfig {
@@ -80,13 +74,12 @@ impl Default for EndpointConfig {
             kind: EndpointKind::University,
             scale: 2,
             seed: 42,
-            rewriting: RewritingMode::PerfectRef,
-            data: DataMode::Materialized,
-            eval_threads: 1,
+            engine: EngineConfig::new()
+                .rewriting(RewritingMode::PerfectRef)
+                .data_mode(DataMode::Materialized)
+                .eval_threads(1),
             delay_ms: 0,
             panic_marker: None,
-            shards: 0,
-            shard_max_inflight: 0,
         }
     }
 }
@@ -239,13 +232,16 @@ impl ServerConfig {
             return Err(bad("endpoint names must be non-empty"));
         }
         for e in &self.endpoints {
-            if e.shards > 1 && e.kind != EndpointKind::UniversityAbox {
+            if e.engine.shards.unwrap_or(0) > 1 && e.kind != EndpointKind::UniversityAbox {
                 return Err(bad(format!(
                     "endpoint `{}`: `shards` requires kind `university-abox` \
                      (virtual OBDA endpoints delegate evaluation to the SQL sources)",
                     e.name
                 )));
             }
+            e.engine
+                .validate()
+                .map_err(|msg| bad(format!("endpoint `{}`: {msg}", e.name)))?;
         }
         Ok(())
     }
@@ -273,24 +269,21 @@ fn endpoint_from_json(v: &Json) -> Result<EndpointConfig, String> {
     if let Some(n) = v.get("seed") {
         ep.seed = n.as_u64().ok_or_else(|| bad("`seed` must be an integer"))?;
     }
-    match v.get("rewriting").and_then(Json::as_str) {
-        None => {}
-        Some("perfectref") => ep.rewriting = RewritingMode::PerfectRef,
-        Some("presto") => ep.rewriting = RewritingMode::Presto,
-        Some("ndl") => ep.rewriting = RewritingMode::Ndl,
-        Some(other) => return Err(bad(format!("unknown rewriting `{other}`"))),
-    }
-    match v.get("data").and_then(Json::as_str) {
-        None => {}
-        Some("virtual") => ep.data = DataMode::Virtual,
-        Some("materialized") => ep.data = DataMode::Materialized,
-        Some(other) => return Err(bad(format!("unknown data mode `{other}`"))),
-    }
-    if let Some(n) = v.get("eval_threads") {
-        ep.eval_threads = n
-            .as_u64()
-            .ok_or_else(|| bad("`eval_threads` must be a non-negative integer"))?
-            as usize;
+    // Engine options forward through the one parse path
+    // (`EngineConfig::set`): the JSON spelling of a mode name is
+    // exactly the CLI/builder spelling, and a typo is one error message
+    // defined in `mastro`, not a second copy here.
+    for &key in ENGINE_CONFIG_KEYS {
+        let Some(val) = v.get(key) else { continue };
+        let raw = match val {
+            Json::Str(s) => s.clone(),
+            Json::Bool(b) => String::from(if *b { "true" } else { "false" }),
+            _ => val
+                .as_u64()
+                .map(|n| n.to_string())
+                .ok_or_else(|| bad(format!("`{key}` must be a string or non-negative integer")))?,
+        };
+        ep.engine.set(key, &raw).map_err(bad)?;
     }
     if let Some(n) = v.get("delay_ms") {
         ep.delay_ms = n
@@ -304,18 +297,6 @@ fn endpoint_from_json(v: &Json) -> Result<EndpointConfig, String> {
                 .ok_or_else(|| bad("`panic_marker` must be a non-empty string"))?
                 .to_owned(),
         );
-    }
-    if let Some(n) = v.get("shards") {
-        ep.shards = n
-            .as_u64()
-            .ok_or_else(|| bad("`shards` must be a non-negative integer"))?
-            as usize;
-    }
-    if let Some(n) = v.get("shard_max_inflight") {
-        ep.shard_max_inflight = n
-            .as_u64()
-            .ok_or_else(|| bad("`shard_max_inflight` must be a non-negative integer"))?
-            as usize;
     }
     Ok(ep)
 }
@@ -333,7 +314,7 @@ mod tests {
               "exact_workers": true,
               "endpoints": [
                 {"name": "a", "kind": "university", "scale": 3, "seed": 7,
-                 "rewriting": "presto", "data": "virtual"},
+                 "rewriting": "presto", "data": "virtual", "ebox": "on"},
                 {"name": "b", "kind": "university-abox", "delay_ms": 5,
                  "shards": 4, "shard_max_inflight": 2}
               ]
@@ -345,13 +326,20 @@ mod tests {
         assert!(cfg.access_log);
         assert!(cfg.exact_workers);
         assert_eq!(cfg.endpoints.len(), 2);
-        assert_eq!(cfg.endpoints[0].rewriting, RewritingMode::Presto);
-        assert_eq!(cfg.endpoints[0].data, DataMode::Virtual);
-        assert_eq!(cfg.endpoints[0].shards, 0);
+        assert_eq!(
+            cfg.endpoints[0].engine.rewriting,
+            Some(RewritingMode::Presto)
+        );
+        assert_eq!(cfg.endpoints[0].engine.data, Some(DataMode::Virtual));
+        assert_eq!(cfg.endpoints[0].engine.ebox, Some(mastro::EboxMode::On));
+        // Default (the struct default pins the serving shape, leaves
+        // shards to the knob).
+        assert_eq!(cfg.endpoints[0].engine.shards, None);
         assert_eq!(cfg.endpoints[1].kind, EndpointKind::UniversityAbox);
         assert_eq!(cfg.endpoints[1].delay_ms, 5);
-        assert_eq!(cfg.endpoints[1].shards, 4);
-        assert_eq!(cfg.endpoints[1].shard_max_inflight, 2);
+        assert_eq!(cfg.endpoints[1].engine.shards, Some(4));
+        assert_eq!(cfg.endpoints[1].engine.shard_max_inflight, Some(2));
+        assert_eq!(cfg.endpoints[1].engine.ebox, None);
     }
 
     #[test]
@@ -367,6 +355,8 @@ mod tests {
             r#"{"workers": "four"}"#,
             r#"{"endpoints": [{"name":"x","kind":"university","shards":4}]}"#,
             r#"{"endpoints": [{"name":"x","shards":"two"}]}"#,
+            r#"{"endpoints": [{"name":"x","rewriting":"magic"}]}"#,
+            r#"{"endpoints": [{"name":"x","ebox":"sometimes"}]}"#,
             r#"{"exact_workers": 1}"#,
         ] {
             assert!(ServerConfig::from_json_str(bad_src).is_err(), "{bad_src}");

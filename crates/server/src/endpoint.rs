@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use mastro::{
     demo, AboxDelta, Answers, DeltaSummary, ObdaError, QueryEngine, QueryParseError,
-    RewriteCacheStats, SystemBuilder,
+    RewriteCacheStats,
 };
 use obda_genont::university_scenario;
 use obda_obs::{TraceCtx, TraceSink};
@@ -42,29 +42,19 @@ pub struct Endpoint {
 impl Endpoint {
     /// Builds the endpoint from its config (classification, data
     /// generation, and materialization all happen here, at startup).
-    /// Construction goes through [`SystemBuilder`], so env knobs
-    /// (`QUONTO_THREADS`, `QUONTO_TIMINGS`) still apply to anything the
-    /// config leaves unset.
+    /// Construction goes through the nested [`mastro::EngineConfig`],
+    /// so env knobs (`QUONTO_THREADS`, `QUONTO_TIMINGS`, `QUONTO_EBOX`)
+    /// still apply to anything the config leaves unset.
     pub fn build(cfg: &EndpointConfig) -> Result<Endpoint, ObdaError> {
         let scenario = university_scenario(cfg.scale.max(1), cfg.seed);
-        let mut builder = SystemBuilder::new()
-            .rewriting(cfg.rewriting)
-            .data_mode(cfg.data)
-            .eval_threads(cfg.eval_threads);
-        if cfg.shards > 0 {
-            builder = builder.shards(cfg.shards);
-        }
-        if cfg.shard_max_inflight > 0 {
-            builder = builder.shard_max_inflight(cfg.shard_max_inflight);
-        }
         let engine: Box<dyn QueryEngine> = match cfg.kind {
             EndpointKind::University => {
                 let db = demo::load_database(&scenario)?;
                 let mappings = demo::build_mappings(&scenario);
-                let sys = builder.build_obda(scenario.tbox.clone(), mappings, db)?;
+                let sys = cfg.engine.build_obda(scenario.tbox.clone(), mappings, db)?;
                 // Materialize eagerly so the first request doesn't pay
                 // for the ABox build.
-                if cfg.data == mastro::DataMode::Materialized {
+                if cfg.engine.data == Some(mastro::DataMode::Materialized) {
                     sys.materialized_abox()?;
                 }
                 Box::new(sys)
@@ -74,7 +64,8 @@ impl Endpoint {
                 let mat = sys.materialized_abox()?;
                 // Sharded or not, per config and `QUONTO_SHARDS` — the
                 // unsharded case is exactly the old `build_abox` path.
-                builder.build_abox_engine(scenario.tbox.clone(), mat.abox.clone())
+                cfg.engine
+                    .build_abox_engine(scenario.tbox.clone(), mat.abox.clone())
             }
         };
         Ok(Endpoint {
@@ -159,6 +150,8 @@ impl Endpoint {
             ("eval_threads", stats.eval_threads.into()),
             ("tbox_epoch", stats.tbox_epoch.into()),
             ("shards", stats.shards.into()),
+            ("ebox", stats.ebox.into()),
+            ("ebox_constraints", stats.ebox_constraints.into()),
             ("cache_hits", cache.hits.into()),
             ("cache_misses", cache.misses.into()),
             ("cache_hit_rate", Json::Num(cache.hit_rate())),
@@ -244,13 +237,13 @@ mod tests {
             ..EndpointConfig::default()
         })
         .unwrap();
+        let base = EndpointConfig::default();
         let sharded = Endpoint::build(&EndpointConfig {
             name: "s".into(),
             kind: EndpointKind::UniversityAbox,
             scale: 1,
-            shards: 4,
-            shard_max_inflight: 2,
-            ..EndpointConfig::default()
+            engine: base.engine.clone().shards(4).shard_max_inflight(2),
+            ..base
         })
         .unwrap();
         for q in [

@@ -86,7 +86,7 @@ fn eight_concurrent_clients_match_sequential_reference() {
                 kind: EndpointKind::UniversityAbox,
                 scale: SCALE,
                 seed: SEED,
-                shards: 4,
+                engine: EndpointConfig::default().engine.shards(4),
                 ..EndpointConfig::default()
             },
         ],

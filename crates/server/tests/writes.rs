@@ -30,14 +30,16 @@ fn write_server() -> Server {
                 name: "sharded".into(),
                 kind: EndpointKind::UniversityAbox,
                 scale: 1,
-                shards: 4,
+                engine: EndpointConfig::default().engine.shards(4),
                 ..EndpointConfig::default()
             },
             EndpointConfig {
                 name: "virt".into(),
                 kind: EndpointKind::University,
                 scale: 1,
-                data: DataMode::Virtual,
+                engine: EndpointConfig::default()
+                    .engine
+                    .data_mode(DataMode::Virtual),
                 ..EndpointConfig::default()
             },
         ],

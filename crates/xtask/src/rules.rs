@@ -1270,6 +1270,24 @@ mod tests {
     }
 
     #[test]
+    fn r4_accepts_the_ebox_knob() {
+        // QUONTO_EBOX is registered (mastro resolves the mode through
+        // the registry accessor), so neither code mentions nor doc
+        // mentions may fire R4.
+        assert!(quonto::env::is_registered("QUONTO_EBOX"));
+        let code = "pub fn f() -> Option<String> { quonto::env::ebox_mode() } // QUONTO_EBOX\n";
+        assert!(lint_src("crates/obda/src/config.rs", code).is_empty());
+        let mut f = Vec::new();
+        r4_docs(
+            "DESIGN.md",
+            "set `QUONTO_EBOX=infer` to re-infer constraints from the data",
+            &registered,
+            &mut f,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
     fn r4_accepts_the_prune_cap_knob() {
         // QUONTO_PRUNE_CAP is registered (the prune-cap accessor reads
         // it through the registry), so neither code mentions nor doc
